@@ -1,0 +1,172 @@
+//! Criterion benches for the control plane — the translation and
+//! assertion-evaluation costs behind Figure 7, without sockets.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gremlin_core::{
+    combine, AppGraph, AssertionChecker, CombineStep, FailureOrchestrator, Scenario, View,
+};
+use gremlin_proxy::{AgentControl, ProxyError, Rule};
+use gremlin_store::{Event, EventStore, Pattern};
+
+/// A no-op agent so orchestration benches measure fleet fan-out, not
+/// sockets.
+struct NullAgent {
+    service: String,
+}
+
+impl AgentControl for NullAgent {
+    fn service_name(&self) -> String {
+        self.service.clone()
+    }
+    fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+        std::hint::black_box(rules);
+        Ok(())
+    }
+    fn clear_rules(&self) -> Result<(), ProxyError> {
+        Ok(())
+    }
+    fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+        Ok(Vec::new())
+    }
+}
+
+/// Scenario translation over binary trees of growing size.
+fn bench_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control/translate_crash");
+    for depth in [1u32, 2, 3, 4, 6] {
+        let graph = AppGraph::binary_tree(depth);
+        // Crash an internal node with two dependents plus fan-out.
+        let scenario = Scenario::crash("svc-1").with_pattern("test-*");
+        group.bench_with_input(BenchmarkId::from_parameter(graph.len()), &graph, |b, graph| {
+            b.iter(|| std::hint::black_box(scenario.to_rules(graph).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Fleet fan-out: installing a scenario's rules across N agents.
+fn bench_orchestration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control/orchestrate_hang");
+    for depth in [0u32, 1, 2, 3, 4] {
+        let graph = AppGraph::binary_tree(depth);
+        let agents: Vec<Arc<dyn AgentControl>> = graph
+            .services()
+            .into_iter()
+            .map(|service| Arc::new(NullAgent { service }) as Arc<dyn AgentControl>)
+            .collect();
+        let orchestrator = FailureOrchestrator::new(agents);
+        let scenario = Scenario::hang_for("svc-0", Duration::from_secs(1));
+        // Hang of the root needs dependents; give depth-0 a caller.
+        let mut graph = graph;
+        graph.add_edge("user", "svc-0");
+        let orchestrator_with_user = {
+            let mut agents: Vec<Arc<dyn AgentControl>> = graph
+                .services()
+                .into_iter()
+                .map(|service| Arc::new(NullAgent { service }) as Arc<dyn AgentControl>)
+                .collect();
+            agents.shrink_to_fit();
+            FailureOrchestrator::new(agents)
+        };
+        let _ = orchestrator;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(graph.len()),
+            &(orchestrator_with_user, graph, scenario),
+            |b, (orchestrator, graph, scenario)| {
+                b.iter(|| std::hint::black_box(orchestrator.inject(scenario, graph).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn synthetic_log(events: usize) -> Arc<EventStore> {
+    let store = EventStore::shared();
+    for index in 0..events {
+        let ts = index as u64 * 1_000;
+        if index % 2 == 0 {
+            store.record_event(
+                Event::request("a", "b", "GET", "/x")
+                    .with_request_id(format!("test-{}", index / 2))
+                    .with_timestamp(ts),
+            );
+        } else {
+            let status = if index % 10 == 1 { 503 } else { 200 };
+            store.record_event(
+                Event::response("a", "b", status, Duration::from_millis(2))
+                    .with_request_id(format!("test-{}", index / 2))
+                    .with_timestamp(ts),
+            );
+        }
+    }
+    store
+}
+
+/// The pattern checks of Table 3 over growing observation logs.
+fn bench_assertions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control/assertions");
+    for &events in &[1_000usize, 10_000, 100_000] {
+        let checker = AssertionChecker::new(synthetic_log(events));
+        let pattern = Pattern::new("test-*");
+        group.bench_with_input(
+            BenchmarkId::new("has_bounded_retries", events),
+            &checker,
+            |b, checker| {
+                b.iter(|| {
+                    std::hint::black_box(checker.has_bounded_retries("a", "b", 5, &pattern))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("has_circuit_breaker", events),
+            &checker,
+            |b, checker| {
+                b.iter(|| {
+                    std::hint::black_box(checker.has_circuit_breaker(
+                        "a",
+                        "b",
+                        5,
+                        Duration::from_secs(60),
+                        1,
+                        &pattern,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The `Combine` state machine over a pre-fetched RList.
+fn bench_combine(c: &mut Criterion) {
+    let store = synthetic_log(10_000);
+    let checker = AssertionChecker::new(store);
+    let events = checker.get_edge_events("a", "b", &Pattern::Any);
+    let steps = [
+        CombineStep::CheckStatus {
+            status: 503,
+            num_match: 5,
+            view: View::Observed,
+        },
+        CombineStep::AtMostRequests {
+            tdelta: Duration::from_secs(60),
+            view: View::Observed,
+            num: 1_000_000,
+        },
+    ];
+    c.bench_function("control/combine_chain_10k", |b| {
+        b.iter(|| std::hint::black_box(combine(&events, &steps)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_translation,
+    bench_orchestration,
+    bench_assertions,
+    bench_combine
+);
+criterion_main!(benches);

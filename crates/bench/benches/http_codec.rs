@@ -1,0 +1,113 @@
+//! Criterion benches for the HTTP codec — the per-message cost floor
+//! of everything the data plane does.
+
+use std::io::BufReader;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gremlin_http::codec::{read_request, read_response, write_request, write_response};
+use gremlin_http::{Method, Request, Response, StatusCode};
+
+fn sample_request(body_size: usize) -> Vec<u8> {
+    let request = Request::builder(Method::Post, "/api/v1/search?q=payments&limit=10")
+        .header("Host", "catalog.internal")
+        .header("Accept", "application/json")
+        .header("User-Agent", "gremlin-bench/0.1")
+        .request_id("test-123456")
+        .body("x".repeat(body_size))
+        .build();
+    let mut buf = Vec::new();
+    write_request(&mut buf, &request).unwrap();
+    buf
+}
+
+fn sample_response(body_size: usize) -> Vec<u8> {
+    let response = Response::builder(StatusCode::OK)
+        .header("Content-Type", "application/json")
+        .header("Server", "gremlin-mesh")
+        .request_id("test-123456")
+        .body("y".repeat(body_size))
+        .build();
+    let mut buf = Vec::new();
+    write_response(&mut buf, &response).unwrap();
+    buf
+}
+
+fn bench_parse_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/parse_request");
+    for &body in &[0usize, 256, 4096, 65536] {
+        let raw = sample_request(body);
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(body), &raw, |b, raw| {
+            b.iter(|| {
+                let mut reader = BufReader::new(&raw[..]);
+                std::hint::black_box(read_request(&mut reader).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec/parse_response");
+    for &body in &[0usize, 4096] {
+        let raw = sample_response(body);
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(body), &raw, |b, raw| {
+            b.iter(|| {
+                let mut reader = BufReader::new(&raw[..]);
+                std::hint::black_box(read_response(&mut reader).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let request = Request::builder(Method::Get, "/api/v1/items")
+        .header("Host", "svc")
+        .request_id("test-1")
+        .build();
+    c.bench_function("codec/write_request", |b| {
+        let mut buf = Vec::with_capacity(512);
+        b.iter(|| {
+            buf.clear();
+            write_request(&mut buf, &request).unwrap();
+            std::hint::black_box(buf.len())
+        })
+    });
+    let response = Response::ok("0123456789abcdef");
+    c.bench_function("codec/write_response", |b| {
+        let mut buf = Vec::with_capacity(512);
+        b.iter(|| {
+            buf.clear();
+            write_response(&mut buf, &response).unwrap();
+            std::hint::black_box(buf.len())
+        })
+    });
+}
+
+fn bench_chunked_body(c: &mut Criterion) {
+    // A chunked response re-framed by the codec.
+    let mut raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+    for _ in 0..64 {
+        raw.extend_from_slice(b"40\r\n");
+        raw.extend_from_slice(&[b'z'; 0x40]);
+        raw.extend_from_slice(b"\r\n");
+    }
+    raw.extend_from_slice(b"0\r\n\r\n");
+    c.bench_function("codec/parse_chunked_response", |b| {
+        b.iter(|| {
+            let mut reader = BufReader::new(&raw[..]);
+            std::hint::black_box(read_response(&mut reader).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse_request,
+    bench_parse_response,
+    bench_serialize,
+    bench_chunked_body
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! End-to-end Criterion benches over real sockets: what a request
+//! pays for passing through a Gremlin agent, with and without rules
+//! installed, versus talking to the backend directly.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gremlin_http::{ConnInfo, HttpClient, HttpServer, Request, Response};
+use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, Rule};
+use gremlin_store::EventStore;
+
+struct Rig {
+    _backend: HttpServer,
+    agent: GremlinAgent,
+    client: HttpClient,
+    direct: SocketAddr,
+}
+
+fn rig() -> Rig {
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("ok")
+    })
+    .expect("backend");
+    let agent = GremlinAgent::start(
+        AgentConfig::new("client").route("server", vec![backend.local_addr()]),
+        EventStore::shared(),
+    )
+    .expect("agent");
+    let direct = backend.local_addr();
+    Rig {
+        _backend: backend,
+        agent,
+        client: HttpClient::new(),
+        direct,
+    }
+}
+
+fn request() -> Request {
+    Request::builder(gremlin_http::Method::Get, "/bench")
+        .request_id("test-bench")
+        .build()
+}
+
+/// Baseline: the backend without any proxy in the path.
+fn bench_direct(c: &mut Criterion) {
+    let rig = rig();
+    let mut group = c.benchmark_group("proxy_e2e");
+    group.sample_size(30);
+    group.bench_function("direct_backend", |b| {
+        b.iter(|| {
+            std::hint::black_box(rig.client.send(rig.direct, request()).expect("send"))
+        })
+    });
+    group.finish();
+}
+
+/// Through the agent with varying rule counts (none matching).
+fn bench_through_agent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("proxy_e2e/through_agent");
+    group.sample_size(30);
+    for &rules in &[0usize, 100, 10_000] {
+        let rig = rig();
+        rig.agent
+            .install_rules(
+                (0..rules)
+                    .map(|i| {
+                        Rule::abort("client", "server", AbortKind::Status(503))
+                            .with_pattern(format!("nomatch-{i}-*?x").as_str())
+                    })
+                    .collect(),
+            )
+            .expect("install");
+        let addr = rig.agent.route_addr("server").expect("route");
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rig, |b, rig| {
+            b.iter(|| std::hint::black_box(rig.client.send(addr, request()).expect("send")))
+        });
+    }
+    group.finish();
+}
+
+/// The cost of a synthesized abort (no backend round-trip at all).
+fn bench_abort_short_circuit(c: &mut Criterion) {
+    let rig = rig();
+    rig.agent
+        .install_rules(vec![
+            Rule::abort("client", "server", AbortKind::Status(503)).with_pattern("test-*"),
+        ])
+        .expect("install");
+    let addr = rig.agent.route_addr("server").expect("route");
+    let mut group = c.benchmark_group("proxy_e2e");
+    group.sample_size(30);
+    group.bench_function("synthesized_abort", |b| {
+        b.iter(|| std::hint::black_box(rig.client.send(addr, request()).expect("send")))
+    });
+    group.finish();
+}
+
+/// Delay rules: the injected interval should dominate; measured to
+/// confirm injection accuracy at bench granularity.
+fn bench_delay_accuracy(c: &mut Criterion) {
+    let rig = rig();
+    rig.agent
+        .install_rules(vec![Rule::delay(
+            "client",
+            "server",
+            Duration::from_millis(2),
+        )
+        .with_pattern("test-*")])
+        .expect("install");
+    let addr = rig.agent.route_addr("server").expect("route");
+    let mut group = c.benchmark_group("proxy_e2e");
+    group.sample_size(20);
+    group.bench_function("delay_2ms_injection", |b| {
+        b.iter(|| std::hint::black_box(rig.client.send(addr, request()).expect("send")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct,
+    bench_through_agent,
+    bench_abort_short_circuit,
+    bench_delay_accuracy
+);
+criterion_main!(benches);

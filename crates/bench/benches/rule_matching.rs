@@ -1,0 +1,113 @@
+//! Criterion benches behind Figure 8: the agent's rule-matching hot
+//! path, including the ablation the paper's §7.2 suggests —
+//! structured (prefix) request IDs vs full glob comparison.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gremlin_proxy::{AbortKind, MessageSide, Rule, RuleTable};
+use gremlin_store::Pattern;
+
+/// Worst case (Figure 8): the request is compared against all
+/// installed rules and matches none.
+fn bench_no_match_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_table/no_match_scan");
+    for rules in [1usize, 5, 10, 50, 100, 200] {
+        let table = RuleTable::new();
+        table
+            .install(
+                (0..rules)
+                    .map(|i| {
+                        Rule::abort("a", "b", AbortKind::Status(503))
+                            .with_pattern(format!("nomatch-{i}-*?x").as_str())
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &table, |b, table| {
+            b.iter(|| {
+                std::hint::black_box(table.match_message(
+                    "a",
+                    "b",
+                    MessageSide::Request,
+                    Some("test-12345"),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// First-rule hit: the cost floor of a match.
+fn bench_first_hit(c: &mut Criterion) {
+    let table = RuleTable::new();
+    table
+        .install(vec![
+            Rule::abort("a", "b", AbortKind::Status(503)).with_pattern("test-*")
+        ])
+        .unwrap();
+    c.bench_function("rule_table/first_hit", |b| {
+        b.iter(|| {
+            std::hint::black_box(table.match_message(
+                "a",
+                "b",
+                MessageSide::Request,
+                Some("test-12345"),
+            ))
+        })
+    });
+}
+
+/// Ablation: pattern-compilation fast paths. Prefix-classified
+/// patterns (structured IDs, the paper's suggested optimization)
+/// versus general glob matching of equivalent selectivity.
+fn bench_pattern_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern/forms");
+    let id = "test-abcdef-0123456789";
+    let cases = [
+        ("exact", Pattern::new("test-abcdef-0123456789")),
+        ("prefix", Pattern::new("test-abcdef-*")),
+        ("glob", Pattern::new("test-*-0123456789")),
+        ("glob_heavy", Pattern::new("*e*t*-*c*e*-??2*9")),
+        ("any", Pattern::Any),
+    ];
+    for (name, pattern) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pattern, |b, pattern| {
+            b.iter(|| std::hint::black_box(pattern.matches(std::hint::black_box(id))))
+        });
+    }
+    group.finish();
+}
+
+/// Probability sampling cost when rules carry fractional
+/// probabilities (Overload's 25% abort split).
+fn bench_probabilistic_match(c: &mut Criterion) {
+    let table = RuleTable::with_seed(7);
+    table
+        .install(vec![
+            Rule::abort("a", "b", AbortKind::Status(503))
+                .with_pattern("test-*")
+                .with_probability(0.25),
+            Rule::delay("a", "b", Duration::from_millis(100)).with_pattern("test-*"),
+        ])
+        .unwrap();
+    c.bench_function("rule_table/probabilistic_fallback", |b| {
+        b.iter(|| {
+            std::hint::black_box(table.match_message(
+                "a",
+                "b",
+                MessageSide::Request,
+                Some("test-1"),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_no_match_scan,
+    bench_first_hit,
+    bench_pattern_forms,
+    bench_probabilistic_match
+);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches for the observation store: the query path the
+//! Assertion Checker depends on, with the DESIGN.md ablation —
+//! edge-indexed retrieval vs a full scan.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gremlin_store::{Event, EventStore, Pattern, Query};
+
+/// Populates a store with `events` observations spread over
+/// `edges` distinct service pairs.
+fn populate(events: usize, edges: usize) -> EventStore {
+    let store = EventStore::new();
+    for index in 0..events {
+        let edge = index % edges;
+        let src = format!("svc-{edge}");
+        let dst = format!("svc-{}", edge + 1);
+        let event = if index % 2 == 0 {
+            Event::request(src, dst, "GET", "/api")
+        } else {
+            Event::response(src, dst, 200, Duration::from_millis(3))
+        }
+        .with_request_id(format!("test-{index}"))
+        .with_timestamp(index as u64);
+        store.record_event(event);
+    }
+    store
+}
+
+/// Indexed path: src+dst named, the edge index narrows the scan.
+fn bench_indexed_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/indexed_edge_query");
+    for &events in &[1_000usize, 10_000, 100_000] {
+        let store = populate(events, 16);
+        let query = Query::requests("svc-3", "svc-4").with_id_pattern(Pattern::new("test-*"));
+        group.bench_with_input(BenchmarkId::from_parameter(events), &store, |b, store| {
+            b.iter(|| std::hint::black_box(store.query(&query)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the same retrieval without the index (src unset forces a
+/// full scan with a src filter via the pattern instead).
+fn bench_full_scan_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/full_scan_query");
+    for &events in &[1_000usize, 10_000, 100_000] {
+        let store = populate(events, 16);
+        // No src/dst: the store must scan everything.
+        let query = Query {
+            kind: gremlin_store::KindFilter::Requests,
+            id_pattern: Some(Pattern::new("test-1*")),
+            ..Query::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(events), &store, |b, store| {
+            b.iter(|| std::hint::black_box(store.query(&query)))
+        });
+    }
+    group.finish();
+}
+
+/// Count-only queries avoid materializing events.
+fn bench_count(c: &mut Criterion) {
+    let store = populate(100_000, 16);
+    let query = Query::requests("svc-3", "svc-4");
+    c.bench_function("store/count_vs_query", |b| {
+        b.iter(|| std::hint::black_box(store.count(&query)))
+    });
+}
+
+/// Append throughput: the data plane's logging hot path.
+fn bench_append(c: &mut Criterion) {
+    c.bench_function("store/append", |b| {
+        let store = EventStore::new();
+        let mut index = 0u64;
+        b.iter(|| {
+            index += 1;
+            store.record_event(
+                Event::request("a", "b", "GET", "/x")
+                    .with_request_id("test-1")
+                    .with_timestamp(index),
+            );
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_indexed_query,
+    bench_full_scan_query,
+    bench_count,
+    bench_append
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Figure 5 — CDFs of response times from WordPress, for injected
+//! delays of 1 s, 2 s, 3 s and 4 s between WordPress and
+//! Elasticsearch (paper §7.1).
+//!
+//! Expected shape: with no timeout pattern in ElasticPress, every
+//! CDF's left edge sits exactly at the injected delay — "quickest
+//! response times were dictated by the delay".
+//!
+//! Run: `cargo run --release -p gremlin-bench --bin fig5_wordpress_delay`
+//! (`GREMLIN_SCALE=1` for paper-scale delays.)
+
+use std::error::Error;
+use std::time::Duration;
+
+use gremlin_bench::{cdf_row, scaled};
+use gremlin_core::{AppGraph, Scenario, TestContext};
+use gremlin_loadgen::LoadGenerator;
+use gremlin_mesh::behaviors::{FallbackSearch, StaticResponder};
+use gremlin_mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+
+fn deploy() -> Result<(Deployment, TestContext), Box<dyn Error>> {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new(
+            "elasticsearch",
+            StaticResponder::ok("es-hits"),
+        ))
+        .service(ServiceSpec::new("mysql", StaticResponder::ok("sql-rows")))
+        .service(
+            ServiceSpec::new(
+                "wordpress",
+                FallbackSearch::new("elasticsearch", "mysql", "/search"),
+            )
+            .dependency("elasticsearch", ResiliencePolicy::new())
+            .dependency("mysql", ResiliencePolicy::new()),
+        )
+        .ingress("user", "wordpress")
+        .build()?;
+    let graph = AppGraph::from_edges(vec![
+        ("user", "wordpress"),
+        ("wordpress", "elasticsearch"),
+        ("wordpress", "mysql"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    Ok((deployment, ctx))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("Figure 5: WordPress response-time CDFs vs injected delay");
+    println!(
+        "(paper delays 1s/2s/3s/4s, scaled by GREMLIN_SCALE={})\n",
+        gremlin_bench::time_scale()
+    );
+
+    let requests = 50;
+    let mut floors = Vec::new();
+    for paper_secs in [1u64, 2, 3, 4] {
+        let injected = scaled(Duration::from_secs(paper_secs));
+        let (deployment, ctx) = deploy()?;
+        ctx.inject(
+            &Scenario::delay("wordpress", "elasticsearch", injected).with_pattern("test-*"),
+        )?;
+        let report = LoadGenerator::new(deployment.entry_addr("wordpress").expect("entry"))
+            .path("/search")
+            .id_prefix("test")
+            .read_timeout(Some(injected * 10 + Duration::from_secs(5)))
+            .run_sequential(requests);
+        let cdf = report.cdf();
+        println!("{}", cdf_row(&format!("delay {paper_secs}s:"), &cdf));
+        gremlin_bench::export_cdf_csv(&format!("fig5_delay_{paper_secs}s"), &cdf)?;
+        let floor = report.summary().expect("non-empty").min;
+        floors.push((injected, floor));
+    }
+
+    println!("\nshape check (paper: response floor == injected delay):");
+    let mut all_hold = true;
+    for (injected, floor) in floors {
+        let holds = floor >= injected;
+        all_hold &= holds;
+        println!(
+            "  injected {:>8} -> fastest response {:>8}  {}",
+            gremlin_bench::ms(injected),
+            gremlin_bench::ms(floor),
+            if holds { "OK (no timeout pattern)" } else { "UNEXPECTED" }
+        );
+    }
+    println!(
+        "\nverdict: {}",
+        if all_hold {
+            "response times always offset by the injected delay — ElasticPress implements no timeout (matches paper)"
+        } else {
+            "some responses beat the injected delay — investigate"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! Figure 6 — CDFs of WordPress response times: first 100 aborted
+//! requests, then 100 requests delayed by 3 s (paper §7.1).
+//!
+//! Expected shape: with no circuit breaker, *none* of the delayed
+//! requests return before the injected delay. A contrast run with a
+//! correct breaker shows the opposite — a portion of the requests
+//! returns immediately.
+//!
+//! Run: `cargo run --release -p gremlin-bench --bin fig6_circuit_breaker`
+
+use std::error::Error;
+use std::time::Duration;
+
+use gremlin_bench::{cdf_row, scaled};
+use gremlin_core::{AppGraph, Scenario, TestContext};
+use gremlin_loadgen::{LoadGenerator, LoadReport};
+use gremlin_mesh::behaviors::{FallbackSearch, StaticResponder};
+use gremlin_mesh::resilience::CircuitBreakerConfig;
+use gremlin_mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin_store::Pattern;
+
+fn deploy(es_policy: ResiliencePolicy) -> Result<(Deployment, TestContext), Box<dyn Error>> {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new(
+            "elasticsearch",
+            StaticResponder::ok("es-hits"),
+        ))
+        .service(ServiceSpec::new("mysql", StaticResponder::ok("sql-rows")))
+        .service(
+            ServiceSpec::new(
+                "wordpress",
+                FallbackSearch::new("elasticsearch", "mysql", "/search"),
+            )
+            .dependency("elasticsearch", es_policy)
+            .dependency("mysql", ResiliencePolicy::new()),
+        )
+        .ingress("user", "wordpress")
+        .build()?;
+    let graph = AppGraph::from_edges(vec![
+        ("user", "wordpress"),
+        ("wordpress", "elasticsearch"),
+        ("wordpress", "mysql"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    Ok((deployment, ctx))
+}
+
+struct RunOutput {
+    aborted: LoadReport,
+    delayed: LoadReport,
+    fast_delayed: usize,
+    breaker_check_passed: bool,
+}
+
+fn run(es_policy: ResiliencePolicy, delay: Duration) -> Result<RunOutput, Box<dyn Error>> {
+    let (deployment, ctx) = deploy(es_policy)?;
+    let generator = LoadGenerator::new(deployment.entry_addr("wordpress").expect("entry"))
+        .path("/search")
+        .id_prefix("test")
+        .read_timeout(Some(delay * 10 + Duration::from_secs(5)));
+
+    // Phase 1: 100 consecutive aborted requests.
+    ctx.inject(&Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"))?;
+    let aborted = generator.clone().run_sequential(100);
+
+    // Phase 2: the next 100 requests delayed.
+    ctx.clear_faults()?;
+    ctx.inject(&Scenario::delay("wordpress", "elasticsearch", delay).with_pattern("test-*"))?;
+    let delayed = generator.run_sequential(100);
+    let fast_delayed = delayed.latencies().iter().filter(|l| **l < delay).count();
+
+    let check = ctx.checker().has_circuit_breaker(
+        "wordpress",
+        "elasticsearch",
+        100,
+        Duration::from_secs(30),
+        1,
+        &Pattern::new("test-*"),
+    );
+    Ok(RunOutput {
+        aborted,
+        delayed,
+        fast_delayed,
+        breaker_check_passed: check.passed,
+    })
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let delay = scaled(Duration::from_secs(3));
+    println!(
+        "Figure 6: 100 aborted then 100 delayed requests (paper delay 3s, scaled to {})\n",
+        gremlin_bench::ms(delay)
+    );
+
+    println!("--- ElasticPress as shipped (no circuit breaker) ---");
+    let shipped = run(ResiliencePolicy::new(), delay)?;
+    println!("{}", cdf_row("aborted:", &shipped.aborted.cdf()));
+    println!("{}", cdf_row("delayed:", &shipped.delayed.cdf()));
+    gremlin_bench::export_cdf_csv("fig6_no_breaker_aborted", &shipped.aborted.cdf())?;
+    gremlin_bench::export_cdf_csv("fig6_no_breaker_delayed", &shipped.delayed.cdf())?;
+    println!(
+        "delayed requests returning before the delay: {} / {} (paper: 0)",
+        shipped.fast_delayed,
+        shipped.delayed.len()
+    );
+    println!(
+        "HasCircuitBreaker assertion: {}\n",
+        if shipped.breaker_check_passed { "PASS (unexpected)" } else { "FAIL (matches paper)" }
+    );
+
+    println!("--- contrast: same plugin with a correct circuit breaker ---");
+    let fixed = run(
+        ResiliencePolicy::new().circuit_breaker(CircuitBreakerConfig {
+            failure_threshold: 5,
+            open_duration: Duration::from_secs(60),
+            success_threshold: 1,
+        }),
+        delay,
+    )?;
+    println!("{}", cdf_row("aborted:", &fixed.aborted.cdf()));
+    println!("{}", cdf_row("delayed:", &fixed.delayed.cdf()));
+    println!(
+        "delayed requests returning before the delay: {} / {} (breaker short-circuits)",
+        fixed.fast_delayed,
+        fixed.delayed.len()
+    );
+
+    println!(
+        "\nverdict: {}",
+        if shipped.fast_delayed == 0 && fixed.fast_delayed > 0 {
+            "no delayed request returned early without a breaker; with one, requests short-circuit — matches the paper's Figure 6 finding"
+        } else {
+            "unexpected shape — investigate"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Figure 7 — time to orchestrate an outage and run assertions as a
+//! function of the number of services (paper §7.2).
+//!
+//! Setup, as in the paper: binary trees of depth 0..=4 (1, 3, 7, 15
+//! and 31 services), a Delay fault impacting every service, 100 test
+//! requests injected, then one assertion executed per service.
+//!
+//! Expected shape: orchestration and assertion times grow roughly
+//! linearly with service count and stay far below one second; even
+//! counting the 100 test requests, a whole test completes in about a
+//! second.
+//!
+//! Run: `cargo run --release -p gremlin-bench --bin fig7_scaling`
+
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use gremlin_bench::{build_tree, ms};
+use gremlin_core::Scenario;
+use gremlin_loadgen::LoadGenerator;
+use gremlin_store::Pattern;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("Figure 7: orchestration + assertion time vs number of services\n");
+    println!(
+        "{:>9} | {:>8} | {:>13} | {:>12} | {:>12} | {:>12}",
+        "services", "rules", "orchestration", "assertions", "load(100req)", "total"
+    );
+
+    let pattern = Pattern::new("test-*");
+    let mut rows = Vec::new();
+    for depth in 0..=4u32 {
+        let services = (1usize << (depth + 1)) - 1;
+        let (deployment, ctx) = build_tree(depth)?;
+        let total_started = Instant::now();
+
+        // Stage a Delay fault impacting every service: delay requests
+        // into the root (every edge below is exercised by the tree
+        // fan-out; for >1 service also delay every internal edge).
+        let orch_started = Instant::now();
+        let mut rules_installed = 0;
+        // Delay on the user->root edge:
+        let stats = ctx.inject(
+            &Scenario::delay("user", "svc-0", Duration::from_millis(1)).with_pattern("test-*"),
+        )?;
+        rules_installed += stats.installations;
+        // And on every internal edge (consistent Delay fault, §7.2).
+        for (src, dst) in ctx.graph().edges() {
+            if src == "user" {
+                continue;
+            }
+            let stats = ctx.inject(
+                &Scenario::delay(src, dst, Duration::from_millis(1)).with_pattern("test-*"),
+            )?;
+            rules_installed += stats.installations;
+        }
+        let orchestration = orch_started.elapsed();
+
+        // Inject 100 test requests.
+        let load_started = Instant::now();
+        let report = LoadGenerator::new(deployment.entry_addr("svc-0").expect("entry"))
+            .path("/tree")
+            .id_prefix("test")
+            .run_closed(4, 25);
+        let load = load_started.elapsed();
+        assert_eq!(report.successes(), 100, "all test requests must succeed");
+
+        // Run an assertion for every service.
+        let assert_started = Instant::now();
+        let mut passed = 0;
+        for service in ctx.graph().services() {
+            if service == "user" {
+                continue;
+            }
+            let check = ctx
+                .checker()
+                .has_timeouts(&service, Duration::from_secs(30), &pattern);
+            if check.passed {
+                passed += 1;
+            }
+        }
+        let assertions = assert_started.elapsed();
+        let total = total_started.elapsed();
+        assert_eq!(passed, services, "every per-service assertion should pass");
+
+        println!(
+            "{:>9} | {:>8} | {:>13} | {:>12} | {:>12} | {:>12}",
+            services,
+            rules_installed,
+            ms(orchestration),
+            ms(assertions),
+            ms(load),
+            ms(total)
+        );
+        rows.push((services, orchestration, assertions, total));
+    }
+
+    println!("\nshape check (paper: low overhead, whole test ~1s at 31 services):");
+    let (_, orch_31, assert_31, total_31) = rows.last().copied().expect("rows");
+    println!(
+        "  31 services: orchestration {} + assertions {} (paper reports ~0.15s combined); total {}",
+        ms(orch_31),
+        ms(assert_31),
+        ms(total_31)
+    );
+    println!(
+        "  verdict: {}",
+        if orch_31 + assert_31 < Duration::from_secs(1) {
+            "orchestration and assertions stay well under a second — matches the paper's Figure 7"
+        } else {
+            "overhead exceeds a second — investigate"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! Figure 8 — worst-case overhead of rule matching in the Gremlin
+//! agent (paper §7.2).
+//!
+//! Setup, as in the paper: complete a series of HTTP requests to a
+//! server through the service proxy with different numbers of rules
+//! installed, in the worst case — request IDs are compared against
+//! every rule without matching any, prior to being forwarded.
+//!
+//! Expected shape: per-request time grows with the rule count; the
+//! growth is dominated by pattern comparison (the paper suggests
+//! prefix-structured IDs as the optimization — see the
+//! `rule_matching` criterion bench for that ablation).
+//!
+//! Run: `cargo run --release -p gremlin-bench --bin fig8_proxy_overhead`
+
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use gremlin_bench::cdf_row;
+use gremlin_http::{ConnInfo, HttpServer, Request, Response};
+use gremlin_loadgen::{Cdf, LoadGenerator};
+use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, MessageSide, Rule, RuleTable};
+use gremlin_store::EventStore;
+
+/// Part (a): the paper's exact measurement — per-request matching
+/// cost in isolation, 10 000 worst-case lookups per rule count.
+///
+/// Our glob matcher runs in nanoseconds where the paper's Go
+/// implementation took milliseconds, so this is where Figure 8's
+/// monotone growth is visible.
+fn direct_matching(rule_counts: &[usize], lookups: usize) {
+    println!("--- (a) rule-matching cost in isolation, {lookups} worst-case lookups ---");
+    let mut medians = Vec::new();
+    for &rules in rule_counts {
+        let table = RuleTable::new();
+        table
+            .install(
+                (0..rules)
+                    .map(|index| {
+                        Rule::abort("client", "server", AbortKind::Status(503))
+                            .with_pattern(format!("nomatch-{index}-*?suffix").as_str())
+                    })
+                    .collect(),
+            )
+            .expect("valid rules");
+        let mut samples = Vec::with_capacity(lookups);
+        for i in 0..lookups {
+            let id = format!("test-{i}");
+            let started = Instant::now();
+            let hit = table.match_message("client", "server", MessageSide::Request, Some(&id));
+            samples.push(started.elapsed());
+            assert!(hit.is_none());
+        }
+        let cdf = Cdf::from_latencies(&samples);
+        let median = cdf.quantile(0.5).expect("non-empty");
+        println!(
+            "{:>6} rules: median {:>9.3}us  p90 {:>9.3}us  p99 {:>9.3}us",
+            rules,
+            median.as_secs_f64() * 1e6,
+            cdf.quantile(0.9).expect("non-empty").as_secs_f64() * 1e6,
+            cdf.quantile(0.99).expect("non-empty").as_secs_f64() * 1e6,
+        );
+        medians.push((rules, median));
+    }
+    let (_, first) = medians[1]; // skip the 0-rule floor
+    let (_, last) = *medians.last().expect("non-empty");
+    println!(
+        "shape: median grows {:.3}us -> {:.3}us from {} to {} rules — {}\n",
+        first.as_secs_f64() * 1e6,
+        last.as_secs_f64() * 1e6,
+        medians[1].0,
+        medians.last().unwrap().0,
+        if last > first {
+            "monotone growth, matches Figure 8"
+        } else {
+            "no growth (matcher below timer resolution)"
+        }
+    );
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let requests_total = 10_000;
+    // The paper installs up to a few hundred rules; we extend the
+    // sweep upward because our matcher is orders of magnitude
+    // faster and the end-to-end effect only emerges at higher counts.
+    let rule_counts = [0usize, 1, 5, 10, 50, 100, 200, 2_000, 20_000];
+    println!(
+        "Figure 8: worst-case rule matching overhead, {requests_total} requests per setting\n"
+    );
+
+    direct_matching(&rule_counts, requests_total);
+
+    println!("--- (b) end-to-end through the proxy (paper's setup) ---");
+
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("ok")
+    })?;
+
+    let mut medians = Vec::new();
+    for &rules in &rule_counts {
+        // Fresh agent per setting so connection state is comparable.
+        let store = EventStore::shared();
+        let agent = GremlinAgent::start(
+            AgentConfig::new("client").route("server", vec![backend.local_addr()]),
+            store,
+        )?;
+        // Install non-matching rules: the glob pattern shares no
+        // prefix with the `test-*` IDs the load uses, so every
+        // request is compared against all of them and matches none.
+        let batch: Vec<Rule> = (0..rules)
+            .map(|index| {
+                Rule::abort("client", "server", AbortKind::Status(503))
+                    .with_pattern(format!("nomatch-{index}-*?suffix").as_str())
+            })
+            .collect();
+        agent.install_rules(batch)?;
+
+        let report = LoadGenerator::new(agent.route_addr("server").expect("route"))
+            .id_prefix("test")
+            .run_closed(4, requests_total / 4);
+        assert_eq!(report.successes(), requests_total);
+        assert_eq!(agent.rule_hits(), 0, "worst case: no rule may match");
+
+        let cdf = report.cdf();
+        println!("{}", cdf_row(&format!("{rules:>4} rules:"), &cdf));
+        gremlin_bench::export_cdf_csv(&format!("fig8_e2e_{rules}_rules"), &cdf)?;
+        medians.push((rules, cdf.quantile(0.5).expect("non-empty")));
+    }
+
+    println!("\nshape check (paper: overhead grows with the number of installed rules):");
+    for window in medians.windows(2) {
+        let (rules_a, median_a) = window[0];
+        let (rules_b, median_b) = window[1];
+        println!(
+            "  {rules_a:>4} -> {rules_b:>4} rules: median {} -> {}",
+            gremlin_bench::ms(median_a),
+            gremlin_bench::ms(median_b)
+        );
+    }
+    let (_, first) = medians[0];
+    let (_, last) = *medians.last().expect("non-empty");
+    println!(
+        "  verdict: {}",
+        if last >= first + Duration::from_micros(100) {
+            "per-request latency grows with rule count once matching work rivals the network floor — Figure 8's shape"
+        } else {
+            "growth hides below network jitter at low rule counts (our matcher is ~1000x faster than the paper's); see part (a) for the isolated cost"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,178 @@
+//! # gremlin-bench
+//!
+//! The benchmark harness regenerating every figure of the Gremlin
+//! paper's evaluation (§7.2), plus the ablation benches called out in
+//! `DESIGN.md`.
+//!
+//! Figure binaries (run with `cargo run --release -p gremlin-bench
+//! --bin <name>`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig5_wordpress_delay` | Fig. 5 — WordPress response-time CDFs under injected delay |
+//! | `fig6_circuit_breaker` | Fig. 6 — aborted batch then delayed batch, breaker absent vs present |
+//! | `fig7_scaling` | Fig. 7 — orchestration + assertion time vs number of services |
+//! | `fig8_proxy_overhead` | Fig. 8 — worst-case rule-matching overhead CDFs |
+//!
+//! Criterion benches (`cargo bench -p gremlin-bench`) cover the hot
+//! paths behind those figures: rule matching, pattern matching,
+//! store queries, the HTTP codec, and scenario translation.
+//!
+//! Experiments scale with the `GREMLIN_SCALE` environment variable
+//! (default `0.1`, i.e. delays are 10% of the paper's to keep runs
+//! fast; set `GREMLIN_SCALE=1` for paper-scale parameters).
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use gremlin_core::{AppGraph, TestContext};
+use gremlin_loadgen::Cdf;
+use gremlin_mesh::behaviors::TreeNode;
+use gremlin_mesh::{Deployment, MeshError, ResiliencePolicy, ServiceSpec};
+
+/// The time-scale factor for experiments (`GREMLIN_SCALE`, default
+/// 0.1). Multiply paper durations by this to get run durations.
+pub fn time_scale() -> f64 {
+    std::env::var("GREMLIN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|v: &f64| *v > 0.0)
+        .unwrap_or(0.1)
+}
+
+/// Scales a paper-reported duration by [`time_scale`].
+pub fn scaled(paper: Duration) -> Duration {
+    paper.mul_f64(time_scale())
+}
+
+/// Builds the §7.2 benchmark application: a complete binary tree of
+/// services of the given depth (depth 0..=4 gives 1, 3, 7, 15, 31
+/// services), each node calling its children, all edges proxied by
+/// Gremlin agents, with a `user` ingress at the root.
+///
+/// # Errors
+///
+/// Returns an error if the deployment fails to start.
+pub fn build_tree(depth: u32) -> Result<(Deployment, TestContext), MeshError> {
+    let tree = AppGraph::binary_tree(depth);
+    let mut builder = Deployment::builder();
+    // Start leaves before parents so dependency instances exist; the
+    // deployment registers services before agents, so ordering only
+    // needs services themselves — any order works. Iterate by index
+    // descending for clarity.
+    let mut names: Vec<String> = tree.services();
+    names.sort_by_key(|name| {
+        std::cmp::Reverse(
+            name.trim_start_matches("svc-")
+                .parse::<usize>()
+                .unwrap_or(0),
+        )
+    });
+    for name in &names {
+        let children = tree.dependencies(name);
+        let mut spec = ServiceSpec::new(name.clone(), TreeNode::new(children.clone()));
+        for child in children {
+            spec = spec.dependency(
+                child,
+                ResiliencePolicy::new().timeout(Duration::from_secs(10)),
+            );
+        }
+        builder = builder.service(spec);
+    }
+    let deployment = builder.ingress("user", "svc-0").build()?;
+
+    let mut graph = tree;
+    graph.add_edge("user", "svc-0");
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    Ok((deployment, ctx))
+}
+
+/// Formats a CDF as the fixed-quantile row the figure binaries print.
+pub fn cdf_row(label: &str, cdf: &Cdf) -> String {
+    let mut row = format!("{label:<14}");
+    if cdf.is_empty() {
+        row.push_str(" (no samples)");
+        return row;
+    }
+    for (q, latency) in cdf.to_rows(10) {
+        row.push_str(&format!(
+            " {:>7.1}ms@{:>3.0}%",
+            latency.as_secs_f64() * 1000.0,
+            q * 100.0
+        ));
+    }
+    row
+}
+
+/// Pretty-prints a millisecond duration with two decimals.
+pub fn ms(duration: Duration) -> String {
+    format!("{:.2}ms", duration.as_secs_f64() * 1000.0)
+}
+
+/// Writes CDF samples to `$GREMLIN_CSV_DIR/<name>.csv` (one
+/// `latency_us,fraction` row per sample) so the figures can be
+/// re-plotted externally. A no-op when the variable is unset.
+///
+/// # Errors
+///
+/// Returns I/O errors when the directory is set but unwritable.
+pub fn export_cdf_csv(name: &str, cdf: &Cdf) -> std::io::Result<Option<std::path::PathBuf>> {
+    let Ok(dir) = std::env::var("GREMLIN_CSV_DIR") else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(&dir)?;
+    let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+    let mut body = String::from("latency_us,fraction\n");
+    for (latency, fraction) in cdf.points() {
+        body.push_str(&format!("{},{fraction}\n", latency.as_micros()));
+    }
+    std::fs::write(&path, body)?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_loadgen::LoadGenerator;
+
+    #[test]
+    fn scale_defaults() {
+        // Do not mutate the environment (tests run concurrently);
+        // just sanity-check the default path.
+        let scale = time_scale();
+        assert!(scale > 0.0);
+        assert_eq!(
+            scaled(Duration::from_secs(1)),
+            Duration::from_secs(1).mul_f64(scale)
+        );
+    }
+
+    #[test]
+    fn tree_deployment_traverses_fully() {
+        let (deployment, ctx) = build_tree(2).unwrap();
+        assert_eq!(ctx.graph().services().len(), 8); // 7 + user
+        let report = LoadGenerator::new(deployment.entry_addr("svc-0").unwrap())
+            .path("/tree")
+            .id_prefix("test")
+            .run_sequential(3);
+        assert_eq!(report.successes(), 3);
+        // Root reports 6 descendants.
+        let resp = deployment.call_with_id("svc-0", "/tree", "test-x").unwrap();
+        assert_eq!(resp.body_str(), "6");
+    }
+
+    #[test]
+    fn cdf_row_formats() {
+        let cdf = Cdf::from_latencies(&[Duration::from_millis(5), Duration::from_millis(10)]);
+        let row = cdf_row("x", &cdf);
+        assert!(row.contains("ms@"));
+        let empty = cdf_row("y", &Cdf::from_latencies(&[]));
+        assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.00ms");
+    }
+}

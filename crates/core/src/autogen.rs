@@ -1,0 +1,384 @@
+//! Automatic recipe generation — the paper's §9 future-work
+//! direction: *"Given semantic annotations to the application graph,
+//! it might be possible to automatically identify microservices and
+//! resiliency patterns in need of testing, then construct and run
+//! appropriate recipes."*
+//!
+//! [`RecipeGenerator`] walks the application graph and derives, for
+//! every caller→callee edge, the systematic test matrix the paper's
+//! §2.1 patterns imply:
+//!
+//! * a **disconnect** probing bounded retries;
+//! * a **crash** (TCP reset) probing the circuit breaker;
+//! * a **hang** probing the caller's timeout;
+//! * for services with several dependencies, a **hang of one
+//!   dependency** probing the bulkhead.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use gremlin_store::Pattern;
+
+/// Serde helper storing `Duration` as integer microseconds.
+mod duration_micros {
+    use super::*;
+    use serde::Deserializer;
+
+    pub fn serialize<S: serde::Serializer>(
+        value: &Duration,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(value.as_micros() as u64)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Duration, D::Error> {
+        let micros = u64::deserialize(deserializer)?;
+        Ok(Duration::from_micros(micros))
+    }
+}
+
+use crate::checker::{AssertionChecker, Check};
+use crate::graph::AppGraph;
+use crate::scenarios::Scenario;
+
+/// The resiliency expectations used when generating assertions.
+#[derive(Debug, Clone)]
+pub struct Expectations {
+    /// Retry budget per failing call (`HasBoundedRetries`).
+    pub max_tries: usize,
+    /// Failures that must trip a breaker (`HasCircuitBreaker`).
+    pub breaker_threshold: usize,
+    /// Open window the breaker must honour.
+    pub breaker_window: Duration,
+    /// Probe successes to close the breaker.
+    pub breaker_success_threshold: usize,
+    /// Upper bound on a service's reply latency under dependency
+    /// failure (`HasTimeouts`).
+    pub max_latency: Duration,
+    /// Injected hang used when probing timeouts and bulkheads.
+    pub hang: Duration,
+    /// Minimum request rate to healthy dependencies during a hang
+    /// (`HasBulkHead`).
+    pub min_rate: f64,
+}
+
+impl Default for Expectations {
+    fn default() -> Self {
+        Expectations {
+            max_tries: 5,
+            breaker_threshold: 5,
+            breaker_window: Duration::from_secs(30),
+            breaker_success_threshold: 1,
+            max_latency: Duration::from_secs(1),
+            hang: Duration::from_secs(2),
+            min_rate: 1.0,
+        }
+    }
+}
+
+/// Which resiliency pattern a generated test probes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "probe", rename_all = "snake_case")]
+pub enum ProbedPattern {
+    /// `HasBoundedRetries(src, dst, max_tries)`.
+    BoundedRetries {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Allowed attempts.
+        max_tries: usize,
+    },
+    /// `HasCircuitBreaker(src, dst, threshold, window, success)`.
+    CircuitBreaker {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Failures tripping the breaker.
+        threshold: usize,
+        /// Open window.
+        #[serde(with = "duration_micros")]
+        window: Duration,
+        /// Probe successes to close.
+        success_threshold: usize,
+    },
+    /// `HasTimeouts(service, max_latency)`.
+    Timeouts {
+        /// The service whose replies are timed.
+        service: String,
+        /// Latency bound.
+        #[serde(with = "duration_micros")]
+        max_latency: Duration,
+    },
+    /// `HasBulkHead(src, slow_dst, min_rate)`.
+    Bulkhead {
+        /// Calling service.
+        src: String,
+        /// The degraded dependency.
+        slow_dst: String,
+        /// Required rate to the other dependencies.
+        min_rate: f64,
+    },
+}
+
+impl ProbedPattern {
+    /// Evaluates the probe against the collected observations.
+    pub fn evaluate(
+        &self,
+        checker: &AssertionChecker,
+        graph: &AppGraph,
+        pattern: &Pattern,
+    ) -> Check {
+        match self {
+            ProbedPattern::BoundedRetries { src, dst, max_tries } => {
+                checker.has_bounded_retries(src, dst, *max_tries, pattern)
+            }
+            ProbedPattern::CircuitBreaker {
+                src,
+                dst,
+                threshold,
+                window,
+                success_threshold,
+            } => checker.has_circuit_breaker(
+                src,
+                dst,
+                *threshold,
+                *window,
+                *success_threshold,
+                pattern,
+            ),
+            ProbedPattern::Timeouts {
+                service,
+                max_latency,
+            } => checker.has_timeouts(service, *max_latency, pattern),
+            ProbedPattern::Bulkhead {
+                src,
+                slow_dst,
+                min_rate,
+            } => checker.has_bulkhead(graph, src, slow_dst, *min_rate, pattern),
+        }
+    }
+}
+
+/// One automatically generated test: a failure to stage plus the
+/// pattern to probe afterwards.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedTest {
+    /// Descriptive name, e.g. `disconnect:webapp->db/bounded-retries`.
+    pub name: String,
+    /// The outage to stage.
+    pub scenario: Scenario,
+    /// The assertion to evaluate after driving load.
+    pub probe: ProbedPattern,
+}
+
+/// Generates the systematic per-edge test matrix for an application
+/// graph.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_core::autogen::RecipeGenerator;
+/// use gremlin_core::AppGraph;
+///
+/// let graph = AppGraph::from_edges(vec![("web", "db"), ("web", "cache")]);
+/// let tests = RecipeGenerator::new().exclude("user").generate(&graph);
+/// // 3 probes per edge + 1 bulkhead probe per multi-dependency service.
+/// assert_eq!(tests.len(), 2 * 3 + 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecipeGenerator {
+    expectations: Expectations,
+    pattern: Option<Pattern>,
+    exclude: BTreeSet<String>,
+}
+
+impl RecipeGenerator {
+    /// A generator with default [`Expectations`] and the `test-*`
+    /// flow pattern.
+    pub fn new() -> RecipeGenerator {
+        RecipeGenerator::default()
+    }
+
+    /// Overrides the expectations.
+    pub fn expectations(mut self, expectations: Expectations) -> RecipeGenerator {
+        self.expectations = expectations;
+        self
+    }
+
+    /// Overrides the request-ID pattern (default `test-*`).
+    pub fn pattern(mut self, pattern: impl Into<Pattern>) -> RecipeGenerator {
+        self.pattern = Some(pattern.into());
+        self
+    }
+
+    /// Excludes a service from acting as a test *source* (e.g. the
+    /// synthetic `user`).
+    pub fn exclude(mut self, service: impl Into<String>) -> RecipeGenerator {
+        self.exclude.insert(service.into());
+        self
+    }
+
+    /// The flow pattern generated scenarios are confined to.
+    pub fn flow_pattern(&self) -> Pattern {
+        self.pattern.clone().unwrap_or_else(|| Pattern::new("test-*"))
+    }
+
+    /// Walks `graph` and emits the test matrix.
+    pub fn generate(&self, graph: &AppGraph) -> Vec<GeneratedTest> {
+        let pattern = self.flow_pattern();
+        let expect = &self.expectations;
+        let mut tests = Vec::new();
+        for (src, dst) in graph.edges() {
+            if self.exclude.contains(&src) {
+                continue;
+            }
+            tests.push(GeneratedTest {
+                name: format!("disconnect:{src}->{dst}/bounded-retries"),
+                scenario: Scenario::disconnect(src.clone(), dst.clone())
+                    .with_pattern(pattern.clone()),
+                probe: ProbedPattern::BoundedRetries {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    max_tries: expect.max_tries,
+                },
+            });
+            tests.push(GeneratedTest {
+                name: format!("crash:{src}->{dst}/circuit-breaker"),
+                scenario: Scenario::abort_reset(src.clone(), dst.clone())
+                    .with_pattern(pattern.clone()),
+                probe: ProbedPattern::CircuitBreaker {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    threshold: expect.breaker_threshold,
+                    window: expect.breaker_window,
+                    success_threshold: expect.breaker_success_threshold,
+                },
+            });
+            tests.push(GeneratedTest {
+                name: format!("hang:{src}->{dst}/timeouts"),
+                scenario: Scenario::delay(src.clone(), dst.clone(), expect.hang)
+                    .with_pattern(pattern.clone()),
+                probe: ProbedPattern::Timeouts {
+                    service: src.clone(),
+                    max_latency: expect.max_latency,
+                },
+            });
+        }
+        // Bulkhead probes: one per (service, slow dependency) where
+        // the service has other dependencies to protect.
+        for service in graph.services() {
+            if self.exclude.contains(&service) {
+                continue;
+            }
+            let dependencies = graph.dependencies(&service);
+            if dependencies.len() < 2 {
+                continue;
+            }
+            for slow in &dependencies {
+                tests.push(GeneratedTest {
+                    name: format!("hang:{service}->{slow}/bulkhead"),
+                    scenario: Scenario::delay(service.clone(), slow.clone(), expect.hang)
+                        .with_pattern(pattern.clone()),
+                    probe: ProbedPattern::Bulkhead {
+                        src: service.clone(),
+                        slow_dst: slow.clone(),
+                        min_rate: expect.min_rate,
+                    },
+                });
+            }
+        }
+        tests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> AppGraph {
+        AppGraph::from_edges(vec![
+            ("user", "web"),
+            ("web", "db"),
+            ("web", "cache"),
+            ("cache", "db"),
+        ])
+    }
+
+    #[test]
+    fn generates_three_probes_per_edge() {
+        let tests = RecipeGenerator::new().exclude("user").generate(&graph());
+        // Edges excluding user->web: web->db, web->cache, cache->db.
+        let edge_tests = tests
+            .iter()
+            .filter(|t| !t.name.contains("/bulkhead"))
+            .count();
+        assert_eq!(edge_tests, 9);
+    }
+
+    #[test]
+    fn generates_bulkhead_probes_for_multi_dependency_services() {
+        let tests = RecipeGenerator::new().exclude("user").generate(&graph());
+        let bulkheads: Vec<_> = tests
+            .iter()
+            .filter(|t| t.name.contains("/bulkhead"))
+            .collect();
+        // Only "web" has 2+ dependencies; one probe per slow dep.
+        assert_eq!(bulkheads.len(), 2);
+        assert!(bulkheads.iter().all(|t| t.name.contains("web->")));
+    }
+
+    #[test]
+    fn excluded_sources_generate_nothing() {
+        let tests = RecipeGenerator::new()
+            .exclude("user")
+            .exclude("web")
+            .exclude("cache")
+            .generate(&graph());
+        assert!(tests.is_empty());
+    }
+
+    #[test]
+    fn scenarios_carry_the_flow_pattern() {
+        let tests = RecipeGenerator::new()
+            .pattern("probe-*")
+            .exclude("user")
+            .generate(&graph());
+        assert!(tests
+            .iter()
+            .all(|t| t.scenario.pattern == Pattern::new("probe-*")));
+    }
+
+    #[test]
+    fn all_scenarios_translate_over_the_graph() {
+        let g = graph();
+        for test in RecipeGenerator::new().exclude("user").generate(&g) {
+            let rules = test.scenario.to_rules(&g).expect("must translate");
+            assert!(!rules.is_empty(), "{}", test.name);
+        }
+    }
+
+    #[test]
+    fn probes_evaluate_against_empty_store_as_failures() {
+        let g = graph();
+        let checker = AssertionChecker::new(gremlin_store::EventStore::shared());
+        let generator = RecipeGenerator::new().exclude("user");
+        let pattern = generator.flow_pattern();
+        for test in generator.generate(&g) {
+            let check = test.probe.evaluate(&checker, &g, &pattern);
+            assert!(!check.passed, "{}: {check}", test.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let tests = RecipeGenerator::new().exclude("user").generate(&graph());
+        let mut names: Vec<_> = tests.iter().map(|t| &t.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), tests.len());
+    }
+}

@@ -1,0 +1,214 @@
+//! A Chaos-Monkey-style randomized fault injector — the baseline the
+//! paper contrasts Gremlin against (§8): *"Chaos Monkey … is capable
+//! of staging unforeseen faults … However, the tool lacks support for
+//! automatically analyzing application behavior … faults injected by
+//! Chaos Monkey cannot be constrained to a subset of requests or
+//! services."*
+//!
+//! [`ChaosMonkey`] samples random edges and random fault types from
+//! the application graph. Unlike Gremlin scenarios it carries no
+//! matching assertion — validation is the operator's problem — and by
+//! default it hits **all** traffic, not just `test-*` flows. The
+//! `systematic_vs_random` example uses it to measure how many trials
+//! each approach needs to expose a planted bug.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gremlin_store::Pattern;
+
+use crate::graph::AppGraph;
+use crate::scenarios::Scenario;
+
+/// The fault types the monkey samples from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Abort with 503.
+    Abort,
+    /// TCP reset.
+    Reset,
+    /// Delay by a random interval.
+    Delay,
+    /// Crash a whole service (every inbound edge).
+    Crash,
+}
+
+const ALL_FAULTS: [ChaosFault; 4] = [
+    ChaosFault::Abort,
+    ChaosFault::Reset,
+    ChaosFault::Delay,
+    ChaosFault::Crash,
+];
+
+/// A seeded random fault generator over an application graph.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_core::chaos::ChaosMonkey;
+/// use gremlin_core::AppGraph;
+///
+/// let graph = AppGraph::from_edges(vec![("a", "b"), ("b", "c")]);
+/// let mut monkey = ChaosMonkey::new(graph, 42);
+/// let scenario = monkey.next_scenario().unwrap();
+/// println!("unleashing: {scenario}");
+/// ```
+#[derive(Debug)]
+pub struct ChaosMonkey {
+    graph: AppGraph,
+    rng: StdRng,
+    pattern: Pattern,
+    max_delay: Duration,
+}
+
+impl ChaosMonkey {
+    /// Creates a monkey over `graph` with a deterministic seed.
+    pub fn new(graph: AppGraph, seed: u64) -> ChaosMonkey {
+        ChaosMonkey {
+            graph,
+            rng: StdRng::seed_from_u64(seed),
+            pattern: Pattern::Any,
+            max_delay: Duration::from_secs(2),
+        }
+    }
+
+    /// Confines the monkey's faults to a flow pattern (not something
+    /// the real Chaos Monkey can do — provided for fair comparisons).
+    pub fn with_pattern(mut self, pattern: impl Into<Pattern>) -> ChaosMonkey {
+        self.pattern = pattern.into();
+        self
+    }
+
+    /// Caps the random delay interval.
+    pub fn with_max_delay(mut self, max_delay: Duration) -> ChaosMonkey {
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Samples the next random failure scenario, or `None` when the
+    /// graph has no edges to break.
+    pub fn next_scenario(&mut self) -> Option<Scenario> {
+        let edges = self.graph.edges();
+        if edges.is_empty() {
+            return None;
+        }
+        let (src, dst) = edges[self.rng.gen_range(0..edges.len())].clone();
+        let fault = ALL_FAULTS[self.rng.gen_range(0..ALL_FAULTS.len())];
+        let scenario = match fault {
+            ChaosFault::Abort => Scenario::abort(src, dst, 503),
+            ChaosFault::Reset => Scenario::abort_reset(src, dst),
+            ChaosFault::Delay => {
+                let millis = self.rng.gen_range(1..=self.max_delay.as_millis().max(2) as u64);
+                Scenario::delay(src, dst, Duration::from_millis(millis))
+            }
+            ChaosFault::Crash => {
+                // Crash the *destination* service — every dependent
+                // edge — like terminating an instance.
+                Scenario::crash(dst)
+            }
+        };
+        Some(scenario.with_pattern(self.pattern.clone()))
+    }
+
+    /// Samples `count` scenarios (crashes that fail to translate —
+    /// e.g. a root service nothing depends on — are skipped, as the
+    /// real monkey's kills sometimes hit unused capacity).
+    pub fn campaign(&mut self, count: usize) -> Vec<Scenario> {
+        let mut scenarios = Vec::with_capacity(count);
+        let mut guard = 0;
+        while scenarios.len() < count && guard < count * 20 {
+            guard += 1;
+            if let Some(scenario) = self.next_scenario() {
+                if scenario.to_rules(&self.graph).is_ok() {
+                    scenarios.push(scenario);
+                }
+            } else {
+                break;
+            }
+        }
+        scenarios
+    }
+
+    /// The graph the monkey rampages over.
+    pub fn graph(&self) -> &AppGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::ScenarioKind;
+
+    fn graph() -> AppGraph {
+        AppGraph::from_edges(vec![("a", "b"), ("b", "c"), ("a", "c")])
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut monkey_1 = ChaosMonkey::new(graph(), 7);
+        let mut monkey_2 = ChaosMonkey::new(graph(), 7);
+        for _ in 0..20 {
+            assert_eq!(monkey_1.next_scenario(), monkey_2.next_scenario());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut monkey_1 = ChaosMonkey::new(graph(), 1);
+        let mut monkey_2 = ChaosMonkey::new(graph(), 2);
+        let run_1: Vec<_> = (0..10).filter_map(|_| monkey_1.next_scenario()).collect();
+        let run_2: Vec<_> = (0..10).filter_map(|_| monkey_2.next_scenario()).collect();
+        assert_ne!(run_1, run_2);
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let mut monkey = ChaosMonkey::new(AppGraph::new(), 7);
+        assert!(monkey.next_scenario().is_none());
+        assert!(monkey.campaign(5).is_empty());
+    }
+
+    #[test]
+    fn campaign_scenarios_all_translate() {
+        let g = graph();
+        let mut monkey = ChaosMonkey::new(g.clone(), 11);
+        let scenarios = monkey.campaign(30);
+        assert_eq!(scenarios.len(), 30);
+        for scenario in scenarios {
+            assert!(scenario.to_rules(&g).is_ok(), "{scenario}");
+        }
+    }
+
+    #[test]
+    fn pattern_is_applied() {
+        let mut monkey = ChaosMonkey::new(graph(), 3).with_pattern("test-*");
+        let scenario = monkey.next_scenario().unwrap();
+        assert_eq!(scenario.pattern, Pattern::new("test-*"));
+    }
+
+    #[test]
+    fn default_hits_all_traffic() {
+        let mut monkey = ChaosMonkey::new(graph(), 3);
+        let scenario = monkey.next_scenario().unwrap();
+        assert_eq!(scenario.pattern, Pattern::Any, "the real monkey spares no one");
+    }
+
+    #[test]
+    fn samples_cover_fault_variety() {
+        let mut monkey = ChaosMonkey::new(graph(), 5).with_max_delay(Duration::from_millis(50));
+        let mut kinds = std::collections::BTreeSet::new();
+        for scenario in monkey.campaign(100) {
+            kinds.insert(match scenario.kind {
+                ScenarioKind::Abort { error: Some(_), .. } => "abort",
+                ScenarioKind::Abort { error: None, .. } => "reset",
+                ScenarioKind::Delay { .. } => "delay",
+                ScenarioKind::Crash { .. } => "crash",
+                _ => "other",
+            });
+        }
+        assert!(kinds.len() >= 3, "got {kinds:?}");
+    }
+}

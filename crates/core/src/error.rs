@@ -1,0 +1,92 @@
+//! Error type for the Gremlin control plane.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use gremlin_proxy::ProxyError;
+
+/// Errors produced by the control plane (translator, orchestrator,
+/// checker).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A scenario referenced a service missing from the application
+    /// graph.
+    UnknownService(String),
+    /// A scenario could not be translated into rules (e.g. a crash of
+    /// a service nothing depends on).
+    EmptyTranslation(String),
+    /// Installing rules on an agent failed. Carries the agent's
+    /// service name.
+    AgentFailed {
+        /// Service whose agent failed.
+        service: String,
+        /// The underlying failure.
+        source: ProxyError,
+    },
+    /// A duration string could not be parsed (e.g. `"1min"`).
+    BadDuration(String),
+    /// No agent matches the rule's source service.
+    NoAgentForService(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownService(name) => {
+                write!(f, "service {name:?} is not in the application graph")
+            }
+            CoreError::EmptyTranslation(msg) => {
+                write!(f, "scenario translated to no rules: {msg}")
+            }
+            CoreError::AgentFailed { service, source } => {
+                write!(f, "agent for {service:?} failed: {source}")
+            }
+            CoreError::BadDuration(text) => write!(f, "cannot parse duration {text:?}"),
+            CoreError::NoAgentForService(name) => {
+                write!(f, "no gremlin agent fronts service {name:?}")
+            }
+        }
+    }
+}
+
+impl StdError for CoreError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CoreError::AgentFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errors = [
+            CoreError::UnknownService("x".into()),
+            CoreError::EmptyTranslation("y".into()),
+            CoreError::AgentFailed {
+                service: "s".into(),
+                source: ProxyError::InvalidRule("r".into()),
+            },
+            CoreError::BadDuration("1parsec".into()),
+            CoreError::NoAgentForService("s".into()),
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains() {
+        let err = CoreError::AgentFailed {
+            service: "s".into(),
+            source: ProxyError::InvalidRule("r".into()),
+        };
+        assert!(err.source().is_some());
+        assert!(CoreError::BadDuration("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,395 @@
+//! The logical application graph.
+//!
+//! The operator provides Gremlin with a directed graph describing the
+//! caller/callee relationships between microservices (paper §4.2).
+//! The Recipe Translator expands high-level failure scenarios over
+//! this graph — e.g. `Crash(S)` becomes Abort rules on every edge
+//! from a dependent of `S` to `S`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// A directed dependency graph between microservices: an edge
+/// `a -> b` means *a calls b*.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_core::AppGraph;
+///
+/// let mut graph = AppGraph::new();
+/// graph.add_edge("serviceA", "serviceB");
+/// graph.add_edge("serviceB", "database");
+/// assert_eq!(graph.dependents("database"), vec!["serviceB"]);
+/// assert_eq!(graph.dependencies("serviceA"), vec!["serviceB"]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppGraph {
+    /// service -> set of services it calls.
+    edges: BTreeMap<String, BTreeSet<String>>,
+    /// All services, including ones without edges.
+    services: BTreeSet<String>,
+}
+
+impl AppGraph {
+    /// Creates an empty graph.
+    pub fn new() -> AppGraph {
+        AppGraph::default()
+    }
+
+    /// Builds a graph from `(caller, callee)` pairs.
+    pub fn from_edges<S: Into<String>>(edges: impl IntoIterator<Item = (S, S)>) -> AppGraph {
+        let mut graph = AppGraph::new();
+        for (src, dst) in edges {
+            graph.add_edge(src, dst);
+        }
+        graph
+    }
+
+    /// Adds a service without any edges.
+    pub fn add_service(&mut self, service: impl Into<String>) -> &mut Self {
+        self.services.insert(service.into());
+        self
+    }
+
+    /// Adds the edge `src -> dst` (and both services).
+    pub fn add_edge(&mut self, src: impl Into<String>, dst: impl Into<String>) -> &mut Self {
+        let src = src.into();
+        let dst = dst.into();
+        self.services.insert(src.clone());
+        self.services.insert(dst.clone());
+        self.edges.entry(src).or_default().insert(dst);
+        self
+    }
+
+    /// All services, sorted.
+    pub fn services(&self) -> Vec<String> {
+        self.services.iter().cloned().collect()
+    }
+
+    /// Returns `true` if the graph knows `service`.
+    pub fn contains(&self, service: &str) -> bool {
+        self.services.contains(service)
+    }
+
+    /// Returns `true` if `src` calls `dst`.
+    pub fn has_edge(&self, src: &str, dst: &str) -> bool {
+        self.edges.get(src).is_some_and(|deps| deps.contains(dst))
+    }
+
+    /// All `(src, dst)` edges, sorted.
+    pub fn edges(&self) -> Vec<(String, String)> {
+        self.edges
+            .iter()
+            .flat_map(|(src, dsts)| dsts.iter().map(move |dst| (src.clone(), dst.clone())))
+            .collect()
+    }
+
+    /// Services that call `service` (the paper's `dependents`
+    /// function, §5).
+    pub fn dependents(&self, service: &str) -> Vec<String> {
+        self.edges
+            .iter()
+            .filter(|(_, dsts)| dsts.contains(service))
+            .map(|(src, _)| src.clone())
+            .collect()
+    }
+
+    /// Services that `service` calls.
+    pub fn dependencies(&self, service: &str) -> Vec<String> {
+        self.edges
+            .get(service)
+            .map(|dsts| dsts.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Returns `true` if the graph has no services.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Edges crossing the cut between `group_a` and `group_b`, in
+    /// both directions — the edges a network partition must sever
+    /// (paper §5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownService`] if any named service is
+    /// not in the graph.
+    pub fn cut(
+        &self,
+        group_a: &[impl AsRef<str>],
+        group_b: &[impl AsRef<str>],
+    ) -> Result<Vec<(String, String)>, CoreError> {
+        for name in group_a.iter().map(AsRef::as_ref).chain(group_b.iter().map(AsRef::as_ref)) {
+            if !self.contains(name) {
+                return Err(CoreError::UnknownService(name.to_string()));
+            }
+        }
+        let a: BTreeSet<&str> = group_a.iter().map(AsRef::as_ref).collect();
+        let b: BTreeSet<&str> = group_b.iter().map(AsRef::as_ref).collect();
+        Ok(self
+            .edges()
+            .into_iter()
+            .filter(|(src, dst)| {
+                (a.contains(src.as_str()) && b.contains(dst.as_str()))
+                    || (b.contains(src.as_str()) && a.contains(dst.as_str()))
+            })
+            .collect())
+    }
+
+    /// Services that depend on `service` directly **or transitively**
+    /// — the blast radius of its failure. Sorted; does not include
+    /// `service` itself (unless it participates in a cycle through
+    /// itself).
+    pub fn blast_radius(&self, service: &str) -> Vec<String> {
+        let mut affected = BTreeSet::new();
+        let mut frontier = vec![service.to_string()];
+        while let Some(current) = frontier.pop() {
+            for dependent in self.dependents(&current) {
+                if affected.insert(dependent.clone()) {
+                    frontier.push(dependent);
+                }
+            }
+        }
+        affected.into_iter().collect()
+    }
+
+    /// Returns `true` if the call graph contains a dependency cycle
+    /// (A calls B calls … calls A) — a deployment smell worth
+    /// flagging before staging cascading failures.
+    pub fn has_cycle(&self) -> bool {
+        self.topo_order().is_none()
+    }
+
+    /// A topological order of the services (callers before callees),
+    /// or `None` when the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<String>> {
+        // Kahn's algorithm over in-degree = number of callers.
+        let mut in_degree: BTreeMap<String, usize> = self
+            .services
+            .iter()
+            .map(|s| (s.clone(), self.dependents(s).len()))
+            .collect();
+        let mut ready: Vec<String> = in_degree
+            .iter()
+            .filter(|(_, degree)| **degree == 0)
+            .map(|(name, _)| name.clone())
+            .collect();
+        let mut order = Vec::with_capacity(self.services.len());
+        while let Some(service) = ready.pop() {
+            order.push(service.clone());
+            for callee in self.dependencies(&service) {
+                let degree = in_degree.get_mut(&callee).expect("known service");
+                *degree -= 1;
+                if *degree == 0 {
+                    ready.push(callee);
+                }
+            }
+        }
+        (order.len() == self.services.len()).then_some(order)
+    }
+
+    /// Generates a complete binary tree of depth `depth` (depth 0 =
+    /// a single root), the topology of the paper's §7.2 scaling
+    /// benchmark. Services are named `svc-<index>` with the root at
+    /// index 0; node *i* calls nodes *2i+1* and *2i+2*.
+    pub fn binary_tree(depth: u32) -> AppGraph {
+        let mut graph = AppGraph::new();
+        let nodes = (1usize << (depth + 1)) - 1;
+        graph.add_service("svc-0");
+        for i in 0..nodes {
+            let left = 2 * i + 1;
+            let right = 2 * i + 2;
+            if left < nodes {
+                graph.add_edge(format!("svc-{i}"), format!("svc-{left}"));
+            }
+            if right < nodes {
+                graph.add_edge(format!("svc-{i}"), format!("svc-{right}"));
+            }
+        }
+        graph
+    }
+
+    /// Renders the graph in Graphviz DOT format.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph app {\n");
+        for service in &self.services {
+            out.push_str(&format!("  \"{service}\";\n"));
+        }
+        for (src, dst) in self.edges() {
+            out.push_str(&format!("  \"{src}\" -> \"{dst}\";\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Display for AppGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} service(s), {} edge(s)",
+            self.services.len(),
+            self.edges.values().map(BTreeSet::len).sum::<usize>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> AppGraph {
+        AppGraph::from_edges(vec![
+            ("web", "auth"),
+            ("web", "catalog"),
+            ("auth", "db"),
+            ("catalog", "db"),
+        ])
+    }
+
+    #[test]
+    fn edges_and_services() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.services(), vec!["auth", "catalog", "db", "web"]);
+        assert!(g.has_edge("web", "auth"));
+        assert!(!g.has_edge("auth", "web"));
+        assert_eq!(g.edges().len(), 4);
+    }
+
+    #[test]
+    fn dependents_and_dependencies() {
+        let g = diamond();
+        assert_eq!(g.dependents("db"), vec!["auth", "catalog"]);
+        assert_eq!(g.dependencies("web"), vec!["auth", "catalog"]);
+        assert!(g.dependents("web").is_empty());
+        assert!(g.dependencies("db").is_empty());
+    }
+
+    #[test]
+    fn isolated_service() {
+        let mut g = AppGraph::new();
+        g.add_service("loner");
+        assert!(g.contains("loner"));
+        assert!(g.dependencies("loner").is_empty());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn cut_finds_crossing_edges() {
+        let g = diamond();
+        let cut = g.cut(&["web", "auth"], &["catalog", "db"]).unwrap();
+        assert_eq!(
+            cut,
+            vec![
+                ("auth".to_string(), "db".to_string()),
+                ("web".to_string(), "catalog".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn cut_rejects_unknown_service() {
+        let g = diamond();
+        assert!(g.cut(&["web"], &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn binary_tree_shapes() {
+        // Depth 0: 1 service, no edges.
+        let t0 = AppGraph::binary_tree(0);
+        assert_eq!(t0.len(), 1);
+        assert!(t0.edges().is_empty());
+        // Depth 1: 3 services, 2 edges.
+        let t1 = AppGraph::binary_tree(1);
+        assert_eq!(t1.len(), 3);
+        assert_eq!(t1.edges().len(), 2);
+        // Depth 4: 31 services (the largest point in Figure 7).
+        let t4 = AppGraph::binary_tree(4);
+        assert_eq!(t4.len(), 31);
+        assert_eq!(t4.edges().len(), 30);
+        assert_eq!(t4.dependencies("svc-0"), vec!["svc-1", "svc-2"]);
+        assert_eq!(t4.dependents("svc-3"), vec!["svc-1"]);
+    }
+
+    #[test]
+    fn blast_radius_is_transitive() {
+        // user -> web -> {auth, catalog} -> db
+        let g = AppGraph::from_edges(vec![
+            ("user", "web"),
+            ("web", "auth"),
+            ("web", "catalog"),
+            ("auth", "db"),
+            ("catalog", "db"),
+        ]);
+        assert_eq!(
+            g.blast_radius("db"),
+            vec!["auth", "catalog", "user", "web"]
+        );
+        assert_eq!(g.blast_radius("web"), vec!["user"]);
+        assert!(g.blast_radius("user").is_empty());
+    }
+
+    #[test]
+    fn blast_radius_handles_cycles() {
+        let g = AppGraph::from_edges(vec![("a", "b"), ("b", "a"), ("c", "a")]);
+        // Failure of a affects b (direct), a (via cycle) and c.
+        assert_eq!(g.blast_radius("a"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn topo_order_and_cycles() {
+        let g = diamond();
+        let order = g.topo_order().expect("acyclic");
+        let position = |name: &str| order.iter().position(|s| s == name).unwrap();
+        assert!(position("web") < position("auth"));
+        assert!(position("web") < position("catalog"));
+        assert!(position("auth") < position("db"));
+        assert!(!g.has_cycle());
+
+        let cyclic = AppGraph::from_edges(vec![("a", "b"), ("b", "c"), ("c", "a")]);
+        assert!(cyclic.has_cycle());
+        assert!(cyclic.topo_order().is_none());
+    }
+
+    #[test]
+    fn topo_order_includes_isolated_services() {
+        let mut g = diamond();
+        g.add_service("loner");
+        let order = g.topo_order().expect("acyclic");
+        assert_eq!(order.len(), 5);
+        assert!(order.contains(&"loner".to_string()));
+    }
+
+    #[test]
+    fn dot_output_contains_edges() {
+        let g = AppGraph::from_edges(vec![("a", "b")]);
+        let dot = g.to_dot();
+        assert!(dot.contains("\"a\" -> \"b\""));
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: AppGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(diamond().to_string(), "4 service(s), 4 edge(s)");
+    }
+}

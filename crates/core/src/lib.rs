@@ -1,0 +1,80 @@
+//! # gremlin-core
+//!
+//! The control plane of the Gremlin resilience-testing framework
+//! (Heorhiadi et al., *Gremlin: Systematic Resilience Testing of
+//! Microservices*, ICDCS 2016).
+//!
+//! Gremlin takes an SDN-like approach: the operator describes a
+//! high-level outage and a set of expectations; the control plane
+//! translates them into network-level fault-injection rules, programs
+//! the data-plane agents, and validates the expectations against the
+//! observation logs the agents produce. The pieces map onto the
+//! paper's §4.2 directly:
+//!
+//! * [`AppGraph`] — the logical application graph of caller/callee
+//!   relationships;
+//! * [`Scenario`] — high-level failure scenarios (crash, overload,
+//!   hang, partition, …) with [`Scenario::to_rules`] as the **Recipe
+//!   Translator**;
+//! * [`FailureOrchestrator`] — programs every physical agent instance
+//!   through the [`AgentControl`](gremlin_proxy::AgentControl)
+//!   channel;
+//! * [`AssertionChecker`] — Table 3's queries, base assertions,
+//!   `Combine` chains and resiliency-pattern checks over the central
+//!   [`EventStore`](gremlin_store::EventStore);
+//! * [`TestContext`] / [`RecipeRun`] — the operator-facing recipe
+//!   layer, with chained failures as ordinary control flow.
+//!
+//! # Examples
+//!
+//! The paper's Example 1 — overload `serviceB`, assert `serviceA`
+//! bounds its retries — reads like this (given a running
+//! [`Deployment`](https://docs.rs/gremlin-mesh)):
+//!
+//! ```no_run
+//! use gremlin_core::{AppGraph, Scenario, TestContext};
+//! use gremlin_store::{EventStore, Pattern};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let agents = Vec::new();
+//! # let store = EventStore::shared();
+//! let graph = AppGraph::from_edges(vec![("serviceA", "serviceB")]);
+//! let ctx = TestContext::new(graph, agents, store);
+//!
+//! ctx.inject(&Scenario::overload("serviceB").with_pattern("test-*"))?;
+//! // ... drive test traffic ...
+//! let check = ctx
+//!     .checker()
+//!     .has_bounded_retries("serviceA", "serviceB", 5, &Pattern::new("test-*"));
+//! println!("{check}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autogen;
+pub mod chaos;
+pub mod checker;
+pub mod error;
+pub mod graph;
+pub mod orchestrator;
+pub mod recipe;
+pub mod scenarios;
+pub mod timeutil;
+pub mod trace;
+
+pub use checker::{
+    at_most_requests, check_status, combine, num_requests, reply_latency, request_rate,
+    AssertionChecker, Check, CombineStep, View,
+};
+pub use error::CoreError;
+pub use graph::AppGraph;
+pub use orchestrator::{FailureOrchestrator, OrchestrationStats};
+pub use recipe::{RecipeReport, RecipeRun, TestContext};
+pub use scenarios::{Scenario, ScenarioKind};
+pub use timeutil::{format_duration, parse_duration};
+pub use trace::{FlowTrace, Hop};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

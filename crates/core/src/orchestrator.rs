@@ -1,0 +1,285 @@
+//! The Failure Orchestrator (paper §4.2): pushes translated
+//! fault-injection rules to every physical Gremlin agent instance
+//! through the out-of-band control channel.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gremlin_proxy::{AgentControl, Rule};
+
+use crate::error::CoreError;
+use crate::graph::AppGraph;
+use crate::scenarios::Scenario;
+
+/// Statistics from one orchestration step (feeds the paper's
+/// Figure 7 measurements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrchestrationStats {
+    /// Rules produced by the translator.
+    pub rules: usize,
+    /// Rule installations performed (one per matching agent
+    /// instance).
+    pub installations: usize,
+    /// Wall-clock time spent translating and installing.
+    pub duration: Duration,
+}
+
+/// Programs a fleet of Gremlin agents.
+///
+/// Since an application may run multiple instances of any service,
+/// the orchestrator locates **all** agent instances fronting a rule's
+/// source service and installs the rule on each of them (paper
+/// Figure 3).
+pub struct FailureOrchestrator {
+    agents: Vec<Arc<dyn AgentControl>>,
+}
+
+impl std::fmt::Debug for FailureOrchestrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailureOrchestrator")
+            .field("agents", &self.agents.len())
+            .finish()
+    }
+}
+
+impl FailureOrchestrator {
+    /// Creates an orchestrator driving the given agent handles
+    /// (in-process agents or remote control clients).
+    pub fn new(agents: Vec<Arc<dyn AgentControl>>) -> FailureOrchestrator {
+        FailureOrchestrator { agents }
+    }
+
+    /// Number of agent instances under control.
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Installs `rules`, grouping them by source service and fanning
+    /// each group out to every matching agent instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoAgentForService`] — a rule's source service
+    ///   has no agent; nothing is installed in that case.
+    /// * [`CoreError::AgentFailed`] — an agent rejected the batch.
+    pub fn apply_rules(&self, rules: &[Rule]) -> Result<OrchestrationStats, CoreError> {
+        let started = Instant::now();
+        let mut by_src: HashMap<&str, Vec<Rule>> = HashMap::new();
+        for rule in rules {
+            by_src.entry(rule.src.as_str()).or_default().push(rule.clone());
+        }
+        // Validate coverage before touching any agent, so a failed
+        // apply is all-or-nothing at the fleet level.
+        let services: Vec<String> = self.agents.iter().map(|a| a.service_name()).collect();
+        for src in by_src.keys() {
+            if !services.iter().any(|s| s == src) {
+                return Err(CoreError::NoAgentForService(src.to_string()));
+            }
+        }
+        let mut installations = 0;
+        for (agent, service) in self.agents.iter().zip(&services) {
+            if let Some(group) = by_src.get(service.as_str()) {
+                agent
+                    .install_rules(group)
+                    .map_err(|source| CoreError::AgentFailed {
+                        service: service.clone(),
+                        source,
+                    })?;
+                installations += group.len();
+            }
+        }
+        Ok(OrchestrationStats {
+            rules: rules.len(),
+            installations,
+            duration: started.elapsed(),
+        })
+    }
+
+    /// Translates `scenario` over `graph` and installs the resulting
+    /// rules.
+    ///
+    /// # Errors
+    ///
+    /// Translation errors (see [`Scenario::to_rules`]) plus the
+    /// installation errors of [`FailureOrchestrator::apply_rules`].
+    pub fn inject(
+        &self,
+        scenario: &Scenario,
+        graph: &AppGraph,
+    ) -> Result<OrchestrationStats, CoreError> {
+        let started = Instant::now();
+        let rules = scenario.to_rules(graph)?;
+        let mut stats = self.apply_rules(&rules)?;
+        stats.duration = started.elapsed();
+        Ok(stats)
+    }
+
+    /// Flushes the rules of every agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AgentFailed`] on the first agent whose
+    /// flush fails (remaining agents are still attempted).
+    pub fn clear(&self) -> Result<(), CoreError> {
+        let mut first_error = None;
+        for agent in &self.agents {
+            if let Err(source) = agent.clear_rules() {
+                first_error.get_or_insert(CoreError::AgentFailed {
+                    service: agent.service_name(),
+                    source,
+                });
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_proxy::{AbortKind, ProxyError};
+    use parking_lot::Mutex;
+
+    /// A scriptable in-memory agent for orchestrator tests.
+    struct FakeAgent {
+        service: String,
+        rules: Mutex<Vec<Rule>>,
+        fail_installs: bool,
+    }
+
+    impl FakeAgent {
+        fn new(service: &str) -> Arc<FakeAgent> {
+            Arc::new(FakeAgent {
+                service: service.to_string(),
+                rules: Mutex::new(Vec::new()),
+                fail_installs: false,
+            })
+        }
+
+        fn failing(service: &str) -> Arc<FakeAgent> {
+            Arc::new(FakeAgent {
+                service: service.to_string(),
+                rules: Mutex::new(Vec::new()),
+                fail_installs: true,
+            })
+        }
+    }
+
+    impl AgentControl for FakeAgent {
+        fn service_name(&self) -> String {
+            self.service.clone()
+        }
+
+        fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+            if self.fail_installs {
+                return Err(ProxyError::InvalidRule("scripted failure".into()));
+            }
+            self.rules.lock().extend(rules.iter().cloned());
+            Ok(())
+        }
+
+        fn clear_rules(&self) -> Result<(), ProxyError> {
+            self.rules.lock().clear();
+            Ok(())
+        }
+
+        fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+            Ok(self.rules.lock().clone())
+        }
+    }
+
+    fn graph() -> AppGraph {
+        AppGraph::from_edges(vec![("a", "c"), ("b", "c")])
+    }
+
+    #[test]
+    fn routes_rules_to_matching_agents() {
+        let agent_a = FakeAgent::new("a");
+        let agent_b = FakeAgent::new("b");
+        let orchestrator = FailureOrchestrator::new(vec![
+            Arc::clone(&agent_a) as Arc<dyn AgentControl>,
+            Arc::clone(&agent_b) as Arc<dyn AgentControl>,
+        ]);
+        let stats = orchestrator
+            .inject(&Scenario::crash("c"), &graph())
+            .unwrap();
+        assert_eq!(stats.rules, 2);
+        assert_eq!(stats.installations, 2);
+        assert_eq!(agent_a.rules.lock().len(), 1);
+        assert_eq!(agent_b.rules.lock().len(), 1);
+        assert_eq!(agent_a.rules.lock()[0].src, "a");
+        assert_eq!(agent_b.rules.lock()[0].src, "b");
+    }
+
+    #[test]
+    fn all_instances_of_a_service_receive_rules() {
+        // Two physical instances of the same service (Figure 3).
+        let instance_1 = FakeAgent::new("a");
+        let instance_2 = FakeAgent::new("a");
+        let orchestrator = FailureOrchestrator::new(vec![
+            Arc::clone(&instance_1) as Arc<dyn AgentControl>,
+            Arc::clone(&instance_2) as Arc<dyn AgentControl>,
+        ]);
+        let rules = vec![Rule::abort("a", "c", AbortKind::Status(503))];
+        let stats = orchestrator.apply_rules(&rules).unwrap();
+        assert_eq!(stats.installations, 2);
+        assert_eq!(instance_1.rules.lock().len(), 1);
+        assert_eq!(instance_2.rules.lock().len(), 1);
+    }
+
+    #[test]
+    fn missing_agent_fails_before_any_install() {
+        let agent_a = FakeAgent::new("a");
+        let orchestrator = FailureOrchestrator::new(vec![
+            Arc::clone(&agent_a) as Arc<dyn AgentControl>
+        ]);
+        // Crash of c requires agents for both a and b.
+        let err = orchestrator
+            .inject(&Scenario::crash("c"), &graph())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoAgentForService(s) if s == "b"));
+        assert!(agent_a.rules.lock().is_empty(), "nothing installed");
+    }
+
+    #[test]
+    fn agent_failure_is_reported() {
+        let bad = FakeAgent::failing("a");
+        let orchestrator =
+            FailureOrchestrator::new(vec![bad as Arc<dyn AgentControl>]);
+        let rules = vec![Rule::abort("a", "c", AbortKind::Status(503))];
+        let err = orchestrator.apply_rules(&rules).unwrap_err();
+        assert!(matches!(err, CoreError::AgentFailed { .. }));
+    }
+
+    #[test]
+    fn clear_flushes_every_agent() {
+        let agent_a = FakeAgent::new("a");
+        let agent_b = FakeAgent::new("b");
+        let orchestrator = FailureOrchestrator::new(vec![
+            Arc::clone(&agent_a) as Arc<dyn AgentControl>,
+            Arc::clone(&agent_b) as Arc<dyn AgentControl>,
+        ]);
+        orchestrator
+            .inject(&Scenario::crash("c"), &graph())
+            .unwrap();
+        orchestrator.clear().unwrap();
+        assert!(agent_a.rules.lock().is_empty());
+        assert!(agent_b.rules.lock().is_empty());
+    }
+
+    #[test]
+    fn stats_include_duration() {
+        let agent_a = FakeAgent::new("a");
+        let orchestrator =
+            FailureOrchestrator::new(vec![agent_a as Arc<dyn AgentControl>]);
+        let stats = orchestrator
+            .apply_rules(&[Rule::abort("a", "c", AbortKind::Status(503))])
+            .unwrap();
+        assert!(stats.duration < Duration::from_secs(1));
+        assert_eq!(orchestrator.agent_count(), 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! Recipes: the operator-facing layer tying the translator,
+//! orchestrator and checker together.
+//!
+//! A paper recipe is a Python script that stages an outage, drives
+//! load, and checks assertions (§3.2). Here a recipe is ordinary Rust
+//! code over a [`TestContext`]; the [`RecipeRun`] helper records each
+//! step so a structured [`RecipeReport`] can be printed at the end.
+//! Chained failure scenarios (§4.2 "Chained failures") are plain
+//! control flow: inspect intermediate [`Check`] results and stage the
+//! next outage conditionally.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gremlin_proxy::AgentControl;
+use gremlin_store::EventStore;
+
+use crate::checker::{AssertionChecker, Check};
+use crate::error::CoreError;
+use crate::graph::AppGraph;
+use crate::orchestrator::{FailureOrchestrator, OrchestrationStats};
+use crate::scenarios::Scenario;
+
+/// Everything a recipe needs: the application graph, the agent
+/// fleet, and the observation store.
+#[derive(Debug)]
+pub struct TestContext {
+    graph: AppGraph,
+    orchestrator: FailureOrchestrator,
+    checker: AssertionChecker,
+    store: Arc<EventStore>,
+}
+
+impl TestContext {
+    /// Creates a context over the given graph, agent handles and
+    /// store.
+    pub fn new(
+        graph: AppGraph,
+        agents: Vec<Arc<dyn AgentControl>>,
+        store: Arc<EventStore>,
+    ) -> TestContext {
+        TestContext {
+            graph,
+            orchestrator: FailureOrchestrator::new(agents),
+            checker: AssertionChecker::new(Arc::clone(&store)),
+            store,
+        }
+    }
+
+    /// The logical application graph.
+    pub fn graph(&self) -> &AppGraph {
+        &self.graph
+    }
+
+    /// The assertion checker bound to this context's store.
+    pub fn checker(&self) -> &AssertionChecker {
+        &self.checker
+    }
+
+    /// The failure orchestrator.
+    pub fn orchestrator(&self) -> &FailureOrchestrator {
+        &self.orchestrator
+    }
+
+    /// The observation store.
+    pub fn store(&self) -> &Arc<EventStore> {
+        &self.store
+    }
+
+    /// Stages `scenario`: translates it over the graph and installs
+    /// the rules on every agent.
+    ///
+    /// # Errors
+    ///
+    /// Translation and installation errors; see
+    /// [`FailureOrchestrator::inject`].
+    pub fn inject(&self, scenario: &Scenario) -> Result<OrchestrationStats, CoreError> {
+        self.orchestrator.inject(scenario, &self.graph)
+    }
+
+    /// Removes every installed fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first agent failure, if any.
+    pub fn clear_faults(&self) -> Result<(), CoreError> {
+        self.orchestrator.clear()
+    }
+
+    /// Clears faults *and* drops all recorded observations — a fresh
+    /// slate between chained test steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first agent failure, if any.
+    pub fn reset(&self) -> Result<(), CoreError> {
+        self.clear_faults()?;
+        self.store.clear();
+        Ok(())
+    }
+}
+
+/// Records the checks of one recipe execution.
+#[derive(Debug)]
+pub struct RecipeRun<'a> {
+    name: String,
+    ctx: &'a TestContext,
+    checks: Vec<Check>,
+    injected: Vec<String>,
+}
+
+impl<'a> RecipeRun<'a> {
+    /// Starts a named recipe over `ctx`.
+    pub fn new(name: impl Into<String>, ctx: &'a TestContext) -> RecipeRun<'a> {
+        RecipeRun {
+            name: name.into(),
+            ctx,
+            checks: Vec::new(),
+            injected: Vec::new(),
+        }
+    }
+
+    /// The context this run executes against.
+    pub fn ctx(&self) -> &TestContext {
+        self.ctx
+    }
+
+    /// Stages a scenario, recording it in the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TestContext::inject`] failures.
+    pub fn inject(&mut self, scenario: &Scenario) -> Result<OrchestrationStats, CoreError> {
+        let stats = self.ctx.inject(scenario)?;
+        self.injected.push(scenario.to_string());
+        Ok(stats)
+    }
+
+    /// Records a check result, returning whether it passed (for
+    /// conditional chaining).
+    pub fn check(&mut self, check: Check) -> bool {
+        let passed = check.passed;
+        self.checks.push(check);
+        passed
+    }
+
+    /// `true` while every recorded check has passed.
+    pub fn passing(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Finishes the run, producing the report.
+    pub fn finish(self) -> RecipeReport {
+        let passed = self.passing();
+        RecipeReport {
+            name: self.name,
+            injected: self.injected,
+            checks: self.checks,
+            passed,
+        }
+    }
+}
+
+/// The outcome of a recipe execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecipeReport {
+    /// Recipe name.
+    pub name: String,
+    /// Scenarios staged, in order.
+    pub injected: Vec<String>,
+    /// Check results, in order.
+    pub checks: Vec<Check>,
+    /// `true` when every check passed.
+    pub passed: bool,
+}
+
+impl RecipeReport {
+    /// Renders the report as a Markdown section (for CI summaries
+    /// and postmortem docs).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## Recipe `{}` — {}\n\n",
+            self.name,
+            if self.passed { "✅ passed" } else { "❌ failed" }
+        );
+        if !self.injected.is_empty() {
+            out.push_str("**Staged failures**\n\n");
+            for scenario in &self.injected {
+                out.push_str(&format!("- {scenario}\n"));
+            }
+            out.push('\n');
+        }
+        if !self.checks.is_empty() {
+            out.push_str("| Check | Result | Details |\n|---|---|---|\n");
+            for check in &self.checks {
+                out.push_str(&format!(
+                    "| {} | {} | {} |\n",
+                    check.name.replace('|', "\\|"),
+                    if check.passed { "pass" } else { "**fail**" },
+                    check.details.replace('|', "\\|")
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RecipeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recipe {:?}: {}",
+            self.name,
+            if self.passed { "PASSED" } else { "FAILED" }
+        )?;
+        for scenario in &self.injected {
+            writeln!(f, "  staged: {scenario}")?;
+        }
+        for check in &self.checks {
+            writeln!(f, "  {check}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Check;
+    use gremlin_proxy::{ProxyError, Rule};
+    use parking_lot::Mutex;
+
+    struct FakeAgent {
+        service: String,
+        rules: Mutex<Vec<Rule>>,
+    }
+
+    impl AgentControl for FakeAgent {
+        fn service_name(&self) -> String {
+            self.service.clone()
+        }
+        fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+            self.rules.lock().extend(rules.iter().cloned());
+            Ok(())
+        }
+        fn clear_rules(&self) -> Result<(), ProxyError> {
+            self.rules.lock().clear();
+            Ok(())
+        }
+        fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+            Ok(self.rules.lock().clone())
+        }
+    }
+
+    fn context() -> (TestContext, Arc<FakeAgent>) {
+        let agent = Arc::new(FakeAgent {
+            service: "a".to_string(),
+            rules: Mutex::new(Vec::new()),
+        });
+        let ctx = TestContext::new(
+            AppGraph::from_edges(vec![("a", "b")]),
+            vec![Arc::clone(&agent) as Arc<dyn AgentControl>],
+            EventStore::shared(),
+        );
+        (ctx, agent)
+    }
+
+    #[test]
+    fn inject_and_clear() {
+        let (ctx, agent) = context();
+        let stats = ctx.inject(&Scenario::abort("a", "b", 503)).unwrap();
+        assert_eq!(stats.rules, 1);
+        assert_eq!(agent.rules.lock().len(), 1);
+        ctx.clear_faults().unwrap();
+        assert!(agent.rules.lock().is_empty());
+    }
+
+    #[test]
+    fn reset_clears_store_too() {
+        let (ctx, _agent) = context();
+        ctx.store()
+            .record_event(gremlin_store::Event::request("a", "b", "GET", "/"));
+        assert_eq!(ctx.store().len(), 1);
+        ctx.reset().unwrap();
+        assert!(ctx.store().is_empty());
+    }
+
+    #[test]
+    fn recipe_run_records_everything() {
+        let (ctx, _agent) = context();
+        let mut run = RecipeRun::new("overload-test", &ctx);
+        run.inject(&Scenario::abort("a", "b", 503)).unwrap();
+        assert!(run.check(Check {
+            name: "first".into(),
+            passed: true,
+            details: "ok".into(),
+        }));
+        assert!(run.passing());
+        assert!(!run.check(Check {
+            name: "second".into(),
+            passed: false,
+            details: "nope".into(),
+        }));
+        assert!(!run.passing());
+        let report = run.finish();
+        assert!(!report.passed);
+        assert_eq!(report.checks.len(), 2);
+        assert_eq!(report.injected.len(), 1);
+        let text = report.to_string();
+        assert!(text.contains("FAILED"));
+        assert!(text.contains("[PASS] first"));
+        assert!(text.contains("[FAIL] second"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let (ctx, _agent) = context();
+        let mut run = RecipeRun::new("md-test", &ctx);
+        run.inject(&Scenario::abort("a", "b", 503)).unwrap();
+        run.check(Check {
+            name: "A|B".into(),
+            passed: false,
+            details: "pipe | inside".into(),
+        });
+        let md = run.finish().to_markdown();
+        assert!(md.contains("## Recipe `md-test` — ❌ failed"));
+        assert!(md.contains("**Staged failures**"));
+        assert!(md.contains("| A\\|B | **fail** | pipe \\| inside |"));
+    }
+
+    #[test]
+    fn empty_recipe_passes() {
+        let (ctx, _agent) = context();
+        let report = RecipeRun::new("noop", &ctx).finish();
+        assert!(report.passed);
+        assert!(report.to_string().contains("PASSED"));
+    }
+}

@@ -1,0 +1,673 @@
+//! High-level failure scenarios and their translation into data-plane
+//! rules — the paper's Recipe Translator (§4.2) and example recipe
+//! library (§5).
+//!
+//! A [`Scenario`] names an outage at the level an operator thinks in
+//! ("overload the database", "crash the message bus", "partition the
+//! cluster"); [`Scenario::to_rules`] expands it over the logical
+//! [`AppGraph`] into concrete Abort/Delay/Modify rules for the
+//! Gremlin agents.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use gremlin_proxy::{AbortKind, MessageSide, Rule};
+use gremlin_store::Pattern;
+
+use crate::error::CoreError;
+use crate::graph::AppGraph;
+
+/// Serde helper storing `Duration` as integer microseconds (matching
+/// the rule wire format).
+mod duration_micros {
+    use super::*;
+    use serde::Deserializer;
+
+    pub fn serialize<S: serde::Serializer>(
+        value: &Duration,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(value.as_micros() as u64)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Duration, D::Error> {
+        let micros = u64::deserialize(deserializer)?;
+        Ok(Duration::from_micros(micros))
+    }
+}
+
+/// The kind of outage to stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum ScenarioKind {
+    /// Abort messages on one edge with an application-level error (or
+    /// a TCP reset when `error` is `None`).
+    Abort {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// HTTP error status; `None` means TCP reset (`Error = -1`).
+        error: Option<u16>,
+        /// Fraction of matching messages to abort.
+        probability: f64,
+    },
+    /// Delay messages on one edge.
+    Delay {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Injected delay.
+        #[serde(with = "duration_micros")]
+        interval: Duration,
+        /// Fraction of matching messages to delay.
+        probability: f64,
+    },
+    /// Rewrite response bytes on one edge (input-validation testing).
+    Modify {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Bytes to search for.
+        search: String,
+        /// Replacement bytes.
+        replace: String,
+    },
+    /// `src` loses connectivity to `dst`: requests fail with an
+    /// error code (paper §5 `Disconnect`).
+    Disconnect {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Error returned to the caller.
+        error: u16,
+    },
+    /// The service appears crashed to every dependent: connections
+    /// terminate at the TCP level (paper §5 `Crash`).
+    Crash {
+        /// The crashed service.
+        service: String,
+        /// Fraction of requests affected (1.0 = hard crash; lower
+        /// values emulate transient crashes).
+        probability: f64,
+    },
+    /// The service hangs: requests from every dependent are delayed
+    /// by a long interval (paper §5 `Hang`).
+    Hang {
+        /// The hung service.
+        service: String,
+        /// How long requests are held.
+        #[serde(with = "duration_micros")]
+        interval: Duration,
+    },
+    /// The service appears overloaded to every dependent: a fraction
+    /// of requests is aborted with an error, the rest are slowed
+    /// down (paper §5 `Overload`).
+    Overload {
+        /// The overloaded service.
+        service: String,
+        /// Error returned for the aborted fraction.
+        error: u16,
+        /// Fraction of requests aborted.
+        abort_probability: f64,
+        /// Delay applied to the remaining requests.
+        #[serde(with = "duration_micros")]
+        delay: Duration,
+    },
+    /// Sever every edge crossing the cut between the two groups with
+    /// TCP resets (paper §5 network partition).
+    Partition {
+        /// One side of the partition.
+        group_a: Vec<String>,
+        /// The other side.
+        group_b: Vec<String>,
+    },
+    /// Corrupt successful responses from a service to trigger
+    /// unexpected behaviour in its dependents (paper §5
+    /// `FakeSuccess`).
+    FakeSuccess {
+        /// The service whose responses are corrupted.
+        service: String,
+        /// Bytes to search for in response bodies.
+        search: String,
+        /// Replacement bytes.
+        replace: String,
+    },
+}
+
+/// A high-level failure scenario plus the request-ID pattern that
+/// confines it to specific flows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// What to stage.
+    pub kind: ScenarioKind,
+    /// Which request flows are affected (default: every flow).
+    #[serde(default)]
+    pub pattern: Pattern,
+}
+
+impl Scenario {
+    fn new(kind: ScenarioKind) -> Scenario {
+        Scenario {
+            kind,
+            pattern: Pattern::Any,
+        }
+    }
+
+    /// Abort `src -> dst` messages with HTTP `error`.
+    pub fn abort(src: impl Into<String>, dst: impl Into<String>, error: u16) -> Scenario {
+        Scenario::new(ScenarioKind::Abort {
+            src: src.into(),
+            dst: dst.into(),
+            error: Some(error),
+            probability: 1.0,
+        })
+    }
+
+    /// Abort `src -> dst` messages with a TCP reset.
+    pub fn abort_reset(src: impl Into<String>, dst: impl Into<String>) -> Scenario {
+        Scenario::new(ScenarioKind::Abort {
+            src: src.into(),
+            dst: dst.into(),
+            error: None,
+            probability: 1.0,
+        })
+    }
+
+    /// Delay `src -> dst` messages by `interval`.
+    pub fn delay(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        interval: Duration,
+    ) -> Scenario {
+        Scenario::new(ScenarioKind::Delay {
+            src: src.into(),
+            dst: dst.into(),
+            interval,
+            probability: 1.0,
+        })
+    }
+
+    /// Rewrite `dst`'s response bodies on the `src -> dst` edge.
+    pub fn modify(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        search: impl Into<String>,
+        replace: impl Into<String>,
+    ) -> Scenario {
+        Scenario::new(ScenarioKind::Modify {
+            src: src.into(),
+            dst: dst.into(),
+            search: search.into(),
+            replace: replace.into(),
+        })
+    }
+
+    /// `src` loses connectivity to `dst` (503 by default).
+    pub fn disconnect(src: impl Into<String>, dst: impl Into<String>) -> Scenario {
+        Scenario::new(ScenarioKind::Disconnect {
+            src: src.into(),
+            dst: dst.into(),
+            error: 503,
+        })
+    }
+
+    /// Hard crash of `service` as seen by every dependent.
+    pub fn crash(service: impl Into<String>) -> Scenario {
+        Scenario::new(ScenarioKind::Crash {
+            service: service.into(),
+            probability: 1.0,
+        })
+    }
+
+    /// Transient crash: only `probability` of requests see the crash.
+    pub fn transient_crash(service: impl Into<String>, probability: f64) -> Scenario {
+        Scenario::new(ScenarioKind::Crash {
+            service: service.into(),
+            probability,
+        })
+    }
+
+    /// `service` hangs for one hour (the paper's software-hang
+    /// emulation).
+    pub fn hang(service: impl Into<String>) -> Scenario {
+        Scenario::hang_for(service, Duration::from_secs(3600))
+    }
+
+    /// `service` hangs for `interval`.
+    pub fn hang_for(service: impl Into<String>, interval: Duration) -> Scenario {
+        Scenario::new(ScenarioKind::Hang {
+            service: service.into(),
+            interval,
+        })
+    }
+
+    /// `service` appears overloaded: 25% of requests aborted with
+    /// 503, the rest delayed by 100 ms (the paper's §5 parameters).
+    pub fn overload(service: impl Into<String>) -> Scenario {
+        Scenario::overload_with(service, 503, 0.25, Duration::from_millis(100))
+    }
+
+    /// Overload with explicit parameters.
+    pub fn overload_with(
+        service: impl Into<String>,
+        error: u16,
+        abort_probability: f64,
+        delay: Duration,
+    ) -> Scenario {
+        Scenario::new(ScenarioKind::Overload {
+            service: service.into(),
+            error,
+            abort_probability,
+            delay,
+        })
+    }
+
+    /// Network partition between two groups of services.
+    pub fn partition(
+        group_a: Vec<String>,
+        group_b: Vec<String>,
+    ) -> Scenario {
+        Scenario::new(ScenarioKind::Partition { group_a, group_b })
+    }
+
+    /// Corrupt `service`'s successful responses (e.g. `key` →
+    /// `badkey`).
+    pub fn fake_success(
+        service: impl Into<String>,
+        search: impl Into<String>,
+        replace: impl Into<String>,
+    ) -> Scenario {
+        Scenario::new(ScenarioKind::FakeSuccess {
+            service: service.into(),
+            search: search.into(),
+            replace: replace.into(),
+        })
+    }
+
+    /// Builder-style: confine the scenario to request IDs matching
+    /// `pattern` (e.g. `"test-*"`).
+    pub fn with_pattern(mut self, pattern: impl Into<Pattern>) -> Scenario {
+        self.pattern = pattern.into();
+        self
+    }
+
+    /// Translates the scenario into concrete fault-injection rules
+    /// over the application graph — the Recipe Translator.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownService`] — a named service is missing
+    ///   from the graph.
+    /// * [`CoreError::EmptyTranslation`] — the scenario affects no
+    ///   edge (e.g. crashing a service nothing depends on).
+    pub fn to_rules(&self, graph: &AppGraph) -> Result<Vec<Rule>, CoreError> {
+        let pattern = self.pattern.clone();
+        let rules = match &self.kind {
+            ScenarioKind::Abort {
+                src,
+                dst,
+                error,
+                probability,
+            } => {
+                require_edge_services(graph, src, dst)?;
+                let abort = match error {
+                    Some(code) => AbortKind::Status(*code),
+                    None => AbortKind::Reset,
+                };
+                vec![Rule::abort(src.clone(), dst.clone(), abort)
+                    .with_pattern(pattern)
+                    .with_probability(*probability)]
+            }
+            ScenarioKind::Delay {
+                src,
+                dst,
+                interval,
+                probability,
+            } => {
+                require_edge_services(graph, src, dst)?;
+                vec![Rule::delay(src.clone(), dst.clone(), *interval)
+                    .with_pattern(pattern)
+                    .with_probability(*probability)]
+            }
+            ScenarioKind::Modify {
+                src,
+                dst,
+                search,
+                replace,
+            } => {
+                require_edge_services(graph, src, dst)?;
+                vec![Rule::modify(src.clone(), dst.clone(), search.clone(), replace.clone())
+                    .with_pattern(pattern)
+                    .with_side(MessageSide::Response)]
+            }
+            ScenarioKind::Disconnect { src, dst, error } => {
+                require_edge_services(graph, src, dst)?;
+                vec![
+                    Rule::abort(src.clone(), dst.clone(), AbortKind::Status(*error))
+                        .with_pattern(pattern),
+                ]
+            }
+            ScenarioKind::Crash {
+                service,
+                probability,
+            } => {
+                let dependents = require_dependents(graph, service)?;
+                dependents
+                    .into_iter()
+                    .map(|caller| {
+                        Rule::abort(caller, service.clone(), AbortKind::Reset)
+                            .with_pattern(pattern.clone())
+                            .with_probability(*probability)
+                    })
+                    .collect()
+            }
+            ScenarioKind::Hang { service, interval } => {
+                let dependents = require_dependents(graph, service)?;
+                dependents
+                    .into_iter()
+                    .map(|caller| {
+                        Rule::delay(caller, service.clone(), *interval)
+                            .with_pattern(pattern.clone())
+                    })
+                    .collect()
+            }
+            ScenarioKind::Overload {
+                service,
+                error,
+                abort_probability,
+                delay,
+            } => {
+                let dependents = require_dependents(graph, service)?;
+                let mut rules = Vec::with_capacity(dependents.len() * 2);
+                for caller in dependents {
+                    // First-match-wins with a fallback: `p` of the
+                    // traffic is aborted, the remaining `1 - p`
+                    // delayed — the paper's 25%/75% split.
+                    rules.push(
+                        Rule::abort(caller.clone(), service.clone(), AbortKind::Status(*error))
+                            .with_pattern(pattern.clone())
+                            .with_probability(*abort_probability),
+                    );
+                    rules.push(
+                        Rule::delay(caller, service.clone(), *delay)
+                            .with_pattern(pattern.clone()),
+                    );
+                }
+                rules
+            }
+            ScenarioKind::Partition { group_a, group_b } => {
+                let cut = graph.cut(group_a, group_b)?;
+                if cut.is_empty() {
+                    return Err(CoreError::EmptyTranslation(
+                        "partition cut crosses no edges".to_string(),
+                    ));
+                }
+                cut.into_iter()
+                    .map(|(src, dst)| {
+                        Rule::abort(src, dst, AbortKind::Reset).with_pattern(pattern.clone())
+                    })
+                    .collect()
+            }
+            ScenarioKind::FakeSuccess {
+                service,
+                search,
+                replace,
+            } => {
+                let dependents = require_dependents(graph, service)?;
+                dependents
+                    .into_iter()
+                    .map(|caller| {
+                        Rule::modify(caller, service.clone(), search.clone(), replace.clone())
+                            .with_pattern(pattern.clone())
+                            .with_side(MessageSide::Response)
+                    })
+                    .collect()
+            }
+        };
+        Ok(rules)
+    }
+}
+
+fn require_edge_services(graph: &AppGraph, src: &str, dst: &str) -> Result<(), CoreError> {
+    for service in [src, dst] {
+        if !graph.contains(service) {
+            return Err(CoreError::UnknownService(service.to_string()));
+        }
+    }
+    Ok(())
+}
+
+fn require_dependents(graph: &AppGraph, service: &str) -> Result<Vec<String>, CoreError> {
+    if !graph.contains(service) {
+        return Err(CoreError::UnknownService(service.to_string()));
+    }
+    let dependents = graph.dependents(service);
+    if dependents.is_empty() {
+        return Err(CoreError::EmptyTranslation(format!(
+            "no service depends on {service:?}"
+        )));
+    }
+    Ok(dependents)
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ScenarioKind::Abort { src, dst, error, probability } => match error {
+                Some(code) => write!(f, "abort {src}->{dst} with {code} (p={probability})"),
+                None => write!(f, "abort {src}->{dst} with tcp reset (p={probability})"),
+            },
+            ScenarioKind::Delay { src, dst, interval, probability } => {
+                write!(f, "delay {src}->{dst} by {interval:?} (p={probability})")
+            }
+            ScenarioKind::Modify { src, dst, search, replace } => {
+                write!(f, "modify {src}->{dst} responses ({search:?} -> {replace:?})")
+            }
+            ScenarioKind::Disconnect { src, dst, error } => {
+                write!(f, "disconnect {src} from {dst} ({error})")
+            }
+            ScenarioKind::Crash { service, probability } => {
+                write!(f, "crash {service} (p={probability})")
+            }
+            ScenarioKind::Hang { service, interval } => {
+                write!(f, "hang {service} for {interval:?}")
+            }
+            ScenarioKind::Overload { service, error, abort_probability, delay } => write!(
+                f,
+                "overload {service} ({abort_probability} aborted with {error}, rest delayed {delay:?})"
+            ),
+            ScenarioKind::Partition { group_a, group_b } => {
+                write!(f, "partition {group_a:?} | {group_b:?}")
+            }
+            ScenarioKind::FakeSuccess { service, search, replace } => {
+                write!(f, "fake-success from {service} ({search:?} -> {replace:?})")
+            }
+        }?;
+        if self.pattern != Pattern::Any {
+            write!(f, " on flows {}", self.pattern)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_proxy::FaultAction;
+
+    fn graph() -> AppGraph {
+        AppGraph::from_edges(vec![
+            ("web", "search"),
+            ("web", "db"),
+            ("search", "db"),
+        ])
+    }
+
+    #[test]
+    fn abort_translates_to_single_rule() {
+        let rules = Scenario::abort("web", "db", 503)
+            .with_pattern("test-*")
+            .to_rules(&graph())
+            .unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].src, "web");
+        assert_eq!(rules[0].dst, "db");
+        assert_eq!(rules[0].pattern, Pattern::new("test-*"));
+        assert!(matches!(
+            rules[0].action,
+            FaultAction::Abort { abort: AbortKind::Status(503) }
+        ));
+    }
+
+    #[test]
+    fn abort_reset_uses_reset() {
+        let rules = Scenario::abort_reset("web", "db").to_rules(&graph()).unwrap();
+        assert!(matches!(
+            rules[0].action,
+            FaultAction::Abort { abort: AbortKind::Reset }
+        ));
+    }
+
+    #[test]
+    fn crash_fans_out_to_all_dependents() {
+        let rules = Scenario::crash("db").to_rules(&graph()).unwrap();
+        assert_eq!(rules.len(), 2);
+        let sources: Vec<_> = rules.iter().map(|r| r.src.as_str()).collect();
+        assert!(sources.contains(&"web"));
+        assert!(sources.contains(&"search"));
+        assert!(rules.iter().all(|r| matches!(
+            r.action,
+            FaultAction::Abort { abort: AbortKind::Reset }
+        )));
+    }
+
+    #[test]
+    fn transient_crash_carries_probability() {
+        let rules = Scenario::transient_crash("db", 0.3).to_rules(&graph()).unwrap();
+        assert!(rules.iter().all(|r| (r.probability - 0.3).abs() < 1e-9));
+    }
+
+    #[test]
+    fn hang_defaults_to_one_hour() {
+        let rules = Scenario::hang("db").to_rules(&graph()).unwrap();
+        assert!(rules.iter().all(|r| matches!(
+            r.action,
+            FaultAction::Delay { interval } if interval == Duration::from_secs(3600)
+        )));
+    }
+
+    #[test]
+    fn overload_creates_abort_then_delay_fallback() {
+        let rules = Scenario::overload("db").to_rules(&graph()).unwrap();
+        // Two dependents x (abort + delay).
+        assert_eq!(rules.len(), 4);
+        let web_rules: Vec<_> = rules.iter().filter(|r| r.src == "web").collect();
+        assert_eq!(web_rules.len(), 2);
+        assert!(matches!(web_rules[0].action, FaultAction::Abort { .. }));
+        assert!((web_rules[0].probability - 0.25).abs() < 1e-9);
+        assert!(matches!(web_rules[1].action, FaultAction::Delay { .. }));
+        assert_eq!(web_rules[1].probability, 1.0);
+    }
+
+    #[test]
+    fn partition_severs_cut_edges() {
+        let rules = Scenario::partition(
+            vec!["web".to_string()],
+            vec!["search".to_string(), "db".to_string()],
+        )
+        .to_rules(&graph())
+        .unwrap();
+        // web->search and web->db cross the cut; search->db does not.
+        assert_eq!(rules.len(), 2);
+        assert!(rules.iter().all(|r| r.src == "web"));
+    }
+
+    #[test]
+    fn fake_success_modifies_responses() {
+        let rules = Scenario::fake_success("db", "key", "badkey")
+            .to_rules(&graph())
+            .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert!(rules.iter().all(|r| r.on == MessageSide::Response));
+        assert!(rules.iter().all(|r| matches!(
+            &r.action,
+            FaultAction::Modify { search, replace_bytes }
+                if search == "key" && replace_bytes == "badkey"
+        )));
+    }
+
+    #[test]
+    fn unknown_service_is_rejected() {
+        assert!(matches!(
+            Scenario::crash("ghost").to_rules(&graph()),
+            Err(CoreError::UnknownService(_))
+        ));
+        assert!(matches!(
+            Scenario::abort("web", "ghost", 503).to_rules(&graph()),
+            Err(CoreError::UnknownService(_))
+        ));
+    }
+
+    #[test]
+    fn crash_of_root_service_is_empty_translation() {
+        // Nothing depends on "web".
+        assert!(matches!(
+            Scenario::crash("web").to_rules(&graph()),
+            Err(CoreError::EmptyTranslation(_))
+        ));
+    }
+
+    #[test]
+    fn partition_with_no_crossing_edges_is_empty() {
+        let mut g = graph();
+        g.add_service("island");
+        assert!(matches!(
+            Scenario::partition(vec!["island".to_string()], vec!["web".to_string()])
+                .to_rules(&g),
+            Err(CoreError::EmptyTranslation(_))
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip_all_kinds() {
+        let scenarios = vec![
+            Scenario::abort("web", "db", 503).with_pattern("test-*"),
+            Scenario::abort_reset("web", "db"),
+            Scenario::delay("web", "db", Duration::from_millis(250)).with_pattern("a?c"),
+            Scenario::modify("web", "db", "key", "badkey"),
+            Scenario::disconnect("web", "db"),
+            Scenario::crash("db"),
+            Scenario::transient_crash("db", 0.5),
+            Scenario::hang("db"),
+            Scenario::overload("db"),
+            Scenario::partition(vec!["web".into()], vec!["db".into()]),
+            Scenario::fake_success("db", "k", "v"),
+        ];
+        for scenario in scenarios {
+            let json = serde_json::to_string(&scenario).unwrap();
+            let back: Scenario = serde_json::from_str(&json).unwrap();
+            assert_eq!(scenario, back, "{json}");
+        }
+    }
+
+    #[test]
+    fn serde_pattern_is_a_plain_string() {
+        let json =
+            serde_json::to_string(&Scenario::crash("db").with_pattern("test-*")).unwrap();
+        assert!(json.contains("\"pattern\":\"test-*\""), "{json}");
+    }
+
+    #[test]
+    fn display_mentions_key_parts() {
+        let text = Scenario::overload("db").with_pattern("test-*").to_string();
+        assert!(text.contains("overload db"));
+        assert!(text.contains("test-*"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Parsing of the human-friendly duration strings Gremlin recipes use
+//! (`'100ms'`, `'1s'`, `'1min'`, `'1h'` — see the paper's Table 3 and
+//! §5 example recipes).
+
+use std::time::Duration;
+
+use crate::error::CoreError;
+
+/// Parses a recipe duration string.
+///
+/// Supported suffixes: `us`, `ms`, `s`, `sec`, `m`, `min`, `h`,
+/// `hour`. A bare number is interpreted as seconds. Fractions are
+/// allowed (`"1.5s"`).
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_core::parse_duration;
+/// use std::time::Duration;
+///
+/// assert_eq!(parse_duration("100ms").unwrap(), Duration::from_millis(100));
+/// assert_eq!(parse_duration("1min").unwrap(), Duration::from_secs(60));
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadDuration`] for empty, negative or
+/// unrecognized input.
+pub fn parse_duration(text: &str) -> Result<Duration, CoreError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(CoreError::BadDuration(text.to_string()));
+    }
+    let split = text
+        .find(|c: char| c.is_ascii_alphabetic())
+        .unwrap_or(text.len());
+    let (number_text, unit) = text.split_at(split);
+    let number: f64 = number_text
+        .trim()
+        .parse()
+        .map_err(|_| CoreError::BadDuration(text.to_string()))?;
+    if !number.is_finite() || number < 0.0 {
+        return Err(CoreError::BadDuration(text.to_string()));
+    }
+    let multiplier_us: f64 = match unit.trim().to_ascii_lowercase().as_str() {
+        "us" => 1.0,
+        "ms" => 1_000.0,
+        "" | "s" | "sec" | "secs" => 1_000_000.0,
+        "m" | "min" | "mins" => 60.0 * 1_000_000.0,
+        "h" | "hour" | "hours" => 3600.0 * 1_000_000.0,
+        _ => return Err(CoreError::BadDuration(text.to_string())),
+    };
+    Ok(Duration::from_micros((number * multiplier_us).round() as u64))
+}
+
+/// Formats a duration compactly for reports (`1.5s`, `100ms`, `2min`).
+pub fn format_duration(duration: Duration) -> String {
+    let us = duration.as_micros();
+    if us == 0 {
+        return "0s".to_string();
+    }
+    if us.is_multiple_of(60_000_000) {
+        return format!("{}min", us / 60_000_000);
+    }
+    if us >= 1_000_000 {
+        let secs = duration.as_secs_f64();
+        if (secs - secs.round()).abs() < 1e-9 {
+            return format!("{}s", secs.round() as u64);
+        }
+        return format!("{secs}s");
+    }
+    if us.is_multiple_of(1_000) {
+        return format!("{}ms", us / 1_000);
+    }
+    format!("{us}us")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_units() {
+        assert_eq!(parse_duration("5us").unwrap(), Duration::from_micros(5));
+        assert_eq!(parse_duration("100ms").unwrap(), Duration::from_millis(100));
+        assert_eq!(parse_duration("1s").unwrap(), Duration::from_secs(1));
+        assert_eq!(parse_duration("2sec").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1min").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("3m").unwrap(), Duration::from_secs(180));
+        assert_eq!(parse_duration("1h").unwrap(), Duration::from_secs(3600));
+        assert_eq!(parse_duration("2hours").unwrap(), Duration::from_secs(7200));
+    }
+
+    #[test]
+    fn bare_number_is_seconds() {
+        assert_eq!(parse_duration("4").unwrap(), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn fractions_and_whitespace() {
+        assert_eq!(parse_duration(" 1.5s ").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("0.25 min").unwrap(), Duration::from_secs(15));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "fast", "1parsec", "-1s", "nan s", "1.s.2"] {
+            assert!(parse_duration(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn formats_compactly() {
+        assert_eq!(format_duration(Duration::ZERO), "0s");
+        assert_eq!(format_duration(Duration::from_millis(100)), "100ms");
+        assert_eq!(format_duration(Duration::from_secs(1)), "1s");
+        assert_eq!(format_duration(Duration::from_secs(60)), "1min");
+        assert_eq!(format_duration(Duration::from_micros(5)), "5us");
+        assert_eq!(format_duration(Duration::from_millis(1500)), "1.5s");
+    }
+
+    #[test]
+    fn round_trips_common_values() {
+        for text in ["100ms", "1s", "1min", "1h", "250ms"] {
+            let parsed = parse_duration(text).unwrap();
+            assert_eq!(parse_duration(&format_duration(parsed)).unwrap(), parsed);
+        }
+    }
+}

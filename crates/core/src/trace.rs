@@ -1,0 +1,329 @@
+//! Flow reconstruction: assembling the end-to-end path of one request
+//! ID from the observation logs.
+//!
+//! The paper leans on request-ID propagation (§4.1, citing Dapper and
+//! Zipkin) to confine faults to flows; the same IDs let us rebuild
+//! what actually happened to a request after a test — which hops it
+//! took, where it was faulted, where time was spent. Recipe authors
+//! use this when an assertion fails and they want the why.
+
+use std::fmt;
+use std::time::Duration;
+
+use gremlin_store::{AppliedFault, Event, EventStore, Micros, Pattern, Query};
+
+/// One caller→callee hop of a flow: a request observation paired with
+/// the matching response (if one was observed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    /// Calling service.
+    pub src: String,
+    /// Called service.
+    pub dst: String,
+    /// When the request was observed.
+    pub requested_at: Micros,
+    /// Method and URI of the request.
+    pub call: String,
+    /// Response status (`None` when no response was observed, `0`
+    /// for TCP-level failures).
+    pub status: Option<u16>,
+    /// Caller-observed latency of the response.
+    pub latency: Option<Duration>,
+    /// Fault applied on this hop, if any.
+    pub fault: Option<AppliedFault>,
+}
+
+impl Hop {
+    /// Returns `true` when the hop ended in a failure (no response,
+    /// TCP reset, or a 5xx).
+    pub fn failed(&self) -> bool {
+        match self.status {
+            None | Some(0) => true,
+            Some(status) => (500..600).contains(&status),
+        }
+    }
+}
+
+impl fmt::Display for Hop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} {}", self.src, self.dst, self.call)?;
+        match self.status {
+            Some(0) => write!(f, " => connection reset")?,
+            Some(status) => write!(f, " => {status}")?,
+            None => write!(f, " => (no response observed)")?,
+        }
+        if let Some(latency) = self.latency {
+            write!(f, " in {latency:?}")?;
+        }
+        if let Some(fault) = &self.fault {
+            write!(f, " [gremlin: {fault}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The reconstructed path of one request ID through the application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowTrace {
+    /// The flow's request ID.
+    pub request_id: String,
+    /// Hops in request-time order.
+    pub hops: Vec<Hop>,
+}
+
+impl FlowTrace {
+    /// Rebuilds the flow for `request_id` from `store`.
+    ///
+    /// Requests are paired with responses per edge in order —
+    /// retries of the same edge become separate hops, matching how
+    /// the agent logged them.
+    pub fn from_store(store: &EventStore, request_id: &str) -> FlowTrace {
+        let events = store.query(
+            &Query::new().with_id_pattern(Pattern::Exact(request_id.to_string())),
+        );
+        FlowTrace::from_events(request_id, &events)
+    }
+
+    /// Rebuilds a flow from pre-fetched, time-sorted events.
+    pub fn from_events(request_id: &str, events: &[Event]) -> FlowTrace {
+        let mut hops: Vec<Hop> = Vec::new();
+        // Pending request hops per edge awaiting their response, as
+        // indices into `hops` (FIFO per edge: responses pair with the
+        // oldest outstanding request on that edge).
+        let mut pending: Vec<usize> = Vec::new();
+        for event in events {
+            match &event.kind {
+                gremlin_store::EventKind::Request { method, uri } => {
+                    hops.push(Hop {
+                        src: event.src.clone(),
+                        dst: event.dst.clone(),
+                        requested_at: event.timestamp_us,
+                        call: format!("{method} {uri}"),
+                        status: None,
+                        latency: None,
+                        fault: event.fault.clone(),
+                    });
+                    pending.push(hops.len() - 1);
+                }
+                gremlin_store::EventKind::Response { status, .. } => {
+                    let slot = pending
+                        .iter()
+                        .position(|&index| {
+                            hops[index].src == event.src && hops[index].dst == event.dst
+                        });
+                    match slot {
+                        Some(position) => {
+                            let index = pending.remove(position);
+                            let hop = &mut hops[index];
+                            hop.status = Some(*status);
+                            hop.latency = event.observed_latency();
+                            if hop.fault.is_none() {
+                                hop.fault = event.fault.clone();
+                            }
+                        }
+                        None => {
+                            // A response with no recorded request
+                            // (e.g. log loss): surface it as its own
+                            // hop rather than dropping it.
+                            hops.push(Hop {
+                                src: event.src.clone(),
+                                dst: event.dst.clone(),
+                                requested_at: event.timestamp_us,
+                                call: "(request not observed)".to_string(),
+                                status: Some(*status),
+                                latency: event.observed_latency(),
+                                fault: event.fault.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        hops.sort_by_key(|hop| hop.requested_at);
+        FlowTrace {
+            request_id: request_id.to_string(),
+            hops,
+        }
+    }
+
+    /// Returns `true` when any hop failed.
+    pub fn has_failures(&self) -> bool {
+        self.hops.iter().any(Hop::failed)
+    }
+
+    /// Returns `true` when any hop was touched by Gremlin.
+    pub fn was_faulted(&self) -> bool {
+        self.hops.iter().any(|hop| hop.fault.is_some())
+    }
+
+    /// Number of hops on edge `(src, dst)` — e.g. retries of one
+    /// call.
+    pub fn attempts(&self, src: &str, dst: &str) -> usize {
+        self.hops
+            .iter()
+            .filter(|hop| hop.src == src && hop.dst == dst)
+            .count()
+    }
+
+    /// Total caller-observed time of the flow, from first request to
+    /// the end of the latest response.
+    pub fn total_duration(&self) -> Duration {
+        let Some(first) = self.hops.first() else {
+            return Duration::ZERO;
+        };
+        let start = first.requested_at;
+        let end = self
+            .hops
+            .iter()
+            .map(|hop| {
+                hop.requested_at
+                    + hop.latency.map(|l| l.as_micros() as Micros).unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(start);
+        Duration::from_micros(end.saturating_sub(start))
+    }
+}
+
+impl fmt::Display for FlowTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "flow {} ({} hop(s), {:?} total)",
+            self.request_id,
+            self.hops.len(),
+            self.total_duration()
+        )?;
+        for hop in &self.hops {
+            writeln!(f, "  {hop}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn store() -> Arc<EventStore> {
+        EventStore::shared()
+    }
+
+    fn request(s: &Arc<EventStore>, src: &str, dst: &str, ts: Micros) {
+        s.record_event(
+            Event::request(src, dst, "GET", "/x")
+                .with_request_id("test-1")
+                .with_timestamp(ts),
+        );
+    }
+
+    fn response(s: &Arc<EventStore>, src: &str, dst: &str, status: u16, ts: Micros, ms: u64) {
+        let mut event = Event::response(src, dst, status, Duration::from_millis(ms))
+            .with_request_id("test-1");
+        event.timestamp_us = ts;
+        s.record_event(event);
+    }
+
+    #[test]
+    fn reconstructs_simple_chain() {
+        let s = store();
+        request(&s, "user", "web", 0);
+        request(&s, "web", "db", 100);
+        response(&s, "web", "db", 200, 200, 1);
+        response(&s, "user", "web", 200, 300, 3);
+        let trace = FlowTrace::from_store(&s, "test-1");
+        assert_eq!(trace.hops.len(), 2);
+        assert_eq!(trace.hops[0].src, "user");
+        assert_eq!(trace.hops[0].status, Some(200));
+        assert_eq!(trace.hops[1].dst, "db");
+        assert!(!trace.has_failures());
+        assert!(!trace.was_faulted());
+        // First request at t=0; the user->web hop completes at
+        // 0 + 3ms latency = 3ms.
+        assert_eq!(trace.total_duration(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn retries_become_separate_hops() {
+        let s = store();
+        for attempt in 0..3u64 {
+            request(&s, "a", "b", attempt * 100);
+            response(&s, "a", "b", 503, attempt * 100 + 50, 1);
+        }
+        let trace = FlowTrace::from_store(&s, "test-1");
+        assert_eq!(trace.attempts("a", "b"), 3);
+        assert!(trace.has_failures());
+        assert!(trace.hops.iter().all(|h| h.status == Some(503)));
+    }
+
+    #[test]
+    fn unanswered_request_has_no_status() {
+        let s = store();
+        request(&s, "a", "b", 0);
+        let trace = FlowTrace::from_store(&s, "test-1");
+        assert_eq!(trace.hops.len(), 1);
+        assert_eq!(trace.hops[0].status, None);
+        assert!(trace.has_failures());
+    }
+
+    #[test]
+    fn faults_are_surfaced() {
+        let s = store();
+        request(&s, "a", "b", 0);
+        let mut event = Event::response("a", "b", 0, Duration::from_millis(1))
+            .with_request_id("test-1")
+            .with_fault(AppliedFault::AbortReset);
+        event.timestamp_us = 10;
+        s.record_event(event);
+        let trace = FlowTrace::from_store(&s, "test-1");
+        assert!(trace.was_faulted());
+        assert!(trace.hops[0].failed());
+        let text = trace.to_string();
+        assert!(text.contains("connection reset"));
+        assert!(text.contains("gremlin: abort(reset)"));
+    }
+
+    #[test]
+    fn orphan_response_is_kept() {
+        let s = store();
+        response(&s, "a", "b", 200, 5, 1);
+        let trace = FlowTrace::from_store(&s, "test-1");
+        assert_eq!(trace.hops.len(), 1);
+        assert_eq!(trace.hops[0].call, "(request not observed)");
+    }
+
+    #[test]
+    fn responses_pair_fifo_per_edge() {
+        let s = store();
+        request(&s, "a", "b", 0);
+        request(&s, "a", "b", 10);
+        response(&s, "a", "b", 500, 20, 1); // pairs with the first
+        response(&s, "a", "b", 200, 30, 1); // pairs with the second
+        let trace = FlowTrace::from_store(&s, "test-1");
+        assert_eq!(trace.hops[0].status, Some(500));
+        assert_eq!(trace.hops[1].status, Some(200));
+    }
+
+    #[test]
+    fn empty_flow() {
+        let s = store();
+        let trace = FlowTrace::from_store(&s, "test-none");
+        assert!(trace.hops.is_empty());
+        assert!(!trace.has_failures());
+        assert_eq!(trace.total_duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn other_flows_are_excluded() {
+        let s = store();
+        request(&s, "a", "b", 0);
+        s.record_event(
+            Event::request("a", "b", "GET", "/other")
+                .with_request_id("test-2")
+                .with_timestamp(1),
+        );
+        let trace = FlowTrace::from_store(&s, "test-1");
+        assert_eq!(trace.hops.len(), 1);
+    }
+}

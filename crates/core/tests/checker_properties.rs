@@ -1,0 +1,233 @@
+//! Property-based tests for the assertion checker's algebra and the
+//! recipe translator.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use gremlin_core::{
+    at_most_requests, combine, num_requests, request_rate, AppGraph, CombineStep, Scenario, View,
+};
+use gremlin_store::{AppliedFault, Event, Micros, Pattern};
+
+#[derive(Debug, Clone)]
+struct EventSpec {
+    is_request: bool,
+    status: u16,
+    timestamp: Micros,
+    faulted: bool,
+}
+
+fn event_specs() -> impl Strategy<Value = Vec<EventSpec>> {
+    proptest::collection::vec(
+        (
+            any::<bool>(),
+            prop_oneof![Just(200u16), Just(503), Just(0), Just(404)],
+            0u64..10_000_000,
+            any::<bool>(),
+        )
+            .prop_map(|(is_request, status, timestamp, faulted)| EventSpec {
+                is_request,
+                status,
+                timestamp,
+                faulted,
+            }),
+        0..80,
+    )
+    .prop_map(|mut specs| {
+        specs.sort_by_key(|s| s.timestamp);
+        specs
+    })
+}
+
+fn materialize(specs: &[EventSpec]) -> Vec<Event> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(index, spec)| {
+            let mut event = if spec.is_request {
+                Event::request("a", "b", "GET", "/x")
+            } else {
+                Event::response("a", "b", spec.status, Duration::from_millis(5))
+            };
+            event.timestamp_us = spec.timestamp;
+            event.request_id = Some(format!("test-{index}"));
+            if spec.faulted {
+                event.fault = Some(AppliedFault::Abort { status: 503 });
+            }
+            event
+        })
+        .collect()
+}
+
+proptest! {
+    /// `num_requests` equals the naive count under both views.
+    #[test]
+    fn num_requests_matches_naive(specs in event_specs(), window_us in 1u64..20_000_000) {
+        let events = materialize(&specs);
+        let naive_observed = events.iter().filter(|e| e.kind.is_request()).count();
+        prop_assert_eq!(num_requests(&events, None, View::Observed), naive_observed);
+
+        if let Some(first) = events.first() {
+            let cutoff = first.timestamp_us + window_us;
+            let naive_windowed = events
+                .iter()
+                .filter(|e| e.kind.is_request() && e.timestamp_us < cutoff)
+                .count();
+            prop_assert_eq!(
+                num_requests(&events, Some(Duration::from_micros(window_us)), View::Observed),
+                naive_windowed
+            );
+        }
+    }
+
+    /// `at_most_requests` is monotone in the budget.
+    #[test]
+    fn at_most_is_monotone(specs in event_specs(), budget in 0usize..50) {
+        let events = materialize(&specs);
+        let window = Duration::from_secs(60);
+        if at_most_requests(&events, window, View::Observed, budget) {
+            prop_assert!(at_most_requests(&events, window, View::Observed, budget + 1));
+        }
+    }
+
+    /// An empty step list always combines to true; a single
+    /// impossible step to false.
+    #[test]
+    fn combine_base_cases(specs in event_specs()) {
+        let events = materialize(&specs);
+        prop_assert!(combine(&events, &[]));
+        let impossible = CombineStep::CheckStatus {
+            status: 999,
+            num_match: events.len() + 1,
+            view: View::Observed,
+        };
+        prop_assert!(!combine(&events, &[impossible]));
+    }
+
+    /// A satisfied CheckStatus step consumes exactly through its
+    /// `num_match`-th matching event: appending the same step twice
+    /// requires twice the matches.
+    #[test]
+    fn combine_checkstatus_consumption(specs in event_specs(), need in 1usize..5) {
+        let events = materialize(&specs);
+        let matches_total = events
+            .iter()
+            .filter(|e| e.status() == Some(503))
+            .count();
+        let step = CombineStep::CheckStatus {
+            status: 503,
+            num_match: need,
+            view: View::Observed,
+        };
+        let single = combine(&events, std::slice::from_ref(&step));
+        prop_assert_eq!(single, matches_total >= need);
+        let double = combine(&events, &[step.clone(), step]);
+        prop_assert_eq!(double, matches_total >= 2 * need);
+    }
+
+    /// Request rate scales inversely with a uniform time dilation.
+    #[test]
+    fn request_rate_scales(specs in event_specs()) {
+        let events = materialize(&specs);
+        let rate = request_rate(&events);
+        prop_assume!(rate.is_finite() && rate > 0.0);
+        let dilated: Vec<Event> = events
+            .iter()
+            .cloned()
+            .map(|mut e| {
+                e.timestamp_us *= 2;
+                e
+            })
+            .collect();
+        let dilated_rate = request_rate(&dilated);
+        prop_assert!((dilated_rate - rate / 2.0).abs() < rate * 1e-6);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recipe-translator properties
+// ---------------------------------------------------------------------------
+
+fn arbitrary_graph() -> impl Strategy<Value = AppGraph> {
+    proptest::collection::vec((0usize..6, 0usize..6), 1..15).prop_map(|pairs| {
+        let mut graph = AppGraph::new();
+        for (a, b) in pairs {
+            if a != b {
+                graph.add_edge(format!("svc-{a}"), format!("svc-{b}"));
+            } else {
+                graph.add_service(format!("svc-{a}"));
+            }
+        }
+        graph
+    })
+}
+
+proptest! {
+    /// Every rule a scenario translates to targets an edge of the
+    /// graph, carries the scenario's pattern, and has a valid
+    /// probability.
+    #[test]
+    fn translated_rules_respect_graph(graph in arbitrary_graph(), target in 0usize..6) {
+        let service = format!("svc-{target}");
+        prop_assume!(graph.contains(&service));
+        let scenarios = vec![
+            Scenario::crash(service.clone()).with_pattern("test-*"),
+            Scenario::hang_for(service.clone(), Duration::from_secs(1)).with_pattern("test-*"),
+            Scenario::overload(service.clone()).with_pattern("test-*"),
+            Scenario::fake_success(service.clone(), "k", "v").with_pattern("test-*"),
+        ];
+        for scenario in scenarios {
+            match scenario.to_rules(&graph) {
+                Ok(rules) => {
+                    prop_assert!(!rules.is_empty());
+                    for rule in rules {
+                        prop_assert!(graph.has_edge(&rule.src, &rule.dst), "{} -> {}", rule.src, rule.dst);
+                        prop_assert_eq!(&rule.dst, &service);
+                        prop_assert_eq!(&rule.pattern, &Pattern::new("test-*"));
+                        prop_assert!(rule.validate().is_ok());
+                    }
+                }
+                Err(_) => {
+                    // Only legal when nothing depends on the service.
+                    prop_assert!(graph.dependents(&service).is_empty());
+                }
+            }
+        }
+    }
+
+    /// Partition rules cover exactly the cut, in both directions.
+    #[test]
+    fn partition_rules_equal_cut(graph in arbitrary_graph()) {
+        let services = graph.services();
+        prop_assume!(services.len() >= 2);
+        let (group_a, group_b) = services.split_at(services.len() / 2);
+        let cut = graph.cut(group_a, group_b).unwrap();
+        let scenario = Scenario::partition(group_a.to_vec(), group_b.to_vec());
+        match scenario.to_rules(&graph) {
+            Ok(rules) => {
+                let mut rule_edges: Vec<(String, String)> =
+                    rules.iter().map(|r| (r.src.clone(), r.dst.clone())).collect();
+                rule_edges.sort();
+                let mut expected = cut.clone();
+                expected.sort();
+                prop_assert_eq!(rule_edges, expected);
+            }
+            Err(_) => prop_assert!(cut.is_empty()),
+        }
+    }
+
+    /// `dependents` and `dependencies` are converses.
+    #[test]
+    fn graph_dependents_converse(graph in arbitrary_graph()) {
+        for service in graph.services() {
+            for dependent in graph.dependents(&service) {
+                prop_assert!(graph.dependencies(&dependent).contains(&service));
+                prop_assert!(graph.has_edge(&dependent, &service));
+            }
+            for dependency in graph.dependencies(&service) {
+                prop_assert!(graph.dependents(&dependency).contains(&service));
+            }
+        }
+    }
+}

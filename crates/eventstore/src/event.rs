@@ -1,0 +1,319 @@
+//! Observation events logged by Gremlin agents.
+//!
+//! Each agent records, for every API call it proxies (paper §4.1):
+//! the message timestamp and request ID, parts of the message (method
+//! and URI for requests, status code and latency for responses), and
+//! any fault actions applied to the message.
+
+use std::fmt;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+/// Microseconds since the UNIX epoch; the timestamp resolution of all
+/// Gremlin observations.
+pub type Micros = u64;
+
+/// Returns the current wall-clock time in microseconds since the UNIX
+/// epoch.
+pub fn now_micros() -> Micros {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_micros() as Micros
+}
+
+/// Which direction of an API call an event describes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum EventKind {
+    /// A request observed flowing from `src` to `dst`.
+    Request {
+        /// HTTP method as text (e.g. `GET`).
+        method: String,
+        /// Request URI (path and query).
+        uri: String,
+    },
+    /// A response (or synthesized error) observed flowing back from
+    /// `dst` to `src`.
+    Response {
+        /// HTTP status code; `0` when the connection was reset before
+        /// any status was produced (TCP-level abort, `Error=-1`).
+        status: u16,
+        /// Latency from request forwarding to response completion, as
+        /// observed by the caller — including any Gremlin-injected
+        /// delay.
+        latency_us: Micros,
+    },
+}
+
+impl EventKind {
+    /// Returns `true` for request events.
+    pub fn is_request(&self) -> bool {
+        matches!(self, EventKind::Request { .. })
+    }
+
+    /// Returns `true` for response events.
+    pub fn is_response(&self) -> bool {
+        matches!(self, EventKind::Response { .. })
+    }
+}
+
+/// The fault action a Gremlin agent applied to a message, recorded on
+/// the observation (Table 2 primitives).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum AppliedFault {
+    /// The message was aborted with an application-level error code.
+    Abort {
+        /// The synthesized status code returned to the caller.
+        status: u16,
+    },
+    /// The connection was reset at the TCP level (`Error=-1`), so the
+    /// caller saw no application-level response at all.
+    AbortReset,
+    /// Message forwarding was delayed by the given interval.
+    Delay {
+        /// The injected delay in microseconds.
+        delay_us: Micros,
+    },
+    /// Message bytes were rewritten.
+    Modify,
+}
+
+impl fmt::Display for AppliedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AppliedFault::Abort { status } => write!(f, "abort({status})"),
+            AppliedFault::AbortReset => write!(f, "abort(reset)"),
+            AppliedFault::Delay { delay_us } => write!(f, "delay({delay_us}us)"),
+            AppliedFault::Modify => write!(f, "modify"),
+        }
+    }
+}
+
+/// One observation record reported by a Gremlin agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Wall-clock timestamp in microseconds since the UNIX epoch.
+    pub timestamp_us: Micros,
+    /// The propagated request ID, if the message carried one.
+    pub request_id: Option<String>,
+    /// Logical name of the calling service.
+    pub src: String,
+    /// Logical name of the called service.
+    pub dst: String,
+    /// Direction and message-specific details.
+    pub kind: EventKind,
+    /// Fault action applied by the agent, if any.
+    pub fault: Option<AppliedFault>,
+    /// Identity of the agent instance that logged the event.
+    pub agent: String,
+}
+
+impl Event {
+    /// Creates a request observation stamped with the current time.
+    pub fn request(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        method: impl Into<String>,
+        uri: impl Into<String>,
+    ) -> Event {
+        Event {
+            timestamp_us: now_micros(),
+            request_id: None,
+            src: src.into(),
+            dst: dst.into(),
+            kind: EventKind::Request {
+                method: method.into(),
+                uri: uri.into(),
+            },
+            fault: None,
+            agent: String::new(),
+        }
+    }
+
+    /// Creates a response observation stamped with the current time.
+    pub fn response(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        status: u16,
+        latency: Duration,
+    ) -> Event {
+        Event {
+            timestamp_us: now_micros(),
+            request_id: None,
+            src: src.into(),
+            dst: dst.into(),
+            kind: EventKind::Response {
+                status,
+                latency_us: latency.as_micros() as Micros,
+            },
+            fault: None,
+            agent: String::new(),
+        }
+    }
+
+    /// Builder-style: sets the request ID.
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Event {
+        self.request_id = Some(id.into());
+        self
+    }
+
+    /// Builder-style: sets the timestamp.
+    pub fn with_timestamp(mut self, timestamp_us: Micros) -> Event {
+        self.timestamp_us = timestamp_us;
+        self
+    }
+
+    /// Builder-style: records an applied fault.
+    pub fn with_fault(mut self, fault: AppliedFault) -> Event {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Builder-style: sets the reporting agent name.
+    pub fn with_agent(mut self, agent: impl Into<String>) -> Event {
+        self.agent = agent.into();
+        self
+    }
+
+    /// For response events, the status code (0 = TCP-level failure).
+    pub fn status(&self) -> Option<u16> {
+        match &self.kind {
+            EventKind::Response { status, .. } => Some(*status),
+            EventKind::Request { .. } => None,
+        }
+    }
+
+    /// The response latency as observed by the caller, including any
+    /// injected delay (`withRule = true` in the paper's queries).
+    pub fn observed_latency(&self) -> Option<Duration> {
+        match &self.kind {
+            EventKind::Response { latency_us, .. } => Some(Duration::from_micros(*latency_us)),
+            EventKind::Request { .. } => None,
+        }
+    }
+
+    /// The response latency with Gremlin's injected delay subtracted —
+    /// the callee's untampered behavior (`withRule = false`).
+    pub fn untampered_latency(&self) -> Option<Duration> {
+        let observed = self.observed_latency()?;
+        let injected = match &self.fault {
+            Some(AppliedFault::Delay { delay_us }) => Duration::from_micros(*delay_us),
+            _ => Duration::ZERO,
+        };
+        Some(observed.saturating_sub(injected))
+    }
+
+    /// Returns `true` if a fault action was applied to this message.
+    pub fn is_faulted(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let id = self.request_id.as_deref().unwrap_or("-");
+        match &self.kind {
+            EventKind::Request { method, uri } => {
+                write!(
+                    f,
+                    "[{}] {} -> {} {} {} id={}",
+                    self.timestamp_us, self.src, self.dst, method, uri, id
+                )?;
+            }
+            EventKind::Response { status, latency_us } => {
+                write!(
+                    f,
+                    "[{}] {} <- {} status={} latency={}us id={}",
+                    self.timestamp_us, self.src, self.dst, status, latency_us, id
+                )?;
+            }
+        }
+        if let Some(fault) = &self.fault {
+            write!(f, " fault={fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_builders() {
+        let e = Event::request("a", "b", "GET", "/x")
+            .with_request_id("test-1")
+            .with_timestamp(42)
+            .with_agent("agent-a");
+        assert_eq!(e.src, "a");
+        assert_eq!(e.dst, "b");
+        assert_eq!(e.timestamp_us, 42);
+        assert_eq!(e.request_id.as_deref(), Some("test-1"));
+        assert_eq!(e.agent, "agent-a");
+        assert!(e.kind.is_request());
+        assert!(!e.kind.is_response());
+        assert_eq!(e.status(), None);
+    }
+
+    #[test]
+    fn response_latency_views() {
+        let e = Event::response("a", "b", 200, Duration::from_millis(150))
+            .with_fault(AppliedFault::Delay {
+                delay_us: 100_000,
+            });
+        assert_eq!(e.status(), Some(200));
+        assert_eq!(e.observed_latency(), Some(Duration::from_millis(150)));
+        assert_eq!(e.untampered_latency(), Some(Duration::from_millis(50)));
+        assert!(e.is_faulted());
+    }
+
+    #[test]
+    fn untampered_latency_saturates() {
+        let e = Event::response("a", "b", 200, Duration::from_millis(10)).with_fault(
+            AppliedFault::Delay {
+                delay_us: 100_000,
+            },
+        );
+        assert_eq!(e.untampered_latency(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn non_delay_fault_does_not_affect_untampered_latency() {
+        let e = Event::response("a", "b", 503, Duration::from_millis(5))
+            .with_fault(AppliedFault::Abort { status: 503 });
+        assert_eq!(e.untampered_latency(), Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Event::response("a", "b", 503, Duration::from_millis(1))
+            .with_request_id("test-9")
+            .with_fault(AppliedFault::Abort { status: 503 });
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let e = Event::request("web", "db", "GET", "/q").with_request_id("test-3");
+        let text = e.to_string();
+        assert!(text.contains("web"));
+        assert!(text.contains("db"));
+        assert!(text.contains("test-3"));
+        let e = Event::response("web", "db", 503, Duration::from_millis(1))
+            .with_fault(AppliedFault::AbortReset);
+        assert!(e.to_string().contains("fault=abort(reset)"));
+    }
+
+    #[test]
+    fn now_micros_is_monotonic_enough() {
+        let a = now_micros();
+        let b = now_micros();
+        assert!(b >= a);
+        assert!(a > 1_600_000_000_000_000); // after Sep 2020
+    }
+}

@@ -1,0 +1,256 @@
+//! Glob-style patterns for matching request IDs.
+//!
+//! Gremlin rules and log queries select request flows by matching the
+//! propagated request ID against patterns such as `test-*` (paper
+//! §4.1). Patterns support `*` (any run of characters, including
+//! empty) and `?` (exactly one character). Parsing classifies each
+//! pattern into a fast-path form — [`Pattern::Any`],
+//! [`Pattern::Exact`] or [`Pattern::Prefix`] — falling back to a full
+//! glob matcher only when needed; §7.2 of the paper calls out exactly
+//! this optimization (structured, prefix-based IDs) as the way to
+//! reduce rule-matching overhead.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A compiled request-ID pattern.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_store::Pattern;
+///
+/// let p: Pattern = "test-*".parse().unwrap();
+/// assert!(p.matches("test-123"));
+/// assert!(!p.matches("prod-123"));
+/// assert!(matches!(p, Pattern::Prefix(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Pattern {
+    /// Matches every message, with or without a request ID (`*`).
+    #[default]
+    Any,
+    /// Matches exactly this ID (no wildcards present).
+    Exact(String),
+    /// Matches IDs beginning with this prefix (`prefix*`).
+    Prefix(String),
+    /// General glob with `*` and `?` wildcards.
+    Glob(String),
+}
+
+impl Pattern {
+    /// Compiles `text` into its cheapest matching form.
+    pub fn new(text: &str) -> Pattern {
+        if text == "*" {
+            return Pattern::Any;
+        }
+        let has_question = text.contains('?');
+        let star_count = text.matches('*').count();
+        if !has_question && star_count == 0 {
+            return Pattern::Exact(text.to_string());
+        }
+        if !has_question && star_count == 1 && text.ends_with('*') {
+            return Pattern::Prefix(text[..text.len() - 1].to_string());
+        }
+        Pattern::Glob(text.to_string())
+    }
+
+    /// Returns `true` if `id` matches the pattern.
+    pub fn matches(&self, id: &str) -> bool {
+        match self {
+            Pattern::Any => true,
+            Pattern::Exact(exact) => id == exact,
+            Pattern::Prefix(prefix) => id.starts_with(prefix.as_str()),
+            Pattern::Glob(glob) => glob_match(glob.as_bytes(), id.as_bytes()),
+        }
+    }
+
+    /// Returns `true` if an optional ID matches: a missing ID matches
+    /// only [`Pattern::Any`].
+    pub fn matches_opt(&self, id: Option<&str>) -> bool {
+        match id {
+            Some(id) => self.matches(id),
+            None => matches!(self, Pattern::Any),
+        }
+    }
+
+    /// The original pattern text.
+    pub fn as_str(&self) -> String {
+        match self {
+            Pattern::Any => "*".to_string(),
+            Pattern::Exact(s) => s.clone(),
+            Pattern::Prefix(p) => format!("{p}*"),
+            Pattern::Glob(g) => g.clone(),
+        }
+    }
+}
+
+
+/// Patterns serialize as their glob text (`"test-*"`), the form the
+/// paper's recipes use and the control API ships.
+impl Serialize for Pattern {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Pattern {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        Ok(Pattern::new(&text))
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_str())
+    }
+}
+
+impl FromStr for Pattern {
+    type Err = std::convert::Infallible;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(Pattern::new(s))
+    }
+}
+
+impl From<&str> for Pattern {
+    fn from(s: &str) -> Self {
+        Pattern::new(s)
+    }
+}
+
+/// Iterative glob matcher with backtracking over `*` (classic
+/// two-pointer algorithm, linear in practice).
+fn glob_match(pattern: &[u8], text: &[u8]) -> bool {
+    let (mut p, mut t) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while t < text.len() {
+        if p < pattern.len() && (pattern[p] == b'?' || pattern[p] == text[t]) {
+            p += 1;
+            t += 1;
+        } else if p < pattern.len() && pattern[p] == b'*' {
+            star_p = p;
+            star_t = t;
+            p += 1;
+        } else if star_p != usize::MAX {
+            p = star_p + 1;
+            star_t += 1;
+            t = star_t;
+        } else {
+            return false;
+        }
+    }
+    while p < pattern.len() && pattern[p] == b'*' {
+        p += 1;
+    }
+    p == pattern.len()
+}
+
+/// A reference glob matcher (recursive) used by property tests to
+/// validate the optimized implementation.
+#[doc(hidden)]
+pub fn glob_match_reference(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[u8], t: &[u8]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => rec(&p[1..], t) || (!t.is_empty() && rec(p, &t[1..])),
+            (Some(b'?'), Some(_)) => rec(&p[1..], &t[1..]),
+            (Some(a), Some(b)) if a == b => rec(&p[1..], &t[1..]),
+            _ => false,
+        }
+    }
+    rec(pattern.as_bytes(), text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(Pattern::new("*"), Pattern::Any);
+        assert_eq!(Pattern::new("abc"), Pattern::Exact("abc".into()));
+        assert_eq!(Pattern::new("test-*"), Pattern::Prefix("test-".into()));
+        assert!(matches!(Pattern::new("a*b"), Pattern::Glob(_)));
+        assert!(matches!(Pattern::new("a?c"), Pattern::Glob(_)));
+        assert!(matches!(Pattern::new("*suffix"), Pattern::Glob(_)));
+        assert!(matches!(Pattern::new("a*b*"), Pattern::Glob(_)));
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        let p = Pattern::Any;
+        assert!(p.matches(""));
+        assert!(p.matches("anything"));
+        assert!(p.matches_opt(None));
+        assert!(p.matches_opt(Some("x")));
+    }
+
+    #[test]
+    fn exact_matching() {
+        let p = Pattern::new("test-1");
+        assert!(p.matches("test-1"));
+        assert!(!p.matches("test-10"));
+        assert!(!p.matches_opt(None));
+    }
+
+    #[test]
+    fn prefix_matching() {
+        let p = Pattern::new("test-*");
+        assert!(p.matches("test-"));
+        assert!(p.matches("test-42"));
+        assert!(!p.matches("tes"));
+        assert!(!p.matches_opt(None));
+    }
+
+    #[test]
+    fn glob_matching() {
+        let p = Pattern::new("a*c?e");
+        assert!(p.matches("abcde"));
+        assert!(p.matches("aXYZcZe"));
+        assert!(!p.matches("ace"));
+        let p = Pattern::new("*end");
+        assert!(p.matches("the end"));
+        assert!(!p.matches("the end!"));
+        let p = Pattern::new("a**b");
+        assert!(p.matches("ab"));
+        assert!(p.matches("aXb"));
+    }
+
+    #[test]
+    fn glob_empty_cases() {
+        assert!(glob_match(b"*", b""));
+        assert!(!glob_match(b"?", b""));
+        assert!(glob_match(b"", b""));
+        assert!(!glob_match(b"", b"x"));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for text in ["*", "exact", "pre-*", "a*b?c"] {
+            let p = Pattern::new(text);
+            assert_eq!(p.to_string(), text);
+            assert_eq!(Pattern::new(&p.to_string()), p);
+        }
+    }
+
+    #[test]
+    fn optimized_agrees_with_reference_on_samples() {
+        let patterns = ["*", "a*", "*a", "a?b", "a*b*c", "??", "abc", "a*a*a*a"];
+        let texts = ["", "a", "ab", "abc", "aXbYc", "aaaa", "abab", "aXb"];
+        for pattern in patterns {
+            let compiled = Pattern::new(pattern);
+            for text in texts {
+                assert_eq!(
+                    compiled.matches(text),
+                    glob_match_reference(pattern, text),
+                    "pattern={pattern} text={text}"
+                );
+            }
+        }
+    }
+}

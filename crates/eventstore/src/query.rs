@@ -1,0 +1,246 @@
+//! Query descriptions for retrieving filtered observation lists.
+//!
+//! These are the substrate for the paper's `GetRequests(Src, Dst,
+//! ID)` and `GetReplies(Src, Dst, ID)` queries (Table 3): each returns
+//! the matching observations sorted by time — what the paper calls an
+//! *RList*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, Micros};
+use crate::pattern::Pattern;
+
+/// Filter on the event direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+#[derive(Default)]
+pub enum KindFilter {
+    /// Only request observations.
+    Requests,
+    /// Only response observations.
+    Replies,
+    /// Both directions.
+    #[default]
+    All,
+}
+
+
+/// A declarative event query.
+///
+/// All filters are conjunctive; unset filters match everything.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_store::{Query, Pattern};
+///
+/// let q = Query::requests("web", "db").with_id_pattern(Pattern::new("test-*"));
+/// assert_eq!(q.src.as_deref(), Some("web"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Calling service name.
+    pub src: Option<String>,
+    /// Called service name.
+    pub dst: Option<String>,
+    /// Direction filter.
+    pub kind: KindFilter,
+    /// Request-ID pattern; `None` matches any event including ones
+    /// without an ID.
+    pub id_pattern: Option<Pattern>,
+    /// Inclusive lower bound on the timestamp.
+    pub from_us: Option<Micros>,
+    /// Exclusive upper bound on the timestamp.
+    pub until_us: Option<Micros>,
+    /// When set, only events whose fault presence matches: `true`
+    /// keeps faulted events only, `false` keeps untouched events only.
+    pub faulted: Option<bool>,
+}
+
+impl Query {
+    /// An unconstrained query matching every event.
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    /// Every event (either direction) on the `src -> dst` edge.
+    pub fn edge(src: impl Into<String>, dst: impl Into<String>) -> Query {
+        Query {
+            src: Some(src.into()),
+            dst: Some(dst.into()),
+            ..Query::default()
+        }
+    }
+
+    /// Requests flowing `src -> dst` (the paper's `GetRequests`).
+    pub fn requests(src: impl Into<String>, dst: impl Into<String>) -> Query {
+        Query {
+            kind: KindFilter::Requests,
+            ..Query::edge(src, dst)
+        }
+    }
+
+    /// Replies flowing back for calls `src -> dst` (the paper's
+    /// `GetReplies`).
+    pub fn replies(src: impl Into<String>, dst: impl Into<String>) -> Query {
+        Query {
+            kind: KindFilter::Replies,
+            ..Query::edge(src, dst)
+        }
+    }
+
+    /// Builder-style: restrict to request IDs matching `pattern`.
+    pub fn with_id_pattern(mut self, pattern: Pattern) -> Query {
+        self.id_pattern = Some(pattern);
+        self
+    }
+
+    /// Builder-style: restrict to an exact request ID.
+    pub fn with_request_id(self, id: impl Into<String>) -> Query {
+        self.with_id_pattern(Pattern::Exact(id.into()))
+    }
+
+    /// Builder-style: restrict to timestamps in `[from, until)`.
+    pub fn with_time_range(mut self, from_us: Micros, until_us: Micros) -> Query {
+        self.from_us = Some(from_us);
+        self.until_us = Some(until_us);
+        self
+    }
+
+    /// Builder-style: restrict by fault presence.
+    pub fn with_faulted(mut self, faulted: bool) -> Query {
+        self.faulted = Some(faulted);
+        self
+    }
+
+    /// Returns `true` if `event` satisfies every filter.
+    pub fn matches(&self, event: &Event) -> bool {
+        if let Some(src) = &self.src {
+            if &event.src != src {
+                return false;
+            }
+        }
+        if let Some(dst) = &self.dst {
+            if &event.dst != dst {
+                return false;
+            }
+        }
+        self.matches_unindexed(event)
+    }
+
+    /// Like [`Query::matches`] but skips the src/dst comparison — used
+    /// when an index has already narrowed candidates to one edge.
+    pub(crate) fn matches_unindexed(&self, event: &Event) -> bool {
+        match self.kind {
+            KindFilter::Requests if !event.kind.is_request() => return false,
+            KindFilter::Replies if !event.kind.is_response() => return false,
+            _ => {}
+        }
+        if let Some(pattern) = &self.id_pattern {
+            if !pattern.matches_opt(event.request_id.as_deref()) {
+                return false;
+            }
+        }
+        if let Some(from) = self.from_us {
+            if event.timestamp_us < from {
+                return false;
+            }
+        }
+        if let Some(until) = self.until_us {
+            if event.timestamp_us >= until {
+                return false;
+            }
+        }
+        if let Some(faulted) = self.faulted {
+            if event.is_faulted() != faulted {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AppliedFault;
+    use std::time::Duration;
+
+    fn request(src: &str, dst: &str, id: &str, ts: Micros) -> Event {
+        Event::request(src, dst, "GET", "/")
+            .with_request_id(id)
+            .with_timestamp(ts)
+    }
+
+    #[test]
+    fn edge_filter() {
+        let q = Query::edge("a", "b");
+        assert!(q.matches(&request("a", "b", "x", 0)));
+        assert!(!q.matches(&request("a", "c", "x", 0)));
+        assert!(!q.matches(&request("b", "b", "x", 0)));
+    }
+
+    #[test]
+    fn kind_filter() {
+        let req = request("a", "b", "x", 0);
+        let resp = Event::response("a", "b", 200, Duration::ZERO).with_request_id("x");
+        assert!(Query::requests("a", "b").matches(&req));
+        assert!(!Query::requests("a", "b").matches(&resp));
+        assert!(Query::replies("a", "b").matches(&resp));
+        assert!(!Query::replies("a", "b").matches(&req));
+        assert!(Query::edge("a", "b").matches(&req));
+        assert!(Query::edge("a", "b").matches(&resp));
+    }
+
+    #[test]
+    fn id_pattern_filter() {
+        let q = Query::new().with_id_pattern(Pattern::new("test-*"));
+        assert!(q.matches(&request("a", "b", "test-5", 0)));
+        assert!(!q.matches(&request("a", "b", "prod-5", 0)));
+        let no_id = Event::request("a", "b", "GET", "/");
+        assert!(!q.matches(&no_id));
+        assert!(Query::new().matches(&no_id));
+        assert!(Query::new()
+            .with_id_pattern(Pattern::Any)
+            .matches(&no_id));
+    }
+
+    #[test]
+    fn time_range_filter_is_half_open() {
+        let q = Query::new().with_time_range(10, 20);
+        assert!(!q.matches(&request("a", "b", "x", 9)));
+        assert!(q.matches(&request("a", "b", "x", 10)));
+        assert!(q.matches(&request("a", "b", "x", 19)));
+        assert!(!q.matches(&request("a", "b", "x", 20)));
+    }
+
+    #[test]
+    fn faulted_filter() {
+        let clean = request("a", "b", "x", 0);
+        let faulted = request("a", "b", "x", 0).with_fault(AppliedFault::Abort { status: 503 });
+        let only_faulted = Query::new().with_faulted(true);
+        let only_clean = Query::new().with_faulted(false);
+        assert!(only_faulted.matches(&faulted));
+        assert!(!only_faulted.matches(&clean));
+        assert!(only_clean.matches(&clean));
+        assert!(!only_clean.matches(&faulted));
+    }
+
+    #[test]
+    fn exact_request_id_builder() {
+        let q = Query::new().with_request_id("test-1");
+        assert!(q.matches(&request("a", "b", "test-1", 0)));
+        assert!(!q.matches(&request("a", "b", "test-10", 0)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = Query::requests("a", "b")
+            .with_id_pattern(Pattern::new("test-*"))
+            .with_time_range(1, 2)
+            .with_faulted(true);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Query = serde_json::from_str(&json).unwrap();
+        assert_eq!(q, back);
+    }
+}

@@ -1,0 +1,537 @@
+//! The centralized observation store.
+//!
+//! Gremlin agents report every observation to a central store; the
+//! Assertion Checker then runs queries over it (paper §4.2). The
+//! paper's implementation used logstash + Elasticsearch; this store
+//! provides the same query surface — filtered, time-sorted retrieval —
+//! as an in-memory indexed structure.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::pattern::Pattern;
+
+use parking_lot::RwLock;
+
+use crate::event::{Event, Micros};
+use crate::query::Query;
+
+/// A sink that accepts observation events.
+///
+/// Gremlin agents hold an `Arc<dyn EventSink>`; in single-process
+/// deployments this is the [`EventStore`] itself, in distributed
+/// deployments it can be a forwarding client.
+pub trait EventSink: Send + Sync {
+    /// Records one observation.
+    fn record(&self, event: Event);
+}
+
+/// An in-memory, indexed, concurrently-writable event store.
+///
+/// Events are indexed by `(src, dst)` edge for the common
+/// `GetRequests(Src, Dst, …)` query shape. Query results are always
+/// sorted by timestamp, regardless of arrival order.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_store::{Event, EventStore, Query};
+/// use std::time::Duration;
+///
+/// let store = EventStore::new();
+/// store.record_event(Event::request("a", "b", "GET", "/x").with_request_id("test-1"));
+/// store.record_event(Event::response("a", "b", 503, Duration::from_millis(2)).with_request_id("test-1"));
+///
+/// let requests = store.query(&Query::requests("a", "b"));
+/// assert_eq!(requests.len(), 1);
+/// let replies = store.query(&Query::replies("a", "b"));
+/// assert_eq!(replies[0].status(), Some(503));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    /// Edge index: (src, dst) -> indices into `events`.
+    edges: HashMap<(String, String), Vec<usize>>,
+    /// Request-ID index: id -> indices into `events`. A BTreeMap so
+    /// prefix patterns can range-scan.
+    ids: BTreeMap<String, Vec<usize>>,
+}
+
+impl Inner {
+    fn index_event(&mut self, index: usize) {
+        let event = &self.events[index];
+        self.edges
+            .entry((event.src.clone(), event.dst.clone()))
+            .or_default()
+            .push(index);
+        if let Some(id) = &event.request_id {
+            self.ids.entry(id.clone()).or_default().push(index);
+        }
+    }
+
+    fn rebuild_indexes(&mut self) {
+        self.edges.clear();
+        self.ids.clear();
+        for index in 0..self.events.len() {
+            self.index_event(index);
+        }
+    }
+
+    /// Candidate indices for an id-pattern fast path, or `None` when
+    /// the pattern cannot use the index.
+    fn id_candidates(&self, pattern: &Pattern) -> Option<Vec<usize>> {
+        match pattern {
+            Pattern::Exact(id) => {
+                Some(self.ids.get(id).cloned().unwrap_or_default())
+            }
+            Pattern::Prefix(prefix) => {
+                let mut indices = Vec::new();
+                for (_, slots) in self
+                    .ids
+                    .range::<String, _>((
+                        std::ops::Bound::Included(prefix.clone()),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .take_while(|(id, _)| id.starts_with(prefix.as_str()))
+                {
+                    indices.extend_from_slice(slots);
+                }
+                indices.sort_unstable();
+                Some(indices)
+            }
+            Pattern::Any | Pattern::Glob(_) => None,
+        }
+    }
+}
+
+impl EventStore {
+    /// Creates an empty store.
+    pub fn new() -> EventStore {
+        EventStore::default()
+    }
+
+    /// Creates an empty store behind an [`Arc`], ready to share with
+    /// agents.
+    pub fn shared() -> Arc<EventStore> {
+        Arc::new(EventStore::new())
+    }
+
+    /// Appends one event.
+    pub fn record_event(&self, event: Event) {
+        let mut inner = self.inner.write();
+        let index = inner.events.len();
+        inner.events.push(event);
+        inner.index_event(index);
+    }
+
+    /// Appends many events.
+    pub fn extend(&self, events: impl IntoIterator<Item = Event>) {
+        for event in events {
+            self.record_event(event);
+        }
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.inner.read().events.len()
+    }
+
+    /// Returns `true` if the store holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all events (used between test runs; paper §9 "state
+    /// cleanup").
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        inner.events.clear();
+        inner.edges.clear();
+        inner.ids.clear();
+    }
+
+    /// Drops every event older than `cutoff_us` (log retention for
+    /// long-running agents), returning how many were removed. The
+    /// edge index is rebuilt.
+    pub fn prune_before(&self, cutoff_us: Micros) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.events.len();
+        inner.events.retain(|event| event.timestamp_us >= cutoff_us);
+        let removed = before - inner.events.len();
+        if removed > 0 {
+            inner.rebuild_indexes();
+        }
+        removed
+    }
+
+    /// Returns every stored event sorted by timestamp.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let inner = self.inner.read();
+        let mut events = inner.events.clone();
+        events.sort_by_key(|e| e.timestamp_us);
+        events
+    }
+
+    /// Runs `query`, returning matching events sorted by timestamp.
+    ///
+    /// When the query names both a source and destination, the edge
+    /// index narrows the scan; otherwise all events are filtered.
+    pub fn query(&self, query: &Query) -> Vec<Event> {
+        let inner = self.inner.read();
+        let mut result: Vec<Event> = match (&query.src, &query.dst) {
+            (Some(src), Some(dst)) => {
+                match inner.edges.get(&(src.clone(), dst.clone())) {
+                    Some(indices) => indices
+                        .iter()
+                        .map(|&i| &inner.events[i])
+                        .filter(|e| query.matches_unindexed(e))
+                        .cloned()
+                        .collect(),
+                    None => Vec::new(),
+                }
+            }
+            _ => {
+                // No edge filter: try the request-ID index before
+                // falling back to a full scan.
+                let candidates = query
+                    .id_pattern
+                    .as_ref()
+                    .and_then(|pattern| inner.id_candidates(pattern));
+                match candidates {
+                    Some(indices) => indices
+                        .iter()
+                        .map(|&i| &inner.events[i])
+                        .filter(|e| query.matches(e))
+                        .cloned()
+                        .collect(),
+                    None => inner
+                        .events
+                        .iter()
+                        .filter(|e| query.matches(e))
+                        .cloned()
+                        .collect(),
+                }
+            }
+        };
+        result.sort_by_key(|e| e.timestamp_us);
+        result
+    }
+
+    /// Counts matching events without materializing them.
+    pub fn count(&self, query: &Query) -> usize {
+        let inner = self.inner.read();
+        match (&query.src, &query.dst) {
+            (Some(src), Some(dst)) => match inner.edges.get(&(src.clone(), dst.clone())) {
+                Some(indices) => indices
+                    .iter()
+                    .filter(|&&i| query.matches_unindexed(&inner.events[i]))
+                    .count(),
+                None => 0,
+            },
+            _ => inner.events.iter().filter(|e| query.matches(e)).count(),
+        }
+    }
+
+    /// The timestamp of the earliest stored event, if any.
+    pub fn earliest(&self) -> Option<Micros> {
+        self.inner.read().events.iter().map(|e| e.timestamp_us).min()
+    }
+
+    /// The timestamp of the latest stored event, if any.
+    pub fn latest(&self) -> Option<Micros> {
+        self.inner.read().events.iter().map(|e| e.timestamp_us).max()
+    }
+
+    /// Serializes every event as newline-delimited JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialization fails.
+    pub fn export_json(&self) -> serde_json::Result<String> {
+        let mut out = String::new();
+        for event in self.snapshot() {
+            out.push_str(&serde_json::to_string(&event)?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Imports newline-delimited JSON produced by
+    /// [`EventStore::export_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` on the first malformed line.
+    pub fn import_json(&self, text: &str) -> serde_json::Result<usize> {
+        let mut imported = 0;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let event: Event = serde_json::from_str(line)?;
+            self.record_event(event);
+            imported += 1;
+        }
+        Ok(imported)
+    }
+}
+
+impl EventSink for EventStore {
+    fn record(&self, event: Event) {
+        self.record_event(event);
+    }
+}
+
+impl EventSink for Arc<EventStore> {
+    fn record(&self, event: Event) {
+        self.record_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::time::Duration;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::request("a", "b", "GET", "/1")
+                .with_request_id("test-1")
+                .with_timestamp(30),
+            Event::request("a", "b", "GET", "/2")
+                .with_request_id("test-2")
+                .with_timestamp(10),
+            Event::response("a", "b", 200, Duration::from_millis(1))
+                .with_request_id("test-1")
+                .with_timestamp(40),
+            Event::request("b", "c", "GET", "/3")
+                .with_request_id("test-1")
+                .with_timestamp(20),
+        ]
+    }
+
+    #[test]
+    fn record_and_len() {
+        let store = EventStore::new();
+        assert!(store.is_empty());
+        store.extend(sample_events());
+        assert_eq!(store.len(), 4);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn query_by_edge_sorted_by_time() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        let result = store.query(&Query::edge("a", "b"));
+        assert_eq!(result.len(), 3);
+        let times: Vec<_> = result.iter().map(|e| e.timestamp_us).collect();
+        assert_eq!(times, vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn query_requests_and_replies() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        let requests = store.query(&Query::requests("a", "b"));
+        assert_eq!(requests.len(), 2);
+        assert!(requests.iter().all(|e| e.kind.is_request()));
+        let replies = store.query(&Query::replies("a", "b"));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].status(), Some(200));
+    }
+
+    #[test]
+    fn query_unindexed_scans_everything() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        let all = store.query(&Query::new());
+        assert_eq!(all.len(), 4);
+        let by_id = store.query(&Query::new().with_request_id("test-1"));
+        assert_eq!(by_id.len(), 3);
+    }
+
+    #[test]
+    fn count_matches_query_len() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        for q in [
+            Query::new(),
+            Query::edge("a", "b"),
+            Query::requests("a", "b"),
+            Query::edge("nope", "b"),
+        ] {
+            assert_eq!(store.count(&q), store.query(&q).len());
+        }
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        store.clear();
+        assert!(store.is_empty());
+        assert!(store.query(&Query::edge("a", "b")).is_empty());
+    }
+
+    #[test]
+    fn id_index_exact_and_prefix_queries() {
+        let store = EventStore::new();
+        store.extend(sample_events()); // ids test-1 (x3), test-2
+        // Exact: uses the id index.
+        let exact = store.query(&Query::new().with_request_id("test-1"));
+        assert_eq!(exact.len(), 3);
+        assert!(exact.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        // Prefix: range-scans the id index.
+        let prefix = store.query(&Query::new().with_id_pattern(Pattern::new("test-*")));
+        assert_eq!(prefix.len(), 4);
+        // Prefix that excludes some ids.
+        let narrow = store.query(&Query::new().with_id_pattern(Pattern::new("test-2*")));
+        assert_eq!(narrow.len(), 1);
+        // Glob falls back to the scan and agrees.
+        let glob = store.query(&Query::new().with_id_pattern(Pattern::new("test-?")));
+        assert_eq!(glob.len(), 4);
+        // Missing id.
+        assert!(store
+            .query(&Query::new().with_request_id("nope"))
+            .is_empty());
+    }
+
+    #[test]
+    fn id_index_combines_with_other_filters() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        // id test-1 exists on edges (a,b) and (b,c); restrict by kind.
+        let query = Query {
+            kind: crate::KindFilter::Requests,
+            id_pattern: Some(Pattern::Exact("test-1".into())),
+            ..Query::default()
+        };
+        let result = store.query(&query);
+        assert_eq!(result.len(), 2);
+        assert!(result.iter().all(|e| e.kind.is_request()));
+        assert_eq!(store.count(&query), 2);
+    }
+
+    #[test]
+    fn id_index_survives_prune_and_clear() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        store.prune_before(25);
+        let after_prune = store.query(&Query::new().with_request_id("test-1"));
+        assert_eq!(after_prune.len(), 2); // timestamps 30 and 40 remain
+        store.clear();
+        assert!(store
+            .query(&Query::new().with_request_id("test-1"))
+            .is_empty());
+    }
+
+    #[test]
+    fn prune_removes_old_events_and_keeps_index_valid() {
+        let store = EventStore::new();
+        store.extend(sample_events()); // timestamps 10, 20, 30, 40
+        let removed = store.prune_before(25);
+        assert_eq!(removed, 2);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.earliest(), Some(30));
+        // The rebuilt index still answers edge queries correctly.
+        let edge = store.query(&Query::edge("a", "b"));
+        assert_eq!(edge.len(), 2);
+        assert!(edge.iter().all(|e| e.timestamp_us >= 25));
+        assert_eq!(store.count(&Query::edge("a", "b")), 2);
+    }
+
+    #[test]
+    fn prune_noop_when_nothing_old() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        assert_eq!(store.prune_before(0), 0);
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.query(&Query::edge("a", "b")).len(), 3);
+    }
+
+    #[test]
+    fn prune_everything() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        assert_eq!(store.prune_before(u64::MAX), 4);
+        assert!(store.is_empty());
+        assert!(store.query(&Query::edge("a", "b")).is_empty());
+    }
+
+    #[test]
+    fn earliest_latest() {
+        let store = EventStore::new();
+        assert_eq!(store.earliest(), None);
+        store.extend(sample_events());
+        assert_eq!(store.earliest(), Some(10));
+        assert_eq!(store.latest(), Some(40));
+    }
+
+    #[test]
+    fn json_export_import_round_trip() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        let json = store.export_json().unwrap();
+        let restored = EventStore::new();
+        let n = restored.import_json(&json).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(restored.snapshot(), store.snapshot());
+    }
+
+    #[test]
+    fn import_skips_blank_lines() {
+        let store = EventStore::new();
+        let event = Event::request("a", "b", "GET", "/").with_timestamp(1);
+        let json = format!("\n{}\n\n", serde_json::to_string(&event).unwrap());
+        assert_eq!(store.import_json(&json).unwrap(), 1);
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        let store = EventStore::new();
+        assert!(store.import_json("not json").is_err());
+    }
+
+    #[test]
+    fn concurrent_writers() {
+        let store = EventStore::shared();
+        let mut handles = Vec::new();
+        for thread_id in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.record_event(
+                        Event::request("a", "b", "GET", format!("/{thread_id}/{i}"))
+                            .with_timestamp((thread_id * 1000 + i) as u64),
+                    );
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(store.len(), 800);
+        let sorted = store.snapshot();
+        assert!(sorted.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+    }
+
+    #[test]
+    fn sink_trait_records() {
+        let store = EventStore::shared();
+        let sink: Arc<dyn EventSink> = store.clone();
+        sink.record(Event::request("x", "y", "GET", "/"));
+        assert_eq!(store.len(), 1);
+        assert!(matches!(
+            store.snapshot()[0].kind,
+            EventKind::Request { .. }
+        ));
+    }
+}

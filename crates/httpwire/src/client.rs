@@ -1,0 +1,374 @@
+//! A blocking HTTP/1.1 client with connect/read timeouts and
+//! keep-alive connection reuse.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::codec::{read_response_with_limits, write_request, Limits};
+use crate::error::HttpError;
+use crate::headers::names;
+use crate::message::{Request, Response};
+use crate::Result;
+
+/// Configuration for [`HttpClient`].
+///
+/// The three timeout knobs mirror the failure modes the Gremlin paper
+/// manipulates (§3.1): connection-establishment failures, delayed
+/// responses, and hangs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for TCP connection establishment. `None` blocks until
+    /// the OS gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for reading a full response once the request is sent.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for writing the request.
+    pub write_timeout: Option<Duration>,
+    /// Whether to pool idle connections for reuse (keep-alive).
+    pub keep_alive: bool,
+    /// Message size limits while parsing responses.
+    pub limits: Limits,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            keep_alive: true,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A blocking HTTP/1.1 client.
+///
+/// The client keeps a small pool of idle keep-alive connections per
+/// destination address. It is `Send + Sync`; clones share nothing (a
+/// fresh pool per clone) but are cheap to create.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gremlin_http::{HttpClient, Request};
+///
+/// # fn main() -> gremlin_http::Result<()> {
+/// let client = HttpClient::new();
+/// let response = client.send("127.0.0.1:8080", Request::get("/health"))?;
+/// assert!(response.status().is_success());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HttpClient {
+    config: ClientConfig,
+    idle: Mutex<HashMap<String, Vec<TcpStream>>>,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        HttpClient::new()
+    }
+}
+
+impl HttpClient {
+    /// Creates a client with [`ClientConfig::default`].
+    pub fn new() -> HttpClient {
+        HttpClient::with_config(ClientConfig::default())
+    }
+
+    /// Creates a client with explicit configuration.
+    pub fn with_config(config: ClientConfig) -> HttpClient {
+        HttpClient {
+            config,
+            idle: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Sends `request` to `addr` and waits for the response.
+    ///
+    /// A `Host` header is added when missing. Idle pooled connections
+    /// are reused when keep-alive is enabled; a send over a stale
+    /// pooled connection is retried once on a fresh connection.
+    ///
+    /// # Errors
+    ///
+    /// * [`HttpError::Timeout`] — connect, write or read deadline hit.
+    /// * [`HttpError::ConnectionClosed`] / I/O errors — the peer went
+    ///   away mid-exchange.
+    /// * Codec errors for malformed responses.
+    pub fn send(&self, addr: impl ToSocketAddrs + ToString, request: Request) -> Result<Response> {
+        let addr_text = addr.to_string();
+        let mut request = request;
+        if !request.headers().contains(names::HOST) {
+            request.headers_mut().insert(names::HOST, addr_text.clone());
+        }
+
+        // First try a pooled connection, falling back once to a fresh
+        // connection if the pooled one turned out to be dead.
+        if let Some(stream) = self.take_idle(&addr_text) {
+            match self.exchange(stream, &request, &addr_text) {
+                Ok(response) => return Ok(response),
+                Err(err) if err.is_connection_error() => { /* retry on fresh */ }
+                Err(err) => return Err(err),
+            }
+        }
+        let stream = self.connect(&addr_text)?;
+        self.exchange(stream, &request, &addr_text)
+    }
+
+    /// Establishes a raw TCP connection to `addr`, honoring the
+    /// connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Timeout`] on connect-deadline expiry or an
+    /// I/O error if the peer refuses the connection.
+    pub fn connect(&self, addr: &str) -> Result<TcpStream> {
+        let socket_addr: SocketAddr = resolve(addr)?;
+        let stream = match self.config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&socket_addr, timeout)?,
+            None => TcpStream::connect(socket_addr)?,
+        };
+        stream.set_read_timeout(self.config.read_timeout)?;
+        stream.set_write_timeout(self.config.write_timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    fn exchange(&self, stream: TcpStream, request: &Request, addr: &str) -> Result<Response> {
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        write_request(&mut writer, request)?;
+        drop(writer);
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let response = read_response_with_limits(&mut reader, self.config.limits)?;
+        let reusable = self.config.keep_alive
+            && !response.headers().connection_close()
+            && !request.headers().connection_close();
+        if reusable {
+            self.put_idle(addr, stream);
+        }
+        Ok(response)
+    }
+
+    fn take_idle(&self, addr: &str) -> Option<TcpStream> {
+        self.idle.lock().get_mut(addr)?.pop()
+    }
+
+    fn put_idle(&self, addr: &str, stream: TcpStream) {
+        const MAX_IDLE_PER_HOST: usize = 8;
+        let mut idle = self.idle.lock();
+        let bucket = idle.entry(addr.to_string()).or_default();
+        if bucket.len() < MAX_IDLE_PER_HOST {
+            bucket.push(stream);
+        }
+    }
+
+    /// Drops all pooled idle connections.
+    pub fn clear_pool(&self) {
+        self.idle.lock().clear();
+    }
+
+    /// Number of idle pooled connections across all hosts (for tests
+    /// and diagnostics).
+    pub fn idle_connections(&self) -> usize {
+        self.idle.lock().values().map(Vec::len).sum()
+    }
+}
+
+fn resolve(addr: &str) -> Result<SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| HttpError::Io(std::io::Error::other(format!("cannot resolve {addr}"))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{read_request, write_response};
+    use crate::message::Response;
+    use crate::status::StatusCode;
+    use std::net::TcpListener;
+    use std::thread;
+
+    /// Spawns a one-shot server handling `n` connections sequentially.
+    fn one_shot_server<F>(n: usize, handler: F) -> SocketAddr
+    where
+        F: Fn(Request) -> Response + Send + 'static,
+    {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for _ in 0..n {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                loop {
+                    let request = match read_request(&mut reader) {
+                        Ok(r) => r,
+                        Err(_) => break,
+                    };
+                    let close = request.headers().connection_close();
+                    let response = handler(request);
+                    let mut writer = BufWriter::new(stream.try_clone().unwrap());
+                    write_response(&mut writer, &response).unwrap();
+                    if close {
+                        break;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn send_receives_response() {
+        let addr = one_shot_server(1, |req| Response::ok(format!("path={}", req.path())));
+        let client = HttpClient::new();
+        let resp = client.send(addr, Request::get("/abc")).unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.body_str(), "path=/abc");
+    }
+
+    #[test]
+    fn host_header_is_added() {
+        let addr = one_shot_server(1, |req| {
+            Response::ok(req.headers().get("host").unwrap_or("").to_string())
+        });
+        let client = HttpClient::new();
+        let resp = client.send(addr, Request::get("/")).unwrap();
+        assert_eq!(resp.body_str(), addr.to_string());
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let addr = one_shot_server(1, |_| Response::ok("hi"));
+        let client = HttpClient::new();
+        client.send(addr, Request::get("/1")).unwrap();
+        assert_eq!(client.idle_connections(), 1);
+        // Second request must reuse the single accepted connection —
+        // the server only accepts once.
+        let resp = client.send(addr, Request::get("/2")).unwrap();
+        assert_eq!(resp.body_str(), "hi");
+        assert_eq!(client.idle_connections(), 1);
+    }
+
+    #[test]
+    fn connection_close_is_not_pooled() {
+        let addr = one_shot_server(2, |_| {
+            Response::builder(StatusCode::OK)
+                .header("Connection", "close")
+                .body("bye")
+                .build()
+        });
+        let client = HttpClient::new();
+        client.send(addr, Request::get("/")).unwrap();
+        assert_eq!(client.idle_connections(), 0);
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_retried() {
+        // Server handles exactly two connections, one request each,
+        // closing after each response — so the pooled connection from
+        // request 1 is dead by request 2.
+        let addr = one_shot_server(2, |_| Response::ok("x"));
+        let config = ClientConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            ..ClientConfig::default()
+        };
+        let client = HttpClient::with_config(config);
+        client.send(addr, Request::get("/1")).unwrap();
+        // Give the server thread a moment to close its end.
+        thread::sleep(Duration::from_millis(50));
+        let resp = client.send(addr, Request::get("/2")).unwrap();
+        assert_eq!(resp.body_str(), "x");
+    }
+
+    #[test]
+    fn read_timeout_fires() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let (_stream, _) = listener.accept().unwrap();
+            thread::sleep(Duration::from_secs(5));
+        });
+        let config = ClientConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            ..ClientConfig::default()
+        };
+        let client = HttpClient::with_config(config);
+        let err = client.send(addr, Request::get("/slow")).unwrap_err();
+        assert!(err.is_timeout(), "expected timeout, got {err}");
+    }
+
+    #[test]
+    fn connect_refused_is_connection_error() {
+        // Bind then drop to find a port that refuses connections.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let client = HttpClient::new();
+        let err = client.send(addr, Request::get("/")).unwrap_err();
+        assert!(err.is_connection_error(), "got {err}");
+    }
+
+    #[test]
+    fn idle_pool_is_capped_per_host() {
+        // A server happily holding many keep-alive connections.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            let mut workers = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                workers.push(thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    while read_request(&mut reader).is_ok() {
+                        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+                        let _ = write_response(&mut writer, &Response::ok("x"));
+                    }
+                }));
+            }
+        });
+        // Drive 12 concurrent exchanges through one shared client so
+        // 12 distinct connections open, then all try to park.
+        let client = Arc::new(HttpClient::new());
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let client = Arc::clone(&client);
+                thread::spawn(move || {
+                    client.send(addr, Request::get("/")).unwrap();
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(
+            client.idle_connections() <= 8,
+            "pool must cap idle connections, got {}",
+            client.idle_connections()
+        );
+    }
+
+    use std::sync::Arc;
+
+    #[test]
+    fn clear_pool_drops_connections() {
+        let addr = one_shot_server(1, |_| Response::ok("hi"));
+        let client = HttpClient::new();
+        client.send(addr, Request::get("/")).unwrap();
+        assert_eq!(client.idle_connections(), 1);
+        client.clear_pool();
+        assert_eq!(client.idle_connections(), 0);
+    }
+}

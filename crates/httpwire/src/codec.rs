@@ -1,0 +1,674 @@
+//! Wire-level parsing and serialization of HTTP/1.1 messages.
+//!
+//! The codec is deliberately small: it supports `Content-Length` and
+//! `Transfer-Encoding: chunked` bodies, enforces configurable head and
+//! body size limits, and works over any blocking [`std::io::Read`]/[`Write`]
+//! pair. This is the entire protocol surface the Gremlin data plane
+//! needs to proxy microservice API calls.
+
+use std::io::{BufRead, Write};
+
+use bytes::Bytes;
+
+use crate::error::HttpError;
+use crate::headers::HeaderMap;
+use crate::message::{Request, Response, HTTP_VERSION};
+use crate::method::Method;
+use crate::status::StatusCode;
+use crate::Result;
+
+/// Size limits applied while reading messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum size of the request/status line plus headers, in bytes.
+    pub max_head_bytes: usize,
+    /// Maximum body size, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 64 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Reads one HTTP request from `reader` using default [`Limits`].
+///
+/// # Errors
+///
+/// Returns [`HttpError::ConnectionClosed`] if the stream ends before a
+/// full message, or a protocol-specific variant on malformed input.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request> {
+    read_request_with_limits(reader, Limits::default())
+}
+
+/// Reads one HTTP request from `reader` with explicit limits.
+///
+/// # Errors
+///
+/// See [`read_request`]; additionally returns
+/// [`HttpError::HeadTooLarge`] / [`HttpError::BodyTooLarge`] when the
+/// limits are exceeded.
+pub fn read_request_with_limits<R: BufRead>(reader: &mut R, limits: Limits) -> Result<Request> {
+    let head = read_head(reader, limits.max_head_bytes)?;
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::InvalidRequestLine(String::new()))?;
+    let (method, target, version) = parse_request_line(request_line)?;
+    if version != HTTP_VERSION && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(version.to_string()));
+    }
+    let headers = parse_headers(lines)?;
+    let body = read_body(reader, &headers, limits)?;
+    let mut builder = Request::builder(method, target);
+    for (name, value) in headers.iter() {
+        builder = builder.header(name, value);
+    }
+    let mut request = builder.build();
+    if !body.is_empty() || request.headers().contains("content-length") {
+        // set_body normalizes Content-Length to the actual body size.
+        request.set_body(body);
+    }
+    Ok(request)
+}
+
+/// Reads one HTTP response from `reader` using default [`Limits`].
+///
+/// # Errors
+///
+/// Returns [`HttpError::ConnectionClosed`] if the stream ends before a
+/// full message, or a protocol-specific variant on malformed input.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response> {
+    read_response_with_limits(reader, Limits::default())
+}
+
+/// Reads one HTTP response from `reader` with explicit limits.
+///
+/// # Errors
+///
+/// See [`read_response`]; additionally returns
+/// [`HttpError::HeadTooLarge`] / [`HttpError::BodyTooLarge`] when the
+/// limits are exceeded.
+pub fn read_response_with_limits<R: BufRead>(reader: &mut R, limits: Limits) -> Result<Response> {
+    let head = read_head(reader, limits.max_head_bytes)?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::InvalidStatusLine(String::new()))?;
+    let (status, reason) = parse_status_line(status_line)?;
+    let headers = parse_headers(lines)?;
+    // HEAD responses and 1xx/204/304 have no body by definition, but
+    // our internal servers always frame with Content-Length, so only
+    // the generic paths are needed here.
+    let body = if headers.contains("content-length") || headers.is_chunked() {
+        read_body(reader, &headers, limits)?
+    } else if status == crate::StatusCode::NO_CONTENT
+        || status == crate::StatusCode::NOT_MODIFIED
+        || status.is_informational()
+    {
+        Bytes::new()
+    } else {
+        read_response_body(reader, &headers, limits)?
+    };
+    let mut builder = Response::builder(status).reason(reason);
+    for (name, value) in headers.iter() {
+        builder = builder.header(name, value);
+    }
+    let mut response = builder.build();
+    response.set_body(body);
+    Ok(response)
+}
+
+/// Serializes `request` to `writer` as HTTP/1.1.
+///
+/// The body is written with an explicit `Content-Length`; any
+/// `Transfer-Encoding` header is dropped because the body is already
+/// fully buffered.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_request<W: Write>(writer: &mut W, request: &Request) -> Result<()> {
+    let mut head = String::with_capacity(128);
+    head.push_str(request.method().as_str());
+    head.push(' ');
+    head.push_str(if request.target().is_empty() {
+        "/"
+    } else {
+        request.target()
+    });
+    head.push(' ');
+    head.push_str(HTTP_VERSION);
+    head.push_str("\r\n");
+    write_headers(&mut head, request.headers(), request.body().len());
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(request.body())?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Serializes `response` to `writer` as HTTP/1.1.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> Result<()> {
+    let mut head = String::with_capacity(128);
+    head.push_str(HTTP_VERSION);
+    head.push(' ');
+    head.push_str(&response.status().to_string());
+    head.push(' ');
+    head.push_str(response.reason());
+    head.push_str("\r\n");
+    write_headers(&mut head, response.headers(), response.body().len());
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(response.body())?;
+    writer.flush()?;
+    Ok(())
+}
+
+fn write_headers(head: &mut String, headers: &HeaderMap, body_len: usize) {
+    let mut wrote_content_length = false;
+    for (name, value) in headers.iter() {
+        if name.eq_ignore_ascii_case("transfer-encoding") {
+            continue;
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            if wrote_content_length {
+                continue;
+            }
+            wrote_content_length = true;
+            head.push_str("Content-Length: ");
+            head.push_str(&body_len.to_string());
+            head.push_str("\r\n");
+            continue;
+        }
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if !wrote_content_length {
+        head.push_str("Content-Length: ");
+        head.push_str(&body_len.to_string());
+        head.push_str("\r\n");
+    }
+}
+
+/// Reads bytes up to and including the blank line terminating the
+/// message head, returning the head without the final blank line.
+fn read_head<R: BufRead>(reader: &mut R, limit: usize) -> Result<String> {
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if head.is_empty() {
+                return Err(HttpError::ConnectionClosed);
+            }
+            return Err(HttpError::ConnectionClosed);
+        }
+        // Look for terminator across the already-consumed tail plus
+        // the new buffer.
+        let mut consumed = 0;
+        let mut done = false;
+        for &byte in available {
+            head.push(byte);
+            consumed += 1;
+            if head.len() > limit {
+                return Err(HttpError::HeadTooLarge { limit });
+            }
+            if head.ends_with(b"\r\n\r\n") {
+                done = true;
+                break;
+            }
+            // Tolerate bare-LF clients.
+            if head.ends_with(b"\n\n") {
+                done = true;
+                break;
+            }
+        }
+        reader.consume(consumed);
+        if done {
+            break;
+        }
+    }
+    // Strip the trailing blank line.
+    while head.ends_with(b"\n") || head.ends_with(b"\r") {
+        head.pop();
+    }
+    String::from_utf8(head).map_err(|_| HttpError::InvalidHeader("non-utf8 head".to_string()))
+}
+
+fn parse_request_line(line: &str) -> Result<(Method, String, String)> {
+    let mut parts = line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::InvalidRequestLine(line.to_string()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::InvalidRequestLine(line.to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::InvalidRequestLine(line.to_string()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::InvalidRequestLine(line.to_string()));
+    }
+    let method: Method = method
+        .parse()
+        .map_err(|_| HttpError::InvalidRequestLine(line.to_string()))?;
+    Ok((method, target.to_string(), version.to_string()))
+}
+
+fn parse_status_line(line: &str) -> Result<(StatusCode, String)> {
+    let rest = line
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| line.strip_prefix("HTTP/1.0 "))
+        .ok_or_else(|| HttpError::InvalidStatusLine(line.to_string()))?;
+    let (code_text, reason) = match rest.split_once(' ') {
+        Some((code, reason)) => (code, reason),
+        None => (rest, ""),
+    };
+    let code: u16 = code_text
+        .parse()
+        .map_err(|_| HttpError::InvalidStatusLine(line.to_string()))?;
+    let status = StatusCode::new(code)?;
+    Ok((status, reason.to_string()))
+}
+
+fn parse_headers<'a, I: Iterator<Item = &'a str>>(lines: I) -> Result<HeaderMap> {
+    let mut headers = HeaderMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::InvalidHeader(line.to_string()))?;
+        let name = name.trim();
+        if name.is_empty() || !name.bytes().all(crate::method::is_token_byte) {
+            return Err(HttpError::InvalidHeader(line.to_string()));
+        }
+        headers.append(name, value.trim());
+    }
+    Ok(headers)
+}
+
+fn read_body<R: BufRead>(reader: &mut R, headers: &HeaderMap, limits: Limits) -> Result<Bytes> {
+    read_body_impl(reader, headers, limits, false)
+}
+
+/// Response bodies additionally support the RFC 7230 §3.3.3 fallback:
+/// with neither `Content-Length` nor chunked framing, the body runs
+/// until the peer closes the connection.
+fn read_response_body<R: BufRead>(
+    reader: &mut R,
+    headers: &HeaderMap,
+    limits: Limits,
+) -> Result<Bytes> {
+    read_body_impl(reader, headers, limits, true)
+}
+
+fn read_body_impl<R: BufRead>(
+    reader: &mut R,
+    headers: &HeaderMap,
+    limits: Limits,
+    until_close_fallback: bool,
+) -> Result<Bytes> {
+    if headers.is_chunked() {
+        return read_chunked_body(reader, limits.max_body_bytes);
+    }
+    match headers.get("content-length") {
+        Some(value) => {
+            let len: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::InvalidContentLength(value.to_string()))?;
+            if len > limits.max_body_bytes {
+                return Err(HttpError::BodyTooLarge {
+                    limit: limits.max_body_bytes,
+                });
+            }
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            Ok(Bytes::from(body))
+        }
+        None if until_close_fallback => {
+            // Read until the peer closes, bounded by the body limit.
+            let mut body = Vec::new();
+            let mut chunk = [0u8; 8192];
+            loop {
+                match std::io::Read::read(reader, &mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        if body.len() + n > limits.max_body_bytes {
+                            return Err(HttpError::BodyTooLarge {
+                                limit: limits.max_body_bytes,
+                            });
+                        }
+                        body.extend_from_slice(&chunk[..n]);
+                    }
+                    Err(err) => return Err(err.into()),
+                }
+            }
+            Ok(Bytes::from(body))
+        }
+        None => Ok(Bytes::new()),
+    }
+}
+
+fn read_chunked_body<R: BufRead>(reader: &mut R, limit: usize) -> Result<Bytes> {
+    let mut body: Vec<u8> = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        let size_text = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| HttpError::InvalidChunkSize(line.clone()))?;
+        if size == 0 {
+            // Consume trailer lines until the final blank line.
+            loop {
+                let trailer = read_line(reader)?;
+                if trailer.is_empty() {
+                    break;
+                }
+            }
+            return Ok(Bytes::from(body));
+        }
+        if body.len() + size > limit {
+            return Err(HttpError::BodyTooLarge { limit });
+        }
+        let mut chunk = vec![0u8; size];
+        reader.read_exact(&mut chunk)?;
+        body.extend_from_slice(&chunk);
+        // Chunk data is followed by CRLF.
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::InvalidChunkSize("missing chunk crlf".to_string()));
+        }
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::ConnectionClosed);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_req(raw: &[u8]) -> Result<Request> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    fn parse_resp(raw: &[u8]) -> Result<Response> {
+        read_response(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parse_simple_get() {
+        let req = parse_req(b"GET /a/b?c=d HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(*req.method(), Method::Get);
+        assert_eq!(req.target(), "/a/b?c=d");
+        assert_eq!(req.headers().get("host"), Some("x"));
+        assert!(req.body().is_empty());
+    }
+
+    #[test]
+    fn parse_post_with_body() {
+        let req =
+            parse_req(b"POST /p HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(&req.body()[..], b"hello");
+    }
+
+    #[test]
+    fn parse_bare_lf_head() {
+        let req = parse_req(b"GET / HTTP/1.1\nHost: y\n\n").unwrap();
+        assert_eq!(req.headers().get("host"), Some("y"));
+    }
+
+    #[test]
+    fn parse_http10_accepted() {
+        let req = parse_req(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.path(), "/");
+    }
+
+    #[test]
+    fn parse_rejects_bad_version() {
+        assert!(matches!(
+            parse_req(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_request_line() {
+        assert!(parse_req(b"GARBAGE\r\n\r\n").is_err());
+        assert!(parse_req(b"GET /\r\n\r\n").is_err());
+        assert!(parse_req(b"GET / HTTP/1.1 extra\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        assert!(matches!(
+            parse_req(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(HttpError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_content_length() {
+        assert!(matches!(
+            parse_req(b"GET / HTTP/1.1\r\nContent-Length: zz\r\n\r\n"),
+            Err(HttpError::InvalidContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn parse_enforces_head_limit() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        let err = read_request_with_limits(
+            &mut BufReader::new(raw.as_bytes()),
+            Limits {
+                max_head_bytes: 50,
+                max_body_bytes: 100,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::HeadTooLarge { limit: 50 }));
+    }
+
+    #[test]
+    fn parse_enforces_body_limit() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        let err = read_request_with_limits(
+            &mut BufReader::new(&raw[..]),
+            Limits {
+                max_head_bytes: 1024,
+                max_body_bytes: 10,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 10 }));
+    }
+
+    #[test]
+    fn parse_truncated_body_is_connection_closed() {
+        let err = parse_req(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab").unwrap_err();
+        assert!(matches!(err, HttpError::ConnectionClosed));
+    }
+
+    #[test]
+    fn parse_empty_stream_is_connection_closed() {
+        assert!(matches!(
+            parse_req(b""),
+            Err(HttpError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn parse_response_basic() {
+        let resp = parse_resp(b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 3\r\n\r\nerr")
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.reason(), "Service Unavailable");
+        assert_eq!(resp.body_str(), "err");
+    }
+
+    #[test]
+    fn parse_response_without_reason() {
+        let resp = parse_resp(b"HTTP/1.1 200\r\n\r\n").unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.reason(), "");
+    }
+
+    #[test]
+    fn parse_response_without_length_reads_until_close() {
+        let resp = parse_resp(b"HTTP/1.1 200 OK\r\n\r\nhello until close").unwrap();
+        assert_eq!(resp.body_str(), "hello until close");
+        // Re-framed with an explicit length afterwards.
+        assert_eq!(resp.headers().get_int("content-length"), Some(17));
+    }
+
+    #[test]
+    fn parse_bodiless_statuses_without_length() {
+        let resp = parse_resp(b"HTTP/1.1 204 No Content\r\n\r\n").unwrap();
+        assert_eq!(resp.status(), StatusCode::NO_CONTENT);
+        assert!(resp.body().is_empty());
+        let resp = parse_resp(b"HTTP/1.1 304 Not Modified\r\n\r\n").unwrap();
+        assert!(resp.body().is_empty());
+    }
+
+    #[test]
+    fn read_until_close_respects_body_limit() {
+        let mut raw = b"HTTP/1.1 200 OK\r\n\r\n".to_vec();
+        raw.extend_from_slice(&[b'x'; 64]);
+        let err = read_response_with_limits(
+            &mut BufReader::new(&raw[..]),
+            Limits {
+                max_head_bytes: 1024,
+                max_body_bytes: 16,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 16 }));
+    }
+
+    #[test]
+    fn parse_chunked_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let resp = parse_resp(raw).unwrap();
+        assert_eq!(resp.body_str(), "hello world");
+        // After reading, the body is re-framed with Content-Length.
+        assert_eq!(resp.headers().get_int("content-length"), Some(11));
+    }
+
+    #[test]
+    fn parse_chunked_with_extension_and_trailer() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=1\r\nabc\r\n0\r\nX-T: 1\r\n\r\n";
+        let resp = parse_resp(raw).unwrap();
+        assert_eq!(resp.body_str(), "abc");
+    }
+
+    #[test]
+    fn parse_chunked_bad_size() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        assert!(matches!(
+            parse_resp(raw),
+            Err(HttpError::InvalidChunkSize(_))
+        ));
+    }
+
+    #[test]
+    fn parse_chunked_body_limit() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\n";
+        let err = read_response_with_limits(
+            &mut BufReader::new(&raw[..]),
+            Limits {
+                max_head_bytes: 1024,
+                max_body_bytes: 16,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 16 }));
+    }
+
+    #[test]
+    fn write_then_read_request_round_trip() {
+        let req = Request::builder(Method::Post, "/round?trip=1")
+            .header("Host", "svc")
+            .header("X-Custom", "v")
+            .body("payload")
+            .request_id("test-1")
+            .build();
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let parsed = parse_req(&buf).unwrap();
+        assert_eq!(parsed.method(), req.method());
+        assert_eq!(parsed.target(), req.target());
+        assert_eq!(parsed.body(), req.body());
+        assert_eq!(parsed.request_id(), Some("test-1"));
+        assert_eq!(parsed.headers().get("x-custom"), Some("v"));
+    }
+
+    #[test]
+    fn write_then_read_response_round_trip() {
+        let resp = Response::builder(StatusCode::CREATED)
+            .header("X-Y", "z")
+            .body("made")
+            .build();
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let parsed = parse_resp(&buf).unwrap();
+        assert_eq!(parsed.status(), resp.status());
+        assert_eq!(parsed.body(), resp.body());
+        assert_eq!(parsed.headers().get("x-y"), Some("z"));
+    }
+
+    #[test]
+    fn write_empty_target_becomes_slash() {
+        let req = Request::builder(Method::Get, "").build();
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        assert!(buf.starts_with(b"GET / HTTP/1.1\r\n"));
+    }
+
+    #[test]
+    fn write_drops_transfer_encoding_and_fixes_length() {
+        let mut resp = Response::builder(StatusCode::OK)
+            .header("Transfer-Encoding", "chunked")
+            .header("Content-Length", "999")
+            .build();
+        resp.set_body("four");
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(!text.to_lowercase().contains("transfer-encoding"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+    }
+
+    #[test]
+    fn two_pipelined_requests_parse_sequentially() {
+        let raw = b"GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let r1 = read_request(&mut reader).unwrap();
+        let r2 = read_request(&mut reader).unwrap();
+        assert_eq!(r1.path(), "/1");
+        assert_eq!(r2.path(), "/2");
+    }
+}

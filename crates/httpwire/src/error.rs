@@ -1,0 +1,176 @@
+//! Error types for the HTTP codec, client and server.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+/// Errors produced while parsing, serializing or transporting HTTP
+/// messages.
+///
+/// All fallible public functions in this crate return
+/// [`Result<T, HttpError>`](crate::Result).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// An underlying socket or stream operation failed.
+    Io(io::Error),
+    /// The peer closed the connection before a complete message was
+    /// received.
+    ConnectionClosed,
+    /// The request line could not be parsed.
+    InvalidRequestLine(String),
+    /// The status line could not be parsed.
+    InvalidStatusLine(String),
+    /// A header line was malformed (missing `:` separator or invalid
+    /// characters).
+    InvalidHeader(String),
+    /// The message head (request/status line plus headers) exceeded
+    /// the configured size limit.
+    HeadTooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The message body exceeded the configured size limit.
+    BodyTooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// A `Content-Length` header was present but unparseable.
+    InvalidContentLength(String),
+    /// A chunked body had a malformed chunk-size line.
+    InvalidChunkSize(String),
+    /// An unsupported HTTP version was encountered.
+    UnsupportedVersion(String),
+    /// A status code outside the range 100..=999 was supplied.
+    InvalidStatusCode(u16),
+    /// The operation did not complete within its deadline.
+    Timeout,
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(err) => write!(f, "i/o error: {err}"),
+            HttpError::ConnectionClosed => write!(f, "connection closed before message completed"),
+            HttpError::InvalidRequestLine(line) => write!(f, "invalid request line: {line:?}"),
+            HttpError::InvalidStatusLine(line) => write!(f, "invalid status line: {line:?}"),
+            HttpError::InvalidHeader(line) => write!(f, "invalid header line: {line:?}"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "message head exceeds limit of {limit} bytes")
+            }
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "message body exceeds limit of {limit} bytes")
+            }
+            HttpError::InvalidContentLength(value) => {
+                write!(f, "invalid content-length: {value:?}")
+            }
+            HttpError::InvalidChunkSize(value) => write!(f, "invalid chunk size: {value:?}"),
+            HttpError::UnsupportedVersion(version) => {
+                write!(f, "unsupported http version: {version:?}")
+            }
+            HttpError::InvalidStatusCode(code) => write!(f, "invalid status code: {code}"),
+            HttpError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl StdError for HttpError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            HttpError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(err: io::Error) -> Self {
+        match err.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => HttpError::Timeout,
+            io::ErrorKind::UnexpectedEof => HttpError::ConnectionClosed,
+            _ => HttpError::Io(err),
+        }
+    }
+}
+
+impl HttpError {
+    /// Returns `true` if the error indicates the peer went away
+    /// (reset, closed, or refused), as opposed to a protocol error.
+    pub fn is_connection_error(&self) -> bool {
+        match self {
+            HttpError::ConnectionClosed => true,
+            HttpError::Io(err) => matches!(
+                err.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::BrokenPipe
+                    | io::ErrorKind::NotConnected
+            ),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the error is a timeout (connect, read or
+    /// write deadline exceeded).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, HttpError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors: Vec<HttpError> = vec![
+            HttpError::ConnectionClosed,
+            HttpError::InvalidRequestLine("x".into()),
+            HttpError::InvalidStatusLine("x".into()),
+            HttpError::InvalidHeader("x".into()),
+            HttpError::HeadTooLarge { limit: 1 },
+            HttpError::BodyTooLarge { limit: 1 },
+            HttpError::InvalidContentLength("x".into()),
+            HttpError::InvalidChunkSize("x".into()),
+            HttpError::UnsupportedVersion("x".into()),
+            HttpError::InvalidStatusCode(1000),
+            HttpError::Timeout,
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn io_timeout_maps_to_timeout() {
+        let io = io::Error::new(io::ErrorKind::TimedOut, "t");
+        assert!(HttpError::from(io).is_timeout());
+        let io = io::Error::new(io::ErrorKind::WouldBlock, "t");
+        assert!(HttpError::from(io).is_timeout());
+    }
+
+    #[test]
+    fn io_eof_maps_to_connection_closed() {
+        let io = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(HttpError::from(io), HttpError::ConnectionClosed));
+    }
+
+    #[test]
+    fn connection_error_classification() {
+        let reset = HttpError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "r"));
+        assert!(reset.is_connection_error());
+        assert!(HttpError::ConnectionClosed.is_connection_error());
+        assert!(!HttpError::Timeout.is_connection_error());
+        assert!(!HttpError::InvalidStatusCode(1000).is_connection_error());
+    }
+
+    #[test]
+    fn source_is_set_for_io() {
+        let err = HttpError::Io(io::Error::other("inner"));
+        assert!(err.source().is_some());
+        assert!(HttpError::Timeout.source().is_none());
+    }
+}

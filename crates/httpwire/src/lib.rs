@@ -1,0 +1,62 @@
+//! # gremlin-http
+//!
+//! A from-scratch HTTP/1.1 subset used as the wire substrate of the
+//! Gremlin resilience-testing framework (Heorhiadi et al., ICDCS
+//! 2016). Microservices in the `gremlin-mesh` runtime speak this
+//! protocol over real TCP sockets, and the Gremlin agents in
+//! `gremlin-proxy` intercept and manipulate these messages to stage
+//! failures.
+//!
+//! The crate provides:
+//!
+//! * message types — [`Request`], [`Response`], [`Method`],
+//!   [`StatusCode`], [`HeaderMap`];
+//! * a wire codec — [`codec::read_request`], [`codec::write_response`]
+//!   and friends, supporting `Content-Length` and chunked bodies;
+//! * a blocking [`HttpClient`] with connect/read/write timeouts and
+//!   keep-alive pooling;
+//! * a multi-threaded [`HttpServer`];
+//! * a reusable [`ThreadPool`].
+//!
+//! # Examples
+//!
+//! ```
+//! use gremlin_http::{HttpClient, HttpServer, Request, Response};
+//!
+//! # fn main() -> gremlin_http::Result<()> {
+//! let server = HttpServer::bind("127.0.0.1:0", |req: Request, _conn: &_| {
+//!     Response::ok(format!("you asked for {}", req.path()))
+//! })?;
+//!
+//! let client = HttpClient::new();
+//! let response = client.send(server.local_addr(), Request::get("/catalog"))?;
+//! assert_eq!(response.body_str(), "you asked for /catalog");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod error;
+pub mod headers;
+pub mod message;
+mod method;
+mod pool;
+pub mod server;
+mod status;
+pub mod track;
+
+pub use client::{ClientConfig, HttpClient};
+pub use error::HttpError;
+pub use headers::{names as header_names, HeaderMap};
+pub use message::{Request, RequestBuilder, Response, ResponseBuilder, HTTP_VERSION};
+pub use method::Method;
+pub use pool::ThreadPool;
+pub use server::{ConnInfo, Handler, HttpServer, ServerConfig};
+pub use status::StatusCode;
+pub use track::ConnTracker;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, HttpError>;

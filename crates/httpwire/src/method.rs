@@ -1,0 +1,160 @@
+//! HTTP request methods.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::HttpError;
+
+/// An HTTP request method.
+///
+/// The common methods are represented as dedicated variants; anything
+/// else round-trips through [`Method::Extension`].
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_http::Method;
+///
+/// let m: Method = "GET".parse().unwrap();
+/// assert_eq!(m, Method::Get);
+/// assert_eq!(m.as_str(), "GET");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Method {
+    /// `GET`
+    #[default]
+    Get,
+    /// `HEAD`
+    Head,
+    /// `POST`
+    Post,
+    /// `PUT`
+    Put,
+    /// `DELETE`
+    Delete,
+    /// `OPTIONS`
+    Options,
+    /// `PATCH`
+    Patch,
+    /// Any other token, stored verbatim.
+    Extension(String),
+}
+
+impl Method {
+    /// Returns the canonical upper-case string form of the method.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+            Method::Patch => "PATCH",
+            Method::Extension(s) => s,
+        }
+    }
+
+    /// Returns `true` if the method is safe (read-only) per RFC 7231:
+    /// `GET`, `HEAD` or `OPTIONS`.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Method::Get | Method::Head | Method::Options)
+    }
+
+    /// Returns `true` if requests with this method are idempotent per
+    /// RFC 7231 (safe methods plus `PUT` and `DELETE`).
+    ///
+    /// Resilience patterns use this to decide whether an API call may
+    /// be retried automatically.
+    pub fn is_idempotent(&self) -> bool {
+        self.is_safe() || matches!(self, Method::Put | Method::Delete)
+    }
+}
+
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Method {
+    type Err = HttpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(is_token_byte) {
+            return Err(HttpError::InvalidRequestLine(s.to_string()));
+        }
+        Ok(match s {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "DELETE" => Method::Delete,
+            "OPTIONS" => Method::Options,
+            "PATCH" => Method::Patch,
+            other => Method::Extension(other.to_string()),
+        })
+    }
+}
+
+/// Returns `true` for bytes allowed in an HTTP token (RFC 7230 §3.2.6).
+pub(crate) fn is_token_byte(b: u8) -> bool {
+    matches!(b,
+        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.'
+        | b'^' | b'_' | b'`' | b'|' | b'~'
+        | b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_methods() {
+        for (text, method) in [
+            ("GET", Method::Get),
+            ("HEAD", Method::Head),
+            ("POST", Method::Post),
+            ("PUT", Method::Put),
+            ("DELETE", Method::Delete),
+            ("OPTIONS", Method::Options),
+            ("PATCH", Method::Patch),
+        ] {
+            assert_eq!(text.parse::<Method>().unwrap(), method);
+            assert_eq!(method.as_str(), text);
+        }
+    }
+
+    #[test]
+    fn parse_extension_method() {
+        let m: Method = "PURGE".parse().unwrap();
+        assert_eq!(m, Method::Extension("PURGE".to_string()));
+        assert_eq!(m.to_string(), "PURGE");
+    }
+
+    #[test]
+    fn parse_rejects_invalid_tokens() {
+        assert!("".parse::<Method>().is_err());
+        assert!("GE T".parse::<Method>().is_err());
+        assert!("GET\r".parse::<Method>().is_err());
+        assert!("G(T".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn safety_and_idempotency() {
+        assert!(Method::Get.is_safe());
+        assert!(Method::Head.is_safe());
+        assert!(!Method::Post.is_safe());
+        assert!(Method::Put.is_idempotent());
+        assert!(Method::Delete.is_idempotent());
+        assert!(!Method::Post.is_idempotent());
+        assert!(Method::Get.is_idempotent());
+    }
+
+    #[test]
+    fn default_is_get() {
+        assert_eq!(Method::default(), Method::Get);
+    }
+}

@@ -1,0 +1,170 @@
+//! A small fixed-size thread pool used by the HTTP server and by the
+//! Gremlin agent's data path.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing submitted closures.
+///
+/// Jobs that panic are contained: the worker thread survives and keeps
+/// draining the queue. Dropping the pool signals shutdown and joins
+/// all workers after in-flight jobs complete.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_http::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(4, "example");
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..16 {
+///     let counter = Arc::clone(&counter);
+///     pool.execute(move || {
+///         counter.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// drop(pool); // joins workers
+/// assert_eq!(counter.load(Ordering::SeqCst), 16);
+/// ```
+#[derive(Debug)]
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `size` worker threads named `{name}-{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize, name: &str) -> ThreadPool {
+        assert!(size > 0, "thread pool size must be non-zero");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let mut workers = Vec::with_capacity(size);
+        for index in 0..size {
+            let receiver = Arc::clone(&receiver);
+            let handle = thread::Builder::new()
+                .name(format!("{name}-{index}"))
+                .spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock();
+                        guard.recv()
+                    };
+                    match job {
+                        Ok(job) => {
+                            // A panicking job must not take the worker
+                            // down with it.
+                            let _ = catch_unwind(AssertUnwindSafe(job));
+                        }
+                        Err(_) => break,
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            workers.push(handle);
+        }
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Submits a job for execution on some worker thread.
+    ///
+    /// Jobs submitted after the pool has begun shutting down are
+    /// silently dropped.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(Box::new(job));
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes workers exit once drained.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(3, "t");
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = ThreadPool::new(1, "t");
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| panic!("boom"));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool);
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn size_reports_worker_count() {
+        let pool = ThreadPool::new(5, "t");
+        assert_eq!(pool.size(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_panics() {
+        let _ = ThreadPool::new(0, "t");
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        let pool = ThreadPool::new(4, "t");
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            pool.execute(move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(50));
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool);
+        assert!(peak.load(Ordering::SeqCst) >= 2);
+    }
+}

@@ -1,0 +1,393 @@
+//! A multi-threaded blocking HTTP/1.1 server.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::codec::{read_request_with_limits, write_response, Limits};
+use crate::error::HttpError;
+use crate::message::{Request, Response};
+use crate::pool::ThreadPool;
+use crate::status::StatusCode;
+use crate::track::ConnTracker;
+use crate::Result;
+
+/// Information about the connection a request arrived on.
+#[derive(Debug, Clone)]
+pub struct ConnInfo {
+    /// Address of the remote peer.
+    pub peer_addr: SocketAddr,
+    /// Address the server accepted the connection on.
+    pub local_addr: SocketAddr,
+}
+
+/// A request handler: maps a request (plus connection metadata) to a
+/// response.
+///
+/// Implemented for all matching closures.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for `request`.
+    fn handle(&self, request: Request, conn: &ConnInfo) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request, &ConnInfo) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: Request, conn: &ConnInfo) -> Response {
+        self(request, conn)
+    }
+}
+
+/// Configuration for [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Per-connection idle read timeout; when it expires the
+    /// keep-alive connection is closed.
+    pub read_timeout: Option<Duration>,
+    /// Message size limits for incoming requests.
+    pub limits: Limits,
+    /// Server name used for worker threads.
+    pub name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            read_timeout: Some(Duration::from_secs(30)),
+            limits: Limits::default(),
+            name: "http-server".to_string(),
+        }
+    }
+}
+
+/// A running HTTP server.
+///
+/// The server accepts connections on a background thread and services
+/// them on a fixed [`ThreadPool`]. Dropping the handle shuts the
+/// server down and joins its threads.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_http::{HttpClient, HttpServer, Request, Response};
+///
+/// # fn main() -> gremlin_http::Result<()> {
+/// let server = HttpServer::bind("127.0.0.1:0", |req: Request, _conn: &_| {
+///     Response::ok(format!("hello {}", req.path()))
+/// })?;
+/// let client = HttpClient::new();
+/// let resp = client.send(server.local_addr(), Request::get("/world"))?;
+/// assert_eq!(resp.body_str(), "hello /world");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    active_connections: Arc<AtomicUsize>,
+    requests_served: Arc<AtomicUsize>,
+    tracker: Arc<ConnTracker>,
+}
+
+impl HttpServer {
+    /// Binds to `addr` with default configuration and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn bind<H: Handler>(addr: impl ToSocketAddrs, handler: H) -> Result<HttpServer> {
+        HttpServer::bind_with_config(addr, handler, ServerConfig::default())
+    }
+
+    /// Binds to `addr` with explicit configuration and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn bind_with_config<H: Handler>(
+        addr: impl ToSocketAddrs,
+        handler: H,
+        config: ServerConfig,
+    ) -> Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let active_connections = Arc::new(AtomicUsize::new(0));
+        let requests_served = Arc::new(AtomicUsize::new(0));
+        let tracker = Arc::new(ConnTracker::new());
+        let handler: Arc<dyn Handler> = Arc::new(handler);
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_active = Arc::clone(&active_connections);
+        let accept_requests = Arc::clone(&requests_served);
+        let accept_tracker = Arc::clone(&tracker);
+        let accept_config = config.clone();
+        let accept_thread = thread::Builder::new()
+            .name(format!("{}-accept", config.name))
+            .spawn(move || {
+                let pool = ThreadPool::new(accept_config.workers, &accept_config.name);
+                while !accept_shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, peer_addr)) => {
+                            let handler = Arc::clone(&handler);
+                            let config = accept_config.clone();
+                            let shutdown = Arc::clone(&accept_shutdown);
+                            let active = Arc::clone(&accept_active);
+                            let requests = Arc::clone(&accept_requests);
+                            let tracker = Arc::clone(&accept_tracker);
+                            active.fetch_add(1, Ordering::SeqCst);
+                            pool.execute(move || {
+                                let conn = ConnInfo {
+                                    peer_addr,
+                                    local_addr: stream
+                                        .local_addr()
+                                        .unwrap_or(peer_addr),
+                                };
+                                let token = tracker.register(&stream);
+                                let _ = serve_connection(
+                                    stream, &conn, &*handler, &config, &shutdown, &requests,
+                                );
+                                tracker.deregister(token);
+                                active.fetch_sub(1, Ordering::SeqCst);
+                            });
+                        }
+                        Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Unblock any worker stuck reading a keep-alive
+                // connection, then let the pool drop join workers.
+                accept_tracker.shutdown_all();
+            })
+            .map_err(HttpError::Io)?;
+
+        Ok(HttpServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            active_connections,
+            requests_served,
+            tracker,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of connections currently being serviced.
+    pub fn active_connections(&self) -> usize {
+        self.active_connections.load(Ordering::SeqCst)
+    }
+
+    /// Total requests handled since startup.
+    pub fn requests_served(&self) -> usize {
+        self.requests_served.load(Ordering::SeqCst)
+    }
+
+    /// Signals shutdown and waits for the accept loop (and in-flight
+    /// connections) to finish.
+    ///
+    /// Dropping the server performs the same teardown; this method
+    /// exists for callers that want an explicit synchronization point.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.tracker.shutdown_all();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    conn: &ConnInfo,
+    handler: &dyn Handler,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    requests: &AtomicUsize,
+) -> Result<()> {
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let request = match read_request_with_limits(&mut reader, config.limits) {
+            Ok(request) => request,
+            Err(HttpError::ConnectionClosed) | Err(HttpError::Timeout) => return Ok(()),
+            Err(err) if err.is_connection_error() => return Ok(()),
+            Err(_) => {
+                // Malformed input: answer 400 and close.
+                let mut writer = BufWriter::new(stream.try_clone()?);
+                let _ = write_response(&mut writer, &Response::error(StatusCode::BAD_REQUEST));
+                return Ok(());
+            }
+        };
+        let close = request.headers().connection_close();
+        let is_head = *request.method() == crate::Method::Head;
+        let mut response = handler.handle(request, conn);
+        requests.fetch_add(1, Ordering::SeqCst);
+        let close = close || response.headers().connection_close();
+        if is_head {
+            // HEAD: status and headers only, no body. Content-Length
+            // is re-framed to 0 so the single codec stays
+            // self-consistent for clients that read the response.
+            response.set_body("");
+        }
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        write_response(&mut writer, &response)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientConfig, HttpClient};
+    use crate::message::Request;
+
+    #[test]
+    fn serves_requests() {
+        let server = HttpServer::bind("127.0.0.1:0", |req: Request, _conn: &ConnInfo| {
+            Response::ok(format!("echo:{}", req.path()))
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        let resp = client.send(server.local_addr(), Request::get("/a")).unwrap();
+        assert_eq!(resp.body_str(), "echo:/a");
+        assert_eq!(server.requests_served(), 1);
+    }
+
+    #[test]
+    fn serves_concurrent_clients() {
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            thread::sleep(Duration::from_millis(20));
+            Response::ok("slow")
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                thread::spawn(move || {
+                    let client = HttpClient::new();
+                    client.send(addr, Request::get("/")).unwrap().body_str()
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), "slow");
+        }
+        assert_eq!(server.requests_served(), 8);
+    }
+
+    #[test]
+    fn keep_alive_across_requests() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok("k"))
+                .unwrap();
+        let client = HttpClient::new();
+        for _ in 0..5 {
+            client.send(server.local_addr(), Request::get("/")).unwrap();
+        }
+        assert_eq!(server.requests_served(), 5);
+        // All five should have flowed over one pooled connection.
+        assert_eq!(client.idle_connections(), 1);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        use std::io::{Read, Write};
+        let server =
+            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok("x"))
+                .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok(""))
+                .unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown the port should refuse (or at least not
+        // answer) new requests.
+        let config = ClientConfig {
+            connect_timeout: Some(Duration::from_millis(200)),
+            read_timeout: Some(Duration::from_millis(200)),
+            ..ClientConfig::default()
+        };
+        let client = HttpClient::with_config(config);
+        assert!(client.send(addr, Request::get("/")).is_err());
+    }
+
+    #[test]
+    fn head_requests_get_no_body() {
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            Response::ok("a sizeable body")
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        let head = client
+            .send(
+                server.local_addr(),
+                crate::Request::builder(crate::Method::Head, "/").build(),
+            )
+            .unwrap();
+        assert_eq!(head.status(), StatusCode::OK);
+        assert!(head.body().is_empty());
+        // A follow-up GET on the same pooled connection still works
+        // (framing was not corrupted).
+        let get = client
+            .send(server.local_addr(), crate::Request::get("/"))
+            .unwrap();
+        assert_eq!(get.body_str(), "a sizeable body");
+    }
+
+    #[test]
+    fn connection_close_header_closes() {
+        let server =
+            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok("c"))
+                .unwrap();
+        let client = HttpClient::new();
+        let req = Request::builder(crate::Method::Get, "/")
+            .header("Connection", "close")
+            .build();
+        let resp = client.send(server.local_addr(), req).unwrap();
+        assert_eq!(resp.body_str(), "c");
+        assert_eq!(client.idle_connections(), 0);
+    }
+}

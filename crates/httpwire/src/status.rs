@@ -1,0 +1,217 @@
+//! HTTP status codes.
+
+use std::fmt;
+
+use crate::error::HttpError;
+
+/// An HTTP response status code (100..=999).
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_http::StatusCode;
+///
+/// let status = StatusCode::SERVICE_UNAVAILABLE;
+/// assert_eq!(status.as_u16(), 503);
+/// assert!(status.is_server_error());
+/// assert_eq!(status.canonical_reason(), "Service Unavailable");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StatusCode(u16);
+
+macro_rules! status_codes {
+    ($($(#[$doc:meta])* ($num:expr, $konst:ident, $reason:expr);)+) => {
+        impl StatusCode {
+            $(
+                $(#[$doc])*
+                pub const $konst: StatusCode = StatusCode($num);
+            )+
+
+            /// Returns the canonical reason phrase for this status
+            /// code, or `"Unknown"` for unregistered codes.
+            pub fn canonical_reason(&self) -> &'static str {
+                match self.0 {
+                    $( $num => $reason, )+
+                    _ => "Unknown",
+                }
+            }
+        }
+    };
+}
+
+status_codes! {
+    /// `100 Continue`
+    (100, CONTINUE, "Continue");
+    /// `200 OK`
+    (200, OK, "OK");
+    /// `201 Created`
+    (201, CREATED, "Created");
+    /// `202 Accepted`
+    (202, ACCEPTED, "Accepted");
+    /// `204 No Content`
+    (204, NO_CONTENT, "No Content");
+    /// `301 Moved Permanently`
+    (301, MOVED_PERMANENTLY, "Moved Permanently");
+    /// `302 Found`
+    (302, FOUND, "Found");
+    /// `304 Not Modified`
+    (304, NOT_MODIFIED, "Not Modified");
+    /// `400 Bad Request`
+    (400, BAD_REQUEST, "Bad Request");
+    /// `401 Unauthorized`
+    (401, UNAUTHORIZED, "Unauthorized");
+    /// `403 Forbidden`
+    (403, FORBIDDEN, "Forbidden");
+    /// `404 Not Found`
+    (404, NOT_FOUND, "Not Found");
+    /// `405 Method Not Allowed`
+    (405, METHOD_NOT_ALLOWED, "Method Not Allowed");
+    /// `408 Request Timeout`
+    (408, REQUEST_TIMEOUT, "Request Timeout");
+    /// `409 Conflict`
+    (409, CONFLICT, "Conflict");
+    /// `413 Payload Too Large`
+    (413, PAYLOAD_TOO_LARGE, "Payload Too Large");
+    /// `429 Too Many Requests`
+    (429, TOO_MANY_REQUESTS, "Too Many Requests");
+    /// `500 Internal Server Error`
+    (500, INTERNAL_SERVER_ERROR, "Internal Server Error");
+    /// `501 Not Implemented`
+    (501, NOT_IMPLEMENTED, "Not Implemented");
+    /// `502 Bad Gateway`
+    (502, BAD_GATEWAY, "Bad Gateway");
+    /// `503 Service Unavailable`
+    (503, SERVICE_UNAVAILABLE, "Service Unavailable");
+    /// `504 Gateway Timeout`
+    (504, GATEWAY_TIMEOUT, "Gateway Timeout");
+}
+
+impl StatusCode {
+    /// Creates a status code, validating that it lies in 100..=999.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::InvalidStatusCode`] if `code` is outside
+    /// the valid range.
+    pub fn new(code: u16) -> Result<StatusCode, HttpError> {
+        if (100..=999).contains(&code) {
+            Ok(StatusCode(code))
+        } else {
+            Err(HttpError::InvalidStatusCode(code))
+        }
+    }
+
+    /// Returns the numeric value of the status code.
+    pub fn as_u16(&self) -> u16 {
+        self.0
+    }
+
+    /// Returns `true` for 1xx codes.
+    pub fn is_informational(&self) -> bool {
+        (100..200).contains(&self.0)
+    }
+
+    /// Returns `true` for 2xx codes.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// Returns `true` for 3xx codes.
+    pub fn is_redirection(&self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// Returns `true` for 4xx codes.
+    pub fn is_client_error(&self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// Returns `true` for 5xx codes.
+    pub fn is_server_error(&self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
+    /// Returns `true` for any 4xx or 5xx code.
+    ///
+    /// Resilience patterns (retries, circuit breakers) treat these as
+    /// failed API calls.
+    pub fn is_error(&self) -> bool {
+        self.is_client_error() || self.is_server_error()
+    }
+}
+
+impl Default for StatusCode {
+    fn default() -> Self {
+        StatusCode::OK
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TryFrom<u16> for StatusCode {
+    type Error = HttpError;
+
+    fn try_from(code: u16) -> Result<Self, Self::Error> {
+        StatusCode::new(code)
+    }
+}
+
+impl From<StatusCode> for u16 {
+    fn from(status: StatusCode) -> u16 {
+        status.as_u16()
+    }
+}
+
+impl PartialEq<u16> for StatusCode {
+    fn eq(&self, other: &u16) -> bool {
+        self.0 == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(StatusCode::new(99).is_err());
+        assert!(StatusCode::new(1000).is_err());
+        assert!(StatusCode::new(100).is_ok());
+        assert!(StatusCode::new(999).is_ok());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(StatusCode::CONTINUE.is_informational());
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::FOUND.is_redirection());
+        assert!(StatusCode::NOT_FOUND.is_client_error());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_server_error());
+        assert!(StatusCode::NOT_FOUND.is_error());
+        assert!(StatusCode::SERVICE_UNAVAILABLE.is_error());
+        assert!(!StatusCode::OK.is_error());
+    }
+
+    #[test]
+    fn canonical_reasons() {
+        assert_eq!(StatusCode::OK.canonical_reason(), "OK");
+        assert_eq!(
+            StatusCode::SERVICE_UNAVAILABLE.canonical_reason(),
+            "Service Unavailable"
+        );
+        assert_eq!(StatusCode::new(599).unwrap().canonical_reason(), "Unknown");
+    }
+
+    #[test]
+    fn conversions() {
+        let s: StatusCode = 503u16.try_into().unwrap();
+        assert_eq!(s, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(u16::from(s), 503);
+        assert_eq!(s, 503u16);
+        assert_eq!(s.to_string(), "503");
+    }
+}

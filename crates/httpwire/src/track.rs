@@ -1,0 +1,124 @@
+//! Tracking of live connections so servers can unblock them at
+//! shutdown.
+//!
+//! Worker threads block in `read` while waiting for the next
+//! keep-alive request; without intervention a shutdown would stall
+//! until each connection's read timeout expires. A [`ConnTracker`]
+//! keeps a clone of every live stream (clones share the file
+//! descriptor) and shuts them all down when asked, releasing blocked
+//! readers immediately.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
+
+use parking_lot::Mutex;
+
+/// Registry of live connections, keyed by an opaque token.
+#[derive(Debug, Default)]
+pub struct ConnTracker {
+    next_token: Mutex<u64>,
+    live: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> ConnTracker {
+        ConnTracker::default()
+    }
+
+    /// Registers `stream`, returning a token for deregistration.
+    ///
+    /// The tracker stores a clone of the stream; failures to clone
+    /// are ignored (the connection simply won't be force-closed at
+    /// shutdown).
+    pub fn register(&self, stream: &TcpStream) -> u64 {
+        let token = {
+            let mut next = self.next_token.lock();
+            *next += 1;
+            *next
+        };
+        if let Ok(clone) = stream.try_clone() {
+            self.live.lock().insert(token, clone);
+        }
+        token
+    }
+
+    /// Removes the connection registered under `token`.
+    pub fn deregister(&self, token: u64) {
+        self.live.lock().remove(&token);
+    }
+
+    /// Number of currently tracked connections.
+    pub fn len(&self) -> usize {
+        self.live.lock().len()
+    }
+
+    /// Returns `true` if no connections are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.live.lock().is_empty()
+    }
+
+    /// Shuts down every tracked connection, releasing any thread
+    /// blocked reading from it.
+    pub fn shutdown_all(&self) {
+        let mut live = self.live.lock();
+        for (_, stream) in live.drain() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn register_deregister() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let tracker = ConnTracker::new();
+        assert!(tracker.is_empty());
+        let token = tracker.register(&server_side);
+        assert_eq!(tracker.len(), 1);
+        tracker.deregister(token);
+        assert!(tracker.is_empty());
+    }
+
+    #[test]
+    fn shutdown_all_unblocks_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let tracker = ConnTracker::new();
+        tracker.register(&server_side);
+
+        let reader = thread::spawn(move || {
+            let mut stream = server_side;
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            let mut buf = [0u8; 1];
+            let started = Instant::now();
+            let _ = stream.read(&mut buf);
+            started.elapsed()
+        });
+
+        thread::sleep(Duration::from_millis(50));
+        tracker.shutdown_all();
+        let blocked_for = reader.join().unwrap();
+        assert!(
+            blocked_for < Duration::from_secs(5),
+            "reader blocked for {blocked_for:?}"
+        );
+        assert!(tracker.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Load generators that drive test traffic through a deployment.
+//!
+//! The paper (§6) leaves test-input generation to the operator,
+//! assuming a standard load-generation tool; its benchmarks inject
+//! batches of test requests (e.g. "100 test requests", §7.2) and its
+//! case studies measure response-time CDFs under load. These
+//! generators fill that role: closed-loop workers, a fixed-rate open
+//! loop, and a simple sequential driver — all stamping Gremlin
+//! request IDs so agents can match test flows.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use gremlin_http::{ClientConfig, HttpClient, Method, Request};
+
+use crate::stats::{Cdf, LatencySummary};
+
+/// The outcome of one generated request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// The request ID the call was stamped with.
+    pub request_id: String,
+    /// End-to-end latency as seen by the generator.
+    pub latency: Duration,
+    /// HTTP status, or `None` when the call failed at the transport
+    /// level.
+    pub status: Option<u16>,
+    /// Transport error description, when `status` is `None`.
+    pub error: Option<String>,
+}
+
+impl CallOutcome {
+    /// `true` for 2xx/3xx responses.
+    pub fn is_success(&self) -> bool {
+        matches!(self.status, Some(code) if code < 400)
+    }
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Per-request outcomes in completion order.
+    pub outcomes: Vec<CallOutcome>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Number of requests issued.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Returns `true` when no requests were issued.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Requests that received a 2xx/3xx response.
+    pub fn successes(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_success()).count()
+    }
+
+    /// Requests that received an HTTP error or failed entirely.
+    pub fn failures(&self) -> usize {
+        self.len() - self.successes()
+    }
+
+    /// Requests that failed at the transport level.
+    pub fn transport_errors(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.status.is_none()).count()
+    }
+
+    /// Requests carrying the given status code.
+    pub fn with_status(&self, status: u16) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == Some(status))
+            .count()
+    }
+
+    /// All latencies, in completion order.
+    pub fn latencies(&self) -> Vec<Duration> {
+        self.outcomes.iter().map(|o| o.latency).collect()
+    }
+
+    /// Achieved request rate (requests / wall-clock second).
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Latency summary; `None` for an empty run.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_latencies(&self.latencies())
+    }
+
+    /// Latency CDF of the run.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::from_latencies(&self.latencies())
+    }
+}
+
+/// A configurable HTTP load generator aimed at one address.
+#[derive(Debug, Clone)]
+pub struct LoadGenerator {
+    target: SocketAddr,
+    path: String,
+    id_prefix: String,
+    think_time: Duration,
+    read_timeout: Option<Duration>,
+    connect_timeout: Option<Duration>,
+}
+
+impl LoadGenerator {
+    /// Creates a generator for `GET /` at `target` with ID prefix
+    /// `test`.
+    pub fn new(target: SocketAddr) -> LoadGenerator {
+        LoadGenerator {
+            target,
+            path: "/".to_string(),
+            id_prefix: "test".to_string(),
+            think_time: Duration::ZERO,
+            read_timeout: Some(Duration::from_secs(30)),
+            connect_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+
+    /// Sets the request path.
+    pub fn path(mut self, path: impl Into<String>) -> LoadGenerator {
+        self.path = path.into();
+        self
+    }
+
+    /// Sets the request-ID prefix (IDs are `{prefix}-{seq}`).
+    pub fn id_prefix(mut self, prefix: impl Into<String>) -> LoadGenerator {
+        self.id_prefix = prefix.into();
+        self
+    }
+
+    /// Adds think time between a worker's consecutive requests.
+    pub fn think_time(mut self, think_time: Duration) -> LoadGenerator {
+        self.think_time = think_time;
+        self
+    }
+
+    /// Sets the per-request read timeout (`None` = wait forever,
+    /// like a client with no timeout pattern).
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> LoadGenerator {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the connect timeout.
+    pub fn connect_timeout(mut self, timeout: Option<Duration>) -> LoadGenerator {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    fn client(&self) -> HttpClient {
+        HttpClient::with_config(ClientConfig {
+            connect_timeout: self.connect_timeout,
+            read_timeout: self.read_timeout,
+            write_timeout: self.read_timeout,
+            ..ClientConfig::default()
+        })
+    }
+
+    fn issue(&self, client: &HttpClient, id: &str) -> CallOutcome {
+        let request = Request::builder(Method::Get, self.path.clone())
+            .request_id(id)
+            .build();
+        let started = Instant::now();
+        match client.send(self.target, request) {
+            Ok(response) => CallOutcome {
+                request_id: id.to_string(),
+                latency: started.elapsed(),
+                status: Some(response.status().as_u16()),
+                error: None,
+            },
+            Err(err) => CallOutcome {
+                request_id: id.to_string(),
+                latency: started.elapsed(),
+                status: None,
+                error: Some(err.to_string()),
+            },
+        }
+    }
+
+    /// Issues `count` requests one after another on a single
+    /// connection — the paper's "inject N test requests" batches.
+    pub fn run_sequential(&self, count: usize) -> LoadReport {
+        let client = self.client();
+        let started = Instant::now();
+        let outcomes = (0..count)
+            .map(|seq| {
+                if seq > 0 && !self.think_time.is_zero() {
+                    thread::sleep(self.think_time);
+                }
+                self.issue(&client, &format!("{}-{seq}", self.id_prefix))
+            })
+            .collect();
+        LoadReport {
+            outcomes,
+            wall: started.elapsed(),
+        }
+    }
+
+    /// Runs `workers` closed-loop workers, each issuing
+    /// `requests_per_worker` requests back-to-back.
+    pub fn run_closed(&self, workers: usize, requests_per_worker: usize) -> LoadReport {
+        let started = Instant::now();
+        let sequence = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let generator = self.clone();
+                let sequence = Arc::clone(&sequence);
+                thread::spawn(move || {
+                    let client = generator.client();
+                    let mut outcomes = Vec::with_capacity(requests_per_worker);
+                    for _ in 0..requests_per_worker {
+                        let seq = sequence.fetch_add(1, Ordering::Relaxed);
+                        outcomes
+                            .push(generator.issue(&client, &format!("{}-{seq}", generator.id_prefix)));
+                        if !generator.think_time.is_zero() {
+                            thread::sleep(generator.think_time);
+                        }
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        let mut outcomes = Vec::with_capacity(workers * requests_per_worker);
+        for handle in handles {
+            outcomes.extend(handle.join().expect("load worker panicked"));
+        }
+        LoadReport {
+            outcomes,
+            wall: started.elapsed(),
+        }
+    }
+
+    /// Issues requests at a fixed rate for `duration`, each on its
+    /// own thread so slow responses do not throttle the arrival
+    /// process (open-loop).
+    pub fn run_open(&self, rate_per_sec: f64, duration: Duration) -> LoadReport {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        let interval = Duration::from_secs_f64(1.0 / rate_per_sec);
+        let started = Instant::now();
+        let mut handles = Vec::new();
+        let mut seq = 0usize;
+        while started.elapsed() < duration {
+            let generator = self.clone();
+            let id = format!("{}-{seq}", self.id_prefix);
+            seq += 1;
+            handles.push(thread::spawn(move || {
+                let client = generator.client();
+                generator.issue(&client, &id)
+            }));
+            thread::sleep(interval);
+        }
+        let outcomes = handles
+            .into_iter()
+            .map(|handle| handle.join().expect("load worker panicked"))
+            .collect();
+        LoadReport {
+            outcomes,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_http::{ConnInfo, HttpServer, Response, StatusCode};
+
+    fn echo_server() -> HttpServer {
+        HttpServer::bind("127.0.0.1:0", |req: Request, _conn: &ConnInfo| {
+            match req.request_id() {
+                Some(id) if id.ends_with("-3") => Response::error(StatusCode::SERVICE_UNAVAILABLE),
+                _ => Response::ok("ok"),
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_run_stamps_ids() {
+        let server = echo_server();
+        let report = LoadGenerator::new(server.local_addr())
+            .id_prefix("test")
+            .run_sequential(5);
+        assert_eq!(report.len(), 5);
+        assert_eq!(report.successes(), 4);
+        assert_eq!(report.with_status(503), 1);
+        assert_eq!(report.transport_errors(), 0);
+        assert_eq!(report.outcomes[0].request_id, "test-0");
+        assert!(report.summary().is_some());
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_runs_all_workers() {
+        let server = echo_server();
+        let report = LoadGenerator::new(server.local_addr()).run_closed(4, 10);
+        assert_eq!(report.len(), 40);
+        // IDs are unique.
+        let mut ids: Vec<_> = report.outcomes.iter().map(|o| &o.request_id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 40);
+    }
+
+    #[test]
+    fn open_loop_respects_duration() {
+        let server = echo_server();
+        let report = LoadGenerator::new(server.local_addr())
+            .run_open(50.0, Duration::from_millis(300));
+        // ~15 requests expected; allow broad slack for CI noise.
+        assert!(report.len() >= 5, "got {}", report.len());
+        assert!(report.wall >= Duration::from_millis(300));
+    }
+
+    #[test]
+    fn transport_errors_are_recorded() {
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let report = LoadGenerator::new(dead).run_sequential(3);
+        assert_eq!(report.transport_errors(), 3);
+        assert_eq!(report.successes(), 0);
+        assert!(report.outcomes[0].error.is_some());
+        assert!(!report.outcomes[0].is_success());
+    }
+
+    #[test]
+    fn think_time_slows_the_loop() {
+        let server = echo_server();
+        let report = LoadGenerator::new(server.local_addr())
+            .think_time(Duration::from_millis(30))
+            .run_sequential(4);
+        assert!(report.wall >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn empty_report() {
+        let server = echo_server();
+        let report = LoadGenerator::new(server.local_addr()).run_sequential(0);
+        assert!(report.is_empty());
+        assert!(report.summary().is_none());
+        assert_eq!(report.failures(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # gremlin-loadgen
+//!
+//! Test-load generation and latency statistics for the Gremlin
+//! resilience-testing framework (Heorhiadi et al., ICDCS 2016).
+//!
+//! The paper assumes a standard load-generation tool drives test
+//! traffic through the application while Gremlin stages failures
+//! (§6), and its evaluation reports response-time CDFs (Figures 5, 6
+//! and 8). This crate provides:
+//!
+//! * [`LoadGenerator`] — sequential, closed-loop and open-loop HTTP
+//!   load, with every request stamped with a Gremlin request ID so
+//!   the data plane can match test flows;
+//! * [`LoadReport`] — per-request outcomes with success/error
+//!   breakdowns;
+//! * [`Cdf`], [`LatencySummary`], [`percentile`] — the statistics the
+//!   figures are built from.
+//!
+//! # Examples
+//!
+//! ```
+//! use gremlin_http::{HttpServer, Request, Response};
+//! use gremlin_loadgen::LoadGenerator;
+//!
+//! # fn main() {
+//! let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &_| {
+//!     Response::ok("hello")
+//! })
+//! .unwrap();
+//!
+//! let report = LoadGenerator::new(server.local_addr())
+//!     .id_prefix("test")
+//!     .run_sequential(10);
+//! assert_eq!(report.successes(), 10);
+//! let cdf = report.cdf();
+//! assert_eq!(cdf.len(), 10);
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod mix;
+pub mod stats;
+
+pub use generator::{CallOutcome, LoadGenerator, LoadReport};
+pub use mix::{MixClass, MixReport, WorkloadMix};
+pub use stats::{percentile, Cdf, LatencySummary};

@@ -1,0 +1,299 @@
+//! Weighted workload mixes: realistic traffic where different request
+//! classes hit different paths (e.g. 80% catalog reads, 20% checkout
+//! writes) — what the bulkhead scenarios need to drive slow and fast
+//! paths concurrently.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gremlin_http::{ClientConfig, HttpClient, Method, Request};
+
+use crate::generator::{CallOutcome, LoadReport};
+
+/// One request class in a mix.
+#[derive(Debug, Clone)]
+pub struct MixClass {
+    /// Label used in the per-class report and the request-ID prefix
+    /// (IDs are `{prefix}-{label}-{seq}`).
+    pub label: String,
+    /// Request path.
+    pub path: String,
+    /// Relative weight (any positive number).
+    pub weight: f64,
+}
+
+/// A weighted multi-class workload aimed at one address.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gremlin_loadgen::{WorkloadMix};
+/// use std::time::Duration;
+///
+/// let target = "127.0.0.1:8080".parse().unwrap();
+/// let mix = WorkloadMix::new(target)
+///     .class("read", "/catalog", 8.0)
+///     .class("write", "/checkout", 2.0)
+///     .seed(7);
+/// let report = mix.run_closed(4, 25);
+/// println!("reads: {:?}", report.class_report("read").summary());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    target: SocketAddr,
+    classes: Vec<MixClass>,
+    id_prefix: String,
+    read_timeout: Option<Duration>,
+    seed: Option<u64>,
+}
+
+impl WorkloadMix {
+    /// Creates an empty mix aimed at `target`.
+    pub fn new(target: SocketAddr) -> WorkloadMix {
+        WorkloadMix {
+            target,
+            classes: Vec::new(),
+            id_prefix: "test".to_string(),
+            read_timeout: Some(Duration::from_secs(30)),
+            seed: None,
+        }
+    }
+
+    /// Adds a request class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not positive and finite.
+    pub fn class(
+        mut self,
+        label: impl Into<String>,
+        path: impl Into<String>,
+        weight: f64,
+    ) -> WorkloadMix {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "class weight must be positive"
+        );
+        self.classes.push(MixClass {
+            label: label.into(),
+            path: path.into(),
+            weight,
+        });
+        self
+    }
+
+    /// Sets the request-ID prefix (default `test`).
+    pub fn id_prefix(mut self, prefix: impl Into<String>) -> WorkloadMix {
+        self.id_prefix = prefix.into();
+        self
+    }
+
+    /// Sets the per-request read timeout.
+    pub fn read_timeout(mut self, timeout: Option<Duration>) -> WorkloadMix {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Seeds class sampling for reproducible mixes.
+    pub fn seed(mut self, seed: u64) -> WorkloadMix {
+        self.seed = Some(seed);
+        self
+    }
+
+    fn pick<'a>(&'a self, rng: &mut StdRng) -> &'a MixClass {
+        let total: f64 = self.classes.iter().map(|c| c.weight).sum();
+        let mut roll = rng.gen_range(0.0..total);
+        for class in &self.classes {
+            if roll < class.weight {
+                return class;
+            }
+            roll -= class.weight;
+        }
+        self.classes.last().expect("non-empty mix")
+    }
+
+    /// Runs `workers` closed-loop workers, each issuing
+    /// `requests_per_worker` requests sampled from the mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classes were added.
+    pub fn run_closed(&self, workers: usize, requests_per_worker: usize) -> MixReport {
+        assert!(!self.classes.is_empty(), "mix has no classes");
+        let started = Instant::now();
+        let sequence = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let mix = self.clone();
+                let sequence = Arc::clone(&sequence);
+                thread::spawn(move || {
+                    let mut rng = match mix.seed {
+                        Some(seed) => StdRng::seed_from_u64(seed.wrapping_add(worker as u64)),
+                        None => StdRng::from_entropy(),
+                    };
+                    let client = HttpClient::with_config(ClientConfig {
+                        read_timeout: mix.read_timeout,
+                        write_timeout: mix.read_timeout,
+                        ..ClientConfig::default()
+                    });
+                    let mut outcomes = Vec::with_capacity(requests_per_worker);
+                    for _ in 0..requests_per_worker {
+                        let class = mix.pick(&mut rng).clone();
+                        let seq = sequence.fetch_add(1, Ordering::Relaxed);
+                        let id = format!("{}-{}-{seq}", mix.id_prefix, class.label);
+                        let request = Request::builder(Method::Get, class.path.clone())
+                            .request_id(id.clone())
+                            .build();
+                        let call_started = Instant::now();
+                        let outcome = match client.send(mix.target, request) {
+                            Ok(response) => CallOutcome {
+                                request_id: id,
+                                latency: call_started.elapsed(),
+                                status: Some(response.status().as_u16()),
+                                error: None,
+                            },
+                            Err(err) => CallOutcome {
+                                request_id: id,
+                                latency: call_started.elapsed(),
+                                status: None,
+                                error: Some(err.to_string()),
+                            },
+                        };
+                        outcomes.push((class.label, outcome));
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        let mut labelled = Vec::new();
+        for handle in handles {
+            labelled.extend(handle.join().expect("mix worker panicked"));
+        }
+        MixReport {
+            labelled,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+/// Results of a mixed run, retrievable per class or combined.
+#[derive(Debug, Clone, Default)]
+pub struct MixReport {
+    labelled: Vec<(String, CallOutcome)>,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+impl MixReport {
+    /// Total requests issued.
+    pub fn len(&self) -> usize {
+        self.labelled.len()
+    }
+
+    /// Returns `true` when nothing was issued.
+    pub fn is_empty(&self) -> bool {
+        self.labelled.is_empty()
+    }
+
+    /// Requests belonging to `label`.
+    pub fn class_count(&self, label: &str) -> usize {
+        self.labelled.iter().filter(|(l, _)| l == label).count()
+    }
+
+    /// A [`LoadReport`] view of one class.
+    pub fn class_report(&self, label: &str) -> LoadReport {
+        LoadReport {
+            outcomes: self
+                .labelled
+                .iter()
+                .filter(|(l, _)| l == label)
+                .map(|(_, o)| o.clone())
+                .collect(),
+            wall: self.wall,
+        }
+    }
+
+    /// A [`LoadReport`] view of every request.
+    pub fn combined(&self) -> LoadReport {
+        LoadReport {
+            outcomes: self.labelled.iter().map(|(_, o)| o.clone()).collect(),
+            wall: self.wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_http::{ConnInfo, HttpServer, Response};
+
+    fn path_server() -> HttpServer {
+        HttpServer::bind("127.0.0.1:0", |req: Request, _conn: &ConnInfo| {
+            Response::ok(req.path().to_string())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let server = path_server();
+        let report = WorkloadMix::new(server.local_addr())
+            .class("hot", "/hot", 9.0)
+            .class("cold", "/cold", 1.0)
+            .seed(5)
+            .run_closed(2, 100);
+        assert_eq!(report.len(), 200);
+        let hot = report.class_count("hot");
+        let cold = report.class_count("cold");
+        assert_eq!(hot + cold, 200);
+        assert!(hot > 150, "hot={hot}");
+        assert!(cold > 2, "cold={cold}");
+    }
+
+    #[test]
+    fn class_report_filters_correctly() {
+        let server = path_server();
+        let report = WorkloadMix::new(server.local_addr())
+            .class("a", "/a", 1.0)
+            .class("b", "/b", 1.0)
+            .seed(1)
+            .run_closed(1, 40);
+        let a = report.class_report("a");
+        assert_eq!(a.len(), report.class_count("a"));
+        assert!(a.outcomes.iter().all(|o| o.request_id.contains("-a-")));
+        assert_eq!(report.combined().len(), 40);
+        assert_eq!(report.class_report("nope").len(), 0);
+    }
+
+    #[test]
+    fn seeded_mixes_are_reproducible() {
+        let server = path_server();
+        let mix = WorkloadMix::new(server.local_addr())
+            .class("x", "/x", 1.0)
+            .class("y", "/y", 1.0)
+            .seed(42);
+        let first = mix.clone().run_closed(1, 30);
+        let second = mix.run_closed(1, 30);
+        assert_eq!(first.class_count("x"), second.class_count("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no classes")]
+    fn empty_mix_panics() {
+        let server = path_server();
+        let _ = WorkloadMix::new(server.local_addr()).run_closed(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_weight_panics() {
+        let server = path_server();
+        let _ = WorkloadMix::new(server.local_addr()).class("z", "/z", 0.0);
+    }
+}

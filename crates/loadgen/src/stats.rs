@@ -1,0 +1,224 @@
+//! Latency statistics: percentiles, summaries and CDFs (the paper
+//! reports response-time CDFs in Figures 5, 6 and 8).
+
+use std::fmt;
+use std::time::Duration;
+
+/// Computes the `p`-th percentile (0.0..=1.0) of a set of latencies
+/// using nearest-rank on a sorted copy.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn percentile(latencies: &[Duration], p: f64) -> Option<Duration> {
+    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+    if latencies.is_empty() {
+        return None;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort();
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// Summary statistics over a latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Sample size.
+    pub count: usize,
+    /// Smallest latency.
+    pub min: Duration,
+    /// Median (p50).
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Largest latency.
+    pub max: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl LatencySummary {
+    /// Summarizes `latencies`; returns `None` when empty.
+    pub fn from_latencies(latencies: &[Duration]) -> Option<LatencySummary> {
+        if latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        Some(LatencySummary {
+            count: sorted.len(),
+            min: sorted[0],
+            p50: percentile(&sorted, 0.50).expect("non-empty"),
+            p90: percentile(&sorted, 0.90).expect("non-empty"),
+            p99: percentile(&sorted, 0.99).expect("non-empty"),
+            max: *sorted.last().expect("non-empty"),
+            mean: total / sorted.len() as u32,
+        })
+    }
+}
+
+impl fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:?} p50={:?} p90={:?} p99={:?} max={:?} mean={:?}",
+            self.count, self.min, self.p50, self.p90, self.p99, self.max, self.mean
+        )
+    }
+}
+
+/// An empirical cumulative distribution function over latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    points: Vec<(Duration, f64)>,
+}
+
+impl Cdf {
+    /// Builds the empirical CDF of `latencies` (sorted ascending;
+    /// each point is `(latency, cumulative_fraction)`).
+    pub fn from_latencies(latencies: &[Duration]) -> Cdf {
+        let mut sorted = latencies.to_vec();
+        sorted.sort();
+        let n = sorted.len() as f64;
+        let points = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(index, latency)| (latency, (index + 1) as f64 / n))
+            .collect();
+        Cdf { points }
+    }
+
+    /// The `(latency, fraction)` points.
+    pub fn points(&self) -> &[(Duration, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when built from no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Fraction of samples at or below `latency` (0.0 when empty).
+    pub fn fraction_at_or_below(&self, latency: Duration) -> f64 {
+        let below = self
+            .points
+            .iter()
+            .take_while(|(l, _)| *l <= latency)
+            .count();
+        if self.points.is_empty() {
+            0.0
+        } else {
+            below as f64 / self.points.len() as f64
+        }
+    }
+
+    /// The latency at quantile `q` (the CDF's inverse); `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        percentile(
+            &self.points.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+            q,
+        )
+    }
+
+    /// Renders the CDF as sampled rows (`quantiles` evenly spaced
+    /// fractions) for text reports — the shape the paper's figures
+    /// plot.
+    pub fn to_rows(&self, quantiles: usize) -> Vec<(f64, Duration)> {
+        if self.is_empty() || quantiles == 0 {
+            return Vec::new();
+        }
+        (1..=quantiles)
+            .map(|i| {
+                let q = i as f64 / quantiles as f64;
+                (q, self.quantile(q).expect("non-empty"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(values: &[u64]) -> Vec<Duration> {
+        values.iter().map(|v| Duration::from_millis(*v)).collect()
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let lat = ms(&[10, 20, 30, 40, 50]);
+        assert_eq!(percentile(&lat, 0.0).unwrap(), Duration::from_millis(10));
+        assert_eq!(percentile(&lat, 0.5).unwrap(), Duration::from_millis(30));
+        assert_eq!(percentile(&lat, 1.0).unwrap(), Duration::from_millis(50));
+        assert_eq!(percentile(&lat, 0.9).unwrap(), Duration::from_millis(50));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn percentile_rejects_bad_p() {
+        let _ = percentile(&ms(&[1]), 1.5);
+    }
+
+    #[test]
+    fn summary_basics() {
+        let summary = LatencySummary::from_latencies(&ms(&[10, 20, 30, 40])).unwrap();
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.min, Duration::from_millis(10));
+        assert_eq!(summary.max, Duration::from_millis(40));
+        assert_eq!(summary.p50, Duration::from_millis(20));
+        assert_eq!(summary.mean, Duration::from_millis(25));
+        assert!(LatencySummary::from_latencies(&[]).is_none());
+        assert!(!summary.to_string().is_empty());
+    }
+
+    #[test]
+    fn cdf_fractions() {
+        let cdf = Cdf::from_latencies(&ms(&[10, 20, 30, 40]));
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.fraction_at_or_below(Duration::from_millis(9)), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(Duration::from_millis(20)), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(Duration::from_millis(100)), 1.0);
+        assert_eq!(cdf.quantile(0.5).unwrap(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let cdf = Cdf::from_latencies(&ms(&[5, 1, 3, 2, 4]));
+        let points = cdf.points();
+        for pair in points.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+        assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_rows_sampling() {
+        let cdf = Cdf::from_latencies(&ms(&[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]));
+        let rows = cdf.to_rows(4);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[3], (1.0, Duration::from_millis(100)));
+        assert!(Cdf::from_latencies(&[]).to_rows(4).is_empty());
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_latencies(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(Duration::from_secs(1)), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+    }
+}

@@ -1,0 +1,450 @@
+//! Reusable service behaviours modelling the applications in the
+//! paper's case studies and benchmarks (§7): static backends,
+//! fan-out aggregators, fallback-style search (the
+//! WordPress/ElasticPress study), path-routing front-ends (bulkhead
+//! scenarios) and tree topologies (the scaling benchmark).
+
+use std::time::Duration;
+
+use gremlin_http::{Request, Response, StatusCode};
+
+use crate::error::MeshError;
+use crate::service::{RequestContext, ServiceBehavior};
+
+/// Responds with a fixed status and body after simulating `work` of
+/// processing time.
+#[derive(Debug, Clone)]
+pub struct StaticResponder {
+    status: StatusCode,
+    body: String,
+    work: Duration,
+}
+
+impl StaticResponder {
+    /// A `200 OK` responder with the given body.
+    pub fn ok(body: impl Into<String>) -> StaticResponder {
+        StaticResponder {
+            status: StatusCode::OK,
+            body: body.into(),
+            work: Duration::ZERO,
+        }
+    }
+
+    /// A responder with an arbitrary status.
+    pub fn with_status(status: StatusCode, body: impl Into<String>) -> StaticResponder {
+        StaticResponder {
+            status,
+            body: body.into(),
+            work: Duration::ZERO,
+        }
+    }
+
+    /// Adds simulated per-request processing time.
+    pub fn work(mut self, work: Duration) -> StaticResponder {
+        self.work = work;
+        self
+    }
+}
+
+impl ServiceBehavior for StaticResponder {
+    fn handle(&self, _request: &Request, _ctx: &RequestContext<'_>) -> Response {
+        if self.work > Duration::ZERO {
+            std::thread::sleep(self.work);
+        }
+        Response::builder(self.status).body(self.body.clone()).build()
+    }
+}
+
+/// Calls every listed dependency in order and aggregates the results.
+///
+/// The aggregator tolerates individual failures (it reports them in
+/// the body and still answers `200`, like a portal rendering partial
+/// content) — except [`MeshError::Unhandled`] errors, which escape
+/// the graceful path and produce a `500`, reproducing the Unirest
+/// case study (§7.1).
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    backends: Vec<String>,
+    path: String,
+}
+
+impl Aggregator {
+    /// Aggregates `GET {path}` across `backends`.
+    pub fn new(backends: Vec<String>, path: impl Into<String>) -> Aggregator {
+        Aggregator {
+            backends,
+            path: path.into(),
+        }
+    }
+}
+
+impl ServiceBehavior for Aggregator {
+    fn handle(&self, _request: &Request, ctx: &RequestContext<'_>) -> Response {
+        let mut parts = Vec::with_capacity(self.backends.len());
+        for backend in &self.backends {
+            match ctx.get(backend, &self.path) {
+                Ok(resp) if resp.status().is_success() => {
+                    parts.push(format!("{backend}=ok"));
+                }
+                Ok(resp) => {
+                    parts.push(format!("{backend}=error({})", resp.status()));
+                }
+                Err(err) if err.is_handleable() => {
+                    parts.push(format!("{backend}=unavailable"));
+                }
+                Err(err) => {
+                    // The modeled library bug: the error percolates.
+                    return Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+                        .body(format!("unhandled error: {err}"))
+                        .build();
+                }
+            }
+        }
+        Response::ok(parts.join(","))
+    }
+}
+
+/// The WordPress + ElasticPress model (§7.1): try the primary search
+/// backend, and on *any* graceful failure fall back to the secondary.
+///
+/// Crucially, the fallback only helps once the primary call
+/// *returns* — with no timeout configured on the primary edge, an
+/// injected delay stalls the whole request, which is exactly the bug
+/// Figure 5 demonstrates.
+#[derive(Debug, Clone)]
+pub struct FallbackSearch {
+    primary: String,
+    secondary: String,
+    path: String,
+}
+
+impl FallbackSearch {
+    /// Searches `primary` first, falling back to `secondary`.
+    pub fn new(
+        primary: impl Into<String>,
+        secondary: impl Into<String>,
+        path: impl Into<String>,
+    ) -> FallbackSearch {
+        FallbackSearch {
+            primary: primary.into(),
+            secondary: secondary.into(),
+            path: path.into(),
+        }
+    }
+}
+
+impl ServiceBehavior for FallbackSearch {
+    fn handle(&self, _request: &Request, ctx: &RequestContext<'_>) -> Response {
+        match ctx.get(&self.primary, &self.path) {
+            Ok(resp) if resp.status().is_success() => {
+                Response::ok(format!("source={};{}", self.primary, resp.body_str()))
+            }
+            Ok(_) | Err(_) => match ctx.get(&self.secondary, &self.path) {
+                Ok(resp) if resp.status().is_success() => {
+                    Response::ok(format!("source={};{}", self.secondary, resp.body_str()))
+                }
+                Ok(resp) => Response::builder(resp.status())
+                    .body("both search backends failed")
+                    .build(),
+                Err(_) => Response::builder(StatusCode::SERVICE_UNAVAILABLE)
+                    .body("both search backends unavailable")
+                    .build(),
+            },
+        }
+    }
+}
+
+/// Routes request paths to different dependencies — the bulkhead
+/// scenario's front-end: `/slow/...` traffic hits a degraded
+/// dependency while `/fast/...` traffic must keep flowing.
+#[derive(Debug, Clone, Default)]
+pub struct PathRouter {
+    routes: Vec<(String, String, String)>,
+}
+
+impl PathRouter {
+    /// Creates an empty router (unmatched paths get `404`).
+    pub fn new() -> PathRouter {
+        PathRouter::default()
+    }
+
+    /// Routes paths starting with `prefix` to `GET {path}` on `dst`.
+    pub fn route(
+        mut self,
+        prefix: impl Into<String>,
+        dst: impl Into<String>,
+        path: impl Into<String>,
+    ) -> PathRouter {
+        self.routes.push((prefix.into(), dst.into(), path.into()));
+        self
+    }
+}
+
+impl ServiceBehavior for PathRouter {
+    fn handle(&self, request: &Request, ctx: &RequestContext<'_>) -> Response {
+        for (prefix, dst, path) in &self.routes {
+            if request.path().starts_with(prefix.as_str()) {
+                return match ctx.get(dst, path) {
+                    Ok(resp) if resp.status().is_success() => {
+                        Response::ok(format!("via={dst};{}", resp.body_str()))
+                    }
+                    Ok(resp) => Response::builder(resp.status())
+                        .body(format!("{dst} failed"))
+                        .build(),
+                    Err(MeshError::BulkheadFull { .. }) => {
+                        Response::builder(StatusCode::TOO_MANY_REQUESTS)
+                            .body(format!("{dst} bulkhead full"))
+                            .build()
+                    }
+                    Err(MeshError::CircuitOpen { .. }) => {
+                        Response::builder(StatusCode::SERVICE_UNAVAILABLE)
+                            .body(format!("{dst} circuit open"))
+                            .build()
+                    }
+                    Err(err) if err.is_handleable() => {
+                        Response::builder(StatusCode::BAD_GATEWAY)
+                            .body(format!("{dst} unavailable"))
+                            .build()
+                    }
+                    Err(err) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+                        .body(format!("unhandled error: {err}"))
+                        .build(),
+                };
+            }
+        }
+        Response::error(StatusCode::NOT_FOUND)
+    }
+}
+
+/// Calls a fixed list of children and succeeds only if all succeed —
+/// the node behaviour for the binary-tree topologies of the paper's
+/// scaling benchmark (§7.2).
+#[derive(Debug, Clone)]
+pub struct TreeNode {
+    children: Vec<String>,
+}
+
+impl TreeNode {
+    /// A node calling the given children (a leaf when empty).
+    pub fn new(children: Vec<String>) -> TreeNode {
+        TreeNode { children }
+    }
+}
+
+impl ServiceBehavior for TreeNode {
+    fn handle(&self, _request: &Request, ctx: &RequestContext<'_>) -> Response {
+        let mut descendants = 0u64;
+        for child in &self.children {
+            match ctx.get(child, "/tree") {
+                Ok(resp) if resp.status().is_success() => {
+                    descendants += 1 + resp.body_str().trim().parse::<u64>().unwrap_or(0);
+                }
+                Ok(resp) => {
+                    return Response::builder(resp.status())
+                        .body(format!("child {child} failed"))
+                        .build()
+                }
+                Err(err) if err.is_handleable() => {
+                    return Response::builder(StatusCode::BAD_GATEWAY)
+                        .body(format!("child {child} unavailable"))
+                        .build()
+                }
+                Err(err) => {
+                    return Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+                        .body(format!("unhandled error: {err}"))
+                        .build()
+                }
+            }
+        }
+        // Body carries the number of reachable descendants, letting
+        // tests verify the whole tree was traversed.
+        Response::ok(descendants.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ResiliencePolicy;
+    use crate::registry::ServiceRegistry;
+    use crate::service::{Microservice, ServiceSpec};
+    use gremlin_http::HttpClient;
+    use std::sync::Arc;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> Response {
+        HttpClient::new().send(addr, Request::get(path)).unwrap()
+    }
+
+    #[test]
+    fn static_responder() {
+        let registry = ServiceRegistry::shared();
+        let svc = Microservice::start(
+            &ServiceSpec::new("s", StaticResponder::ok("hello")),
+            registry,
+        )
+        .unwrap();
+        assert_eq!(get(svc.addr(), "/").body_str(), "hello");
+    }
+
+    #[test]
+    fn aggregator_partial_failure_is_tolerated() {
+        let registry = ServiceRegistry::shared();
+        let _up = Microservice::start(
+            &ServiceSpec::new("up", StaticResponder::ok("x")),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let _down = Microservice::start(
+            &ServiceSpec::new(
+                "down",
+                StaticResponder::with_status(StatusCode::SERVICE_UNAVAILABLE, ""),
+            ),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let agg = Microservice::start(
+            &ServiceSpec::new(
+                "agg",
+                Aggregator::new(vec!["up".into(), "down".into(), "ghost".into()], "/"),
+            )
+            .dependency("up", ResiliencePolicy::new())
+            .dependency("down", ResiliencePolicy::new())
+            .dependency("ghost", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        let resp = get(agg.addr(), "/");
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.body_str(), "up=ok,down=error(503),ghost=unavailable");
+    }
+
+    #[test]
+    fn fallback_search_uses_secondary_on_error() {
+        let registry = ServiceRegistry::shared();
+        let _primary = Microservice::start(
+            &ServiceSpec::new(
+                "es",
+                StaticResponder::with_status(StatusCode::SERVICE_UNAVAILABLE, ""),
+            ),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let _secondary = Microservice::start(
+            &ServiceSpec::new("mysql", StaticResponder::ok("rows")),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let wp = Microservice::start(
+            &ServiceSpec::new("wp", FallbackSearch::new("es", "mysql", "/search"))
+                .dependency("es", ResiliencePolicy::new())
+                .dependency("mysql", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        let resp = get(wp.addr(), "/search");
+        assert_eq!(resp.body_str(), "source=mysql;rows");
+    }
+
+    #[test]
+    fn fallback_search_prefers_primary() {
+        let registry = ServiceRegistry::shared();
+        let _primary = Microservice::start(
+            &ServiceSpec::new("es", StaticResponder::ok("hits")),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let _secondary = Microservice::start(
+            &ServiceSpec::new("mysql", StaticResponder::ok("rows")),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let wp = Microservice::start(
+            &ServiceSpec::new("wp", FallbackSearch::new("es", "mysql", "/search"))
+                .dependency("es", ResiliencePolicy::new())
+                .dependency("mysql", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        assert_eq!(get(wp.addr(), "/search").body_str(), "source=es;hits");
+    }
+
+    #[test]
+    fn fallback_search_both_down() {
+        let registry = ServiceRegistry::shared();
+        let wp = Microservice::start(
+            &ServiceSpec::new("wp", FallbackSearch::new("es", "mysql", "/search"))
+                .dependency("es", ResiliencePolicy::new())
+                .dependency("mysql", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        let resp = get(wp.addr(), "/search");
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+    }
+
+    #[test]
+    fn path_router_routes_by_prefix() {
+        let registry = ServiceRegistry::shared();
+        let _a = Microservice::start(
+            &ServiceSpec::new("svc-a", StaticResponder::ok("A")),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let _b = Microservice::start(
+            &ServiceSpec::new("svc-b", StaticResponder::ok("B")),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let router = Microservice::start(
+            &ServiceSpec::new(
+                "router",
+                PathRouter::new()
+                    .route("/a", "svc-a", "/work")
+                    .route("/b", "svc-b", "/work"),
+            )
+            .dependency("svc-a", ResiliencePolicy::new())
+            .dependency("svc-b", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        assert_eq!(get(router.addr(), "/a/1").body_str(), "via=svc-a;A");
+        assert_eq!(get(router.addr(), "/b/2").body_str(), "via=svc-b;B");
+        assert_eq!(get(router.addr(), "/c").status(), StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn tree_node_counts_descendants() {
+        let registry = ServiceRegistry::shared();
+        let _leaf1 = Microservice::start(
+            &ServiceSpec::new("leaf1", TreeNode::new(vec![])),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let _leaf2 = Microservice::start(
+            &ServiceSpec::new("leaf2", TreeNode::new(vec![])),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let root = Microservice::start(
+            &ServiceSpec::new("root", TreeNode::new(vec!["leaf1".into(), "leaf2".into()]))
+                .dependency("leaf1", ResiliencePolicy::new())
+                .dependency("leaf2", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        assert_eq!(get(root.addr(), "/tree").body_str(), "2");
+    }
+
+    #[test]
+    fn tree_node_fails_when_child_unavailable() {
+        let registry = ServiceRegistry::shared();
+        let root = Microservice::start(
+            &ServiceSpec::new("root", TreeNode::new(vec!["missing".into()]))
+                .dependency("missing", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        let resp = get(root.addr(), "/tree");
+        assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
+    }
+}

@@ -1,0 +1,525 @@
+//! The dependency client: application-side failure-handling logic.
+//!
+//! Every microservice in the mesh calls its dependencies through a
+//! [`DependencyClient`] configured with a [`ResiliencePolicy`] — the
+//! combination of timeout, bounded-retry, circuit-breaker and
+//! bulkhead patterns (or their deliberate absence). This is the code
+//! whose behaviour Gremlin recipes verify from the network.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gremlin_http::{ClientConfig, HttpClient, Request, Response};
+
+use crate::error::MeshError;
+use crate::registry::ServiceRegistry;
+use crate::resilience::{
+    Bulkhead, BulkheadConfig, CallPool, CircuitBreaker, CircuitBreakerConfig, RetryPolicy,
+};
+
+/// The failure-handling configuration for one dependency edge.
+///
+/// The default policy is deliberately **naive** — no timeouts, no
+/// retries, no breaker, no bulkhead — matching how much real-world
+/// code ships (the paper's ElasticPress case study found exactly
+/// this). Use the builder methods to add patterns.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_mesh::{ResiliencePolicy};
+/// use gremlin_mesh::resilience::RetryPolicy;
+/// use std::time::Duration;
+///
+/// let policy = ResiliencePolicy::new()
+///     .timeout(Duration::from_secs(1))
+///     .retry(RetryPolicy::new(5));
+/// assert_eq!(policy.read_timeout, Some(Duration::from_secs(1)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResiliencePolicy {
+    /// Deadline for TCP connection establishment.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for receiving the full response.
+    pub read_timeout: Option<Duration>,
+    /// Bounded-retry policy.
+    pub retry: Option<RetryPolicy>,
+    /// Circuit-breaker configuration.
+    pub circuit_breaker: Option<CircuitBreakerConfig>,
+    /// Bulkhead configuration.
+    pub bulkhead: Option<BulkheadConfig>,
+    /// Models the Unirest library bug from the paper's case study
+    /// (§7.1): read timeouts are handled gracefully, but errors from
+    /// the TCP connection phase escape the failure-handling layer as
+    /// [`MeshError::Unhandled`].
+    pub unirest_connect_bug: bool,
+}
+
+impl ResiliencePolicy {
+    /// A policy with no resilience patterns at all.
+    pub fn new() -> ResiliencePolicy {
+        ResiliencePolicy::default()
+    }
+
+    /// A sensible hardened policy: 1 s connect / 2 s read timeouts,
+    /// 3 retry attempts, a default circuit breaker and a default
+    /// bulkhead.
+    pub fn hardened() -> ResiliencePolicy {
+        ResiliencePolicy {
+            connect_timeout: Some(Duration::from_secs(1)),
+            read_timeout: Some(Duration::from_secs(2)),
+            retry: Some(RetryPolicy::default()),
+            circuit_breaker: Some(CircuitBreakerConfig::default()),
+            bulkhead: Some(BulkheadConfig::default()),
+            unirest_connect_bug: false,
+        }
+    }
+
+    /// Sets both connect and read timeouts to `timeout`.
+    pub fn timeout(mut self, timeout: Duration) -> ResiliencePolicy {
+        self.connect_timeout = Some(timeout);
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets only the read timeout.
+    pub fn read_timeout(mut self, timeout: Duration) -> ResiliencePolicy {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets only the connect timeout.
+    pub fn connect_timeout(mut self, timeout: Duration) -> ResiliencePolicy {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Adds a bounded-retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> ResiliencePolicy {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Adds a circuit breaker.
+    pub fn circuit_breaker(mut self, config: CircuitBreakerConfig) -> ResiliencePolicy {
+        self.circuit_breaker = Some(config);
+        self
+    }
+
+    /// Adds a bulkhead.
+    pub fn bulkhead(mut self, config: BulkheadConfig) -> ResiliencePolicy {
+        self.bulkhead = Some(config);
+        self
+    }
+
+    /// Enables the modeled Unirest connect-phase bug.
+    pub fn with_unirest_connect_bug(mut self) -> ResiliencePolicy {
+        self.unirest_connect_bug = true;
+        self
+    }
+}
+
+/// A policy-wrapped HTTP client for one `(src, dst)` dependency edge.
+pub struct DependencyClient {
+    src: String,
+    dst: String,
+    registry: Arc<ServiceRegistry>,
+    http: HttpClient,
+    retry: Option<RetryPolicy>,
+    breaker: Option<Arc<CircuitBreaker>>,
+    bulkhead: Option<Bulkhead>,
+    shared_pool: Option<CallPool>,
+    unirest_connect_bug: bool,
+    calls: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl std::fmt::Debug for DependencyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DependencyClient")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("retry", &self.retry.is_some())
+            .field("breaker", &self.breaker.is_some())
+            .field("bulkhead", &self.bulkhead.is_some())
+            .finish()
+    }
+}
+
+impl DependencyClient {
+    /// Creates a client for calls from `src` to `dst`, resolving the
+    /// concrete address through `registry` at each call.
+    pub fn new(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        policy: &ResiliencePolicy,
+        registry: Arc<ServiceRegistry>,
+    ) -> DependencyClient {
+        DependencyClient::with_shared_pool(src, dst, policy, registry, None)
+    }
+
+    /// Like [`DependencyClient::new`], but outbound calls draw from a
+    /// service-wide shared [`CallPool`] **when the edge has no
+    /// bulkhead** — the naive shared-thread-pool arrangement the
+    /// bulkhead pattern exists to replace (§2.1). A configured
+    /// bulkhead acts as the edge's private pool instead.
+    pub fn with_shared_pool(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        policy: &ResiliencePolicy,
+        registry: Arc<ServiceRegistry>,
+        shared_pool: Option<CallPool>,
+    ) -> DependencyClient {
+        let http = HttpClient::with_config(ClientConfig {
+            connect_timeout: policy.connect_timeout,
+            read_timeout: policy.read_timeout,
+            write_timeout: policy.read_timeout,
+            ..ClientConfig::default()
+        });
+        DependencyClient {
+            src: src.into(),
+            dst: dst.into(),
+            registry,
+            http,
+            retry: policy.retry.clone(),
+            breaker: policy.circuit_breaker.map(|c| Arc::new(CircuitBreaker::new(c))),
+            bulkhead: policy.bulkhead.map(Bulkhead::new),
+            shared_pool,
+            unirest_connect_bug: policy.unirest_connect_bug,
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The destination service name.
+    pub fn dst(&self) -> &str {
+        &self.dst
+    }
+
+    /// The circuit breaker guarding this edge, if configured.
+    pub fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
+    }
+
+    /// The bulkhead guarding this edge, if configured.
+    pub fn bulkhead(&self) -> Option<&Bulkhead> {
+        self.bulkhead.as_ref()
+    }
+
+    /// Total logical calls issued (not counting retries).
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Logical calls that ultimately failed.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Issues `request` to the dependency, applying the configured
+    /// resilience patterns.
+    ///
+    /// An HTTP response is returned even when its status is an error
+    /// (the application decides what a `503` means); `Err` is
+    /// reserved for calls that produced no response at all.
+    ///
+    /// # Errors
+    ///
+    /// * [`MeshError::BulkheadFull`] — rejected before attempting.
+    /// * [`MeshError::CircuitOpen`] — breaker is open, failed fast.
+    /// * [`MeshError::Http`] — transport failure after exhausting
+    ///   retries.
+    /// * [`MeshError::UnknownDependency`] — no address for `dst`.
+    /// * [`MeshError::Unhandled`] — the modeled Unirest connect bug.
+    pub fn call(&self, request: Request) -> Result<Response, MeshError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut _bulkhead_permit = None;
+        let mut _pool_permit = None;
+        match &self.bulkhead {
+            Some(bulkhead) => match bulkhead.try_acquire() {
+                Some(permit) => _bulkhead_permit = Some(permit),
+                None => {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    return Err(MeshError::BulkheadFull {
+                        dst: self.dst.clone(),
+                    });
+                }
+            },
+            None => {
+                // No bulkhead: draw from the shared pool, blocking —
+                // exactly how a degraded dependency exhausts it.
+                if let Some(pool) = &self.shared_pool {
+                    _pool_permit = Some(pool.acquire());
+                }
+            }
+        };
+
+        let result = self.call_with_retries(&request);
+        if result.is_err() {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn call_with_retries(&self, request: &Request) -> Result<Response, MeshError> {
+        let max_tries = self.retry.as_ref().map(RetryPolicy::max_tries).unwrap_or(1);
+        let mut attempt: u32 = 0;
+        loop {
+            if let Some(breaker) = &self.breaker {
+                if !breaker.try_acquire() {
+                    return Err(MeshError::CircuitOpen {
+                        dst: self.dst.clone(),
+                    });
+                }
+            }
+            let addr = self
+                .registry
+                .resolve(&self.src, &self.dst)
+                .ok_or_else(|| MeshError::UnknownDependency(self.dst.clone()))?;
+
+            match self.http.send(addr, request.clone()) {
+                Ok(response) if !response.status().is_server_error() => {
+                    if let Some(breaker) = &self.breaker {
+                        breaker.record_success();
+                    }
+                    return Ok(response);
+                }
+                Ok(error_response) => {
+                    // 5xx: a failed API call for resilience purposes,
+                    // but still a response the application can use.
+                    if let Some(breaker) = &self.breaker {
+                        breaker.record_failure();
+                    }
+                    attempt += 1;
+                    if attempt >= max_tries {
+                        return Ok(error_response);
+                    }
+                }
+                Err(err) => {
+                    if let Some(breaker) = &self.breaker {
+                        breaker.record_failure();
+                    }
+                    attempt += 1;
+                    if attempt >= max_tries {
+                        if self.unirest_connect_bug && err.is_connection_error() {
+                            // The modeled library bug: connect-phase
+                            // errors escape the graceful handling
+                            // path entirely.
+                            return Err(MeshError::Unhandled(format!(
+                                "unirest: unexpected connection error calling {}: {err}",
+                                self.dst
+                            )));
+                        }
+                        return Err(MeshError::Http(err));
+                    }
+                }
+            }
+            if let Some(retry) = &self.retry {
+                let delay = retry.backoff().sample_delay(attempt - 1);
+                if delay > Duration::ZERO {
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::Backoff;
+    use gremlin_http::{ConnInfo, HttpServer, Response as HttpResponse, StatusCode};
+    use std::sync::atomic::AtomicUsize;
+
+    fn registry_with(dst: &str, addr: std::net::SocketAddr) -> Arc<ServiceRegistry> {
+        let registry = ServiceRegistry::shared();
+        registry.register_instance(dst, addr);
+        registry
+    }
+
+    #[test]
+    fn plain_call_succeeds() {
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            HttpResponse::ok("fine")
+        })
+        .unwrap();
+        let registry = registry_with("b", server.local_addr());
+        let client = DependencyClient::new("a", "b", &ResiliencePolicy::new(), registry);
+        let resp = client.call(Request::get("/")).unwrap();
+        assert_eq!(resp.body_str(), "fine");
+        assert_eq!(client.calls(), 1);
+        assert_eq!(client.failures(), 0);
+    }
+
+    #[test]
+    fn unknown_dependency_errors() {
+        let registry = ServiceRegistry::shared();
+        let client = DependencyClient::new("a", "ghost", &ResiliencePolicy::new(), registry);
+        let err = client.call(Request::get("/")).unwrap_err();
+        assert!(matches!(err, MeshError::UnknownDependency(_)));
+    }
+
+    #[test]
+    fn retries_on_server_error_then_delivers_last_response() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits_in_handler = Arc::clone(&hits);
+        let server = HttpServer::bind("127.0.0.1:0", move |_req: Request, _conn: &ConnInfo| {
+            hits_in_handler.fetch_add(1, Ordering::SeqCst);
+            HttpResponse::error(StatusCode::SERVICE_UNAVAILABLE)
+        })
+        .unwrap();
+        let registry = registry_with("b", server.local_addr());
+        let policy = ResiliencePolicy::new()
+            .retry(RetryPolicy::new(4).with_backoff(Backoff::none()));
+        let client = DependencyClient::new("a", "b", &policy, registry);
+        let resp = client.call(Request::get("/")).unwrap();
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(hits.load(Ordering::SeqCst), 4, "bounded retries");
+    }
+
+    #[test]
+    fn retries_recover_from_transient_failure() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits_in_handler = Arc::clone(&hits);
+        let server = HttpServer::bind("127.0.0.1:0", move |_req: Request, _conn: &ConnInfo| {
+            if hits_in_handler.fetch_add(1, Ordering::SeqCst) < 2 {
+                HttpResponse::error(StatusCode::SERVICE_UNAVAILABLE)
+            } else {
+                HttpResponse::ok("recovered")
+            }
+        })
+        .unwrap();
+        let registry = registry_with("b", server.local_addr());
+        let policy = ResiliencePolicy::new()
+            .retry(RetryPolicy::new(5).with_backoff(Backoff::none()));
+        let client = DependencyClient::new("a", "b", &policy, registry);
+        let resp = client.call(Request::get("/")).unwrap();
+        assert_eq!(resp.body_str(), "recovered");
+    }
+
+    #[test]
+    fn client_error_is_not_retried() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits_in_handler = Arc::clone(&hits);
+        let server = HttpServer::bind("127.0.0.1:0", move |_req: Request, _conn: &ConnInfo| {
+            hits_in_handler.fetch_add(1, Ordering::SeqCst);
+            HttpResponse::error(StatusCode::NOT_FOUND)
+        })
+        .unwrap();
+        let registry = registry_with("b", server.local_addr());
+        let policy = ResiliencePolicy::new()
+            .retry(RetryPolicy::new(5).with_backoff(Backoff::none()));
+        let client = DependencyClient::new("a", "b", &policy, registry);
+        let resp = client.call(Request::get("/")).unwrap();
+        assert_eq!(resp.status(), StatusCode::NOT_FOUND);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn circuit_breaker_opens_and_fails_fast() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let registry = registry_with("b", dead);
+        let policy = ResiliencePolicy::new()
+            .connect_timeout(Duration::from_millis(200))
+            .circuit_breaker(CircuitBreakerConfig {
+                failure_threshold: 3,
+                open_duration: Duration::from_secs(60),
+                success_threshold: 1,
+            });
+        let client = DependencyClient::new("a", "b", &policy, registry);
+        for _ in 0..3 {
+            assert!(matches!(
+                client.call(Request::get("/")).unwrap_err(),
+                MeshError::Http(_)
+            ));
+        }
+        // Breaker now open: failing fast without dialing.
+        let err = client.call(Request::get("/")).unwrap_err();
+        assert!(matches!(err, MeshError::CircuitOpen { .. }));
+        assert_eq!(
+            client.breaker().unwrap().state(),
+            crate::resilience::CircuitState::Open
+        );
+    }
+
+    #[test]
+    fn bulkhead_rejects_when_full() {
+        use std::thread;
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            thread::sleep(Duration::from_millis(300));
+            HttpResponse::ok("slow")
+        })
+        .unwrap();
+        let registry = registry_with("b", server.local_addr());
+        let policy = ResiliencePolicy::new().bulkhead(BulkheadConfig { max_concurrent: 1 });
+        let client = Arc::new(DependencyClient::new("a", "b", &policy, registry));
+
+        let background = {
+            let client = Arc::clone(&client);
+            thread::spawn(move || client.call(Request::get("/slow")))
+        };
+        thread::sleep(Duration::from_millis(80));
+        let err = client.call(Request::get("/fast")).unwrap_err();
+        assert!(matches!(err, MeshError::BulkheadFull { .. }));
+        assert!(background.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn read_timeout_fires_as_handleable_http_error() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((s, _)) = listener.accept() {
+                held.push(s);
+            }
+        });
+        let registry = registry_with("b", addr);
+        let policy = ResiliencePolicy::new().read_timeout(Duration::from_millis(100));
+        let client = DependencyClient::new("a", "b", &policy, registry);
+        let err = client.call(Request::get("/")).unwrap_err();
+        match err {
+            MeshError::Http(http) => assert!(http.is_timeout()),
+            other => panic!("expected http timeout, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unirest_bug_escalates_connection_errors() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let registry = registry_with("b", dead);
+        let policy = ResiliencePolicy::new()
+            .read_timeout(Duration::from_millis(200))
+            .with_unirest_connect_bug();
+        let client = DependencyClient::new("a", "b", &policy, registry);
+        let err = client.call(Request::get("/")).unwrap_err();
+        assert!(matches!(err, MeshError::Unhandled(_)), "got {err}");
+        assert!(!err.is_handleable());
+    }
+
+    #[test]
+    fn unirest_bug_still_handles_read_timeouts_gracefully() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while let Ok((s, _)) = listener.accept() {
+                held.push(s);
+            }
+        });
+        let registry = registry_with("b", addr);
+        let policy = ResiliencePolicy::new()
+            .read_timeout(Duration::from_millis(100))
+            .with_unirest_connect_bug();
+        let client = DependencyClient::new("a", "b", &policy, registry);
+        let err = client.call(Request::get("/")).unwrap_err();
+        assert!(err.is_handleable(), "read timeout must stay handleable");
+    }
+}

@@ -1,0 +1,522 @@
+//! Whole-application deployments: services plus their Gremlin agents,
+//! wired over loopback TCP.
+//!
+//! A [`Deployment`] mirrors the paper's sidecar model (§6): every
+//! service's outbound traffic flows through its own Gremlin agent.
+//! An optional *ingress* agent fronts an edge service on behalf of a
+//! synthetic `user`, so even user-facing behaviour is observed by the
+//! data plane (the paper's §6 "test input generation" assumes test
+//! load can be injected via a Gremlin agent).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use gremlin_http::{ClientConfig, HttpClient, Request, Response};
+use gremlin_proxy::{AgentConfig, AgentControl, GremlinAgent, ProxyError};
+use gremlin_store::EventStore;
+
+use crate::error::MeshError;
+use crate::registry::ServiceRegistry;
+use crate::service::{Microservice, ServiceSpec};
+
+/// Builds a [`Deployment`] from service specs.
+///
+/// The builder is `Clone`, which makes it a reusable *blueprint*: the
+/// paper's §9 suggests canaries — fresh copies of the application
+/// dedicated to test requests — as the answer to state cleanup, and
+/// `builder.clone().build()` stamps out exactly that (every service,
+/// agent, breaker and queue starts from scratch on new ports).
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_mesh::behaviors::StaticResponder;
+/// use gremlin_mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+///
+/// # fn main() -> Result<(), gremlin_mesh::MeshError> {
+/// let deployment = Deployment::builder()
+///     .service(ServiceSpec::new("backend", StaticResponder::ok("data")))
+///     .service(
+///         ServiceSpec::new(
+///             "frontend",
+///             gremlin_mesh::behaviors::Aggregator::new(vec!["backend".into()], "/"),
+///         )
+///         .dependency("backend", ResiliencePolicy::new()),
+///     )
+///     .ingress("user", "frontend")
+///     .build()?;
+/// let response = deployment.call_with_id("frontend", "/", "test-1")?;
+/// assert_eq!(response.body_str(), "backend=ok");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DeploymentBuilder {
+    specs: Vec<ServiceSpec>,
+    proxied: bool,
+    seed: Option<u64>,
+    ingress: Vec<(String, String)>,
+    agent_client: Option<ClientConfig>,
+}
+
+impl DeploymentBuilder {
+    /// Creates a builder for a proxied (agent-per-service)
+    /// deployment.
+    pub fn new() -> DeploymentBuilder {
+        DeploymentBuilder {
+            specs: Vec::new(),
+            proxied: true,
+            seed: None,
+            ingress: Vec::new(),
+            agent_client: None,
+        }
+    }
+
+    /// Adds a service.
+    pub fn service(mut self, spec: ServiceSpec) -> DeploymentBuilder {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Enables or disables Gremlin agents. An unproxied deployment is
+    /// the baseline: services call each other directly.
+    pub fn proxied(mut self, proxied: bool) -> DeploymentBuilder {
+        self.proxied = proxied;
+        self
+    }
+
+    /// Seeds every agent's probability RNG (reproducible fault
+    /// sampling).
+    pub fn seed(mut self, seed: u64) -> DeploymentBuilder {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Adds an ingress agent: test traffic from the synthetic caller
+    /// `user` to `edge_service` flows through (and is observed by) a
+    /// Gremlin agent.
+    pub fn ingress(
+        mut self,
+        user: impl Into<String>,
+        edge_service: impl Into<String>,
+    ) -> DeploymentBuilder {
+        self.ingress.push((user.into(), edge_service.into()));
+        self
+    }
+
+    /// Overrides the HTTP client configuration agents use for
+    /// upstream calls.
+    pub fn agent_client(mut self, config: ClientConfig) -> DeploymentBuilder {
+        self.agent_client = Some(config);
+        self
+    }
+
+    /// Starts every service and agent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a service or agent fails to start, or if a
+    /// declared dependency has no registered instances.
+    pub fn build(self) -> Result<Deployment, MeshError> {
+        let registry = ServiceRegistry::shared();
+        let store = EventStore::shared();
+
+        // 1. Start all services; replicas register in the registry.
+        let mut services = HashMap::new();
+        for spec in &self.specs {
+            let service = Microservice::start(spec, Arc::clone(&registry))?;
+            services.insert(spec.name.clone(), service);
+        }
+
+        // 2. Start one agent per service *instance* (paper Figure 3)
+        //    with outbound dependency routes, then point each
+        //    replica's clients at its own sidecar.
+        let mut agents: HashMap<String, Vec<Arc<GremlinAgent>>> = HashMap::new();
+        if self.proxied {
+            for spec in &self.specs {
+                if spec.dependencies.is_empty() {
+                    continue;
+                }
+                for replica in 0..spec.replicas {
+                    let mut config = AgentConfig::new(spec.name.clone())
+                        .name(format!("agent-{}-{replica}", spec.name));
+                    if let Some(seed) = self.seed {
+                        config = config.seed(seed.wrapping_add(replica as u64));
+                    }
+                    if let Some(client) = &self.agent_client {
+                        config = config.client(client.clone());
+                    }
+                    for dependency in &spec.dependencies {
+                        let upstreams = registry.instances(&dependency.dst);
+                        if upstreams.is_empty() {
+                            return Err(MeshError::UnknownDependency(dependency.dst.clone()));
+                        }
+                        config = config.route(dependency.dst.clone(), upstreams);
+                    }
+                    let agent = Arc::new(
+                        GremlinAgent::start(config, store.clone()).map_err(proxy_to_mesh)?,
+                    );
+                    let source_key = crate::registry::instance_key(&spec.name, replica);
+                    for dependency in &spec.dependencies {
+                        let addr = agent
+                            .route_addr(&dependency.dst)
+                            .expect("route registered at agent start");
+                        registry.set_route(source_key.clone(), dependency.dst.clone(), addr);
+                    }
+                    agents.entry(spec.name.clone()).or_default().push(agent);
+                }
+            }
+        }
+
+        // 3. Ingress agents for synthetic user traffic.
+        let mut ingress_addrs: HashMap<String, SocketAddr> = HashMap::new();
+        for (user, edge) in &self.ingress {
+            let upstreams = registry.instances(edge);
+            if upstreams.is_empty() {
+                return Err(MeshError::UnknownDependency(edge.clone()));
+            }
+            let mut config = AgentConfig::new(user.clone()).route(edge.clone(), upstreams);
+            if let Some(seed) = self.seed {
+                config = config.seed(seed);
+            }
+            let agent =
+                Arc::new(GremlinAgent::start(config, store.clone()).map_err(proxy_to_mesh)?);
+            let addr = agent.route_addr(edge).expect("ingress route registered");
+            ingress_addrs.insert(edge.clone(), addr);
+            agents.entry(user.clone()).or_default().push(agent);
+        }
+
+        Ok(Deployment {
+            registry,
+            store,
+            services,
+            agents,
+            ingress_addrs,
+            client: HttpClient::new(),
+        })
+    }
+}
+
+fn proxy_to_mesh(err: ProxyError) -> MeshError {
+    match err {
+        ProxyError::Http(http) => MeshError::Http(http),
+        other => MeshError::Unhandled(other.to_string()),
+    }
+}
+
+/// A running application: services, agents, registry and the shared
+/// observation store.
+pub struct Deployment {
+    registry: Arc<ServiceRegistry>,
+    store: Arc<EventStore>,
+    services: HashMap<String, Microservice>,
+    agents: HashMap<String, Vec<Arc<GremlinAgent>>>,
+    ingress_addrs: HashMap<String, SocketAddr>,
+    client: HttpClient,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("services", &self.services.keys().collect::<Vec<_>>())
+            .field("agents", &self.agents.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// Starts building a deployment.
+    pub fn builder() -> DeploymentBuilder {
+        DeploymentBuilder::new()
+    }
+
+    /// The shared observation store all agents log to.
+    pub fn store(&self) -> &Arc<EventStore> {
+        &self.store
+    }
+
+    /// The deployment's service registry.
+    pub fn registry(&self) -> &Arc<ServiceRegistry> {
+        &self.registry
+    }
+
+    /// The running service named `name`.
+    pub fn service(&self, name: &str) -> Option<&Microservice> {
+        self.services.get(name)
+    }
+
+    /// Direct address of `name`'s first replica.
+    pub fn service_addr(&self, name: &str) -> Option<SocketAddr> {
+        self.services.get(name).map(Microservice::addr)
+    }
+
+    /// The agent fronting outbound calls of `service`'s first
+    /// instance (including ingress users).
+    pub fn agent(&self, service: &str) -> Option<&Arc<GremlinAgent>> {
+        self.agents.get(service).and_then(|list| list.first())
+    }
+
+    /// Every agent instance fronting `service` (one per replica,
+    /// paper Figure 3).
+    pub fn agents_for(&self, service: &str) -> &[Arc<GremlinAgent>] {
+        self.agents
+            .get(service)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Every agent in the deployment, ordered by service name then
+    /// replica.
+    pub fn agents(&self) -> Vec<Arc<GremlinAgent>> {
+        let mut names: Vec<&String> = self.agents.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .flat_map(|name| self.agents[name].iter().cloned())
+            .collect()
+    }
+
+    /// Every agent as an [`AgentControl`] handle, ready for the
+    /// Failure Orchestrator.
+    pub fn controls(&self) -> Vec<Arc<dyn AgentControl>> {
+        self.agents()
+            .into_iter()
+            .map(|agent| agent as Arc<dyn AgentControl>)
+            .collect()
+    }
+
+    /// The address test traffic for `service` should be sent to: the
+    /// ingress agent's listener when one exists, otherwise the
+    /// service itself.
+    pub fn entry_addr(&self, service: &str) -> Option<SocketAddr> {
+        self.ingress_addrs
+            .get(service)
+            .copied()
+            .or_else(|| self.service_addr(service))
+    }
+
+    /// Sends `request` to `service` through its entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeshError::UnknownDependency`] for unknown services
+    /// or [`MeshError::Http`] for transport failures.
+    pub fn call(&self, service: &str, request: Request) -> Result<Response, MeshError> {
+        let addr = self
+            .entry_addr(service)
+            .ok_or_else(|| MeshError::UnknownDependency(service.to_string()))?;
+        self.client.send(addr, request).map_err(MeshError::Http)
+    }
+
+    /// Convenience: `GET path` on `service` stamped with request ID
+    /// `id`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Deployment::call`].
+    pub fn call_with_id(&self, service: &str, path: &str, id: &str) -> Result<Response, MeshError> {
+        self.call(
+            service,
+            Request::builder(gremlin_http::Method::Get, path)
+                .request_id(id)
+                .build(),
+        )
+    }
+
+    /// Every `(src, dst)` edge covered by an agent route
+    /// (deduplicated across replicas).
+    pub fn edges(&self) -> Vec<(String, String)> {
+        let mut edges = Vec::new();
+        for (src, agent_list) in &self.agents {
+            for agent in agent_list {
+                for (dst, _) in agent.routes() {
+                    edges.push((src.clone(), dst));
+                }
+            }
+        }
+        edges.sort();
+        edges.dedup();
+        edges
+    }
+
+    /// Flushes the rules of every agent (between chained test steps).
+    pub fn clear_all_rules(&self) {
+        for agent in self.agents.values().flatten() {
+            GremlinAgent::clear_rules(agent);
+        }
+    }
+
+    /// Names of all running services (sorted).
+    pub fn service_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// **Really** stops every replica of `name` and deregisters it —
+    /// the ground truth Gremlin's *emulated* crash (TCP-reset rules)
+    /// approximates without touching the service (§3.1). Returns
+    /// `false` when no such service runs.
+    ///
+    /// Unlike an emulated crash this cannot be undone, affects every
+    /// flow (not just `test-*`), and leaves the agents' route tables
+    /// pointing at dead ports.
+    pub fn kill_service(&mut self, name: &str) -> bool {
+        match self.services.remove(name) {
+            Some(service) => {
+                self.registry.deregister_service(name);
+                service.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviors::{Aggregator, StaticResponder};
+    use crate::client::ResiliencePolicy;
+    use gremlin_proxy::{AbortKind, Rule};
+    use gremlin_store::Query;
+
+    fn two_tier() -> Deployment {
+        Deployment::builder()
+            .service(ServiceSpec::new("serviceB", StaticResponder::ok("b-data")))
+            .service(
+                ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/api"))
+                    .dependency("serviceB", ResiliencePolicy::new()),
+            )
+            .ingress("user", "serviceA")
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn traffic_flows_through_agents_and_is_logged() {
+        let deployment = two_tier();
+        let resp = deployment.call_with_id("serviceA", "/", "test-1").unwrap();
+        assert_eq!(resp.body_str(), "serviceB=ok");
+
+        // Both the user->serviceA and serviceA->serviceB hops were
+        // observed.
+        let store = deployment.store();
+        assert_eq!(store.query(&Query::requests("user", "serviceA")).len(), 1);
+        assert_eq!(
+            store.query(&Query::requests("serviceA", "serviceB")).len(),
+            1
+        );
+        let reply = &store.query(&Query::replies("serviceA", "serviceB"))[0];
+        assert_eq!(reply.request_id.as_deref(), Some("test-1"));
+    }
+
+    #[test]
+    fn fault_injection_on_inner_edge() {
+        let deployment = two_tier();
+        deployment
+            .agent("serviceA")
+            .unwrap()
+            .install_rules(&[
+                Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
+            ])
+            .unwrap();
+        let resp = deployment.call_with_id("serviceA", "/", "test-2").unwrap();
+        // Aggregator tolerates the failure gracefully.
+        assert_eq!(resp.body_str(), "serviceB=error(503)");
+        deployment.clear_all_rules();
+        let resp = deployment.call_with_id("serviceA", "/", "test-3").unwrap();
+        assert_eq!(resp.body_str(), "serviceB=ok");
+    }
+
+    #[test]
+    fn unproxied_baseline_has_no_agents() {
+        let deployment = Deployment::builder()
+            .service(ServiceSpec::new("serviceB", StaticResponder::ok("b")))
+            .service(
+                ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/"))
+                    .dependency("serviceB", ResiliencePolicy::new()),
+            )
+            .proxied(false)
+            .build()
+            .unwrap();
+        assert!(deployment.agents().is_empty());
+        let resp = deployment.call_with_id("serviceA", "/", "test-1").unwrap();
+        assert_eq!(resp.body_str(), "serviceB=ok");
+        assert!(deployment.store().is_empty(), "no agents, no observations");
+    }
+
+    #[test]
+    fn unknown_dependency_fails_build() {
+        let err = Deployment::builder()
+            .service(
+                ServiceSpec::new("a", StaticResponder::ok(""))
+                    .dependency("ghost", ResiliencePolicy::new()),
+            )
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, MeshError::UnknownDependency(_)));
+    }
+
+    #[test]
+    fn edges_and_names_enumerate() {
+        let deployment = two_tier();
+        assert_eq!(
+            deployment.edges(),
+            vec![
+                ("serviceA".to_string(), "serviceB".to_string()),
+                ("user".to_string(), "serviceA".to_string()),
+            ]
+        );
+        assert_eq!(deployment.service_names(), vec!["serviceA", "serviceB"]);
+        assert_eq!(deployment.controls().len(), 2);
+    }
+
+    #[test]
+    fn cloned_builder_stamps_out_canaries() {
+        let blueprint = Deployment::builder()
+            .service(ServiceSpec::new("serviceB", StaticResponder::ok("b")))
+            .service(
+                ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/"))
+                    .dependency("serviceB", ResiliencePolicy::new()),
+            );
+        let first = blueprint.clone().build().unwrap();
+        let second = blueprint.build().unwrap();
+        // Independent instances on independent ports.
+        assert_ne!(
+            first.service_addr("serviceA"),
+            second.service_addr("serviceA")
+        );
+        first.call_with_id("serviceA", "/", "test-1").unwrap();
+        assert!(!first.store().is_empty());
+        assert!(second.store().is_empty(), "canary state is fresh");
+    }
+
+    #[test]
+    fn replicas_get_proxied_round_robin() {
+        let deployment = Deployment::builder()
+            .service(
+                ServiceSpec::new("serviceB", StaticResponder::ok("b")).replicas(2),
+            )
+            .service(
+                ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/"))
+                    .dependency("serviceB", ResiliencePolicy::new()),
+            )
+            .build()
+            .unwrap();
+        for i in 0..4 {
+            deployment
+                .call_with_id("serviceA", "/", &format!("test-{i}"))
+                .unwrap();
+        }
+        assert_eq!(
+            deployment
+                .store()
+                .query(&Query::requests("serviceA", "serviceB"))
+                .len(),
+            4
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for the microservice runtime.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use gremlin_http::HttpError;
+
+/// Errors surfaced to service behaviours when a dependency call
+/// fails.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MeshError {
+    /// The underlying HTTP exchange failed (timeout, connection
+    /// refused/reset, protocol error). Behaviours with graceful
+    /// degradation handle this variant.
+    Http(HttpError),
+    /// The circuit breaker guarding the dependency is open; the call
+    /// was not attempted.
+    CircuitOpen {
+        /// The guarded dependency.
+        dst: String,
+    },
+    /// The bulkhead guarding the dependency had no capacity left; the
+    /// call was not attempted.
+    BulkheadFull {
+        /// The guarded dependency.
+        dst: String,
+    },
+    /// The service has no configured dependency with this name.
+    UnknownDependency(String),
+    /// An error escaped the failure-handling library entirely — the
+    /// model of the Unirest connect-timeout bug the paper's case
+    /// study uncovered (§7.1). Behaviours do **not** handle this
+    /// variant gracefully; the runtime turns it into a 500.
+    Unhandled(String),
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::Http(err) => write!(f, "dependency call failed: {err}"),
+            MeshError::CircuitOpen { dst } => write!(f, "circuit breaker open for {dst}"),
+            MeshError::BulkheadFull { dst } => write!(f, "bulkhead full for {dst}"),
+            MeshError::UnknownDependency(dst) => write!(f, "unknown dependency {dst:?}"),
+            MeshError::Unhandled(msg) => write!(f, "unhandled library error: {msg}"),
+        }
+    }
+}
+
+impl StdError for MeshError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            MeshError::Http(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<HttpError> for MeshError {
+    fn from(err: HttpError) -> Self {
+        MeshError::Http(err)
+    }
+}
+
+impl MeshError {
+    /// Returns `true` if graceful failure-handling code is expected
+    /// to catch this error (everything except
+    /// [`MeshError::Unhandled`]).
+    pub fn is_handleable(&self) -> bool {
+        !matches!(self, MeshError::Unhandled(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for err in [
+            MeshError::Http(HttpError::Timeout),
+            MeshError::CircuitOpen { dst: "db".into() },
+            MeshError::BulkheadFull { dst: "db".into() },
+            MeshError::UnknownDependency("x".into()),
+            MeshError::Unhandled("boom".into()),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn handleable_classification() {
+        assert!(MeshError::Http(HttpError::Timeout).is_handleable());
+        assert!(MeshError::CircuitOpen { dst: "d".into() }.is_handleable());
+        assert!(!MeshError::Unhandled("x".into()).is_handleable());
+    }
+
+    #[test]
+    fn source_chains_http() {
+        let err = MeshError::Http(HttpError::Timeout);
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,65 @@
+//! # gremlin-mesh
+//!
+//! A microservice runtime — the *system under test* for the Gremlin
+//! resilience-testing framework (Heorhiadi et al., ICDCS 2016).
+//!
+//! The paper evaluates Gremlin against real applications (an IBM
+//! enterprise app, WordPress + ElasticPress + MySQL, Docker-packaged
+//! binary trees). This crate provides the equivalent substrate:
+//!
+//! * [`Microservice`] — named HTTP services with pluggable
+//!   [`ServiceBehavior`] application logic and replica support;
+//! * [`resilience`] — the §2.1 patterns (timeouts, bounded retries,
+//!   circuit breakers, bulkheads), available per dependency edge via
+//!   [`ResiliencePolicy`] — including deliberately *missing* or
+//!   *buggy* variants, because that is what resilience testing
+//!   uncovers;
+//! * [`behaviors`] — models of the case-study applications;
+//! * [`Deployment`] — whole applications wired through Gremlin agents
+//!   over loopback TCP, matching the paper's sidecar model.
+//!
+//! # Examples
+//!
+//! ```
+//! use gremlin_mesh::behaviors::StaticResponder;
+//! use gremlin_mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+//! use gremlin_mesh::behaviors::Aggregator;
+//!
+//! # fn main() -> Result<(), gremlin_mesh::MeshError> {
+//! let deployment = Deployment::builder()
+//!     .service(ServiceSpec::new("serviceB", StaticResponder::ok("data")))
+//!     .service(
+//!         ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/api"))
+//!             .dependency("serviceB", ResiliencePolicy::hardened()),
+//!     )
+//!     .build()?;
+//!
+//! let response = deployment.call_with_id("serviceA", "/", "test-1")?;
+//! assert_eq!(response.body_str(), "serviceB=ok");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod behaviors;
+pub mod client;
+pub mod deployment;
+pub mod error;
+pub mod registry;
+pub mod registry_server;
+pub mod resilience;
+pub mod service;
+pub mod stateful;
+
+pub use client::{DependencyClient, ResiliencePolicy};
+pub use deployment::{Deployment, DeploymentBuilder};
+pub use error::MeshError;
+pub use registry::ServiceRegistry;
+pub use registry_server::RegistryServer;
+pub use service::{
+    DependencySpec, Microservice, RequestContext, ServiceBehavior, ServiceSpec,
+};
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, MeshError>;

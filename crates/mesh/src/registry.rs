@@ -1,0 +1,146 @@
+//! Service discovery for the mesh: who runs where, and which address
+//! a caller should dial for each dependency.
+//!
+//! The paper's sidecar model (§6) configures each service proxy with
+//! mappings `localhost:<port>` → list of remote instances, statically
+//! or from a service registry. This registry plays that role for the
+//! whole deployment: it records every service instance, and a *route*
+//! per `(src, dst)` edge pointing the caller at its local Gremlin
+//! agent (or directly at the destination in unproxied baselines).
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// The registry key for one replica of a service: `name#replica`.
+///
+/// Routes can be registered per instance (each replica dials its own
+/// sidecar agent, paper Figure 3); [`ServiceRegistry::resolve`] falls
+/// back from the instance key to the bare service name and finally
+/// to direct instances of the destination.
+pub fn instance_key(service: &str, replica: usize) -> String {
+    format!("{service}#{replica}")
+}
+
+/// Shared, concurrently updatable service registry.
+#[derive(Debug, Default)]
+pub struct ServiceRegistry {
+    instances: RwLock<HashMap<String, Vec<SocketAddr>>>,
+    routes: RwLock<HashMap<(String, String), SocketAddr>>,
+}
+
+impl ServiceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Creates an empty registry behind an [`Arc`].
+    pub fn shared() -> Arc<ServiceRegistry> {
+        Arc::new(ServiceRegistry::new())
+    }
+
+    /// Records an instance of `service` listening at `addr`.
+    pub fn register_instance(&self, service: impl Into<String>, addr: SocketAddr) {
+        self.instances.write().entry(service.into()).or_default().push(addr);
+    }
+
+    /// All known instances of `service`.
+    pub fn instances(&self, service: &str) -> Vec<SocketAddr> {
+        self.instances
+            .read()
+            .get(service)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All registered service names (sorted for determinism).
+    pub fn services(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.instances.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Sets the address `src` must dial to reach `dst` (normally the
+    /// local Gremlin agent's route listener).
+    pub fn set_route(
+        &self,
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        addr: SocketAddr,
+    ) {
+        self.routes.write().insert((src.into(), dst.into()), addr);
+    }
+
+    /// Resolves the address `src` should dial for `dst`: an explicit
+    /// route for the exact source key if present, else a route for
+    /// the bare service name (when `src` is an instance key like
+    /// `web#1`), else the first registered instance of `dst` (direct,
+    /// unproxied communication).
+    pub fn resolve(&self, src: &str, dst: &str) -> Option<SocketAddr> {
+        let routes = self.routes.read();
+        if let Some(addr) = routes.get(&(src.to_string(), dst.to_string())) {
+            return Some(*addr);
+        }
+        if let Some((service, _)) = src.split_once('#') {
+            if let Some(addr) = routes.get(&(service.to_string(), dst.to_string())) {
+                return Some(*addr);
+            }
+        }
+        drop(routes);
+        self.instances.read().get(dst).and_then(|v| v.first().copied())
+    }
+
+    /// Removes all instances of `service` (emulating that every
+    /// replica really went away, as opposed to Gremlin's emulated
+    /// crashes).
+    pub fn deregister_service(&self, service: &str) {
+        self.instances.write().remove(service);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn register_and_list_instances() {
+        let reg = ServiceRegistry::new();
+        reg.register_instance("b", addr(1000));
+        reg.register_instance("b", addr(1001));
+        assert_eq!(reg.instances("b"), vec![addr(1000), addr(1001)]);
+        assert!(reg.instances("missing").is_empty());
+        assert_eq!(reg.services(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn resolve_prefers_route_over_instance() {
+        let reg = ServiceRegistry::new();
+        reg.register_instance("b", addr(1000));
+        assert_eq!(reg.resolve("a", "b"), Some(addr(1000)));
+        reg.set_route("a", "b", addr(2000));
+        assert_eq!(reg.resolve("a", "b"), Some(addr(2000)));
+        // Other callers still go direct.
+        assert_eq!(reg.resolve("c", "b"), Some(addr(1000)));
+    }
+
+    #[test]
+    fn resolve_unknown_is_none() {
+        let reg = ServiceRegistry::new();
+        assert_eq!(reg.resolve("a", "nothing"), None);
+    }
+
+    #[test]
+    fn deregister_removes_instances() {
+        let reg = ServiceRegistry::new();
+        reg.register_instance("b", addr(1000));
+        reg.deregister_service("b");
+        assert_eq!(reg.resolve("a", "b"), None);
+    }
+}

@@ -1,0 +1,211 @@
+//! An HTTP face for the [`ServiceRegistry`] — the "service registry"
+//! the paper's sidecars may fetch their dependency mappings from
+//! (§6).
+//!
+//! The endpoint implements the discovery contract consumed by
+//! `gremlin_proxy::discovery::fetch_instances`:
+//!
+//! | Method | Path                    | Effect                                   |
+//! |--------|-------------------------|------------------------------------------|
+//! | GET    | `/instances/{service}`  | JSON array of `"ip:port"` strings        |
+//! | GET    | `/services`             | JSON array of known service names        |
+//! | POST   | `/register/{service}`   | register the instance given in the body  |
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+use gremlin_http::{ConnInfo, HttpServer, Method, Request, Response, StatusCode};
+
+use crate::error::MeshError;
+use crate::registry::ServiceRegistry;
+
+/// A running registry endpoint.
+#[derive(Debug)]
+pub struct RegistryServer {
+    server: HttpServer,
+    registry: Arc<ServiceRegistry>,
+}
+
+impl RegistryServer {
+    /// Starts the endpoint on `addr`, serving `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start(
+        registry: Arc<ServiceRegistry>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<RegistryServer, MeshError> {
+        let handler_registry = Arc::clone(&registry);
+        let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
+            handle(&handler_registry, request)
+        })
+        .map_err(MeshError::Http)?;
+        Ok(RegistryServer { server, registry })
+    }
+
+    /// The endpoint's address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The registry behind the endpoint.
+    pub fn registry(&self) -> &Arc<ServiceRegistry> {
+        &self.registry
+    }
+}
+
+fn handle(registry: &Arc<ServiceRegistry>, request: Request) -> Response {
+    let path = request.path().to_string();
+    match (request.method().clone(), path.as_str()) {
+        (Method::Get, "/services") => {
+            json_ok(serde_json_array(registry.services().into_iter()))
+        }
+        (Method::Get, _) if path.starts_with("/instances/") => {
+            let service = &path["/instances/".len()..];
+            let instances = registry
+                .instances(service)
+                .into_iter()
+                .map(|addr| addr.to_string());
+            json_ok(serde_json_array(instances))
+        }
+        (Method::Post, _) if path.starts_with("/register/") => {
+            let service = path["/register/".len()..].to_string();
+            let body = String::from_utf8_lossy(request.body()).trim().to_string();
+            match body.parse::<SocketAddr>() {
+                Ok(addr) => {
+                    registry.register_instance(service, addr);
+                    Response::builder(StatusCode::NO_CONTENT).build()
+                }
+                Err(err) => Response::builder(StatusCode::BAD_REQUEST)
+                    .body(format!("bad instance address {body:?}: {err}"))
+                    .build(),
+            }
+        }
+        _ => Response::error(StatusCode::NOT_FOUND),
+    }
+}
+
+fn json_ok(body: String) -> Response {
+    Response::builder(StatusCode::OK)
+        .header("Content-Type", "application/json")
+        .body(body)
+        .build()
+}
+
+/// Builds a JSON string array without pulling serde into the hot
+/// path (names and addresses contain no characters needing escape).
+fn serde_json_array(items: impl Iterator<Item = String>) -> String {
+    let quoted: Vec<String> = items.map(|item| format!("\"{item}\"")).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_http::HttpClient;
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn start() -> (RegistryServer, HttpClient) {
+        let registry = ServiceRegistry::shared();
+        registry.register_instance("db", addr(9001));
+        registry.register_instance("db", addr(9002));
+        let server = RegistryServer::start(registry, "127.0.0.1:0").unwrap();
+        (server, HttpClient::new())
+    }
+
+    #[test]
+    fn lists_instances_and_services() {
+        let (server, client) = start();
+        let resp = client
+            .send(server.local_addr(), Request::get("/instances/db"))
+            .unwrap();
+        assert_eq!(resp.body_str(), "[\"127.0.0.1:9001\",\"127.0.0.1:9002\"]");
+        let resp = client
+            .send(server.local_addr(), Request::get("/services"))
+            .unwrap();
+        assert_eq!(resp.body_str(), "[\"db\"]");
+        let resp = client
+            .send(server.local_addr(), Request::get("/instances/ghost"))
+            .unwrap();
+        assert_eq!(resp.body_str(), "[]");
+    }
+
+    #[test]
+    fn registers_new_instances() {
+        let (server, client) = start();
+        let resp = client
+            .send(
+                server.local_addr(),
+                Request::builder(Method::Post, "/register/cache")
+                    .body("127.0.0.1:7000")
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::NO_CONTENT);
+        assert_eq!(server.registry().instances("cache"), vec![addr(7000)]);
+    }
+
+    #[test]
+    fn rejects_bad_registration() {
+        let (server, client) = start();
+        let resp = client
+            .send(
+                server.local_addr(),
+                Request::builder(Method::Post, "/register/cache")
+                    .body("not-an-address")
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    fn unknown_path_404s() {
+        let (server, client) = start();
+        let resp = client
+            .send(server.local_addr(), Request::get("/whatever"))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::NOT_FOUND);
+    }
+
+    #[test]
+    fn agent_discovers_routes_through_the_endpoint() {
+        use gremlin_http::HttpServer as Backend;
+        use gremlin_proxy::{AgentConfig, GremlinAgent};
+        use gremlin_store::EventStore;
+
+        // A real backend registered under "db".
+        let backend = Backend::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            Response::ok("rows")
+        })
+        .unwrap();
+        let registry = ServiceRegistry::shared();
+        registry.register_instance("db", backend.local_addr());
+        let endpoint = RegistryServer::start(registry, "127.0.0.1:0").unwrap();
+
+        // The agent fetches its upstreams dynamically.
+        let config = AgentConfig::new("web")
+            .route_discovered("db", endpoint.local_addr())
+            .unwrap();
+        let agent = GremlinAgent::start(config, EventStore::shared()).unwrap();
+        let client = HttpClient::new();
+        let resp = client
+            .send(agent.route_addr("db").unwrap(), Request::get("/q"))
+            .unwrap();
+        assert_eq!(resp.body_str(), "rows");
+    }
+
+    #[test]
+    fn discovery_fails_for_unknown_service() {
+        use gremlin_proxy::AgentConfig;
+        let registry = ServiceRegistry::shared();
+        let endpoint = RegistryServer::start(registry, "127.0.0.1:0").unwrap();
+        assert!(AgentConfig::new("web")
+            .route_discovered("ghost", endpoint.local_addr())
+            .is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! The bulkhead resilience pattern (paper §2.1).
+//!
+//! A bulkhead isolates each dependency behind its own concurrency
+//! budget, so a degraded downstream service cannot exhaust the shared
+//! resources (threads, connections) a microservice needs to keep
+//! answering requests that do not touch the slow dependency.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Configuration for a [`Bulkhead`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkheadConfig {
+    /// Maximum concurrent calls allowed through.
+    pub max_concurrent: usize,
+}
+
+impl Default for BulkheadConfig {
+    fn default() -> Self {
+        BulkheadConfig { max_concurrent: 10 }
+    }
+}
+
+#[derive(Debug)]
+struct BulkheadState {
+    in_flight: AtomicUsize,
+    rejected: AtomicU64,
+    admitted: AtomicU64,
+}
+
+/// A non-blocking concurrency limiter.
+///
+/// [`Bulkhead::try_acquire`] either admits the call (returning an
+/// RAII [`BulkheadPermit`] that releases the slot on drop) or rejects
+/// it immediately — degraded dependencies must not queue work.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_mesh::resilience::{Bulkhead, BulkheadConfig};
+///
+/// let bulkhead = Bulkhead::new(BulkheadConfig { max_concurrent: 1 });
+/// let permit = bulkhead.try_acquire().expect("first call admitted");
+/// assert!(bulkhead.try_acquire().is_none(), "second concurrent call rejected");
+/// drop(permit);
+/// assert!(bulkhead.try_acquire().is_some(), "slot released");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bulkhead {
+    config: BulkheadConfig,
+    state: Arc<BulkheadState>,
+}
+
+impl Bulkhead {
+    /// Creates a bulkhead admitting at most
+    /// [`max_concurrent`](BulkheadConfig::max_concurrent) calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrent` is zero.
+    pub fn new(config: BulkheadConfig) -> Bulkhead {
+        assert!(config.max_concurrent > 0, "max_concurrent must be non-zero");
+        Bulkhead {
+            config,
+            state: Arc::new(BulkheadState {
+                in_flight: AtomicUsize::new(0),
+                rejected: AtomicU64::new(0),
+                admitted: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The bulkhead's configuration.
+    pub fn config(&self) -> &BulkheadConfig {
+        &self.config
+    }
+
+    /// Attempts to claim a slot; `None` means the bulkhead is full
+    /// and the call must be rejected.
+    pub fn try_acquire(&self) -> Option<BulkheadPermit> {
+        let mut current = self.state.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.config.max_concurrent {
+                self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.state.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.state.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Some(BulkheadPermit {
+                        state: Arc::clone(&self.state),
+                    });
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Calls currently holding a permit.
+    pub fn in_flight(&self) -> usize {
+        self.state.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Total calls rejected for lack of capacity.
+    pub fn rejected(&self) -> u64 {
+        self.state.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Total calls admitted.
+    pub fn admitted(&self) -> u64 {
+        self.state.admitted.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard for a bulkhead slot; dropping it frees the slot.
+pub struct BulkheadPermit {
+    state: Arc<BulkheadState>,
+}
+
+impl fmt::Debug for BulkheadPermit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BulkheadPermit")
+            .field("in_flight", &self.state.in_flight.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Drop for BulkheadPermit {
+    fn drop(&mut self) {
+        self.state.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_capacity() {
+        let b = Bulkhead::new(BulkheadConfig { max_concurrent: 3 });
+        let p1 = b.try_acquire().unwrap();
+        let p2 = b.try_acquire().unwrap();
+        let p3 = b.try_acquire().unwrap();
+        assert!(b.try_acquire().is_none());
+        assert_eq!(b.in_flight(), 3);
+        assert_eq!(b.admitted(), 3);
+        assert_eq!(b.rejected(), 1);
+        drop((p1, p2, p3));
+        assert_eq!(b.in_flight(), 0);
+    }
+
+    #[test]
+    fn permit_drop_frees_slot() {
+        let b = Bulkhead::new(BulkheadConfig { max_concurrent: 1 });
+        {
+            let _p = b.try_acquire().unwrap();
+            assert!(b.try_acquire().is_none());
+        }
+        assert!(b.try_acquire().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Bulkhead::new(BulkheadConfig { max_concurrent: 0 });
+    }
+
+    #[test]
+    fn clones_share_capacity() {
+        let b = Bulkhead::new(BulkheadConfig { max_concurrent: 1 });
+        let b2 = b.clone();
+        let _p = b.try_acquire().unwrap();
+        assert!(b2.try_acquire().is_none());
+    }
+
+    #[test]
+    fn concurrent_acquire_never_exceeds_capacity() {
+        let b = Bulkhead::new(BulkheadConfig { max_concurrent: 4 });
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let b = b.clone();
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    for _ in 0..50 {
+                        if let Some(_permit) = b.try_acquire() {
+                            peak.fetch_max(b.in_flight(), Ordering::SeqCst);
+                            thread::sleep(Duration::from_micros(100));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 4);
+        assert_eq!(b.in_flight(), 0);
+    }
+}

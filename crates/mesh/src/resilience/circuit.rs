@@ -1,0 +1,348 @@
+//! The circuit-breaker resilience pattern (paper §2.1).
+//!
+//! A circuit breaker prevents failures from cascading along a
+//! microservice chain. After `failure_threshold` consecutive failed
+//! calls, the breaker *opens*: calls fail fast (the caller serves a
+//! cached or default response) for `open_duration`. The breaker then
+//! admits probe calls (*half-open*); `success_threshold` consecutive
+//! successes close it again, and any probe failure re-opens it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Configuration for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting probes (the
+    /// paper's `Tdelta`).
+    pub open_duration: Duration,
+    /// Consecutive probe successes required to close the breaker.
+    pub success_threshold: u32,
+}
+
+impl Default for CircuitBreakerConfig {
+    fn default() -> Self {
+        CircuitBreakerConfig {
+            failure_threshold: 5,
+            open_duration: Duration::from_secs(30),
+            success_threshold: 1,
+        }
+    }
+}
+
+/// The observable state of a circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitState {
+    /// Calls flow normally; consecutive failures are counted.
+    Closed,
+    /// Calls fail fast without reaching the dependency.
+    Open,
+    /// Probe calls are admitted to test whether the dependency
+    /// recovered.
+    HalfOpen,
+}
+
+impl fmt::Display for CircuitState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitState::Closed => f.write_str("closed"),
+            CircuitState::Open => f.write_str("open"),
+            CircuitState::HalfOpen => f.write_str("half-open"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: CircuitState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    opened_at: Option<Instant>,
+}
+
+/// A thread-safe circuit breaker.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_mesh::resilience::{CircuitBreaker, CircuitBreakerConfig, CircuitState};
+/// use std::time::Duration;
+///
+/// let breaker = CircuitBreaker::new(CircuitBreakerConfig {
+///     failure_threshold: 2,
+///     open_duration: Duration::from_millis(50),
+///     success_threshold: 1,
+/// });
+/// assert!(breaker.try_acquire());
+/// breaker.record_failure();
+/// breaker.record_failure();
+/// assert_eq!(breaker.state(), CircuitState::Open);
+/// assert!(!breaker.try_acquire()); // fails fast
+/// ```
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: CircuitBreakerConfig,
+    inner: Mutex<BreakerInner>,
+    open_transitions: AtomicU64,
+    fast_failures: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker with the given configuration.
+    pub fn new(config: CircuitBreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: CircuitState::Closed,
+                consecutive_failures: 0,
+                consecutive_successes: 0,
+                opened_at: None,
+            }),
+            open_transitions: AtomicU64::new(0),
+            fast_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The breaker's configuration.
+    pub fn config(&self) -> &CircuitBreakerConfig {
+        &self.config
+    }
+
+    /// Asks permission to attempt a call. Returns `false` when the
+    /// call must fail fast (breaker open). An open breaker whose
+    /// `open_duration` has elapsed transitions to half-open and admits
+    /// the call as a probe.
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            CircuitState::Closed => true,
+            CircuitState::HalfOpen => true,
+            CircuitState::Open => {
+                let expired = inner
+                    .opened_at
+                    .map(|at| at.elapsed() >= self.config.open_duration)
+                    .unwrap_or(true);
+                if expired {
+                    inner.state = CircuitState::HalfOpen;
+                    inner.consecutive_successes = 0;
+                    true
+                } else {
+                    self.fast_failures.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            CircuitState::Closed => {
+                inner.consecutive_failures = 0;
+            }
+            CircuitState::HalfOpen => {
+                inner.consecutive_successes += 1;
+                if inner.consecutive_successes >= self.config.success_threshold {
+                    inner.state = CircuitState::Closed;
+                    inner.consecutive_failures = 0;
+                    inner.consecutive_successes = 0;
+                    inner.opened_at = None;
+                }
+            }
+            CircuitState::Open => {
+                // A success from a call admitted before the trip;
+                // ignored while open.
+            }
+        }
+    }
+
+    /// Records a failed call.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            CircuitState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(&mut inner);
+                }
+            }
+            CircuitState::HalfOpen => {
+                // A failed probe re-opens immediately.
+                self.trip(&mut inner);
+            }
+            CircuitState::Open => {}
+        }
+    }
+
+    fn trip(&self, inner: &mut BreakerInner) {
+        inner.state = CircuitState::Open;
+        inner.opened_at = Some(Instant::now());
+        inner.consecutive_successes = 0;
+        self.open_transitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current state (an open breaker past its `open_duration`
+    /// still reports `Open` until the next [`CircuitBreaker::try_acquire`]).
+    pub fn state(&self) -> CircuitState {
+        self.inner.lock().state
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn open_transitions(&self) -> u64 {
+        self.open_transitions.load(Ordering::Relaxed)
+    }
+
+    /// How many calls failed fast while the breaker was open.
+    pub fn fast_failures(&self) -> u64 {
+        self.fast_failures.load(Ordering::Relaxed)
+    }
+
+    /// Forces the breaker back to the closed state (for tests and
+    /// manual recovery).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.state = CircuitState::Closed;
+        inner.consecutive_failures = 0;
+        inner.consecutive_successes = 0;
+        inner.opened_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn quick_config() -> CircuitBreakerConfig {
+        CircuitBreakerConfig {
+            failure_threshold: 3,
+            open_duration: Duration::from_millis(50),
+            success_threshold: 2,
+        }
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let b = CircuitBreaker::new(quick_config());
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn success_resets_failure_count() {
+        let b = CircuitBreaker::new(quick_config());
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn trips_open_at_threshold_and_fails_fast() {
+        let b = CircuitBreaker::new(quick_config());
+        for _ in 0..3 {
+            assert!(b.try_acquire());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.try_acquire());
+        assert_eq!(b.open_transitions(), 1);
+        assert_eq!(b.fast_failures(), 1);
+    }
+
+    #[test]
+    fn half_open_after_open_duration() {
+        let b = CircuitBreaker::new(quick_config());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert!(!b.try_acquire());
+        thread::sleep(Duration::from_millis(60));
+        assert!(b.try_acquire());
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let b = CircuitBreaker::new(quick_config());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        thread::sleep(Duration::from_millis(60));
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.try_acquire());
+        assert_eq!(b.open_transitions(), 2);
+    }
+
+    #[test]
+    fn closes_after_success_threshold_probes() {
+        let b = CircuitBreaker::new(quick_config());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        thread::sleep(Duration::from_millis(60));
+        assert!(b.try_acquire());
+        b.record_success();
+        assert_eq!(b.state(), CircuitState::HalfOpen); // needs 2 successes
+        assert!(b.try_acquire());
+        b.record_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn reset_closes_breaker() {
+        let b = CircuitBreaker::new(quick_config());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        b.reset();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn concurrent_failures_trip_once_per_episode() {
+        let b = std::sync::Arc::new(CircuitBreaker::new(CircuitBreakerConfig {
+            failure_threshold: 10,
+            open_duration: Duration::from_secs(60),
+            success_threshold: 1,
+        }));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = std::sync::Arc::clone(&b);
+                thread::spawn(move || {
+                    for _ in 0..100 {
+                        if b.try_acquire() {
+                            b.record_failure();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.state(), CircuitState::Open);
+        assert_eq!(b.open_transitions(), 1);
+    }
+
+    #[test]
+    fn state_display() {
+        assert_eq!(CircuitState::Closed.to_string(), "closed");
+        assert_eq!(CircuitState::Open.to_string(), "open");
+        assert_eq!(CircuitState::HalfOpen.to_string(), "half-open");
+    }
+}

@@ -1,0 +1,20 @@
+//! Implementations of the resiliency design patterns the paper's §2.1
+//! lists as best practice for cloud-native microservices: timeouts,
+//! bounded retries, circuit breakers and bulkheads.
+//!
+//! Timeouts are configured directly on the dependency client (connect
+//! and read deadlines, see
+//! [`ResiliencePolicy`](crate::client::ResiliencePolicy)); the other
+//! three patterns live here as standalone, independently testable
+//! building blocks. These are the mechanisms whose *presence and
+//! correctness* Gremlin recipes verify from the outside.
+
+mod bulkhead;
+mod circuit;
+mod pool;
+mod retry;
+
+pub use bulkhead::{Bulkhead, BulkheadConfig, BulkheadPermit};
+pub use circuit::{CircuitBreaker, CircuitBreakerConfig, CircuitState};
+pub use pool::{CallPool, CallPoolPermit};
+pub use retry::{Backoff, RetryPolicy};

@@ -1,0 +1,176 @@
+//! A shared, blocking concurrency pool for outbound API calls — the
+//! resource the bulkhead pattern protects.
+//!
+//! The paper's §2.1: *"If a shared thread pool is used to make API
+//! calls to multiple microservices, thread pool resources can be
+//! quickly exhausted when one of the downstream services degrades."*
+//! [`CallPool`] models that shared pool: calls **block** waiting for
+//! a slot, so a degraded dependency holding slots starves every other
+//! dependency — unless per-dependency
+//! [`Bulkhead`](crate::resilience::Bulkhead)s are used instead.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct PoolState {
+    in_use: Mutex<usize>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// A blocking semaphore shared by all of a service's outbound calls.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_mesh::resilience::CallPool;
+///
+/// let pool = CallPool::new(2);
+/// let a = pool.acquire();
+/// let b = pool.acquire();
+/// assert_eq!(pool.in_use(), 2);
+/// drop(a);
+/// let _c = pool.acquire(); // a slot was freed, returns immediately
+/// drop(b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CallPool {
+    state: Arc<PoolState>,
+}
+
+impl CallPool {
+    /// Creates a pool with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> CallPool {
+        assert!(capacity > 0, "call pool capacity must be non-zero");
+        CallPool {
+            state: Arc::new(PoolState {
+                in_use: Mutex::new(0),
+                available: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Blocks until a slot is free, then claims it. The returned
+    /// permit frees the slot on drop.
+    pub fn acquire(&self) -> CallPoolPermit {
+        let mut in_use = self.state.in_use.lock();
+        while *in_use >= self.state.capacity {
+            self.state.available.wait(&mut in_use);
+        }
+        *in_use += 1;
+        CallPoolPermit {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Claims a slot only if one is free.
+    pub fn try_acquire(&self) -> Option<CallPoolPermit> {
+        let mut in_use = self.state.in_use.lock();
+        if *in_use >= self.state.capacity {
+            return None;
+        }
+        *in_use += 1;
+        Some(CallPoolPermit {
+            state: Arc::clone(&self.state),
+        })
+    }
+
+    /// Slots currently claimed.
+    pub fn in_use(&self) -> usize {
+        *self.state.in_use.lock()
+    }
+
+    /// Total slots.
+    pub fn capacity(&self) -> usize {
+        self.state.capacity
+    }
+}
+
+/// RAII guard for a [`CallPool`] slot.
+#[derive(Debug)]
+pub struct CallPoolPermit {
+    state: Arc<PoolState>,
+}
+
+impl Drop for CallPoolPermit {
+    fn drop(&mut self) {
+        let mut in_use = self.state.in_use.lock();
+        *in_use -= 1;
+        self.state.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn acquire_and_release() {
+        let pool = CallPool::new(2);
+        let a = pool.acquire();
+        assert_eq!(pool.in_use(), 1);
+        let b = pool.try_acquire().unwrap();
+        assert!(pool.try_acquire().is_none());
+        drop(a);
+        assert_eq!(pool.in_use(), 1);
+        assert!(pool.try_acquire().is_some());
+        drop(b);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.capacity(), 2);
+    }
+
+    #[test]
+    fn acquire_blocks_until_free() {
+        let pool = CallPool::new(1);
+        let permit = pool.acquire();
+        let pool_for_thread = pool.clone();
+        let waiter = thread::spawn(move || {
+            let started = Instant::now();
+            let _p = pool_for_thread.acquire();
+            started.elapsed()
+        });
+        thread::sleep(Duration::from_millis(100));
+        drop(permit);
+        let waited = waiter.join().unwrap();
+        assert!(waited >= Duration::from_millis(80), "waited {waited:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = CallPool::new(0);
+    }
+
+    #[test]
+    fn contended_pool_never_exceeds_capacity() {
+        let pool = CallPool::new(3);
+        let peak = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let pool = pool.clone();
+                let peak = Arc::clone(&peak);
+                thread::spawn(move || {
+                    for _ in 0..20 {
+                        let _permit = pool.acquire();
+                        let mut p = peak.lock();
+                        *p = (*p).max(pool.in_use());
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert!(*peak.lock() <= 3);
+        assert_eq!(pool.in_use(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The bounded-retry resilience pattern (paper §2.1).
+//!
+//! Bounded retries handle transient failures by retrying an API call
+//! a limited number of times, usually with exponential backoff to
+//! avoid overloading the callee.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// Exponential backoff schedule between retry attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Multiplier applied per subsequent retry.
+    pub factor: f64,
+    /// Upper bound on any single delay.
+    pub max: Duration,
+    /// When `true`, each delay is scaled by a uniform factor in
+    /// `[0.5, 1.0]` to decorrelate retry storms.
+    pub jitter: bool,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff {
+            base: Duration::from_millis(10),
+            factor: 2.0,
+            max: Duration::from_secs(5),
+            jitter: false,
+        }
+    }
+}
+
+impl Backoff {
+    /// A constant (non-growing) backoff.
+    pub fn constant(delay: Duration) -> Backoff {
+        Backoff {
+            base: delay,
+            factor: 1.0,
+            max: delay,
+            jitter: false,
+        }
+    }
+
+    /// No waiting between retries.
+    pub fn none() -> Backoff {
+        Backoff::constant(Duration::ZERO)
+    }
+
+    /// The delay before retry number `retry` (0-based), before
+    /// jitter.
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let scaled = self.base.as_secs_f64() * self.factor.powi(retry as i32);
+        let capped = scaled.min(self.max.as_secs_f64());
+        Duration::from_secs_f64(capped.max(0.0))
+    }
+
+    /// The delay before retry number `retry`, with jitter applied if
+    /// enabled.
+    pub fn sample_delay(&self, retry: u32) -> Duration {
+        let delay = self.delay_for(retry);
+        if self.jitter && delay > Duration::ZERO {
+            let scale: f64 = rand::thread_rng().gen_range(0.5..=1.0);
+            delay.mul_f64(scale)
+        } else {
+            delay
+        }
+    }
+}
+
+/// A bounded-retry policy: at most `max_tries` total attempts with
+/// [`Backoff`] between them.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_mesh::resilience::{Backoff, RetryPolicy};
+/// use std::time::Duration;
+///
+/// let policy = RetryPolicy::new(3).with_backoff(Backoff::none());
+/// let mut attempts = 0;
+/// let result: Result<(), &str> = policy.run(|_attempt| {
+///     attempts += 1;
+///     Err("still failing")
+/// });
+/// assert!(result.is_err());
+/// assert_eq!(attempts, 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    max_tries: u32,
+    backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// Creates a policy allowing `max_tries` total attempts (so
+    /// `max_tries - 1` retries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_tries` is zero.
+    pub fn new(max_tries: u32) -> RetryPolicy {
+        assert!(max_tries > 0, "max_tries must be at least 1");
+        RetryPolicy {
+            max_tries,
+            backoff: Backoff::default(),
+        }
+    }
+
+    /// Builder-style: sets the backoff schedule.
+    pub fn with_backoff(mut self, backoff: Backoff) -> RetryPolicy {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Total attempts permitted.
+    pub fn max_tries(&self) -> u32 {
+        self.max_tries
+    }
+
+    /// The backoff schedule.
+    pub fn backoff(&self) -> &Backoff {
+        &self.backoff
+    }
+
+    /// Runs `op` until it succeeds or the attempt budget is spent,
+    /// sleeping per the backoff schedule between attempts. `op`
+    /// receives the 0-based attempt number.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error from the final attempt.
+    pub fn run<T, E>(&self, mut op: impl FnMut(u32) -> Result<T, E>) -> Result<T, E> {
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(err) => {
+                    attempt += 1;
+                    if attempt >= self.max_tries {
+                        return Err(err);
+                    }
+                    let delay = self.backoff.sample_delay(attempt - 1);
+                    if delay > Duration::ZERO {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts with the default exponential backoff.
+    fn default() -> Self {
+        RetryPolicy::new(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let b = Backoff {
+            base: Duration::from_millis(10),
+            factor: 2.0,
+            max: Duration::from_millis(35),
+            jitter: false,
+        };
+        assert_eq!(b.delay_for(0), Duration::from_millis(10));
+        assert_eq!(b.delay_for(1), Duration::from_millis(20));
+        assert_eq!(b.delay_for(2), Duration::from_millis(35)); // capped (40 -> 35)
+        assert_eq!(b.delay_for(10), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn constant_backoff() {
+        let b = Backoff::constant(Duration::from_millis(7));
+        assert_eq!(b.delay_for(0), Duration::from_millis(7));
+        assert_eq!(b.delay_for(5), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let b = Backoff {
+            base: Duration::from_millis(100),
+            factor: 1.0,
+            max: Duration::from_millis(100),
+            jitter: true,
+        };
+        for _ in 0..50 {
+            let d = b.sample_delay(0);
+            assert!(d >= Duration::from_millis(50), "{d:?}");
+            assert!(d <= Duration::from_millis(100), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn run_succeeds_first_try() {
+        let policy = RetryPolicy::new(5).with_backoff(Backoff::none());
+        let mut calls = 0;
+        let result: Result<u32, ()> = policy.run(|_| {
+            calls += 1;
+            Ok(42)
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn run_bounded_attempts() {
+        let policy = RetryPolicy::new(4).with_backoff(Backoff::none());
+        let mut calls = 0;
+        let result: Result<(), u32> = policy.run(|attempt| {
+            calls += 1;
+            Err(attempt)
+        });
+        assert_eq!(result.unwrap_err(), 3); // last attempt number
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn run_recovers_mid_way() {
+        let policy = RetryPolicy::new(5).with_backoff(Backoff::none());
+        let result: Result<u32, ()> = policy.run(|attempt| {
+            if attempt < 2 {
+                Err(())
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(result.unwrap(), 2);
+    }
+
+    #[test]
+    fn run_sleeps_between_attempts() {
+        let policy =
+            RetryPolicy::new(3).with_backoff(Backoff::constant(Duration::from_millis(20)));
+        let started = Instant::now();
+        let _: Result<(), ()> = policy.run(|_| Err(()));
+        // Two sleeps of 20ms between three attempts.
+        assert!(started.elapsed() >= Duration::from_millis(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_tries_panics() {
+        let _ = RetryPolicy::new(0);
+    }
+
+    #[test]
+    fn default_is_three_tries() {
+        assert_eq!(RetryPolicy::default().max_tries(), 3);
+    }
+}

@@ -1,0 +1,455 @@
+//! The microservice runtime: named services with pluggable behaviour,
+//! per-dependency resilience policies, and replica support.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use gremlin_http::{
+    header_names, ConnInfo, HttpError, HttpServer, Request, Response, ServerConfig, StatusCode,
+};
+
+use crate::client::{DependencyClient, ResiliencePolicy};
+use crate::error::MeshError;
+use crate::registry::ServiceRegistry;
+
+/// Application logic of a microservice.
+///
+/// Behaviours receive the incoming request plus a [`RequestContext`]
+/// through which they call dependencies; the context propagates the
+/// Gremlin request ID downstream automatically, as real microservice
+/// stacks propagate trace headers (paper §4.1).
+pub trait ServiceBehavior: Send + Sync + 'static {
+    /// Produces the response for `request`.
+    fn handle(&self, request: &Request, ctx: &RequestContext<'_>) -> Response;
+}
+
+impl<F> ServiceBehavior for F
+where
+    F: Fn(&Request, &RequestContext<'_>) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, request: &Request, ctx: &RequestContext<'_>) -> Response {
+        self(request, ctx)
+    }
+}
+
+/// Per-request view a behaviour uses to reach its dependencies.
+pub struct RequestContext<'a> {
+    service: &'a str,
+    request_id: Option<String>,
+    deps: &'a HashMap<String, Arc<DependencyClient>>,
+}
+
+impl<'a> RequestContext<'a> {
+    /// The name of the service handling the request.
+    pub fn service(&self) -> &str {
+        self.service
+    }
+
+    /// The propagated request ID, if the incoming request carried
+    /// one.
+    pub fn request_id(&self) -> Option<&str> {
+        self.request_id.as_deref()
+    }
+
+    /// Calls dependency `dst` with `request`, stamping the propagated
+    /// request ID and applying the edge's resilience policy.
+    ///
+    /// # Errors
+    ///
+    /// See [`DependencyClient::call`]; additionally returns
+    /// [`MeshError::UnknownDependency`] when `dst` was not declared
+    /// in the service's spec.
+    pub fn call(&self, dst: &str, mut request: Request) -> Result<Response, MeshError> {
+        let client = self
+            .deps
+            .get(dst)
+            .ok_or_else(|| MeshError::UnknownDependency(dst.to_string()))?;
+        if let Some(id) = &self.request_id {
+            if request.request_id().is_none() {
+                request.set_request_id(id.clone());
+            }
+        }
+        client.call(request)
+    }
+
+    /// Convenience: `GET path` on dependency `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RequestContext::call`].
+    pub fn get(&self, dst: &str, path: &str) -> Result<Response, MeshError> {
+        self.call(dst, Request::get(path))
+    }
+
+    /// Direct access to a dependency's client (to inspect breaker or
+    /// bulkhead state).
+    pub fn dependency(&self, dst: &str) -> Option<&Arc<DependencyClient>> {
+        self.deps.get(dst)
+    }
+
+    /// Names of all declared dependencies (sorted).
+    pub fn dependencies(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.deps.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// A declared dependency edge with its resilience policy.
+#[derive(Debug, Clone)]
+pub struct DependencySpec {
+    /// Destination service name.
+    pub dst: String,
+    /// Failure-handling configuration for this edge.
+    pub policy: ResiliencePolicy,
+}
+
+/// Static description of one microservice.
+#[derive(Clone)]
+pub struct ServiceSpec {
+    /// Logical service name.
+    pub name: String,
+    /// Application logic.
+    pub behavior: Arc<dyn ServiceBehavior>,
+    /// Declared dependencies.
+    pub dependencies: Vec<DependencySpec>,
+    /// Number of instances to run.
+    pub replicas: usize,
+    /// Worker threads per instance.
+    pub workers: usize,
+    /// Size of the shared outbound-call pool; `None` leaves outbound
+    /// concurrency unbounded. Dependencies with their own bulkhead
+    /// bypass the shared pool (§2.1).
+    pub shared_call_pool: Option<usize>,
+}
+
+impl std::fmt::Debug for ServiceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceSpec")
+            .field("name", &self.name)
+            .field(
+                "dependencies",
+                &self.dependencies.iter().map(|d| &d.dst).collect::<Vec<_>>(),
+            )
+            .field("replicas", &self.replicas)
+            .finish()
+    }
+}
+
+impl ServiceSpec {
+    /// Creates a spec for `name` with the given behaviour.
+    pub fn new(name: impl Into<String>, behavior: impl ServiceBehavior) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            behavior: Arc::new(behavior),
+            dependencies: Vec::new(),
+            replicas: 1,
+            workers: 8,
+            shared_call_pool: None,
+        }
+    }
+
+    /// Declares a dependency on `dst` with `policy`.
+    pub fn dependency(mut self, dst: impl Into<String>, policy: ResiliencePolicy) -> ServiceSpec {
+        self.dependencies.push(DependencySpec {
+            dst: dst.into(),
+            policy,
+        });
+        self
+    }
+
+    /// Sets the replica count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn replicas(mut self, replicas: usize) -> ServiceSpec {
+        assert!(replicas > 0, "replicas must be non-zero");
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets worker threads per instance.
+    pub fn workers(mut self, workers: usize) -> ServiceSpec {
+        self.workers = workers;
+        self
+    }
+
+    /// Bounds outbound API-call concurrency with a shared pool of
+    /// `slots` (the naive arrangement bulkheads replace).
+    pub fn shared_call_pool(mut self, slots: usize) -> ServiceSpec {
+        self.shared_call_pool = Some(slots);
+        self
+    }
+}
+
+/// A running microservice (possibly multiple replicas).
+///
+/// Instances register themselves in the [`ServiceRegistry`] at
+/// startup; dropping the service stops every replica.
+pub struct Microservice {
+    name: String,
+    servers: Vec<HttpServer>,
+    /// Per-replica dependency clients — each instance owns its own
+    /// clients (and call pool), like separate processes would.
+    deps: Vec<Arc<HashMap<String, Arc<DependencyClient>>>>,
+}
+
+impl std::fmt::Debug for Microservice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Microservice")
+            .field("name", &self.name)
+            .field("replicas", &self.servers.len())
+            .finish()
+    }
+}
+
+impl Microservice {
+    /// Starts every replica of the service described by `spec`,
+    /// registering instances in `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a listener cannot be bound.
+    pub fn start(
+        spec: &ServiceSpec,
+        registry: Arc<ServiceRegistry>,
+    ) -> Result<Microservice, MeshError> {
+        let mut all_deps = Vec::with_capacity(spec.replicas);
+        let mut servers = Vec::with_capacity(spec.replicas);
+        for replica in 0..spec.replicas {
+            // Each replica is its own "process": its own dependency
+            // clients, its own shared call pool, and (in proxied
+            // deployments) its own sidecar agent resolved through the
+            // instance key.
+            let shared_pool = spec
+                .shared_call_pool
+                .map(crate::resilience::CallPool::new);
+            let source_key = crate::registry::instance_key(&spec.name, replica);
+            let mut deps: HashMap<String, Arc<DependencyClient>> = HashMap::new();
+            for dependency in &spec.dependencies {
+                deps.insert(
+                    dependency.dst.clone(),
+                    Arc::new(DependencyClient::with_shared_pool(
+                        source_key.clone(),
+                        dependency.dst.clone(),
+                        &dependency.policy,
+                        Arc::clone(&registry),
+                        shared_pool.clone(),
+                    )),
+                );
+            }
+            let deps = Arc::new(deps);
+            all_deps.push(Arc::clone(&deps));
+
+            let behavior = Arc::clone(&spec.behavior);
+            let deps_for_handler = deps;
+            let name = spec.name.clone();
+            let server = HttpServer::bind_with_config(
+                "127.0.0.1:0",
+                move |request: Request, _conn: &ConnInfo| {
+                    let ctx = RequestContext {
+                        service: &name,
+                        request_id: request.request_id().map(str::to_string),
+                        deps: &deps_for_handler,
+                    };
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| behavior.handle(&request, &ctx)));
+                    let mut response = match outcome {
+                        Ok(response) => response,
+                        Err(_) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+                            .body("behavior panicked")
+                            .build(),
+                    };
+                    // Echo the request ID so callers and agents can
+                    // correlate.
+                    if let Some(id) = request.request_id() {
+                        response
+                            .headers_mut()
+                            .insert(header_names::REQUEST_ID, id.to_string());
+                    }
+                    response
+                },
+                ServerConfig {
+                    workers: spec.workers,
+                    name: format!("{}-{replica}", spec.name),
+                    ..ServerConfig::default()
+                },
+            )
+            .map_err(|err: HttpError| MeshError::Http(err))?;
+            registry.register_instance(spec.name.clone(), server.local_addr());
+            servers.push(server);
+        }
+
+        Ok(Microservice {
+            name: spec.name.clone(),
+            servers,
+            deps: all_deps,
+        })
+    }
+
+    /// The service's logical name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Address of the first replica.
+    pub fn addr(&self) -> SocketAddr {
+        self.servers[0].local_addr()
+    }
+
+    /// Addresses of every replica.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(HttpServer::local_addr).collect()
+    }
+
+    /// Total requests served across replicas.
+    pub fn requests_served(&self) -> usize {
+        self.servers.iter().map(HttpServer::requests_served).sum()
+    }
+
+    /// The first replica's dependency client for `dst`, if declared.
+    pub fn dependency(&self, dst: &str) -> Option<&Arc<DependencyClient>> {
+        self.deps.first().and_then(|map| map.get(dst))
+    }
+
+    /// A specific replica's dependency client for `dst`.
+    pub fn replica_dependency(
+        &self,
+        replica: usize,
+        dst: &str,
+    ) -> Option<&Arc<DependencyClient>> {
+        self.deps.get(replica).and_then(|map| map.get(dst))
+    }
+
+    /// Stops every replica (also happens on drop).
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_http::{HttpClient, Method};
+
+    fn echo_behavior() -> impl ServiceBehavior {
+        |request: &Request, ctx: &RequestContext<'_>| {
+            Response::ok(format!(
+                "{}:{}:{}",
+                ctx.service(),
+                request.path(),
+                ctx.request_id().unwrap_or("-")
+            ))
+        }
+    }
+
+    #[test]
+    fn starts_and_serves() {
+        let registry = ServiceRegistry::shared();
+        let spec = ServiceSpec::new("svc", echo_behavior());
+        let service = Microservice::start(&spec, Arc::clone(&registry)).unwrap();
+        let client = HttpClient::new();
+        let resp = client
+            .send(
+                service.addr(),
+                Request::builder(Method::Get, "/p").request_id("test-1").build(),
+            )
+            .unwrap();
+        assert_eq!(resp.body_str(), "svc:/p:test-1");
+        assert_eq!(resp.headers().get(header_names::REQUEST_ID), Some("test-1"));
+        assert_eq!(registry.instances("svc").len(), 1);
+    }
+
+    #[test]
+    fn replicas_all_register() {
+        let registry = ServiceRegistry::shared();
+        let spec = ServiceSpec::new("multi", echo_behavior()).replicas(3);
+        let service = Microservice::start(&spec, Arc::clone(&registry)).unwrap();
+        assert_eq!(service.addrs().len(), 3);
+        assert_eq!(registry.instances("multi").len(), 3);
+    }
+
+    #[test]
+    fn panicking_behavior_becomes_500() {
+        let registry = ServiceRegistry::shared();
+        let spec = ServiceSpec::new(
+            "panicky",
+            |_req: &Request, _ctx: &RequestContext<'_>| -> Response { panic!("boom") },
+        );
+        let service = Microservice::start(&spec, registry).unwrap();
+        let client = HttpClient::new();
+        let resp = client.send(service.addr(), Request::get("/")).unwrap();
+        assert_eq!(resp.status(), StatusCode::INTERNAL_SERVER_ERROR);
+    }
+
+    #[test]
+    fn context_calls_dependency_and_propagates_id() {
+        let registry = ServiceRegistry::shared();
+        let backend_spec = ServiceSpec::new(
+            "backend",
+            |_req: &Request, ctx: &RequestContext<'_>| {
+                Response::ok(format!("backend saw {}", ctx.request_id().unwrap_or("-")))
+            },
+        );
+        let _backend = Microservice::start(&backend_spec, Arc::clone(&registry)).unwrap();
+
+        let front_spec = ServiceSpec::new(
+            "front",
+            |_req: &Request, ctx: &RequestContext<'_>| match ctx.get("backend", "/inner") {
+                Ok(resp) => Response::ok(format!("front got: {}", resp.body_str())),
+                Err(err) => Response::builder(StatusCode::BAD_GATEWAY)
+                    .body(err.to_string())
+                    .build(),
+            },
+        )
+        .dependency("backend", ResiliencePolicy::new());
+        let front = Microservice::start(&front_spec, registry).unwrap();
+
+        let client = HttpClient::new();
+        let resp = client
+            .send(
+                front.addr(),
+                Request::builder(Method::Get, "/outer").request_id("test-xyz").build(),
+            )
+            .unwrap();
+        assert_eq!(resp.body_str(), "front got: backend saw test-xyz");
+    }
+
+    #[test]
+    fn unknown_dependency_in_context() {
+        let registry = ServiceRegistry::shared();
+        let spec = ServiceSpec::new(
+            "lonely",
+            |_req: &Request, ctx: &RequestContext<'_>| match ctx.get("nobody", "/") {
+                Err(MeshError::UnknownDependency(_)) => Response::ok("correctly unknown"),
+                _ => Response::error(StatusCode::INTERNAL_SERVER_ERROR),
+            },
+        );
+        let service = Microservice::start(&spec, registry).unwrap();
+        let client = HttpClient::new();
+        let resp = client.send(service.addr(), Request::get("/")).unwrap();
+        assert_eq!(resp.body_str(), "correctly unknown");
+    }
+
+    #[test]
+    fn dependencies_listing() {
+        let registry = ServiceRegistry::shared();
+        let spec = ServiceSpec::new(
+            "svc",
+            |_req: &Request, ctx: &RequestContext<'_>| {
+                Response::ok(ctx.dependencies().join(","))
+            },
+        )
+        .dependency("zeta", ResiliencePolicy::new())
+        .dependency("alpha", ResiliencePolicy::new());
+        let service = Microservice::start(&spec, registry).unwrap();
+        let client = HttpClient::new();
+        let resp = client.send(service.addr(), Request::get("/")).unwrap();
+        assert_eq!(resp.body_str(), "alpha,zeta");
+    }
+}

@@ -1,0 +1,499 @@
+//! Stateful service behaviours modelling the remaining Table 1
+//! outages: a publish–subscribe message bus with bounded queues
+//! (Parse.ly's "Kafkapocalypse", Stackdriver), a caching aggregator
+//! (the BBC services that survived were the ones with local caches),
+//! and a billing ledger (the Twilio double-billing incident).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gremlin_http::{Request, Response, StatusCode};
+
+use crate::error::MeshError;
+use crate::service::{RequestContext, ServiceBehavior};
+
+/// A publish–subscribe message bus with bounded per-topic queues.
+///
+/// Paths:
+///
+/// * `POST /publish/{topic}` — enqueue the body; `503` when the
+///   topic's queue is full (publishers block/fail — the Parse.ly
+///   cascade);
+/// * `GET /consume/{topic}` — dequeue one message (`204` when empty);
+/// * `GET /depth/{topic}` — current queue depth.
+///
+/// When a `forward_to` dependency is configured, every published
+/// message is also forwarded downstream (`POST /write`) — the
+/// Stackdriver topology where the bus drains into Cassandra. If the
+/// forward fails, the message stays queued, so a dead store fills
+/// the queues and eventually blocks publishers.
+#[derive(Debug)]
+pub struct MessageBus {
+    capacity: usize,
+    forward_to: Option<String>,
+    topics: Mutex<HashMap<String, Vec<Vec<u8>>>>,
+    published: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl MessageBus {
+    /// A bus with `capacity` messages per topic and no forwarding.
+    pub fn new(capacity: usize) -> Arc<MessageBus> {
+        Arc::new(MessageBus {
+            capacity,
+            forward_to: None,
+            topics: Mutex::new(HashMap::new()),
+            published: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// A bus that forwards each published message to `dst` and only
+    /// dequeues on successful forwarding.
+    pub fn forwarding(capacity: usize, dst: impl Into<String>) -> Arc<MessageBus> {
+        Arc::new(MessageBus {
+            capacity,
+            forward_to: Some(dst.into()),
+            topics: Mutex::new(HashMap::new()),
+            published: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Messages accepted since startup.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Publishes rejected because a queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Current depth of `topic`.
+    pub fn depth(&self, topic: &str) -> usize {
+        self.topics.lock().get(topic).map(Vec::len).unwrap_or(0)
+    }
+}
+
+impl ServiceBehavior for Arc<MessageBus> {
+    fn handle(&self, request: &Request, ctx: &RequestContext<'_>) -> Response {
+        let path = request.path().to_string();
+        if let Some(topic) = path.strip_prefix("/publish/") {
+            // Try to drain to the downstream store first when
+            // forwarding is configured.
+            let forwarded = match &self.forward_to {
+                Some(dst) => {
+                    let mut forward = Request::builder(
+                        gremlin_http::Method::Post,
+                        "/write",
+                    )
+                    .body(request.body().clone())
+                    .build();
+                    if let Some(id) = ctx.request_id() {
+                        forward.set_request_id(id.to_string());
+                    }
+                    matches!(
+                        ctx.call(dst, forward),
+                        Ok(resp) if resp.status().is_success()
+                    )
+                }
+                None => true,
+            };
+            if forwarded && self.forward_to.is_some() {
+                // Forwarded straight through; nothing left to queue.
+                self.published.fetch_add(1, Ordering::Relaxed);
+                return Response::ok("forwarded");
+            }
+            // Queue locally (either no forwarding, or the downstream
+            // store failed and the message must wait).
+            let mut topics = self.topics.lock();
+            let queue = topics.entry(topic.to_string()).or_default();
+            if queue.len() >= self.capacity {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Response::builder(StatusCode::SERVICE_UNAVAILABLE)
+                    .body("queue full")
+                    .build();
+            }
+            queue.push(request.body().to_vec());
+            self.published.fetch_add(1, Ordering::Relaxed);
+            Response::builder(StatusCode::ACCEPTED).body("queued").build()
+        } else if let Some(topic) = path.strip_prefix("/consume/") {
+            let mut topics = self.topics.lock();
+            match topics.get_mut(topic).and_then(|queue| {
+                if queue.is_empty() {
+                    None
+                } else {
+                    Some(queue.remove(0))
+                }
+            }) {
+                Some(message) => Response::ok(message),
+                None => Response::builder(StatusCode::NO_CONTENT).build(),
+            }
+        } else if let Some(topic) = path.strip_prefix("/depth/") {
+            Response::ok(self.depth(topic).to_string())
+        } else {
+            Response::error(StatusCode::NOT_FOUND)
+        }
+    }
+}
+
+/// An aggregator with a local response cache: on a dependency
+/// failure it serves the last good response instead of an error —
+/// the pattern that kept some BBC services alive during the 2014
+/// database overload.
+#[derive(Debug)]
+pub struct CachingAggregator {
+    backend: String,
+    path: String,
+    cache: Mutex<Option<String>>,
+    cache_hits: AtomicU64,
+}
+
+impl CachingAggregator {
+    /// Creates an aggregator over `GET {path}` on `backend` with an
+    /// empty cache.
+    pub fn new(backend: impl Into<String>, path: impl Into<String>) -> Arc<CachingAggregator> {
+        Arc::new(CachingAggregator {
+            backend: backend.into(),
+            path: path.into(),
+            cache: Mutex::new(None),
+            cache_hits: AtomicU64::new(0),
+        })
+    }
+
+    /// Times the cache satisfied a request during backend failure.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+}
+
+impl ServiceBehavior for Arc<CachingAggregator> {
+    fn handle(&self, _request: &Request, ctx: &RequestContext<'_>) -> Response {
+        match ctx.get(&self.backend, &self.path) {
+            Ok(resp) if resp.status().is_success() => {
+                let body = resp.body_str();
+                *self.cache.lock() = Some(body.clone());
+                Response::ok(format!("fresh:{body}"))
+            }
+            _ => match self.cache.lock().clone() {
+                Some(cached) => {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    Response::ok(format!("cached:{cached}"))
+                }
+                None => Response::builder(StatusCode::SERVICE_UNAVAILABLE)
+                    .body("backend down and cache empty")
+                    .build(),
+            },
+        }
+    }
+}
+
+/// A payment backend keeping a charge ledger — the substrate of the
+/// Twilio 2013 incident, where a database failure made the billing
+/// service charge customers repeatedly.
+///
+/// `POST /charge` appends a charge attributed to the request's
+/// Gremlin ID; `GET /charges` reports `id=count` lines. A correct
+/// billing pipeline never produces two charges for one logical
+/// payment; retrying a timed-out (but actually successful) charge
+/// does exactly that.
+#[derive(Debug, Default)]
+pub struct ChargeLedger {
+    charges: Mutex<HashMap<String, u64>>,
+}
+
+impl ChargeLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Arc<ChargeLedger> {
+        Arc::new(ChargeLedger::default())
+    }
+
+    /// Charges recorded against `id`.
+    pub fn charges_for(&self, id: &str) -> u64 {
+        self.charges.lock().get(id).copied().unwrap_or(0)
+    }
+
+    /// IDs charged more than once — double-billed customers.
+    pub fn double_billed(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .charges
+            .lock()
+            .iter()
+            .filter(|(_, count)| **count > 1)
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+impl ServiceBehavior for Arc<ChargeLedger> {
+    fn handle(&self, request: &Request, ctx: &RequestContext<'_>) -> Response {
+        match request.path() {
+            "/charge" => {
+                let id = ctx.request_id().unwrap_or("anonymous").to_string();
+                let mut charges = self.charges.lock();
+                *charges.entry(id.clone()).or_insert(0) += 1;
+                Response::ok(format!("charged:{id}"))
+            }
+            "/charges" => {
+                let charges = self.charges.lock();
+                let mut lines: Vec<String> = charges
+                    .iter()
+                    .map(|(id, count)| format!("{id}={count}"))
+                    .collect();
+                lines.sort();
+                Response::ok(lines.join("\n"))
+            }
+            _ => Response::error(StatusCode::NOT_FOUND),
+        }
+    }
+}
+
+/// The billing front-end calling the payment backend, optionally
+/// retrying failed charges — **unsafe** for non-idempotent calls,
+/// which is precisely the Twilio bug.
+#[derive(Debug, Clone)]
+pub struct BillingService {
+    payments: String,
+    retry_on_timeout: bool,
+    max_tries: u32,
+}
+
+impl BillingService {
+    /// A billing service that never retries charges.
+    pub fn new(payments: impl Into<String>) -> BillingService {
+        BillingService {
+            payments: payments.into(),
+            retry_on_timeout: false,
+            max_tries: 1,
+        }
+    }
+
+    /// Enables the buggy behaviour: timed-out charges are retried up
+    /// to `max_tries` total attempts.
+    pub fn with_naive_retries(mut self, max_tries: u32) -> BillingService {
+        self.retry_on_timeout = true;
+        self.max_tries = max_tries.max(1);
+        self
+    }
+}
+
+impl ServiceBehavior for BillingService {
+    fn handle(&self, request: &Request, ctx: &RequestContext<'_>) -> Response {
+        if request.path() != "/bill" {
+            return Response::error(StatusCode::NOT_FOUND);
+        }
+        let attempts = if self.retry_on_timeout { self.max_tries } else { 1 };
+        let mut last_error = None;
+        for _ in 0..attempts {
+            let charge = Request::builder(gremlin_http::Method::Post, "/charge").build();
+            match ctx.call(&self.payments, charge) {
+                Ok(resp) if resp.status().is_success() => {
+                    return Response::ok(format!("billed;{}", resp.body_str()))
+                }
+                Ok(resp) => {
+                    last_error = Some(format!("payment backend answered {}", resp.status()));
+                }
+                Err(MeshError::Http(err)) if err.is_timeout() => {
+                    // The charge may or may not have landed. Retrying
+                    // here is the bug.
+                    last_error = Some("charge timed out".to_string());
+                }
+                Err(err) => {
+                    last_error = Some(err.to_string());
+                    break;
+                }
+            }
+        }
+        Response::builder(StatusCode::BAD_GATEWAY)
+            .body(last_error.unwrap_or_else(|| "billing failed".to_string()))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ResiliencePolicy;
+    use crate::registry::ServiceRegistry;
+    use crate::service::{Microservice, ServiceSpec};
+    use gremlin_http::{HttpClient, Method};
+
+    fn send(addr: std::net::SocketAddr, method: Method, path: &str, id: &str) -> Response {
+        HttpClient::new()
+            .send(
+                addr,
+                Request::builder(method, path).request_id(id).build(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn message_bus_publish_consume() {
+        let registry = ServiceRegistry::shared();
+        let bus = MessageBus::new(2);
+        let svc =
+            Microservice::start(&ServiceSpec::new("bus", Arc::clone(&bus)), registry).unwrap();
+        let resp = send(svc.addr(), Method::Post, "/publish/metrics", "test-1");
+        assert_eq!(resp.status(), StatusCode::ACCEPTED);
+        assert_eq!(bus.depth("metrics"), 1);
+        let resp = send(svc.addr(), Method::Get, "/consume/metrics", "test-2");
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(bus.depth("metrics"), 0);
+        let resp = send(svc.addr(), Method::Get, "/consume/metrics", "test-3");
+        assert_eq!(resp.status(), StatusCode::NO_CONTENT);
+    }
+
+    #[test]
+    fn message_bus_rejects_when_full() {
+        let registry = ServiceRegistry::shared();
+        let bus = MessageBus::new(2);
+        let svc =
+            Microservice::start(&ServiceSpec::new("bus", Arc::clone(&bus)), registry).unwrap();
+        for i in 0..2 {
+            let resp = send(svc.addr(), Method::Post, "/publish/t", &format!("test-{i}"));
+            assert_eq!(resp.status(), StatusCode::ACCEPTED);
+        }
+        let resp = send(svc.addr(), Method::Post, "/publish/t", "test-overflow");
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(bus.rejected(), 1);
+        assert_eq!(bus.published(), 2);
+        let resp = send(svc.addr(), Method::Get, "/depth/t", "test-d");
+        assert_eq!(resp.body_str(), "2");
+    }
+
+    #[test]
+    fn forwarding_bus_queues_when_store_is_down() {
+        let registry = ServiceRegistry::shared();
+        // No "store" service registered: forwards always fail.
+        let bus = MessageBus::forwarding(3, "store");
+        let svc = Microservice::start(
+            &ServiceSpec::new("bus", Arc::clone(&bus))
+                .dependency("store", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        for i in 0..3 {
+            let resp = send(svc.addr(), Method::Post, "/publish/t", &format!("test-{i}"));
+            assert_eq!(resp.status(), StatusCode::ACCEPTED, "queued while store down");
+        }
+        // The queue is now full: the failure has percolated to
+        // publishers.
+        let resp = send(svc.addr(), Method::Post, "/publish/t", "test-x");
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(bus.depth("t"), 3);
+    }
+
+    #[test]
+    fn forwarding_bus_passes_through_when_store_up() {
+        let registry = ServiceRegistry::shared();
+        let _store = Microservice::start(
+            &ServiceSpec::new(
+                "store",
+                crate::behaviors::StaticResponder::ok("stored"),
+            ),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let bus = MessageBus::forwarding(2, "store");
+        let svc = Microservice::start(
+            &ServiceSpec::new("bus", Arc::clone(&bus))
+                .dependency("store", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        let resp = send(svc.addr(), Method::Post, "/publish/t", "test-1");
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.body_str(), "forwarded");
+        assert_eq!(bus.depth("t"), 0);
+    }
+
+    #[test]
+    fn caching_aggregator_serves_stale_on_failure() {
+        let registry = ServiceRegistry::shared();
+        let backend = Microservice::start(
+            &ServiceSpec::new("db", crate::behaviors::StaticResponder::ok("rows-v1")),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let cache = CachingAggregator::new("db", "/q");
+        let svc = Microservice::start(
+            &ServiceSpec::new("web", Arc::clone(&cache))
+                .dependency("db", ResiliencePolicy::new().timeout(std::time::Duration::from_millis(500))),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+
+        // Warm the cache.
+        let resp = send(svc.addr(), Method::Get, "/", "test-1");
+        assert_eq!(resp.body_str(), "fresh:rows-v1");
+
+        // Kill the backend for real; the cache takes over.
+        backend.shutdown();
+        registry.deregister_service("db");
+        let resp = send(svc.addr(), Method::Get, "/", "test-2");
+        assert_eq!(resp.body_str(), "cached:rows-v1");
+        assert_eq!(cache.cache_hits(), 1);
+    }
+
+    #[test]
+    fn caching_aggregator_cold_cache_fails() {
+        let registry = ServiceRegistry::shared();
+        let cache = CachingAggregator::new("db", "/q");
+        let svc = Microservice::start(
+            &ServiceSpec::new("web", cache).dependency("db", ResiliencePolicy::new()),
+            registry,
+        )
+        .unwrap();
+        let resp = send(svc.addr(), Method::Get, "/", "test-1");
+        assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+    }
+
+    #[test]
+    fn charge_ledger_counts_per_flow() {
+        let registry = ServiceRegistry::shared();
+        let ledger = ChargeLedger::new();
+        let svc = Microservice::start(
+            &ServiceSpec::new("payments", Arc::clone(&ledger)),
+            registry,
+        )
+        .unwrap();
+        send(svc.addr(), Method::Post, "/charge", "test-cust-1");
+        send(svc.addr(), Method::Post, "/charge", "test-cust-1");
+        send(svc.addr(), Method::Post, "/charge", "test-cust-2");
+        assert_eq!(ledger.charges_for("test-cust-1"), 2);
+        assert_eq!(ledger.charges_for("test-cust-2"), 1);
+        assert_eq!(ledger.double_billed(), vec!["test-cust-1".to_string()]);
+        let resp = send(svc.addr(), Method::Get, "/charges", "test-q");
+        assert_eq!(resp.body_str(), "test-cust-1=2\ntest-cust-2=1");
+    }
+
+    #[test]
+    fn billing_service_happy_path_charges_once() {
+        let registry = ServiceRegistry::shared();
+        let ledger = ChargeLedger::new();
+        let _payments = Microservice::start(
+            &ServiceSpec::new("payments", Arc::clone(&ledger)),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let billing = Microservice::start(
+            &ServiceSpec::new("billing", BillingService::new("payments").with_naive_retries(3))
+                .dependency(
+                    "payments",
+                    ResiliencePolicy::new().timeout(std::time::Duration::from_secs(1)),
+                ),
+            registry,
+        )
+        .unwrap();
+        let resp = send(billing.addr(), Method::Post, "/bill", "test-cust-9");
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(ledger.charges_for("test-cust-9"), 1);
+        assert!(ledger.double_billed().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the resilience patterns: the circuit
+//! breaker against a reference model, retry-count bounds, backoff
+//! monotonicity and bulkhead accounting.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use gremlin_mesh::resilience::{
+    Backoff, Bulkhead, BulkheadConfig, CircuitBreaker, CircuitBreakerConfig, CircuitState,
+    RetryPolicy,
+};
+
+/// One step of a breaker interaction.
+#[derive(Debug, Clone, Copy)]
+enum BreakerOp {
+    CallSuccess,
+    CallFailure,
+}
+
+fn breaker_ops() -> impl Strategy<Value = Vec<BreakerOp>> {
+    proptest::collection::vec(
+        prop_oneof![Just(BreakerOp::CallSuccess), Just(BreakerOp::CallFailure)],
+        0..200,
+    )
+}
+
+/// A reference model of the breaker with an effectively infinite open
+/// window (so the time-driven half-open transition never fires and
+/// the model stays deterministic).
+struct BreakerModel {
+    threshold: u32,
+    consecutive_failures: u32,
+    open: bool,
+}
+
+impl BreakerModel {
+    fn apply(&mut self, op: BreakerOp) -> bool {
+        if self.open {
+            return false; // call rejected
+        }
+        match op {
+            BreakerOp::CallSuccess => {
+                self.consecutive_failures = 0;
+            }
+            BreakerOp::CallFailure => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.open = true;
+                }
+            }
+        }
+        true
+    }
+}
+
+proptest! {
+    /// The breaker's admit/reject decisions and final state match the
+    /// reference model for any operation sequence.
+    #[test]
+    fn breaker_matches_reference_model(
+        ops in breaker_ops(),
+        threshold in 1u32..10,
+    ) {
+        let breaker = CircuitBreaker::new(CircuitBreakerConfig {
+            failure_threshold: threshold,
+            open_duration: Duration::from_secs(3600),
+            success_threshold: 1,
+        });
+        let mut model = BreakerModel {
+            threshold,
+            consecutive_failures: 0,
+            open: false,
+        };
+        for op in ops {
+            let model_admitted = model.apply(op);
+            let breaker_admitted = breaker.try_acquire();
+            prop_assert_eq!(breaker_admitted, model_admitted);
+            if breaker_admitted {
+                match op {
+                    BreakerOp::CallSuccess => breaker.record_success(),
+                    BreakerOp::CallFailure => breaker.record_failure(),
+                }
+            }
+        }
+        let expected = if model.open { CircuitState::Open } else { CircuitState::Closed };
+        prop_assert_eq!(breaker.state(), expected);
+    }
+
+    /// The breaker trips at most once per episode: with an infinite
+    /// open window and no successes, open_transitions is 0 or 1.
+    #[test]
+    fn breaker_trips_once_per_episode(failures in 0u32..30, threshold in 1u32..10) {
+        let breaker = CircuitBreaker::new(CircuitBreakerConfig {
+            failure_threshold: threshold,
+            open_duration: Duration::from_secs(3600),
+            success_threshold: 1,
+        });
+        for _ in 0..failures {
+            if breaker.try_acquire() {
+                breaker.record_failure();
+            }
+        }
+        let expected_transitions = u64::from(failures >= threshold);
+        prop_assert_eq!(breaker.open_transitions(), expected_transitions);
+    }
+
+    /// `RetryPolicy::run` performs exactly
+    /// `min(first_success + 1, max_tries)` attempts.
+    #[test]
+    fn retry_attempt_count_is_bounded(
+        max_tries in 1u32..8,
+        first_success in proptest::option::of(0u32..10),
+    ) {
+        let policy = RetryPolicy::new(max_tries).with_backoff(Backoff::none());
+        let mut attempts = 0u32;
+        let result: Result<u32, u32> = policy.run(|attempt| {
+            attempts += 1;
+            match first_success {
+                Some(success_at) if attempt >= success_at => Ok(attempt),
+                _ => Err(attempt),
+            }
+        });
+        let expected = match first_success {
+            Some(success_at) if success_at < max_tries => success_at + 1,
+            _ => max_tries,
+        };
+        prop_assert_eq!(attempts, expected);
+        prop_assert_eq!(result.is_ok(), matches!(first_success, Some(s) if s < max_tries));
+    }
+
+    /// Backoff delays are monotone non-decreasing for factor >= 1 and
+    /// never exceed the cap.
+    #[test]
+    fn backoff_monotone_and_capped(
+        base_ms in 1u64..1000,
+        factor in 1.0f64..4.0,
+        max_ms in 1u64..10_000,
+    ) {
+        let backoff = Backoff {
+            base: Duration::from_millis(base_ms),
+            factor,
+            max: Duration::from_millis(max_ms),
+            jitter: false,
+        };
+        let mut previous = Duration::ZERO;
+        for retry in 0..12 {
+            let delay = backoff.delay_for(retry);
+            prop_assert!(delay <= Duration::from_millis(max_ms));
+            prop_assert!(delay >= previous || delay == Duration::from_millis(max_ms));
+            previous = delay;
+        }
+    }
+
+    /// Jittered delays stay within [delay/2, delay].
+    #[test]
+    fn backoff_jitter_bounds(base_ms in 2u64..500, retry in 0u32..6) {
+        let backoff = Backoff {
+            base: Duration::from_millis(base_ms),
+            factor: 2.0,
+            max: Duration::from_secs(60),
+            jitter: true,
+        };
+        let nominal = backoff.delay_for(retry);
+        for _ in 0..20 {
+            let sampled = backoff.sample_delay(retry);
+            prop_assert!(sampled <= nominal);
+            prop_assert!(sampled >= nominal.mul_f64(0.5) - Duration::from_nanos(1));
+        }
+    }
+
+    /// Bulkhead accounting: a random acquire/release interleaving
+    /// never exceeds capacity, and counters reconcile.
+    #[test]
+    fn bulkhead_accounting(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let bulkhead = Bulkhead::new(BulkheadConfig { max_concurrent: capacity });
+        let mut held = Vec::new();
+        let mut expected_rejections = 0u64;
+        let mut expected_admissions = 0u64;
+        for acquire in ops {
+            if acquire {
+                match bulkhead.try_acquire() {
+                    Some(permit) => {
+                        expected_admissions += 1;
+                        held.push(permit);
+                        prop_assert!(held.len() <= capacity);
+                    }
+                    None => {
+                        expected_rejections += 1;
+                        prop_assert_eq!(held.len(), capacity);
+                    }
+                }
+            } else if !held.is_empty() {
+                held.pop();
+            }
+            prop_assert_eq!(bulkhead.in_flight(), held.len());
+        }
+        prop_assert_eq!(bulkhead.admitted(), expected_admissions);
+        prop_assert_eq!(bulkhead.rejected(), expected_rejections);
+    }
+}

@@ -1,0 +1,690 @@
+//! The Gremlin agent: a fault-injecting Layer-7 sidecar proxy.
+//!
+//! A Gremlin agent fronts the *outbound* API calls of one
+//! microservice (paper §4.1, §6). The microservice is configured to
+//! send each dependency's traffic to a local listener owned by the
+//! agent (`localhost:<port>` → list of remote instances); the agent
+//! forwards the call, applies any matching fault-injection rules, and
+//! logs an observation for every request and response it touches.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use gremlin_http::codec::{read_request, write_response};
+use gremlin_http::{
+    header_names, ClientConfig, ConnTracker, HttpClient, Request, Response, StatusCode, ThreadPool,
+};
+use gremlin_store::{now_micros, AppliedFault, Event, EventSink};
+
+use crate::error::ProxyError;
+use crate::rules::{AbortKind, FaultAction, MessageSide, Rule};
+use crate::table::RuleTable;
+
+/// One outbound dependency mapping: calls for `dst` enter the agent on
+/// a local listener and are forwarded to one of `upstreams`
+/// (round-robin across instances).
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// Logical name of the destination service.
+    pub dst: String,
+    /// Addresses of the destination's instances.
+    pub upstreams: Vec<SocketAddr>,
+    /// Address to listen on; port 0 lets the OS pick.
+    pub listen: SocketAddr,
+}
+
+impl Route {
+    /// Creates a route listening on an ephemeral loopback port.
+    pub fn new(dst: impl Into<String>, upstreams: Vec<SocketAddr>) -> Route {
+        Route {
+            dst: dst.into(),
+            upstreams,
+            listen: "127.0.0.1:0".parse().expect("loopback addr"),
+        }
+    }
+}
+
+/// Configuration for a [`GremlinAgent`].
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Logical name of the service this agent fronts (the `src` of
+    /// every call it proxies).
+    pub service: String,
+    /// Instance name used in observation records; defaults to
+    /// `agent-{service}`.
+    pub name: String,
+    /// Outbound dependency routes.
+    pub routes: Vec<Route>,
+    /// Worker threads shared by all routes.
+    pub workers: usize,
+    /// HTTP client configuration for upstream calls.
+    pub client: ClientConfig,
+    /// Seed for the probability RNG; `None` uses OS entropy.
+    pub seed: Option<u64>,
+}
+
+impl AgentConfig {
+    /// Starts a configuration for the agent fronting `service`.
+    pub fn new(service: impl Into<String>) -> AgentConfig {
+        let service = service.into();
+        AgentConfig {
+            name: format!("agent-{service}"),
+            service,
+            routes: Vec::new(),
+            workers: 16,
+            client: ClientConfig::default(),
+            seed: None,
+        }
+    }
+
+    /// Adds a route to `dst` served by `upstreams`, listening on an
+    /// ephemeral port.
+    pub fn route(mut self, dst: impl Into<String>, upstreams: Vec<SocketAddr>) -> AgentConfig {
+        self.routes.push(Route::new(dst, upstreams));
+        self
+    }
+
+    /// Adds a route to `dst` whose upstream instances are fetched
+    /// dynamically from the service-registry endpoint at
+    /// `registry` (§6: mappings "fetched dynamically from a service
+    /// registry").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the registry is unreachable, answers
+    /// with a failure, or knows no instances of `dst`.
+    pub fn route_discovered(
+        self,
+        dst: impl Into<String>,
+        registry: SocketAddr,
+    ) -> Result<AgentConfig, ProxyError> {
+        let dst = dst.into();
+        let upstreams = crate::discovery::fetch_instances(registry, &dst)?;
+        if upstreams.is_empty() {
+            return Err(ProxyError::UnknownDestination(dst));
+        }
+        Ok(self.route(dst, upstreams))
+    }
+
+    /// Overrides the agent instance name.
+    pub fn name(mut self, name: impl Into<String>) -> AgentConfig {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, workers: usize) -> AgentConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the upstream HTTP client configuration.
+    pub fn client(mut self, client: ClientConfig) -> AgentConfig {
+        self.client = client;
+        self
+    }
+
+    /// Seeds the probability RNG for reproducible fault sampling.
+    pub fn seed(mut self, seed: u64) -> AgentConfig {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+struct RouteState {
+    dst: String,
+    local_addr: SocketAddr,
+    upstreams: Vec<SocketAddr>,
+    next_upstream: AtomicUsize,
+}
+
+struct Inner {
+    service: String,
+    name: String,
+    table: RuleTable,
+    sink: Arc<dyn EventSink>,
+    client: HttpClient,
+    shutdown: AtomicBool,
+    tracker: ConnTracker,
+}
+
+/// A running Gremlin agent.
+///
+/// Dropping the agent stops its listeners and joins all threads.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use gremlin_proxy::{AgentConfig, GremlinAgent};
+/// use gremlin_store::EventStore;
+///
+/// # fn main() -> Result<(), gremlin_proxy::ProxyError> {
+/// let store = EventStore::shared();
+/// let upstream = "127.0.0.1:9001".parse().unwrap();
+/// let agent = GremlinAgent::start(
+///     AgentConfig::new("serviceA").route("serviceB", vec![upstream]),
+///     store.clone(),
+/// )?;
+/// // serviceA should now send serviceB traffic here:
+/// let proxy_addr = agent.route_addr("serviceB").unwrap();
+/// # let _ = proxy_addr;
+/// # Ok(())
+/// # }
+/// ```
+pub struct GremlinAgent {
+    inner: Arc<Inner>,
+    routes: Vec<Arc<RouteState>>,
+    accept_threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GremlinAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GremlinAgent")
+            .field("service", &self.inner.service)
+            .field("name", &self.inner.name)
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+impl GremlinAgent {
+    /// Binds every route listener and starts proxying.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any listener fails to bind.
+    pub fn start(config: AgentConfig, sink: Arc<dyn EventSink>) -> Result<GremlinAgent, ProxyError> {
+        let table = match config.seed {
+            Some(seed) => RuleTable::with_seed(seed),
+            None => RuleTable::new(),
+        };
+        let inner = Arc::new(Inner {
+            service: config.service.clone(),
+            name: config.name.clone(),
+            table,
+            sink,
+            client: HttpClient::with_config(config.client.clone()),
+            shutdown: AtomicBool::new(false),
+            tracker: ConnTracker::new(),
+        });
+
+        let pool = Arc::new(ThreadPool::new(config.workers.max(1), &config.name));
+        let mut routes = Vec::new();
+        let mut accept_threads = Vec::new();
+        for route in &config.routes {
+            let listener = TcpListener::bind(route.listen)?;
+            listener.set_nonblocking(true)?;
+            let local_addr = listener.local_addr()?;
+            let state = Arc::new(RouteState {
+                dst: route.dst.clone(),
+                local_addr,
+                upstreams: route.upstreams.clone(),
+                next_upstream: AtomicUsize::new(0),
+            });
+            routes.push(Arc::clone(&state));
+
+            let inner_for_thread = Arc::clone(&inner);
+            let pool_for_thread = Arc::clone(&pool);
+            let thread_name = format!("{}-{}", config.name, route.dst);
+            let handle = thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || {
+                    while !inner_for_thread.shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let inner = Arc::clone(&inner_for_thread);
+                                let state = Arc::clone(&state);
+                                pool_for_thread.execute(move || {
+                                    let token = inner.tracker.register(&stream);
+                                    let _ = serve_proxy_connection(stream, &state, &inner);
+                                    inner.tracker.deregister(token);
+                                });
+                            }
+                            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    inner_for_thread.tracker.shutdown_all();
+                })
+                .map_err(ProxyError::Io)?;
+            accept_threads.push(handle);
+        }
+
+        Ok(GremlinAgent {
+            inner,
+            routes,
+            accept_threads,
+        })
+    }
+
+    /// Logical name of the service this agent fronts.
+    pub fn service(&self) -> &str {
+        &self.inner.service
+    }
+
+    /// Instance name reported in observations.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Local address to which the fronted service should send traffic
+    /// destined for `dst`.
+    pub fn route_addr(&self, dst: &str) -> Option<SocketAddr> {
+        self.routes
+            .iter()
+            .find(|r| r.dst == dst)
+            .map(|r| r.local_addr)
+    }
+
+    /// Every `(dst, local_addr)` mapping the agent serves.
+    pub fn routes(&self) -> Vec<(String, SocketAddr)> {
+        self.routes
+            .iter()
+            .map(|r| (r.dst.clone(), r.local_addr))
+            .collect()
+    }
+
+    /// Installs fault-injection rules (Table 2 interface).
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error and installs nothing if any rule is
+    /// malformed.
+    pub fn install_rules(&self, rules: Vec<Rule>) -> Result<(), ProxyError> {
+        self.inner.table.install(rules)
+    }
+
+    /// Removes every installed rule.
+    pub fn clear_rules(&self) {
+        self.inner.table.clear();
+    }
+
+    /// Snapshot of the installed rules.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.inner.table.rules()
+    }
+
+    /// Total messages checked against the rule table.
+    pub fn rule_checks(&self) -> u64 {
+        self.inner.table.checks()
+    }
+
+    /// Total messages that matched a rule.
+    pub fn rule_hits(&self) -> u64 {
+        self.inner.table.hits()
+    }
+
+    /// Per-rule hit counts, parallel to [`GremlinAgent::rules`].
+    pub fn rule_hit_counts(&self) -> Vec<u64> {
+        self.inner.table.rule_hit_counts()
+    }
+
+    /// Stops listeners and joins worker threads. Equivalent to
+    /// dropping the agent, provided as an explicit synchronization
+    /// point.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.tracker.shutdown_all();
+        for handle in self.accept_threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for GremlinAgent {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn serve_proxy_connection(
+    stream: TcpStream,
+    route: &RouteState,
+    inner: &Inner,
+) -> Result<(), ProxyError> {
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(_) => return Ok(()),
+        };
+        let close_requested = request.headers().connection_close();
+        match process_message(request, route, inner) {
+            Some(response) => {
+                let close = close_requested || response.headers().connection_close();
+                let mut writer = BufWriter::new(stream.try_clone()?);
+                write_response(&mut writer, &response)?;
+                if close {
+                    return Ok(());
+                }
+            }
+            None => {
+                // TCP-level abort (Error = -1): terminate abruptly,
+                // returning no application-level response.
+                let _ = stream.shutdown(Shutdown::Both);
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Proxies one request, applying fault-injection rules. Returns
+/// `None` when the connection must be reset instead of answered.
+fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Option<Response> {
+    let started = Instant::now();
+    let request_id = request.request_id().map(str::to_string);
+    let src = inner.service.as_str();
+    let dst = route.dst.as_str();
+
+    let request_rule =
+        inner
+            .table
+            .match_message(src, dst, MessageSide::Request, request_id.as_deref());
+
+    // --- Log the request observation -------------------------------
+    let mut request_event = Event::request(src, dst, request.method().as_str(), request.target())
+        .with_agent(inner.name.clone());
+    request_event.request_id = request_id.clone();
+    request_event.timestamp_us = now_micros();
+    if let Some(rule) = &request_rule {
+        request_event.fault = Some(applied_fault(&rule.action));
+    }
+    inner.sink.record(request_event);
+
+    // --- Apply the request-side action -----------------------------
+    let mut request = request;
+    let mut request_side_fault: Option<AppliedFault> = None;
+    if let Some(rule) = &request_rule {
+        match &rule.action {
+            FaultAction::Abort { abort } => {
+                return finish_abort(*abort, started, &request_id, route, inner);
+            }
+            FaultAction::Delay { interval } => {
+                thread::sleep(*interval);
+                request_side_fault = Some(AppliedFault::Delay {
+                    delay_us: interval.as_micros() as u64,
+                });
+            }
+            FaultAction::Modify {
+                search,
+                replace_bytes,
+            } => {
+                let rewritten = replace_bytes_in(request.body(), search, replace_bytes);
+                request.set_body(rewritten);
+                request_side_fault = Some(AppliedFault::Modify);
+            }
+        }
+    }
+
+    // --- Forward upstream -------------------------------------------
+    let upstream = pick_upstream(route);
+    let forwarded = prepare_forwarded(&request);
+    let result = match upstream {
+        Some(addr) => inner.client.send(addr, forwarded),
+        None => Err(gremlin_http::HttpError::Io(std::io::Error::other(
+            "route has no upstream instances",
+        ))),
+    };
+
+    let mut response = match result {
+        Ok(response) => response,
+        Err(err) => {
+            // Genuine upstream failure: surface it the way service
+            // proxies do — 504 on timeout, 502 otherwise.
+            let status = if err.is_timeout() {
+                StatusCode::GATEWAY_TIMEOUT
+            } else {
+                StatusCode::BAD_GATEWAY
+            };
+            let mut event = Event::response(src, dst, status.as_u16(), started.elapsed())
+                .with_agent(inner.name.clone());
+            event.request_id = request_id.clone();
+            if let Some(fault) = &request_side_fault {
+                event.fault = Some(fault.clone());
+            }
+            inner.sink.record(event);
+            let mut resp = Response::error(status);
+            if let Some(id) = &request_id {
+                resp.headers_mut().insert(header_names::REQUEST_ID, id.clone());
+            }
+            return Some(resp);
+        }
+    };
+
+    // --- Apply the response-side action ----------------------------
+    let response_rule =
+        inner
+            .table
+            .match_message(src, dst, MessageSide::Response, request_id.as_deref());
+    let mut response_side_fault: Option<AppliedFault> = None;
+    if let Some(rule) = &response_rule {
+        match &rule.action {
+            FaultAction::Abort { abort } => {
+                return finish_abort(*abort, started, &request_id, route, inner);
+            }
+            FaultAction::Delay { interval } => {
+                thread::sleep(*interval);
+                response_side_fault = Some(AppliedFault::Delay {
+                    delay_us: interval.as_micros() as u64,
+                });
+            }
+            FaultAction::Modify {
+                search,
+                replace_bytes,
+            } => {
+                let rewritten = replace_bytes_in(response.body(), search, replace_bytes);
+                response.set_body(rewritten);
+                response_side_fault = Some(AppliedFault::Modify);
+            }
+        }
+    }
+
+    // --- Log the response observation -------------------------------
+    let mut event = Event::response(src, dst, response.status().as_u16(), started.elapsed())
+        .with_agent(inner.name.clone());
+    event.request_id = request_id.clone();
+    event.fault = response_side_fault.or(request_side_fault);
+    if let Some(fault) = &event.fault {
+        response
+            .headers_mut()
+            .insert(header_names::GREMLIN_ACTION, fault.to_string());
+    }
+    inner.sink.record(event);
+    Some(response)
+}
+
+/// Synthesizes the caller-visible outcome of an Abort action and logs
+/// the response observation. Returns `None` for TCP resets.
+fn finish_abort(
+    abort: AbortKind,
+    started: Instant,
+    request_id: &Option<String>,
+    route: &RouteState,
+    inner: &Inner,
+) -> Option<Response> {
+    let (status_code, fault) = match abort {
+        AbortKind::Status(code) => (code, AppliedFault::Abort { status: code }),
+        AbortKind::Reset => (0, AppliedFault::AbortReset),
+    };
+    let mut event = Event::response(
+        inner.service.clone(),
+        route.dst.clone(),
+        status_code,
+        started.elapsed(),
+    )
+    .with_agent(inner.name.clone())
+    .with_fault(fault.clone());
+    event.request_id = request_id.clone();
+    inner.sink.record(event);
+
+    match abort {
+        AbortKind::Status(code) => {
+            let status = StatusCode::new(code).unwrap_or(StatusCode::SERVICE_UNAVAILABLE);
+            let mut response = Response::error(status);
+            response
+                .headers_mut()
+                .insert(header_names::GREMLIN_ACTION, fault.to_string());
+            if let Some(id) = request_id {
+                response
+                    .headers_mut()
+                    .insert(header_names::REQUEST_ID, id.clone());
+            }
+            Some(response)
+        }
+        AbortKind::Reset => None,
+    }
+}
+
+fn pick_upstream(route: &RouteState) -> Option<SocketAddr> {
+    if route.upstreams.is_empty() {
+        return None;
+    }
+    let index = route.next_upstream.fetch_add(1, Ordering::Relaxed) % route.upstreams.len();
+    Some(route.upstreams[index])
+}
+
+/// Clones the request for forwarding, stripping hop-by-hop headers so
+/// the upstream client re-derives them.
+fn prepare_forwarded(request: &Request) -> Request {
+    let mut forwarded = request.clone();
+    forwarded.headers_mut().remove(header_names::HOST);
+    forwarded.headers_mut().remove(header_names::CONNECTION);
+    forwarded
+}
+
+/// Replaces every occurrence of `search` in `body` with `replace`.
+fn replace_bytes_in(body: &[u8], search: &str, replace: &str) -> Vec<u8> {
+    let search = search.as_bytes();
+    if search.is_empty() {
+        return body.to_vec();
+    }
+    let mut result = Vec::with_capacity(body.len());
+    let mut i = 0;
+    while i < body.len() {
+        if body[i..].starts_with(search) {
+            result.extend_from_slice(replace.as_bytes());
+            i += search.len();
+        } else {
+            result.push(body[i]);
+            i += 1;
+        }
+    }
+    result
+}
+
+fn applied_fault(action: &FaultAction) -> AppliedFault {
+    match action {
+        FaultAction::Abort {
+            abort: AbortKind::Status(code),
+        } => AppliedFault::Abort { status: *code },
+        FaultAction::Abort {
+            abort: AbortKind::Reset,
+        } => AppliedFault::AbortReset,
+        FaultAction::Delay { interval } => AppliedFault::Delay {
+            delay_us: interval.as_micros() as u64,
+        },
+        FaultAction::Modify { .. } => AppliedFault::Modify,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replace_bytes_basic() {
+        assert_eq!(replace_bytes_in(b"key=value", "key", "badkey"), b"badkey=value");
+        assert_eq!(replace_bytes_in(b"aaa", "a", "b"), b"bbb");
+        assert_eq!(replace_bytes_in(b"none", "x", "y"), b"none");
+        assert_eq!(replace_bytes_in(b"", "x", "y"), b"");
+        assert_eq!(replace_bytes_in(b"abc", "", "y"), b"abc");
+        assert_eq!(replace_bytes_in(b"abab", "ab", ""), b"");
+    }
+
+    #[test]
+    fn applied_fault_mapping() {
+        assert_eq!(
+            applied_fault(&FaultAction::Abort {
+                abort: AbortKind::Status(503)
+            }),
+            AppliedFault::Abort { status: 503 }
+        );
+        assert_eq!(
+            applied_fault(&FaultAction::Abort {
+                abort: AbortKind::Reset
+            }),
+            AppliedFault::AbortReset
+        );
+        assert_eq!(
+            applied_fault(&FaultAction::Delay {
+                interval: Duration::from_millis(3)
+            }),
+            AppliedFault::Delay { delay_us: 3000 }
+        );
+        assert_eq!(
+            applied_fault(&FaultAction::Modify {
+                search: "a".into(),
+                replace_bytes: "b".into()
+            }),
+            AppliedFault::Modify
+        );
+    }
+
+    #[test]
+    fn prepare_forwarded_strips_hop_headers() {
+        let req = Request::builder(gremlin_http::Method::Get, "/x")
+            .header("Host", "proxy")
+            .header("Connection", "close")
+            .header("X-Keep", "1")
+            .build();
+        let fwd = prepare_forwarded(&req);
+        assert!(!fwd.headers().contains("host"));
+        assert!(!fwd.headers().contains("connection"));
+        assert_eq!(fwd.headers().get("x-keep"), Some("1"));
+    }
+
+    #[test]
+    fn route_round_robin() {
+        let route = RouteState {
+            dst: "b".into(),
+            local_addr: "127.0.0.1:1".parse().unwrap(),
+            upstreams: vec![
+                "127.0.0.1:10".parse().unwrap(),
+                "127.0.0.1:11".parse().unwrap(),
+            ],
+            next_upstream: AtomicUsize::new(0),
+        };
+        let a = pick_upstream(&route).unwrap();
+        let b = pick_upstream(&route).unwrap();
+        let c = pick_upstream(&route).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_route_has_no_upstream() {
+        let route = RouteState {
+            dst: "b".into(),
+            local_addr: "127.0.0.1:1".parse().unwrap(),
+            upstreams: vec![],
+            next_upstream: AtomicUsize::new(0),
+        };
+        assert!(pick_upstream(&route).is_none());
+    }
+}

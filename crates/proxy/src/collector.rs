@@ -1,0 +1,381 @@
+//! The log-collection pipeline between agents and the central store.
+//!
+//! The paper ships agent observations through logstash into
+//! Elasticsearch (§6). In single-process deployments our agents write
+//! straight into a shared [`EventStore`]; this module provides the
+//! distributed equivalent: agents log through an [`HttpEventSink`]
+//! that forwards observations (newline-delimited JSON, batched) to a
+//! [`CollectorServer`] fronting the store.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use gremlin_http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
+use gremlin_store::{Event, EventSink, EventStore};
+
+use crate::error::ProxyError;
+
+/// HTTP endpoint accepting observation batches into an
+/// [`EventStore`].
+///
+/// Routes:
+///
+/// | Method | Path      | Effect                                        |
+/// |--------|-----------|-----------------------------------------------|
+/// | POST   | `/events` | append newline-delimited JSON events          |
+/// | GET    | `/events` | dump the store as newline-delimited JSON      |
+/// | GET    | `/stats`  | `{"events": N}`                               |
+/// | DELETE | `/events` | clear the store                               |
+#[derive(Debug)]
+pub struct CollectorServer {
+    server: HttpServer,
+    store: Arc<EventStore>,
+}
+
+impl CollectorServer {
+    /// Starts a collector on `addr` writing into `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start(
+        store: Arc<EventStore>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<CollectorServer, ProxyError> {
+        let handler_store = Arc::clone(&store);
+        let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
+            handle_collect(&handler_store, request)
+        })?;
+        Ok(CollectorServer { server, store })
+    }
+
+    /// The collector's listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// The store behind the collector.
+    pub fn store(&self) -> &Arc<EventStore> {
+        &self.store
+    }
+}
+
+fn handle_collect(store: &Arc<EventStore>, request: Request) -> Response {
+    match (request.method().clone(), request.path()) {
+        (Method::Post, "/events") => {
+            let text = String::from_utf8_lossy(request.body());
+            match store.import_json(&text) {
+                Ok(count) => Response::builder(StatusCode::OK)
+                    .body(format!("{{\"imported\":{count}}}"))
+                    .build(),
+                Err(err) => Response::builder(StatusCode::BAD_REQUEST)
+                    .body(format!("bad event batch: {err}"))
+                    .build(),
+            }
+        }
+        (Method::Get, "/events") => match store.export_json() {
+            Ok(body) => Response::builder(StatusCode::OK)
+                .header("Content-Type", "application/x-ndjson")
+                .body(body)
+                .build(),
+            Err(err) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+                .body(err.to_string())
+                .build(),
+        },
+        (Method::Get, "/stats") => Response::builder(StatusCode::OK)
+            .header("Content-Type", "application/json")
+            .body(format!("{{\"events\":{}}}", store.len()))
+            .build(),
+        (Method::Delete, "/events") => {
+            store.clear();
+            Response::builder(StatusCode::NO_CONTENT).build()
+        }
+        _ => Response::error(StatusCode::NOT_FOUND),
+    }
+}
+
+/// An [`EventSink`] forwarding observations to a remote
+/// [`CollectorServer`].
+///
+/// Events are buffered on a background thread and shipped in batches
+/// (bounded by size and linger time), so the data path never blocks
+/// on the collector. Dropping the sink flushes the buffer.
+#[derive(Debug)]
+pub struct HttpEventSink {
+    sender: mpsc::Sender<SinkMessage>,
+    worker: Option<thread::JoinHandle<()>>,
+    dropped: Arc<AtomicU64>,
+}
+
+enum SinkMessage {
+    Record(Event),
+    Flush(mpsc::Sender<()>),
+}
+
+/// Configuration for [`HttpEventSink`].
+#[derive(Debug, Clone)]
+pub struct SinkConfig {
+    /// Ship a batch once it reaches this many events.
+    pub batch_size: usize,
+    /// Ship a partial batch after this long.
+    pub linger: Duration,
+}
+
+impl Default for SinkConfig {
+    fn default() -> Self {
+        SinkConfig {
+            batch_size: 128,
+            linger: Duration::from_millis(50),
+        }
+    }
+}
+
+impl HttpEventSink {
+    /// Creates a sink shipping to the collector at `addr` with
+    /// default batching.
+    pub fn new(addr: SocketAddr) -> HttpEventSink {
+        HttpEventSink::with_config(addr, SinkConfig::default())
+    }
+
+    /// Creates a sink with explicit batching configuration.
+    pub fn with_config(addr: SocketAddr, config: SinkConfig) -> HttpEventSink {
+        let (sender, receiver) = mpsc::channel::<SinkMessage>();
+        let dropped = Arc::new(AtomicU64::new(0));
+        let dropped_for_worker = Arc::clone(&dropped);
+        let worker = thread::Builder::new()
+            .name("gremlin-event-sink".to_string())
+            .spawn(move || {
+                let client = HttpClient::new();
+                let mut batch: Vec<Event> = Vec::with_capacity(config.batch_size);
+                loop {
+                    match receiver.recv_timeout(config.linger) {
+                        Ok(SinkMessage::Record(event)) => {
+                            batch.push(event);
+                            if batch.len() >= config.batch_size {
+                                ship(&client, addr, &mut batch, &dropped_for_worker);
+                            }
+                        }
+                        Ok(SinkMessage::Flush(ack)) => {
+                            ship(&client, addr, &mut batch, &dropped_for_worker);
+                            let _ = ack.send(());
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            ship(&client, addr, &mut batch, &dropped_for_worker);
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            ship(&client, addr, &mut batch, &dropped_for_worker);
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn event-sink thread");
+        HttpEventSink {
+            sender,
+            worker: Some(worker),
+            dropped,
+        }
+    }
+
+    /// Blocks until every buffered event has been shipped.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.sender.send(SinkMessage::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv_timeout(Duration::from_secs(10));
+        }
+    }
+
+    /// Events dropped because the collector was unreachable.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+fn ship(client: &HttpClient, addr: SocketAddr, batch: &mut Vec<Event>, dropped: &AtomicU64) {
+    if batch.is_empty() {
+        return;
+    }
+    let mut body = String::with_capacity(batch.len() * 128);
+    for event in batch.iter() {
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                body.push_str(&line);
+                body.push('\n');
+            }
+            Err(_) => {
+                dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let request = Request::builder(Method::Post, "/events")
+        .header("Content-Type", "application/x-ndjson")
+        .body(body)
+        .build();
+    match client.send(addr, request) {
+        Ok(response) if response.status().is_success() => {}
+        _ => {
+            dropped.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+    }
+    batch.clear();
+}
+
+impl EventSink for HttpEventSink {
+    fn record(&self, event: Event) {
+        // A closed channel means we are shutting down; the event is
+        // deliberately dropped.
+        let _ = self.sender.send(SinkMessage::Record(event));
+    }
+}
+
+impl Drop for HttpEventSink {
+    fn drop(&mut self) {
+        self.flush();
+        // Close the channel so the worker drains and exits.
+        let (closed_tx, _) = mpsc::channel();
+        let _ = std::mem::replace(&mut self.sender, closed_tx);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_store::Query;
+
+    fn event(index: u64) -> Event {
+        Event::request("a", "b", "GET", format!("/{index}"))
+            .with_request_id(format!("test-{index}"))
+            .with_timestamp(index)
+    }
+
+    #[test]
+    fn collector_accepts_batches() {
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+        let body = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&event(1)).unwrap(),
+            serde_json::to_string(&event(2)).unwrap()
+        );
+        let resp = client
+            .send(
+                collector.local_addr(),
+                Request::builder(Method::Post, "/events").body(body).build(),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.body_str(), "{\"imported\":2}");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn collector_rejects_garbage() {
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(store, "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+        let resp = client
+            .send(
+                collector.local_addr(),
+                Request::builder(Method::Post, "/events").body("junk").build(),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    fn collector_exports_and_clears() {
+        let store = EventStore::shared();
+        store.record_event(event(7));
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+
+        let resp = client
+            .send(collector.local_addr(), Request::get("/events"))
+            .unwrap();
+        assert!(resp.body_str().contains("test-7"));
+
+        let resp = client
+            .send(collector.local_addr(), Request::get("/stats"))
+            .unwrap();
+        assert_eq!(resp.body_str(), "{\"events\":1}");
+
+        let resp = client
+            .send(
+                collector.local_addr(),
+                Request::builder(Method::Delete, "/events").build(),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::NO_CONTENT);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn sink_ships_batches_to_collector() {
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let sink = HttpEventSink::new(collector.local_addr());
+        for index in 0..10 {
+            sink.record(event(index));
+        }
+        sink.flush();
+        assert_eq!(store.len(), 10);
+        assert_eq!(sink.dropped(), 0);
+        let found = store.query(&Query::requests("a", "b"));
+        assert_eq!(found.len(), 10);
+    }
+
+    #[test]
+    fn sink_linger_ships_partial_batches() {
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let sink = HttpEventSink::with_config(
+            collector.local_addr(),
+            SinkConfig {
+                batch_size: 1000,
+                linger: Duration::from_millis(20),
+            },
+        );
+        sink.record(event(1));
+        thread::sleep(Duration::from_millis(150));
+        assert_eq!(store.len(), 1, "linger must flush without reaching batch size");
+        drop(sink);
+    }
+
+    #[test]
+    fn sink_counts_drops_when_collector_unreachable() {
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let sink = HttpEventSink::new(dead);
+        sink.record(event(1));
+        sink.flush();
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_events() {
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        {
+            let sink = HttpEventSink::with_config(
+                collector.local_addr(),
+                SinkConfig {
+                    batch_size: 1000,
+                    linger: Duration::from_secs(10),
+                },
+            );
+            sink.record(event(1));
+            sink.record(event(2));
+        } // drop flushes
+        assert_eq!(store.len(), 2);
+    }
+}

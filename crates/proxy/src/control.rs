@@ -1,0 +1,314 @@
+//! The out-of-band control channel between the Gremlin control plane
+//! and its agents.
+//!
+//! The paper's agents are configured "via a REST API by the control
+//! plane" (§6). This module provides both halves: a [`ControlServer`]
+//! that exposes an agent's rule table over HTTP, and a
+//! [`ControlClient`] the Failure Orchestrator uses to program remote
+//! agents. In single-process deployments the orchestrator can skip
+//! HTTP entirely and drive the agent through the [`AgentControl`]
+//! trait, which both [`GremlinAgent`] and [`ControlClient`] implement.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use gremlin_http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
+
+use crate::agent::GremlinAgent;
+use crate::error::ProxyError;
+use crate::rules::Rule;
+
+/// Uniform interface for programming a Gremlin agent, whether it runs
+/// in-process or behind a control REST endpoint.
+pub trait AgentControl: Send + Sync {
+    /// Logical name of the service the agent fronts.
+    fn service_name(&self) -> String;
+
+    /// Installs fault-injection rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if validation or transport fails; on error no
+    /// rule from the batch is installed.
+    fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError>;
+
+    /// Removes all installed rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the transport fails.
+    fn clear_rules(&self) -> Result<(), ProxyError>;
+
+    /// Lists the installed rules in evaluation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the transport fails.
+    fn list_rules(&self) -> Result<Vec<Rule>, ProxyError>;
+}
+
+impl AgentControl for GremlinAgent {
+    fn service_name(&self) -> String {
+        self.service().to_string()
+    }
+
+    fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+        GremlinAgent::install_rules(self, rules.to_vec())
+    }
+
+    fn clear_rules(&self) -> Result<(), ProxyError> {
+        GremlinAgent::clear_rules(self);
+        Ok(())
+    }
+
+    fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+        Ok(self.rules())
+    }
+}
+
+impl AgentControl for Arc<GremlinAgent> {
+    fn service_name(&self) -> String {
+        self.service().to_string()
+    }
+
+    fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+        GremlinAgent::install_rules(self, rules.to_vec())
+    }
+
+    fn clear_rules(&self) -> Result<(), ProxyError> {
+        GremlinAgent::clear_rules(self);
+        Ok(())
+    }
+
+    fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+        Ok(self.rules())
+    }
+}
+
+/// Agent status returned by `GET /health`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentHealth {
+    /// Service the agent fronts.
+    pub service: String,
+    /// Agent instance name.
+    pub name: String,
+    /// Number of installed rules.
+    pub rules: usize,
+}
+
+/// Data-path statistics returned by `GET /stats`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Messages evaluated against the rule table (two per proxied
+    /// call: request side and response side).
+    pub rule_checks: u64,
+    /// Messages that matched a rule and were faulted.
+    pub rule_hits: u64,
+    /// Hits per installed rule, parallel to `GET /rules`.
+    pub per_rule_hits: Vec<u64>,
+    /// Routes the agent serves, as `(dst, listen_addr)` pairs.
+    pub routes: Vec<(String, String)>,
+}
+
+/// HTTP control endpoint for one agent.
+///
+/// Routes:
+///
+/// | Method | Path      | Effect                                   |
+/// |--------|-----------|------------------------------------------|
+/// | GET    | `/health` | [`AgentHealth`] JSON                     |
+/// | GET    | `/rules`  | installed rules as a JSON array          |
+/// | POST   | `/rules`  | install rules (JSON array or one object) |
+/// | DELETE | `/rules`  | flush all rules                          |
+#[derive(Debug)]
+pub struct ControlServer {
+    server: HttpServer,
+}
+
+impl ControlServer {
+    /// Starts the control endpoint for `agent` on `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start(
+        agent: Arc<GremlinAgent>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<ControlServer, ProxyError> {
+        let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
+            handle_control(&agent, request)
+        })?;
+        Ok(ControlServer { server })
+    }
+
+    /// The address the control endpoint listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+}
+
+fn handle_control(agent: &Arc<GremlinAgent>, request: Request) -> Response {
+    match (request.method().clone(), request.path()) {
+        (Method::Get, "/health") => {
+            let health = AgentHealth {
+                service: agent.service().to_string(),
+                name: agent.name().to_string(),
+                rules: agent.rules().len(),
+            };
+            json_response(StatusCode::OK, &health)
+        }
+        (Method::Get, "/stats") => {
+            let stats = AgentStats {
+                rule_checks: agent.rule_checks(),
+                rule_hits: agent.rule_hits(),
+                per_rule_hits: agent.rule_hit_counts(),
+                routes: agent
+                    .routes()
+                    .into_iter()
+                    .map(|(dst, addr)| (dst, addr.to_string()))
+                    .collect(),
+            };
+            json_response(StatusCode::OK, &stats)
+        }
+        (Method::Get, "/rules") => json_response(StatusCode::OK, &agent.rules()),
+        (Method::Post, "/rules") => {
+            let body = request.body();
+            let rules: Vec<Rule> = match serde_json::from_slice::<Vec<Rule>>(body) {
+                Ok(rules) => rules,
+                Err(_) => match serde_json::from_slice::<Rule>(body) {
+                    Ok(rule) => vec![rule],
+                    Err(err) => {
+                        return Response::builder(StatusCode::BAD_REQUEST)
+                            .body(format!("cannot decode rules: {err}"))
+                            .build()
+                    }
+                },
+            };
+            match GremlinAgent::install_rules(agent, rules) {
+                Ok(()) => Response::builder(StatusCode::NO_CONTENT).build(),
+                Err(err) => Response::builder(StatusCode::BAD_REQUEST)
+                    .body(err.to_string())
+                    .build(),
+            }
+        }
+        (Method::Delete, "/rules") => {
+            GremlinAgent::clear_rules(agent);
+            Response::builder(StatusCode::NO_CONTENT).build()
+        }
+        _ => Response::error(StatusCode::NOT_FOUND),
+    }
+}
+
+fn json_response<T: Serialize>(status: StatusCode, value: &T) -> Response {
+    match serde_json::to_string(value) {
+        Ok(body) => Response::builder(status)
+            .header("Content-Type", "application/json")
+            .body(body)
+            .build(),
+        Err(err) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+            .body(err.to_string())
+            .build(),
+    }
+}
+
+/// Client for a remote agent's control endpoint.
+#[derive(Debug)]
+pub struct ControlClient {
+    addr: SocketAddr,
+    client: HttpClient,
+    service: String,
+}
+
+impl ControlClient {
+    /// Connects to the control endpoint at `addr`, fetching the
+    /// agent's identity from `/health`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the endpoint is unreachable or answers
+    /// with a non-success status.
+    pub fn connect(addr: SocketAddr) -> Result<ControlClient, ProxyError> {
+        let client = HttpClient::new();
+        let response = client.send(addr, Request::get("/health"))?;
+        if !response.status().is_success() {
+            return Err(ProxyError::ControlFailed {
+                status: response.status().as_u16(),
+                body: response.body_str(),
+            });
+        }
+        let health: AgentHealth = serde_json::from_slice(response.body())?;
+        Ok(ControlClient {
+            addr,
+            client,
+            service: health.service,
+        })
+    }
+
+    /// The control endpoint's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fetches the agent's current health.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a non-success status.
+    pub fn health(&self) -> Result<AgentHealth, ProxyError> {
+        let response = self.client.send(self.addr, Request::get("/health"))?;
+        self.expect_success(&response)?;
+        Ok(serde_json::from_slice(response.body())?)
+    }
+
+    /// Fetches the agent's data-path statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on transport failure or a non-success status.
+    pub fn stats(&self) -> Result<AgentStats, ProxyError> {
+        let response = self.client.send(self.addr, Request::get("/stats"))?;
+        self.expect_success(&response)?;
+        Ok(serde_json::from_slice(response.body())?)
+    }
+
+    fn expect_success(&self, response: &Response) -> Result<(), ProxyError> {
+        if response.status().is_success() {
+            Ok(())
+        } else {
+            Err(ProxyError::ControlFailed {
+                status: response.status().as_u16(),
+                body: response.body_str(),
+            })
+        }
+    }
+}
+
+impl AgentControl for ControlClient {
+    fn service_name(&self) -> String {
+        self.service.clone()
+    }
+
+    fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+        let body = serde_json::to_string(rules)?;
+        let request = Request::builder(Method::Post, "/rules")
+            .header("Content-Type", "application/json")
+            .body(body)
+            .build();
+        let response = self.client.send(self.addr, request)?;
+        self.expect_success(&response)
+    }
+
+    fn clear_rules(&self) -> Result<(), ProxyError> {
+        let request = Request::builder(Method::Delete, "/rules").build();
+        let response = self.client.send(self.addr, request)?;
+        self.expect_success(&response)
+    }
+
+    fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+        let response = self.client.send(self.addr, Request::get("/rules"))?;
+        self.expect_success(&response)?;
+        Ok(serde_json::from_slice(response.body())?)
+    }
+}

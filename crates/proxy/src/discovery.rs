@@ -1,0 +1,106 @@
+//! Dynamic upstream discovery for agent routes.
+//!
+//! The paper's sidecar model (§6) lets dependency mappings "be
+//! statically specified, or be fetched dynamically from a service
+//! registry". This module defines the client half of that contract:
+//! a registry endpoint answering `GET /instances/{service}` with a
+//! JSON array of `"ip:port"` strings. `gremlin-mesh` provides a
+//! matching `RegistryServer`; any conforming endpoint works.
+
+use std::net::SocketAddr;
+
+use gremlin_http::{HttpClient, Request};
+
+use crate::error::ProxyError;
+
+/// Fetches the instance addresses of `service` from the registry
+/// endpoint at `registry`.
+///
+/// # Errors
+///
+/// * Transport failures reaching the registry.
+/// * [`ProxyError::ControlFailed`] on non-success statuses.
+/// * [`ProxyError::BadControlPayload`] when the body is not a JSON
+///   array of socket addresses.
+pub fn fetch_instances(
+    registry: SocketAddr,
+    service: &str,
+) -> Result<Vec<SocketAddr>, ProxyError> {
+    let client = HttpClient::new();
+    let response = client.send(registry, Request::get(format!("/instances/{service}")))?;
+    if !response.status().is_success() {
+        return Err(ProxyError::ControlFailed {
+            status: response.status().as_u16(),
+            body: response.body_str(),
+        });
+    }
+    let addresses: Vec<String> = serde_json::from_slice(response.body())?;
+    addresses
+        .into_iter()
+        .map(|text| {
+            text.parse::<SocketAddr>().map_err(|err| {
+                ProxyError::BadControlPayload(format!("bad instance address {text:?}: {err}"))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_http::{ConnInfo, HttpServer, Response, StatusCode};
+
+    fn registry_stub(body: &'static str, status: StatusCode) -> HttpServer {
+        HttpServer::bind("127.0.0.1:0", move |req: Request, _conn: &ConnInfo| {
+            assert!(req.path().starts_with("/instances/"));
+            Response::builder(status).body(body).build()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fetches_and_parses_instances() {
+        let server = registry_stub(r#"["127.0.0.1:8080", "127.0.0.1:8081"]"#, StatusCode::OK);
+        let instances = fetch_instances(server.local_addr(), "svc").unwrap();
+        assert_eq!(instances.len(), 2);
+        assert_eq!(instances[0].port(), 8080);
+    }
+
+    #[test]
+    fn empty_list_is_ok() {
+        let server = registry_stub("[]", StatusCode::OK);
+        assert!(fetch_instances(server.local_addr(), "svc").unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_status_is_surfaced() {
+        let server = registry_stub("nope", StatusCode::NOT_FOUND);
+        assert!(matches!(
+            fetch_instances(server.local_addr(), "svc"),
+            Err(ProxyError::ControlFailed { status: 404, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_payloads_are_rejected() {
+        let server = registry_stub("not json", StatusCode::OK);
+        assert!(matches!(
+            fetch_instances(server.local_addr(), "svc"),
+            Err(ProxyError::BadControlPayload(_))
+        ));
+        let server = registry_stub(r#"["not-an-addr"]"#, StatusCode::OK);
+        assert!(matches!(
+            fetch_instances(server.local_addr(), "svc"),
+            Err(ProxyError::BadControlPayload(_))
+        ));
+    }
+
+    #[test]
+    fn unreachable_registry_errors() {
+        let dead = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        assert!(fetch_instances(dead, "svc").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the Gremlin agent.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+use gremlin_http::HttpError;
+
+/// Errors produced by the Gremlin agent and its control client.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProxyError {
+    /// A rule failed validation.
+    InvalidRule(String),
+    /// A socket operation failed.
+    Io(io::Error),
+    /// An HTTP exchange with an upstream or control endpoint failed.
+    Http(HttpError),
+    /// The agent has no route for the requested destination service.
+    UnknownDestination(String),
+    /// A control-plane payload could not be decoded.
+    BadControlPayload(String),
+    /// The control endpoint answered with an unexpected status.
+    ControlFailed {
+        /// The status code returned.
+        status: u16,
+        /// The response body, for diagnostics.
+        body: String,
+    },
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::InvalidRule(msg) => write!(f, "invalid rule: {msg}"),
+            ProxyError::Io(err) => write!(f, "i/o error: {err}"),
+            ProxyError::Http(err) => write!(f, "http error: {err}"),
+            ProxyError::UnknownDestination(dst) => {
+                write!(f, "no route configured for destination {dst:?}")
+            }
+            ProxyError::BadControlPayload(msg) => write!(f, "bad control payload: {msg}"),
+            ProxyError::ControlFailed { status, body } => {
+                write!(f, "control request failed with status {status}: {body}")
+            }
+        }
+    }
+}
+
+impl StdError for ProxyError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ProxyError::Io(err) => Some(err),
+            ProxyError::Http(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProxyError {
+    fn from(err: io::Error) -> Self {
+        ProxyError::Io(err)
+    }
+}
+
+impl From<HttpError> for ProxyError {
+    fn from(err: HttpError) -> Self {
+        ProxyError::Http(err)
+    }
+}
+
+impl From<serde_json::Error> for ProxyError {
+    fn from(err: serde_json::Error) -> Self {
+        ProxyError::BadControlPayload(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for err in [
+            ProxyError::InvalidRule("p".into()),
+            ProxyError::Io(io::Error::other("x")),
+            ProxyError::Http(HttpError::Timeout),
+            ProxyError::UnknownDestination("d".into()),
+            ProxyError::BadControlPayload("b".into()),
+            ProxyError::ControlFailed {
+                status: 500,
+                body: "oops".into(),
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources() {
+        assert!(ProxyError::Io(io::Error::other("x")).source().is_some());
+        assert!(ProxyError::Http(HttpError::Timeout).source().is_some());
+        assert!(ProxyError::InvalidRule("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let _: ProxyError = io::Error::other("x").into();
+        let _: ProxyError = HttpError::Timeout.into();
+        let bad: Result<gremlin_store::Event, _> = serde_json::from_str("garbage");
+        let _: ProxyError = bad.unwrap_err().into();
+    }
+}

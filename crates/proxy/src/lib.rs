@@ -1,0 +1,67 @@
+//! # gremlin-proxy
+//!
+//! The data plane of the Gremlin resilience-testing framework
+//! (Heorhiadi et al., ICDCS 2016): fault-injecting Layer-7 sidecar
+//! proxies called *Gremlin agents*.
+//!
+//! Microservices are configured to send each dependency's API calls
+//! through a local [`GremlinAgent`] listener. The agent forwards the
+//! calls, logs an observation for every request and response, and —
+//! when instructed by the control plane — injects faults using the
+//! three primitives of the paper's Table 2:
+//!
+//! * **Abort** — answer with an application-level error (e.g. `503`)
+//!   or reset the connection at the TCP level (`Error = -1`);
+//! * **Delay** — hold the message for a configured interval;
+//! * **Modify** — rewrite message bytes.
+//!
+//! Rules select traffic by `(src, dst)` edge and by request-ID
+//! [`Pattern`](gremlin_store::Pattern) (e.g. `test-*`), so faults can
+//! be confined to synthetic test flows while production traffic is
+//! untouched.
+//!
+//! The control plane programs agents either in-process (through
+//! [`AgentControl`]) or over the REST control channel
+//! ([`ControlServer`] / [`ControlClient`]).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, Rule};
+//! use gremlin_store::EventStore;
+//!
+//! # fn main() -> Result<(), gremlin_proxy::ProxyError> {
+//! let store = EventStore::shared();
+//! let service_b = "127.0.0.1:9002".parse().unwrap();
+//! let agent = GremlinAgent::start(
+//!     AgentConfig::new("serviceA").route("serviceB", vec![service_b]),
+//!     store.clone(),
+//! )?;
+//!
+//! // Emulate an overloaded serviceB for test traffic only:
+//! agent.install_rules(vec![
+//!     Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
+//! ])?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod collector;
+pub mod control;
+pub mod discovery;
+pub mod error;
+pub mod rules;
+pub mod table;
+
+pub use agent::{AgentConfig, GremlinAgent, Route};
+pub use collector::{CollectorServer, HttpEventSink, SinkConfig};
+pub use control::{AgentControl, AgentHealth, AgentStats, ControlClient, ControlServer};
+pub use error::ProxyError;
+pub use rules::{AbortKind, FaultAction, MessageSide, Rule};
+pub use table::RuleTable;
+
+/// Result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, ProxyError>;

@@ -1,0 +1,369 @@
+//! Fault-injection rules — the data-plane interface of Table 2.
+//!
+//! A rule instructs a Gremlin agent to inspect messages flowing from
+//! `src` to `dst`, and, when the message's request ID matches
+//! `pattern` (with probability `probability`), apply one of the three
+//! primitive fault actions: **Abort**, **Delay** or **Modify**.
+
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use gremlin_store::Pattern;
+
+use crate::error::ProxyError;
+
+/// How an Abort manifests to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AbortKind {
+    /// Return an application-level HTTP error with this status code
+    /// (e.g. `503 Service Unavailable`).
+    Status(u16),
+    /// Terminate the connection at the TCP level and return no
+    /// application-level response — the paper's `Error = -1`,
+    /// emulating an abrupt crash.
+    Reset,
+}
+
+impl AbortKind {
+    /// Decodes the paper's `Error` parameter: `-1` means TCP reset,
+    /// anything else is an HTTP status code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::InvalidRule`] for status codes outside
+    /// 100..=999.
+    pub fn from_error_code(error: i32) -> Result<AbortKind, ProxyError> {
+        if error == -1 {
+            return Ok(AbortKind::Reset);
+        }
+        let status =
+            u16::try_from(error).map_err(|_| ProxyError::InvalidRule(format!("error={error}")))?;
+        if !(100..=999).contains(&status) {
+            return Err(ProxyError::InvalidRule(format!("error={error}")));
+        }
+        Ok(AbortKind::Status(status))
+    }
+}
+
+impl fmt::Display for AbortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortKind::Status(code) => write!(f, "status {code}"),
+            AbortKind::Reset => write!(f, "tcp reset"),
+        }
+    }
+}
+
+/// One of the three primitive fault-injection actions (Table 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultAction {
+    /// Abort the message, returning `abort` to the caller.
+    Abort {
+        /// How the abort manifests.
+        abort: AbortKind,
+    },
+    /// Delay forwarding of the message by `interval`.
+    Delay {
+        /// The injected delay.
+        #[serde(with = "duration_micros")]
+        interval: Duration,
+    },
+    /// Rewrite message bytes: every occurrence of `search` in the
+    /// body is replaced with `replace_bytes`.
+    Modify {
+        /// Byte pattern to search for in the message body.
+        search: String,
+        /// Replacement bytes.
+        replace_bytes: String,
+    },
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Abort { abort } => write!(f, "abort({abort})"),
+            FaultAction::Delay { interval } => write!(f, "delay({interval:?})"),
+            FaultAction::Modify {
+                search,
+                replace_bytes,
+            } => write!(f, "modify({search:?} -> {replace_bytes:?})"),
+        }
+    }
+}
+
+/// Which side of the exchange the rule applies to (the paper's `On`
+/// parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum MessageSide {
+    /// Act on the request before it is forwarded to the callee.
+    #[default]
+    Request,
+    /// Act on the response before it is relayed back to the caller.
+    Response,
+}
+
+/// A fault-injection rule installed on Gremlin agents.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_proxy::{AbortKind, FaultAction, Rule};
+///
+/// // Abort test requests from serviceA to serviceB with 503.
+/// let rule = Rule::abort("serviceA", "serviceB", AbortKind::Status(503))
+///     .with_pattern("test-*")
+///     .with_probability(1.0);
+/// assert_eq!(rule.src, "serviceA");
+/// assert!(matches!(rule.action, FaultAction::Abort { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Calling (upstream) service name.
+    pub src: String,
+    /// Called (downstream) service name.
+    pub dst: String,
+    /// Request-ID pattern selecting which flows are affected.
+    #[serde(default)]
+    pub pattern: Pattern,
+    /// Which side of the exchange to act on.
+    #[serde(default)]
+    pub on: MessageSide,
+    /// Probability in `[0, 1]` that a matching message is faulted.
+    #[serde(default = "default_probability")]
+    pub probability: f64,
+    /// The fault action to apply.
+    pub action: FaultAction,
+}
+
+fn default_probability() -> f64 {
+    1.0
+}
+
+impl Rule {
+    /// Creates an Abort rule (defaults: pattern `*`, on request,
+    /// probability 1).
+    pub fn abort(src: impl Into<String>, dst: impl Into<String>, abort: AbortKind) -> Rule {
+        Rule {
+            src: src.into(),
+            dst: dst.into(),
+            pattern: Pattern::Any,
+            on: MessageSide::Request,
+            probability: 1.0,
+            action: FaultAction::Abort { abort },
+        }
+    }
+
+    /// Creates a Delay rule (defaults: pattern `*`, on request,
+    /// probability 1).
+    pub fn delay(src: impl Into<String>, dst: impl Into<String>, interval: Duration) -> Rule {
+        Rule {
+            src: src.into(),
+            dst: dst.into(),
+            pattern: Pattern::Any,
+            on: MessageSide::Request,
+            probability: 1.0,
+            action: FaultAction::Delay { interval },
+        }
+    }
+
+    /// Creates a Modify rule (defaults: pattern `*`, on response,
+    /// probability 1) — responses are the natural target for the
+    /// paper's input-validation example (`FakeSuccess`).
+    pub fn modify(
+        src: impl Into<String>,
+        dst: impl Into<String>,
+        search: impl Into<String>,
+        replace_bytes: impl Into<String>,
+    ) -> Rule {
+        Rule {
+            src: src.into(),
+            dst: dst.into(),
+            pattern: Pattern::Any,
+            on: MessageSide::Response,
+            probability: 1.0,
+            action: FaultAction::Modify {
+                search: search.into(),
+                replace_bytes: replace_bytes.into(),
+            },
+        }
+    }
+
+    /// Builder-style: sets the request-ID pattern.
+    pub fn with_pattern(mut self, pattern: impl Into<Pattern>) -> Rule {
+        self.pattern = pattern.into();
+        self
+    }
+
+    /// Builder-style: sets the message side.
+    pub fn with_side(mut self, on: MessageSide) -> Rule {
+        self.on = on;
+        self
+    }
+
+    /// Builder-style: sets the fault probability.
+    pub fn with_probability(mut self, probability: f64) -> Rule {
+        self.probability = probability;
+        self
+    }
+
+    /// Validates the rule's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyError::InvalidRule`] when `probability` is
+    /// outside `[0, 1]` or not finite, or when `src`/`dst` are empty.
+    pub fn validate(&self) -> Result<(), ProxyError> {
+        if self.src.is_empty() || self.dst.is_empty() {
+            return Err(ProxyError::InvalidRule(
+                "src and dst must be non-empty".to_string(),
+            ));
+        }
+        if !self.probability.is_finite() || !(0.0..=1.0).contains(&self.probability) {
+            return Err(ProxyError::InvalidRule(format!(
+                "probability {} outside [0, 1]",
+                self.probability
+            )));
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if this rule applies to the given edge, side and
+    /// request ID (probability not yet sampled).
+    pub fn matches(&self, src: &str, dst: &str, side: MessageSide, id: Option<&str>) -> bool {
+        self.on == side && self.src == src && self.dst == dst && self.pattern.matches_opt(id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} on {:?} pattern {} p={} : {}",
+            self.src, self.dst, self.on, self.pattern, self.probability, self.action
+        )
+    }
+}
+
+/// Serde helper storing `Duration` as integer microseconds.
+mod duration_micros {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(value: &Duration, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(value.as_micros() as u64)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<Duration, D::Error> {
+        let micros = u64::deserialize(deserializer)?;
+        Ok(Duration::from_micros(micros))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_kind_from_error_code() {
+        assert_eq!(AbortKind::from_error_code(-1).unwrap(), AbortKind::Reset);
+        assert_eq!(
+            AbortKind::from_error_code(503).unwrap(),
+            AbortKind::Status(503)
+        );
+        assert!(AbortKind::from_error_code(0).is_err());
+        assert!(AbortKind::from_error_code(-2).is_err());
+        assert!(AbortKind::from_error_code(1000).is_err());
+    }
+
+    #[test]
+    fn constructors_set_defaults() {
+        let r = Rule::abort("a", "b", AbortKind::Status(503));
+        assert_eq!(r.on, MessageSide::Request);
+        assert_eq!(r.probability, 1.0);
+        assert_eq!(r.pattern, Pattern::Any);
+
+        let r = Rule::delay("a", "b", Duration::from_millis(100));
+        assert!(matches!(r.action, FaultAction::Delay { interval } if interval == Duration::from_millis(100)));
+
+        let r = Rule::modify("a", "b", "key", "badkey");
+        assert_eq!(r.on, MessageSide::Response);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Rule::abort("a", "b", AbortKind::Reset).validate().is_ok());
+        assert!(Rule::abort("", "b", AbortKind::Reset).validate().is_err());
+        assert!(Rule::abort("a", "b", AbortKind::Reset)
+            .with_probability(1.5)
+            .validate()
+            .is_err());
+        assert!(Rule::abort("a", "b", AbortKind::Reset)
+            .with_probability(-0.1)
+            .validate()
+            .is_err());
+        assert!(Rule::abort("a", "b", AbortKind::Reset)
+            .with_probability(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(Rule::abort("a", "b", AbortKind::Reset)
+            .with_probability(0.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn matching_semantics() {
+        let rule = Rule::abort("a", "b", AbortKind::Status(503)).with_pattern("test-*");
+        assert!(rule.matches("a", "b", MessageSide::Request, Some("test-1")));
+        assert!(!rule.matches("a", "b", MessageSide::Response, Some("test-1")));
+        assert!(!rule.matches("a", "c", MessageSide::Request, Some("test-1")));
+        assert!(!rule.matches("x", "b", MessageSide::Request, Some("test-1")));
+        assert!(!rule.matches("a", "b", MessageSide::Request, Some("prod-1")));
+        assert!(!rule.matches("a", "b", MessageSide::Request, None));
+    }
+
+    #[test]
+    fn any_pattern_matches_missing_id() {
+        let rule = Rule::delay("a", "b", Duration::from_millis(1));
+        assert!(rule.matches("a", "b", MessageSide::Request, None));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let rules = vec![
+            Rule::abort("a", "b", AbortKind::Status(503)).with_pattern("test-*"),
+            Rule::abort("a", "b", AbortKind::Reset),
+            Rule::delay("a", "b", Duration::from_millis(100)).with_probability(0.75),
+            Rule::modify("a", "b", "key", "badkey").with_side(MessageSide::Response),
+        ];
+        for rule in rules {
+            let json = serde_json::to_string(&rule).unwrap();
+            let back: Rule = serde_json::from_str(&json).unwrap();
+            assert_eq!(rule, back);
+        }
+    }
+
+    #[test]
+    fn serde_defaults_apply() {
+        let json = r#"{"src":"a","dst":"b","action":{"kind":"abort","abort":{"status":503}}}"#;
+        let rule: Rule = serde_json::from_str(json).unwrap();
+        assert_eq!(rule.pattern, Pattern::Any);
+        assert_eq!(rule.on, MessageSide::Request);
+        assert_eq!(rule.probability, 1.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let text = Rule::abort("a", "b", AbortKind::Status(503))
+            .with_pattern("test-*")
+            .to_string();
+        assert!(text.contains("a -> b"));
+        assert!(text.contains("test-*"));
+        assert!(text.contains("503"));
+    }
+}

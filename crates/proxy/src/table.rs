@@ -1,0 +1,327 @@
+//! The agent's installed-rule table and its matching logic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ProxyError;
+use crate::rules::{MessageSide, Rule};
+
+/// The set of fault-injection rules installed on one Gremlin agent,
+/// with first-match-wins evaluation and per-rule probability
+/// sampling.
+///
+/// Matching walks rules in installation order and applies the first
+/// rule whose edge, side and request-ID pattern match *and* whose
+/// probability coin-flip succeeds; later rules then act as fallbacks.
+/// (To split traffic 25% abort / 75% delay, install an abort rule
+/// with probability 0.25 followed by a delay rule with probability 1.)
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_proxy::{AbortKind, MessageSide, Rule, RuleTable};
+///
+/// let table = RuleTable::new();
+/// table
+///     .install(vec![Rule::abort("a", "b", AbortKind::Status(503)).with_pattern("test-*")])
+///     .unwrap();
+/// let hit = table.match_message("a", "b", MessageSide::Request, Some("test-42"));
+/// assert!(hit.is_some());
+/// let miss = table.match_message("a", "b", MessageSide::Request, Some("prod-42"));
+/// assert!(miss.is_none());
+/// ```
+#[derive(Debug)]
+pub struct RuleTable {
+    rules: RwLock<Vec<(Rule, Arc<AtomicU64>)>>,
+    rng: Mutex<StdRng>,
+    checks: AtomicU64,
+    hits: AtomicU64,
+}
+
+use std::sync::Arc;
+
+impl Default for RuleTable {
+    fn default() -> Self {
+        RuleTable::new()
+    }
+}
+
+impl RuleTable {
+    /// Creates an empty table with an OS-seeded RNG.
+    pub fn new() -> RuleTable {
+        RuleTable {
+            rules: RwLock::new(Vec::new()),
+            rng: Mutex::new(StdRng::from_entropy()),
+            checks: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an empty table with a deterministic RNG — probability
+    /// sampling becomes reproducible, which tests rely on.
+    pub fn with_seed(seed: u64) -> RuleTable {
+        RuleTable {
+            rules: RwLock::new(Vec::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            checks: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `rules` after validating each.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure; in that case **no** rule
+    /// from the batch is installed.
+    pub fn install(&self, rules: Vec<Rule>) -> Result<(), ProxyError> {
+        for rule in &rules {
+            rule.validate()?;
+        }
+        self.rules.write().extend(
+            rules
+                .into_iter()
+                .map(|rule| (rule, Arc::new(AtomicU64::new(0)))),
+        );
+        Ok(())
+    }
+
+    /// Removes every installed rule.
+    pub fn clear(&self) {
+        self.rules.write().clear();
+    }
+
+    /// A snapshot of the installed rules in evaluation order.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.rules.read().iter().map(|(rule, _)| rule.clone()).collect()
+    }
+
+    /// Per-rule hit counts, parallel to [`RuleTable::rules`] — which
+    /// rule fired how often, for recipe debugging.
+    pub fn rule_hit_counts(&self) -> Vec<u64> {
+        self.rules
+            .read()
+            .iter()
+            .map(|(_, hits)| hits.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    /// Returns `true` if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.read().is_empty()
+    }
+
+    /// Evaluates the table against one message, returning the rule to
+    /// apply (if any).
+    ///
+    /// Every call increments the check counter; a returned rule
+    /// increments the hit counter. These counters feed the proxy
+    /// overhead benchmarks (paper Figure 8).
+    pub fn match_message(
+        &self,
+        src: &str,
+        dst: &str,
+        side: MessageSide,
+        request_id: Option<&str>,
+    ) -> Option<Rule> {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        let rules = self.rules.read();
+        for (rule, rule_hits) in rules.iter() {
+            if !rule.matches(src, dst, side, request_id) {
+                continue;
+            }
+            if rule.probability >= 1.0 || self.flip(rule.probability) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                rule_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(rule.clone());
+            }
+        }
+        None
+    }
+
+    fn flip(&self, probability: f64) -> bool {
+        self.rng.lock().gen_bool(probability.clamp(0.0, 1.0))
+    }
+
+    /// Total messages evaluated since creation.
+    pub fn checks(&self) -> u64 {
+        self.checks.load(Ordering::Relaxed)
+    }
+
+    /// Total messages that matched a rule since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::AbortKind;
+    use std::time::Duration;
+
+    fn abort(src: &str, dst: &str) -> Rule {
+        Rule::abort(src, dst, AbortKind::Status(503))
+    }
+
+    #[test]
+    fn install_validates_batch_atomically() {
+        let table = RuleTable::new();
+        let result = table.install(vec![
+            abort("a", "b"),
+            abort("a", "b").with_probability(2.0),
+        ]);
+        assert!(result.is_err());
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let table = RuleTable::new();
+        table
+            .install(vec![
+                abort("a", "b").with_pattern("test-*"),
+                Rule::delay("a", "b", Duration::from_millis(5)),
+            ])
+            .unwrap();
+        let hit = table
+            .match_message("a", "b", MessageSide::Request, Some("test-1"))
+            .unwrap();
+        assert!(matches!(hit.action, crate::FaultAction::Abort { .. }));
+        // Non-matching ID falls through to the delay rule (pattern *).
+        let hit = table
+            .match_message("a", "b", MessageSide::Request, Some("prod-1"))
+            .unwrap();
+        assert!(matches!(hit.action, crate::FaultAction::Delay { .. }));
+    }
+
+    #[test]
+    fn side_must_match() {
+        let table = RuleTable::new();
+        table.install(vec![abort("a", "b")]).unwrap();
+        assert!(table
+            .match_message("a", "b", MessageSide::Response, Some("x"))
+            .is_none());
+        assert!(table
+            .match_message("a", "b", MessageSide::Request, Some("x"))
+            .is_some());
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let table = RuleTable::with_seed(7);
+        table
+            .install(vec![abort("a", "b").with_probability(0.0)])
+            .unwrap();
+        for _ in 0..100 {
+            assert!(table
+                .match_message("a", "b", MessageSide::Request, Some("x"))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn fractional_probability_fires_sometimes() {
+        let table = RuleTable::with_seed(42);
+        table
+            .install(vec![abort("a", "b").with_probability(0.5)])
+            .unwrap();
+        let fired = (0..1000)
+            .filter(|_| {
+                table
+                    .match_message("a", "b", MessageSide::Request, Some("x"))
+                    .is_some()
+            })
+            .count();
+        assert!((300..700).contains(&fired), "fired {fired}/1000");
+    }
+
+    #[test]
+    fn probabilistic_fallback_chain() {
+        // Abort p=0.25 then delay p=1: every message matches
+        // *something*, roughly a quarter the abort.
+        let table = RuleTable::with_seed(9);
+        table
+            .install(vec![
+                abort("a", "b").with_probability(0.25),
+                Rule::delay("a", "b", Duration::from_millis(1)),
+            ])
+            .unwrap();
+        let mut aborts = 0;
+        let mut delays = 0;
+        for _ in 0..1000 {
+            match table
+                .match_message("a", "b", MessageSide::Request, Some("x"))
+                .expect("fallback rule must fire")
+                .action
+            {
+                crate::FaultAction::Abort { .. } => aborts += 1,
+                crate::FaultAction::Delay { .. } => delays += 1,
+                crate::FaultAction::Modify { .. } => unreachable!(),
+            }
+        }
+        assert!((150..350).contains(&aborts), "aborts {aborts}");
+        assert_eq!(aborts + delays, 1000);
+    }
+
+    #[test]
+    fn counters_track_checks_and_hits() {
+        let table = RuleTable::new();
+        table.install(vec![abort("a", "b")]).unwrap();
+        table.match_message("a", "b", MessageSide::Request, None);
+        table.match_message("x", "y", MessageSide::Request, None);
+        assert_eq!(table.checks(), 2);
+        assert_eq!(table.hits(), 1);
+    }
+
+    #[test]
+    fn per_rule_hit_counts() {
+        let table = RuleTable::new();
+        table
+            .install(vec![
+                abort("a", "b").with_pattern("test-a-*"),
+                abort("a", "b").with_pattern("test-*"),
+            ])
+            .unwrap();
+        table.match_message("a", "b", MessageSide::Request, Some("test-a-1"));
+        table.match_message("a", "b", MessageSide::Request, Some("test-b-1"));
+        table.match_message("a", "b", MessageSide::Request, Some("test-b-2"));
+        assert_eq!(table.rule_hit_counts(), vec![1, 2]);
+        table.clear();
+        assert!(table.rule_hit_counts().is_empty());
+    }
+
+    #[test]
+    fn clear_removes_rules() {
+        let table = RuleTable::new();
+        table.install(vec![abort("a", "b")]).unwrap();
+        assert_eq!(table.len(), 1);
+        table.clear();
+        assert!(table.is_empty());
+        assert!(table
+            .match_message("a", "b", MessageSide::Request, None)
+            .is_none());
+    }
+
+    #[test]
+    fn worst_case_no_match_scans_all_rules() {
+        // Figure 8 setup: many rules, none matching.
+        let table = RuleTable::new();
+        let rules: Vec<Rule> = (0..100)
+            .map(|i| abort("a", "b").with_pattern(format!("nomatch-{i}-*").as_str()))
+            .collect();
+        table.install(rules).unwrap();
+        assert!(table
+            .match_message("a", "b", MessageSide::Request, Some("test-1"))
+            .is_none());
+        assert_eq!(table.hits(), 0);
+    }
+}

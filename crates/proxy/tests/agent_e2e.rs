@@ -1,0 +1,362 @@
+//! End-to-end tests of the Gremlin agent over real TCP sockets:
+//! a backend service sits behind an agent, and a client calls through
+//! the agent while fault-injection rules are installed.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gremlin_http::{
+    ClientConfig, ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode,
+};
+use gremlin_proxy::{AbortKind, AgentConfig, AgentControl, GremlinAgent, MessageSide, Rule};
+use gremlin_store::{AppliedFault, EventStore, Query};
+
+/// Backend + agent + client harness.
+struct Harness {
+    _backend: HttpServer,
+    agent: GremlinAgent,
+    client: HttpClient,
+    store: Arc<EventStore>,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness::with_backend(|req: Request, _conn: &ConnInfo| {
+            let mut resp = Response::ok(format!("echo:{}", req.path()));
+            if let Some(id) = req.request_id() {
+                resp.headers_mut()
+                    .insert(gremlin_http::header_names::REQUEST_ID, id.to_string());
+            }
+            resp
+        })
+    }
+
+    fn with_backend<H: gremlin_http::Handler>(handler: H) -> Harness {
+        let backend = HttpServer::bind("127.0.0.1:0", handler).unwrap();
+        let store = EventStore::shared();
+        let agent = GremlinAgent::start(
+            AgentConfig::new("serviceA")
+                .route("serviceB", vec![backend.local_addr()])
+                .seed(7),
+            store.clone(),
+        )
+        .unwrap();
+        let client = HttpClient::with_config(ClientConfig {
+            connect_timeout: Some(Duration::from_secs(2)),
+            read_timeout: Some(Duration::from_secs(10)),
+            ..ClientConfig::default()
+        });
+        Harness {
+            _backend: backend,
+            agent,
+            client,
+            store,
+        }
+    }
+
+    fn call(&self, path: &str, id: &str) -> gremlin_http::Result<Response> {
+        let addr = self.agent.route_addr("serviceB").unwrap();
+        self.client
+            .send(addr, Request::builder(Method::Get, path).request_id(id).build())
+    }
+}
+
+#[test]
+fn passthrough_forwards_and_logs() {
+    let h = Harness::new();
+    let resp = h.call("/hello", "test-1").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert_eq!(resp.body_str(), "echo:/hello");
+
+    let requests = h.store.query(&Query::requests("serviceA", "serviceB"));
+    let replies = h.store.query(&Query::replies("serviceA", "serviceB"));
+    assert_eq!(requests.len(), 1);
+    assert_eq!(replies.len(), 1);
+    assert_eq!(requests[0].request_id.as_deref(), Some("test-1"));
+    assert_eq!(replies[0].status(), Some(200));
+    assert!(!replies[0].is_faulted());
+}
+
+#[test]
+fn abort_status_returns_error_without_reaching_backend() {
+    let h = Harness::new();
+    h.agent
+        .install_rules(vec![
+            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
+        ])
+        .unwrap();
+    let resp = h.call("/x", "test-2").unwrap();
+    assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+    assert!(resp
+        .headers()
+        .get(gremlin_http::header_names::GREMLIN_ACTION)
+        .is_some());
+
+    let replies = h.store.query(&Query::replies("serviceA", "serviceB"));
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].fault, Some(AppliedFault::Abort { status: 503 }));
+    // Backend never saw the request: the agent synthesized the reply
+    // in well under the backend's natural latency.
+    assert!(replies[0].observed_latency().unwrap() < Duration::from_millis(50));
+}
+
+#[test]
+fn abort_spares_non_matching_flows() {
+    let h = Harness::new();
+    h.agent
+        .install_rules(vec![
+            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
+        ])
+        .unwrap();
+    let resp = h.call("/x", "prod-1").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert_eq!(resp.body_str(), "echo:/x");
+}
+
+#[test]
+fn delay_postpones_response() {
+    let h = Harness::new();
+    h.agent
+        .install_rules(vec![Rule::delay(
+            "serviceA",
+            "serviceB",
+            Duration::from_millis(150),
+        )
+        .with_pattern("test-*")])
+        .unwrap();
+    let started = Instant::now();
+    let resp = h.call("/slow", "test-3").unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert!(elapsed >= Duration::from_millis(150), "elapsed {elapsed:?}");
+
+    let replies = h.store.query(&Query::replies("serviceA", "serviceB"));
+    assert_eq!(replies.len(), 1);
+    let observed = replies[0].observed_latency().unwrap();
+    let untampered = replies[0].untampered_latency().unwrap();
+    assert!(observed >= Duration::from_millis(150));
+    assert!(untampered < observed);
+}
+
+#[test]
+fn abort_reset_terminates_connection() {
+    let h = Harness::new();
+    h.agent
+        .install_rules(vec![
+            Rule::abort("serviceA", "serviceB", AbortKind::Reset).with_pattern("test-*"),
+        ])
+        .unwrap();
+    let err = h.call("/x", "test-4").unwrap_err();
+    assert!(
+        err.is_connection_error() || err.is_timeout(),
+        "expected connection failure, got {err}"
+    );
+
+    let replies = h.store.query(&Query::replies("serviceA", "serviceB"));
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].status(), Some(0));
+    assert_eq!(replies[0].fault, Some(AppliedFault::AbortReset));
+}
+
+#[test]
+fn modify_rewrites_response_body() {
+    let h = Harness::with_backend(|_req: Request, _conn: &ConnInfo| Response::ok("key=value"));
+    h.agent
+        .install_rules(vec![Rule::modify("serviceA", "serviceB", "key", "badkey")
+            .with_pattern("test-*")
+            .with_side(MessageSide::Response)])
+        .unwrap();
+    let resp = h.call("/kv", "test-5").unwrap();
+    assert_eq!(resp.body_str(), "badkey=value");
+
+    let replies = h.store.query(&Query::replies("serviceA", "serviceB"));
+    assert_eq!(replies[0].fault, Some(AppliedFault::Modify));
+}
+
+#[test]
+fn modify_rewrites_request_body() {
+    let h = Harness::with_backend(|req: Request, _conn: &ConnInfo| {
+        Response::ok(format!("got:{}", String::from_utf8_lossy(req.body())))
+    });
+    h.agent
+        .install_rules(vec![Rule::modify("serviceA", "serviceB", "secret", "XXXXX")
+            .with_pattern("test-*")
+            .with_side(MessageSide::Request)])
+        .unwrap();
+    let addr = h.agent.route_addr("serviceB").unwrap();
+    let req = Request::builder(Method::Post, "/submit")
+        .request_id("test-6")
+        .body("the secret data")
+        .build();
+    let resp = h.client.send(addr, req).unwrap();
+    assert_eq!(resp.body_str(), "got:the XXXXX data");
+}
+
+#[test]
+fn response_side_delay_applies_after_backend() {
+    let h = Harness::new();
+    h.agent
+        .install_rules(vec![Rule::delay(
+            "serviceA",
+            "serviceB",
+            Duration::from_millis(120),
+        )
+        .with_pattern("test-*")
+        .with_side(MessageSide::Response)])
+        .unwrap();
+    let started = Instant::now();
+    let resp = h.call("/r", "test-7").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert!(started.elapsed() >= Duration::from_millis(120));
+}
+
+#[test]
+fn upstream_down_yields_bad_gateway() {
+    // Bind-then-drop to get a dead port.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("serviceA").route("serviceB", vec![dead_addr]),
+        store.clone(),
+    )
+    .unwrap();
+    let client = HttpClient::new();
+    let resp = client
+        .send(
+            agent.route_addr("serviceB").unwrap(),
+            Request::builder(Method::Get, "/x").request_id("test-8").build(),
+        )
+        .unwrap();
+    assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
+    let replies = store.query(&Query::replies("serviceA", "serviceB"));
+    assert_eq!(replies[0].status(), Some(502));
+}
+
+#[test]
+fn upstream_hang_yields_gateway_timeout() {
+    // A listener that accepts but never answers.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let hang_addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream);
+        }
+    });
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("serviceA")
+            .route("serviceB", vec![hang_addr])
+            .client(ClientConfig {
+                read_timeout: Some(Duration::from_millis(200)),
+                ..ClientConfig::default()
+            }),
+        store.clone(),
+    )
+    .unwrap();
+    let client = HttpClient::new();
+    let resp = client
+        .send(
+            agent.route_addr("serviceB").unwrap(),
+            Request::builder(Method::Get, "/x").request_id("test-9").build(),
+        )
+        .unwrap();
+    assert_eq!(resp.status(), StatusCode::GATEWAY_TIMEOUT);
+}
+
+#[test]
+fn round_robin_across_upstream_instances() {
+    let backend1 = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("one")
+    })
+    .unwrap();
+    let backend2 = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("two")
+    })
+    .unwrap();
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("serviceA")
+            .route("serviceB", vec![backend1.local_addr(), backend2.local_addr()]),
+        store,
+    )
+    .unwrap();
+    let client = HttpClient::new();
+    let addr = agent.route_addr("serviceB").unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..4 {
+        let resp = client
+            .send(
+                addr,
+                Request::builder(Method::Get, "/")
+                    .request_id(format!("test-{i}"))
+                    .header("Connection", "close")
+                    .build(),
+            )
+            .unwrap();
+        seen.insert(resp.body_str());
+    }
+    assert_eq!(seen.len(), 2, "both instances should serve traffic");
+}
+
+#[test]
+fn rules_can_be_cleared_mid_run() {
+    let h = Harness::new();
+    h.agent
+        .install_rules(vec![
+            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
+        ])
+        .unwrap();
+    assert_eq!(h.call("/a", "test-1").unwrap().status(), StatusCode::SERVICE_UNAVAILABLE);
+    h.agent.clear_rules();
+    assert_eq!(h.call("/a", "test-1").unwrap().status(), StatusCode::OK);
+}
+
+#[test]
+fn probability_splits_traffic() {
+    let h = Harness::new();
+    h.agent
+        .install_rules(vec![
+            Rule::abort("serviceA", "serviceB", AbortKind::Status(503))
+                .with_pattern("test-*")
+                .with_probability(0.5),
+        ])
+        .unwrap();
+    let mut aborted = 0;
+    for i in 0..60 {
+        let resp = h.call("/p", &format!("test-{i}")).unwrap();
+        if resp.status() == StatusCode::SERVICE_UNAVAILABLE {
+            aborted += 1;
+        }
+    }
+    assert!((10..50).contains(&aborted), "aborted {aborted}/60");
+}
+
+#[test]
+fn keep_alive_through_proxy_multiple_requests() {
+    let h = Harness::new();
+    for i in 0..10 {
+        let resp = h.call(&format!("/k/{i}"), &format!("test-{i}")).unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+    }
+    assert_eq!(
+        h.store.query(&Query::requests("serviceA", "serviceB")).len(),
+        10
+    );
+}
+
+#[test]
+fn agent_control_trait_in_process() {
+    let h = Harness::new();
+    let control: &dyn AgentControl = &h.agent;
+    assert_eq!(control.service_name(), "serviceA");
+    control
+        .install_rules(&[Rule::abort("serviceA", "serviceB", AbortKind::Status(500))])
+        .unwrap();
+    assert_eq!(control.list_rules().unwrap().len(), 1);
+    control.clear_rules().unwrap();
+    assert!(control.list_rules().unwrap().is_empty());
+}

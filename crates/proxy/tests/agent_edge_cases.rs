@@ -1,0 +1,270 @@
+//! Edge cases of the Gremlin agent's data path: multiple routes,
+//! live rule updates under traffic, chunked bodies, large payloads,
+//! wildcard vs ID-less traffic, and both-side Modify rules.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gremlin_http::{
+    ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode,
+};
+use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, MessageSide, Rule};
+use gremlin_store::{EventStore, Query};
+
+fn echo_backend() -> HttpServer {
+    HttpServer::bind("127.0.0.1:0", |req: Request, _conn: &ConnInfo| {
+        Response::ok(format!("echo:{}:{}", req.path(), req.body().len()))
+    })
+    .unwrap()
+}
+
+#[test]
+fn one_agent_fronts_multiple_dependencies() {
+    let backend_b = echo_backend();
+    let backend_c = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("from-c")
+    })
+    .unwrap();
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("a")
+            .route("b", vec![backend_b.local_addr()])
+            .route("c", vec![backend_c.local_addr()]),
+        store.clone(),
+    )
+    .unwrap();
+
+    // Fault only the a->b edge.
+    agent
+        .install_rules(vec![Rule::abort("a", "b", AbortKind::Status(503))])
+        .unwrap();
+
+    let client = HttpClient::new();
+    let to_b = client
+        .send(agent.route_addr("b").unwrap(), Request::get("/x"))
+        .unwrap();
+    let to_c = client
+        .send(agent.route_addr("c").unwrap(), Request::get("/x"))
+        .unwrap();
+    assert_eq!(to_b.status(), StatusCode::SERVICE_UNAVAILABLE);
+    assert_eq!(to_c.body_str(), "from-c");
+
+    // Observations carry the right destination.
+    assert_eq!(store.query(&Query::replies("a", "b")).len(), 1);
+    assert_eq!(store.query(&Query::replies("a", "c")).len(), 1);
+    assert_eq!(agent.routes().len(), 2);
+}
+
+#[test]
+fn rules_can_change_while_traffic_flows() {
+    let backend = echo_backend();
+    let store = EventStore::shared();
+    let agent = Arc::new(
+        GremlinAgent::start(
+            AgentConfig::new("a").route("b", vec![backend.local_addr()]),
+            store,
+        )
+        .unwrap(),
+    );
+    let addr = agent.route_addr("b").unwrap();
+
+    // Background traffic for ~400 ms.
+    let traffic = {
+        std::thread::spawn(move || {
+            let client = HttpClient::new();
+            let started = Instant::now();
+            let mut statuses = Vec::new();
+            while started.elapsed() < Duration::from_millis(400) {
+                if let Ok(resp) = client.send(
+                    addr,
+                    Request::builder(Method::Get, "/t").request_id("test-1").build(),
+                ) {
+                    statuses.push(resp.status().as_u16());
+                }
+            }
+            statuses
+        })
+    };
+
+    // Meanwhile flip rules several times.
+    for _ in 0..5 {
+        agent
+            .install_rules(vec![
+                Rule::abort("a", "b", AbortKind::Status(503)).with_pattern("test-*")
+            ])
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        agent.clear_rules();
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let statuses = traffic.join().unwrap();
+    assert!(!statuses.is_empty());
+    // Both behaviours were observed; no request was lost or wedged.
+    assert!(statuses.contains(&200), "some requests pass through");
+    assert!(statuses.contains(&503), "some requests are aborted");
+}
+
+#[test]
+fn wildcard_rule_hits_idless_traffic_but_prefixed_rule_does_not() {
+    let backend = echo_backend();
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("a").route("b", vec![backend.local_addr()]),
+        store,
+    )
+    .unwrap();
+    let addr = agent.route_addr("b").unwrap();
+    let client = HttpClient::new();
+
+    agent
+        .install_rules(vec![
+            Rule::abort("a", "b", AbortKind::Status(503)).with_pattern("test-*")
+        ])
+        .unwrap();
+    let resp = client.send(addr, Request::get("/no-id")).unwrap();
+    assert_eq!(resp.status(), StatusCode::OK, "prefixed rule spares ID-less traffic");
+
+    agent.clear_rules();
+    agent
+        .install_rules(vec![Rule::abort("a", "b", AbortKind::Status(503))])
+        .unwrap();
+    let resp = client.send(addr, Request::get("/no-id")).unwrap();
+    assert_eq!(
+        resp.status(),
+        StatusCode::SERVICE_UNAVAILABLE,
+        "wildcard rule hits everything"
+    );
+}
+
+#[test]
+fn modify_on_both_sides_of_the_same_flow() {
+    let backend = HttpServer::bind("127.0.0.1:0", |req: Request, _conn: &ConnInfo| {
+        Response::ok(format!("saw[{}]", String::from_utf8_lossy(req.body())))
+    })
+    .unwrap();
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("a").route("b", vec![backend.local_addr()]),
+        store,
+    )
+    .unwrap();
+    agent
+        .install_rules(vec![
+            Rule::modify("a", "b", "in", "IN").with_side(MessageSide::Request),
+            Rule::modify("a", "b", "saw", "SAW").with_side(MessageSide::Response),
+        ])
+        .unwrap();
+    let client = HttpClient::new();
+    let resp = client
+        .send(
+            agent.route_addr("b").unwrap(),
+            Request::builder(Method::Post, "/m").body("value in transit").build(),
+        )
+        .unwrap();
+    // Request body rewritten before the backend, response rewritten
+    // after it.
+    assert_eq!(resp.body_str(), "SAW[value IN transit]");
+}
+
+#[test]
+fn large_bodies_survive_the_proxy() {
+    let backend = echo_backend();
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("a").route("b", vec![backend.local_addr()]),
+        store,
+    )
+    .unwrap();
+    let client = HttpClient::new();
+    let payload = "z".repeat(1 << 20); // 1 MiB
+    let resp = client
+        .send(
+            agent.route_addr("b").unwrap(),
+            Request::builder(Method::Post, "/big").body(payload.clone()).build(),
+        )
+        .unwrap();
+    assert_eq!(resp.body_str(), format!("echo:/big:{}", payload.len()));
+}
+
+#[test]
+fn chunked_upstream_response_is_reframed() {
+    // A raw backend that answers with a chunked body.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let backend_addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        use std::io::{Read, Write};
+        while let Ok((mut stream, _)) = listener.accept() {
+            let mut buf = [0u8; 4096];
+            let _ = stream.read(&mut buf); // consume the request head
+            let _ = stream.write_all(
+                b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n",
+            );
+        }
+    });
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("a").route("b", vec![backend_addr]),
+        store,
+    )
+    .unwrap();
+    let client = HttpClient::new();
+    let resp = client
+        .send(agent.route_addr("b").unwrap(), Request::get("/chunked"))
+        .unwrap();
+    assert_eq!(resp.body_str(), "hello world");
+    assert_eq!(resp.headers().get_int("content-length"), Some(11));
+    assert!(!resp.headers().is_chunked(), "re-framed with content-length");
+}
+
+#[test]
+fn request_counters_track_rule_evaluations() {
+    let backend = echo_backend();
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("a").route("b", vec![backend.local_addr()]),
+        store,
+    )
+    .unwrap();
+    agent
+        .install_rules(vec![
+            Rule::abort("a", "b", AbortKind::Status(503)).with_pattern("nomatch-*")
+        ])
+        .unwrap();
+    let client = HttpClient::new();
+    for i in 0..5 {
+        client
+            .send(
+                agent.route_addr("b").unwrap(),
+                Request::builder(Method::Get, "/c")
+                    .request_id(format!("test-{i}"))
+                    .build(),
+            )
+            .unwrap();
+    }
+    // Each request evaluates the table twice (request + response
+    // side); none match.
+    assert_eq!(agent.rule_checks(), 10);
+    assert_eq!(agent.rule_hits(), 0);
+}
+
+#[test]
+fn gremlin_headers_do_not_leak_into_untouched_traffic() {
+    let backend = echo_backend();
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("a").route("b", vec![backend.local_addr()]),
+        store,
+    )
+    .unwrap();
+    let client = HttpClient::new();
+    let resp = client
+        .send(
+            agent.route_addr("b").unwrap(),
+            Request::builder(Method::Get, "/clean").request_id("test-1").build(),
+        )
+        .unwrap();
+    assert!(resp
+        .headers()
+        .get(gremlin_http::header_names::GREMLIN_ACTION)
+        .is_none());
+}

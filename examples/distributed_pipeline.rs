@@ -1,0 +1,130 @@
+//! The fully distributed wiring of §6, in one narrative: agents that
+//! discover their upstreams from a service registry, are programmed
+//! over the REST control channel, and ship their observations over
+//! HTTP to a central collector — the logstash/Elasticsearch pipeline
+//! of the paper, minus nothing.
+//!
+//! ```text
+//!            ┌────────────┐   GET /instances/db   ┌──────────────┐
+//!            │  registry  │◄──────────────────────│ gremlin agent│
+//!            └────────────┘                       │  (sidecar)   │
+//!  ControlClient ── POST /rules ─────────────────►│              │
+//!            ┌────────────┐   POST /events        └──────┬───────┘
+//!            │ collector  │◄───────────────────────------┘
+//!            └─────┬──────┘        data path: web ──► agent ──► db
+//!                  ▼
+//!        AssertionChecker / FlowTrace (offline too, via ndjson)
+//! ```
+//!
+//! Run with: `cargo run --example distributed_pipeline`
+
+use std::error::Error;
+use std::sync::Arc;
+
+use gremlin::core::{AssertionChecker, FlowTrace};
+use gremlin::http::{ConnInfo, HttpClient, Method, Request, Response};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::{RegistryServer, ServiceRegistry};
+use gremlin::proxy::{
+    AgentConfig, AgentControl, CollectorServer, ControlClient, ControlServer, GremlinAgent,
+    HttpEventSink, Rule,
+};
+use gremlin::store::{EventStore, Pattern};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // --- infrastructure ------------------------------------------------
+    // 1. The service registry (discovery endpoint).
+    let registry = ServiceRegistry::shared();
+    let registry_server = RegistryServer::start(Arc::clone(&registry), "127.0.0.1:0")?;
+    println!("registry   @ {}", registry_server.local_addr());
+
+    // 2. The central observation collector.
+    let central_store = EventStore::shared();
+    let collector = CollectorServer::start(Arc::clone(&central_store), "127.0.0.1:0")?;
+    println!("collector  @ {}", collector.local_addr());
+
+    // --- the application ------------------------------------------------
+    // 3. A "db" backend registers itself with the registry (as a
+    //    service would at startup).
+    let db = gremlin::http::HttpServer::bind("127.0.0.1:0", |req: Request, _c: &ConnInfo| {
+        let mut resp = Response::ok("rows");
+        if let Some(id) = req.request_id() {
+            resp.headers_mut()
+                .insert(gremlin::http::header_names::REQUEST_ID, id.to_string());
+        }
+        resp
+    })?;
+    registry.register_instance("db", db.local_addr());
+    println!("db         @ {}", db.local_addr());
+
+    // 4. web's sidecar agent: upstreams discovered from the registry,
+    //    observations shipped to the collector.
+    let sink = Arc::new(HttpEventSink::new(collector.local_addr()));
+    let agent = Arc::new(GremlinAgent::start(
+        AgentConfig::new("web").route_discovered("db", registry_server.local_addr())?,
+        Arc::clone(&sink) as Arc<dyn gremlin::store::EventSink>,
+    )?);
+    println!("web agent  @ {} (db route)", agent.route_addr("db").unwrap());
+
+    // 5. The agent's control endpoint and a remote control client.
+    let control_server = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0")?;
+    let control = ControlClient::connect(control_server.local_addr())?;
+    println!("control    @ {}\n", control_server.local_addr());
+
+    // --- the test --------------------------------------------------------
+    // 6. Stage a disconnect over REST, confined to test flows.
+    control.install_rules(&[
+        Rule::abort("web", "db", gremlin::proxy::AbortKind::Status(503))
+            .with_pattern("test-fail-*"),
+    ])?;
+    println!("installed {} rule(s) via REST", control.list_rules()?.len());
+
+    // 7. Drive traffic: healthy flows and a faulted one.
+    let healthy = LoadGenerator::new(agent.route_addr("db").unwrap())
+        .id_prefix("test-ok")
+        .run_sequential(10);
+    let client = HttpClient::new();
+    let failed = client.send(
+        agent.route_addr("db").unwrap(),
+        Request::builder(Method::Get, "/q").request_id("test-fail-1").build(),
+    )?;
+    println!(
+        "drove 10 healthy flows ({} ok) and one faulted flow ({})",
+        healthy.successes(),
+        failed.status()
+    );
+
+    // 8. Drain the pipeline and validate from the central store.
+    sink.flush();
+    let checker = AssertionChecker::new(Arc::clone(&central_store));
+    println!("\ncollector now holds {} observations", central_store.len());
+    let ok = checker.get_replies("web", "db", &Pattern::new("test-ok-*"));
+    let bad = checker.get_replies("web", "db", &Pattern::new("test-fail-*"));
+    println!("  healthy replies: {} (all 200: {})", ok.len(),
+        ok.iter().all(|e| e.status() == Some(200)));
+    println!("  faulted replies: {} (503, gremlin-injected: {})", bad.len(),
+        bad.iter().all(|e| e.status() == Some(503) && e.is_faulted()));
+
+    println!("\nreconstructed faulted flow:");
+    print!("{}", FlowTrace::from_store(&central_store, "test-fail-1"));
+
+    // 9. The same log, exported and re-imported offline (what
+    //    `gremlin check events.ndjson ...` consumes).
+    let exported = client.send(collector.local_addr(), Request::get("/events"))?;
+    let offline = EventStore::new();
+    offline.import_json(&exported.body_str())?;
+    println!(
+        "\nexported {} events as ndjson; offline store agrees: {}",
+        offline.len(),
+        offline.len() == central_store.len()
+    );
+
+    // 10. Agent stats over REST, for the operator's dashboard.
+    let stats = control.stats()?;
+    println!(
+        "agent stats: {} rule checks, {} hits (per rule: {:?})",
+        stats.rule_checks, stats.rule_hits, stats.per_rule_hits
+    );
+    control.clear_rules()?;
+    Ok(())
+}

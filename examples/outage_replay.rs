@@ -1,0 +1,176 @@
+//! Replaying the Table 1 outages with the §5 recipe library:
+//!
+//! * Stackdriver 2013 — Cassandra crash cascading into the message
+//!   bus (Parse.ly 2015 and CircleCI 2015 follow the same shape);
+//! * BBC Online 2014 / Joyent 2015 — database overload taking out
+//!   dependent services;
+//! * a network partition along a cut of the application graph.
+//!
+//! Each scenario runs against a naive deployment (recipes flag the
+//! missing patterns) and a hardened one (recipes pass).
+//!
+//! Run with: `cargo run --example outage_replay`
+
+use std::error::Error;
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, RecipeRun, Scenario, TestContext};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::resilience::CircuitBreakerConfig;
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::Pattern;
+
+fn pipeline(policy: ResiliencePolicy) -> Result<(Deployment, TestContext), Box<dyn Error>> {
+    // publisher -> messagebus -> cassandra
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("cassandra", StaticResponder::ok("stored")))
+        .service(
+            ServiceSpec::new(
+                "messagebus",
+                Aggregator::new(vec!["cassandra".into()], "/write"),
+            )
+            .dependency("cassandra", policy.clone()),
+        )
+        .service(
+            ServiceSpec::new(
+                "publisher",
+                Aggregator::new(vec!["messagebus".into()], "/publish"),
+            )
+            .dependency("messagebus", policy),
+        )
+        .ingress("user", "publisher")
+        .build()?;
+    let graph = AppGraph::from_edges(vec![
+        ("user", "publisher"),
+        ("publisher", "messagebus"),
+        ("messagebus", "cassandra"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    Ok((deployment, ctx))
+}
+
+/// §5: Crash('cassandra'); every dependent of the message bus needs
+/// timeouts or a breaker, or it will block.
+fn stackdriver_recipe(policy: ResiliencePolicy, label: &str) -> Result<bool, Box<dyn Error>> {
+    let (deployment, ctx) = pipeline(policy)?;
+    let mut recipe = RecipeRun::new(format!("stackdriver-cascade-{label}"), &ctx);
+    recipe.inject(
+        &Scenario::hang_for("cassandra", Duration::from_secs(2)).with_pattern("test-*"),
+    )?;
+    LoadGenerator::new(deployment.entry_addr("publisher").expect("entry"))
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(10)))
+        .run_sequential(3);
+    let pattern = Pattern::new("test-*");
+    for dependent in ctx.graph().dependents("messagebus") {
+        let timeouts = ctx
+            .checker()
+            .has_timeouts(&dependent, Duration::from_secs(1), &pattern);
+        let breaker = ctx.checker().has_circuit_breaker(
+            &dependent,
+            "messagebus",
+            5,
+            Duration::from_secs(30),
+            1,
+            &pattern,
+        );
+        let has_timeouts = recipe.check(timeouts);
+        if !has_timeouts && !breaker.passed {
+            println!("  -> {dependent}: WILL BLOCK ON MESSAGE BUS");
+        }
+    }
+    let report = recipe.finish();
+    println!("{report}");
+    Ok(report.passed)
+}
+
+/// §5: Overload('database'); dependents need a circuit breaker or
+/// they will pile onto the struggling database.
+fn bbc_recipe(policy: ResiliencePolicy, label: &str) -> Result<bool, Box<dyn Error>> {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("database", StaticResponder::ok("rows")))
+        .service(
+            ServiceSpec::new("iplayer", Aggregator::new(vec!["database".into()], "/q"))
+                .dependency("database", policy),
+        )
+        .ingress("user", "iplayer")
+        .build()?;
+    let graph = AppGraph::from_edges(vec![("user", "iplayer"), ("iplayer", "database")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    let mut recipe = RecipeRun::new(format!("bbc-database-overload-{label}"), &ctx);
+    recipe.inject(
+        &Scenario::overload_with("database", 503, 1.0, Duration::from_millis(20))
+            .with_pattern("test-*"),
+    )?;
+    LoadGenerator::new(deployment.entry_addr("iplayer").expect("entry"))
+        .id_prefix("test")
+        .run_sequential(25);
+    for dependent in ctx.graph().dependents("database") {
+        if dependent == "user" {
+            continue;
+        }
+        let breaker = ctx.checker().has_circuit_breaker(
+            &dependent,
+            "database",
+            5,
+            Duration::from_secs(30),
+            1,
+            &Pattern::new("test-*"),
+        );
+        if !recipe.check(breaker) {
+            println!("  -> {dependent}: WILL OVERLOAD DATABASE");
+        }
+    }
+    let report = recipe.finish();
+    println!("{report}");
+    Ok(report.passed)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("===== Stackdriver 2013: middleware cascade =====");
+    println!("--- naive services (no timeouts) ---");
+    let naive = stackdriver_recipe(ResiliencePolicy::new(), "naive")?;
+    println!("--- hardened services (300ms timeouts) ---");
+    let hardened = stackdriver_recipe(
+        ResiliencePolicy::new().timeout(Duration::from_millis(300)),
+        "hardened",
+    )?;
+    assert!(!naive && hardened, "recipes must separate the two builds");
+
+    println!("\n===== BBC Online 2014 / Joyent 2015: database overload =====");
+    println!("--- naive service (no breaker) ---");
+    let naive = bbc_recipe(
+        ResiliencePolicy::new().timeout(Duration::from_secs(2)),
+        "naive",
+    )?;
+    println!("--- hardened service (circuit breaker) ---");
+    let hardened = bbc_recipe(
+        ResiliencePolicy::new()
+            .timeout(Duration::from_secs(2))
+            .circuit_breaker(CircuitBreakerConfig {
+                failure_threshold: 5,
+                open_duration: Duration::from_secs(60),
+                success_threshold: 1,
+            }),
+        "hardened",
+    )?;
+    assert!(!naive && hardened, "recipes must separate the two builds");
+
+    println!("\n===== Network partition along a graph cut =====");
+    let (deployment, ctx) = pipeline(ResiliencePolicy::new().timeout(Duration::from_secs(1)))?;
+    ctx.inject(
+        &Scenario::partition(
+            vec!["publisher".to_string()],
+            vec!["messagebus".to_string(), "cassandra".to_string()],
+        )
+        .with_pattern("test-*"),
+    )?;
+    let resp = deployment.call_with_id("publisher", "/", "test-1")?;
+    println!(
+        "publisher cut off from the bus -> GET / = {} {}",
+        resp.status(),
+        resp.body_str()
+    );
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Quickstart: the paper's §3.2 Example 1 plus the §4.2 chained
+//! failure, end to end.
+//!
+//! ```text
+//! Overload(ServiceB)
+//! HasBoundedRetries(ServiceA, ServiceB, 5)
+//! # and, conditionally:
+//! Crash(ServiceB)
+//! HasCircuitBreaker(ServiceA, ServiceB, ...)
+//! ```
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::error::Error;
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, RecipeRun, Scenario, TestContext};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::resilience::{Backoff, CircuitBreakerConfig, RetryPolicy};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::Pattern;
+
+/// Deploys serviceA -> serviceB with the given failure-handling
+/// policy on the edge, fronted by Gremlin agents.
+fn deploy(policy: ResiliencePolicy) -> Result<(Deployment, TestContext), Box<dyn Error>> {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("serviceB", StaticResponder::ok("b-data")))
+        .service(
+            ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/api"))
+                .dependency("serviceB", policy),
+        )
+        .ingress("user", "serviceA")
+        .build()?;
+    let graph = AppGraph::from_edges(vec![("user", "serviceA"), ("serviceA", "serviceB")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    Ok((deployment, ctx))
+}
+
+fn policy() -> ResiliencePolicy {
+    ResiliencePolicy::new()
+        .timeout(Duration::from_secs(2))
+        .retry(RetryPolicy::new(5).with_backoff(Backoff::constant(Duration::from_millis(2))))
+        .circuit_breaker(CircuitBreakerConfig {
+            failure_threshold: 5,
+            open_duration: Duration::from_secs(60),
+            success_threshold: 1,
+        })
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let pattern = Pattern::new("test-*");
+
+    println!("== Step 1: Overload(serviceB), expect bounded retries ==");
+    let (deployment, ctx) = deploy(policy())?;
+    let mut recipe = RecipeRun::new("example1-overload", &ctx);
+    let stats = recipe.inject(&Scenario::overload("serviceB").with_pattern("test-*"))?;
+    println!(
+        "staged overload: {} rule(s) installed in {:?}",
+        stats.installations, stats.duration
+    );
+
+    let report = LoadGenerator::new(deployment.entry_addr("serviceA").expect("entry"))
+        .id_prefix("test")
+        .run_sequential(50);
+    println!(
+        "injected {} test requests ({} succeeded) in {:?}",
+        report.len(),
+        report.successes(),
+        report.wall
+    );
+
+    let bounded = recipe.check(ctx.checker().has_bounded_retries(
+        "serviceA",
+        "serviceB",
+        5,
+        &pattern,
+    ));
+    println!("{}", recipe.finish());
+
+    if !bounded {
+        println!("no bounded retries — stopping the chained recipe here");
+        return Ok(());
+    }
+
+    println!("== Step 2: Crash(serviceB), expect a circuit breaker ==");
+    // Fresh application copy: the overload may already have tripped
+    // the breaker (the paper's §9 state-cleanup limitation).
+    let (deployment, ctx) = deploy(policy())?;
+    let mut recipe = RecipeRun::new("example1-crash", &ctx);
+    recipe.inject(&Scenario::crash("serviceB").with_pattern("test-*"))?;
+    LoadGenerator::new(deployment.entry_addr("serviceA").expect("entry"))
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(5)))
+        .run_sequential(40);
+    recipe.check(ctx.checker().has_circuit_breaker(
+        "serviceA",
+        "serviceB",
+        5,
+        Duration::from_secs(30),
+        1,
+        &pattern,
+    ));
+    let report = recipe.finish();
+    println!("{report}");
+
+    println!(
+        "observations recorded: {} events across {} agent(s)",
+        deployment.store().len(),
+        deployment.agents().len()
+    );
+
+    // When a check fails, reconstruct one flow to see exactly what
+    // happened hop by hop.
+    println!("\n== flow reconstruction (one faulted flow) ==");
+    let trace = gremlin::core::FlowTrace::from_store(deployment.store(), "test-0");
+    print!("{trace}");
+    Ok(())
+}

@@ -1,0 +1,524 @@
+//! `gremlin` — the operator CLI for the Gremlin resilience-testing
+//! framework.
+//!
+//! The paper's operators drive Gremlin from Python scripts; this
+//! binary provides the equivalent command-line workflow against
+//! running agents and exported observation logs:
+//!
+//! ```text
+//! gremlin graph app.json [--dot]          inspect an application graph
+//! gremlin translate app.json outage.json  scenario -> fault-injection rules
+//! gremlin install app.json outage.json --agents 10.0.0.1:7070,10.0.0.2:7070
+//! gremlin rules <agent-addr>              list an agent's installed rules
+//! gremlin clear --agents a,b,c            flush rules everywhere
+//! gremlin health <agent-addr>             agent status
+//! gremlin check events.ndjson --assert timeouts --service web --max-latency 1s
+//! gremlin trace events.ndjson test-42     reconstruct one flow
+//! ```
+//!
+//! Graph files are either the serialized [`AppGraph`] or the simpler
+//! `{"edges": [["caller","callee"], ...]}`; scenario files are
+//! serialized [`Scenario`] values (see `gremlin translate --help`).
+
+use std::error::Error;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use gremlin::core::{
+    parse_duration, AppGraph, AssertionChecker, FailureOrchestrator, FlowTrace, Scenario,
+};
+use gremlin::proxy::{AgentControl, ControlClient};
+use gremlin::store::{EventStore, Pattern};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            if !output.is_empty() {
+                println!("{output}");
+            }
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!();
+            eprintln!("{}", usage());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     gremlin graph <graph.json> [--dot]\n  \
+     gremlin translate <graph.json> <scenario.json>\n  \
+     gremlin install <graph.json> <scenario.json> --agents <addr,...>\n  \
+     gremlin rules <agent-addr>\n  \
+     gremlin clear --agents <addr,...>\n  \
+     gremlin health <agent-addr>\n  \
+     gremlin check <events.ndjson> --assert <timeouts|bounded-retries|circuit-breaker|request-count> [options]\n  \
+     gremlin trace <events.ndjson> <request-id>\n  \
+     gremlin generate <graph.json> [--exclude svc]... [--pattern test-*]"
+}
+
+fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let command = args.first().map(String::as_str).unwrap_or("");
+    match command {
+        "graph" => cmd_graph(&args[1..]),
+        "translate" => cmd_translate(&args[1..]),
+        "install" => cmd_install(&args[1..]),
+        "rules" => cmd_rules(&args[1..]),
+        "clear" => cmd_clear(&args[1..]),
+        "health" => cmd_health(&args[1..]),
+        "check" => cmd_check(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "generate" => cmd_generate(&args[1..]),
+        "" | "help" | "--help" | "-h" => Ok(usage().to_string()),
+        other => Err(format!("unknown command {other:?}").into()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// argument helpers
+// ---------------------------------------------------------------------------
+
+/// Returns the value following `--name` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positional(args: &[String], index: usize) -> Result<&str, Box<dyn Error>> {
+    // Positional = arguments before any --flag.
+    let positionals: Vec<&String> = args
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    positionals
+        .get(index)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing argument #{}", index + 1).into())
+}
+
+/// Loads a graph file: either a serialized [`AppGraph`] or the
+/// simpler `{"edges": [["a","b"], ...]}`.
+fn load_graph(path: &str) -> Result<AppGraph, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read graph file {path:?}: {e}"))?;
+    if let Ok(graph) = serde_json::from_str::<AppGraph>(&text) {
+        return Ok(graph);
+    }
+    #[derive(serde::Deserialize)]
+    struct SimpleGraph {
+        edges: Vec<(String, String)>,
+        #[serde(default)]
+        services: Vec<String>,
+    }
+    let simple: SimpleGraph = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse graph file {path:?}: {e}"))?;
+    let mut graph = AppGraph::from_edges(simple.edges);
+    for service in simple.services {
+        graph.add_service(service);
+    }
+    Ok(graph)
+}
+
+fn load_scenario(path: &str) -> Result<Scenario, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read scenario file {path:?}: {e}"))?;
+    Ok(serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse scenario file {path:?}: {e}"))?)
+}
+
+fn load_events(path: &str) -> Result<Arc<EventStore>, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read events file {path:?}: {e}"))?;
+    let store = EventStore::shared();
+    store
+        .import_json(&text)
+        .map_err(|e| format!("cannot parse events file {path:?}: {e}"))?;
+    Ok(store)
+}
+
+fn connect_agents(spec: &str) -> Result<Vec<Arc<dyn AgentControl>>, Box<dyn Error>> {
+    let mut agents: Vec<Arc<dyn AgentControl>> = Vec::new();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        let addr: SocketAddr = part
+            .parse()
+            .map_err(|e| format!("bad agent address {part:?}: {e}"))?;
+        let client = ControlClient::connect(addr)
+            .map_err(|e| format!("cannot connect to agent {addr}: {e}"))?;
+        agents.push(Arc::new(client));
+    }
+    if agents.is_empty() {
+        return Err("no agent addresses given".into());
+    }
+    Ok(agents)
+}
+
+// ---------------------------------------------------------------------------
+// commands
+// ---------------------------------------------------------------------------
+
+fn cmd_graph(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let graph = load_graph(positional(args, 0)?)?;
+    if has_flag(args, "--dot") {
+        return Ok(graph.to_dot());
+    }
+    let mut out = format!("{graph}\n");
+    for service in graph.services() {
+        let deps = graph.dependencies(&service);
+        if deps.is_empty() {
+            out.push_str(&format!("  {service}\n"));
+        } else {
+            out.push_str(&format!("  {service} -> {}\n", deps.join(", ")));
+        }
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_translate(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let graph = load_graph(positional(args, 0)?)?;
+    let scenario = load_scenario(positional(args, 1)?)?;
+    let rules = scenario.to_rules(&graph)?;
+    let mut out = format!("# {scenario}\n");
+    out.push_str(&serde_json::to_string_pretty(&rules)?);
+    Ok(out)
+}
+
+fn cmd_install(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let graph = load_graph(positional(args, 0)?)?;
+    let scenario = load_scenario(positional(args, 1)?)?;
+    let agents = connect_agents(
+        flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?,
+    )?;
+    let orchestrator = FailureOrchestrator::new(agents);
+    let stats = orchestrator.inject(&scenario, &graph)?;
+    Ok(format!(
+        "staged: {scenario}\ninstalled {} rule(s) across {} agent(s) in {:?}",
+        stats.installations,
+        orchestrator.agent_count(),
+        stats.duration
+    ))
+}
+
+fn cmd_rules(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let addr: SocketAddr = positional(args, 0)?.parse()?;
+    let client = ControlClient::connect(addr)?;
+    let rules = client.list_rules()?;
+    if rules.is_empty() {
+        return Ok(format!("agent {addr} ({}): no rules", client.service_name()));
+    }
+    let mut out = format!("agent {addr} ({}): {} rule(s)\n", client.service_name(), rules.len());
+    for rule in rules {
+        out.push_str(&format!("  {rule}\n"));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_clear(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let agents = connect_agents(
+        flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?,
+    )?;
+    let count = agents.len();
+    let orchestrator = FailureOrchestrator::new(agents);
+    orchestrator.clear()?;
+    Ok(format!("cleared rules on {count} agent(s)"))
+}
+
+fn cmd_health(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let addr: SocketAddr = positional(args, 0)?.parse()?;
+    let client = ControlClient::connect(addr)?;
+    let health = client.health()?;
+    Ok(format!(
+        "agent {addr}: service={} name={} rules={}",
+        health.service, health.name, health.rules
+    ))
+}
+
+fn cmd_check(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let store = load_events(positional(args, 0)?)?;
+    let checker = AssertionChecker::new(store);
+    let pattern = Pattern::new(flag_value(args, "--pattern").unwrap_or("*"));
+    let kind = flag_value(args, "--assert").ok_or("missing --assert <check>")?;
+    let check = match kind {
+        "timeouts" => {
+            let service = flag_value(args, "--service").ok_or("missing --service")?;
+            let max_latency =
+                parse_duration(flag_value(args, "--max-latency").unwrap_or("1s"))?;
+            checker.has_timeouts(service, max_latency, &pattern)
+        }
+        "bounded-retries" => {
+            let src = flag_value(args, "--src").ok_or("missing --src")?;
+            let dst = flag_value(args, "--dst").ok_or("missing --dst")?;
+            let max_tries: usize = flag_value(args, "--max-tries").unwrap_or("5").parse()?;
+            checker.has_bounded_retries(src, dst, max_tries, &pattern)
+        }
+        "circuit-breaker" => {
+            let src = flag_value(args, "--src").ok_or("missing --src")?;
+            let dst = flag_value(args, "--dst").ok_or("missing --dst")?;
+            let threshold: usize = flag_value(args, "--threshold").unwrap_or("5").parse()?;
+            let window = parse_duration(flag_value(args, "--window").unwrap_or("1min"))?;
+            checker.has_circuit_breaker(src, dst, threshold, window, 1, &pattern)
+        }
+        "request-count" => {
+            let src = flag_value(args, "--src").ok_or("missing --src")?;
+            let dst = flag_value(args, "--dst").ok_or("missing --dst")?;
+            let requests = checker.get_requests(src, dst, &pattern);
+            return Ok(format!(
+                "{} request(s) observed on {src} -> {dst} (pattern {pattern})",
+                requests.len()
+            ));
+        }
+        other => return Err(format!("unknown assertion {other:?}").into()),
+    };
+    let output = check.to_string();
+    if check.passed {
+        Ok(output)
+    } else {
+        // Visible in scripts: failing checks exit non-zero.
+        eprintln!("{output}");
+        std::process::exit(2);
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::core::autogen::RecipeGenerator;
+    let graph = load_graph(positional(args, 0)?)?;
+    let mut generator = RecipeGenerator::new();
+    // Collect every --exclude occurrence.
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--exclude" {
+            if let Some(service) = iter.next() {
+                generator = generator.exclude(service.clone());
+            }
+        }
+    }
+    if let Some(pattern) = flag_value(args, "--pattern") {
+        generator = generator.pattern(pattern);
+    }
+    let tests = generator.generate(&graph);
+    Ok(serde_json::to_string_pretty(&tests)?)
+}
+
+fn cmd_trace(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let store = load_events(positional(args, 0)?)?;
+    let request_id = positional(args, 1)?;
+    let trace = FlowTrace::from_store(&store, request_id);
+    if trace.hops.is_empty() {
+        return Err(format!("no observations for request id {request_id:?}").into());
+    }
+    Ok(trace.to_string().trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gremlin-cli-test-{}-{name}", std::process::id()));
+        let mut file = std::fs::File::create(&path).unwrap();
+        file.write_all(contents.as_bytes()).unwrap();
+        path
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&args(&["help"])).unwrap().contains("usage"));
+        assert!(run(&args(&["bogus"])).is_err());
+        assert!(run(&args(&[])).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn graph_simple_format() {
+        let path = write_temp(
+            "graph.json",
+            r#"{"edges": [["web", "db"], ["web", "cache"]]}"#,
+        );
+        let out = run(&args(&["graph", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("web -> cache, db"), "{out}");
+        let dot = run(&args(&["graph", path.to_str().unwrap(), "--dot"])).unwrap();
+        assert!(dot.contains("\"web\" -> \"db\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn graph_round_trip_format() {
+        let graph = AppGraph::from_edges(vec![("a", "b")]);
+        let path = write_temp("graph-rt.json", &serde_json::to_string(&graph).unwrap());
+        let out = run(&args(&["graph", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("a -> b"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn translate_scenario() {
+        let graph_path = write_temp("tg.json", r#"{"edges": [["web", "db"]]}"#);
+        let scenario = Scenario::overload("db").with_pattern("test-*");
+        let scenario_path =
+            write_temp("ts.json", &serde_json::to_string(&scenario).unwrap());
+        let out = run(&args(&[
+            "translate",
+            graph_path.to_str().unwrap(),
+            scenario_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("overload db"), "{out}");
+        assert!(out.contains("\"src\": \"web\""), "{out}");
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(scenario_path);
+    }
+
+    #[test]
+    fn check_and_trace_over_exported_log() {
+        use gremlin::store::Event;
+        use std::time::Duration;
+        let store = EventStore::new();
+        store.record_event(
+            Event::request("user", "web", "GET", "/x")
+                .with_request_id("test-9")
+                .with_timestamp(0),
+        );
+        store.record_event(
+            Event::response("user", "web", 200, Duration::from_millis(10))
+                .with_request_id("test-9")
+                .with_timestamp(100),
+        );
+        let path = write_temp("events.ndjson", &store.export_json().unwrap());
+
+        let out = run(&args(&[
+            "check",
+            path.to_str().unwrap(),
+            "--assert",
+            "timeouts",
+            "--service",
+            "web",
+            "--max-latency",
+            "1s",
+        ]))
+        .unwrap();
+        assert!(out.contains("[PASS]"), "{out}");
+
+        let out = run(&args(&[
+            "check",
+            path.to_str().unwrap(),
+            "--assert",
+            "request-count",
+            "--src",
+            "user",
+            "--dst",
+            "web",
+        ]))
+        .unwrap();
+        assert!(out.contains("1 request(s)"), "{out}");
+
+        let out = run(&args(&["trace", path.to_str().unwrap(), "test-9"])).unwrap();
+        assert!(out.contains("user -> web"), "{out}");
+        assert!(out.contains("=> 200"), "{out}");
+
+        assert!(run(&args(&["trace", path.to_str().unwrap(), "missing"])).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn install_against_live_agent() {
+        use gremlin::proxy::{AgentConfig, ControlServer, GremlinAgent};
+        let backend_addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let agent = Arc::new(
+            GremlinAgent::start(
+                AgentConfig::new("web").route("db", vec![backend_addr]),
+                EventStore::shared(),
+            )
+            .unwrap(),
+        );
+        let control = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
+
+        let graph_path = write_temp("ig.json", r#"{"edges": [["web", "db"]]}"#);
+        let scenario = Scenario::disconnect("web", "db").with_pattern("test-*");
+        let scenario_path = write_temp("is.json", &serde_json::to_string(&scenario).unwrap());
+
+        let out = run(&args(&[
+            "install",
+            graph_path.to_str().unwrap(),
+            scenario_path.to_str().unwrap(),
+            "--agents",
+            &control.local_addr().to_string(),
+        ]))
+        .unwrap();
+        assert!(out.contains("installed 1 rule(s)"), "{out}");
+        assert_eq!(agent.rules().len(), 1);
+
+        let out = run(&args(&["rules", &control.local_addr().to_string()])).unwrap();
+        assert!(out.contains("web -> db"), "{out}");
+
+        let out = run(&args(&["health", &control.local_addr().to_string()])).unwrap();
+        assert!(out.contains("service=web"), "{out}");
+
+        let out = run(&args(&[
+            "clear",
+            "--agents",
+            &control.local_addr().to_string(),
+        ]))
+        .unwrap();
+        assert!(out.contains("cleared"), "{out}");
+        assert!(agent.rules().is_empty());
+
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(scenario_path);
+    }
+
+    #[test]
+    fn generate_emits_the_test_matrix() {
+        let path = write_temp(
+            "gen.json",
+            r#"{"edges": [["user", "web"], ["web", "db"]]}"#,
+        );
+        let out = run(&args(&[
+            "generate",
+            path.to_str().unwrap(),
+            "--exclude",
+            "user",
+            "--pattern",
+            "probe-*",
+        ]))
+        .unwrap();
+        let tests: Vec<gremlin::core::autogen::GeneratedTest> =
+            serde_json::from_str(&out).unwrap();
+        assert_eq!(tests.len(), 3, "one edge, three probes");
+        assert!(tests.iter().all(|t| t.scenario.pattern
+            == gremlin::store::Pattern::new("probe-*")));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(run(&args(&["graph", "/nonexistent.json"])).is_err());
+        assert!(run(&args(&["install", "a", "b"])).is_err());
+        assert!(run(&args(&["rules", "not-an-addr"])).is_err());
+        let path = write_temp("empty.ndjson", "");
+        assert!(run(&args(&["check", path.to_str().unwrap()])).is_err());
+        assert!(run(&args(&[
+            "check",
+            path.to_str().unwrap(),
+            "--assert",
+            "nonsense"
+        ]))
+        .is_err());
+        let _ = std::fs::remove_file(path);
+    }
+}

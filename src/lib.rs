@@ -1,0 +1,102 @@
+//! # Gremlin: Systematic Resilience Testing of Microservices
+//!
+//! A from-scratch Rust reproduction of *Gremlin* (Heorhiadi,
+//! Rajagopalan, Jamjoom, Sekar, Reiter — ICDCS 2016): a framework for
+//! systematically testing the failure-handling capabilities of
+//! microservice applications by manipulating inter-service messages
+//! at the network layer.
+//!
+//! Gremlin's design is SDN-inspired. The operator writes a *recipe* —
+//! a failure scenario plus assertions about how services should react.
+//! The **control plane** ([`core`]) translates the scenario into
+//! fault-injection rules over the logical application graph and
+//! programs the **data plane** ([`proxy`]): sidecar agents that
+//! intercept, log, and manipulate messages between services. After the
+//! emulated outage, the **assertion checker** validates expectations
+//! against the observation logs collected in the central [`store`].
+//!
+//! The workspace also contains everything the paper's evaluation
+//! needs: an HTTP substrate ([`http`]), a microservice runtime with
+//! resilience patterns ([`mesh`]), and load generation ([`loadgen`]).
+//!
+//! | Crate | Role (paper section) |
+//! |---|---|
+//! | [`core`] | Recipe translator, failure orchestrator, assertion checker (§4.2) |
+//! | [`proxy`] | Gremlin agents: Abort/Delay/Modify + logging (§4.1, Table 2) |
+//! | [`store`] | Central observation store (logstash + Elasticsearch stand-in) |
+//! | [`mesh`] | Services, resilience patterns, deployments (§2.1, §7 case studies) |
+//! | [`http`] | Minimal HTTP/1.1 codec, client and server |
+//! | [`loadgen`] | Test traffic + latency CDFs (§6, §7.2) |
+//!
+//! # Quickstart
+//!
+//! The paper's §3.2 Example 1: overload `serviceB`, then assert that
+//! `serviceA` bounds its retries.
+//!
+//! ```
+//! use gremlin::core::{AppGraph, Scenario, TestContext};
+//! use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+//! use gremlin::mesh::resilience::{Backoff, RetryPolicy};
+//! use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+//! use gremlin::loadgen::LoadGenerator;
+//! use gremlin::store::Pattern;
+//! use std::time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Deploy serviceA -> serviceB with bounded retries (5 attempts).
+//! let deployment = Deployment::builder()
+//!     .service(ServiceSpec::new("serviceB", StaticResponder::ok("data")))
+//!     .service(
+//!         ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/api"))
+//!             .dependency(
+//!                 "serviceB",
+//!                 ResiliencePolicy::new()
+//!                     .timeout(Duration::from_secs(1))
+//!                     .retry(RetryPolicy::new(5).with_backoff(Backoff::none())),
+//!             ),
+//!     )
+//!     .ingress("user", "serviceA")
+//!     .build()?;
+//!
+//! // Bind the control plane to the deployment.
+//! let graph = AppGraph::from_edges(vec![("user", "serviceA"), ("serviceA", "serviceB")]);
+//! let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+//!
+//! // Recipe line 1: Overload(ServiceB) — confined to test flows.
+//! ctx.inject(&Scenario::overload("serviceB").with_pattern("test-*"))?;
+//!
+//! // Drive test traffic through the ingress agent.
+//! LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+//!     .id_prefix("test")
+//!     .run_sequential(30);
+//!
+//! // Recipe line 2: HasBoundedRetries(ServiceA, ServiceB, 5).
+//! let check = ctx.checker().has_bounded_retries(
+//!     "serviceA",
+//!     "serviceB",
+//!     5,
+//!     &Pattern::new("test-*"),
+//! );
+//! assert!(check.passed, "{check}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gremlin_core as core;
+pub use gremlin_http as http;
+pub use gremlin_loadgen as loadgen;
+pub use gremlin_mesh as mesh;
+pub use gremlin_proxy as proxy;
+pub use gremlin_store as store;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use gremlin_core::{
+        AppGraph, AssertionChecker, Check, CombineStep, FailureOrchestrator, RecipeReport,
+        RecipeRun, Scenario, TestContext, View,
+    };
+    pub use gremlin_loadgen::{Cdf, LatencySummary, LoadGenerator, LoadReport};
+    pub use gremlin_mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+    pub use gremlin_proxy::{AbortKind, AgentControl, FaultAction, MessageSide, Rule};
+    pub use gremlin_store::{Event, EventStore, Pattern, Query};
+}

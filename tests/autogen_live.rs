@@ -1,0 +1,125 @@
+//! The §9 automatic recipe generator running against live
+//! deployments: the generated matrix must pass on a hardened
+//! application and pinpoint the broken pattern on a bugged one.
+
+use std::error::Error;
+use std::time::Duration;
+
+use gremlin::core::autogen::{Expectations, RecipeGenerator};
+use gremlin::core::{AppGraph, TestContext};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::resilience::{Backoff, CircuitBreakerConfig, RetryPolicy};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+
+fn hardened() -> ResiliencePolicy {
+    ResiliencePolicy::new()
+        .timeout(Duration::from_millis(100))
+        .retry(RetryPolicy::new(3).with_backoff(Backoff::none()))
+        .circuit_breaker(CircuitBreakerConfig {
+            failure_threshold: 5,
+            open_duration: Duration::from_secs(5),
+            success_threshold: 1,
+        })
+}
+
+fn deploy(backend_policy: ResiliencePolicy) -> Result<(Deployment, TestContext), Box<dyn Error>> {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("db", StaticResponder::ok("rows")))
+        .service(
+            ServiceSpec::new("web", Aggregator::new(vec!["db".into()], "/q"))
+                .dependency("db", backend_policy),
+        )
+        .ingress("user", "web")
+        .seed(99)
+        .build()?;
+    let graph = AppGraph::from_edges(vec![("user", "web"), ("web", "db")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    Ok((deployment, ctx))
+}
+
+fn expectations() -> Expectations {
+    Expectations {
+        max_tries: 5,
+        breaker_threshold: 5,
+        breaker_window: Duration::from_secs(2),
+        breaker_success_threshold: 1,
+        max_latency: Duration::from_millis(400),
+        hang: Duration::from_millis(600),
+        min_rate: 0.5,
+    }
+}
+
+/// Runs the generated matrix, one fresh deployment per test (state
+/// cleanup), returning the names of failing probes.
+fn run_matrix(policy: fn() -> ResiliencePolicy) -> Result<Vec<String>, Box<dyn Error>> {
+    let generator = RecipeGenerator::new()
+        .expectations(expectations())
+        .exclude("user");
+    let (_, template_ctx) = deploy(policy())?;
+    let tests = generator.generate(template_ctx.graph());
+    assert!(!tests.is_empty());
+    let pattern = generator.flow_pattern();
+
+    let mut failures = Vec::new();
+    for test in tests {
+        let (deployment, ctx) = deploy(policy())?;
+        ctx.inject(&test.scenario)?;
+        LoadGenerator::new(deployment.entry_addr("web").expect("entry"))
+            .id_prefix("test")
+            .read_timeout(Some(Duration::from_secs(5)))
+            .run_sequential(6);
+        let check = test.probe.evaluate(ctx.checker(), ctx.graph(), &pattern);
+        if !check.passed {
+            failures.push(test.name);
+        }
+    }
+    Ok(failures)
+}
+
+#[test]
+fn hardened_application_passes_the_generated_matrix() -> Result<(), Box<dyn Error>> {
+    let failures = run_matrix(hardened)?;
+    assert!(
+        failures.is_empty(),
+        "hardened app should pass every generated probe, failed: {failures:?}"
+    );
+    Ok(())
+}
+
+#[test]
+fn missing_timeout_is_pinpointed_by_the_matrix() -> Result<(), Box<dyn Error>> {
+    fn no_timeout() -> ResiliencePolicy {
+        ResiliencePolicy::new()
+            .retry(RetryPolicy::new(3).with_backoff(Backoff::none()))
+            .circuit_breaker(CircuitBreakerConfig {
+                failure_threshold: 5,
+                open_duration: Duration::from_secs(5),
+                success_threshold: 1,
+            })
+    }
+    let failures = run_matrix(no_timeout)?;
+    assert!(
+        failures.iter().any(|name| name == "hang:web->db/timeouts"),
+        "matrix must name the missing-timeout probe, failed: {failures:?}"
+    );
+    Ok(())
+}
+
+#[test]
+fn unbounded_retries_are_pinpointed_by_the_matrix() -> Result<(), Box<dyn Error>> {
+    fn retry_happy() -> ResiliencePolicy {
+        // 10 attempts against an expectation of at most 5.
+        ResiliencePolicy::new()
+            .timeout(Duration::from_millis(100))
+            .retry(RetryPolicy::new(10).with_backoff(Backoff::none()))
+    }
+    let failures = run_matrix(retry_happy)?;
+    assert!(
+        failures
+            .iter()
+            .any(|name| name == "disconnect:web->db/bounded-retries"),
+        "matrix must name the retry probe, failed: {failures:?}"
+    );
+    Ok(())
+}

@@ -1,0 +1,174 @@
+//! The remaining Table 1 incidents: Twilio 2013 (database failure
+//! made the billing service repeatedly bill customers) and Parse.ly
+//! 2015 / Stackdriver 2013 (message-bus overload cascading to
+//! publishers).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, Scenario, TestContext, View};
+use gremlin::http::{HttpClient, Method, Request, StatusCode};
+use gremlin::mesh::behaviors::StaticResponder;
+use gremlin::mesh::stateful::{BillingService, ChargeLedger, MessageBus};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::{Pattern, Query};
+
+fn billing_deployment(
+    billing: BillingService,
+) -> (Deployment, TestContext, Arc<ChargeLedger>) {
+    let ledger = ChargeLedger::new();
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("payments", Arc::clone(&ledger)))
+        .service(
+            ServiceSpec::new("billing", billing).dependency(
+                "payments",
+                ResiliencePolicy::new().timeout(Duration::from_millis(200)),
+            ),
+        )
+        .ingress("user", "billing")
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![("user", "billing"), ("billing", "payments")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx, ledger)
+}
+
+fn bill(deployment: &Deployment, id: &str) -> gremlin::http::Response {
+    let addr = deployment.entry_addr("billing").expect("entry");
+    HttpClient::new()
+        .send(
+            addr,
+            Request::builder(Method::Post, "/bill").request_id(id).build(),
+        )
+        .unwrap()
+}
+
+/// Twilio 2013: the charge lands, but the *response* is delayed past
+/// the billing service's timeout. A billing service that naively
+/// retries timed-out charges double-bills the customer.
+#[test]
+fn twilio_double_billing_uncovered_by_response_delay() {
+    let (deployment, ctx, ledger) =
+        billing_deployment(BillingService::new("payments").with_naive_retries(3));
+
+    // Delay *responses* from payments beyond the 200ms timeout: the
+    // charge executes, the confirmation never arrives in time.
+    ctx.orchestrator()
+        .apply_rules(&[gremlin::proxy::Rule::delay(
+            "billing",
+            "payments",
+            Duration::from_millis(600),
+        )
+        .with_pattern("test-*")
+        .with_side(gremlin::proxy::MessageSide::Response)])
+        .unwrap();
+
+    let resp = bill(&deployment, "test-cust-1");
+    // All retries time out, so billing reports failure to the user...
+    assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
+    // ...but the customer was charged on EVERY attempt.
+    assert_eq!(ledger.charges_for("test-cust-1"), 3);
+    assert_eq!(ledger.double_billed(), vec!["test-cust-1".to_string()]);
+
+    // Gremlin sees the duplication from the network alone: multiple
+    // requests reached the payments service for one flow.
+    let requests = deployment.store().query(
+        &Query::requests("billing", "payments").with_id_pattern(Pattern::new("test-cust-1")),
+    );
+    assert_eq!(requests.len(), 3);
+    assert_eq!(
+        gremlin::core::num_requests(&requests, None, View::Untampered),
+        3,
+        "untampered view confirms all three charges reached the backend"
+    );
+}
+
+/// The fixed billing service (no blind retries of non-idempotent
+/// calls) reports the failure but never double-bills.
+#[test]
+fn fixed_billing_service_never_double_bills() {
+    let (deployment, ctx, ledger) = billing_deployment(BillingService::new("payments"));
+    ctx.orchestrator()
+        .apply_rules(&[gremlin::proxy::Rule::delay(
+            "billing",
+            "payments",
+            Duration::from_millis(600),
+        )
+        .with_pattern("test-*")
+        .with_side(gremlin::proxy::MessageSide::Response)])
+        .unwrap();
+
+    let resp = bill(&deployment, "test-cust-2");
+    assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
+    assert_eq!(ledger.charges_for("test-cust-2"), 1, "one attempt, one charge");
+    assert!(ledger.double_billed().is_empty());
+}
+
+/// Without any fault, billing works and charges exactly once.
+#[test]
+fn billing_baseline() {
+    let (deployment, _ctx, ledger) =
+        billing_deployment(BillingService::new("payments").with_naive_retries(3));
+    let resp = bill(&deployment, "test-cust-3");
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert_eq!(ledger.charges_for("test-cust-3"), 1);
+}
+
+/// Parse.ly 2015 "Kafkapocalypse" / Stackdriver 2013: the datastore
+/// behind the bus crashes; the bus's bounded queues fill; publishers
+/// start failing.
+#[test]
+fn parsely_bus_overload_cascades_to_publishers() {
+    let bus = MessageBus::forwarding(5, "cassandra");
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("cassandra", StaticResponder::ok("stored")))
+        .service(
+            ServiceSpec::new("messagebus", Arc::clone(&bus)).dependency(
+                "cassandra",
+                ResiliencePolicy::new().timeout(Duration::from_millis(300)),
+            ),
+        )
+        .ingress("publisher", "messagebus")
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![
+        ("publisher", "messagebus"),
+        ("messagebus", "cassandra"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+
+    let publish = |id: &str| {
+        HttpClient::new()
+            .send(
+                deployment.entry_addr("messagebus").expect("entry"),
+                Request::builder(Method::Post, "/publish/events")
+                    .request_id(id)
+                    .body("payload")
+                    .build(),
+            )
+            .unwrap()
+    };
+
+    // Healthy: messages flow straight through to the store.
+    assert_eq!(publish("test-0").status(), StatusCode::OK);
+    assert_eq!(bus.depth("events"), 0);
+
+    // Crash Cassandra (as seen from the bus).
+    ctx.inject(&Scenario::crash("cassandra").with_pattern("test-*"))
+        .unwrap();
+
+    // The first `capacity` publishes are buffered...
+    for i in 1..=5 {
+        let resp = publish(&format!("test-{i}"));
+        assert_eq!(resp.status(), StatusCode::ACCEPTED, "publish {i} buffered");
+    }
+    // ...then the queue is full and the failure reaches publishers —
+    // the cascading outage of Table 1.
+    let resp = publish("test-6");
+    assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
+    assert_eq!(bus.rejected(), 1);
+
+    // Recovery: clear the fault and the bus forwards again.
+    ctx.clear_faults().unwrap();
+    assert_eq!(publish("test-7").status(), StatusCode::OK);
+}

@@ -1,0 +1,158 @@
+//! The bulkhead pattern under a degraded dependency (paper §2.1 and
+//! Table 3's `HasBulkHead`).
+//!
+//! The paper's description: *"If a shared thread pool is used to make
+//! API calls to multiple microservices, thread pool resources can be
+//! quickly exhausted when one of the downstream services degrades…
+//! The bulkhead pattern mitigates this issue by assigning an
+//! independent thread pool for each type of dependent microservice."*
+//!
+//! The frontend here has a shared outbound-call pool of 4 slots.
+//! Without a bulkhead, a hung `slowsvc` soaks up all 4 slots and
+//! `/fast` traffic (which only needs `fastsvc`) starves. With a
+//! 2-slot bulkhead on the `slowsvc` edge, overflow slow calls are
+//! rejected immediately and fast traffic keeps flowing.
+
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, Scenario, TestContext};
+use gremlin::http::StatusCode;
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{PathRouter, StaticResponder};
+use gremlin::mesh::resilience::BulkheadConfig;
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::Pattern;
+
+fn deploy(slow_policy: ResiliencePolicy) -> (Deployment, TestContext) {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("slowsvc", StaticResponder::ok("slow-ok")).workers(16))
+        .service(ServiceSpec::new("fastsvc", StaticResponder::ok("fast-ok")).workers(16))
+        .service(
+            ServiceSpec::new(
+                "frontend",
+                PathRouter::new()
+                    .route("/slow", "slowsvc", "/work")
+                    .route("/fast", "fastsvc", "/work"),
+            )
+            .workers(32)
+            .shared_call_pool(4)
+            .dependency("slowsvc", slow_policy)
+            .dependency("fastsvc", ResiliencePolicy::new().timeout(Duration::from_secs(2))),
+        )
+        .ingress("user", "frontend")
+        .seed(41)
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![
+        ("user", "frontend"),
+        ("frontend", "slowsvc"),
+        ("frontend", "fastsvc"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx)
+}
+
+/// Hangs `slowsvc`, saturates the slow path from background threads,
+/// then measures fast-path latency while the hang is in effect.
+fn drive(deployment: &Deployment, ctx: &TestContext) -> gremlin::loadgen::LoadReport {
+    ctx.inject(&Scenario::hang_for("slowsvc", Duration::from_secs(3)).with_pattern("test-*"))
+        .unwrap();
+    let entry = deployment.entry_addr("frontend").unwrap();
+
+    let slow_handles: Vec<_> = (0..8)
+        .map(|worker| {
+            let generator = LoadGenerator::new(entry)
+                .path("/slow/q")
+                .id_prefix(format!("test-slow-{worker}"))
+                .read_timeout(Some(Duration::from_secs(10)));
+            std::thread::spawn(move || generator.run_sequential(1))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Fresh connections per request (Connection pooling would reuse
+    // a parked keep-alive worker and mask queueing).
+    let fast = LoadGenerator::new(entry)
+        .path("/fast/q")
+        .id_prefix("test-fast")
+        .read_timeout(Some(Duration::from_secs(5)))
+        .run_closed(4, 3);
+    for handle in slow_handles {
+        let _ = handle.join();
+    }
+    fast
+}
+
+#[test]
+fn without_bulkhead_slow_dependency_exhausts_shared_pool() {
+    // No bulkhead: the 8 hung slow calls occupy / queue on all 4
+    // shared slots for the full 3 s hang, so fast calls block on the
+    // pool.
+    let (deployment, ctx) = deploy(ResiliencePolicy::new());
+    let fast = drive(&deployment, &ctx);
+    let summary = fast.summary().expect("non-empty");
+    assert!(
+        summary.p50 >= Duration::from_millis(500),
+        "fast path should starve behind the exhausted call pool, p50 = {:?}",
+        summary.p50
+    );
+}
+
+#[test]
+fn with_bulkhead_fast_traffic_keeps_flowing() {
+    // 2-slot bulkhead on the slow edge: the slow dependency can never
+    // hold shared capacity; overflow is rejected immediately.
+    let (deployment, ctx) = deploy(
+        ResiliencePolicy::new().bulkhead(BulkheadConfig { max_concurrent: 2 }),
+    );
+    let fast = drive(&deployment, &ctx);
+    let summary = fast.summary().expect("non-empty");
+    assert_eq!(fast.successes(), fast.len(), "every fast request answered");
+    assert!(
+        summary.p90 < Duration::from_millis(500),
+        "fast path must not starve, p90 = {:?}",
+        summary.p90
+    );
+
+    // Gremlin's HasBulkHead reaches the same verdict from the logs.
+    let check = ctx.checker().has_bulkhead(
+        ctx.graph(),
+        "frontend",
+        "slowsvc",
+        1.0,
+        &Pattern::new("test-*"),
+    );
+    assert!(check.passed, "{check}");
+
+    // Excess slow calls were rejected fast (429), not queued.
+    let rejected = deployment
+        .store()
+        .query(&gremlin::store::Query::replies("user", "frontend"))
+        .iter()
+        .filter(|e| e.status() == Some(StatusCode::TOO_MANY_REQUESTS.as_u16()))
+        .count();
+    assert!(rejected > 0, "bulkhead must reject overflow slow calls");
+}
+
+#[test]
+fn has_bulkhead_fails_for_starved_deployment() {
+    let (deployment, ctx) = deploy(ResiliencePolicy::new());
+    // Saturate with slow traffic only; the fast path never gets
+    // called, so its rate is 0.
+    ctx.inject(&Scenario::hang_for("slowsvc", Duration::from_secs(1)).with_pattern("test-*"))
+        .unwrap();
+    let entry = deployment.entry_addr("frontend").unwrap();
+    LoadGenerator::new(entry)
+        .path("/slow/q")
+        .id_prefix("test-slow")
+        .read_timeout(Some(Duration::from_secs(5)))
+        .run_closed(2, 2);
+    let check = ctx.checker().has_bulkhead(
+        ctx.graph(),
+        "frontend",
+        "slowsvc",
+        1.0,
+        &Pattern::new("test-*"),
+    );
+    assert!(!check.passed, "{check}");
+}

@@ -1,0 +1,56 @@
+//! The shipped `fixtures/` stay usable: they must parse as the
+//! formats the CLI and control plane consume.
+
+use gremlin::core::{AppGraph, Scenario, ScenarioKind};
+use gremlin::store::Pattern;
+
+#[test]
+fn enterprise_graph_fixture_parses() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/enterprise_graph.json"
+    ))
+    .expect("fixture exists");
+    #[derive(serde::Deserialize)]
+    struct SimpleGraph {
+        edges: Vec<(String, String)>,
+    }
+    let simple: SimpleGraph = serde_json::from_str(&text).expect("valid simple graph");
+    let graph = AppGraph::from_edges(simple.edges);
+    assert_eq!(graph.len(), 6);
+    assert_eq!(graph.dependencies("webapp").len(), 4);
+    assert!(graph.has_edge("user", "webapp"));
+    assert!(!graph.has_cycle());
+}
+
+#[test]
+fn overload_scenario_fixture_parses_and_translates() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/overload_database.json"
+    ))
+    .expect("fixture exists");
+    let scenario: Scenario = serde_json::from_str(&text).expect("valid scenario");
+    assert_eq!(scenario.pattern, Pattern::new("test-*"));
+    assert!(matches!(
+        scenario.kind,
+        ScenarioKind::Overload { ref service, .. } if service == "search-api"
+    ));
+
+    // It must translate over the companion graph.
+    let graph_text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/fixtures/enterprise_graph.json"
+    ))
+    .unwrap();
+    #[derive(serde::Deserialize)]
+    struct SimpleGraph {
+        edges: Vec<(String, String)>,
+    }
+    let simple: SimpleGraph = serde_json::from_str(&graph_text).unwrap();
+    let graph = AppGraph::from_edges(simple.edges);
+    let rules = scenario.to_rules(&graph).expect("translates");
+    // One dependent (webapp) x (abort + delay fallback).
+    assert_eq!(rules.len(), 2);
+    assert!(rules.iter().all(|r| r.dst == "search-api"));
+}

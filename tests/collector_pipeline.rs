@@ -1,0 +1,155 @@
+//! The distributed log pipeline end to end (paper §6: agents →
+//! logstash → Elasticsearch): agents ship observations over HTTP to
+//! a central collector, and the Assertion Checker works off the
+//! collector's store exactly as it does off a local one.
+
+use std::sync::Arc;
+
+use gremlin::core::{AssertionChecker, FlowTrace};
+use gremlin::http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
+use gremlin::proxy::{
+    AbortKind, AgentConfig, CollectorServer, GremlinAgent, HttpEventSink, Rule,
+};
+use gremlin::store::{EventStore, Pattern, Query};
+
+#[test]
+fn agents_ship_observations_to_a_remote_collector() {
+    // Central store behind an HTTP collector.
+    let central = EventStore::shared();
+    let collector = CollectorServer::start(Arc::clone(&central), "127.0.0.1:0").unwrap();
+
+    // A backend and an agent whose sink is the remote collector, not
+    // a local store.
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("data")
+    })
+    .unwrap();
+    let sink = Arc::new(HttpEventSink::new(collector.local_addr()));
+    let agent = GremlinAgent::start(
+        AgentConfig::new("web").route("db", vec![backend.local_addr()]),
+        Arc::clone(&sink) as Arc<dyn gremlin::store::EventSink>,
+    )
+    .unwrap();
+    agent
+        .install_rules(vec![
+            Rule::abort("web", "db", AbortKind::Status(503)).with_pattern("test-fail-*"),
+        ])
+        .unwrap();
+
+    // Mixed traffic through the agent.
+    let client = HttpClient::new();
+    let addr = agent.route_addr("db").unwrap();
+    for i in 0..5 {
+        let ok = client
+            .send(
+                addr,
+                Request::builder(Method::Get, "/q")
+                    .request_id(format!("test-ok-{i}"))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(ok.status(), StatusCode::OK);
+    }
+    let failed = client
+        .send(
+            addr,
+            Request::builder(Method::Get, "/q").request_id("test-fail-1").build(),
+        )
+        .unwrap();
+    assert_eq!(failed.status(), StatusCode::SERVICE_UNAVAILABLE);
+
+    // Drain the sink, then validate through the checker bound to the
+    // CENTRAL store.
+    sink.flush();
+    assert_eq!(sink.dropped(), 0);
+    assert_eq!(central.len(), 12, "6 requests + 6 responses");
+
+    let checker = AssertionChecker::new(Arc::clone(&central));
+    let ok_replies = checker.get_replies("web", "db", &Pattern::new("test-ok-*"));
+    assert_eq!(ok_replies.len(), 5);
+    assert!(ok_replies.iter().all(|e| e.status() == Some(200)));
+
+    let failed_replies = checker.get_replies("web", "db", &Pattern::new("test-fail-*"));
+    assert_eq!(failed_replies.len(), 1);
+    assert_eq!(failed_replies[0].status(), Some(503));
+    assert!(failed_replies[0].is_faulted());
+
+    // Flow reconstruction works off the central store too.
+    let trace = FlowTrace::from_store(&central, "test-fail-1");
+    assert_eq!(trace.hops.len(), 1);
+    assert!(trace.was_faulted());
+}
+
+#[test]
+fn collector_survives_agent_restart_and_accumulates() {
+    let central = EventStore::shared();
+    let collector = CollectorServer::start(Arc::clone(&central), "127.0.0.1:0").unwrap();
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("x")
+    })
+    .unwrap();
+    let client = HttpClient::new();
+
+    for generation in 0..2 {
+        let sink = Arc::new(HttpEventSink::new(collector.local_addr()));
+        let agent = GremlinAgent::start(
+            AgentConfig::new("web")
+                .name(format!("agent-web-{generation}"))
+                .route("db", vec![backend.local_addr()]),
+            Arc::clone(&sink) as Arc<dyn gremlin::store::EventSink>,
+        )
+        .unwrap();
+        client
+            .send(
+                agent.route_addr("db").unwrap(),
+                Request::builder(Method::Get, "/g")
+                    .request_id(format!("test-{generation}"))
+                    .build(),
+            )
+            .unwrap();
+        sink.flush();
+        agent.shutdown();
+    }
+    assert_eq!(central.len(), 4, "two generations x (request + response)");
+    // Events carry the generation's agent name.
+    let agents: std::collections::BTreeSet<String> = central
+        .snapshot()
+        .into_iter()
+        .map(|e| e.agent)
+        .collect();
+    assert_eq!(agents.len(), 2);
+}
+
+#[test]
+fn exported_log_from_collector_feeds_offline_analysis() {
+    let central = EventStore::shared();
+    let collector = CollectorServer::start(Arc::clone(&central), "127.0.0.1:0").unwrap();
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("x")
+    })
+    .unwrap();
+    let sink = Arc::new(HttpEventSink::new(collector.local_addr()));
+    let agent = GremlinAgent::start(
+        AgentConfig::new("web").route("db", vec![backend.local_addr()]),
+        Arc::clone(&sink) as Arc<dyn gremlin::store::EventSink>,
+    )
+    .unwrap();
+    let client = HttpClient::new();
+    client
+        .send(
+            agent.route_addr("db").unwrap(),
+            Request::builder(Method::Get, "/q").request_id("test-1").build(),
+        )
+        .unwrap();
+    sink.flush();
+
+    // GET /events gives ndjson that a fresh store can import —
+    // the offline-analysis workflow the CLI's `check` command uses.
+    let exported = client
+        .send(collector.local_addr(), Request::get("/events"))
+        .unwrap();
+    let offline = EventStore::new();
+    let imported = offline.import_json(&exported.body_str()).unwrap();
+    assert_eq!(imported, 2);
+    assert_eq!(offline.query(&Query::requests("web", "db")).len(), 1);
+}

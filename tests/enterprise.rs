@@ -1,0 +1,178 @@
+//! The IBM enterprise-application case study (paper §7.1, Figure 4):
+//! a user-facing Web App aggregating internal backend services and
+//! external APIs (github.com, stackoverflow.com stand-ins), whose
+//! developers relied on a Unirest-style library for failure handling.
+//!
+//! The paper's key finding: the library's timeout pattern did not
+//! cover TCP connection failures — those errors percolated out of the
+//! failure-handling layer. The tests stage exactly that discovery.
+
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, Scenario, TestContext};
+use gremlin::http::StatusCode;
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::{Pattern, Query};
+
+/// The enterprise topology: webapp -> {search-api, activity-api,
+/// github, stackoverflow}.
+fn enterprise(webapp_policy: fn() -> ResiliencePolicy) -> (Deployment, TestContext) {
+    let backends = ["search-api", "activity-api", "github", "stackoverflow"];
+    let mut builder = Deployment::builder();
+    for backend in backends {
+        builder = builder.service(ServiceSpec::new(
+            backend,
+            StaticResponder::ok(format!("{backend}-data")),
+        ));
+    }
+    let mut webapp = ServiceSpec::new(
+        "webapp",
+        Aggregator::new(backends.iter().map(|b| b.to_string()).collect(), "/v1/data"),
+    );
+    for backend in backends {
+        webapp = webapp.dependency(backend, webapp_policy());
+    }
+    let deployment = builder
+        .service(webapp)
+        .ingress("user", "webapp")
+        .seed(17)
+        .build()
+        .expect("deployment starts");
+
+    let mut graph = AppGraph::new();
+    graph.add_edge("user", "webapp");
+    for backend in backends {
+        graph.add_edge("webapp", backend);
+    }
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx)
+}
+
+/// The Unirest model: read timeouts handled gracefully, connection
+/// failures escape.
+fn unirest_policy() -> ResiliencePolicy {
+    ResiliencePolicy::new()
+        .read_timeout(Duration::from_millis(500))
+        .with_unirest_connect_bug()
+}
+
+/// A fixed library: connection failures handled like any other error.
+fn fixed_policy() -> ResiliencePolicy {
+    ResiliencePolicy::new().timeout(Duration::from_millis(500))
+}
+
+#[test]
+fn baseline_aggregates_all_backends() {
+    let (deployment, _ctx) = enterprise(unirest_policy);
+    let resp = deployment.call_with_id("webapp", "/", "test-1").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert_eq!(
+        resp.body_str(),
+        "search-api=ok,activity-api=ok,github=ok,stackoverflow=ok"
+    );
+}
+
+#[test]
+fn degraded_backend_is_tolerated_gracefully() {
+    // A 503 from github is handled by the library's graceful path.
+    let (deployment, ctx) = enterprise(unirest_policy);
+    ctx.inject(&Scenario::abort("webapp", "github", 503).with_pattern("test-*"))
+        .unwrap();
+    let resp = deployment.call_with_id("webapp", "/", "test-2").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert!(resp.body_str().contains("github=error(503)"), "{}", resp.body_str());
+}
+
+#[test]
+fn slow_backend_is_tolerated_via_read_timeout() {
+    // Delay beyond the read timeout: the library times out and the
+    // aggregator reports the backend unavailable.
+    let (deployment, ctx) = enterprise(unirest_policy);
+    ctx.inject(
+        &Scenario::delay("webapp", "stackoverflow", Duration::from_secs(2))
+            .with_pattern("test-*"),
+    )
+    .unwrap();
+    let resp = deployment.call_with_id("webapp", "/", "test-3").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert!(
+        resp.body_str().contains("stackoverflow=unavailable"),
+        "{}",
+        resp.body_str()
+    );
+}
+
+/// The previously-unknown bug: emulating network instability (TCP
+/// connection termination) between the Web App and a backend makes
+/// the error percolate out of the Unirest-style library — the user
+/// sees a 500 instead of a degraded page.
+#[test]
+fn gremlin_discovers_the_unirest_connect_bug() {
+    let (deployment, ctx) = enterprise(unirest_policy);
+    ctx.inject(&Scenario::abort_reset("webapp", "github").with_pattern("test-*"))
+        .unwrap();
+    let resp = deployment.call_with_id("webapp", "/", "test-4").unwrap();
+    assert_eq!(
+        resp.status(),
+        StatusCode::INTERNAL_SERVER_ERROR,
+        "the connection error must percolate: {}",
+        resp.body_str()
+    );
+    assert!(resp.body_str().contains("unhandled"), "{}", resp.body_str());
+
+    // The same discovery through Gremlin's own observations: the
+    // user-facing service answered its upstream with a 500.
+    let replies = deployment.store().query(&Query::replies("user", "webapp"));
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].status(), Some(500));
+}
+
+#[test]
+fn fixed_library_handles_connection_failures() {
+    let (deployment, ctx) = enterprise(fixed_policy);
+    ctx.inject(&Scenario::abort_reset("webapp", "github").with_pattern("test-*"))
+        .unwrap();
+    let resp = deployment.call_with_id("webapp", "/", "test-5").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert!(resp.body_str().contains("github=unavailable"), "{}", resp.body_str());
+}
+
+/// The HasTimeouts pattern check separates the two implementations
+/// under a backend hang.
+#[test]
+fn has_timeouts_check_under_backend_hang() {
+    // With read timeouts the webapp answers quickly even when a
+    // backend hangs.
+    let (deployment, ctx) = enterprise(fixed_policy);
+    ctx.inject(
+        &Scenario::hang_for("search-api", Duration::from_secs(3)).with_pattern("test-*"),
+    )
+    .unwrap();
+    LoadGenerator::new(deployment.entry_addr("webapp").unwrap())
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(10)))
+        .run_sequential(5);
+    let check =
+        ctx.checker()
+            .has_timeouts("webapp", Duration::from_secs(1), &Pattern::new("test-*"));
+    assert!(check.passed, "{check}");
+
+    // Without any timeout the webapp's replies are held hostage by
+    // the hung backend.
+    let no_timeout = || ResiliencePolicy::new();
+    let (deployment, ctx) = enterprise(no_timeout);
+    ctx.inject(
+        &Scenario::hang_for("search-api", Duration::from_secs(2)).with_pattern("test-*"),
+    )
+    .unwrap();
+    LoadGenerator::new(deployment.entry_addr("webapp").unwrap())
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(10)))
+        .run_sequential(3);
+    let check =
+        ctx.checker()
+            .has_timeouts("webapp", Duration::from_secs(1), &Pattern::new("test-*"));
+    assert!(!check.passed, "{check}");
+}

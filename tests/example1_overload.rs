@@ -1,0 +1,184 @@
+//! The paper's §3.2 Example 1 and §4.2 "Chained failures", run
+//! against a live two-service deployment:
+//!
+//! ```text
+//! Overload(ServiceB)
+//! if HasBoundedRetries(ServiceA, ServiceB, 5):
+//!     Crash(ServiceB)
+//!     HasCircuitBreaker(ServiceA, ServiceB, ...)
+//! ```
+
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, RecipeRun, Scenario, TestContext};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::resilience::{Backoff, CircuitBreakerConfig, RetryPolicy};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::Pattern;
+
+fn deploy(policy: ResiliencePolicy) -> (Deployment, TestContext) {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("serviceB", StaticResponder::ok("data")))
+        .service(
+            ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/api"))
+                .dependency("serviceB", policy),
+        )
+        .ingress("user", "serviceA")
+        .seed(3)
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![("user", "serviceA"), ("serviceA", "serviceB")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx)
+}
+
+fn resilient_policy() -> ResiliencePolicy {
+    ResiliencePolicy::new()
+        .timeout(Duration::from_secs(2))
+        .retry(RetryPolicy::new(5).with_backoff(Backoff::constant(Duration::from_millis(1))))
+        .circuit_breaker(CircuitBreakerConfig {
+            failure_threshold: 5,
+            open_duration: Duration::from_secs(60),
+            success_threshold: 1,
+        })
+}
+
+#[test]
+fn example1_bounded_retries_pass_for_resilient_service() {
+    let (deployment, ctx) = deploy(resilient_policy());
+    ctx.inject(&Scenario::overload("serviceB").with_pattern("test-*"))
+        .unwrap();
+    LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+        .id_prefix("test")
+        .run_sequential(30);
+    let check = ctx
+        .checker()
+        .has_bounded_retries("serviceA", "serviceB", 5, &Pattern::new("test-*"));
+    assert!(check.passed, "{check}");
+}
+
+#[test]
+fn example1_detects_excessive_retries() {
+    // A service retrying 10 times fails the MaxTries=5 expectation —
+    // the bug Example 1 is designed to catch.
+    let over_eager = ResiliencePolicy::new()
+        .timeout(Duration::from_secs(2))
+        .retry(RetryPolicy::new(10).with_backoff(Backoff::none()));
+    let (deployment, ctx) = deploy(over_eager);
+    // Hard disconnect so every attempt fails and the full retry
+    // budget is spent.
+    ctx.inject(&Scenario::disconnect("serviceA", "serviceB").with_pattern("test-*"))
+        .unwrap();
+    LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+        .id_prefix("test")
+        .run_sequential(10);
+    let check = ctx
+        .checker()
+        .has_bounded_retries("serviceA", "serviceB", 5, &Pattern::new("test-*"));
+    assert!(!check.passed, "{check}");
+    assert!(check.details.contains("10 request(s)"), "{check}");
+}
+
+#[test]
+fn chained_failure_overload_then_crash() {
+    let pattern = Pattern::new("test-*");
+
+    // Step 1: Overload(ServiceB); expect bounded retries.
+    let (deployment, ctx) = deploy(resilient_policy());
+    let mut recipe = RecipeRun::new("example1-step1-overload", &ctx);
+    recipe
+        .inject(&Scenario::overload("serviceB").with_pattern("test-*"))
+        .unwrap();
+    LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+        .id_prefix("test")
+        .run_sequential(20);
+    let bounded =
+        recipe.check(ctx.checker().has_bounded_retries("serviceA", "serviceB", 5, &pattern));
+    assert!(bounded, "retries must be bounded before chaining further");
+    let report1 = recipe.finish();
+    assert!(report1.passed, "{report1}");
+
+    // Step 2: the overload may already have tripped serviceA's
+    // breaker — application state survives tests (the paper's §9
+    // "state cleanup" limitation). Chain onto a fresh copy of the
+    // application (the paper's suggested canary approach) and
+    // escalate to a Crash.
+    let (deployment, ctx) = deploy(resilient_policy());
+    let mut recipe = RecipeRun::new("example1-step2-crash", &ctx);
+    recipe
+        .inject(&Scenario::crash("serviceB").with_pattern("test-*"))
+        .unwrap();
+    LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(5)))
+        .run_sequential(30);
+    let breaker = recipe.check(ctx.checker().has_circuit_breaker(
+        "serviceA",
+        "serviceB",
+        5,
+        Duration::from_secs(30),
+        1,
+        &pattern,
+    ));
+    assert!(breaker, "circuit breaker must trip under crash");
+
+    let report2 = recipe.finish();
+    assert!(report2.passed, "{report2}");
+    assert_eq!(report1.checks.len() + report2.checks.len(), 2);
+    assert_eq!(report1.injected.len() + report2.injected.len(), 2);
+}
+
+#[test]
+fn crash_without_breaker_fails_the_circuit_check() {
+    // Retries but no breaker: calls to the crashed service continue
+    // indefinitely, so HasCircuitBreaker must fail.
+    let no_breaker = ResiliencePolicy::new()
+        .timeout(Duration::from_secs(2))
+        .retry(RetryPolicy::new(3).with_backoff(Backoff::none()));
+    let (deployment, ctx) = deploy(no_breaker);
+    ctx.inject(&Scenario::crash("serviceB").with_pattern("test-*"))
+        .unwrap();
+    LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(5)))
+        .run_sequential(30);
+    let check = ctx.checker().has_circuit_breaker(
+        "serviceA",
+        "serviceB",
+        5,
+        Duration::from_secs(30),
+        1,
+        &Pattern::new("test-*"),
+    );
+    assert!(!check.passed, "{check}");
+}
+
+#[test]
+fn overload_splits_traffic_between_abort_and_delay() {
+    let (deployment, ctx) = deploy(ResiliencePolicy::new().timeout(Duration::from_secs(2)));
+    ctx.inject(&Scenario::overload("serviceB").with_pattern("test-*"))
+        .unwrap();
+    let report = LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+        .id_prefix("test")
+        .run_sequential(60);
+    assert_eq!(report.len(), 60);
+
+    // ~25% of serviceA->serviceB calls aborted with 503, the rest
+    // delayed by 100 ms.
+    let store = deployment.store();
+    let replies = store.query(&gremlin::store::Query::replies("serviceA", "serviceB"));
+    let aborted = replies.iter().filter(|e| e.status() == Some(503)).count();
+    let delayed = replies
+        .iter()
+        .filter(|e| {
+            e.observed_latency()
+                .is_some_and(|l| l >= Duration::from_millis(100))
+        })
+        .count();
+    assert!(
+        (5..=35).contains(&aborted),
+        "expected ~15 aborted of 60, got {aborted}"
+    );
+    assert!(delayed >= 25, "expected most calls delayed, got {delayed}");
+}

@@ -1,0 +1,129 @@
+//! Fault confinement to specific request flows (paper §4.1,
+//! "Injecting faults on specific request flows"): faults keyed on
+//! `test-*` IDs must leave production traffic untouched — the
+//! property that makes Gremlin safe to run against live deployments.
+
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, Scenario, TestContext};
+use gremlin::http::StatusCode;
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::{Pattern, Query};
+
+fn deploy() -> (Deployment, TestContext) {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("backend", StaticResponder::ok("data")))
+        .service(
+            ServiceSpec::new("frontend", Aggregator::new(vec!["backend".into()], "/api"))
+                .dependency(
+                    "backend",
+                    ResiliencePolicy::new().timeout(Duration::from_secs(2)),
+                ),
+        )
+        .ingress("user", "frontend")
+        .seed(13)
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![("user", "frontend"), ("frontend", "backend")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx)
+}
+
+#[test]
+fn production_traffic_is_untouched_by_test_faults() {
+    let (deployment, ctx) = deploy();
+    ctx.inject(&Scenario::crash("backend").with_pattern("test-*"))
+        .unwrap();
+
+    // Interleave production and test traffic.
+    let entry = deployment.entry_addr("frontend").unwrap();
+    let prod = LoadGenerator::new(entry).id_prefix("prod").run_sequential(20);
+    let test = LoadGenerator::new(entry).id_prefix("test").run_sequential(20);
+
+    // Production flows all healthy.
+    assert_eq!(prod.successes(), 20);
+    for outcome in &prod.outcomes {
+        assert_eq!(outcome.status, Some(200), "{outcome:?}");
+    }
+    // Test flows all see the (gracefully handled) crash.
+    assert_eq!(test.successes(), 20, "aggregator degrades gracefully");
+
+    // On the wire: backend replies for prod flows are genuine 200s;
+    // test flows saw TCP-level failures.
+    let store = deployment.store();
+    let prod_replies = store.query(
+        &Query::replies("frontend", "backend").with_id_pattern(Pattern::new("prod-*")),
+    );
+    assert_eq!(prod_replies.len(), 20);
+    assert!(prod_replies.iter().all(|e| e.status() == Some(200)));
+    assert!(prod_replies.iter().all(|e| !e.is_faulted()));
+
+    let test_replies = store.query(
+        &Query::replies("frontend", "backend").with_id_pattern(Pattern::new("test-*")),
+    );
+    assert!(!test_replies.is_empty());
+    assert!(test_replies.iter().all(|e| e.status() == Some(0)));
+    assert!(test_replies.iter().all(|e| e.is_faulted()));
+}
+
+#[test]
+fn requests_without_ids_only_match_wildcard_rules() {
+    let (deployment, ctx) = deploy();
+    ctx.inject(&Scenario::abort("frontend", "backend", 503).with_pattern("test-*"))
+        .unwrap();
+
+    // A request with no Gremlin ID sails through.
+    let entry = deployment.entry_addr("frontend").unwrap();
+    let client = gremlin::http::HttpClient::new();
+    let resp = client
+        .send(entry, gremlin::http::Request::get("/"))
+        .unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    assert_eq!(resp.body_str(), "backend=ok");
+
+    // Switch to a wildcard rule: now even ID-less traffic is hit.
+    ctx.clear_faults().unwrap();
+    ctx.inject(&Scenario::abort("frontend", "backend", 503))
+        .unwrap();
+    let resp = client
+        .send(entry, gremlin::http::Request::get("/"))
+        .unwrap();
+    assert_eq!(resp.body_str(), "backend=error(503)");
+}
+
+#[test]
+fn distinct_test_flows_can_get_distinct_faults() {
+    let (deployment, ctx) = deploy();
+    // Flow family A is aborted; flow family B is delayed.
+    ctx.orchestrator()
+        .apply_rules(&[
+            gremlin::proxy::Rule::abort("frontend", "backend", gremlin::proxy::AbortKind::Status(503))
+                .with_pattern("test-a-*"),
+            gremlin::proxy::Rule::delay("frontend", "backend", Duration::from_millis(120))
+                .with_pattern("test-b-*"),
+        ])
+        .unwrap();
+
+    let a = deployment.call_with_id("frontend", "/", "test-a-1").unwrap();
+    assert_eq!(a.body_str(), "backend=error(503)");
+
+    let started = std::time::Instant::now();
+    let b = deployment.call_with_id("frontend", "/", "test-b-1").unwrap();
+    assert_eq!(b.body_str(), "backend=ok");
+    assert!(started.elapsed() >= Duration::from_millis(120));
+}
+
+#[test]
+fn clearing_faults_restores_all_flows() {
+    let (deployment, ctx) = deploy();
+    ctx.inject(&Scenario::disconnect("frontend", "backend").with_pattern("test-*"))
+        .unwrap();
+    let before = deployment.call_with_id("frontend", "/", "test-1").unwrap();
+    assert_eq!(before.body_str(), "backend=error(503)");
+
+    ctx.clear_faults().unwrap();
+    let after = deployment.call_with_id("frontend", "/", "test-2").unwrap();
+    assert_eq!(after.body_str(), "backend=ok");
+}

@@ -1,0 +1,277 @@
+//! Replaying the real-world outages of Table 1 with §5's recipes:
+//! the Stackdriver cascading middleware failure (Cassandra → message
+//! bus) and the BBC/Joyent data-store overloads.
+
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, RecipeRun, Scenario, TestContext};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::resilience::{Backoff, CircuitBreakerConfig, RetryPolicy};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::Pattern;
+
+/// Stackdriver, October 2013: services publish into a message bus
+/// whose consumer forwards to Cassandra. When Cassandra crashed the
+/// failure percolated to the bus and blocked the publishers.
+///
+/// Topology: publisher -> messagebus -> cassandra.
+fn stackdriver(publisher_policy: ResiliencePolicy, bus_policy: ResiliencePolicy) -> (Deployment, TestContext) {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("cassandra", StaticResponder::ok("stored")))
+        .service(
+            ServiceSpec::new(
+                "messagebus",
+                Aggregator::new(vec!["cassandra".into()], "/write"),
+            )
+            .dependency("cassandra", bus_policy),
+        )
+        .service(
+            ServiceSpec::new(
+                "publisher",
+                Aggregator::new(vec!["messagebus".into()], "/publish"),
+            )
+            .dependency("messagebus", publisher_policy),
+        )
+        .ingress("user", "publisher")
+        .seed(23)
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![
+        ("user", "publisher"),
+        ("publisher", "messagebus"),
+        ("messagebus", "cassandra"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx)
+}
+
+/// §5's recipe:
+/// ```text
+/// Crash('cassandra')
+/// for s in dependents('messagebus'):
+///     if not HasTimeouts(s, '1s') and not HasCircuitBreaker(s, 'messagebus', ...):
+///         raise 'Will block on message bus'
+/// ```
+#[test]
+fn stackdriver_cascading_failure_recipe_flags_naive_publisher() {
+    // Publisher with neither timeout nor breaker; the bus hangs on a
+    // crashed Cassandra because it, too, has no timeout.
+    let (deployment, ctx) = stackdriver(ResiliencePolicy::new(), ResiliencePolicy::new());
+    let mut recipe = RecipeRun::new("stackdriver-cascade", &ctx);
+    // Emulate the Cassandra crash as a hang (a crashed node's
+    // connections black-hole first; scaled down to keep tests fast).
+    recipe
+        .inject(&Scenario::hang_for("cassandra", Duration::from_secs(2)).with_pattern("test-*"))
+        .unwrap();
+    LoadGenerator::new(deployment.entry_addr("publisher").unwrap())
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(10)))
+        .run_sequential(3);
+
+    let pattern = Pattern::new("test-*");
+    for dependent in ctx.graph().dependents("messagebus") {
+        let timeouts =
+            ctx.checker()
+                .has_timeouts(&dependent, Duration::from_secs(1), &pattern);
+        let breaker = ctx.checker().has_circuit_breaker(
+            &dependent,
+            "messagebus",
+            5,
+            Duration::from_secs(30),
+            1,
+            &pattern,
+        );
+        let will_block = !recipe.check(timeouts) && !recipe.check(breaker);
+        assert!(
+            will_block,
+            "the naive publisher must be flagged: it will block on the message bus"
+        );
+    }
+    let report = recipe.finish();
+    assert!(!report.passed, "{report}");
+}
+
+#[test]
+fn stackdriver_recipe_passes_with_timeouts() {
+    // Give both hops timeouts: the publisher answers promptly even
+    // with Cassandra hung.
+    let with_timeout = ResiliencePolicy::new().timeout(Duration::from_millis(300));
+    let (deployment, ctx) = stackdriver(with_timeout.clone(), with_timeout);
+    ctx.inject(&Scenario::hang_for("cassandra", Duration::from_secs(2)).with_pattern("test-*"))
+        .unwrap();
+    LoadGenerator::new(deployment.entry_addr("publisher").unwrap())
+        .id_prefix("test")
+        .read_timeout(Some(Duration::from_secs(10)))
+        .run_sequential(3);
+    let check = ctx.checker().has_timeouts(
+        "publisher",
+        Duration::from_secs(1),
+        &Pattern::new("test-*"),
+    );
+    assert!(check.passed, "{check}");
+}
+
+/// BBC Online, July 2014 / Joyent, July 2015: an overloaded database
+/// throttles requests; services without local caching/breakers time
+/// out and fail completely.
+///
+/// §5's recipe:
+/// ```text
+/// Overload('database')
+/// for s in dependents('database'):
+///     if not HasCircuitBreaker(s, 'database', ...):
+///         raise 'Will overload database'
+/// ```
+#[test]
+fn bbc_database_overload_recipe() {
+    fn deploy(policy: ResiliencePolicy) -> (Deployment, TestContext) {
+        let deployment = Deployment::builder()
+            .service(ServiceSpec::new("database", StaticResponder::ok("rows")))
+            .service(
+                ServiceSpec::new("iplayer", Aggregator::new(vec!["database".into()], "/q"))
+                    .dependency("database", policy),
+            )
+            .ingress("user", "iplayer")
+            .seed(29)
+            .build()
+            .expect("deployment starts");
+        let graph = AppGraph::from_edges(vec![("user", "iplayer"), ("iplayer", "database")]);
+        let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+        (deployment, ctx)
+    }
+    let pattern = Pattern::new("test-*");
+
+    // Naive service: hammers the overloaded database forever.
+    let (deployment, ctx) = deploy(
+        ResiliencePolicy::new()
+            .timeout(Duration::from_secs(2))
+            .retry(RetryPolicy::new(3).with_backoff(Backoff::none())),
+    );
+    // Make the overload near-total so failures accumulate.
+    ctx.inject(
+        &Scenario::overload_with("database", 503, 0.9, Duration::from_millis(20))
+            .with_pattern("test-*"),
+    )
+    .unwrap();
+    LoadGenerator::new(deployment.entry_addr("iplayer").unwrap())
+        .id_prefix("test")
+        .run_sequential(25);
+    let naive = ctx.checker().has_circuit_breaker(
+        "iplayer",
+        "database",
+        5,
+        Duration::from_secs(30),
+        1,
+        &pattern,
+    );
+    assert!(!naive.passed, "recipe must raise 'Will overload database': {naive}");
+
+    // Hardened service: breaker trips and the database is spared.
+    let (deployment, ctx) = deploy(
+        ResiliencePolicy::new()
+            .timeout(Duration::from_secs(2))
+            .circuit_breaker(CircuitBreakerConfig {
+                failure_threshold: 5,
+                open_duration: Duration::from_secs(60),
+                success_threshold: 1,
+            }),
+    );
+    ctx.inject(
+        &Scenario::overload_with("database", 503, 1.0, Duration::from_millis(20))
+            .with_pattern("test-*"),
+    )
+    .unwrap();
+    LoadGenerator::new(deployment.entry_addr("iplayer").unwrap())
+        .id_prefix("test")
+        .run_sequential(25);
+    let hardened = ctx.checker().has_circuit_breaker(
+        "iplayer",
+        "database",
+        5,
+        Duration::from_secs(30),
+        1,
+        &pattern,
+    );
+    assert!(hardened.passed, "{hardened}");
+}
+
+/// §5's network partition: severing the cut between two groups with
+/// TCP resets.
+#[test]
+fn partition_severs_only_cut_edges() {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("db", StaticResponder::ok("rows")))
+        .service(
+            ServiceSpec::new("svc-east", Aggregator::new(vec!["db".into()], "/q"))
+                .dependency("db", ResiliencePolicy::new().timeout(Duration::from_secs(2))),
+        )
+        .service(
+            ServiceSpec::new("svc-west", Aggregator::new(vec!["db".into()], "/q"))
+                .dependency("db", ResiliencePolicy::new().timeout(Duration::from_secs(2))),
+        )
+        .seed(31)
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![("svc-east", "db"), ("svc-west", "db")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+
+    // Partition: west side loses the database.
+    ctx.inject(
+        &Scenario::partition(
+            vec!["svc-west".to_string()],
+            vec!["db".to_string(), "svc-east".to_string()],
+        )
+        .with_pattern("test-*"),
+    )
+    .unwrap();
+
+    let east = deployment.call_with_id("svc-east", "/", "test-1").unwrap();
+    assert_eq!(east.body_str(), "db=ok", "east side unaffected");
+    let west = deployment.call_with_id("svc-west", "/", "test-2").unwrap();
+    assert!(
+        west.body_str().contains("db=unavailable"),
+        "west side cut off: {}",
+        west.body_str()
+    );
+}
+
+/// §5's FakeSuccess: corrupting a healthy response to exercise input
+/// validation in dependents.
+#[test]
+fn fake_success_corrupts_payload() {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("config", StaticResponder::ok("key=value")))
+        .service(
+            ServiceSpec::new("app", Aggregator::new(vec!["config".into()], "/get"))
+                .dependency("config", ResiliencePolicy::new()),
+        )
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![("app", "config")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    ctx.inject(&Scenario::fake_success("config", "key", "badkey").with_pattern("test-*"))
+        .unwrap();
+
+    // The corrupted payload still reads as a success to the app —
+    // exactly the class of bug FakeSuccess hunts for.
+    let resp = deployment.call_with_id("app", "/", "test-1").unwrap();
+    assert_eq!(resp.body_str(), "config=ok");
+
+    // The corruption is visible on the wire.
+    let direct = deployment
+        .agent("app")
+        .unwrap()
+        .route_addr("config")
+        .unwrap();
+    let client = gremlin::http::HttpClient::new();
+    let raw = client
+        .send(
+            direct,
+            gremlin::http::Request::builder(gremlin::http::Method::Get, "/get")
+                .request_id("test-9")
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(raw.body_str(), "badkey=value");
+}

@@ -1,0 +1,86 @@
+//! The control plane driving agents over the out-of-band REST
+//! control channel (paper §4.2 / §6), rather than in-process handles:
+//! the same orchestrator and recipes work against `ControlClient`s.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, Scenario, TestContext};
+use gremlin::proxy::{AgentControl, ControlClient, ControlServer};
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+
+fn deploy() -> Deployment {
+    Deployment::builder()
+        .service(ServiceSpec::new("backend", StaticResponder::ok("data")))
+        .service(
+            ServiceSpec::new("frontend", Aggregator::new(vec!["backend".into()], "/api"))
+                .dependency(
+                    "backend",
+                    ResiliencePolicy::new().timeout(Duration::from_secs(2)),
+                ),
+        )
+        .ingress("user", "frontend")
+        .build()
+        .expect("deployment starts")
+}
+
+#[test]
+fn orchestrate_through_rest_control_channel() {
+    let deployment = deploy();
+
+    // Expose every agent through a control REST endpoint, then build
+    // the control plane purely from remote clients.
+    let mut control_servers = Vec::new();
+    let mut remote_controls: Vec<Arc<dyn AgentControl>> = Vec::new();
+    for agent in deployment.agents() {
+        let server = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
+        let client = ControlClient::connect(server.local_addr()).unwrap();
+        remote_controls.push(Arc::new(client));
+        control_servers.push(server);
+    }
+
+    let graph = AppGraph::from_edges(vec![("user", "frontend"), ("frontend", "backend")]);
+    let ctx = TestContext::new(graph, remote_controls, deployment.store().clone());
+
+    // Stage a disconnect via REST and observe it on the data path.
+    ctx.inject(&Scenario::disconnect("frontend", "backend").with_pattern("test-*"))
+        .unwrap();
+    let resp = deployment.call_with_id("frontend", "/", "test-1").unwrap();
+    assert_eq!(resp.body_str(), "backend=error(503)");
+
+    // The rules are visible through the remote listing, attributed to
+    // the right agent.
+    let frontend_agent = deployment.agent("frontend").unwrap();
+    assert_eq!(frontend_agent.rules().len(), 1);
+    let user_agent = deployment.agent("user").unwrap();
+    assert!(user_agent.rules().is_empty());
+
+    // Clearing through REST restores traffic.
+    ctx.clear_faults().unwrap();
+    assert!(frontend_agent.rules().is_empty());
+    let resp = deployment.call_with_id("frontend", "/", "test-2").unwrap();
+    assert_eq!(resp.body_str(), "backend=ok");
+}
+
+#[test]
+fn remote_health_reflects_installed_rules() {
+    let deployment = deploy();
+    let agent = deployment.agent("frontend").unwrap();
+    let server = ControlServer::start(Arc::clone(agent), "127.0.0.1:0").unwrap();
+    let client = ControlClient::connect(server.local_addr()).unwrap();
+
+    assert_eq!(client.health().unwrap().rules, 0);
+    client
+        .install_rules(&[gremlin::proxy::Rule::delay(
+            "frontend",
+            "backend",
+            Duration::from_millis(10),
+        )])
+        .unwrap();
+    let health = client.health().unwrap();
+    assert_eq!(health.rules, 1);
+    assert_eq!(health.service, "frontend");
+    client.clear_rules().unwrap();
+    assert_eq!(client.health().unwrap().rules, 0);
+}

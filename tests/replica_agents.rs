@@ -1,0 +1,142 @@
+//! Figure 3 fidelity: an application running multiple instances of a
+//! service has one Gremlin agent per instance, and the Failure
+//! Orchestrator locates and configures **all** of them, so the fault
+//! affects communication between every pair of instances.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, Scenario, TestContext};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::{Pattern, Query};
+
+/// Two instances of serviceA, two instances of serviceB (the paper's
+/// Figure 3 picture exactly).
+fn figure3() -> (Deployment, TestContext) {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("serviceB", StaticResponder::ok("b")).replicas(2))
+        .service(
+            ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/api"))
+                .replicas(2)
+                .dependency(
+                    "serviceB",
+                    ResiliencePolicy::new().timeout(Duration::from_secs(2)),
+                ),
+        )
+        .ingress("user", "serviceA")
+        .seed(7)
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![("user", "serviceA"), ("serviceA", "serviceB")]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx)
+}
+
+#[test]
+fn one_agent_per_instance() {
+    let (deployment, _ctx) = figure3();
+    assert_eq!(deployment.agents_for("serviceA").len(), 2);
+    assert_eq!(deployment.agents_for("user").len(), 1);
+    // serviceB has no outbound dependencies, hence no agents.
+    assert!(deployment.agents_for("serviceB").is_empty());
+    // All three appear in the fleet the orchestrator drives.
+    assert_eq!(deployment.controls().len(), 3);
+    // The two serviceA agents are distinct instances with distinct
+    // listeners.
+    let agents = deployment.agents_for("serviceA");
+    assert_ne!(agents[0].name(), agents[1].name());
+    assert_ne!(
+        agents[0].route_addr("serviceB"),
+        agents[1].route_addr("serviceB")
+    );
+}
+
+#[test]
+fn orchestrator_programs_every_instance() {
+    let (deployment, ctx) = figure3();
+    let stats = ctx
+        .inject(&Scenario::disconnect("serviceA", "serviceB").with_pattern("test-*"))
+        .unwrap();
+    // One logical rule, installed once per serviceA agent instance.
+    assert_eq!(stats.rules, 1);
+    assert_eq!(stats.installations, 2);
+    for agent in deployment.agents_for("serviceA") {
+        assert_eq!(agent.rules().len(), 1);
+    }
+}
+
+#[test]
+fn fault_affects_traffic_from_every_instance() {
+    let (deployment, ctx) = figure3();
+    ctx.inject(&Scenario::disconnect("serviceA", "serviceB").with_pattern("test-*"))
+        .unwrap();
+    // Load fans out over both serviceA replicas via the ingress
+    // agent's round-robin; fresh connections ensure both replicas
+    // actually serve.
+    let report = LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
+        .id_prefix("test")
+        .run_closed(4, 5);
+    assert_eq!(report.len(), 20);
+    // Every flow saw the injected failure regardless of which
+    // instance handled it.
+    let store = deployment.store();
+    let faulted = store.query(
+        &Query::replies("serviceA", "serviceB")
+            .with_id_pattern(Pattern::new("test-*"))
+            .with_faulted(true),
+    );
+    assert_eq!(faulted.len(), 20, "all 20 calls aborted");
+    // And both agent instances logged observations.
+    let reporting_agents: BTreeSet<String> =
+        faulted.into_iter().map(|event| event.agent).collect();
+    assert_eq!(
+        reporting_agents.len(),
+        2,
+        "both serviceA instances saw faulted traffic: {reporting_agents:?}"
+    );
+}
+
+#[test]
+fn replicas_keep_independent_breaker_state() {
+    use gremlin::mesh::resilience::{CircuitBreakerConfig, CircuitState};
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("serviceB", StaticResponder::ok("b")))
+        .service(
+            ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/api"))
+                .replicas(2)
+                .dependency(
+                    "serviceB",
+                    ResiliencePolicy::new()
+                        .timeout(Duration::from_secs(1))
+                        .circuit_breaker(CircuitBreakerConfig {
+                            failure_threshold: 3,
+                            open_duration: Duration::from_secs(60),
+                            success_threshold: 1,
+                        }),
+                ),
+        )
+        .build()
+        .expect("deployment starts");
+
+    // Trip replica 0's breaker directly through its own client.
+    let service = deployment.service("serviceA").unwrap();
+    let breaker_0 = service
+        .replica_dependency(0, "serviceB")
+        .unwrap()
+        .breaker()
+        .unwrap();
+    for _ in 0..3 {
+        breaker_0.record_failure();
+    }
+    assert_eq!(breaker_0.state(), CircuitState::Open);
+
+    // Replica 1's breaker is an independent instance, still closed.
+    let breaker_1 = service
+        .replica_dependency(1, "serviceB")
+        .unwrap()
+        .breaker()
+        .unwrap();
+    assert_eq!(breaker_1.state(), CircuitState::Closed);
+}

@@ -1,0 +1,234 @@
+//! The WordPress + ElasticPress case study (paper §7.1, Figures 5
+//! and 6), in miniature.
+//!
+//! The deployment models the paper's three unmodified services:
+//! WordPress (with the ElasticPress plugin enabled), Elasticsearch,
+//! and MySQL. ElasticPress falls back to MySQL-powered search when
+//! Elasticsearch is unreachable or errors — but ships **no timeout
+//! and no circuit breaker**, the two bugs the paper demonstrates.
+
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, Scenario, TestContext};
+use gremlin::loadgen::LoadGenerator;
+use gremlin::mesh::behaviors::{FallbackSearch, StaticResponder};
+use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::store::Pattern;
+
+/// ElasticPress as shipped: graceful fallback, no timeout, no
+/// breaker.
+fn wordpress_deployment() -> (Deployment, TestContext) {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("elasticsearch", StaticResponder::ok("es-hits")))
+        .service(ServiceSpec::new("mysql", StaticResponder::ok("sql-rows")))
+        .service(
+            ServiceSpec::new(
+                "wordpress",
+                FallbackSearch::new("elasticsearch", "mysql", "/search"),
+            )
+            // The plugin's actual policies: nothing.
+            .dependency("elasticsearch", ResiliencePolicy::new())
+            .dependency("mysql", ResiliencePolicy::new()),
+        )
+        .ingress("user", "wordpress")
+        .seed(5)
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![
+        ("user", "wordpress"),
+        ("wordpress", "elasticsearch"),
+        ("wordpress", "mysql"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    (deployment, ctx)
+}
+
+#[test]
+fn fallback_to_mysql_works_when_elasticsearch_errors() {
+    let (deployment, ctx) = wordpress_deployment();
+    ctx.inject(
+        &Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"),
+    )
+    .unwrap();
+    let resp = deployment.call_with_id("wordpress", "/search", "test-1").unwrap();
+    assert_eq!(resp.body_str(), "source=mysql;sql-rows");
+
+    // The HasFallback extension check confirms the pattern from the
+    // observation logs alone.
+    let check = ctx.checker().has_fallback(
+        "wordpress",
+        "elasticsearch",
+        "mysql",
+        &Pattern::new("test-*"),
+    );
+    assert!(check.passed, "{check}");
+}
+
+#[test]
+fn fallback_to_mysql_works_when_elasticsearch_unreachable() {
+    let (deployment, ctx) = wordpress_deployment();
+    ctx.inject(&Scenario::abort_reset("wordpress", "elasticsearch").with_pattern("test-*"))
+        .unwrap();
+    let resp = deployment.call_with_id("wordpress", "/search", "test-1").unwrap();
+    assert_eq!(resp.body_str(), "source=mysql;sql-rows");
+}
+
+/// Figure 5's finding: with delays injected between WordPress and
+/// Elasticsearch, WordPress response times are always offset by the
+/// injected delay — the fastest response equals the delay, proving
+/// the plugin has no timeout pattern.
+#[test]
+fn figure5_response_floor_tracks_injected_delay() {
+    for delay_ms in [100u64, 200] {
+        let (deployment, ctx) = wordpress_deployment();
+        ctx.inject(
+            &Scenario::delay(
+                "wordpress",
+                "elasticsearch",
+                Duration::from_millis(delay_ms),
+            )
+            .with_pattern("test-*"),
+        )
+        .unwrap();
+        let report = LoadGenerator::new(deployment.entry_addr("wordpress").unwrap())
+            .path("/search")
+            .id_prefix("test")
+            .run_sequential(10);
+        let summary = report.summary().expect("non-empty");
+        assert!(
+            summary.min >= Duration::from_millis(delay_ms),
+            "delay {delay_ms}ms: fastest response {:?} should be >= the injected delay",
+            summary.min
+        );
+        // And the HasTimeouts assertion flags the missing pattern.
+        let check = ctx.checker().has_timeouts(
+            "wordpress",
+            Duration::from_millis(delay_ms / 2),
+            &Pattern::new("test-*"),
+        );
+        assert!(!check.passed, "{check}");
+    }
+}
+
+/// Figure 6's finding: after 100 consecutive aborted requests, the
+/// next (delayed) requests all complete only after the injected
+/// delay — none return fast, so no circuit breaker tripped.
+#[test]
+fn figure6_no_circuit_breaker_in_elasticpress() {
+    let (deployment, ctx) = wordpress_deployment();
+    let generator = LoadGenerator::new(deployment.entry_addr("wordpress").unwrap())
+        .path("/search")
+        .id_prefix("test");
+
+    // Phase 1: abort a batch of consecutive requests (scaled down
+    // from the paper's 100 to keep the suite fast).
+    ctx.inject(
+        &Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"),
+    )
+    .unwrap();
+    let aborted = generator.clone().run_sequential(25);
+    // The fallback keeps WordPress answering 200 via MySQL.
+    assert_eq!(aborted.successes(), 25);
+
+    // Phase 2: clear, then delay the next batch.
+    ctx.clear_faults().unwrap();
+    ctx.inject(
+        &Scenario::delay(
+            "wordpress",
+            "elasticsearch",
+            Duration::from_millis(150),
+        )
+        .with_pattern("test-*"),
+    )
+    .unwrap();
+    let delayed = generator.run_sequential(10);
+
+    // With a tripped breaker a portion of these would return
+    // immediately (short-circuit to MySQL). They do not.
+    let fast = delayed
+        .latencies()
+        .iter()
+        .filter(|l| **l < Duration::from_millis(150))
+        .count();
+    assert_eq!(
+        fast, 0,
+        "no delayed request may return before the injected delay without a breaker"
+    );
+
+    // The Gremlin assertion reaches the same verdict.
+    let check = ctx.checker().has_circuit_breaker(
+        "wordpress",
+        "elasticsearch",
+        25,
+        Duration::from_secs(30),
+        1,
+        &Pattern::new("test-*"),
+    );
+    assert!(!check.passed, "{check}");
+}
+
+/// The contrast experiment: the same topology with a correct circuit
+/// breaker short-circuits the delayed batch.
+#[test]
+fn figure6_contrast_with_breaker_requests_return_fast() {
+    let deployment = Deployment::builder()
+        .service(ServiceSpec::new("elasticsearch", StaticResponder::ok("es-hits")))
+        .service(ServiceSpec::new("mysql", StaticResponder::ok("sql-rows")))
+        .service(
+            ServiceSpec::new(
+                "wordpress",
+                FallbackSearch::new("elasticsearch", "mysql", "/search"),
+            )
+            .dependency(
+                "elasticsearch",
+                ResiliencePolicy::new().circuit_breaker(
+                    gremlin::mesh::resilience::CircuitBreakerConfig {
+                        failure_threshold: 5,
+                        open_duration: Duration::from_secs(60),
+                        success_threshold: 1,
+                    },
+                ),
+            )
+            .dependency("mysql", ResiliencePolicy::new()),
+        )
+        .ingress("user", "wordpress")
+        .build()
+        .expect("deployment starts");
+    let graph = AppGraph::from_edges(vec![
+        ("user", "wordpress"),
+        ("wordpress", "elasticsearch"),
+        ("wordpress", "mysql"),
+    ]);
+    let ctx = TestContext::new(graph, deployment.controls(), deployment.store().clone());
+    let generator = LoadGenerator::new(deployment.entry_addr("wordpress").unwrap())
+        .path("/search")
+        .id_prefix("test");
+
+    ctx.inject(
+        &Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"),
+    )
+    .unwrap();
+    generator.clone().run_sequential(10); // trips the breaker after 5
+
+    ctx.clear_faults().unwrap();
+    ctx.inject(
+        &Scenario::delay(
+            "wordpress",
+            "elasticsearch",
+            Duration::from_millis(150),
+        )
+        .with_pattern("test-*"),
+    )
+    .unwrap();
+    let delayed = generator.run_sequential(10);
+    let fast = delayed
+        .latencies()
+        .iter()
+        .filter(|l| **l < Duration::from_millis(150))
+        .count();
+    assert_eq!(
+        fast, 10,
+        "with the breaker open every request short-circuits to MySQL"
+    );
+    assert!(delayed.outcomes.iter().all(|o| o.is_success()));
+}
