@@ -1,0 +1,131 @@
+//! Criterion benches for the telemetry hot path: what one histogram
+//! `record` costs on the proxy's per-message path, and what scraping
+//! (snapshot + render) costs off it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gremlin_telemetry::{LatencyHistogram, MetricsRegistry};
+
+/// Deterministic latencies spread across the histogram's range
+/// (sub-ms to tens of seconds) so every bench run touches the same
+/// buckets.
+fn sample_latencies(n: usize) -> Vec<u64> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // 1µs .. ~16s, log-ish spread.
+            1 + (state >> 40) % 16_000_000
+        })
+        .collect()
+}
+
+/// The per-message cost: one `record` on a shared histogram.
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/record");
+    group.throughput(Throughput::Elements(1));
+    let histogram = LatencyHistogram::new();
+    let latencies = sample_latencies(1024);
+    let mut i = 0;
+    group.bench_function("record_micros", |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            histogram.record_micros(std::hint::black_box(latencies[i]));
+        })
+    });
+    group.bench_function("record_duration", |b| {
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            histogram.record(std::hint::black_box(Duration::from_micros(latencies[i])));
+        })
+    });
+    // Contended: the same histogram hammered from several threads, as
+    // when many proxy workers share one route series.
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("record_contended", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let histogram = Arc::new(LatencyHistogram::new());
+                    let start = std::time::Instant::now();
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let histogram = Arc::clone(&histogram);
+                            std::thread::spawn(move || {
+                                for v in 0..iters {
+                                    histogram.record_micros(std::hint::black_box(v % 1000));
+                                }
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        handle.join().unwrap();
+                    }
+                    start.elapsed() / threads as u32
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The scrape path: snapshotting a populated histogram and computing
+/// percentiles from it.
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/snapshot");
+    let histogram = LatencyHistogram::new();
+    for v in sample_latencies(100_000) {
+        histogram.record_micros(v);
+    }
+    group.bench_function("histogram_snapshot", |b| {
+        b.iter(|| std::hint::black_box(histogram.snapshot()))
+    });
+    let snapshot = histogram.snapshot();
+    group.bench_function("percentiles_p50_p90_p99", |b| {
+        b.iter(|| {
+            std::hint::black_box((snapshot.p50(), snapshot.p90(), snapshot.p99()));
+        })
+    });
+    group.finish();
+}
+
+/// A registry shaped like a live deployment's: full snapshot and
+/// Prometheus rendering, which is what a `GET /metrics` costs.
+fn bench_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/render");
+    for services in [4usize, 16] {
+        let registry = MetricsRegistry::new();
+        for s in 0..services {
+            let service = format!("svc-{s}");
+            let labels = [("service", service.as_str()), ("dst", "db")];
+            registry
+                .counter("gremlin_proxy_requests_total", "Requests.", &labels)
+                .add(1000);
+            let histogram = registry.histogram(
+                "gremlin_proxy_upstream_latency_seconds",
+                "Latency.",
+                &labels,
+            );
+            for v in sample_latencies(1000) {
+                histogram.record_micros(v);
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("registry_snapshot", services),
+            &registry,
+            |b, registry| b.iter(|| std::hint::black_box(registry.snapshot())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("render_prometheus", services),
+            &registry,
+            |b, registry| b.iter(|| std::hint::black_box(registry.render_prometheus())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_snapshot, bench_render);
+criterion_main!(benches);

@@ -7,6 +7,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gremlin_proxy::{AgentControl, Rule};
+use gremlin_store::now_micros;
+use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 
 use crate::error::CoreError;
 use crate::graph::AppGraph;
@@ -33,6 +35,52 @@ pub struct OrchestrationStats {
 /// Figure 3).
 pub struct FailureOrchestrator {
     agents: Vec<Arc<dyn AgentControl>>,
+    telemetry: Option<ControlTelemetry>,
+}
+
+/// Control-plane telemetry: per-agent push counters and last-seen
+/// timestamps (vectors parallel to `agents`), plus one push-latency
+/// histogram for the whole fleet.
+struct ControlTelemetry {
+    pushes: Vec<Arc<Counter>>,
+    last_seen: Vec<Arc<Gauge>>,
+    push_seconds: Arc<LatencyHistogram>,
+}
+
+impl ControlTelemetry {
+    fn new(agents: &[Arc<dyn AgentControl>], registry: &MetricsRegistry) -> ControlTelemetry {
+        let mut pushes = Vec::with_capacity(agents.len());
+        let mut last_seen = Vec::with_capacity(agents.len());
+        for agent in agents {
+            let service = agent.service_name();
+            let labels = &[("service", service.as_str())];
+            pushes.push(registry.counter(
+                "gremlin_control_rule_pushes_total",
+                "Rules pushed to the agent by the orchestrator.",
+                labels,
+            ));
+            last_seen.push(registry.gauge(
+                "gremlin_control_agent_last_seen_timestamp_us",
+                "Unix microseconds of the agent's last successful control call.",
+                labels,
+            ));
+        }
+        ControlTelemetry {
+            pushes,
+            last_seen,
+            push_seconds: registry.histogram(
+                "gremlin_control_push_seconds",
+                "Wall-clock time of one fleet-wide rule push.",
+                &[],
+            ),
+        }
+    }
+
+    fn saw_agent(&self, index: usize) {
+        if let Some(gauge) = self.last_seen.get(index) {
+            gauge.set(now_micros() as i64);
+        }
+    }
 }
 
 impl std::fmt::Debug for FailureOrchestrator {
@@ -47,7 +95,24 @@ impl FailureOrchestrator {
     /// Creates an orchestrator driving the given agent handles
     /// (in-process agents or remote control clients).
     pub fn new(agents: Vec<Arc<dyn AgentControl>>) -> FailureOrchestrator {
-        FailureOrchestrator { agents }
+        FailureOrchestrator {
+            agents,
+            telemetry: None,
+        }
+    }
+
+    /// Creates an orchestrator that records control-plane telemetry
+    /// (rule pushes, push latency, per-agent last-seen timestamps)
+    /// into `registry`.
+    pub fn with_telemetry(
+        agents: Vec<Arc<dyn AgentControl>>,
+        registry: &MetricsRegistry,
+    ) -> FailureOrchestrator {
+        let telemetry = ControlTelemetry::new(&agents, registry);
+        FailureOrchestrator {
+            agents,
+            telemetry: Some(telemetry),
+        }
     }
 
     /// Number of agent instances under control.
@@ -78,7 +143,7 @@ impl FailureOrchestrator {
             }
         }
         let mut installations = 0;
-        for (agent, service) in self.agents.iter().zip(&services) {
+        for (index, (agent, service)) in self.agents.iter().zip(&services).enumerate() {
             if let Some(group) = by_src.get(service.as_str()) {
                 agent
                     .install_rules(group)
@@ -87,12 +152,20 @@ impl FailureOrchestrator {
                         source,
                     })?;
                 installations += group.len();
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry.pushes[index].add(group.len() as u64);
+                    telemetry.saw_agent(index);
+                }
             }
+        }
+        let duration = started.elapsed();
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.push_seconds.record(duration);
         }
         Ok(OrchestrationStats {
             rules: rules.len(),
             installations,
-            duration: started.elapsed(),
+            duration,
         })
     }
 
@@ -123,12 +196,19 @@ impl FailureOrchestrator {
     /// flush fails (remaining agents are still attempted).
     pub fn clear(&self) -> Result<(), CoreError> {
         let mut first_error = None;
-        for agent in &self.agents {
-            if let Err(source) = agent.clear_rules() {
-                first_error.get_or_insert(CoreError::AgentFailed {
-                    service: agent.service_name(),
-                    source,
-                });
+        for (index, agent) in self.agents.iter().enumerate() {
+            match agent.clear_rules() {
+                Ok(()) => {
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry.saw_agent(index);
+                    }
+                }
+                Err(source) => {
+                    first_error.get_or_insert(CoreError::AgentFailed {
+                        service: agent.service_name(),
+                        source,
+                    });
+                }
             }
         }
         match first_error {
@@ -269,6 +349,47 @@ mod tests {
         orchestrator.clear().unwrap();
         assert!(agent_a.rules.lock().is_empty());
         assert!(agent_b.rules.lock().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_pushes_per_agent() {
+        let registry = MetricsRegistry::new();
+        let agent_a = FakeAgent::new("a");
+        let agent_b = FakeAgent::new("b");
+        let orchestrator = FailureOrchestrator::with_telemetry(
+            vec![
+                Arc::clone(&agent_a) as Arc<dyn AgentControl>,
+                Arc::clone(&agent_b) as Arc<dyn AgentControl>,
+            ],
+            &registry,
+        );
+        orchestrator
+            .inject(&Scenario::crash("c"), &graph())
+            .unwrap();
+        orchestrator
+            .apply_rules(&[Rule::abort("a", "c", AbortKind::Status(503))])
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("gremlin_control_rule_pushes_total", &[("service", "a")]),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_value("gremlin_control_rule_pushes_total", &[("service", "b")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("gremlin_control_push_seconds", &[]).unwrap().count(),
+            2
+        );
+        assert!(
+            snap.gauge_value(
+                "gremlin_control_agent_last_seen_timestamp_us",
+                &[("service", "a")]
+            )
+            .unwrap()
+                > 0
+        );
     }
 
     #[test]

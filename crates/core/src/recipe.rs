@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use gremlin_proxy::AgentControl;
 use gremlin_store::EventStore;
+use gremlin_telemetry::{MetricsRegistry, SampleValue, TelemetrySnapshot};
 
 use crate::checker::{AssertionChecker, Check};
 use crate::error::CoreError;
@@ -29,22 +30,43 @@ pub struct TestContext {
     orchestrator: FailureOrchestrator,
     checker: AssertionChecker,
     store: Arc<EventStore>,
+    telemetry: Arc<MetricsRegistry>,
 }
 
 impl TestContext {
     /// Creates a context over the given graph, agent handles and
-    /// store.
+    /// store, with a fresh metrics registry.
     pub fn new(
         graph: AppGraph,
         agents: Vec<Arc<dyn AgentControl>>,
         store: Arc<EventStore>,
     ) -> TestContext {
+        TestContext::with_telemetry(graph, agents, store, MetricsRegistry::shared())
+    }
+
+    /// Creates a context recording control-plane and store telemetry
+    /// into a caller-supplied registry — share the registry with the
+    /// agents (via `AgentConfig::telemetry`) and the load generator
+    /// to get one unified snapshot per recipe.
+    pub fn with_telemetry(
+        graph: AppGraph,
+        agents: Vec<Arc<dyn AgentControl>>,
+        store: Arc<EventStore>,
+        telemetry: Arc<MetricsRegistry>,
+    ) -> TestContext {
+        store.enable_telemetry(&telemetry);
         TestContext {
             graph,
-            orchestrator: FailureOrchestrator::new(agents),
+            orchestrator: FailureOrchestrator::with_telemetry(agents, &telemetry),
             checker: AssertionChecker::new(Arc::clone(&store)),
             store,
+            telemetry,
         }
+    }
+
+    /// The metrics registry recipes record into.
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry
     }
 
     /// The logical application graph.
@@ -107,16 +129,19 @@ pub struct RecipeRun<'a> {
     ctx: &'a TestContext,
     checks: Vec<Check>,
     injected: Vec<String>,
+    baseline: TelemetrySnapshot,
 }
 
 impl<'a> RecipeRun<'a> {
-    /// Starts a named recipe over `ctx`.
+    /// Starts a named recipe over `ctx`, capturing a telemetry
+    /// baseline so the final report can show what this run changed.
     pub fn new(name: impl Into<String>, ctx: &'a TestContext) -> RecipeRun<'a> {
         RecipeRun {
             name: name.into(),
             ctx,
             checks: Vec::new(),
             injected: Vec::new(),
+            baseline: ctx.telemetry.snapshot(),
         }
     }
 
@@ -149,14 +174,18 @@ impl<'a> RecipeRun<'a> {
         self.checks.iter().all(|c| c.passed)
     }
 
-    /// Finishes the run, producing the report.
+    /// Finishes the run, producing the report. The report carries the
+    /// delta between the context's telemetry now and the baseline
+    /// captured when the run started.
     pub fn finish(self) -> RecipeReport {
         let passed = self.passing();
+        let metrics_delta = self.ctx.telemetry.snapshot().delta(&self.baseline);
         RecipeReport {
             name: self.name,
             injected: self.injected,
             checks: self.checks,
             passed,
+            metrics_delta,
         }
     }
 }
@@ -172,9 +201,38 @@ pub struct RecipeReport {
     pub checks: Vec<Check>,
     /// `true` when every check passed.
     pub passed: bool,
+    /// What the run changed in the context's metrics registry
+    /// (counters and histograms as before/after deltas, gauges at
+    /// their final value).
+    pub metrics_delta: TelemetrySnapshot,
+}
+
+fn format_sample_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{{{}}}", pairs.join(","))
+    }
 }
 
 impl RecipeReport {
+    /// Counter changes from the run's metrics delta, as
+    /// `(series, increment)` pairs ready for display.
+    pub fn counter_changes(&self) -> Vec<(String, u64)> {
+        self.metrics_delta
+            .samples
+            .iter()
+            .filter_map(|sample| match sample.value {
+                SampleValue::Counter(v) => Some((
+                    format!("{}{}", sample.name, format_sample_labels(&sample.labels)),
+                    v,
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Renders the report as a Markdown section (for CI summaries
     /// and postmortem docs).
     pub fn to_markdown(&self) -> String {
@@ -201,6 +259,13 @@ impl RecipeReport {
                 ));
             }
         }
+        let counters = self.counter_changes();
+        if !counters.is_empty() {
+            out.push_str("\n**Metrics delta**\n\n");
+            for (series, value) in counters {
+                out.push_str(&format!("- `{series}` +{value}\n"));
+            }
+        }
         out
     }
 }
@@ -218,6 +283,9 @@ impl fmt::Display for RecipeReport {
         }
         for check in &self.checks {
             writeln!(f, "  {check}")?;
+        }
+        for (series, value) in self.counter_changes() {
+            writeln!(f, "  metric: {series} +{value}")?;
         }
         Ok(())
     }
@@ -333,6 +401,38 @@ mod tests {
         let (ctx, _agent) = context();
         let report = RecipeRun::new("noop", &ctx).finish();
         assert!(report.passed);
+        assert!(report.metrics_delta.is_empty());
         assert!(report.to_string().contains("PASSED"));
+    }
+
+    #[test]
+    fn report_carries_metrics_delta() {
+        let (ctx, _agent) = context();
+        // Activity before the run starts is excluded by the baseline.
+        ctx.inject(&Scenario::abort("a", "b", 503)).unwrap();
+        let mut run = RecipeRun::new("delta", &ctx);
+        run.inject(&Scenario::abort("a", "b", 404)).unwrap();
+        ctx.store()
+            .record_event(gremlin_store::Event::request("a", "b", "GET", "/"));
+        let report = run.finish();
+        assert_eq!(
+            report.metrics_delta.counter_value(
+                "gremlin_control_rule_pushes_total",
+                &[("service", "a")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            report
+                .metrics_delta
+                .counter_value("gremlin_store_appends_total", &[]),
+            Some(1)
+        );
+        let text = report.to_string();
+        assert!(
+            text.contains("metric: gremlin_control_rule_pushes_total{service=a} +1"),
+            "unexpected report: {text}"
+        );
+        assert!(report.to_markdown().contains("**Metrics delta**"));
     }
 }

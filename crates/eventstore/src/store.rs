@@ -8,9 +8,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::pattern::Pattern;
 
+use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 use parking_lot::RwLock;
 
 use crate::event::{Event, Micros};
@@ -60,6 +62,39 @@ struct Inner {
     /// Request-ID index: id -> indices into `events`. A BTreeMap so
     /// prefix patterns can range-scan.
     ids: BTreeMap<String, Vec<usize>>,
+    /// Telemetry handles, set via [`EventStore::enable_telemetry`].
+    /// Lives behind the store's own lock, so instrumented operations
+    /// pay no extra synchronization.
+    telemetry: Option<StoreTelemetry>,
+}
+
+#[derive(Debug)]
+struct StoreTelemetry {
+    appends: Arc<Counter>,
+    size: Arc<Gauge>,
+    query_seconds: Arc<LatencyHistogram>,
+}
+
+impl StoreTelemetry {
+    fn new(registry: &MetricsRegistry) -> StoreTelemetry {
+        StoreTelemetry {
+            appends: registry.counter(
+                "gremlin_store_appends_total",
+                "Events appended to the observation store.",
+                &[],
+            ),
+            size: registry.gauge(
+                "gremlin_store_events",
+                "Events currently held by the observation store.",
+                &[],
+            ),
+            query_seconds: registry.histogram(
+                "gremlin_store_query_seconds",
+                "Latency of observation-store queries.",
+                &[],
+            ),
+        }
+    }
 }
 
 impl Inner {
@@ -121,12 +156,26 @@ impl EventStore {
         Arc::new(EventStore::new())
     }
 
+    /// Starts recording store activity (appends, size, query latency)
+    /// into `registry`. Idempotent in effect: calling again re-binds
+    /// the handles to the given registry.
+    pub fn enable_telemetry(&self, registry: &MetricsRegistry) {
+        let mut inner = self.inner.write();
+        let telemetry = StoreTelemetry::new(registry);
+        telemetry.size.set(inner.events.len() as i64);
+        inner.telemetry = Some(telemetry);
+    }
+
     /// Appends one event.
     pub fn record_event(&self, event: Event) {
         let mut inner = self.inner.write();
         let index = inner.events.len();
         inner.events.push(event);
         inner.index_event(index);
+        if let Some(telemetry) = &inner.telemetry {
+            telemetry.appends.inc();
+            telemetry.size.set(inner.events.len() as i64);
+        }
     }
 
     /// Appends many events.
@@ -153,6 +202,9 @@ impl EventStore {
         inner.events.clear();
         inner.edges.clear();
         inner.ids.clear();
+        if let Some(telemetry) = &inner.telemetry {
+            telemetry.size.set(0);
+        }
     }
 
     /// Drops every event older than `cutoff_us` (log retention for
@@ -165,6 +217,9 @@ impl EventStore {
         let removed = before - inner.events.len();
         if removed > 0 {
             inner.rebuild_indexes();
+        }
+        if let Some(telemetry) = &inner.telemetry {
+            telemetry.size.set(inner.events.len() as i64);
         }
         removed
     }
@@ -182,6 +237,7 @@ impl EventStore {
     /// When the query names both a source and destination, the edge
     /// index narrows the scan; otherwise all events are filtered.
     pub fn query(&self, query: &Query) -> Vec<Event> {
+        let started = Instant::now();
         let inner = self.inner.read();
         let mut result: Vec<Event> = match (&query.src, &query.dst) {
             (Some(src), Some(dst)) => {
@@ -219,6 +275,9 @@ impl EventStore {
             }
         };
         result.sort_by_key(|e| e.timestamp_us);
+        if let Some(telemetry) = &inner.telemetry {
+            telemetry.query_seconds.record(started.elapsed());
+        }
         result
     }
 
@@ -521,6 +580,35 @@ mod tests {
         assert_eq!(store.len(), 800);
         let sorted = store.snapshot();
         assert!(sorted.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+    }
+
+    #[test]
+    fn telemetry_tracks_appends_size_and_queries() {
+        let registry = MetricsRegistry::new();
+        let store = EventStore::new();
+        store.record_event(Event::request("a", "b", "GET", "/pre").with_timestamp(1));
+        store.enable_telemetry(&registry);
+        // Size reflects pre-existing events; appends only count new ones.
+        assert_eq!(
+            registry.snapshot().gauge_value("gremlin_store_events", &[]),
+            Some(1)
+        );
+        store.extend(sample_events());
+        let _ = store.query(&Query::edge("a", "b"));
+        store.prune_before(25);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("gremlin_store_appends_total", &[]), Some(4));
+        // prune_before(25) drops timestamps 1, 10 and 20, keeping 30 and 40.
+        assert_eq!(snap.gauge_value("gremlin_store_events", &[]), Some(2));
+        assert_eq!(
+            snap.histogram("gremlin_store_query_seconds", &[]).unwrap().count(),
+            1
+        );
+        store.clear();
+        assert_eq!(
+            registry.snapshot().gauge_value("gremlin_store_events", &[]),
+            Some(0)
+        );
     }
 
     #[test]

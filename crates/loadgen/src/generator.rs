@@ -15,6 +15,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use gremlin_http::{ClientConfig, HttpClient, Method, Request};
+use gremlin_telemetry::{Counter, LatencyHistogram, MetricsRegistry};
 
 use crate::stats::{Cdf, LatencySummary};
 
@@ -106,6 +107,44 @@ impl LoadReport {
     }
 }
 
+/// Telemetry handles cloned into every load worker.
+#[derive(Debug, Clone)]
+struct LoadgenTelemetry {
+    ok: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<LatencyHistogram>,
+}
+
+impl LoadgenTelemetry {
+    fn new(registry: &MetricsRegistry) -> LoadgenTelemetry {
+        let result = |kind: &str| {
+            registry.counter(
+                "gremlin_loadgen_requests_total",
+                "Requests issued by the load generator, by outcome.",
+                &[("result", kind)],
+            )
+        };
+        LoadgenTelemetry {
+            ok: result("ok"),
+            errors: result("error"),
+            latency: registry.histogram(
+                "gremlin_loadgen_latency_seconds",
+                "End-to-end latency seen by the load generator.",
+                &[],
+            ),
+        }
+    }
+
+    fn observe(&self, outcome: &CallOutcome) {
+        self.latency.record(outcome.latency);
+        if outcome.is_success() {
+            self.ok.inc();
+        } else {
+            self.errors.inc();
+        }
+    }
+}
+
 /// A configurable HTTP load generator aimed at one address.
 #[derive(Debug, Clone)]
 pub struct LoadGenerator {
@@ -115,6 +154,7 @@ pub struct LoadGenerator {
     think_time: Duration,
     read_timeout: Option<Duration>,
     connect_timeout: Option<Duration>,
+    telemetry: Option<LoadgenTelemetry>,
 }
 
 impl LoadGenerator {
@@ -128,6 +168,7 @@ impl LoadGenerator {
             think_time: Duration::ZERO,
             read_timeout: Some(Duration::from_secs(30)),
             connect_timeout: Some(Duration::from_secs(5)),
+            telemetry: None,
         }
     }
 
@@ -162,6 +203,14 @@ impl LoadGenerator {
         self
     }
 
+    /// Records per-request outcome counters
+    /// (`gremlin_loadgen_requests_total{result=...}`) and a latency
+    /// histogram (`gremlin_loadgen_latency_seconds`) into `registry`.
+    pub fn telemetry(mut self, registry: &MetricsRegistry) -> LoadGenerator {
+        self.telemetry = Some(LoadgenTelemetry::new(registry));
+        self
+    }
+
     fn client(&self) -> HttpClient {
         HttpClient::with_config(ClientConfig {
             connect_timeout: self.connect_timeout,
@@ -176,7 +225,7 @@ impl LoadGenerator {
             .request_id(id)
             .build();
         let started = Instant::now();
-        match client.send(self.target, request) {
+        let outcome = match client.send(self.target, request) {
             Ok(response) => CallOutcome {
                 request_id: id.to_string(),
                 latency: started.elapsed(),
@@ -189,7 +238,11 @@ impl LoadGenerator {
                 status: None,
                 error: Some(err.to_string()),
             },
+        };
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.observe(&outcome);
         }
+        outcome
     }
 
     /// Issues `count` requests one after another on a single
@@ -303,6 +356,29 @@ mod tests {
         assert_eq!(report.outcomes[0].request_id, "test-0");
         assert!(report.summary().is_some());
         assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_counts_outcomes() {
+        let server = echo_server();
+        let registry = MetricsRegistry::new();
+        let report = LoadGenerator::new(server.local_addr())
+            .telemetry(&registry)
+            .run_sequential(5); // id "-3" answers 503
+        assert_eq!(report.successes(), 4);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("gremlin_loadgen_requests_total", &[("result", "ok")]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter_value("gremlin_loadgen_requests_total", &[("result", "error")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("gremlin_loadgen_latency_seconds", &[]).unwrap().count(),
+            5
+        );
     }
 
     #[test]

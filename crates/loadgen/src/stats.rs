@@ -4,8 +4,15 @@
 use std::fmt;
 use std::time::Duration;
 
+use gremlin_telemetry::HistogramSnapshot;
+
 /// Computes the `p`-th percentile (0.0..=1.0) of a set of latencies
 /// using nearest-rank on a sorted copy.
+///
+/// The ranking itself is [`gremlin_telemetry::percentile`] — the same
+/// math the mesh's bucketed histograms approximate — applied to a
+/// sorted copy of the raw samples, so load-generator summaries stay
+/// sample-exact.
 ///
 /// Returns `None` for an empty slice.
 ///
@@ -13,14 +20,9 @@ use std::time::Duration;
 ///
 /// Panics if `p` is outside `[0, 1]`.
 pub fn percentile(latencies: &[Duration], p: f64) -> Option<Duration> {
-    assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
-    if latencies.is_empty() {
-        return None;
-    }
     let mut sorted = latencies.to_vec();
     sorted.sort();
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    Some(sorted[rank - 1])
+    gremlin_telemetry::percentile(&sorted, p)
 }
 
 /// Summary statistics over a latency sample.
@@ -59,6 +61,24 @@ impl LatencySummary {
             p99: percentile(&sorted, 0.99).expect("non-empty"),
             max: *sorted.last().expect("non-empty"),
             mean: total / sorted.len() as u32,
+        })
+    }
+
+    /// Summarizes a telemetry histogram snapshot; returns `None` when
+    /// the snapshot holds no samples.
+    ///
+    /// Unlike [`LatencySummary::from_latencies`], the percentiles are
+    /// quantized to the histogram's bucket bounds (≤ ~3.1% relative
+    /// error); `min`, `max` and `mean` are exact.
+    pub fn from_snapshot(snapshot: &HistogramSnapshot) -> Option<LatencySummary> {
+        Some(LatencySummary {
+            count: snapshot.count() as usize,
+            min: snapshot.min()?,
+            p50: snapshot.p50()?,
+            p90: snapshot.p90()?,
+            p99: snapshot.p99()?,
+            max: snapshot.max()?,
+            mean: snapshot.mean()?,
         })
     }
 }
@@ -182,6 +202,24 @@ mod tests {
         assert_eq!(summary.mean, Duration::from_millis(25));
         assert!(LatencySummary::from_latencies(&[]).is_none());
         assert!(!summary.to_string().is_empty());
+    }
+
+    #[test]
+    fn summary_from_histogram_snapshot() {
+        use gremlin_telemetry::LatencyHistogram;
+        let hist = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            hist.record(Duration::from_micros(v));
+        }
+        let summary = LatencySummary::from_snapshot(&hist.snapshot()).unwrap();
+        // Values below 64µs land in exact buckets, so the summary
+        // matches the sample-exact path.
+        assert_eq!(summary.count, 4);
+        assert_eq!(summary.min, Duration::from_micros(10));
+        assert_eq!(summary.p50, Duration::from_micros(20));
+        assert_eq!(summary.max, Duration::from_micros(40));
+        assert_eq!(summary.mean, Duration::from_micros(25));
+        assert!(LatencySummary::from_snapshot(&LatencyHistogram::new().snapshot()).is_none());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use gremlin_http::{
     header_names, ClientConfig, ConnTracker, HttpClient, Request, Response, StatusCode, ThreadPool,
 };
 use gremlin_store::{now_micros, AppliedFault, Event, EventSink};
+use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 
 use crate::error::ProxyError;
 use crate::rules::{AbortKind, FaultAction, MessageSide, Rule};
@@ -65,6 +66,9 @@ pub struct AgentConfig {
     pub client: ClientConfig,
     /// Seed for the probability RNG; `None` uses OS entropy.
     pub seed: Option<u64>,
+    /// Metrics registry to record into; `None` creates a private one
+    /// (still reachable via [`GremlinAgent::telemetry`]).
+    pub telemetry: Option<Arc<MetricsRegistry>>,
 }
 
 impl AgentConfig {
@@ -78,6 +82,7 @@ impl AgentConfig {
             workers: 16,
             client: ClientConfig::default(),
             seed: None,
+            telemetry: None,
         }
     }
 
@@ -133,6 +138,13 @@ impl AgentConfig {
         self.seed = Some(seed);
         self
     }
+
+    /// Records the agent's metrics into a shared registry instead of
+    /// a private one.
+    pub fn telemetry(mut self, registry: &Arc<MetricsRegistry>) -> AgentConfig {
+        self.telemetry = Some(Arc::clone(registry));
+        self
+    }
 }
 
 struct RouteState {
@@ -140,6 +152,91 @@ struct RouteState {
     local_addr: SocketAddr,
     upstreams: Vec<SocketAddr>,
     next_upstream: AtomicUsize,
+    // Pre-registered telemetry handles: the hot path records through
+    // these Arcs without ever touching the registry lock.
+    requests: Arc<Counter>,
+    upstream_latency: Arc<LatencyHistogram>,
+    upstream_errors: Arc<Counter>,
+}
+
+impl RouteState {
+    fn new(
+        dst: String,
+        local_addr: SocketAddr,
+        upstreams: Vec<SocketAddr>,
+        service: &str,
+        registry: &MetricsRegistry,
+    ) -> RouteState {
+        let labels = &[("service", service), ("dst", dst.as_str())];
+        RouteState {
+            requests: registry.counter(
+                "gremlin_proxy_requests_total",
+                "Requests proxied by the agent, by destination.",
+                labels,
+            ),
+            upstream_latency: registry.histogram(
+                "gremlin_proxy_upstream_latency_seconds",
+                "Latency of successful upstream calls (excludes injected request-side delays).",
+                labels,
+            ),
+            upstream_errors: registry.counter(
+                "gremlin_proxy_upstream_errors_total",
+                "Upstream calls that failed (timeout or connection error).",
+                labels,
+            ),
+            dst,
+            local_addr,
+            upstreams,
+            next_upstream: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Agent-wide telemetry handles shared by every route.
+struct AgentMetrics {
+    faults_abort: Arc<Counter>,
+    faults_abort_reset: Arc<Counter>,
+    faults_delay: Arc<Counter>,
+    faults_modify: Arc<Counter>,
+    open_connections: Arc<Gauge>,
+    rule_match: Arc<LatencyHistogram>,
+}
+
+impl AgentMetrics {
+    fn new(service: &str, registry: &MetricsRegistry) -> AgentMetrics {
+        let fault = |kind: &str| {
+            registry.counter(
+                "gremlin_proxy_faults_total",
+                "Faults injected by the agent, by fault type.",
+                &[("service", service), ("type", kind)],
+            )
+        };
+        AgentMetrics {
+            faults_abort: fault("abort"),
+            faults_abort_reset: fault("abort_reset"),
+            faults_delay: fault("delay"),
+            faults_modify: fault("modify"),
+            open_connections: registry.gauge(
+                "gremlin_proxy_open_connections",
+                "Proxy connections currently being served.",
+                &[("service", service)],
+            ),
+            rule_match: registry.histogram(
+                "gremlin_proxy_rule_match_seconds",
+                "Time spent matching one message against the rule table.",
+                &[("service", service)],
+            ),
+        }
+    }
+
+    fn count_fault(&self, fault: &AppliedFault) {
+        match fault {
+            AppliedFault::Abort { .. } => self.faults_abort.inc(),
+            AppliedFault::AbortReset => self.faults_abort_reset.inc(),
+            AppliedFault::Delay { .. } => self.faults_delay.inc(),
+            AppliedFault::Modify => self.faults_modify.inc(),
+        }
+    }
 }
 
 struct Inner {
@@ -150,6 +247,8 @@ struct Inner {
     client: HttpClient,
     shutdown: AtomicBool,
     tracker: ConnTracker,
+    registry: Arc<MetricsRegistry>,
+    metrics: AgentMetrics,
 }
 
 /// A running Gremlin agent.
@@ -203,6 +302,11 @@ impl GremlinAgent {
             Some(seed) => RuleTable::with_seed(seed),
             None => RuleTable::new(),
         };
+        let registry = config
+            .telemetry
+            .clone()
+            .unwrap_or_else(MetricsRegistry::shared);
+        let metrics = AgentMetrics::new(&config.service, &registry);
         let inner = Arc::new(Inner {
             service: config.service.clone(),
             name: config.name.clone(),
@@ -211,6 +315,8 @@ impl GremlinAgent {
             client: HttpClient::with_config(config.client.clone()),
             shutdown: AtomicBool::new(false),
             tracker: ConnTracker::new(),
+            registry,
+            metrics,
         });
 
         let pool = Arc::new(ThreadPool::new(config.workers.max(1), &config.name));
@@ -220,12 +326,13 @@ impl GremlinAgent {
             let listener = TcpListener::bind(route.listen)?;
             listener.set_nonblocking(true)?;
             let local_addr = listener.local_addr()?;
-            let state = Arc::new(RouteState {
-                dst: route.dst.clone(),
+            let state = Arc::new(RouteState::new(
+                route.dst.clone(),
                 local_addr,
-                upstreams: route.upstreams.clone(),
-                next_upstream: AtomicUsize::new(0),
-            });
+                route.upstreams.clone(),
+                &config.service,
+                &inner.registry,
+            ));
             routes.push(Arc::clone(&state));
 
             let inner_for_thread = Arc::clone(&inner);
@@ -241,7 +348,9 @@ impl GremlinAgent {
                                 let state = Arc::clone(&state);
                                 pool_for_thread.execute(move || {
                                     let token = inner.tracker.register(&stream);
+                                    inner.metrics.open_connections.inc();
                                     let _ = serve_proxy_connection(stream, &state, &inner);
+                                    inner.metrics.open_connections.dec();
                                     inner.tracker.deregister(token);
                                 });
                             }
@@ -326,6 +435,12 @@ impl GremlinAgent {
         self.inner.table.rule_hit_counts()
     }
 
+    /// The metrics registry this agent records into (the one passed
+    /// via [`AgentConfig::telemetry`], or a private one).
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.inner.registry
+    }
+
     /// Stops listeners and joins worker threads. Equivalent to
     /// dropping the agent, provided as an explicit synchronization
     /// point.
@@ -388,14 +503,17 @@ fn serve_proxy_connection(
 /// `None` when the connection must be reset instead of answered.
 fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Option<Response> {
     let started = Instant::now();
+    route.requests.inc();
     let request_id = request.request_id().map(str::to_string);
     let src = inner.service.as_str();
     let dst = route.dst.as_str();
 
+    let match_started = Instant::now();
     let request_rule =
         inner
             .table
             .match_message(src, dst, MessageSide::Request, request_id.as_deref());
+    inner.metrics.rule_match.record(match_started.elapsed());
 
     // --- Log the request observation -------------------------------
     let mut request_event = Event::request(src, dst, request.method().as_str(), request.target())
@@ -431,10 +549,14 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
             }
         }
     }
+    if let Some(fault) = &request_side_fault {
+        inner.metrics.count_fault(fault);
+    }
 
     // --- Forward upstream -------------------------------------------
     let upstream = pick_upstream(route);
     let forwarded = prepare_forwarded(&request);
+    let send_started = Instant::now();
     let result = match upstream {
         Some(addr) => inner.client.send(addr, forwarded),
         None => Err(gremlin_http::HttpError::Io(std::io::Error::other(
@@ -443,8 +565,12 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     };
 
     let mut response = match result {
-        Ok(response) => response,
+        Ok(response) => {
+            route.upstream_latency.record(send_started.elapsed());
+            response
+        }
         Err(err) => {
+            route.upstream_errors.inc();
             // Genuine upstream failure: surface it the way service
             // proxies do — 504 on timeout, 502 otherwise.
             let status = if err.is_timeout() {
@@ -468,10 +594,12 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     };
 
     // --- Apply the response-side action ----------------------------
+    let match_started = Instant::now();
     let response_rule =
         inner
             .table
             .match_message(src, dst, MessageSide::Response, request_id.as_deref());
+    inner.metrics.rule_match.record(match_started.elapsed());
     let mut response_side_fault: Option<AppliedFault> = None;
     if let Some(rule) = &response_rule {
         match &rule.action {
@@ -493,6 +621,9 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
                 response_side_fault = Some(AppliedFault::Modify);
             }
         }
+    }
+    if let Some(fault) = &response_side_fault {
+        inner.metrics.count_fault(fault);
     }
 
     // --- Log the response observation -------------------------------
@@ -522,6 +653,7 @@ fn finish_abort(
         AbortKind::Status(code) => (code, AppliedFault::Abort { status: code }),
         AbortKind::Reset => (0, AppliedFault::AbortReset),
     };
+    inner.metrics.count_fault(&fault);
     let mut event = Event::response(
         inner.service.clone(),
         route.dst.clone(),
@@ -659,17 +791,22 @@ mod tests {
         assert_eq!(fwd.headers().get("x-keep"), Some("1"));
     }
 
+    fn test_route(upstreams: Vec<SocketAddr>) -> RouteState {
+        RouteState::new(
+            "b".into(),
+            "127.0.0.1:1".parse().unwrap(),
+            upstreams,
+            "a",
+            &MetricsRegistry::new(),
+        )
+    }
+
     #[test]
     fn route_round_robin() {
-        let route = RouteState {
-            dst: "b".into(),
-            local_addr: "127.0.0.1:1".parse().unwrap(),
-            upstreams: vec![
-                "127.0.0.1:10".parse().unwrap(),
-                "127.0.0.1:11".parse().unwrap(),
-            ],
-            next_upstream: AtomicUsize::new(0),
-        };
+        let route = test_route(vec![
+            "127.0.0.1:10".parse().unwrap(),
+            "127.0.0.1:11".parse().unwrap(),
+        ]);
         let a = pick_upstream(&route).unwrap();
         let b = pick_upstream(&route).unwrap();
         let c = pick_upstream(&route).unwrap();
@@ -679,12 +816,7 @@ mod tests {
 
     #[test]
     fn empty_route_has_no_upstream() {
-        let route = RouteState {
-            dst: "b".into(),
-            local_addr: "127.0.0.1:1".parse().unwrap(),
-            upstreams: vec![],
-            next_upstream: AtomicUsize::new(0),
-        };
+        let route = test_route(vec![]);
         assert!(pick_upstream(&route).is_none());
     }
 }

@@ -14,30 +14,82 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
+use std::time::Instant;
+
 use gremlin_http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
 use gremlin_store::{Event, EventSink, EventStore};
+use gremlin_telemetry::{Counter, LatencyHistogram, MetricsRegistry};
 
+use crate::control::metrics_response;
 use crate::error::ProxyError;
+
+/// Telemetry handles for the collector's ingest path.
+#[derive(Debug)]
+struct CollectorMetrics {
+    batches: Arc<Counter>,
+    events: Arc<Counter>,
+    parse_errors: Arc<Counter>,
+    append_seconds: Arc<LatencyHistogram>,
+}
+
+impl CollectorMetrics {
+    fn new(registry: &MetricsRegistry) -> CollectorMetrics {
+        CollectorMetrics {
+            batches: registry.counter(
+                "gremlin_collector_batches_total",
+                "Observation batches received on POST /events.",
+                &[],
+            ),
+            events: registry.counter(
+                "gremlin_collector_events_total",
+                "Observation events appended to the store.",
+                &[],
+            ),
+            parse_errors: registry.counter(
+                "gremlin_collector_parse_errors_total",
+                "Batch lines rejected as malformed JSON.",
+                &[],
+            ),
+            append_seconds: registry.histogram(
+                "gremlin_collector_append_seconds",
+                "Time to parse and append one observation batch.",
+                &[],
+            ),
+        }
+    }
+}
 
 /// HTTP endpoint accepting observation batches into an
 /// [`EventStore`].
 ///
 /// Routes:
 ///
-/// | Method | Path      | Effect                                        |
-/// |--------|-----------|-----------------------------------------------|
-/// | POST   | `/events` | append newline-delimited JSON events          |
-/// | GET    | `/events` | dump the store as newline-delimited JSON      |
-/// | GET    | `/stats`  | `{"events": N}`                               |
-/// | DELETE | `/events` | clear the store                               |
+/// | Method | Path       | Effect                                        |
+/// |--------|------------|-----------------------------------------------|
+/// | POST   | `/events`  | append newline-delimited JSON events          |
+/// | GET    | `/events`  | dump the store as newline-delimited JSON      |
+/// | GET    | `/stats`   | ingest statistics JSON (see below)            |
+/// | GET    | `/metrics` | Prometheus text exposition                    |
+/// | DELETE | `/events`  | clear the store                               |
+///
+/// `GET /stats` returns
+/// `{"events":N,"batches":B,"appended":A,"parse_errors":P}`: the
+/// store size plus cumulative ingest counters.
+///
+/// A batch containing malformed lines is answered with `400`; valid
+/// lines from the same batch are still appended, and the rejected
+/// count is reported in the response body and in
+/// `gremlin_collector_parse_errors_total`.
 #[derive(Debug)]
 pub struct CollectorServer {
     server: HttpServer,
     store: Arc<EventStore>,
+    registry: Arc<MetricsRegistry>,
 }
 
 impl CollectorServer {
-    /// Starts a collector on `addr` writing into `store`.
+    /// Starts a collector on `addr` writing into `store`, recording
+    /// ingest telemetry into a private registry.
     ///
     /// # Errors
     ///
@@ -46,11 +98,33 @@ impl CollectorServer {
         store: Arc<EventStore>,
         addr: impl ToSocketAddrs,
     ) -> Result<CollectorServer, ProxyError> {
+        CollectorServer::start_with_telemetry(store, addr, MetricsRegistry::shared())
+    }
+
+    /// Starts a collector recording into a shared registry. The
+    /// store's own telemetry (`gremlin_store_*`) is enabled on the
+    /// same registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start_with_telemetry(
+        store: Arc<EventStore>,
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<CollectorServer, ProxyError> {
+        store.enable_telemetry(&registry);
+        let metrics = Arc::new(CollectorMetrics::new(&registry));
         let handler_store = Arc::clone(&store);
+        let handler_registry = Arc::clone(&registry);
         let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
-            handle_collect(&handler_store, request)
+            handle_collect(&handler_store, &handler_registry, &metrics, request)
         })?;
-        Ok(CollectorServer { server, store })
+        Ok(CollectorServer {
+            server,
+            store,
+            registry,
+        })
     }
 
     /// The collector's listening address.
@@ -62,19 +136,60 @@ impl CollectorServer {
     pub fn store(&self) -> &Arc<EventStore> {
         &self.store
     }
+
+    /// The metrics registry the collector records into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
 }
 
-fn handle_collect(store: &Arc<EventStore>, request: Request) -> Response {
+fn handle_collect(
+    store: &Arc<EventStore>,
+    registry: &Arc<MetricsRegistry>,
+    metrics: &CollectorMetrics,
+    request: Request,
+) -> Response {
     match (request.method().clone(), request.path()) {
         (Method::Post, "/events") => {
+            let started = Instant::now();
+            metrics.batches.inc();
             let text = String::from_utf8_lossy(request.body());
-            match store.import_json(&text) {
-                Ok(count) => Response::builder(StatusCode::OK)
-                    .body(format!("{{\"imported\":{count}}}"))
-                    .build(),
-                Err(err) => Response::builder(StatusCode::BAD_REQUEST)
-                    .body(format!("bad event batch: {err}"))
-                    .build(),
+            let mut imported = 0usize;
+            let mut parse_errors = 0usize;
+            let mut first_error: Option<String> = None;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<Event>(line) {
+                    Ok(event) => {
+                        store.record_event(event);
+                        imported += 1;
+                    }
+                    Err(err) => {
+                        parse_errors += 1;
+                        if first_error.is_none() {
+                            first_error = Some(err.to_string());
+                        }
+                    }
+                }
+            }
+            metrics.events.add(imported as u64);
+            metrics.parse_errors.add(parse_errors as u64);
+            metrics.append_seconds.record(started.elapsed());
+            if parse_errors > 0 {
+                let error = first_error.unwrap_or_default().replace('"', "'");
+                Response::builder(StatusCode::BAD_REQUEST)
+                    .header("Content-Type", "application/json")
+                    .body(format!(
+                        "{{\"imported\":{imported},\"parse_errors\":{parse_errors},\"error\":\"{error}\"}}"
+                    ))
+                    .build()
+            } else {
+                Response::builder(StatusCode::OK)
+                    .body(format!("{{\"imported\":{imported}}}"))
+                    .build()
             }
         }
         (Method::Get, "/events") => match store.export_json() {
@@ -88,8 +203,15 @@ fn handle_collect(store: &Arc<EventStore>, request: Request) -> Response {
         },
         (Method::Get, "/stats") => Response::builder(StatusCode::OK)
             .header("Content-Type", "application/json")
-            .body(format!("{{\"events\":{}}}", store.len()))
+            .body(format!(
+                "{{\"events\":{},\"batches\":{},\"appended\":{},\"parse_errors\":{}}}",
+                store.len(),
+                metrics.batches.get(),
+                metrics.events.get(),
+                metrics.parse_errors.get()
+            ))
             .build(),
+        (Method::Get, "/metrics") => metrics_response(&registry.render_prometheus()),
         (Method::Delete, "/events") => {
             store.clear();
             Response::builder(StatusCode::NO_CONTENT).build()
@@ -305,7 +427,11 @@ mod tests {
         let resp = client
             .send(collector.local_addr(), Request::get("/stats"))
             .unwrap();
-        assert_eq!(resp.body_str(), "{\"events\":1}");
+        assert!(
+            resp.body_str().starts_with("{\"events\":1,"),
+            "unexpected stats body: {}",
+            resp.body_str()
+        );
 
         let resp = client
             .send(
@@ -315,6 +441,44 @@ mod tests {
             .unwrap();
         assert_eq!(resp.status(), StatusCode::NO_CONTENT);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn collector_keeps_good_lines_from_mixed_batch() {
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+        let body = format!(
+            "{}\nnot json\n{}\n",
+            serde_json::to_string(&event(1)).unwrap(),
+            serde_json::to_string(&event(2)).unwrap()
+        );
+        let resp = client
+            .send(
+                collector.local_addr(),
+                Request::builder(Method::Post, "/events").body(body).build(),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::BAD_REQUEST);
+        assert!(resp.body_str().contains("\"imported\":2"));
+        assert!(resp.body_str().contains("\"parse_errors\":1"));
+        // Good lines were still appended.
+        assert_eq!(store.len(), 2);
+
+        // The failure is visible in /stats and /metrics.
+        let stats = client
+            .send(collector.local_addr(), Request::get("/stats"))
+            .unwrap();
+        assert!(stats.body_str().contains("\"parse_errors\":1"));
+        let metrics = client
+            .send(collector.local_addr(), Request::get("/metrics"))
+            .unwrap();
+        assert_eq!(metrics.status(), StatusCode::OK);
+        let text = metrics.body_str();
+        assert!(text.contains("gremlin_collector_parse_errors_total 1"));
+        assert!(text.contains("gremlin_collector_events_total 2"));
+        assert!(text.contains("gremlin_collector_batches_total 1"));
+        assert!(text.contains("gremlin_store_events 2"));
     }
 
     #[test]

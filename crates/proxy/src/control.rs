@@ -116,12 +116,15 @@ pub struct AgentStats {
 ///
 /// Routes:
 ///
-/// | Method | Path      | Effect                                   |
-/// |--------|-----------|------------------------------------------|
-/// | GET    | `/health` | [`AgentHealth`] JSON                     |
-/// | GET    | `/rules`  | installed rules as a JSON array          |
-/// | POST   | `/rules`  | install rules (JSON array or one object) |
-/// | DELETE | `/rules`  | flush all rules                          |
+/// | Method | Path       | Effect                                   |
+/// |--------|------------|------------------------------------------|
+/// | GET    | `/health`  | [`AgentHealth`] JSON                     |
+/// | GET    | `/stats`   | [`AgentStats`] JSON                      |
+/// | GET    | `/metrics` | Prometheus text exposition of the        |
+/// |        |            | agent's telemetry registry               |
+/// | GET    | `/rules`   | installed rules as a JSON array          |
+/// | POST   | `/rules`   | install rules (JSON array or one object) |
+/// | DELETE | `/rules`   | flush all rules                          |
 #[derive(Debug)]
 pub struct ControlServer {
     server: HttpServer,
@@ -172,6 +175,7 @@ fn handle_control(agent: &Arc<GremlinAgent>, request: Request) -> Response {
             };
             json_response(StatusCode::OK, &stats)
         }
+        (Method::Get, "/metrics") => metrics_response(&agent.telemetry().render_prometheus()),
         (Method::Get, "/rules") => json_response(StatusCode::OK, &agent.rules()),
         (Method::Post, "/rules") => {
             let body = request.body();
@@ -199,6 +203,14 @@ fn handle_control(agent: &Arc<GremlinAgent>, request: Request) -> Response {
         }
         _ => Response::error(StatusCode::NOT_FOUND),
     }
+}
+
+/// Wraps rendered exposition text in the Prometheus content type.
+pub(crate) fn metrics_response(text: &str) -> Response {
+    Response::builder(StatusCode::OK)
+        .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        .body(text.to_string())
+        .build()
 }
 
 fn json_response<T: Serialize>(status: StatusCode, value: &T) -> Response {

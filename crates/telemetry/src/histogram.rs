@@ -1,0 +1,490 @@
+//! Fixed-bucket, log-scale latency histograms.
+//!
+//! The layout is HdrHistogram-like: values (in microseconds) below 64
+//! land in 64 exact one-microsecond buckets; above that, each
+//! power-of-two octave is split into 32 linear sub-buckets, bounding
+//! the relative quantization error by 1/32 (~3.1%). The whole range
+//! 0µs ..= [`MAX_TRACKABLE_MICROS`] (~19 hours) fits in
+//! [`BUCKETS`] = 1024 buckets, so a histogram is a flat array of
+//! atomics: recording is an index computation plus a few relaxed
+//! atomic adds — no locks, no allocation, suitable for the proxy's
+//! per-message hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets in every histogram.
+pub const BUCKETS: usize = 1024;
+
+/// Largest value (in microseconds) the histogram resolves; larger
+/// recordings are clamped into the top bucket.
+pub const MAX_TRACKABLE_MICROS: u64 = (1 << 36) - 1;
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 5;
+
+/// Values below this have their own exact bucket.
+const LINEAR_MAX: u64 = 64;
+
+/// Maps a microsecond value to its bucket index.
+#[inline]
+pub(crate) fn bucket_index(micros: u64) -> usize {
+    let v = micros.min(MAX_TRACKABLE_MICROS);
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros()); // 6 ..= 35
+    let shift = msb - u64::from(SUB_BITS);
+    let sub = (v >> shift) - (1 << SUB_BITS);
+    (LINEAR_MAX + (msb - 6) * (1 << SUB_BITS) + sub) as usize
+}
+
+/// Inclusive `(lower, upper)` microsecond bounds of bucket `index`.
+#[inline]
+pub(crate) fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < LINEAR_MAX as usize {
+        return (index as u64, index as u64);
+    }
+    let group = ((index - LINEAR_MAX as usize) >> SUB_BITS) as u64;
+    let sub = ((index - LINEAR_MAX as usize) & ((1 << SUB_BITS) - 1)) as u64;
+    let shift = group + 1;
+    let lower = ((1 << SUB_BITS) + sub) << shift;
+    let upper = lower + (1 << shift) - 1;
+    (lower, upper)
+}
+
+/// A concurrently writable latency histogram.
+///
+/// Recording is lock-free and allocation-free; snapshots are cheap
+/// copies that can be merged across instances or subtracted across
+/// points in time.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_telemetry::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let h = LatencyHistogram::new();
+/// for ms in [1, 2, 3, 40] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count(), 4);
+/// assert_eq!(snap.max(), Some(Duration::from_millis(40)));
+/// let p50 = snap.percentile(0.5).unwrap();
+/// assert!(p50 >= Duration::from_millis(2) && p50 < Duration::from_micros(2100));
+/// ```
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("LatencyHistogram")
+            .field("count", &snap.count())
+            .field("sum", &snap.sum())
+            .finish()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    #[inline]
+    pub fn record(&self, latency: Duration) {
+        self.record_micros(latency.as_micros().min(u128::from(MAX_TRACKABLE_MICROS)) as u64);
+    }
+
+    /// Records one observation given directly in microseconds.
+    #[inline]
+    pub fn record_micros(&self, micros: u64) {
+        let v = micros.min(MAX_TRACKABLE_MICROS);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of the histogram.
+    ///
+    /// Concurrent recorders may land between bucket reads, so totals
+    /// are consistent with the bucket counts, not necessarily with
+    /// the exact set of recordings in flight.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum_micros: self.sum.load(Ordering::Relaxed),
+            min_micros: self.min.load(Ordering::Relaxed),
+            max_micros: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`], supporting
+/// percentiles, merging and deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum_micros: u64,
+    min_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            min_micros: u64::MAX,
+            max_micros: 0,
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded latencies.
+    pub fn sum(&self) -> Duration {
+        Duration::from_micros(self.sum_micros)
+    }
+
+    /// Sum of all recorded latencies in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Duration::from_micros(self.sum_micros / self.count))
+    }
+
+    /// Smallest recorded latency (exact); `None` when empty.
+    pub fn min(&self) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Duration::from_micros(self.min_micros))
+    }
+
+    /// Largest recorded latency (exact); `None` when empty.
+    pub fn max(&self) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Duration::from_micros(self.max_micros))
+    }
+
+    /// The `p`-th percentile (0.0..=1.0) by nearest rank over the
+    /// bucket boundaries: the returned value is an upper bound on the
+    /// true percentile, within the bucket quantization error (~3.1%),
+    /// and never exceeds [`HistogramSnapshot::max`].
+    ///
+    /// Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket_count) in self.counts.iter().enumerate() {
+            cumulative += bucket_count;
+            if cumulative >= rank {
+                let (_, upper) = bucket_bounds(index);
+                return Some(Duration::from_micros(upper.min(self.max_micros)));
+            }
+        }
+        Some(Duration::from_micros(self.max_micros))
+    }
+
+    /// Median latency; `None` when empty.
+    pub fn p50(&self) -> Option<Duration> {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile latency; `None` when empty.
+    pub fn p90(&self) -> Option<Duration> {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile latency; `None` when empty.
+    pub fn p99(&self) -> Option<Duration> {
+        self.percentile(0.99)
+    }
+
+    /// Observations at or below `micros` (by bucket upper bound),
+    /// for cumulative `le` rendering.
+    pub fn cumulative_le_micros(&self, micros: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .take_while(|(index, _)| bucket_bounds(*index).1 <= micros)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Combines two snapshots (e.g. the same metric from several
+    /// agent instances). Bucket counts, totals and extrema all merge
+    /// exactly.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(a, b)| a + b)
+            .collect();
+        let count = self.count + other.count;
+        HistogramSnapshot {
+            counts,
+            count,
+            sum_micros: self.sum_micros + other.sum_micros,
+            min_micros: self.min_micros.min(other.min_micros),
+            max_micros: self.max_micros.max(other.max_micros),
+        }
+    }
+
+    /// What was recorded *after* `earlier` was taken: bucket-wise
+    /// subtraction. Extrema are re-derived from the surviving bucket
+    /// bounds (the exact per-interval min/max is not recoverable).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .zip(&earlier.counts)
+            .map(|(now, before)| now.saturating_sub(*before))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let min_micros = counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(|i| bucket_bounds(i).0)
+            .unwrap_or(u64::MAX);
+        let max_micros = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| bucket_bounds(i).1.min(self.max_micros))
+            .unwrap_or(0);
+        HistogramSnapshot {
+            counts,
+            count,
+            sum_micros: self.sum_micros.saturating_sub(earlier.sum_micros),
+            min_micros,
+            max_micros,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_cover_value() {
+        for v in [
+            64,
+            65,
+            100,
+            1_000,
+            20_000,
+            123_456,
+            1_000_000,
+            MAX_TRACKABLE_MICROS,
+        ] {
+            let index = bucket_index(v);
+            let (lower, upper) = bucket_bounds(index);
+            assert!(lower <= v && v <= upper, "v={v} in [{lower},{upper}]");
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range() {
+        // Every bucket's upper bound + 1 is the next bucket's lower
+        // bound, and the last bucket ends at the trackable maximum.
+        for index in 0..BUCKETS - 1 {
+            let (_, upper) = bucket_bounds(index);
+            let (next_lower, _) = bucket_bounds(index + 1);
+            assert_eq!(upper + 1, next_lower, "at index {index}");
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, MAX_TRACKABLE_MICROS);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Each log-range bucket is at most 1/32 of its lower bound
+        // wide, which bounds the quantization error of any recorded
+        // value by ~3.1%.
+        for index in LINEAR_MAX as usize..BUCKETS {
+            let (lower, upper) = bucket_bounds(index);
+            let width = upper - lower + 1;
+            assert!(width * 32 <= lower, "bucket {index} too wide: [{lower},{upper}]");
+        }
+    }
+
+    #[test]
+    fn record_and_percentiles() {
+        let h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        assert_eq!(snap.min(), Some(Duration::from_millis(1)));
+        assert_eq!(snap.max(), Some(Duration::from_millis(100)));
+        let p50 = snap.p50().unwrap().as_micros() as f64;
+        assert!((50_000.0..53_200.0).contains(&p50), "p50 {p50}");
+        let p99 = snap.p99().unwrap().as_micros() as f64;
+        assert!((99_000.0..103_200.0).contains(&p99), "p99 {p99}");
+        // p100 is the exact max.
+        assert_eq!(snap.percentile(1.0), Some(Duration::from_millis(100)));
+        let mean = snap.mean().unwrap();
+        assert_eq!(mean, Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = LatencyHistogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.percentile(0.5), None);
+        assert_eq!(snap.min(), None);
+        assert_eq!(snap.max(), None);
+        assert_eq!(snap.mean(), None);
+        assert_eq!(snap, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn percentile_rejects_bad_p() {
+        let _ = HistogramSnapshot::empty().percentile(1.5);
+    }
+
+    #[test]
+    fn oversized_values_clamp() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(1 << 40));
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.max(), Some(Duration::from_micros(MAX_TRACKABLE_MICROS)));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record(Duration::from_millis(1));
+        a.record(Duration::from_millis(10));
+        b.record(Duration::from_millis(100));
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.min(), Some(Duration::from_millis(1)));
+        assert_eq!(merged.max(), Some(Duration::from_millis(100)));
+        assert_eq!(merged.sum(), Duration::from_millis(111));
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_millis(5));
+        let before = h.snapshot();
+        h.record(Duration::from_millis(7));
+        h.record(Duration::from_millis(9));
+        let delta = h.snapshot().delta(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), Duration::from_millis(16));
+        let min = delta.min().unwrap();
+        assert!(min <= Duration::from_millis(7) && min > Duration::from_millis(6));
+        // Delta against itself is empty.
+        let now = h.snapshot();
+        assert!(now.delta(&now).is_empty());
+    }
+
+    #[test]
+    fn cumulative_le() {
+        let h = LatencyHistogram::new();
+        h.record_micros(10);
+        h.record_micros(1_000);
+        h.record_micros(100_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative_le_micros(10), 1);
+        assert_eq!(snap.cumulative_le_micros(2_000), 2);
+        assert_eq!(snap.cumulative_le_micros(MAX_TRACKABLE_MICROS), 3);
+        assert_eq!(snap.cumulative_le_micros(0), 0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record_micros(t * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 20_000);
+    }
+}

@@ -1,0 +1,70 @@
+//! # gremlin-telemetry
+//!
+//! Always-on runtime telemetry for the Gremlin resilience-testing
+//! framework (Heorhiadi et al., ICDCS 2016).
+//!
+//! The paper's agents log every observed request/response (§4.1, §6),
+//! but the logs are only consulted *after* a recipe finishes, when
+//! the Assertion Checker queries the store. This crate gives the
+//! mesh a live view while a recipe runs: cheap counters, gauges and
+//! latency histograms on the data- and control-plane hot paths,
+//! snapshot-able at any time and renderable in the Prometheus text
+//! exposition format.
+//!
+//! Design constraints, in order:
+//!
+//! * **Hot-path cost.** Recording into a [`Counter`], [`Gauge`] or
+//!   [`LatencyHistogram`] is a handful of relaxed atomic operations —
+//!   no locks, no allocation, no syscalls. Handles are registered
+//!   once up front; the registry lock is never touched on the record
+//!   path.
+//! * **No dependencies.** Like the rest of the workspace, the crate
+//!   is std-only, so every other crate (store, proxy, loadgen, core,
+//!   bench) can depend on it without cycles or new third-party code.
+//! * **Mergeable snapshots.** [`HistogramSnapshot`]s can be merged
+//!   across agents and subtracted (`delta`) across points in time,
+//!   which is what lets a recipe report carry a before/after metrics
+//!   delta.
+//!
+//! # Examples
+//!
+//! ```
+//! use gremlin_telemetry::MetricsRegistry;
+//! use std::time::Duration;
+//!
+//! let registry = MetricsRegistry::new();
+//! let requests = registry.counter(
+//!     "gremlin_proxy_requests_total",
+//!     "Requests proxied by the agent.",
+//!     &[("service", "web"), ("dst", "db")],
+//! );
+//! let latency = registry.histogram(
+//!     "gremlin_proxy_upstream_latency_seconds",
+//!     "Upstream call latency.",
+//!     &[("service", "web"), ("dst", "db")],
+//! );
+//!
+//! // Hot path: atomics only.
+//! requests.inc();
+//! latency.record(Duration::from_millis(3));
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter_value("gremlin_proxy_requests_total",
+//!     &[("service", "web"), ("dst", "db")]), Some(1));
+//! let text = snapshot.render_prometheus();
+//! assert!(text.contains("# TYPE gremlin_proxy_requests_total counter"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod metric;
+pub mod registry;
+pub mod render;
+pub mod stats;
+
+pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS, MAX_TRACKABLE_MICROS};
+pub use metric::{Counter, Gauge};
+pub use registry::{Labels, MetricKind, MetricsRegistry, Sample, SampleValue, TelemetrySnapshot};
+pub use render::{parse_prometheus, PromSample};
+pub use stats::percentile;

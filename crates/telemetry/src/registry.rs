@@ -1,0 +1,419 @@
+//! The metrics registry and its point-in-time snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use crate::metric::{Counter, Gauge};
+
+/// Label set of one metric series: sorted `(name, value)` pairs.
+pub type Labels = Vec<(String, String)>;
+
+/// Identifies one series inside the registry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Labels,
+}
+
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    let mut labels: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    SeriesKey {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+/// The kind of a metric series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing counter.
+    Counter,
+    /// An instantaneous value.
+    Gauge,
+    /// A latency distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<SeriesKey, Arc<Counter>>,
+    gauges: BTreeMap<SeriesKey, Arc<Gauge>>,
+    histograms: BTreeMap<SeriesKey, Arc<LatencyHistogram>>,
+    help: BTreeMap<String, String>,
+}
+
+/// A registry of named, labeled metrics.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes a write
+/// lock and returns a shared handle; callers hold the handle and
+/// record through it, so the lock is never touched on the hot path.
+/// Registering the same `(name, labels)` series twice returns the
+/// same handle, making registration idempotent across components
+/// that share a registry.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_telemetry::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let hits = registry.counter("hits_total", "Hits.", &[("route", "/")]);
+/// hits.inc();
+/// let again = registry.counter("hits_total", "Hits.", &[("route", "/")]);
+/// again.inc();
+/// assert_eq!(hits.get(), 2); // same underlying series
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Creates an empty registry behind an [`Arc`], ready to share
+    /// across components.
+    pub fn shared() -> Arc<MetricsRegistry> {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    /// Registers (or retrieves) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = series_key(name, labels);
+        let mut inner = self.inner.write().expect("telemetry registry poisoned");
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        Arc::clone(inner.counters.entry(key).or_default())
+    }
+
+    /// Registers (or retrieves) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = series_key(name, labels);
+        let mut inner = self.inner.write().expect("telemetry registry poisoned");
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        Arc::clone(inner.gauges.entry(key).or_default())
+    }
+
+    /// Registers (or retrieves) a latency-histogram series.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LatencyHistogram> {
+        let key = series_key(name, labels);
+        let mut inner = self.inner.write().expect("telemetry registry poisoned");
+        inner
+            .help
+            .entry(name.to_string())
+            .or_insert_with(|| help.to_string());
+        Arc::clone(inner.histograms.entry(key).or_default())
+    }
+
+    /// Takes a point-in-time snapshot of every registered series.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.read().expect("telemetry registry poisoned");
+        let mut samples = Vec::new();
+        for (key, counter) in &inner.counters {
+            samples.push(Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: SampleValue::Counter(counter.get()),
+            });
+        }
+        for (key, gauge) in &inner.gauges {
+            samples.push(Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: SampleValue::Gauge(gauge.get()),
+            });
+        }
+        for (key, histogram) in &inner.histograms {
+            samples.push(Sample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: SampleValue::Histogram(histogram.snapshot()),
+            });
+        }
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        TelemetrySnapshot {
+            samples,
+            help: inner.help.clone(),
+        }
+    }
+
+    /// Renders the current state in the Prometheus text exposition
+    /// format (shorthand for `snapshot().render_prometheus()`).
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// The value of one sampled series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One sampled series: name, labels and value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name (e.g. `gremlin_proxy_requests_total`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+    /// Sampled value.
+    pub value: SampleValue,
+}
+
+impl Sample {
+    /// The kind of this sample.
+    pub fn kind(&self) -> MetricKind {
+        match self.value {
+            SampleValue::Counter(_) => MetricKind::Counter,
+            SampleValue::Gauge(_) => MetricKind::Gauge,
+            SampleValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A point-in-time copy of a whole [`MetricsRegistry`] — what
+/// `GET /metrics` renders, and what recipe reports carry as
+/// before/after deltas.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Sampled series, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+    /// Help strings by metric name.
+    pub help: BTreeMap<String, String>,
+}
+
+fn labels_match(labels: &Labels, wanted: &[(&str, &str)]) -> bool {
+    labels.len() == wanted.len()
+        && wanted
+            .iter()
+            .all(|(k, v)| labels.iter().any(|(lk, lv)| lk == k && lv == v))
+}
+
+impl TelemetrySnapshot {
+    /// Returns `true` when no series was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Looks up one sample by exact name and label set.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && labels_match(&s.labels, labels))
+    }
+
+    /// The value of a counter series, if present.
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels)?.value {
+            SampleValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value of a gauge series, if present.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.get(name, labels)?.value {
+            SampleValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The state of a histogram series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.get(name, labels)?.value {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sums every series of counter `name` across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                SampleValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// What changed since `earlier`: counters and histograms are
+    /// subtracted series-by-series (series absent from `earlier`
+    /// keep their full value); gauges keep their current value.
+    /// Unchanged counter/histogram series are dropped from the
+    /// result, so the delta is compact.
+    pub fn delta(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut samples = Vec::new();
+        for sample in &self.samples {
+            let before = earlier
+                .samples
+                .iter()
+                .find(|s| s.name == sample.name && s.labels == sample.labels);
+            let value = match (&sample.value, before.map(|s| &s.value)) {
+                (SampleValue::Counter(now), Some(SampleValue::Counter(then))) => {
+                    let diff = now.saturating_sub(*then);
+                    if diff == 0 {
+                        continue;
+                    }
+                    SampleValue::Counter(diff)
+                }
+                (SampleValue::Histogram(now), Some(SampleValue::Histogram(then))) => {
+                    let diff = now.delta(then);
+                    if diff.is_empty() {
+                        continue;
+                    }
+                    SampleValue::Histogram(diff)
+                }
+                (SampleValue::Counter(now), None) => {
+                    if *now == 0 {
+                        continue;
+                    }
+                    SampleValue::Counter(*now)
+                }
+                (SampleValue::Histogram(now), None) => {
+                    if now.is_empty() {
+                        continue;
+                    }
+                    SampleValue::Histogram(now.clone())
+                }
+                (value, _) => value.clone(),
+            };
+            samples.push(Sample {
+                name: sample.name.clone(),
+                labels: sample.labels.clone(),
+                value,
+            });
+        }
+        TelemetrySnapshot {
+            samples,
+            help: self.help.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("c_total", "help", &[("k", "v")]);
+        let b = registry.counter("c_total", "other help ignored", &[("k", "v")]);
+        a.inc();
+        b.inc();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("c_total", &[("k", "v")]), Some(2));
+        assert_eq!(snap.help.get("c_total").unwrap(), "help");
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("c_total", "h", &[("a", "1"), ("b", "2")]);
+        let b = registry.counter("c_total", "h", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter_value("c_total", &[("b", "2"), ("a", "1")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c_total", "h", &[("k", "x")]).add(3);
+        registry.counter("c_total", "h", &[("k", "y")]).add(4);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_value("c_total", &[("k", "x")]), Some(3));
+        assert_eq!(snap.counter_value("c_total", &[("k", "y")]), Some(4));
+        assert_eq!(snap.counter_total("c_total"), 7);
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c_total", "h", &[]).inc();
+        registry.gauge("g", "h", &[]).set(-2);
+        registry
+            .histogram("h_seconds", "h", &[])
+            .record(Duration::from_millis(1));
+        let snap = registry.snapshot();
+        assert_eq!(snap.samples.len(), 3);
+        assert_eq!(snap.counter_value("c_total", &[]), Some(1));
+        assert_eq!(snap.gauge_value("g", &[]), Some(-2));
+        assert_eq!(snap.histogram("h_seconds", &[]).unwrap().count(), 1);
+        assert!(snap.get("missing", &[]).is_none());
+    }
+
+    #[test]
+    fn delta_drops_unchanged_series() {
+        let registry = MetricsRegistry::new();
+        let changed = registry.counter("changed_total", "h", &[]);
+        registry.counter("static_total", "h", &[]).add(5);
+        let hist = registry.histogram("lat_seconds", "h", &[]);
+        hist.record(Duration::from_millis(2));
+        let before = registry.snapshot();
+        changed.add(7);
+        hist.record(Duration::from_millis(4));
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.counter_value("changed_total", &[]), Some(7));
+        assert!(delta.get("static_total", &[]).is_none());
+        let h = delta.histogram("lat_seconds", &[]).unwrap();
+        assert_eq!(h.count(), 1);
+        // Gauges keep their current value in a delta.
+        registry.gauge("g", "h", &[]).set(9);
+        let delta = registry.snapshot().delta(&before);
+        assert_eq!(delta.gauge_value("g", &[]), Some(9));
+    }
+
+    #[test]
+    fn delta_against_empty_keeps_everything_nonzero() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c_total", "h", &[]).add(2);
+        registry.counter("zero_total", "h", &[]);
+        let delta = registry.snapshot().delta(&TelemetrySnapshot::default());
+        assert_eq!(delta.counter_value("c_total", &[]), Some(2));
+        assert!(delta.get("zero_total", &[]).is_none());
+    }
+}

@@ -1,0 +1,321 @@
+//! Prometheus text exposition: rendering a [`TelemetrySnapshot`]
+//! and a minimal parser for scraped output.
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{Labels, Sample, SampleValue, TelemetrySnapshot};
+
+/// Upper bounds (µs) of the fixed `le` ladder used when rendering a
+/// histogram. The internal 1024-bucket layout is collapsed onto this
+/// ladder via [`HistogramSnapshot::cumulative_le_micros`].
+pub const LE_LADDER_MICROS: [u64; 18] = [
+    100,
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    30_000_000,
+    60_000_000,
+];
+
+fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn format_labels(labels: &Labels, extra: Option<(&str, String)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn micros_to_seconds(micros: u64) -> f64 {
+    micros as f64 / 1_000_000.0
+}
+
+fn render_histogram(out: &mut String, sample: &Sample, hist: &HistogramSnapshot) {
+    for le in LE_LADDER_MICROS {
+        let labels = format_labels(
+            &sample.labels,
+            Some(("le", format!("{}", micros_to_seconds(le)))),
+        );
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            sample.name,
+            labels,
+            hist.cumulative_le_micros(le)
+        );
+    }
+    let labels = format_labels(&sample.labels, Some(("le", "+Inf".to_string())));
+    let _ = writeln!(out, "{}_bucket{} {}", sample.name, labels, hist.count());
+    let labels = format_labels(&sample.labels, None);
+    let _ = writeln!(
+        out,
+        "{}_sum{} {}",
+        sample.name,
+        labels,
+        micros_to_seconds(hist.sum_micros())
+    );
+    let _ = writeln!(out, "{}_count{} {}", sample.name, labels, hist.count());
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers followed by one
+    /// line per series, histograms as cumulative `_bucket{le=...}`
+    /// ladders plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for sample in &self.samples {
+            if last_name != Some(sample.name.as_str()) {
+                if let Some(help) = self.help.get(&sample.name) {
+                    let _ = writeln!(out, "# HELP {} {}", sample.name, help);
+                }
+                let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.kind().as_str());
+                last_name = Some(sample.name.as_str());
+            }
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        sample.name,
+                        format_labels(&sample.labels, None),
+                        v
+                    );
+                }
+                SampleValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        sample.name,
+                        format_labels(&sample.labels, None),
+                        v
+                    );
+                }
+                SampleValue::Histogram(h) => render_histogram(&mut out, sample, h),
+            }
+        }
+        out
+    }
+}
+
+/// One parsed exposition line: series name, labels, numeric value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// Full series name as written (`foo_total`, `foo_bucket`, ...).
+    pub name: String,
+    /// Label pairs in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn parse_labels(body: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        if chars.next()? != (0, '"') {
+            return None;
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    'n' => value.push('\n'),
+                    other => value.push(other),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end?;
+        labels.push((key, value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        }
+    }
+    Some(labels)
+}
+
+/// Parses Prometheus text exposition output into samples.
+///
+/// Comment (`#`) and blank lines are skipped; malformed lines are
+/// ignored rather than treated as fatal, since this parser exists to
+/// let the CLI and tests read back what [`TelemetrySnapshot::render_prometheus`]
+/// (or any compatible endpoint) produced.
+pub fn parse_prometheus(text: &str) -> Vec<PromSample> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => continue,
+        };
+        let value: f64 = match value.trim().parse() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let series = series.trim();
+        let (name, labels) = if let Some(open) = series.find('{') {
+            let close = match series.rfind('}') {
+                Some(c) if c > open => c,
+                _ => continue,
+            };
+            match parse_labels(&series[open + 1..close]) {
+                Some(labels) => (series[..open].to_string(), labels),
+                None => continue,
+            }
+        } else {
+            (series.to_string(), Vec::new())
+        };
+        samples.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("req_total", "Requests.", &[("service", "web")])
+            .add(3);
+        registry.gauge("open_conns", "Open connections.", &[]).set(2);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# HELP req_total Requests."));
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{service=\"web\"} 3"));
+        assert!(text.contains("# TYPE open_conns gauge"));
+        assert!(text.contains("open_conns 2"));
+    }
+
+    #[test]
+    fn renders_histogram_ladder() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat_seconds", "Latency.", &[]);
+        h.record(Duration::from_micros(200));
+        h.record(Duration::from_millis(3));
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.0001\"} 0"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.00025\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.005\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_seconds_count 2"));
+        // _sum is in seconds.
+        let samples = parse_prometheus(&text);
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "lat_seconds_sum")
+            .unwrap();
+        assert!((sum.value - 0.0032).abs() < 1e-9, "sum={}", sum.value);
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_output() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("c_total", "help", &[("a", "x"), ("b", "y z")])
+            .add(41);
+        registry.gauge("g", "help", &[]).set(-7);
+        registry
+            .histogram("h_seconds", "help", &[("svc", "web")])
+            .record(Duration::from_millis(1));
+        let text = registry.render_prometheus();
+        let samples = parse_prometheus(&text);
+
+        let c = samples.iter().find(|s| s.name == "c_total").unwrap();
+        assert_eq!(c.value, 41.0);
+        assert_eq!(c.label("a"), Some("x"));
+        assert_eq!(c.label("b"), Some("y z"));
+
+        let g = samples.iter().find(|s| s.name == "g").unwrap();
+        assert_eq!(g.value, -7.0);
+
+        let count = samples.iter().find(|s| s.name == "h_seconds_count").unwrap();
+        assert_eq!(count.value, 1.0);
+        assert_eq!(count.label("svc"), Some("web"));
+        let buckets: Vec<_> = samples
+            .iter()
+            .filter(|s| s.name == "h_seconds_bucket")
+            .collect();
+        assert_eq!(buckets.len(), LE_LADDER_MICROS.len() + 1);
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        assert_eq!(buckets.last().unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_junk() {
+        let text = concat!(
+            "# HELP weird help\n",
+            "weird{msg=\"a \\\"quoted\\\" value\",path=\"c:\\\\x\"} 1\n",
+            "not a metric line\n",
+            "also_not 1 2 3 x\n",
+        );
+        let samples = parse_prometheus(text);
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].label("msg"), Some("a \"quoted\" value"));
+        assert_eq!(samples[0].label("path"), Some("c:\\x"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Exact sample-based statistics shared with the load generator.
+
+use std::time::Duration;
+
+/// Exact nearest-rank percentile of a **sorted** slice of latencies.
+///
+/// Returns `None` on an empty slice. `p` must lie in `[0.0, 1.0]`;
+/// `p = 0.0` is the minimum and `p = 1.0` the maximum.
+///
+/// This is the sample-exact counterpart of
+/// [`HistogramSnapshot::percentile`](crate::HistogramSnapshot::percentile):
+/// the load generator keeps raw samples and uses this; the mesh keeps
+/// bucketed histograms and quantizes.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0.0, 1.0]` or not a number.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_telemetry::percentile;
+/// use std::time::Duration;
+///
+/// let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+/// assert_eq!(percentile(&sorted, 0.50), Some(Duration::from_millis(50)));
+/// assert_eq!(percentile(&sorted, 0.99), Some(Duration::from_millis(99)));
+/// assert_eq!(percentile(&sorted, 1.0), Some(Duration::from_millis(100)));
+/// ```
+pub fn percentile(sorted: &[Duration], p: f64) -> Option<Duration> {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile must be in [0, 1], got {p}"
+    );
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn nearest_rank_on_small_samples() {
+        let sorted = vec![ms(10), ms(20), ms(30), ms(40)];
+        assert_eq!(percentile(&sorted, 0.0), Some(ms(10)));
+        assert_eq!(percentile(&sorted, 0.5), Some(ms(20)));
+        assert_eq!(percentile(&sorted, 0.51), Some(ms(30)));
+        assert_eq!(percentile(&sorted, 1.0), Some(ms(40)));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_panics() {
+        let _ = percentile(&[ms(1)], 1.5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Randomized property tests for the latency histogram and the
+//! Prometheus renderer, using a small deterministic LCG so the
+//! crate stays dependency-free.
+
+use std::time::Duration;
+
+use gremlin_telemetry::{
+    parse_prometheus, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MAX_TRACKABLE_MICROS,
+};
+
+/// Deterministic 64-bit LCG (Knuth MMIX constants).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform-ish value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    /// Latency-shaped value: mixes magnitudes so every octave of the
+    /// histogram gets exercised, not just one scale.
+    fn latency_micros(&mut self) -> u64 {
+        let magnitude = self.below(36);
+        self.below(1 << magnitude) + 1
+    }
+}
+
+fn filled(seed: u64, n: usize) -> (HistogramSnapshot, Vec<u64>) {
+    let mut rng = Lcg(seed);
+    let hist = LatencyHistogram::new();
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = rng.latency_micros();
+        hist.record_micros(v);
+        values.push(v);
+    }
+    (hist.snapshot(), values)
+}
+
+#[test]
+fn count_and_sum_are_exact() {
+    for seed in 1..=20 {
+        let (snap, values) = filled(seed, 500);
+        assert_eq!(snap.count(), values.len() as u64);
+        assert_eq!(snap.sum_micros(), values.iter().sum::<u64>());
+        assert_eq!(snap.min(), Some(Duration::from_micros(*values.iter().min().unwrap())));
+        assert_eq!(snap.max(), Some(Duration::from_micros(*values.iter().max().unwrap())));
+    }
+}
+
+#[test]
+fn merge_counts_are_additive() {
+    for seed in 1..=10 {
+        let (a, va) = filled(seed, 300);
+        let (b, vb) = filled(seed + 1000, 400);
+        let merged = a.merge(&b);
+        assert_eq!(merged.count(), a.count() + b.count());
+        assert_eq!(merged.sum_micros(), a.sum_micros() + b.sum_micros());
+        let all_min = va.iter().chain(&vb).min().copied().unwrap();
+        let all_max = va.iter().chain(&vb).max().copied().unwrap();
+        assert_eq!(merged.min(), Some(Duration::from_micros(all_min)));
+        assert_eq!(merged.max(), Some(Duration::from_micros(all_max)));
+        // merge is symmetric
+        assert_eq!(merged, b.merge(&a));
+    }
+}
+
+#[test]
+fn percentiles_are_monotone_in_p() {
+    for seed in 1..=10 {
+        let (snap, _) = filled(seed, 250);
+        let mut last = Duration::ZERO;
+        for i in 0..=100 {
+            let p = i as f64 / 100.0;
+            let q = snap.percentile(p).unwrap();
+            assert!(q >= last, "p={p}: {q:?} < {last:?}");
+            last = q;
+        }
+        assert_eq!(snap.percentile(1.0), snap.max());
+    }
+}
+
+#[test]
+fn percentile_error_is_bounded() {
+    // The reported quantile must be within one bucket (<= 1/32
+    // relative error in the log range) of the exact sample quantile.
+    for seed in 1..=10 {
+        let (snap, mut values) = filled(seed, 400);
+        values.sort_unstable();
+        for p in [0.5, 0.9, 0.99] {
+            let rank = ((p * values.len() as f64).ceil() as usize).max(1);
+            let exact = values[rank - 1];
+            let approx = snap.percentile(p).unwrap().as_micros() as u64;
+            let tolerance = exact / 16 + 1; // two half-bucket widths, generous
+            assert!(
+                approx + tolerance >= exact && approx <= exact + tolerance,
+                "seed={seed} p={p}: approx={approx} exact={exact}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_of_superset_recovers_increment() {
+    for seed in 1..=10 {
+        let mut rng = Lcg(seed);
+        let hist = LatencyHistogram::new();
+        for _ in 0..200 {
+            hist.record_micros(rng.latency_micros());
+        }
+        let before = hist.snapshot();
+        let mut added = 0u64;
+        let mut added_count = 0u64;
+        for _ in 0..150 {
+            let v = rng.latency_micros();
+            hist.record_micros(v);
+            added += v;
+            added_count += 1;
+        }
+        let delta = hist.snapshot().delta(&before);
+        assert_eq!(delta.count(), added_count);
+        assert_eq!(delta.sum_micros(), added);
+    }
+}
+
+#[test]
+fn renderer_round_trip_preserves_series() {
+    let mut rng = Lcg(99);
+    let registry = MetricsRegistry::new();
+    let c = registry.counter("rt_total", "round trip", &[("k", "v")]);
+    let h = registry.histogram("rt_seconds", "round trip", &[("k", "v")]);
+    let mut expected_count = 0u64;
+    for _ in 0..100 {
+        c.inc();
+        h.record_micros(rng.latency_micros().min(MAX_TRACKABLE_MICROS));
+        expected_count += 1;
+    }
+    let text = registry.render_prometheus();
+    let samples = parse_prometheus(&text);
+
+    let counter = samples.iter().find(|s| s.name == "rt_total").unwrap();
+    assert_eq!(counter.value as u64, expected_count);
+
+    let count = samples.iter().find(|s| s.name == "rt_seconds_count").unwrap();
+    assert_eq!(count.value as u64, expected_count);
+
+    // Bucket ladder is cumulative and monotone, ending at count.
+    let buckets: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.name == "rt_seconds_bucket")
+        .map(|s| s.value)
+        .collect();
+    assert!(!buckets.is_empty());
+    for pair in buckets.windows(2) {
+        assert!(pair[0] <= pair[1], "ladder not cumulative: {buckets:?}");
+    }
+    assert_eq!(*buckets.last().unwrap() as u64, expected_count);
+}

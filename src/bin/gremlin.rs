@@ -14,6 +14,7 @@
 //! gremlin health <agent-addr>             agent status
 //! gremlin check events.ndjson --assert timeouts --service web --max-latency 1s
 //! gremlin trace events.ndjson test-42     reconstruct one flow
+//! gremlin metrics <addr,...>              scrape and summarize /metrics
 //! ```
 //!
 //! Graph files are either the serialized [`AppGraph`] or the simpler
@@ -57,7 +58,8 @@ fn usage() -> &'static str {
      gremlin health <agent-addr>\n  \
      gremlin check <events.ndjson> --assert <timeouts|bounded-retries|circuit-breaker|request-count> [options]\n  \
      gremlin trace <events.ndjson> <request-id>\n  \
-     gremlin generate <graph.json> [--exclude svc]... [--pattern test-*]"
+     gremlin generate <graph.json> [--exclude svc]... [--pattern test-*]\n  \
+     gremlin metrics <addr,...> [--raw]      scrape /metrics from agents or collectors"
 }
 
 fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
@@ -72,6 +74,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "check" => cmd_check(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "" | "help" | "--help" | "-h" => Ok(usage().to_string()),
         other => Err(format!("unknown command {other:?}").into()),
     }
@@ -307,6 +310,183 @@ fn cmd_generate(args: &[String]) -> Result<String, Box<dyn Error>> {
     Ok(serde_json::to_string_pretty(&tests)?)
 }
 
+fn cmd_metrics(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::http::{HttpClient, Request};
+
+    // Targets come either as positional comma-separated addresses or
+    // via --targets (mirrors `install --agents`).
+    let spec = match flag_value(args, "--targets") {
+        Some(value) => value.to_string(),
+        None => args
+            .iter()
+            .take_while(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(","),
+    };
+    let mut targets: Vec<SocketAddr> = Vec::new();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        targets.push(
+            part.parse()
+                .map_err(|e| format!("bad target address {part:?}: {e}"))?,
+        );
+    }
+    if targets.is_empty() {
+        return Err("no targets given (addresses or --targets <addr,...>)".into());
+    }
+
+    let raw = has_flag(args, "--raw");
+    let client = HttpClient::new();
+    let mut out = String::new();
+    for addr in &targets {
+        let response = client
+            .send(*addr, Request::get("/metrics"))
+            .map_err(|e| format!("cannot scrape {addr}: {e}"))?;
+        if !response.status().is_success() {
+            return Err(format!(
+                "scrape of {addr} failed: HTTP {}",
+                response.status().as_u16()
+            )
+            .into());
+        }
+        let text = response.body_str();
+        if targets.len() > 1 {
+            out.push_str(&format!("## {addr}\n"));
+        }
+        if raw {
+            out.push_str(text.trim_end());
+        } else {
+            out.push_str(&summarize_exposition(&text));
+        }
+        out.push('\n');
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// Re-renders parsed labels as `{k=v,...}` for operator output.
+fn display_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let pairs: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn format_seconds(seconds: f64) -> String {
+    if !seconds.is_finite() || seconds < 0.0 {
+        return "?".to_string();
+    }
+    format!("{:?}", std::time::Duration::from_secs_f64(seconds))
+}
+
+/// Estimates the `p`-quantile from a cumulative `(le_seconds, count)`
+/// ladder: the upper bound of the first bucket containing the rank.
+fn ladder_quantile(buckets: &[(f64, f64)], count: f64, p: f64) -> String {
+    if count <= 0.0 {
+        return "-".to_string();
+    }
+    let rank = (p * count).ceil().max(1.0);
+    for (le, cumulative) in buckets {
+        if *cumulative >= rank {
+            if le.is_finite() {
+                return format!("<={}", format_seconds(*le));
+            }
+            // Rank only reached in the +Inf bucket: above the ladder.
+            let top = buckets
+                .iter()
+                .rev()
+                .find(|(l, _)| l.is_finite())
+                .map(|(l, _)| *l)
+                .unwrap_or(0.0);
+            return format!(">{}", format_seconds(top));
+        }
+    }
+    "-".to_string()
+}
+
+/// Condenses Prometheus exposition text into one line per series:
+/// counters and gauges verbatim, histogram families folded into
+/// `count= sum= p50 p90 p99` summaries estimated from the `le` ladder.
+fn summarize_exposition(text: &str) -> String {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let samples = gremlin::telemetry::parse_prometheus(text);
+
+    // Histogram families are recognised by their `_bucket{le=...}` series.
+    let mut histogram_bases: BTreeSet<String> = BTreeSet::new();
+    for sample in &samples {
+        if let Some(base) = sample.name.strip_suffix("_bucket") {
+            if sample.label("le").is_some() {
+                histogram_bases.insert(base.to_string());
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct Family {
+        buckets: Vec<(f64, f64)>,
+        sum: f64,
+        count: f64,
+    }
+    let mut families: BTreeMap<(String, String), Family> = BTreeMap::new();
+    let mut lines: Vec<String> = Vec::new();
+    for sample in &samples {
+        let (base, part) = if let Some(b) = sample.name.strip_suffix("_bucket") {
+            (b, "bucket")
+        } else if let Some(b) = sample.name.strip_suffix("_sum") {
+            (b, "sum")
+        } else if let Some(b) = sample.name.strip_suffix("_count") {
+            (b, "count")
+        } else {
+            ("", "")
+        };
+        if !base.is_empty() && histogram_bases.contains(base) {
+            let labels: Vec<(String, String)> = sample
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            let family = families
+                .entry((base.to_string(), display_labels(&labels)))
+                .or_default();
+            match part {
+                "bucket" => {
+                    let le = match sample.label("le") {
+                        Some("+Inf") | None => f64::INFINITY,
+                        Some(v) => v.parse().unwrap_or(f64::INFINITY),
+                    };
+                    family.buckets.push((le, sample.value));
+                }
+                "sum" => family.sum = sample.value,
+                _ => family.count = sample.value,
+            }
+            continue;
+        }
+        lines.push(format!(
+            "{}{} {}",
+            sample.name,
+            display_labels(&sample.labels),
+            sample.value
+        ));
+    }
+    for ((base, labels), family) in &mut families {
+        family
+            .buckets
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        lines.push(format!(
+            "{base}{labels} count={} sum={} p50{} p90{} p99{}",
+            family.count as u64,
+            format_seconds(family.sum),
+            ladder_quantile(&family.buckets, family.count, 0.50),
+            ladder_quantile(&family.buckets, family.count, 0.90),
+            ladder_quantile(&family.buckets, family.count, 0.99),
+        ));
+    }
+    lines.sort();
+    lines.join("\n")
+}
+
 fn cmd_trace(args: &[String]) -> Result<String, Box<dyn Error>> {
     let store = load_events(positional(args, 0)?)?;
     let request_id = positional(args, 1)?;
@@ -480,6 +660,42 @@ mod tests {
 
         let _ = std::fs::remove_file(graph_path);
         let _ = std::fs::remove_file(scenario_path);
+    }
+
+    #[test]
+    fn metrics_scrapes_a_live_agent() {
+        use gremlin::proxy::{AgentConfig, ControlServer, GremlinAgent};
+        let backend_addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let agent = Arc::new(
+            GremlinAgent::start(
+                AgentConfig::new("web").route("db", vec![backend_addr]),
+                EventStore::shared(),
+            )
+            .unwrap(),
+        );
+        let control = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
+        let addr = control.local_addr().to_string();
+
+        let out = run(&args(&["metrics", &addr])).unwrap();
+        assert!(out.contains("gremlin_proxy_requests_total{dst=db,service=web} 0"), "{out}");
+        // Histogram families collapse into one summary line.
+        assert!(out.contains("gremlin_proxy_upstream_latency_seconds"), "{out}");
+        assert!(out.contains("count=0"), "{out}");
+        assert!(!out.contains("_bucket"), "{out}");
+
+        let raw = run(&args(&["metrics", &addr, "--raw"])).unwrap();
+        assert!(raw.contains("# TYPE gremlin_proxy_requests_total counter"), "{raw}");
+        assert!(raw.contains("_bucket{"), "{raw}");
+
+        // --targets spelling and multi-target headers.
+        let multi = run(&args(&["metrics", "--targets", &format!("{addr},{addr}")])).unwrap();
+        assert!(multi.contains(&format!("## {addr}")), "{multi}");
+
+        assert!(run(&args(&["metrics"])).is_err());
+        assert!(run(&args(&["metrics", "not-an-addr"])).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`mesh`] | Services, resilience patterns, deployments (§2.1, §7 case studies) |
 //! | [`http`] | Minimal HTTP/1.1 codec, client and server |
 //! | [`loadgen`] | Test traffic + latency CDFs (§6, §7.2) |
+//! | [`telemetry`] | Metrics registry, latency histograms, `/metrics` exposition |
 //!
 //! # Quickstart
 //!
@@ -88,6 +89,7 @@ pub use gremlin_loadgen as loadgen;
 pub use gremlin_mesh as mesh;
 pub use gremlin_proxy as proxy;
 pub use gremlin_store as store;
+pub use gremlin_telemetry as telemetry;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -99,4 +101,7 @@ pub mod prelude {
     pub use gremlin_mesh::{Deployment, ResiliencePolicy, ServiceSpec};
     pub use gremlin_proxy::{AbortKind, AgentControl, FaultAction, MessageSide, Rule};
     pub use gremlin_store::{Event, EventStore, Pattern, Query};
+    pub use gremlin_telemetry::{
+        HistogramSnapshot, LatencyHistogram, MetricsRegistry, TelemetrySnapshot,
+    };
 }

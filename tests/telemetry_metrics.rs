@@ -1,0 +1,170 @@
+//! End-to-end observability: a fault-injecting agent and a remote
+//! collector both expose Prometheus `/metrics`, and the scraped
+//! counters agree with the traffic that actually flowed.
+
+use std::sync::Arc;
+
+use gremlin::http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
+use gremlin::proxy::{
+    AbortKind, AgentConfig, CollectorServer, ControlServer, GremlinAgent, HttpEventSink, Rule,
+};
+use gremlin::store::EventStore;
+use gremlin::telemetry::{parse_prometheus, MetricsRegistry, PromSample};
+
+/// Scrapes `GET /metrics` from `addr` and parses the exposition.
+fn scrape(client: &HttpClient, addr: std::net::SocketAddr) -> (String, Vec<PromSample>) {
+    let response = client.send(addr, Request::get("/metrics")).unwrap();
+    assert_eq!(response.status(), StatusCode::OK);
+    let content_type = response.headers().get("content-type").unwrap_or("").to_string();
+    assert!(content_type.starts_with("text/plain"), "{content_type}");
+    let text = response.body_str();
+    let samples = parse_prometheus(&text);
+    (text, samples)
+}
+
+/// The value of the series `name` whose labels include all of `labels`.
+fn value(samples: &[PromSample], name: &str, labels: &[(&str, &str)]) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(v)))
+        .unwrap_or_else(|| panic!("series {name} {labels:?} not found"))
+        .value
+}
+
+#[test]
+fn agent_and_collector_metrics_match_observed_traffic() {
+    // Collector fronting the central store.
+    let central = EventStore::shared();
+    let collector = CollectorServer::start(Arc::clone(&central), "127.0.0.1:0").unwrap();
+
+    // Backend + instrumented agent shipping to the collector.
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("data")
+    })
+    .unwrap();
+    let registry = MetricsRegistry::shared();
+    let sink = Arc::new(HttpEventSink::new(collector.local_addr()));
+    let agent = Arc::new(
+        GremlinAgent::start(
+            AgentConfig::new("web")
+                .route("db", vec![backend.local_addr()])
+                .telemetry(&registry),
+            Arc::clone(&sink) as Arc<dyn gremlin::store::EventSink>,
+        )
+        .unwrap(),
+    );
+    let control = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
+    agent
+        .install_rules(vec![
+            Rule::abort("web", "db", AbortKind::Status(503)).with_pattern("test-fail-*"),
+        ])
+        .unwrap();
+
+    // 6 passthrough requests, 2 aborted ones.
+    let client = HttpClient::new();
+    let addr = agent.route_addr("db").unwrap();
+    for i in 0..6 {
+        let ok = client
+            .send(
+                addr,
+                Request::builder(Method::Get, "/q")
+                    .request_id(format!("test-ok-{i}"))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(ok.status(), StatusCode::OK);
+    }
+    for i in 0..2 {
+        let aborted = client
+            .send(
+                addr,
+                Request::builder(Method::Get, "/q")
+                    .request_id(format!("test-fail-{i}"))
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(aborted.status(), StatusCode::SERVICE_UNAVAILABLE);
+    }
+    sink.flush();
+    assert_eq!(sink.dropped(), 0);
+
+    // --- Agent side (served by the control API) -----------------------
+    let (text, samples) = scrape(&client, control.local_addr());
+    assert!(
+        text.contains("# TYPE gremlin_proxy_requests_total counter"),
+        "{text}"
+    );
+    let route = [("service", "web"), ("dst", "db")];
+    assert_eq!(value(&samples, "gremlin_proxy_requests_total", &route), 8.0);
+    assert_eq!(
+        value(
+            &samples,
+            "gremlin_proxy_faults_total",
+            &[("service", "web"), ("type", "abort")]
+        ),
+        2.0
+    );
+    // Aborts short-circuit before the upstream: only the 6 passthrough
+    // requests have an upstream latency sample, and none failed.
+    assert_eq!(
+        value(&samples, "gremlin_proxy_upstream_latency_seconds_count", &route),
+        6.0
+    );
+    assert_eq!(
+        value(&samples, "gremlin_proxy_upstream_errors_total", &route),
+        0.0
+    );
+    // The +Inf bucket of the latency histogram equals its count.
+    assert_eq!(
+        value(
+            &samples,
+            "gremlin_proxy_upstream_latency_seconds_bucket",
+            &[("service", "web"), ("dst", "db"), ("le", "+Inf")]
+        ),
+        6.0
+    );
+
+    // --- Collector side ----------------------------------------------
+    let (_, samples) = scrape(&client, collector.local_addr());
+    // Every request produces a request + a response observation.
+    assert_eq!(value(&samples, "gremlin_collector_events_total", &[]), 16.0);
+    assert_eq!(value(&samples, "gremlin_collector_parse_errors_total", &[]), 0.0);
+    assert!(value(&samples, "gremlin_collector_batches_total", &[]) >= 1.0);
+    // Store-level telemetry rides on the same registry.
+    assert_eq!(value(&samples, "gremlin_store_events", &[]), 16.0);
+    assert_eq!(value(&samples, "gremlin_store_appends_total", &[]), 16.0);
+
+    // /stats mirrors the same counters as JSON.
+    let stats = client
+        .send(collector.local_addr(), Request::get("/stats"))
+        .unwrap();
+    let stats: serde_json::Value = serde_json::from_slice(stats.body()).unwrap();
+    assert_eq!(stats["events"], 16);
+    assert_eq!(stats["appended"], 16);
+    assert_eq!(stats["parse_errors"], 0);
+    assert!(stats["batches"].as_u64().unwrap() >= 1);
+
+    // A malformed batch line is a 400 that still imports the good
+    // lines — and the failure is visible on /metrics.
+    let good = serde_json::to_string(
+        &gremlin::store::Event::request("web", "db", "GET", "/x").with_request_id("test-bad-1"),
+    )
+    .unwrap();
+    let response = client
+        .send(
+            collector.local_addr(),
+            Request::builder(Method::Post, "/events")
+                .body(format!("{good}\nnot json\n"))
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(response.status(), StatusCode::BAD_REQUEST);
+    let body = response.body_str();
+    assert!(body.contains("\"imported\":1"), "{body}");
+    assert!(body.contains("\"parse_errors\":1"), "{body}");
+
+    let (_, samples) = scrape(&client, collector.local_addr());
+    assert_eq!(value(&samples, "gremlin_collector_parse_errors_total", &[]), 1.0);
+    assert_eq!(value(&samples, "gremlin_collector_events_total", &[]), 17.0);
+    assert_eq!(value(&samples, "gremlin_store_events", &[]), 17.0);
+}
