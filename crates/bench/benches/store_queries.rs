@@ -84,11 +84,36 @@ fn bench_append(c: &mut Criterion) {
     });
 }
 
+/// Batched append: the collector's ingest path (one sequence
+/// reservation and one lock per shard per batch).
+fn bench_append_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/append_batch");
+    for &batch in &[16usize, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let store = EventStore::new();
+            let mut index = 0u64;
+            b.iter(|| {
+                let events: Vec<Event> = (0..batch)
+                    .map(|offset| {
+                        Event::request("a", "b", "GET", "/x")
+                            .with_request_id("test-1")
+                            .with_timestamp(index + offset as u64)
+                    })
+                    .collect();
+                index += batch as u64;
+                store.record_batch(events);
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_indexed_query,
     bench_full_scan_query,
     bench_count,
-    bench_append
+    bench_append,
+    bench_append_batch
 );
 criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Data-plane hot-path benchmark: proxy throughput, added latency,
+//! and raw rule-matching cost, exported as machine-readable JSON.
+//!
+//! Three measurements back the numbers in `DESIGN.md`'s Performance
+//! section:
+//!
+//! 1. **Baseline** — closed-loop load straight at a trivial backend.
+//! 2. **Through the agent** — the same load through a Gremlin agent,
+//!    with 0 and then 100 installed (non-matching, worst-case) rules.
+//!    The p50/p99 *added* latency is the difference against baseline.
+//! 3. **Rule matching in isolation** — worst-case `match_message`
+//!    lookups against a 100-rule table, reported in nanoseconds.
+//!
+//! Run: `cargo run --release -p gremlin-bench --bin bench_proxy`
+//!
+//! Output: `BENCH_proxy.json` in the working directory (override with
+//! `GREMLIN_BENCH_OUT`); request count per setting scales with
+//! `GREMLIN_BENCH_REQUESTS` (default 2000).
+
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use gremlin_http::{ConnInfo, HttpServer, Request, Response};
+use gremlin_loadgen::{Cdf, LoadGenerator, LoadReport};
+use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, MessageSide, Rule, RuleTable};
+use gremlin_store::EventStore;
+
+const WORKERS: usize = 4;
+
+fn no_match_rules(count: usize) -> Vec<Rule> {
+    (0..count)
+        .map(|index| {
+            Rule::abort("client", "server", AbortKind::Status(503))
+                .with_pattern(format!("nomatch-{index}-*?suffix").as_str())
+        })
+        .collect()
+}
+
+fn run_load(addr: std::net::SocketAddr, requests: usize) -> LoadReport {
+    LoadGenerator::new(addr)
+        .id_prefix("test")
+        .run_closed(WORKERS, requests / WORKERS)
+}
+
+fn quantile_us(cdf: &Cdf, q: f64) -> f64 {
+    cdf.quantile(q)
+        .map(|latency| latency.as_secs_f64() * 1e6)
+        .unwrap_or(0.0)
+}
+
+fn load_stats(report: &LoadReport, baseline: Option<&Cdf>) -> serde_json::Value {
+    let cdf = report.cdf();
+    let p50 = quantile_us(&cdf, 0.5);
+    let p99 = quantile_us(&cdf, 0.99);
+    let mut stats = serde_json::json!({
+        "throughput_rps": report.throughput(),
+        "p50_us": p50,
+        "p99_us": p99,
+    });
+    if let Some(base) = baseline {
+        stats["added_p50_us"] = ((p50 - quantile_us(base, 0.5)).max(0.0)).into();
+        stats["added_p99_us"] = ((p99 - quantile_us(base, 0.99)).max(0.0)).into();
+    }
+    stats
+}
+
+/// Worst-case `match_message` cost against `rules` installed rules,
+/// measured in batches to stay above timer resolution.
+fn rule_match_stats(rules: usize, lookups: usize) -> serde_json::Value {
+    let table = RuleTable::new();
+    table.install(no_match_rules(rules)).expect("valid rules");
+    const BATCH: usize = 64;
+    let mut samples = Vec::with_capacity(lookups / BATCH);
+    let mut done = 0usize;
+    while done < lookups {
+        let started = Instant::now();
+        for i in 0..BATCH {
+            let id = if i % 2 == 0 { "test-12345" } else { "test-9" };
+            let hit = table.match_message("client", "server", MessageSide::Request, Some(id));
+            assert!(hit.is_none(), "worst case must not match");
+        }
+        samples.push(started.elapsed() / BATCH as u32);
+        done += BATCH;
+    }
+    let total: Duration = samples.iter().sum();
+    let cdf = Cdf::from_latencies(&samples);
+    serde_json::json!({
+        "rules": rules,
+        "lookups": done,
+        "mean_ns": total.as_nanos() as f64 / samples.len() as f64,
+        "p50_ns": cdf.quantile(0.5).map(|d| d.as_nanos() as u64).unwrap_or(0),
+        "p99_ns": cdf.quantile(0.99).map(|d| d.as_nanos() as u64).unwrap_or(0),
+    })
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let requests: usize = std::env::var("GREMLIN_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let requests = requests.max(WORKERS);
+
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("ok")
+    })?;
+
+    // (1) Baseline: straight at the backend.
+    let direct = run_load(backend.local_addr(), requests);
+    assert_eq!(direct.successes(), (requests / WORKERS) * WORKERS);
+    let direct_cdf = direct.cdf();
+    println!("direct:           {:>9.0} req/s", direct.throughput());
+
+    // (2) Through the agent, 0 and 100 installed rules.
+    let mut through = Vec::new();
+    for rules in [0usize, 100] {
+        let agent = GremlinAgent::start(
+            AgentConfig::new("client").route("server", vec![backend.local_addr()]),
+            EventStore::shared(),
+        )?;
+        agent.install_rules(no_match_rules(rules))?;
+        let report = run_load(agent.route_addr("server").expect("route"), requests);
+        assert_eq!(report.successes(), (requests / WORKERS) * WORKERS);
+        assert_eq!(agent.rule_hits(), 0, "worst case: no rule may match");
+        println!(
+            "agent {rules:>3} rules:  {:>9.0} req/s  (p50 +{:.1}us vs direct)",
+            report.throughput(),
+            (quantile_us(&report.cdf(), 0.5) - quantile_us(&direct_cdf, 0.5)).max(0.0),
+        );
+        through.push((rules, report));
+        agent.shutdown();
+    }
+
+    // (3) Rule matching in isolation.
+    let matching = rule_match_stats(100, 64 * 256);
+    println!(
+        "rule match (100 rules, worst case): mean {}ns",
+        matching["mean_ns"]
+    );
+
+    let output = serde_json::json!({
+        "benchmark": "proxy_hot_path",
+        "requests_per_setting": requests,
+        "workers": WORKERS,
+        "throughput_rps": through[0].1.throughput(),
+        "p50_added_latency_us": (quantile_us(&through[0].1.cdf(), 0.5)
+            - quantile_us(&direct_cdf, 0.5)).max(0.0),
+        "p99_added_latency_us": (quantile_us(&through[0].1.cdf(), 0.99)
+            - quantile_us(&direct_cdf, 0.99)).max(0.0),
+        "direct": load_stats(&direct, None),
+        "agent_0_rules": load_stats(&through[0].1, Some(&direct_cdf)),
+        "agent_100_rules": load_stats(&through[1].1, Some(&direct_cdf)),
+        "rule_match": matching,
+    });
+
+    let path =
+        std::env::var("GREMLIN_BENCH_OUT").unwrap_or_else(|_| "BENCH_proxy.json".to_string());
+    std::fs::write(&path, serde_json::to_string_pretty(&output)?)?;
+    println!("wrote {path}");
+    Ok(())
+}

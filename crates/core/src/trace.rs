@@ -95,8 +95,8 @@ impl FlowTrace {
             match &event.kind {
                 gremlin_store::EventKind::Request { method, uri } => {
                     hops.push(Hop {
-                        src: event.src.clone(),
-                        dst: event.dst.clone(),
+                        src: event.src.to_string(),
+                        dst: event.dst.to_string(),
                         requested_at: event.timestamp_us,
                         call: format!("{method} {uri}"),
                         status: None,
@@ -126,8 +126,8 @@ impl FlowTrace {
                             // (e.g. log loss): surface it as its own
                             // hop rather than dropping it.
                             hops.push(Hop {
-                                src: event.src.clone(),
-                                dst: event.dst.clone(),
+                                src: event.src.to_string(),
+                                dst: event.dst.to_string(),
                                 requested_at: event.timestamp_us,
                                 call: "(request not observed)".to_string(),
                                 status: Some(*status),

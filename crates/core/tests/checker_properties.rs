@@ -51,7 +51,7 @@ fn materialize(specs: &[EventSpec]) -> Vec<Event> {
                 Event::response("a", "b", spec.status, Duration::from_millis(5))
             };
             event.timestamp_us = spec.timestamp;
-            event.request_id = Some(format!("test-{index}"));
+            event.request_id = Some(format!("test-{index}").into());
             if spec.faulted {
                 event.fault = Some(AppliedFault::Abort { status: 503 });
             }

@@ -10,6 +10,8 @@ use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use serde::{Deserialize, Serialize};
 
+use crate::name::Name;
+
 /// Microseconds since the UNIX epoch; the timestamp resolution of all
 /// Gremlin observations.
 pub type Micros = u64;
@@ -98,24 +100,24 @@ pub struct Event {
     /// Wall-clock timestamp in microseconds since the UNIX epoch.
     pub timestamp_us: Micros,
     /// The propagated request ID, if the message carried one.
-    pub request_id: Option<String>,
+    pub request_id: Option<Name>,
     /// Logical name of the calling service.
-    pub src: String,
+    pub src: Name,
     /// Logical name of the called service.
-    pub dst: String,
+    pub dst: Name,
     /// Direction and message-specific details.
     pub kind: EventKind,
     /// Fault action applied by the agent, if any.
     pub fault: Option<AppliedFault>,
     /// Identity of the agent instance that logged the event.
-    pub agent: String,
+    pub agent: Name,
 }
 
 impl Event {
     /// Creates a request observation stamped with the current time.
     pub fn request(
-        src: impl Into<String>,
-        dst: impl Into<String>,
+        src: impl Into<Name>,
+        dst: impl Into<Name>,
         method: impl Into<String>,
         uri: impl Into<String>,
     ) -> Event {
@@ -129,14 +131,14 @@ impl Event {
                 uri: uri.into(),
             },
             fault: None,
-            agent: String::new(),
+            agent: Name::empty(),
         }
     }
 
     /// Creates a response observation stamped with the current time.
     pub fn response(
-        src: impl Into<String>,
-        dst: impl Into<String>,
+        src: impl Into<Name>,
+        dst: impl Into<Name>,
         status: u16,
         latency: Duration,
     ) -> Event {
@@ -150,12 +152,12 @@ impl Event {
                 latency_us: latency.as_micros() as Micros,
             },
             fault: None,
-            agent: String::new(),
+            agent: Name::empty(),
         }
     }
 
     /// Builder-style: sets the request ID.
-    pub fn with_request_id(mut self, id: impl Into<String>) -> Event {
+    pub fn with_request_id(mut self, id: impl Into<Name>) -> Event {
         self.request_id = Some(id.into());
         self
     }
@@ -173,7 +175,7 @@ impl Event {
     }
 
     /// Builder-style: sets the reporting agent name.
-    pub fn with_agent(mut self, agent: impl Into<String>) -> Event {
+    pub fn with_agent(mut self, agent: impl Into<Name>) -> Event {
         self.agent = agent.into();
         self
     }

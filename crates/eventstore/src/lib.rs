@@ -41,11 +41,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod name;
 pub mod pattern;
 pub mod query;
 pub mod store;
 
 pub use event::{now_micros, AppliedFault, Event, EventKind, Micros};
+pub use name::Name;
 pub use pattern::Pattern;
 pub use query::{KindFilter, Query};
 pub use store::{EventSink, EventStore};

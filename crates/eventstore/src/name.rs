@@ -1,0 +1,328 @@
+//! Interned service/agent/request-ID names.
+//!
+//! Every proxied message produces several [`Event`](crate::Event)s,
+//! and each event used to carry owned `String` copies of the source
+//! service, destination service, agent identity, and request ID. On
+//! the data-plane hot path those strings are identical for the
+//! lifetime of a route, so copying them per event is pure allocator
+//! traffic. [`Name`] wraps an `Arc<str>`: cloning is a reference-count
+//! bump, comparisons and hashing delegate to the underlying string,
+//! and serde sees a plain JSON string, so the wire format is unchanged.
+
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+use serde::de::{Deserializer, Visitor};
+use serde::ser::Serializer;
+use serde::{Deserialize, Serialize};
+
+/// A cheaply-cloneable, immutable string used for service names, agent
+/// identities, and request IDs.
+///
+/// `Name` behaves like `&str` almost everywhere: it derefs to `str`,
+/// compares and hashes by content, and converts from/into `String`.
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_store::Name;
+///
+/// let a = Name::from("serviceA");
+/// let b = a.clone(); // refcount bump, no allocation
+/// assert_eq!(a, b);
+/// assert_eq!(a, "serviceA");
+/// assert_eq!(a.len(), 8);
+/// ```
+#[derive(Clone)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Creates a name from anything string-like.
+    pub fn new(value: impl Into<Name>) -> Name {
+        value.into()
+    }
+
+    /// The shared empty name (no allocation after first use).
+    pub fn empty() -> Name {
+        static EMPTY: OnceLock<Arc<str>> = OnceLock::new();
+        Name(Arc::clone(EMPTY.get_or_init(|| Arc::from(""))))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for Name {
+    fn default() -> Name {
+        Name::empty()
+    }
+}
+
+impl Deref for Name {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Name {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Name) -> bool {
+        // Pointer equality first: interned names on the hot path are
+        // clones of the same Arc.
+        Arc::ptr_eq(&self.0, &other.0) || self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Name {}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `str`'s Hash so `Borrow<str>` lookups work.
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Name) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    fn cmp(&self, other: &Name) -> Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for str {
+    fn eq(&self, other: &Name) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for &str {
+    fn eq(&self, other: &Name) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for String {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl From<&str> for Name {
+    fn from(value: &str) -> Name {
+        if value.is_empty() {
+            return Name::empty();
+        }
+        Name(Arc::from(value))
+    }
+}
+
+impl From<String> for Name {
+    fn from(value: String) -> Name {
+        if value.is_empty() {
+            return Name::empty();
+        }
+        Name(Arc::from(value))
+    }
+}
+
+impl From<&String> for Name {
+    fn from(value: &String) -> Name {
+        Name::from(value.as_str())
+    }
+}
+
+impl From<Arc<str>> for Name {
+    fn from(value: Arc<str>) -> Name {
+        Name(value)
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(value: &Name) -> Name {
+        value.clone()
+    }
+}
+
+impl From<Name> for String {
+    fn from(value: Name) -> String {
+        value.as_str().to_string()
+    }
+}
+
+impl From<&Name> for String {
+    fn from(value: &Name) -> String {
+        value.as_str().to_string()
+    }
+}
+
+// Hand-written serde impls: a `Name` is a plain JSON string on the
+// wire, identical to the `String` fields it replaced.
+impl Serialize for Name {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Name {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Name, D::Error> {
+        struct NameVisitor;
+
+        impl Visitor<'_> for NameVisitor {
+            type Value = Name;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+
+            fn visit_str<E: serde::de::Error>(self, value: &str) -> Result<Name, E> {
+                Ok(Name::from(value))
+            }
+
+            fn visit_string<E: serde::de::Error>(self, value: String) -> Result<Name, E> {
+                Ok(Name::from(value))
+            }
+        }
+
+        deserializer.deserialize_str(NameVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, HashMap};
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Name::from("serviceA");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_is_shared_and_default() {
+        let a = Name::empty();
+        let b = Name::default();
+        let c = Name::from("");
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert!(Arc::ptr_eq(&a.0, &c.0));
+        assert_eq!(a.as_str(), "");
+    }
+
+    #[test]
+    fn compares_with_str_forms() {
+        let n = Name::from("web");
+        assert_eq!(n, "web");
+        assert_eq!(n, *"web");
+        assert_eq!(n, String::from("web"));
+        assert_eq!("web", n);
+        assert_eq!(String::from("web"), n);
+        assert_ne!(n, "db");
+    }
+
+    #[test]
+    fn hash_and_ord_agree_with_str() {
+        let mut map: HashMap<Name, u32> = HashMap::new();
+        map.insert(Name::from("a"), 1);
+        // Borrow<str> lets us look up by &str without allocating.
+        assert_eq!(map.get("a"), Some(&1));
+        assert_eq!(map.get("b"), None);
+
+        let mut tree: BTreeMap<Name, u32> = BTreeMap::new();
+        tree.insert(Name::from("ab"), 1);
+        tree.insert(Name::from("ac"), 2);
+        let hits: Vec<_> = tree
+            .range::<str, _>((std::ops::Bound::Included("ab"), std::ops::Bound::Unbounded))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hits, vec![1, 2]);
+    }
+
+    #[test]
+    fn deref_gives_str_methods() {
+        let n = Name::from("test-123");
+        assert!(n.starts_with("test-"));
+        assert_eq!(n.len(), 8);
+        let opt = Some(n);
+        assert_eq!(opt.as_deref(), Some("test-123"));
+    }
+
+    #[test]
+    fn string_conversions() {
+        let n = Name::from(String::from("x"));
+        let s: String = n.clone().into();
+        assert_eq!(s, "x");
+        let s2: String = (&n).into();
+        assert_eq!(s2, "x");
+    }
+
+    #[test]
+    fn serde_is_a_plain_string() {
+        let n = Name::from("serviceA");
+        assert_eq!(serde_json::to_string(&n).unwrap(), "\"serviceA\"");
+        let back: Name = serde_json::from_str("\"serviceA\"").unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = Name::from("a-b");
+        assert_eq!(n.to_string(), "a-b");
+        assert_eq!(format!("{n:?}"), "\"a-b\"");
+    }
+}

@@ -5,8 +5,25 @@
 //! paper's implementation used logstash + Elasticsearch; this store
 //! provides the same query surface — filtered, time-sorted retrieval —
 //! as an in-memory indexed structure.
+//!
+//! # Sharding
+//!
+//! A resilience test at production traffic levels has every agent
+//! thread appending observations concurrently. A single
+//! `RwLock<Vec<Event>>` serializes all of them; instead the store is
+//! split into N shards (default: one per CPU), each with its own lock,
+//! event vector, and edge/request-ID indices. A write touches exactly
+//! one shard; queries fan out over all shards and merge the matches
+//! back into one timestamp-sorted list.
+//!
+//! Every event is tagged with a global, monotonically increasing
+//! sequence number when it is recorded. Merged query results are
+//! ordered by `(timestamp, sequence)`, which reproduces exactly the
+//! order the previous single-vector implementation produced with a
+//! stable sort by timestamp (ties broken by insertion order).
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -16,6 +33,7 @@ use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 use parking_lot::RwLock;
 
 use crate::event::{Event, Micros};
+use crate::name::Name;
 use crate::query::Query;
 
 /// A sink that accepts observation events.
@@ -26,9 +44,18 @@ use crate::query::Query;
 pub trait EventSink: Send + Sync {
     /// Records one observation.
     fn record(&self, event: Event);
+
+    /// Records a batch of observations. The default implementation
+    /// records events one by one; sinks with per-call overhead (a lock
+    /// acquisition, a network round trip) should override it.
+    fn record_batch(&self, events: Vec<Event>) {
+        for event in events {
+            self.record(event);
+        }
+    }
 }
 
-/// An in-memory, indexed, concurrently-writable event store.
+/// An in-memory, sharded, indexed, concurrently-writable event store.
 ///
 /// Events are indexed by `(src, dst)` edge for the common
 /// `GetRequests(Src, Dst, …)` query shape. Query results are always
@@ -49,23 +76,39 @@ pub trait EventSink: Send + Sync {
 /// let replies = store.query(&Query::replies("a", "b"));
 /// assert_eq!(replies[0].status(), Some(503));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventStore {
-    inner: RwLock<Inner>,
+    shards: Box<[Shard]>,
+    /// Global insertion sequence; total-orders events across shards.
+    seq: AtomicU64,
+    /// Total stored events, maintained outside the shard locks so
+    /// `len()` never has to fan out.
+    count: AtomicUsize,
+    /// Telemetry handles, set via [`EventStore::enable_telemetry`].
+    telemetry: RwLock<Option<StoreTelemetry>>,
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    events: Vec<Event>,
+struct Shard {
+    inner: RwLock<ShardInner>,
+}
+
+#[derive(Debug, Clone)]
+struct StoredEvent {
+    /// Global insertion sequence number; ties on timestamp sort in
+    /// insertion order, matching the old stable-sort behavior.
+    seq: u64,
+    event: Event,
+}
+
+#[derive(Debug, Default)]
+struct ShardInner {
+    events: Vec<StoredEvent>,
     /// Edge index: (src, dst) -> indices into `events`.
-    edges: HashMap<(String, String), Vec<usize>>,
+    edges: HashMap<(Name, Name), Vec<usize>>,
     /// Request-ID index: id -> indices into `events`. A BTreeMap so
     /// prefix patterns can range-scan.
-    ids: BTreeMap<String, Vec<usize>>,
-    /// Telemetry handles, set via [`EventStore::enable_telemetry`].
-    /// Lives behind the store's own lock, so instrumented operations
-    /// pay no extra synchronization.
-    telemetry: Option<StoreTelemetry>,
+    ids: BTreeMap<Name, Vec<usize>>,
 }
 
 #[derive(Debug)]
@@ -73,10 +116,22 @@ struct StoreTelemetry {
     appends: Arc<Counter>,
     size: Arc<Gauge>,
     query_seconds: Arc<LatencyHistogram>,
+    /// One gauge per shard, labelled `shard="<index>"`.
+    shard_events: Vec<Arc<Gauge>>,
 }
 
 impl StoreTelemetry {
-    fn new(registry: &MetricsRegistry) -> StoreTelemetry {
+    fn new(registry: &MetricsRegistry, shards: usize) -> StoreTelemetry {
+        let shard_events = (0..shards)
+            .map(|index| {
+                let label = index.to_string();
+                registry.gauge(
+                    "gremlin_store_shard_events",
+                    "Events currently held by each observation-store shard.",
+                    &[("shard", label.as_str())],
+                )
+            })
+            .collect();
         StoreTelemetry {
             appends: registry.counter(
                 "gremlin_store_appends_total",
@@ -93,13 +148,14 @@ impl StoreTelemetry {
                 "Latency of observation-store queries.",
                 &[],
             ),
+            shard_events,
         }
     }
 }
 
-impl Inner {
-    fn index_event(&mut self, index: usize) {
-        let event = &self.events[index];
+impl ShardInner {
+    fn append(&mut self, seq: u64, event: Event) {
+        let index = self.events.len();
         self.edges
             .entry((event.src.clone(), event.dst.clone()))
             .or_default()
@@ -107,13 +163,21 @@ impl Inner {
         if let Some(id) = &event.request_id {
             self.ids.entry(id.clone()).or_default().push(index);
         }
+        self.events.push(StoredEvent { seq, event });
     }
 
     fn rebuild_indexes(&mut self) {
         self.edges.clear();
         self.ids.clear();
         for index in 0..self.events.len() {
-            self.index_event(index);
+            let event = &self.events[index].event;
+            self.edges
+                .entry((event.src.clone(), event.dst.clone()))
+                .or_default()
+                .push(index);
+            if let Some(id) = &event.request_id {
+                self.ids.entry(id.clone()).or_default().push(index);
+            }
         }
     }
 
@@ -121,15 +185,13 @@ impl Inner {
     /// the pattern cannot use the index.
     fn id_candidates(&self, pattern: &Pattern) -> Option<Vec<usize>> {
         match pattern {
-            Pattern::Exact(id) => {
-                Some(self.ids.get(id).cloned().unwrap_or_default())
-            }
+            Pattern::Exact(id) => Some(self.ids.get(id.as_str()).cloned().unwrap_or_default()),
             Pattern::Prefix(prefix) => {
                 let mut indices = Vec::new();
                 for (_, slots) in self
                     .ids
-                    .range::<String, _>((
-                        std::ops::Bound::Included(prefix.clone()),
+                    .range::<str, _>((
+                        std::ops::Bound::Included(prefix.as_str()),
                         std::ops::Bound::Unbounded,
                     ))
                     .take_while(|(id, _)| id.starts_with(prefix.as_str()))
@@ -144,10 +206,28 @@ impl Inner {
     }
 }
 
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 64)
+}
+
 impl EventStore {
-    /// Creates an empty store.
+    /// Creates an empty store with one shard per available CPU.
     pub fn new() -> EventStore {
-        EventStore::default()
+        EventStore::with_shards(default_shards())
+    }
+
+    /// Creates an empty store with an explicit shard count (minimum 1).
+    pub fn with_shards(shards: usize) -> EventStore {
+        let shards = shards.max(1);
+        EventStore {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            seq: AtomicU64::new(0),
+            count: AtomicUsize::new(0),
+            telemetry: RwLock::new(None),
+        }
     }
 
     /// Creates an empty store behind an [`Arc`], ready to share with
@@ -156,38 +236,88 @@ impl EventStore {
         Arc::new(EventStore::new())
     }
 
-    /// Starts recording store activity (appends, size, query latency)
-    /// into `registry`. Idempotent in effect: calling again re-binds
-    /// the handles to the given registry.
+    /// Number of shards this store spreads writes over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Starts recording store activity (appends, total and per-shard
+    /// size, query latency) into `registry`. Idempotent in effect:
+    /// calling again re-binds the handles to the given registry.
     pub fn enable_telemetry(&self, registry: &MetricsRegistry) {
-        let mut inner = self.inner.write();
-        let telemetry = StoreTelemetry::new(registry);
-        telemetry.size.set(inner.events.len() as i64);
-        inner.telemetry = Some(telemetry);
+        let telemetry = StoreTelemetry::new(registry, self.shards.len());
+        telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+        for (index, shard) in self.shards.iter().enumerate() {
+            telemetry.shard_events[index].set(shard.inner.read().events.len() as i64);
+        }
+        *self.telemetry.write() = Some(telemetry);
+    }
+
+    fn shard_for(&self, seq: u64) -> usize {
+        (seq % self.shards.len() as u64) as usize
     }
 
     /// Appends one event.
     pub fn record_event(&self, event: Event) {
-        let mut inner = self.inner.write();
-        let index = inner.events.len();
-        inner.events.push(event);
-        inner.index_event(index);
-        if let Some(telemetry) = &inner.telemetry {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_for(seq);
+        let shard_len = {
+            let mut inner = self.shards[shard].inner.write();
+            inner.append(seq, event);
+            inner.events.len()
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if let Some(telemetry) = self.telemetry.read().as_ref() {
             telemetry.appends.inc();
-            telemetry.size.set(inner.events.len() as i64);
+            telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+            telemetry.shard_events[shard].set(shard_len as i64);
+        }
+    }
+
+    /// Appends a batch of events, acquiring each shard lock at most
+    /// once. This is the path collectors use so one lock acquisition
+    /// covers a whole agent batch.
+    pub fn record_batch(&self, events: Vec<Event>) {
+        let n = events.len();
+        if n == 0 {
+            return;
+        }
+        let base = self.seq.fetch_add(n as u64, Ordering::Relaxed);
+        let mut buckets: Vec<Vec<(u64, Event)>> = Vec::new();
+        buckets.resize_with(self.shards.len(), Vec::new);
+        for (offset, event) in events.into_iter().enumerate() {
+            let seq = base + offset as u64;
+            buckets[self.shard_for(seq)].push((seq, event));
+        }
+        let mut shard_lens: Vec<(usize, usize)> = Vec::new();
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut inner = self.shards[shard].inner.write();
+            for (seq, event) in bucket {
+                inner.append(seq, event);
+            }
+            shard_lens.push((shard, inner.events.len()));
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        if let Some(telemetry) = self.telemetry.read().as_ref() {
+            telemetry.appends.add(n as u64);
+            telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+            for (shard, len) in shard_lens {
+                telemetry.shard_events[shard].set(len as i64);
+            }
         }
     }
 
     /// Appends many events.
     pub fn extend(&self, events: impl IntoIterator<Item = Event>) {
-        for event in events {
-            self.record_event(event);
-        }
+        self.record_batch(events.into_iter().collect());
     }
 
     /// Number of stored events.
     pub fn len(&self) -> usize {
-        self.inner.read().events.len()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Returns `true` if the store holds no events.
@@ -198,112 +328,185 @@ impl EventStore {
     /// Removes all events (used between test runs; paper §9 "state
     /// cleanup").
     pub fn clear(&self) {
-        let mut inner = self.inner.write();
-        inner.events.clear();
-        inner.edges.clear();
-        inner.ids.clear();
-        if let Some(telemetry) = &inner.telemetry {
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.write();
+            inner.events.clear();
+            inner.edges.clear();
+            inner.ids.clear();
+        }
+        self.count.store(0, Ordering::Relaxed);
+        if let Some(telemetry) = self.telemetry.read().as_ref() {
             telemetry.size.set(0);
+            for gauge in &telemetry.shard_events {
+                gauge.set(0);
+            }
         }
     }
 
     /// Drops every event older than `cutoff_us` (log retention for
-    /// long-running agents), returning how many were removed. The
-    /// edge index is rebuilt.
+    /// long-running agents), returning how many were removed. Shard
+    /// indexes are rebuilt.
     pub fn prune_before(&self, cutoff_us: Micros) -> usize {
-        let mut inner = self.inner.write();
-        let before = inner.events.len();
-        inner.events.retain(|event| event.timestamp_us >= cutoff_us);
-        let removed = before - inner.events.len();
-        if removed > 0 {
-            inner.rebuild_indexes();
+        let mut removed = 0;
+        let mut shard_lens: Vec<usize> = Vec::with_capacity(self.shards.len());
+        for shard in self.shards.iter() {
+            let mut inner = shard.inner.write();
+            let before = inner.events.len();
+            inner.events.retain(|stored| stored.event.timestamp_us >= cutoff_us);
+            let dropped = before - inner.events.len();
+            if dropped > 0 {
+                inner.rebuild_indexes();
+                removed += dropped;
+            }
+            shard_lens.push(inner.events.len());
         }
-        if let Some(telemetry) = &inner.telemetry {
-            telemetry.size.set(inner.events.len() as i64);
+        if removed > 0 {
+            self.count.fetch_sub(removed, Ordering::Relaxed);
+        }
+        if let Some(telemetry) = self.telemetry.read().as_ref() {
+            telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+            for (shard, len) in shard_lens.into_iter().enumerate() {
+                telemetry.shard_events[shard].set(len as i64);
+            }
         }
         removed
     }
 
-    /// Returns every stored event sorted by timestamp.
+    /// Returns every stored event sorted by timestamp (insertion order
+    /// on ties).
     pub fn snapshot(&self) -> Vec<Event> {
-        let inner = self.inner.read();
-        let mut events = inner.events.clone();
-        events.sort_by_key(|e| e.timestamp_us);
-        events
+        let mut all: Vec<StoredEvent> = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            all.extend(shard.inner.read().events.iter().cloned());
+        }
+        all.sort_unstable_by_key(|stored| (stored.event.timestamp_us, stored.seq));
+        all.into_iter().map(|stored| stored.event).collect()
     }
 
-    /// Runs `query`, returning matching events sorted by timestamp.
+    /// Runs `query`, returning matching events sorted by timestamp
+    /// (insertion order on ties).
     ///
-    /// When the query names both a source and destination, the edge
-    /// index narrows the scan; otherwise all events are filtered.
+    /// When the query names both a source and destination, each
+    /// shard's edge index narrows the scan; otherwise the request-ID
+    /// index is tried before falling back to a full scan. Matches from
+    /// all shards are merged by `(timestamp, insertion sequence)`.
     pub fn query(&self, query: &Query) -> Vec<Event> {
         let started = Instant::now();
-        let inner = self.inner.read();
-        let mut result: Vec<Event> = match (&query.src, &query.dst) {
-            (Some(src), Some(dst)) => {
-                match inner.edges.get(&(src.clone(), dst.clone())) {
-                    Some(indices) => indices
-                        .iter()
-                        .map(|&i| &inner.events[i])
-                        .filter(|e| query.matches_unindexed(e))
-                        .cloned()
-                        .collect(),
-                    None => Vec::new(),
-                }
-            }
-            _ => {
-                // No edge filter: try the request-ID index before
-                // falling back to a full scan.
-                let candidates = query
-                    .id_pattern
-                    .as_ref()
-                    .and_then(|pattern| inner.id_candidates(pattern));
-                match candidates {
-                    Some(indices) => indices
-                        .iter()
-                        .map(|&i| &inner.events[i])
-                        .filter(|e| query.matches(e))
-                        .cloned()
-                        .collect(),
-                    None => inner
-                        .events
-                        .iter()
-                        .filter(|e| query.matches(e))
-                        .cloned()
-                        .collect(),
-                }
-            }
-        };
-        result.sort_by_key(|e| e.timestamp_us);
-        if let Some(telemetry) = &inner.telemetry {
+        let mut matched = self.collect_matches(query);
+        matched.sort_unstable_by_key(|stored| (stored.event.timestamp_us, stored.seq));
+        let result: Vec<Event> = matched.into_iter().map(|stored| stored.event).collect();
+        if let Some(telemetry) = self.telemetry.read().as_ref() {
             telemetry.query_seconds.record(started.elapsed());
         }
         result
     }
 
+    fn collect_matches(&self, query: &Query) -> Vec<StoredEvent> {
+        let mut matched: Vec<StoredEvent> = Vec::new();
+        let edge_key: Option<(Name, Name)> = match (&query.src, &query.dst) {
+            (Some(src), Some(dst)) => Some((Name::from(src.as_str()), Name::from(dst.as_str()))),
+            _ => None,
+        };
+        for shard in self.shards.iter() {
+            let inner = shard.inner.read();
+            match &edge_key {
+                Some(key) => {
+                    if let Some(indices) = inner.edges.get(key) {
+                        matched.extend(
+                            indices
+                                .iter()
+                                .map(|&i| &inner.events[i])
+                                .filter(|stored| query.matches_unindexed(&stored.event))
+                                .cloned(),
+                        );
+                    }
+                }
+                None => {
+                    // No edge filter: try the request-ID index before
+                    // falling back to a full scan.
+                    let candidates = query
+                        .id_pattern
+                        .as_ref()
+                        .and_then(|pattern| inner.id_candidates(pattern));
+                    match candidates {
+                        Some(indices) => matched.extend(
+                            indices
+                                .iter()
+                                .map(|&i| &inner.events[i])
+                                .filter(|stored| query.matches(&stored.event))
+                                .cloned(),
+                        ),
+                        None => matched.extend(
+                            inner
+                                .events
+                                .iter()
+                                .filter(|stored| query.matches(&stored.event))
+                                .cloned(),
+                        ),
+                    }
+                }
+            }
+        }
+        matched
+    }
+
     /// Counts matching events without materializing them.
     pub fn count(&self, query: &Query) -> usize {
-        let inner = self.inner.read();
-        match (&query.src, &query.dst) {
-            (Some(src), Some(dst)) => match inner.edges.get(&(src.clone(), dst.clone())) {
-                Some(indices) => indices
+        let edge_key: Option<(Name, Name)> = match (&query.src, &query.dst) {
+            (Some(src), Some(dst)) => Some((Name::from(src.as_str()), Name::from(dst.as_str()))),
+            _ => None,
+        };
+        let mut total = 0;
+        for shard in self.shards.iter() {
+            let inner = shard.inner.read();
+            total += match &edge_key {
+                Some(key) => match inner.edges.get(key) {
+                    Some(indices) => indices
+                        .iter()
+                        .filter(|&&i| query.matches_unindexed(&inner.events[i].event))
+                        .count(),
+                    None => 0,
+                },
+                None => inner
+                    .events
                     .iter()
-                    .filter(|&&i| query.matches_unindexed(&inner.events[i]))
+                    .filter(|stored| query.matches(&stored.event))
                     .count(),
-                None => 0,
-            },
-            _ => inner.events.iter().filter(|e| query.matches(e)).count(),
+            };
         }
+        total
     }
 
     /// The timestamp of the earliest stored event, if any.
     pub fn earliest(&self) -> Option<Micros> {
-        self.inner.read().events.iter().map(|e| e.timestamp_us).min()
+        self.shards
+            .iter()
+            .filter_map(|shard| {
+                shard
+                    .inner
+                    .read()
+                    .events
+                    .iter()
+                    .map(|stored| stored.event.timestamp_us)
+                    .min()
+            })
+            .min()
     }
 
     /// The timestamp of the latest stored event, if any.
     pub fn latest(&self) -> Option<Micros> {
-        self.inner.read().events.iter().map(|e| e.timestamp_us).max()
+        self.shards
+            .iter()
+            .filter_map(|shard| {
+                shard
+                    .inner
+                    .read()
+                    .events
+                    .iter()
+                    .map(|stored| stored.event.timestamp_us)
+                    .max()
+            })
+            .max()
     }
 
     /// Serializes every event as newline-delimited JSON.
@@ -341,15 +544,29 @@ impl EventStore {
     }
 }
 
+impl Default for EventStore {
+    fn default() -> EventStore {
+        EventStore::new()
+    }
+}
+
 impl EventSink for EventStore {
     fn record(&self, event: Event) {
         self.record_event(event);
+    }
+
+    fn record_batch(&self, events: Vec<Event>) {
+        EventStore::record_batch(self, events);
     }
 }
 
 impl EventSink for Arc<EventStore> {
     fn record(&self, event: Event) {
         self.record_event(event);
+    }
+
+    fn record_batch(&self, events: Vec<Event>) {
+        EventStore::record_batch(self, events);
     }
 }
 
@@ -583,6 +800,71 @@ mod tests {
     }
 
     #[test]
+    fn shard_counts() {
+        assert!(EventStore::new().shard_count() >= 1);
+        assert_eq!(EventStore::with_shards(3).shard_count(), 3);
+        // Minimum of one shard even when asked for zero.
+        assert_eq!(EventStore::with_shards(0).shard_count(), 1);
+    }
+
+    /// The sharded store must produce byte-identical query results —
+    /// same events, same order — as a single-shard (i.e. the old
+    /// unsharded) store, including on timestamp ties where the
+    /// insertion sequence breaks the tie.
+    #[test]
+    fn sharded_query_order_matches_single_shard() {
+        let single = EventStore::with_shards(1);
+        let sharded = EventStore::with_shards(4);
+        let mut events = sample_events();
+        // Timestamp ties across different shards.
+        for i in 0..20 {
+            events.push(
+                Event::request("a", "b", "GET", format!("/tie/{i}"))
+                    .with_request_id(format!("test-tie-{i}"))
+                    .with_timestamp(50),
+            );
+        }
+        for event in &events {
+            single.record_event(event.clone());
+            sharded.record_event(event.clone());
+        }
+        let queries = [
+            Query::new(),
+            Query::edge("a", "b"),
+            Query::requests("a", "b"),
+            Query::replies("a", "b"),
+            Query::new().with_request_id("test-1"),
+            Query::new().with_id_pattern(Pattern::new("test-*")),
+            Query::new().with_id_pattern(Pattern::new("test-tie-1?")),
+            Query::new().with_time_range(20, 51),
+        ];
+        for query in &queries {
+            assert_eq!(single.query(query), sharded.query(query), "query: {query:?}");
+            assert_eq!(single.count(query), sharded.count(query));
+        }
+        assert_eq!(single.snapshot(), sharded.snapshot());
+    }
+
+    #[test]
+    fn record_batch_spreads_and_queries_agree() {
+        let store = EventStore::with_shards(4);
+        store.record_batch(sample_events());
+        assert_eq!(store.len(), 4);
+        let result = store.query(&Query::edge("a", "b"));
+        let times: Vec<_> = result.iter().map(|e| e.timestamp_us).collect();
+        assert_eq!(times, vec![10, 30, 40]);
+        // Batches spread over more than one shard.
+        let populated = store
+            .shards
+            .iter()
+            .filter(|shard| !shard.inner.read().events.is_empty())
+            .count();
+        assert!(populated > 1);
+        store.record_batch(Vec::new());
+        assert_eq!(store.len(), 4);
+    }
+
+    #[test]
     fn telemetry_tracks_appends_size_and_queries() {
         let registry = MetricsRegistry::new();
         let store = EventStore::new();
@@ -612,11 +894,34 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_tracks_per_shard_sizes() {
+        let registry = MetricsRegistry::new();
+        let store = EventStore::with_shards(2);
+        store.enable_telemetry(&registry);
+        store.record_batch(sample_events()); // 4 events round-robin over 2 shards
+        let snap = registry.snapshot();
+        let shard0 = snap.gauge_value("gremlin_store_shard_events", &[("shard", "0")]);
+        let shard1 = snap.gauge_value("gremlin_store_shard_events", &[("shard", "1")]);
+        assert_eq!(shard0, Some(2));
+        assert_eq!(shard1, Some(2));
+        store.clear();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.gauge_value("gremlin_store_shard_events", &[("shard", "0")]),
+            Some(0)
+        );
+    }
+
+    #[test]
     fn sink_trait_records() {
         let store = EventStore::shared();
         let sink: Arc<dyn EventSink> = store.clone();
         sink.record(Event::request("x", "y", "GET", "/"));
-        assert_eq!(store.len(), 1);
+        sink.record_batch(vec![
+            Event::request("x", "y", "GET", "/a"),
+            Event::request("x", "y", "GET", "/b"),
+        ]);
+        assert_eq!(store.len(), 3);
         assert!(matches!(
             store.snapshot()[0].kind,
             EventKind::Request { .. }

@@ -1,0 +1,133 @@
+//! Stress tests for the sharded [`EventStore`] under concurrent
+//! writers and queriers: no recorded event may be lost, and query
+//! results must stay timestamp-sorted while writes are in flight.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use gremlin_store::{Event, EventStore, Query};
+
+fn event(writer: usize, index: u64) -> Event {
+    let mut event = Event::request("web", "db", "GET", "/q")
+        .with_request_id(format!("test-{writer}-{index}"));
+    // Deliberately non-monotonic timestamps so merge order is
+    // exercised, with plenty of ties across writers.
+    event.timestamp_us = index % 64;
+    event
+}
+
+#[test]
+fn concurrent_writers_lose_nothing_and_queries_stay_sorted() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 2_000;
+
+    let store = EventStore::shared();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|writer| {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                for index in 0..PER_WRITER {
+                    if index % 5 == 0 {
+                        // Mix batched and single appends.
+                        store.record_batch(vec![event(writer, index)]);
+                    } else {
+                        store.record_event(event(writer, index));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Queriers hammer the store while writes are in flight; every
+    // observed result must be timestamp-sorted and internally
+    // consistent.
+    let queriers: Vec<_> = (0..3)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut observed_len = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let results = store.query(&Query::requests("web", "db"));
+                    assert!(
+                        results
+                            .windows(2)
+                            .all(|pair| pair[0].timestamp_us <= pair[1].timestamp_us),
+                        "query result not timestamp-sorted"
+                    );
+                    // The store only grows in this test.
+                    assert!(
+                        results.len() >= observed_len,
+                        "events disappeared: saw {} then {}",
+                        observed_len,
+                        results.len()
+                    );
+                    observed_len = results.len();
+                    thread::sleep(Duration::from_micros(200));
+                }
+            })
+        })
+        .collect();
+
+    for writer in writers {
+        writer.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for querier in queriers {
+        querier.join().unwrap();
+    }
+
+    // Loss-free: every event from every writer is present exactly once.
+    let total = WRITERS as u64 * PER_WRITER;
+    assert_eq!(store.len() as u64, total);
+    let all = store.snapshot();
+    assert_eq!(all.len() as u64, total);
+    assert!(all
+        .windows(2)
+        .all(|pair| pair[0].timestamp_us <= pair[1].timestamp_us));
+    let mut ids: Vec<String> = all
+        .iter()
+        .map(|e| e.request_id.as_deref().unwrap().to_string())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, total, "duplicate or missing request ids");
+
+    // The indexed query path agrees with the snapshot.
+    for writer in 0..WRITERS {
+        let exact = store.query(&Query::new().with_request_id(format!("test-{writer}-7")));
+        assert_eq!(exact.len(), 1);
+    }
+    let edge = store.query(&Query::requests("web", "db"));
+    assert_eq!(edge.len() as u64, total);
+}
+
+#[test]
+fn batched_and_single_appends_interleave_without_reordering_ties() {
+    // All events share one timestamp: result order must be exactly
+    // insertion order (the sequence number breaks ties), regardless
+    // of how appends were batched.
+    let store = EventStore::with_shards(4);
+    let mut expected = Vec::new();
+    for index in 0..100u64 {
+        let mut e = Event::request("a", "b", "GET", "/x")
+            .with_request_id(format!("test-{index}"));
+        e.timestamp_us = 42;
+        expected.push(format!("test-{index}"));
+        if index % 3 == 0 {
+            store.record_batch(vec![e]);
+        } else {
+            store.record_event(e);
+        }
+    }
+    let got: Vec<String> = store
+        .snapshot()
+        .iter()
+        .map(|e| e.request_id.as_deref().unwrap().to_string())
+        .collect();
+    assert_eq!(got, expected);
+}

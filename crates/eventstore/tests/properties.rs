@@ -100,7 +100,7 @@ fn materialize(spec: &EventSpec) -> Event {
     };
     event.timestamp_us = spec.timestamp;
     if let Some(id) = spec.id {
-        event.request_id = Some(format!("test-{id}"));
+        event.request_id = Some(format!("test-{id}").into());
     }
     if spec.faulted {
         event.fault = Some(AppliedFault::Abort { status: 503 });

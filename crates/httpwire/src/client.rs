@@ -30,6 +30,12 @@ pub struct ClientConfig {
     pub write_timeout: Option<Duration>,
     /// Whether to pool idle connections for reuse (keep-alive).
     pub keep_alive: bool,
+    /// Maximum idle keep-alive connections pooled per destination
+    /// address. When the pool is full, the *oldest* idle connection is
+    /// evicted to make room — it is the most likely to have been
+    /// closed by the peer's idle timeout. `0` disables pooling
+    /// entirely (every connection closes after its response).
+    pub max_idle_per_host: usize,
     /// Message size limits while parsing responses.
     pub limits: Limits,
 }
@@ -41,6 +47,7 @@ impl Default for ClientConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             keep_alive: true,
+            max_idle_per_host: 8,
             limits: Limits::default(),
         }
     }
@@ -166,12 +173,17 @@ impl HttpClient {
     }
 
     fn put_idle(&self, addr: &str, stream: TcpStream) {
-        const MAX_IDLE_PER_HOST: usize = 8;
+        if self.config.max_idle_per_host == 0 {
+            return;
+        }
         let mut idle = self.idle.lock();
         let bucket = idle.entry(addr.to_string()).or_default();
-        if bucket.len() < MAX_IDLE_PER_HOST {
-            bucket.push(stream);
+        if bucket.len() >= self.config.max_idle_per_host {
+            // `take_idle` pops from the back, so index 0 is the
+            // longest-idle connection — evict it.
+            bucket.remove(0);
         }
+        bucket.push(stream);
     }
 
     /// Drops all pooled idle connections.
@@ -361,6 +373,52 @@ mod tests {
     }
 
     use std::sync::Arc;
+
+    #[test]
+    fn zero_max_idle_disables_pooling() {
+        let addr = one_shot_server(1, |_| Response::ok("hi"));
+        let client = HttpClient::with_config(ClientConfig {
+            max_idle_per_host: 0,
+            ..ClientConfig::default()
+        });
+        client.send(addr, Request::get("/")).unwrap();
+        assert_eq!(client.idle_connections(), 0);
+    }
+
+    #[test]
+    fn pool_evicts_oldest_idle_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = thread::spawn(move || {
+            let mut held = Vec::new();
+            for _ in 0..3 {
+                held.push(listener.accept().unwrap().0);
+            }
+            held
+        });
+        let client = HttpClient::with_config(ClientConfig {
+            max_idle_per_host: 2,
+            ..ClientConfig::default()
+        });
+        let key = addr.to_string();
+        let streams: Vec<TcpStream> = (0..3).map(|_| client.connect(&key).unwrap()).collect();
+        let ports: Vec<u16> = streams
+            .iter()
+            .map(|s| s.local_addr().unwrap().port())
+            .collect();
+        for stream in streams {
+            client.put_idle(&key, stream);
+        }
+        let _held = accept.join().unwrap();
+        assert_eq!(client.idle_connections(), 2);
+        let first = client.take_idle(&key).unwrap();
+        let second = client.take_idle(&key).unwrap();
+        assert!(client.take_idle(&key).is_none());
+        // The oldest (first-parked) connection was evicted; reuse
+        // prefers the most recently parked.
+        assert_eq!(first.local_addr().unwrap().port(), ports[2]);
+        assert_eq!(second.local_addr().unwrap().port(), ports[1]);
+    }
 
     #[test]
     fn clear_pool_drops_connections() {

@@ -18,7 +18,7 @@ use gremlin_http::codec::{read_request, write_response};
 use gremlin_http::{
     header_names, ClientConfig, ConnTracker, HttpClient, Request, Response, StatusCode, ThreadPool,
 };
-use gremlin_store::{now_micros, AppliedFault, Event, EventSink};
+use gremlin_store::{now_micros, AppliedFault, Event, EventSink, Name};
 use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 
 use crate::error::ProxyError;
@@ -148,7 +148,7 @@ impl AgentConfig {
 }
 
 struct RouteState {
-    dst: String,
+    dst: Name,
     local_addr: SocketAddr,
     upstreams: Vec<SocketAddr>,
     next_upstream: AtomicUsize,
@@ -161,7 +161,7 @@ struct RouteState {
 
 impl RouteState {
     fn new(
-        dst: String,
+        dst: Name,
         local_addr: SocketAddr,
         upstreams: Vec<SocketAddr>,
         service: &str,
@@ -240,8 +240,8 @@ impl AgentMetrics {
 }
 
 struct Inner {
-    service: String,
-    name: String,
+    service: Name,
+    name: Name,
     table: RuleTable,
     sink: Arc<dyn EventSink>,
     client: HttpClient,
@@ -307,9 +307,10 @@ impl GremlinAgent {
             .clone()
             .unwrap_or_else(MetricsRegistry::shared);
         let metrics = AgentMetrics::new(&config.service, &registry);
+        table.bind_telemetry(&registry, &config.service);
         let inner = Arc::new(Inner {
-            service: config.service.clone(),
-            name: config.name.clone(),
+            service: Name::from(config.service.as_str()),
+            name: Name::from(config.name.as_str()),
             table,
             sink,
             client: HttpClient::with_config(config.client.clone()),
@@ -324,10 +325,9 @@ impl GremlinAgent {
         let mut accept_threads = Vec::new();
         for route in &config.routes {
             let listener = TcpListener::bind(route.listen)?;
-            listener.set_nonblocking(true)?;
             let local_addr = listener.local_addr()?;
             let state = Arc::new(RouteState::new(
-                route.dst.clone(),
+                Name::from(route.dst.as_str()),
                 local_addr,
                 route.upstreams.clone(),
                 &config.service,
@@ -341,9 +341,16 @@ impl GremlinAgent {
             let handle = thread::Builder::new()
                 .name(thread_name)
                 .spawn(move || {
-                    while !inner_for_thread.shutdown.load(Ordering::SeqCst) {
+                    // Blocking accept: zero CPU while idle. Shutdown
+                    // wakes the thread with a throwaway connection to
+                    // `local_addr` (see `shutdown_impl`), after which
+                    // the flag check below exits the loop.
+                    loop {
                         match listener.accept() {
                             Ok((stream, _)) => {
+                                if inner_for_thread.shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
                                 let inner = Arc::clone(&inner_for_thread);
                                 let state = Arc::clone(&state);
                                 pool_for_thread.execute(move || {
@@ -354,10 +361,14 @@ impl GremlinAgent {
                                     inner.tracker.deregister(token);
                                 });
                             }
-                            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
-                                thread::sleep(Duration::from_millis(2));
+                            Err(_) => {
+                                if inner_for_thread.shutdown.load(Ordering::SeqCst) {
+                                    break;
+                                }
+                                // Transient accept failure (e.g. EMFILE):
+                                // back off briefly rather than spin.
+                                thread::sleep(Duration::from_millis(10));
                             }
-                            Err(_) => break,
                         }
                     }
                     inner_for_thread.tracker.shutdown_all();
@@ -396,7 +407,7 @@ impl GremlinAgent {
     pub fn routes(&self) -> Vec<(String, SocketAddr)> {
         self.routes
             .iter()
-            .map(|r| (r.dst.clone(), r.local_addr))
+            .map(|r| (r.dst.to_string(), r.local_addr))
             .collect()
     }
 
@@ -449,7 +460,15 @@ impl GremlinAgent {
     }
 
     fn shutdown_impl(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        if !self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            // Each accept thread is parked in a blocking `accept()`;
+            // a throwaway loopback connection wakes it so it can see
+            // the flag and exit.
+            for route in &self.routes {
+                let _ =
+                    TcpStream::connect_timeout(&route.local_addr, Duration::from_millis(200));
+            }
+        }
         self.inner.tracker.shutdown_all();
         for handle in self.accept_threads.drain(..) {
             let _ = handle.join();
@@ -470,7 +489,11 @@ fn serve_proxy_connection(
 ) -> Result<(), ProxyError> {
     stream.set_read_timeout(Some(Duration::from_secs(60)))?;
     stream.set_nodelay(true)?;
+    // One reader and one writer for the connection's whole lifetime:
+    // the per-response `try_clone` (a dup(2) syscall) and BufWriter
+    // allocation used to dominate small-message proxy overhead.
     let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return Ok(());
@@ -483,7 +506,6 @@ fn serve_proxy_connection(
         match process_message(request, route, inner) {
             Some(response) => {
                 let close = close_requested || response.headers().connection_close();
-                let mut writer = BufWriter::new(stream.try_clone()?);
                 write_response(&mut writer, &response)?;
                 if close {
                     return Ok(());
@@ -492,7 +514,7 @@ fn serve_proxy_connection(
             None => {
                 // TCP-level abort (Error = -1): terminate abruptly,
                 // returning no application-level response.
-                let _ = stream.shutdown(Shutdown::Both);
+                let _ = writer.get_ref().shutdown(Shutdown::Both);
                 return Ok(());
             }
         }
@@ -504,7 +526,9 @@ fn serve_proxy_connection(
 fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Option<Response> {
     let started = Instant::now();
     route.requests.inc();
-    let request_id = request.request_id().map(str::to_string);
+    // Interned once: every later use (three events, two header echoes)
+    // is an `Arc` refcount bump instead of a fresh String.
+    let request_id = request.request_id().map(Name::from);
     let src = inner.service.as_str();
     let dst = route.dst.as_str();
 
@@ -516,8 +540,13 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     inner.metrics.rule_match.record(match_started.elapsed());
 
     // --- Log the request observation -------------------------------
-    let mut request_event = Event::request(src, dst, request.method().as_str(), request.target())
-        .with_agent(inner.name.clone());
+    let mut request_event = Event::request(
+        inner.service.clone(),
+        route.dst.clone(),
+        request.method().as_str(),
+        request.target(),
+    )
+    .with_agent(inner.name.clone());
     request_event.request_id = request_id.clone();
     request_event.timestamp_us = now_micros();
     if let Some(rule) = &request_rule {
@@ -578,8 +607,13 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
             } else {
                 StatusCode::BAD_GATEWAY
             };
-            let mut event = Event::response(src, dst, status.as_u16(), started.elapsed())
-                .with_agent(inner.name.clone());
+            let mut event = Event::response(
+                inner.service.clone(),
+                route.dst.clone(),
+                status.as_u16(),
+                started.elapsed(),
+            )
+            .with_agent(inner.name.clone());
             event.request_id = request_id.clone();
             if let Some(fault) = &request_side_fault {
                 event.fault = Some(fault.clone());
@@ -627,8 +661,13 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     }
 
     // --- Log the response observation -------------------------------
-    let mut event = Event::response(src, dst, response.status().as_u16(), started.elapsed())
-        .with_agent(inner.name.clone());
+    let mut event = Event::response(
+        inner.service.clone(),
+        route.dst.clone(),
+        response.status().as_u16(),
+        started.elapsed(),
+    )
+    .with_agent(inner.name.clone());
     event.request_id = request_id.clone();
     event.fault = response_side_fault.or(request_side_fault);
     if let Some(fault) = &event.fault {
@@ -645,7 +684,7 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
 fn finish_abort(
     abort: AbortKind,
     started: Instant,
-    request_id: &Option<String>,
+    request_id: &Option<Name>,
     route: &RouteState,
     inner: &Inner,
 ) -> Option<Response> {

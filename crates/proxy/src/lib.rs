@@ -53,6 +53,7 @@ pub mod collector;
 pub mod control;
 pub mod discovery;
 pub mod error;
+pub(crate) mod rng;
 pub mod rules;
 pub mod table;
 

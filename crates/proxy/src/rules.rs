@@ -233,9 +233,13 @@ impl Rule {
     }
 
     /// Returns `true` if this rule applies to the given edge, side and
-    /// request ID (probability not yet sampled).
+    /// request ID (probability not yet sampled). A rule `src` or `dst`
+    /// of `"*"` matches any service on that end of the edge.
     pub fn matches(&self, src: &str, dst: &str, side: MessageSide, id: Option<&str>) -> bool {
-        self.on == side && self.src == src && self.dst == dst && self.pattern.matches_opt(id)
+        self.on == side
+            && (self.src == src || self.src == "*")
+            && (self.dst == dst || self.dst == "*")
+            && self.pattern.matches_opt(id)
     }
 }
 
@@ -325,6 +329,17 @@ mod tests {
         assert!(!rule.matches("x", "b", MessageSide::Request, Some("test-1")));
         assert!(!rule.matches("a", "b", MessageSide::Request, Some("prod-1")));
         assert!(!rule.matches("a", "b", MessageSide::Request, None));
+    }
+
+    #[test]
+    fn wildcard_src_dst_match_any_service() {
+        let rule = Rule::abort("*", "b", AbortKind::Status(503));
+        assert!(rule.matches("a", "b", MessageSide::Request, None));
+        assert!(rule.matches("zzz", "b", MessageSide::Request, None));
+        assert!(!rule.matches("a", "c", MessageSide::Request, None));
+        let rule = Rule::abort("a", "*", AbortKind::Status(503));
+        assert!(rule.matches("a", "b", MessageSide::Request, None));
+        assert!(!rule.matches("b", "b", MessageSide::Request, None));
     }
 
     #[test]

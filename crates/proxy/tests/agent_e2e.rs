@@ -360,3 +360,37 @@ fn agent_control_trait_in_process() {
     control.clear_rules().unwrap();
     assert!(control.list_rules().unwrap().is_empty());
 }
+
+#[test]
+fn shutdown_joins_promptly_with_idle_listeners() {
+    // The accept loops block in accept(2); shutdown must wake and
+    // join them without waiting on traffic. A hang here would stall
+    // the whole test run, so bound it explicitly.
+    let store = EventStore::shared();
+    let upstream = "127.0.0.1:9".parse().unwrap();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("serviceA")
+            .route("serviceB", vec![upstream])
+            .route("serviceC", vec![upstream]),
+        store,
+    )
+    .unwrap();
+    let started = Instant::now();
+    agent.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must unblock idle accept loops, took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn shutdown_after_traffic_still_joins() {
+    let h = Harness::new();
+    let resp = h.call("/x", "test-1").unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    let Harness { agent, .. } = h;
+    let started = Instant::now();
+    agent.shutdown();
+    assert!(started.elapsed() < Duration::from_secs(5));
+}

@@ -115,7 +115,7 @@ fn collector_survives_agent_restart_and_accumulates() {
     let agents: std::collections::BTreeSet<String> = central
         .snapshot()
         .into_iter()
-        .map(|e| e.agent)
+        .map(|e| e.agent.to_string())
         .collect();
     assert_eq!(agents.len(), 2);
 }
