@@ -40,9 +40,11 @@ fn bench_translation(c: &mut Criterion) {
         let graph = AppGraph::binary_tree(depth);
         // Crash an internal node with two dependents plus fan-out.
         let scenario = Scenario::crash("svc-1").with_pattern("test-*");
-        group.bench_with_input(BenchmarkId::from_parameter(graph.len()), &graph, |b, graph| {
-            b.iter(|| std::hint::black_box(scenario.to_rules(graph).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(graph.len()),
+            &graph,
+            |b, graph| b.iter(|| std::hint::black_box(scenario.to_rules(graph).unwrap())),
+        );
     }
     group.finish();
 }
@@ -115,9 +117,7 @@ fn bench_assertions(c: &mut Criterion) {
             BenchmarkId::new("has_bounded_retries", events),
             &checker,
             |b, checker| {
-                b.iter(|| {
-                    std::hint::black_box(checker.has_bounded_retries("a", "b", 5, &pattern))
-                })
+                b.iter(|| std::hint::black_box(checker.has_bounded_retries("a", "b", 5, &pattern)))
             },
         );
         group.bench_with_input(

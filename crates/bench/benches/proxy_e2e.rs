@@ -48,9 +48,7 @@ fn bench_direct(c: &mut Criterion) {
     let mut group = c.benchmark_group("proxy_e2e");
     group.sample_size(30);
     group.bench_function("direct_backend", |b| {
-        b.iter(|| {
-            std::hint::black_box(rig.client.send(rig.direct, request()).expect("send"))
-        })
+        b.iter(|| std::hint::black_box(rig.client.send(rig.direct, request()).expect("send")))
     });
     group.finish();
 }
@@ -83,9 +81,12 @@ fn bench_through_agent(c: &mut Criterion) {
 fn bench_abort_short_circuit(c: &mut Criterion) {
     let rig = rig();
     rig.agent
-        .install_rules(vec![
-            Rule::abort("client", "server", AbortKind::Status(503)).with_pattern("test-*"),
-        ])
+        .install_rules(vec![Rule::abort(
+            "client",
+            "server",
+            AbortKind::Status(503),
+        )
+        .with_pattern("test-*")])
         .expect("install");
     let addr = rig.agent.route_addr("server").expect("route");
     let mut group = c.benchmark_group("proxy_e2e");

@@ -15,7 +15,9 @@ fn sample_latencies(n: usize) -> Vec<u64> {
     let mut state = 0x9e3779b97f4a7c15u64;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // 1µs .. ~16s, log-ish spread.
             1 + (state >> 40) % 16_000_000
         })

@@ -10,6 +10,10 @@
 //!    The p50/p99 *added* latency is the difference against baseline.
 //! 3. **Rule matching in isolation** — worst-case `match_message`
 //!    lookups against a 100-rule table, reported in nanoseconds.
+//! 4. **Tracing overhead** — the agent run again with span
+//!    propagation disabled (`AgentConfig::tracing(false)`), so the
+//!    report carries the cost of minting span IDs and rewriting the
+//!    `X-Gremlin-Span`/`X-Gremlin-Parent` headers.
 //!
 //! Run: `cargo run --release -p gremlin-bench --bin bench_proxy`
 //!
@@ -130,7 +134,24 @@ fn main() -> Result<(), Box<dyn Error>> {
         agent.shutdown();
     }
 
-    // (3) Rule matching in isolation.
+    // (3) Span tracing disabled: the delta against the 0-rule run
+    // (tracing on by default) is the header-propagation overhead.
+    let agent = GremlinAgent::start(
+        AgentConfig::new("client")
+            .route("server", vec![backend.local_addr()])
+            .tracing(false),
+        EventStore::shared(),
+    )?;
+    let tracing_off = run_load(agent.route_addr("server").expect("route"), requests);
+    assert_eq!(tracing_off.successes(), (requests / WORKERS) * WORKERS);
+    println!(
+        "agent, no trace:  {:>9.0} req/s  (tracing adds p50 {:+.1}us)",
+        tracing_off.throughput(),
+        quantile_us(&through[0].1.cdf(), 0.5) - quantile_us(&tracing_off.cdf(), 0.5),
+    );
+    agent.shutdown();
+
+    // (4) Rule matching in isolation.
     let matching = rule_match_stats(100, 64 * 256);
     println!(
         "rule match (100 rules, worst case): mean {}ns",
@@ -149,6 +170,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         "direct": load_stats(&direct, None),
         "agent_0_rules": load_stats(&through[0].1, Some(&direct_cdf)),
         "agent_100_rules": load_stats(&through[1].1, Some(&direct_cdf)),
+        "agent_tracing_off": load_stats(&tracing_off, Some(&direct_cdf)),
+        "tracing_overhead_p50_us": quantile_us(&through[0].1.cdf(), 0.5)
+            - quantile_us(&tracing_off.cdf(), 0.5),
+        "tracing_overhead_p99_us": quantile_us(&through[0].1.cdf(), 0.99)
+            - quantile_us(&tracing_off.cdf(), 0.99),
         "rule_match": matching,
     });
 

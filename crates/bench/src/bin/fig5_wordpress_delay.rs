@@ -80,7 +80,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             "  injected {:>8} -> fastest response {:>8}  {}",
             gremlin_bench::ms(injected),
             gremlin_bench::ms(floor),
-            if holds { "OK (no timeout pattern)" } else { "UNEXPECTED" }
+            if holds {
+                "OK (no timeout pattern)"
+            } else {
+                "UNEXPECTED"
+            }
         );
     }
     println!(

@@ -105,7 +105,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!(
         "HasCircuitBreaker assertion: {}\n",
-        if shipped.breaker_check_passed { "PASS (unexpected)" } else { "FAIL (matches paper)" }
+        if shipped.breaker_check_passed {
+            "PASS (unexpected)"
+        } else {
+            "FAIL (matches paper)"
+        }
     );
 
     println!("--- contrast: same plugin with a correct circuit breaker ---");

@@ -133,9 +133,11 @@ impl ProbedPattern {
         pattern: &Pattern,
     ) -> Check {
         match self {
-            ProbedPattern::BoundedRetries { src, dst, max_tries } => {
-                checker.has_bounded_retries(src, dst, *max_tries, pattern)
-            }
+            ProbedPattern::BoundedRetries {
+                src,
+                dst,
+                max_tries,
+            } => checker.has_bounded_retries(src, dst, *max_tries, pattern),
             ProbedPattern::CircuitBreaker {
                 src,
                 dst,
@@ -224,7 +226,9 @@ impl RecipeGenerator {
 
     /// The flow pattern generated scenarios are confined to.
     pub fn flow_pattern(&self) -> Pattern {
-        self.pattern.clone().unwrap_or_else(|| Pattern::new("test-*"))
+        self.pattern
+            .clone()
+            .unwrap_or_else(|| Pattern::new("test-*"))
     }
 
     /// Walks `graph` and emits the test matrix.

@@ -100,7 +100,9 @@ impl ChaosMonkey {
             ChaosFault::Abort => Scenario::abort(src, dst, 503),
             ChaosFault::Reset => Scenario::abort_reset(src, dst),
             ChaosFault::Delay => {
-                let millis = self.rng.gen_range(1..=self.max_delay.as_millis().max(2) as u64);
+                let millis = self
+                    .rng
+                    .gen_range(1..=self.max_delay.as_millis().max(2) as u64);
                 Scenario::delay(src, dst, Duration::from_millis(millis))
             }
             ChaosFault::Crash => {
@@ -193,7 +195,11 @@ mod tests {
     fn default_hits_all_traffic() {
         let mut monkey = ChaosMonkey::new(graph(), 3);
         let scenario = monkey.next_scenario().unwrap();
-        assert_eq!(scenario.pattern, Pattern::Any, "the real monkey spares no one");
+        assert_eq!(
+            scenario.pattern,
+            Pattern::Any,
+            "the real monkey spares no one"
+        );
     }
 
     #[test]

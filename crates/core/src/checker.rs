@@ -103,8 +103,11 @@ pub fn num_requests(rlist: &[Event], tdelta: Option<Duration>, view: View) -> us
     let Some(first) = rlist.first() else {
         return 0;
     };
-    let cutoff: Option<Micros> =
-        tdelta.map(|delta| first.timestamp_us.saturating_add(delta.as_micros() as Micros));
+    let cutoff: Option<Micros> = tdelta.map(|delta| {
+        first
+            .timestamp_us
+            .saturating_add(delta.as_micros() as Micros)
+    });
     rlist
         .iter()
         .filter(|event| event.kind.is_request())
@@ -237,7 +240,9 @@ fn window_requests(events: &[Event], tdelta: Duration, view: View) -> (usize, us
     let Some(first) = events.first() else {
         return (0, 0);
     };
-    let cutoff = first.timestamp_us.saturating_add(tdelta.as_micros() as Micros);
+    let cutoff = first
+        .timestamp_us
+        .saturating_add(tdelta.as_micros() as Micros);
     let mut count = 0;
     let mut consumed = 0;
     for event in events {
@@ -383,8 +388,10 @@ impl AssertionChecker {
                 Some(_) => {}
             }
         }
-        let failed_flows: Vec<(&&str, &(usize, usize))> =
-            flows.iter().filter(|(_, (_, failures))| *failures > 0).collect();
+        let failed_flows: Vec<(&&str, &(usize, usize))> = flows
+            .iter()
+            .filter(|(_, (_, failures))| *failures > 0)
+            .collect();
         if failed_flows.is_empty() {
             return Check::new(
                 name,
@@ -450,10 +457,7 @@ impl AssertionChecker {
         ];
         let passed = combine(&events, &steps);
         let total_requests = num_requests(&events, None, View::Observed);
-        let total_errors = events
-            .iter()
-            .filter(|e| e.status() == Some(error))
-            .count();
+        let total_errors = events.iter().filter(|e| e.status() == Some(error)).count();
         Check::new(
             name,
             passed,
@@ -539,7 +543,10 @@ impl AssertionChecker {
         bound: Duration,
         pattern: &Pattern,
     ) -> Check {
-        let name = format!("HasLatencySlo({service}, p{:.0} <= {bound:?})", quantile * 100.0);
+        let name = format!(
+            "HasLatencySlo({service}, p{:.0} <= {bound:?})",
+            quantile * 100.0
+        );
         let replies = self.store.query(&Query {
             dst: Some(service.to_string()),
             kind: gremlin_store::KindFilter::Replies,
@@ -551,13 +558,16 @@ impl AssertionChecker {
         }
         let mut latencies = reply_latency(&replies, View::Observed);
         latencies.sort();
-        let rank = ((quantile * latencies.len() as f64).ceil() as usize)
-            .clamp(1, latencies.len());
+        let rank = ((quantile * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
         let measured = latencies[rank - 1];
         Check::new(
             name,
             measured <= bound,
-            format!("measured p{:.0} = {measured:?} over {} replies", quantile * 100.0, latencies.len()),
+            format!(
+                "measured p{:.0} = {measured:?} over {} replies",
+                quantile * 100.0,
+                latencies.len()
+            ),
         )
     }
 
@@ -579,8 +589,8 @@ impl AssertionChecker {
         let failed_flows: Vec<&str> = primary_replies
             .iter()
             .filter(|event| {
-                matches!(event.status(), Some(0)) ||
-                matches!(event.status(), Some(status) if (500..600).contains(&status))
+                matches!(event.status(), Some(0))
+                    || matches!(event.status(), Some(status) if (500..600).contains(&status))
             })
             .filter_map(|event| event.request_id.as_deref())
             .collect();
@@ -699,9 +709,8 @@ mod tests {
 
     #[test]
     fn reply_latency_subtracts_injected_delay_in_untampered_view() {
-        let delayed = reply("a", "b", 200, sec(0), 150).with_fault(AppliedFault::Delay {
-            delay_us: 100_000,
-        });
+        let delayed =
+            reply("a", "b", 200, sec(0), 150).with_fault(AppliedFault::Delay { delay_us: 100_000 });
         let observed = reply_latency(std::slice::from_ref(&delayed), View::Observed);
         let untampered = reply_latency(std::slice::from_ref(&delayed), View::Untampered);
         assert_eq!(observed, vec![Duration::from_millis(150)]);
@@ -716,7 +725,10 @@ mod tests {
             request("a", "b", sec(2)),
         ];
         let rate = request_rate(&events);
-        assert!((rate - 1.5).abs() < 1e-9, "3 requests over 2s = 1.5/s, got {rate}");
+        assert!(
+            (rate - 1.5).abs() < 1e-9,
+            "3 requests over 2s = 1.5/s, got {rate}"
+        );
         assert_eq!(request_rate(&[]), 0.0);
         assert!(request_rate(&[request("a", "b", sec(0))]).is_infinite());
     }
@@ -738,7 +750,11 @@ mod tests {
         assert!(combine(
             &events,
             &[
-                CombineStep::CheckStatus { status: 503, num_match: 5, view: View::Observed },
+                CombineStep::CheckStatus {
+                    status: 503,
+                    num_match: 5,
+                    view: View::Observed
+                },
                 CombineStep::AtMostRequests {
                     tdelta: Duration::from_secs(60),
                     view: View::Observed,
@@ -750,7 +766,11 @@ mod tests {
         assert!(!combine(
             &events,
             &[
-                CombineStep::CheckStatus { status: 503, num_match: 5, view: View::Observed },
+                CombineStep::CheckStatus {
+                    status: 503,
+                    num_match: 5,
+                    view: View::Observed
+                },
                 CombineStep::AtMostRequests {
                     tdelta: Duration::from_secs(60),
                     view: View::Observed,
@@ -761,7 +781,11 @@ mod tests {
         // Needing 6 errors: the first step itself fails.
         assert!(!combine(
             &events,
-            &[CombineStep::CheckStatus { status: 503, num_match: 6, view: View::Observed }]
+            &[CombineStep::CheckStatus {
+                status: 503,
+                num_match: 6,
+                view: View::Observed
+            }]
         ));
     }
 
@@ -780,7 +804,11 @@ mod tests {
         assert!(combine(
             &events,
             &[
-                CombineStep::CheckStatus { status: 503, num_match: 2, view: View::Observed },
+                CombineStep::CheckStatus {
+                    status: 503,
+                    num_match: 2,
+                    view: View::Observed
+                },
                 CombineStep::AtMostRequests {
                     tdelta: Duration::from_secs(60),
                     view: View::Observed,
@@ -791,7 +819,11 @@ mod tests {
         assert!(!combine(
             &events,
             &[
-                CombineStep::CheckStatus { status: 503, num_match: 2, view: View::Observed },
+                CombineStep::CheckStatus {
+                    status: 503,
+                    num_match: 2,
+                    view: View::Observed
+                },
                 CombineStep::AtMostRequests {
                     tdelta: Duration::from_secs(60),
                     view: View::Observed,
@@ -852,9 +884,11 @@ mod tests {
     #[test]
     fn has_timeouts_fails_without_observations() {
         let checker = store_with(vec![]);
-        assert!(!checker
-            .has_timeouts("web", Duration::from_secs(1), &Pattern::Any)
-            .passed);
+        assert!(
+            !checker
+                .has_timeouts("web", Duration::from_secs(1), &Pattern::Any)
+                .passed
+        );
     }
 
     #[test]
@@ -868,8 +902,16 @@ mod tests {
             events.push(request("a", "b", sec(10 + i)));
         }
         let checker = store_with(events);
-        assert!(checker.has_bounded_retries("a", "b", 5, &Pattern::Any).passed);
-        assert!(!checker.has_bounded_retries("a", "b", 2, &Pattern::Any).passed);
+        assert!(
+            checker
+                .has_bounded_retries("a", "b", 5, &Pattern::Any)
+                .passed
+        );
+        assert!(
+            !checker
+                .has_bounded_retries("a", "b", 2, &Pattern::Any)
+                .passed
+        );
     }
 
     #[test]
@@ -882,14 +924,8 @@ mod tests {
         // Silence until sec(70), then traffic resumes.
         events.push(request("a", "b", sec(70)));
         let checker = store_with(events);
-        let check = checker.has_circuit_breaker(
-            "a",
-            "b",
-            5,
-            Duration::from_secs(60),
-            1,
-            &Pattern::Any,
-        );
+        let check =
+            checker.has_circuit_breaker("a", "b", 5, Duration::from_secs(60), 1, &Pattern::Any);
         assert!(check.passed, "{check}");
         assert!(check.details.contains("1 calls after"));
     }
@@ -902,14 +938,8 @@ mod tests {
         }
         events.push(request("a", "b", sec(10))); // violates the open window
         let checker = store_with(events);
-        let check = checker.has_circuit_breaker(
-            "a",
-            "b",
-            5,
-            Duration::from_secs(60),
-            1,
-            &Pattern::Any,
-        );
+        let check =
+            checker.has_circuit_breaker("a", "b", 5, Duration::from_secs(60), 1, &Pattern::Any);
         assert!(!check.passed, "{check}");
     }
 
@@ -938,8 +968,9 @@ mod tests {
     fn has_latency_slo_bounds_percentile_not_max() {
         // Nine fast replies and one slow straggler: p90 passes a
         // 100ms bound even though the max does not.
-        let mut events: Vec<Event> =
-            (0..9).map(|i| reply("user", "web", 200, sec(i), 10)).collect();
+        let mut events: Vec<Event> = (0..9)
+            .map(|i| reply("user", "web", 200, sec(i), 10))
+            .collect();
         events.push(reply("user", "web", 200, sec(9), 5000));
         let checker = store_with(events);
         let slo = checker.has_latency_slo("web", 0.9, Duration::from_millis(100), &Pattern::Any);
@@ -947,9 +978,11 @@ mod tests {
         let strict = checker.has_latency_slo("web", 1.0, Duration::from_millis(100), &Pattern::Any);
         assert!(!strict.passed, "{strict}");
         let empty = AssertionChecker::new(EventStore::shared());
-        assert!(!empty
-            .has_latency_slo("web", 0.5, Duration::from_secs(1), &Pattern::Any)
-            .passed);
+        assert!(
+            !empty
+                .has_latency_slo("web", 0.5, Duration::from_secs(1), &Pattern::Any)
+                .passed
+        );
     }
 
     #[test]
@@ -975,7 +1008,11 @@ mod tests {
         let mut fallback = request("web", "mysql", sec(1));
         fallback.request_id = Some("test-1".into());
         let checker = store_with(vec![fail, fallback]);
-        assert!(checker.has_fallback("web", "es", "mysql", &Pattern::Any).passed);
+        assert!(
+            checker
+                .has_fallback("web", "es", "mysql", &Pattern::Any)
+                .passed
+        );
     }
 
     #[test]
@@ -996,12 +1033,16 @@ mod tests {
             events.push(request("a", "fast", i * 100_000));
         }
         let checker = store_with(events);
-        assert!(checker
-            .has_bulkhead(&graph, "a", "slow", 5.0, &Pattern::Any)
-            .passed);
-        assert!(!checker
-            .has_bulkhead(&graph, "a", "slow", 50.0, &Pattern::Any)
-            .passed);
+        assert!(
+            checker
+                .has_bulkhead(&graph, "a", "slow", 5.0, &Pattern::Any)
+                .passed
+        );
+        assert!(
+            !checker
+                .has_bulkhead(&graph, "a", "slow", 50.0, &Pattern::Any)
+                .passed
+        );
     }
 
     #[test]
@@ -1040,7 +1081,9 @@ mod tests {
         );
         let checker = AssertionChecker::new(store);
         assert_eq!(
-            checker.get_requests("a", "b", &Pattern::new("test-*")).len(),
+            checker
+                .get_requests("a", "b", &Pattern::new("test-*"))
+                .len(),
             1
         );
         assert_eq!(checker.get_requests("a", "b", &Pattern::Any).len(), 2);

@@ -130,7 +130,11 @@ impl AppGraph {
         group_a: &[impl AsRef<str>],
         group_b: &[impl AsRef<str>],
     ) -> Result<Vec<(String, String)>, CoreError> {
-        for name in group_a.iter().map(AsRef::as_ref).chain(group_b.iter().map(AsRef::as_ref)) {
+        for name in group_a
+            .iter()
+            .map(AsRef::as_ref)
+            .chain(group_b.iter().map(AsRef::as_ref))
+        {
             if !self.contains(name) {
                 return Err(CoreError::UnknownService(name.to_string()));
             }
@@ -333,10 +337,7 @@ mod tests {
             ("auth", "db"),
             ("catalog", "db"),
         ]);
-        assert_eq!(
-            g.blast_radius("db"),
-            vec!["auth", "catalog", "user", "web"]
-        );
+        assert_eq!(g.blast_radius("db"), vec!["auth", "catalog", "user", "web"]);
         assert_eq!(g.blast_radius("web"), vec!["user"]);
         assert!(g.blast_radius("user").is_empty());
     }

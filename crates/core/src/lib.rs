@@ -74,7 +74,9 @@ pub use orchestrator::{FailureOrchestrator, OrchestrationStats};
 pub use recipe::{RecipeReport, RecipeRun, TestContext};
 pub use scenarios::{Scenario, ScenarioKind};
 pub use timeutil::{format_duration, parse_duration};
-pub use trace::{FlowTrace, Hop};
+pub use trace::{
+    CallKind, ChildGroup, FlowTrace, Hop, SpanNode, SpanTree, TraceDigest, TraceSummary,
+};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -132,7 +132,10 @@ impl FailureOrchestrator {
         let started = Instant::now();
         let mut by_src: HashMap<&str, Vec<Rule>> = HashMap::new();
         for rule in rules {
-            by_src.entry(rule.src.as_str()).or_default().push(rule.clone());
+            by_src
+                .entry(rule.src.as_str())
+                .or_default()
+                .push(rule.clone());
         }
         // Validate coverage before touching any agent, so a failed
         // apply is all-or-nothing at the fleet level.
@@ -314,9 +317,8 @@ mod tests {
     #[test]
     fn missing_agent_fails_before_any_install() {
         let agent_a = FakeAgent::new("a");
-        let orchestrator = FailureOrchestrator::new(vec![
-            Arc::clone(&agent_a) as Arc<dyn AgentControl>
-        ]);
+        let orchestrator =
+            FailureOrchestrator::new(vec![Arc::clone(&agent_a) as Arc<dyn AgentControl>]);
         // Crash of c requires agents for both a and b.
         let err = orchestrator
             .inject(&Scenario::crash("c"), &graph())
@@ -328,8 +330,7 @@ mod tests {
     #[test]
     fn agent_failure_is_reported() {
         let bad = FakeAgent::failing("a");
-        let orchestrator =
-            FailureOrchestrator::new(vec![bad as Arc<dyn AgentControl>]);
+        let orchestrator = FailureOrchestrator::new(vec![bad as Arc<dyn AgentControl>]);
         let rules = vec![Rule::abort("a", "c", AbortKind::Status(503))];
         let err = orchestrator.apply_rules(&rules).unwrap_err();
         assert!(matches!(err, CoreError::AgentFailed { .. }));
@@ -379,7 +380,9 @@ mod tests {
             Some(1)
         );
         assert_eq!(
-            snap.histogram("gremlin_control_push_seconds", &[]).unwrap().count(),
+            snap.histogram("gremlin_control_push_seconds", &[])
+                .unwrap()
+                .count(),
             2
         );
         assert!(
@@ -395,8 +398,7 @@ mod tests {
     #[test]
     fn stats_include_duration() {
         let agent_a = FakeAgent::new("a");
-        let orchestrator =
-            FailureOrchestrator::new(vec![agent_a as Arc<dyn AgentControl>]);
+        let orchestrator = FailureOrchestrator::new(vec![agent_a as Arc<dyn AgentControl>]);
         let stats = orchestrator
             .apply_rules(&[Rule::abort("a", "c", AbortKind::Status(503))])
             .unwrap();

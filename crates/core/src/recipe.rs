@@ -21,6 +21,7 @@ use crate::error::CoreError;
 use crate::graph::AppGraph;
 use crate::orchestrator::{FailureOrchestrator, OrchestrationStats};
 use crate::scenarios::Scenario;
+use crate::trace::TraceDigest;
 
 /// Everything a recipe needs: the application graph, the agent
 /// fleet, and the observation store.
@@ -186,6 +187,7 @@ impl<'a> RecipeRun<'a> {
             checks: self.checks,
             passed,
             metrics_delta,
+            traces: TraceDigest::from_store(&self.ctx.store),
         }
     }
 }
@@ -205,6 +207,9 @@ pub struct RecipeReport {
     /// (counters and histograms as before/after deltas, gauges at
     /// their final value).
     pub metrics_delta: TelemetrySnapshot,
+    /// Trace statistics over every flow the store observed: slowest
+    /// flow, deepest causal tree, faulted-span count.
+    pub traces: TraceDigest,
 }
 
 fn format_sample_labels(labels: &[(String, String)]) -> String {
@@ -239,7 +244,11 @@ impl RecipeReport {
         let mut out = format!(
             "## Recipe `{}` — {}\n\n",
             self.name,
-            if self.passed { "✅ passed" } else { "❌ failed" }
+            if self.passed {
+                "✅ passed"
+            } else {
+                "❌ failed"
+            }
         );
         if !self.injected.is_empty() {
             out.push_str("**Staged failures**\n\n");
@@ -266,6 +275,9 @@ impl RecipeReport {
                 out.push_str(&format!("- `{series}` +{value}\n"));
             }
         }
+        if self.traces.flows > 0 {
+            out.push_str(&format!("\n**Traces**: {}\n", self.traces));
+        }
         out
     }
 }
@@ -286,6 +298,9 @@ impl fmt::Display for RecipeReport {
         }
         for (series, value) in self.counter_changes() {
             writeln!(f, "  metric: {series} +{value}")?;
+        }
+        if self.traces.flows > 0 {
+            writeln!(f, "  traces: {}", self.traces)?;
         }
         Ok(())
     }
@@ -406,6 +421,23 @@ mod tests {
     }
 
     #[test]
+    fn report_carries_trace_digest() {
+        let (ctx, _agent) = context();
+        let run = RecipeRun::new("traced", &ctx);
+        ctx.store().record_event(
+            gremlin_store::Event::request("a", "b", "GET", "/x")
+                .with_request_id("flow-9")
+                .with_span_id("s1"),
+        );
+        let report = run.finish();
+        assert_eq!(report.traces.flows, 1);
+        assert_eq!(report.traces.spans, 1);
+        assert_eq!(report.traces.slowest.as_ref().unwrap().request_id, "flow-9");
+        assert!(report.to_string().contains("traces: 1 flow(s)"));
+        assert!(report.to_markdown().contains("**Traces**"));
+    }
+
+    #[test]
     fn report_carries_metrics_delta() {
         let (ctx, _agent) = context();
         // Activity before the run starts is excluded by the baseline.
@@ -416,10 +448,9 @@ mod tests {
             .record_event(gremlin_store::Event::request("a", "b", "GET", "/"));
         let report = run.finish();
         assert_eq!(
-            report.metrics_delta.counter_value(
-                "gremlin_control_rule_pushes_total",
-                &[("service", "a")]
-            ),
+            report
+                .metrics_delta
+                .counter_value("gremlin_control_rule_pushes_total", &[("service", "a")]),
             Some(1)
         );
         assert_eq!(

@@ -181,11 +181,7 @@ impl Scenario {
     }
 
     /// Delay `src -> dst` messages by `interval`.
-    pub fn delay(
-        src: impl Into<String>,
-        dst: impl Into<String>,
-        interval: Duration,
-    ) -> Scenario {
+    pub fn delay(src: impl Into<String>, dst: impl Into<String>, interval: Duration) -> Scenario {
         Scenario::new(ScenarioKind::Delay {
             src: src.into(),
             dst: dst.into(),
@@ -270,10 +266,7 @@ impl Scenario {
     }
 
     /// Network partition between two groups of services.
-    pub fn partition(
-        group_a: Vec<String>,
-        group_b: Vec<String>,
-    ) -> Scenario {
+    pub fn partition(group_a: Vec<String>, group_b: Vec<String>) -> Scenario {
         Scenario::new(ScenarioKind::Partition { group_a, group_b })
     }
 
@@ -343,9 +336,11 @@ impl Scenario {
                 replace,
             } => {
                 require_edge_services(graph, src, dst)?;
-                vec![Rule::modify(src.clone(), dst.clone(), search.clone(), replace.clone())
-                    .with_pattern(pattern)
-                    .with_side(MessageSide::Response)]
+                vec![
+                    Rule::modify(src.clone(), dst.clone(), search.clone(), replace.clone())
+                        .with_pattern(pattern)
+                        .with_side(MessageSide::Response),
+                ]
             }
             ScenarioKind::Disconnect { src, dst, error } => {
                 require_edge_services(graph, src, dst)?;
@@ -396,8 +391,7 @@ impl Scenario {
                             .with_probability(*abort_probability),
                     );
                     rules.push(
-                        Rule::delay(caller, service.clone(), *delay)
-                            .with_pattern(pattern.clone()),
+                        Rule::delay(caller, service.clone(), *delay).with_pattern(pattern.clone()),
                     );
                 }
                 rules
@@ -503,11 +497,7 @@ mod tests {
     use gremlin_proxy::FaultAction;
 
     fn graph() -> AppGraph {
-        AppGraph::from_edges(vec![
-            ("web", "search"),
-            ("web", "db"),
-            ("search", "db"),
-        ])
+        AppGraph::from_edges(vec![("web", "search"), ("web", "db"), ("search", "db")])
     }
 
     #[test]
@@ -522,16 +512,22 @@ mod tests {
         assert_eq!(rules[0].pattern, Pattern::new("test-*"));
         assert!(matches!(
             rules[0].action,
-            FaultAction::Abort { abort: AbortKind::Status(503) }
+            FaultAction::Abort {
+                abort: AbortKind::Status(503)
+            }
         ));
     }
 
     #[test]
     fn abort_reset_uses_reset() {
-        let rules = Scenario::abort_reset("web", "db").to_rules(&graph()).unwrap();
+        let rules = Scenario::abort_reset("web", "db")
+            .to_rules(&graph())
+            .unwrap();
         assert!(matches!(
             rules[0].action,
-            FaultAction::Abort { abort: AbortKind::Reset }
+            FaultAction::Abort {
+                abort: AbortKind::Reset
+            }
         ));
     }
 
@@ -544,13 +540,17 @@ mod tests {
         assert!(sources.contains(&"search"));
         assert!(rules.iter().all(|r| matches!(
             r.action,
-            FaultAction::Abort { abort: AbortKind::Reset }
+            FaultAction::Abort {
+                abort: AbortKind::Reset
+            }
         )));
     }
 
     #[test]
     fn transient_crash_carries_probability() {
-        let rules = Scenario::transient_crash("db", 0.3).to_rules(&graph()).unwrap();
+        let rules = Scenario::transient_crash("db", 0.3)
+            .to_rules(&graph())
+            .unwrap();
         assert!(rules.iter().all(|r| (r.probability - 0.3).abs() < 1e-9));
     }
 
@@ -629,8 +629,7 @@ mod tests {
         let mut g = graph();
         g.add_service("island");
         assert!(matches!(
-            Scenario::partition(vec!["island".to_string()], vec!["web".to_string()])
-                .to_rules(&g),
+            Scenario::partition(vec!["island".to_string()], vec!["web".to_string()]).to_rules(&g),
             Err(CoreError::EmptyTranslation(_))
         ));
     }
@@ -659,8 +658,7 @@ mod tests {
 
     #[test]
     fn serde_pattern_is_a_plain_string() {
-        let json =
-            serde_json::to_string(&Scenario::crash("db").with_pattern("test-*")).unwrap();
+        let json = serde_json::to_string(&Scenario::crash("db").with_pattern("test-*")).unwrap();
         assert!(json.contains("\"pattern\":\"test-*\""), "{json}");
     }
 

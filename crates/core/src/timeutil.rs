@@ -50,7 +50,9 @@ pub fn parse_duration(text: &str) -> Result<Duration, CoreError> {
         "h" | "hour" | "hours" => 3600.0 * 1_000_000.0,
         _ => return Err(CoreError::BadDuration(text.to_string())),
     };
-    Ok(Duration::from_micros((number * multiplier_us).round() as u64))
+    Ok(Duration::from_micros(
+        (number * multiplier_us).round() as u64
+    ))
 }
 
 /// Formats a duration compactly for reports (`1.5s`, `100ms`, `2min`).
@@ -98,7 +100,10 @@ mod tests {
 
     #[test]
     fn fractions_and_whitespace() {
-        assert_eq!(parse_duration(" 1.5s ").unwrap(), Duration::from_millis(1500));
+        assert_eq!(
+            parse_duration(" 1.5s ").unwrap(),
+            Duration::from_millis(1500)
+        );
         assert_eq!(parse_duration("0.25 min").unwrap(), Duration::from_secs(15));
     }
 

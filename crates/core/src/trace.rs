@@ -7,10 +7,13 @@
 //! took, where it was faulted, where time was spent. Recipe authors
 //! use this when an assertion fails and they want the why.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
-use gremlin_store::{AppliedFault, Event, EventStore, Micros, Pattern, Query};
+use gremlin_store::{
+    spans_from_store, AppliedFault, Event, EventStore, Micros, Name, Pattern, Query, SpanRecord,
+};
 
 /// One caller→callee hop of a flow: a request observation paired with
 /// the matching response (if one was observed).
@@ -69,6 +72,9 @@ pub struct FlowTrace {
     pub request_id: String,
     /// Hops in request-time order.
     pub hops: Vec<Hop>,
+    /// Timestamp of the last observation (request *or* response) in
+    /// the flow; duration fallback when responses are missing.
+    pub last_observed_us: Option<Micros>,
 }
 
 impl FlowTrace {
@@ -78,9 +84,8 @@ impl FlowTrace {
     /// retries of the same edge become separate hops, matching how
     /// the agent logged them.
     pub fn from_store(store: &EventStore, request_id: &str) -> FlowTrace {
-        let events = store.query(
-            &Query::new().with_id_pattern(Pattern::Exact(request_id.to_string())),
-        );
+        let events =
+            store.query(&Query::new().with_id_pattern(Pattern::Exact(request_id.to_string())));
         FlowTrace::from_events(request_id, &events)
     }
 
@@ -106,11 +111,9 @@ impl FlowTrace {
                     pending.push(hops.len() - 1);
                 }
                 gremlin_store::EventKind::Response { status, .. } => {
-                    let slot = pending
-                        .iter()
-                        .position(|&index| {
-                            hops[index].src == event.src && hops[index].dst == event.dst
-                        });
+                    let slot = pending.iter().position(|&index| {
+                        hops[index].src == event.src && hops[index].dst == event.dst
+                    });
                     match slot {
                         Some(position) => {
                             let index = pending.remove(position);
@@ -143,6 +146,7 @@ impl FlowTrace {
         FlowTrace {
             request_id: request_id.to_string(),
             hops,
+            last_observed_us: events.iter().map(|event| event.timestamp_us).max(),
         }
     }
 
@@ -165,8 +169,16 @@ impl FlowTrace {
             .count()
     }
 
-    /// Total caller-observed time of the flow, from first request to
-    /// the end of the latest response.
+    /// Total caller-observed time of the flow, from the first request
+    /// to the end of the latest response.
+    ///
+    /// Hops whose response was never observed (e.g. the root request
+    /// timed out before the agent could log one) contribute no
+    /// latency, so the flow additionally falls back to the span
+    /// between the first and the last *observed* event timestamps —
+    /// the duration never undercounts what the log actually shows,
+    /// but it still cannot account for time spent after the final
+    /// observation.
     pub fn total_duration(&self) -> Duration {
         let Some(first) = self.hops.first() else {
             return Duration::ZERO;
@@ -175,10 +187,8 @@ impl FlowTrace {
         let end = self
             .hops
             .iter()
-            .map(|hop| {
-                hop.requested_at
-                    + hop.latency.map(|l| l.as_micros() as Micros).unwrap_or(0)
-            })
+            .map(|hop| hop.requested_at + hop.latency.map(|l| l.as_micros() as Micros).unwrap_or(0))
+            .chain(self.last_observed_us)
             .max()
             .unwrap_or(start);
         Duration::from_micros(end.saturating_sub(start))
@@ -196,6 +206,489 @@ impl fmt::Display for FlowTrace {
         )?;
         for hop in &self.hops {
             writeln!(f, "  {hop}")?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span trees
+// ---------------------------------------------------------------------------
+
+/// How a group of same-edge sibling calls relates in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// A single call on this edge.
+    Single,
+    /// Sequential re-attempts of one logical call: each starts only
+    /// after the previous one ended (or was abandoned unanswered).
+    Retry,
+    /// Concurrent calls on the same edge (a fan-out to replicas or
+    /// parallel work), overlapping in time.
+    Parallel,
+}
+
+impl fmt::Display for CallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallKind::Single => write!(f, "single"),
+            CallKind::Retry => write!(f, "retry"),
+            CallKind::Parallel => write!(f, "parallel"),
+        }
+    }
+}
+
+/// Sibling spans of one parent that target the same `(src, dst)`
+/// edge, with their temporal classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChildGroup {
+    /// Destination service of the group's calls.
+    pub dst: Name,
+    /// How the group's calls relate ([`CallKind::Retry`] vs
+    /// [`CallKind::Parallel`]).
+    pub kind: CallKind,
+    /// Node indices of the group's spans, in start order.
+    pub spans: Vec<usize>,
+}
+
+/// One node of a [`SpanTree`]: a span record plus its place in the
+/// causal hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The underlying span record.
+    pub record: SpanRecord,
+    /// Index of the parent node, if any.
+    pub parent: Option<usize>,
+    /// Indices of child nodes, in start order.
+    pub children: Vec<usize>,
+    /// `true` when the parent was inferred from timestamps and the
+    /// call graph rather than read from span IDs (legacy events).
+    pub inferred_parent: bool,
+}
+
+impl SpanNode {
+    fn effective_end(&self) -> Micros {
+        self.record.end_us().unwrap_or(self.record.start_us)
+    }
+}
+
+/// Compact per-flow statistics, suitable for recipe reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The flow's request ID.
+    pub request_id: String,
+    /// Number of spans in the flow.
+    pub spans: usize,
+    /// Depth of the deepest causal chain (a lone root is depth 1).
+    pub depth: usize,
+    /// End-to-end duration, first request to last observation.
+    pub duration_us: Micros,
+    /// Spans touched by an injected fault.
+    pub faulted_spans: usize,
+    /// Spans that failed (no response, reset, or 5xx).
+    pub failed_spans: usize,
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} span(s), depth {}, {:?}",
+            self.request_id,
+            self.spans,
+            self.depth,
+            Duration::from_micros(self.duration_us)
+        )?;
+        if self.faulted_spans > 0 {
+            write!(f, ", {} faulted", self.faulted_spans)?;
+        }
+        if self.failed_spans > 0 {
+            write!(f, ", {} failed", self.failed_spans)?;
+        }
+        Ok(())
+    }
+}
+
+/// The causal tree of one request flow, assembled from span records.
+///
+/// Parent/child edges come from the `X-Gremlin-Parent` span IDs the
+/// agents record. Legacy records without span IDs (and records whose
+/// parent span was never observed) fall back to inference: a span is
+/// attached to the latest span whose destination is the child's
+/// source and whose lifetime encloses the child's start. Spans with
+/// no plausible parent become roots — a flow can have several roots
+/// when observations are incomplete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    /// The flow's request ID.
+    pub request_id: String,
+    /// All nodes, in start order.
+    pub nodes: Vec<SpanNode>,
+    /// Indices of parentless nodes, in start order.
+    pub roots: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Assembles the tree for `request_id` from `store`.
+    pub fn from_store(store: &EventStore, request_id: &str) -> SpanTree {
+        SpanTree::from_records(request_id, spans_from_store(store, request_id))
+    }
+
+    /// Assembles a tree from pre-assembled span records.
+    pub fn from_records(request_id: &str, mut records: Vec<SpanRecord>) -> SpanTree {
+        records.sort_by(|a, b| a.start_us.cmp(&b.start_us));
+        let mut nodes: Vec<SpanNode> = records
+            .into_iter()
+            .map(|record| SpanNode {
+                record,
+                parent: None,
+                children: Vec::new(),
+                inferred_parent: false,
+            })
+            .collect();
+
+        let by_span: HashMap<Name, usize> = nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(index, node)| node.record.span_id.clone().map(|span| (span, index)))
+            .collect();
+
+        for index in 0..nodes.len() {
+            // Explicit linkage first: the parent span ID the agent
+            // recorded, when that span was itself observed.
+            let explicit = nodes[index]
+                .record
+                .parent_id
+                .as_ref()
+                .and_then(|parent| by_span.get(parent).copied())
+                .filter(|&parent| parent != index);
+            let (parent, inferred) = match explicit {
+                Some(parent) => (Some(parent), false),
+                None => (SpanTree::infer_parent(&nodes, index), true),
+            };
+            if let Some(parent) = parent {
+                nodes[index].parent = Some(parent);
+                nodes[index].inferred_parent = inferred;
+                nodes[parent].children.push(index);
+            }
+        }
+
+        let roots = (0..nodes.len())
+            .filter(|&index| nodes[index].parent.is_none())
+            .collect();
+        SpanTree {
+            request_id: request_id.to_string(),
+            nodes,
+            roots,
+        }
+    }
+
+    /// Timestamp/graph fallback for records without usable span IDs:
+    /// the parent is the latest earlier span whose destination is
+    /// this span's source and whose lifetime encloses this span's
+    /// start (an open span — no observed end — counts as enclosing).
+    fn infer_parent(nodes: &[SpanNode], index: usize) -> Option<usize> {
+        let child = &nodes[index];
+        (0..index)
+            .filter(|&candidate| {
+                let parent = &nodes[candidate].record;
+                parent.dst == child.record.src
+                    && parent.start_us <= child.record.start_us
+                    && parent
+                        .end_us()
+                        .map(|end| end >= child.record.start_us)
+                        .unwrap_or(true)
+            })
+            .max_by_key(|&candidate| nodes[candidate].record.start_us)
+    }
+
+    /// Number of spans in the flow.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the flow has no spans.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Depth of the deepest causal chain (a lone root is depth 1).
+    pub fn depth(&self) -> usize {
+        let mut deepest = 0;
+        let mut stack: Vec<(usize, usize)> = self.roots.iter().map(|&root| (root, 1)).collect();
+        while let Some((index, depth)) = stack.pop() {
+            deepest = deepest.max(depth);
+            for &child in &self.nodes[index].children {
+                stack.push((child, depth + 1));
+            }
+        }
+        deepest
+    }
+
+    /// End-to-end duration: first request to the last observation
+    /// (response end, or request time for unanswered spans).
+    pub fn total_duration_us(&self) -> Micros {
+        let start = self.nodes.iter().map(|n| n.record.start_us).min();
+        let end = self.nodes.iter().map(SpanNode::effective_end).max();
+        match (start, end) {
+            (Some(start), Some(end)) => end.saturating_sub(start),
+            _ => 0,
+        }
+    }
+
+    /// The chain of spans that bounded end-to-end completion time: at
+    /// each level, the child that finished last (an unanswered child
+    /// counts as last — the caller waited on it until giving up).
+    /// Under an injected Delay, the faulted hop sits on this path.
+    /// Returns node indices from the slowest root downwards.
+    pub fn critical_path(&self) -> Vec<usize> {
+        let slowest_root = self
+            .roots
+            .iter()
+            .copied()
+            .max_by_key(|&root| self.nodes[root].effective_end());
+        let Some(mut current) = slowest_root else {
+            return Vec::new();
+        };
+        let mut path = vec![current];
+        loop {
+            // An unanswered span has no observed end; rank it after
+            // every answered sibling.
+            let rank = |index: usize| match self.nodes[index].record.end_us() {
+                Some(end) => (0u8, end),
+                None => (1u8, self.nodes[index].record.start_us),
+            };
+            match self.nodes[current]
+                .children
+                .iter()
+                .copied()
+                .max_by_key(|&c| rank(c))
+            {
+                Some(next) => {
+                    path.push(next);
+                    current = next;
+                }
+                None => return path,
+            }
+        }
+    }
+
+    /// Groups the children of `index` by destination edge and
+    /// classifies each group as retries (sequential) or a parallel
+    /// fan-out (overlapping).
+    pub fn child_groups(&self, index: usize) -> Vec<ChildGroup> {
+        let mut groups: Vec<ChildGroup> = Vec::new();
+        for &child in &self.nodes[index].children {
+            let record = &self.nodes[child].record;
+            match groups.iter_mut().find(|g| g.dst == record.dst) {
+                Some(group) => group.spans.push(child),
+                None => groups.push(ChildGroup {
+                    dst: record.dst.clone(),
+                    kind: CallKind::Single,
+                    spans: vec![child],
+                }),
+            }
+        }
+        for group in &mut groups {
+            group.spans.sort_by_key(|&i| self.nodes[i].record.start_us);
+            if group.spans.len() < 2 {
+                continue;
+            }
+            // Retries run back-to-back: each attempt starts at or
+            // after the previous one's observed end (an unanswered
+            // attempt was abandoned, so anything after it counts as
+            // sequential). Any overlap makes the group parallel.
+            let sequential =
+                group
+                    .spans
+                    .windows(2)
+                    .all(|pair| match self.nodes[pair[0]].record.end_us() {
+                        Some(end) => self.nodes[pair[1]].record.start_us >= end,
+                        None => true,
+                    });
+            group.kind = if sequential {
+                CallKind::Retry
+            } else {
+                CallKind::Parallel
+            };
+        }
+        groups
+    }
+
+    /// Compact statistics for this flow.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            request_id: self.request_id.clone(),
+            spans: self.nodes.len(),
+            depth: self.depth(),
+            duration_us: self.total_duration_us(),
+            faulted_spans: self
+                .nodes
+                .iter()
+                .filter(|n| n.record.fault.is_some())
+                .count(),
+            failed_spans: self.nodes.iter().filter(|n| n.record.failed()).count(),
+        }
+    }
+
+    /// Renders the tree as an ASCII waterfall: one line per span,
+    /// indented by causal depth, with a proportional time bar
+    /// (`=` observed lifetime, `-` open-ended), latency, status and
+    /// any applied fault.
+    pub fn waterfall(&self) -> String {
+        const BAR: usize = 32;
+        let mut out = format!(
+            "trace {} ({} span(s), depth {}, {:?} total)\n",
+            self.request_id,
+            self.nodes.len(),
+            self.depth(),
+            Duration::from_micros(self.total_duration_us())
+        );
+        if self.nodes.is_empty() {
+            return out;
+        }
+        let t0 = self
+            .nodes
+            .iter()
+            .map(|n| n.record.start_us)
+            .min()
+            .unwrap_or(0);
+        let total = self.total_duration_us().max(1);
+
+        // Pre-order walk, tracking depth; collect labels first so the
+        // bars line up in one column.
+        let mut order: Vec<(usize, usize)> = Vec::new();
+        let mut stack: Vec<(usize, usize)> =
+            self.roots.iter().rev().map(|&root| (root, 0)).collect();
+        while let Some((index, depth)) = stack.pop() {
+            order.push((index, depth));
+            for &child in self.nodes[index].children.iter().rev() {
+                stack.push((child, depth + 1));
+            }
+        }
+        let labels: Vec<String> = order
+            .iter()
+            .map(|&(index, depth)| {
+                let record = &self.nodes[index].record;
+                format!(
+                    "{}{} -> {} {}",
+                    "  ".repeat(depth),
+                    record.src,
+                    record.dst,
+                    record.call
+                )
+            })
+            .collect();
+        let label_width = labels.iter().map(String::len).max().unwrap_or(0);
+
+        for (&(index, _), label) in order.iter().zip(&labels) {
+            let record = &self.nodes[index].record;
+            let offset = ((record.start_us - t0) as u128 * BAR as u128 / total as u128) as usize;
+            let offset = offset.min(BAR - 1);
+            let mut bar = vec![b' '; BAR];
+            match record.latency_us {
+                Some(latency) => {
+                    let len = ((latency as u128 * BAR as u128) / total as u128) as usize;
+                    let len = len.clamp(1, BAR - offset);
+                    bar[offset..offset + len].fill(b'=');
+                }
+                None => {
+                    // No observed end: the span runs off the chart.
+                    bar[offset..].fill(b'-');
+                }
+            }
+            let bar = String::from_utf8(bar).expect("ascii bar");
+            let timing = match record.latency_us {
+                Some(latency) => format!("{:?}", Duration::from_micros(latency)),
+                None => "...".to_string(),
+            };
+            let status = match record.status {
+                Some(0) => "RST".to_string(),
+                Some(status) => status.to_string(),
+                None => "-".to_string(),
+            };
+            let mut line = format!("{label:<label_width$} |{bar}| {timing:>9} {status}");
+            if let Some(fault) = &record.fault {
+                line.push_str(&format!(" [gremlin: {fault}]"));
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SpanTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.waterfall())
+    }
+}
+
+/// Per-experiment trace statistics, aggregated over every flow in an
+/// event store. Attached to recipe reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDigest {
+    /// Number of distinct request flows observed.
+    pub flows: usize,
+    /// Total spans across all flows.
+    pub spans: usize,
+    /// Spans touched by an injected fault, across all flows.
+    pub faulted_spans: usize,
+    /// The flow with the longest end-to-end duration.
+    pub slowest: Option<TraceSummary>,
+    /// The flow with the deepest causal chain.
+    pub deepest: Option<TraceSummary>,
+}
+
+impl TraceDigest {
+    /// Builds the digest by assembling the span tree of every request
+    /// ID in `store`.
+    pub fn from_store(store: &EventStore) -> TraceDigest {
+        let mut digest = TraceDigest {
+            flows: 0,
+            spans: 0,
+            faulted_spans: 0,
+            slowest: None,
+            deepest: None,
+        };
+        for request_id in store.request_ids() {
+            let summary = SpanTree::from_store(store, request_id.as_str()).summary();
+            digest.flows += 1;
+            digest.spans += summary.spans;
+            digest.faulted_spans += summary.faulted_spans;
+            if digest
+                .slowest
+                .as_ref()
+                .map(|s| summary.duration_us > s.duration_us)
+                .unwrap_or(true)
+            {
+                digest.slowest = Some(summary.clone());
+            }
+            if digest
+                .deepest
+                .as_ref()
+                .map(|d| summary.depth > d.depth)
+                .unwrap_or(true)
+            {
+                digest.deepest = Some(summary);
+            }
+        }
+        digest
+    }
+}
+
+impl fmt::Display for TraceDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} flow(s), {} span(s), {} faulted",
+            self.flows, self.spans, self.faulted_spans
+        )?;
+        if let Some(slowest) = &self.slowest {
+            write!(f, "; slowest {slowest}")?;
+        }
+        if let Some(deepest) = &self.deepest {
+            write!(f, "; deepest {deepest}")?;
         }
         Ok(())
     }
@@ -219,8 +712,8 @@ mod tests {
     }
 
     fn response(s: &Arc<EventStore>, src: &str, dst: &str, status: u16, ts: Micros, ms: u64) {
-        let mut event = Event::response(src, dst, status, Duration::from_millis(ms))
-            .with_request_id("test-1");
+        let mut event =
+            Event::response(src, dst, status, Duration::from_millis(ms)).with_request_id("test-1");
         event.timestamp_us = ts;
         s.record_event(event);
     }
@@ -325,5 +818,272 @@ mod tests {
         );
         let trace = FlowTrace::from_store(&s, "test-1");
         assert_eq!(trace.hops.len(), 1);
+    }
+
+    #[test]
+    fn duration_falls_back_to_last_observation() {
+        let s = store();
+        // Root request never answered; a child completes, but a later
+        // response observation (the child's response event at t=5000)
+        // is the last thing the log shows.
+        request(&s, "user", "web", 0);
+        request(&s, "web", "db", 100);
+        response(&s, "web", "db", 200, 5_000, 1);
+        let trace = FlowTrace::from_store(&s, "test-1");
+        // Latency-derived end would be 100us + 1ms = 1100us; the
+        // fallback stretches to the last observed timestamp.
+        assert_eq!(trace.total_duration(), Duration::from_micros(5_000));
+    }
+
+    // --- span trees --------------------------------------------------
+
+    fn spanned_request(
+        s: &Arc<EventStore>,
+        src: &str,
+        dst: &str,
+        ts: Micros,
+        span: &str,
+        parent: Option<&str>,
+    ) {
+        let mut event = Event::request(src, dst, "GET", "/x")
+            .with_request_id("test-1")
+            .with_timestamp(ts)
+            .with_span_id(span);
+        if let Some(parent) = parent {
+            event = event.with_parent_id(parent);
+        }
+        s.record_event(event);
+    }
+
+    fn spanned_response(
+        s: &Arc<EventStore>,
+        src: &str,
+        dst: &str,
+        status: u16,
+        ts: Micros,
+        ms: u64,
+        span: &str,
+    ) {
+        let mut event = Event::response(src, dst, status, Duration::from_millis(ms))
+            .with_request_id("test-1")
+            .with_span_id(span);
+        event.timestamp_us = ts;
+        s.record_event(event);
+    }
+
+    #[test]
+    fn span_tree_nests_by_parent_ids() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "s1", None);
+        spanned_request(&s, "web", "db", 100, "s2", Some("s1"));
+        spanned_request(&s, "web", "cache", 150, "s3", Some("s1"));
+        spanned_response(&s, "web", "cache", 200, 250, 0, "s3");
+        spanned_response(&s, "web", "db", 200, 1_100, 1, "s2");
+        spanned_response(&s, "user", "web", 200, 2_000, 2, "s1");
+        let tree = SpanTree::from_store(&s, "test-1");
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.roots.len(), 1);
+        let root = &tree.nodes[tree.roots[0]];
+        assert_eq!(root.record.dst.as_str(), "web");
+        assert_eq!(root.children.len(), 2);
+        assert!(!root.inferred_parent);
+        assert_eq!(tree.depth(), 2);
+        assert!(tree
+            .nodes
+            .iter()
+            .filter(|n| n.parent.is_some())
+            .all(|n| !n.inferred_parent));
+    }
+
+    #[test]
+    fn span_tree_infers_parents_for_legacy_events() {
+        // No span IDs anywhere: nesting must come from timestamps and
+        // the call graph (web -> db starts inside user -> web).
+        let s = store();
+        request(&s, "user", "web", 0);
+        request(&s, "web", "db", 100);
+        response(&s, "web", "db", 200, 1_100, 1);
+        response(&s, "user", "web", 200, 3_000, 3);
+        let tree = SpanTree::from_store(&s, "test-1");
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.depth(), 2);
+        let child = tree
+            .nodes
+            .iter()
+            .find(|n| n.record.dst.as_str() == "db")
+            .unwrap();
+        assert!(child.inferred_parent);
+        assert_eq!(tree.nodes[child.parent.unwrap()].record.dst.as_str(), "web");
+    }
+
+    #[test]
+    fn retries_classified_as_sequential_same_edge() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "root", None);
+        // Three sequential attempts of web -> db under the root; the
+        // first two fail, the third succeeds.
+        spanned_request(&s, "web", "db", 100, "t1", Some("root"));
+        spanned_response(&s, "web", "db", 503, 1_100, 1, "t1");
+        spanned_request(&s, "web", "db", 2_000, "t2", Some("root"));
+        spanned_response(&s, "web", "db", 503, 3_000, 1, "t2");
+        spanned_request(&s, "web", "db", 4_000, "t3", Some("root"));
+        spanned_response(&s, "web", "db", 200, 5_000, 1, "t3");
+        spanned_response(&s, "user", "web", 200, 6_000, 6, "root");
+        let tree = SpanTree::from_store(&s, "test-1");
+        let groups = tree.child_groups(tree.roots[0]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].kind, CallKind::Retry);
+        assert_eq!(groups[0].spans.len(), 3);
+    }
+
+    #[test]
+    fn fan_out_classified_as_parallel() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "root", None);
+        // Two overlapping calls on the same edge: a fan-out, not a
+        // retry.
+        spanned_request(&s, "web", "db", 100, "p1", Some("root"));
+        spanned_request(&s, "web", "db", 200, "p2", Some("root"));
+        spanned_response(&s, "web", "db", 200, 1_100, 1, "p1");
+        spanned_response(&s, "web", "db", 200, 1_200, 1, "p2");
+        spanned_response(&s, "user", "web", 200, 2_000, 2, "root");
+        let tree = SpanTree::from_store(&s, "test-1");
+        let groups = tree.child_groups(tree.roots[0]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].kind, CallKind::Parallel);
+    }
+
+    #[test]
+    fn critical_path_finds_delayed_hop() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "s1", None);
+        // Fast sibling.
+        spanned_request(&s, "web", "cache", 100, "s2", Some("s1"));
+        spanned_response(&s, "web", "cache", 200, 300, 0, "s2");
+        // Slow sibling, delayed by Gremlin: it bounds the flow.
+        s.record_event(
+            Event::request("web", "db", "GET", "/x")
+                .with_request_id("test-1")
+                .with_timestamp(100)
+                .with_span_id("s3")
+                .with_parent_id("s1")
+                .with_fault(AppliedFault::Delay { delay_us: 50_000 }),
+        );
+        spanned_response(&s, "web", "db", 200, 51_000, 50, "s3");
+        spanned_response(&s, "user", "web", 200, 52_000, 52, "s1");
+        let tree = SpanTree::from_store(&s, "test-1");
+        let path = tree.critical_path();
+        assert_eq!(path.len(), 2);
+        assert_eq!(tree.nodes[path[0]].record.dst.as_str(), "web");
+        assert_eq!(tree.nodes[path[1]].record.dst.as_str(), "db");
+        assert!(tree.nodes[path[1]].record.fault.is_some());
+    }
+
+    #[test]
+    fn critical_path_prefers_unanswered_child() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "s1", None);
+        spanned_request(&s, "web", "cache", 100, "s2", Some("s1"));
+        spanned_response(&s, "web", "cache", 200, 300, 0, "s2");
+        // db never answered: the caller waited on it.
+        spanned_request(&s, "web", "db", 100, "s3", Some("s1"));
+        let tree = SpanTree::from_store(&s, "test-1");
+        let path = tree.critical_path();
+        assert_eq!(tree.nodes[*path.last().unwrap()].record.dst.as_str(), "db");
+    }
+
+    #[test]
+    fn interleaved_flows_sharing_an_edge_stay_separate() {
+        let s = store();
+        // Two concurrent flows crossing the same a -> b edge,
+        // interleaved in time; each tree must only see its own spans.
+        for (id, span, base) in [("flow-1", "x1", 0u64), ("flow-2", "x2", 5u64)] {
+            s.record_event(
+                Event::request("a", "b", "GET", "/x")
+                    .with_request_id(id)
+                    .with_timestamp(base)
+                    .with_span_id(span),
+            );
+        }
+        for (id, span, ts) in [("flow-2", "x2", 40u64), ("flow-1", "x1", 60u64)] {
+            let mut event = Event::response("a", "b", 200, Duration::from_micros(30))
+                .with_request_id(id)
+                .with_span_id(span);
+            event.timestamp_us = ts;
+            s.record_event(event);
+        }
+        let one = SpanTree::from_store(&s, "flow-1");
+        let two = SpanTree::from_store(&s, "flow-2");
+        assert_eq!(one.len(), 1);
+        assert_eq!(two.len(), 1);
+        assert_eq!(one.nodes[0].record.span_id.as_deref(), Some("x1"));
+        assert_eq!(two.nodes[0].record.span_id.as_deref(), Some("x2"));
+        assert_eq!(one.nodes[0].record.status, Some(200));
+    }
+
+    #[test]
+    fn missing_responses_leave_open_spans() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "s1", None);
+        spanned_request(&s, "web", "db", 100, "s2", Some("s1"));
+        let tree = SpanTree::from_store(&s, "test-1");
+        assert_eq!(tree.len(), 2);
+        assert!(tree.nodes.iter().all(|n| n.record.failed()));
+        assert_eq!(tree.depth(), 2);
+        // The waterfall renders open spans without panicking.
+        let art = tree.waterfall();
+        assert!(art.contains("..."), "waterfall: {art}");
+    }
+
+    #[test]
+    fn waterfall_renders_bars_and_faults() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "s1", None);
+        s.record_event(
+            Event::request("web", "db", "GET", "/x")
+                .with_request_id("test-1")
+                .with_timestamp(100)
+                .with_span_id("s2")
+                .with_parent_id("s1")
+                .with_fault(AppliedFault::Delay { delay_us: 10_000 }),
+        );
+        spanned_response(&s, "web", "db", 200, 11_000, 10, "s2");
+        spanned_response(&s, "user", "web", 200, 12_000, 12, "s1");
+        let tree = SpanTree::from_store(&s, "test-1");
+        let art = tree.waterfall();
+        assert!(art.contains("user -> web"), "waterfall: {art}");
+        assert!(art.contains("  web -> db"), "indented child: {art}");
+        assert!(art.contains('='), "bars: {art}");
+        assert!(art.contains("[gremlin: delay"), "fault: {art}");
+        assert!(art.contains("200"));
+    }
+
+    #[test]
+    fn summary_and_digest_aggregate() {
+        let s = store();
+        spanned_request(&s, "user", "web", 0, "s1", None);
+        spanned_request(&s, "web", "db", 100, "s2", Some("s1"));
+        spanned_response(&s, "web", "db", 503, 1_100, 1, "s2");
+        spanned_response(&s, "user", "web", 200, 3_000, 3, "s1");
+        // A second, shallow flow.
+        s.record_event(
+            Event::request("user", "web", "GET", "/y")
+                .with_request_id("test-2")
+                .with_timestamp(0)
+                .with_span_id("z1"),
+        );
+        let tree = SpanTree::from_store(&s, "test-1");
+        let summary = tree.summary();
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.depth, 2);
+        assert_eq!(summary.duration_us, 3_000);
+        assert_eq!(summary.failed_spans, 1);
+
+        let digest = TraceDigest::from_store(&s);
+        assert_eq!(digest.flows, 2);
+        assert_eq!(digest.spans, 3);
+        assert_eq!(digest.slowest.as_ref().unwrap().request_id, "test-1");
+        assert_eq!(digest.deepest.as_ref().unwrap().depth, 2);
+        assert!(digest.to_string().contains("2 flow(s)"));
     }
 }

@@ -111,6 +111,15 @@ pub struct Event {
     pub fault: Option<AppliedFault>,
     /// Identity of the agent instance that logged the event.
     pub agent: Name,
+    /// Span ID minted by the agent for this intercepted call
+    /// (Dapper/Zipkin-style causal tracing). Absent in logs written
+    /// before span propagation existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub span_id: Option<Name>,
+    /// Span ID of the causally enclosing call, if the intercepted
+    /// message carried one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub parent_id: Option<Name>,
 }
 
 impl Event {
@@ -132,6 +141,8 @@ impl Event {
             },
             fault: None,
             agent: Name::empty(),
+            span_id: None,
+            parent_id: None,
         }
     }
 
@@ -153,6 +164,8 @@ impl Event {
             },
             fault: None,
             agent: Name::empty(),
+            span_id: None,
+            parent_id: None,
         }
     }
 
@@ -177,6 +190,18 @@ impl Event {
     /// Builder-style: sets the reporting agent name.
     pub fn with_agent(mut self, agent: impl Into<Name>) -> Event {
         self.agent = agent.into();
+        self
+    }
+
+    /// Builder-style: sets the span ID of this intercepted call.
+    pub fn with_span_id(mut self, span: impl Into<Name>) -> Event {
+        self.span_id = Some(span.into());
+        self
+    }
+
+    /// Builder-style: sets the parent span ID of this call.
+    pub fn with_parent_id(mut self, parent: impl Into<Name>) -> Event {
+        self.parent_id = Some(parent.into());
         self
     }
 
@@ -233,6 +258,12 @@ impl fmt::Display for Event {
                 )?;
             }
         }
+        if let Some(span) = &self.span_id {
+            write!(f, " span={span}")?;
+            if let Some(parent) = &self.parent_id {
+                write!(f, " parent={parent}")?;
+            }
+        }
         if let Some(fault) = &self.fault {
             write!(f, " fault={fault}")?;
         }
@@ -263,9 +294,7 @@ mod tests {
     #[test]
     fn response_latency_views() {
         let e = Event::response("a", "b", 200, Duration::from_millis(150))
-            .with_fault(AppliedFault::Delay {
-                delay_us: 100_000,
-            });
+            .with_fault(AppliedFault::Delay { delay_us: 100_000 });
         assert_eq!(e.status(), Some(200));
         assert_eq!(e.observed_latency(), Some(Duration::from_millis(150)));
         assert_eq!(e.untampered_latency(), Some(Duration::from_millis(50)));
@@ -274,11 +303,8 @@ mod tests {
 
     #[test]
     fn untampered_latency_saturates() {
-        let e = Event::response("a", "b", 200, Duration::from_millis(10)).with_fault(
-            AppliedFault::Delay {
-                delay_us: 100_000,
-            },
-        );
+        let e = Event::response("a", "b", 200, Duration::from_millis(10))
+            .with_fault(AppliedFault::Delay { delay_us: 100_000 });
         assert_eq!(e.untampered_latency(), Some(Duration::ZERO));
     }
 
@@ -309,6 +335,34 @@ mod tests {
         let e = Event::response("web", "db", 503, Duration::from_millis(1))
             .with_fault(AppliedFault::AbortReset);
         assert!(e.to_string().contains("fault=abort(reset)"));
+    }
+
+    #[test]
+    fn span_fields_round_trip() {
+        let e = Event::request("a", "b", "GET", "/x")
+            .with_span_id("00aa11bb22cc33dd")
+            .with_parent_id("ffee00aa11bb22cc");
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("span_id"));
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        let text = e.to_string();
+        assert!(text.contains("span=00aa11bb22cc33dd"));
+        assert!(text.contains("parent=ffee00aa11bb22cc"));
+    }
+
+    #[test]
+    fn legacy_json_without_spans_still_parses() {
+        // A log line written before span propagation existed.
+        let json = r#"{"timestamp_us":1,"request_id":"test-1","src":"a","dst":"b",
+            "kind":{"type":"request","method":"GET","uri":"/x"},"fault":null,"agent":"a-1"}"#;
+        let e: Event = serde_json::from_str(json).unwrap();
+        assert_eq!(e.span_id, None);
+        assert_eq!(e.parent_id, None);
+        // And spanless events serialize without the new keys.
+        let out = serde_json::to_string(&e).unwrap();
+        assert!(!out.contains("span_id"));
+        assert!(!out.contains("parent_id"));
     }
 
     #[test]

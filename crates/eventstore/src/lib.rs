@@ -44,10 +44,14 @@ pub mod event;
 pub mod name;
 pub mod pattern;
 pub mod query;
+pub mod spans;
 pub mod store;
 
 pub use event::{now_micros, AppliedFault, Event, EventKind, Micros};
 pub use name::Name;
 pub use pattern::Pattern;
 pub use query::{KindFilter, Query};
+pub use spans::{
+    assemble_spans, export_otlp, import_otlp, spans_from_store, OtlpTrace, SpanRecord,
+};
 pub use store::{EventSink, EventStore};

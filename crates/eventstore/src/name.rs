@@ -56,6 +56,11 @@ impl Name {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Returns `true` for the empty name.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
 }
 
 impl Default for Name {

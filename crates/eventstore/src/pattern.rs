@@ -87,7 +87,6 @@ impl Pattern {
     }
 }
 
-
 /// Patterns serialize as their glob text (`"test-*"`), the form the
 /// paper's recipes use and the control API ships.
 impl Serialize for Pattern {

@@ -24,7 +24,6 @@ pub enum KindFilter {
     All,
 }
 
-
 /// A declarative event query.
 ///
 /// All filters are conjunctive; unset filters match everything.
@@ -200,9 +199,7 @@ mod tests {
         let no_id = Event::request("a", "b", "GET", "/");
         assert!(!q.matches(&no_id));
         assert!(Query::new().matches(&no_id));
-        assert!(Query::new()
-            .with_id_pattern(Pattern::Any)
-            .matches(&no_id));
+        assert!(Query::new().with_id_pattern(Pattern::Any).matches(&no_id));
     }
 
     #[test]

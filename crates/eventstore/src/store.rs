@@ -246,7 +246,9 @@ impl EventStore {
     /// calling again re-binds the handles to the given registry.
     pub fn enable_telemetry(&self, registry: &MetricsRegistry) {
         let telemetry = StoreTelemetry::new(registry, self.shards.len());
-        telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+        telemetry
+            .size
+            .set(self.count.load(Ordering::Relaxed) as i64);
         for (index, shard) in self.shards.iter().enumerate() {
             telemetry.shard_events[index].set(shard.inner.read().events.len() as i64);
         }
@@ -269,7 +271,9 @@ impl EventStore {
         self.count.fetch_add(1, Ordering::Relaxed);
         if let Some(telemetry) = self.telemetry.read().as_ref() {
             telemetry.appends.inc();
-            telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+            telemetry
+                .size
+                .set(self.count.load(Ordering::Relaxed) as i64);
             telemetry.shard_events[shard].set(shard_len as i64);
         }
     }
@@ -303,7 +307,9 @@ impl EventStore {
         self.count.fetch_add(n, Ordering::Relaxed);
         if let Some(telemetry) = self.telemetry.read().as_ref() {
             telemetry.appends.add(n as u64);
-            telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+            telemetry
+                .size
+                .set(self.count.load(Ordering::Relaxed) as i64);
             for (shard, len) in shard_lens {
                 telemetry.shard_events[shard].set(len as i64);
             }
@@ -352,7 +358,9 @@ impl EventStore {
         for shard in self.shards.iter() {
             let mut inner = shard.inner.write();
             let before = inner.events.len();
-            inner.events.retain(|stored| stored.event.timestamp_us >= cutoff_us);
+            inner
+                .events
+                .retain(|stored| stored.event.timestamp_us >= cutoff_us);
             let dropped = before - inner.events.len();
             if dropped > 0 {
                 inner.rebuild_indexes();
@@ -364,7 +372,9 @@ impl EventStore {
             self.count.fetch_sub(removed, Ordering::Relaxed);
         }
         if let Some(telemetry) = self.telemetry.read().as_ref() {
-            telemetry.size.set(self.count.load(Ordering::Relaxed) as i64);
+            telemetry
+                .size
+                .set(self.count.load(Ordering::Relaxed) as i64);
             for (shard, len) in shard_lens.into_iter().enumerate() {
                 telemetry.shard_events[shard].set(len as i64);
             }
@@ -507,6 +517,50 @@ impl EventStore {
                     .max()
             })
             .max()
+    }
+
+    /// Returns every event with insertion sequence `>= cursor`, in
+    /// arrival order, together with the cursor to pass on the next
+    /// poll.
+    ///
+    /// This is the live-tail API: a follower starts at `0` (full
+    /// history) or [`EventStore::tail_cursor`] (future events only)
+    /// and calls again with each returned cursor to receive exactly
+    /// the events that arrived in between. Per-shard vectors are not
+    /// sequence-sorted under concurrent writers, so each poll filters
+    /// and re-sorts the tail.
+    pub fn events_after(&self, cursor: u64) -> (Vec<Event>, u64) {
+        let mut fresh: Vec<StoredEvent> = Vec::new();
+        for shard in self.shards.iter() {
+            let inner = shard.inner.read();
+            fresh.extend(
+                inner
+                    .events
+                    .iter()
+                    .filter(|stored| stored.seq >= cursor)
+                    .cloned(),
+            );
+        }
+        fresh.sort_unstable_by_key(|stored| stored.seq);
+        let next = fresh.last().map(|stored| stored.seq + 1).unwrap_or(cursor);
+        (fresh.into_iter().map(|stored| stored.event).collect(), next)
+    }
+
+    /// The cursor positioned after every event recorded so far; a
+    /// tail started here sees only future events.
+    pub fn tail_cursor(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Every distinct request ID seen in the store, sorted.
+    pub fn request_ids(&self) -> Vec<Name> {
+        let mut ids: Vec<Name> = Vec::new();
+        for shard in self.shards.iter() {
+            ids.extend(shard.inner.read().ids.keys().cloned());
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
     }
 
     /// Serializes every event as newline-delimited JSON.
@@ -661,10 +715,12 @@ mod tests {
     fn id_index_exact_and_prefix_queries() {
         let store = EventStore::new();
         store.extend(sample_events()); // ids test-1 (x3), test-2
-        // Exact: uses the id index.
+                                       // Exact: uses the id index.
         let exact = store.query(&Query::new().with_request_id("test-1"));
         assert_eq!(exact.len(), 3);
-        assert!(exact.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        assert!(exact
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
         // Prefix: range-scans the id index.
         let prefix = store.query(&Query::new().with_id_pattern(Pattern::new("test-*")));
         assert_eq!(prefix.len(), 4);
@@ -796,7 +852,9 @@ mod tests {
         }
         assert_eq!(store.len(), 800);
         let sorted = store.snapshot();
-        assert!(sorted.windows(2).all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        assert!(sorted
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
     }
 
     #[test]
@@ -839,7 +897,11 @@ mod tests {
             Query::new().with_time_range(20, 51),
         ];
         for query in &queries {
-            assert_eq!(single.query(query), sharded.query(query), "query: {query:?}");
+            assert_eq!(
+                single.query(query),
+                sharded.query(query),
+                "query: {query:?}"
+            );
             assert_eq!(single.count(query), sharded.count(query));
         }
         assert_eq!(single.snapshot(), sharded.snapshot());
@@ -879,11 +941,16 @@ mod tests {
         let _ = store.query(&Query::edge("a", "b"));
         store.prune_before(25);
         let snap = registry.snapshot();
-        assert_eq!(snap.counter_value("gremlin_store_appends_total", &[]), Some(4));
+        assert_eq!(
+            snap.counter_value("gremlin_store_appends_total", &[]),
+            Some(4)
+        );
         // prune_before(25) drops timestamps 1, 10 and 20, keeping 30 and 40.
         assert_eq!(snap.gauge_value("gremlin_store_events", &[]), Some(2));
         assert_eq!(
-            snap.histogram("gremlin_store_query_seconds", &[]).unwrap().count(),
+            snap.histogram("gremlin_store_query_seconds", &[])
+                .unwrap()
+                .count(),
             1
         );
         store.clear();
@@ -910,6 +977,50 @@ mod tests {
             snap.gauge_value("gremlin_store_shard_events", &[("shard", "0")]),
             Some(0)
         );
+    }
+
+    #[test]
+    fn events_after_tails_in_arrival_order() {
+        let store = EventStore::with_shards(4);
+        store.extend(sample_events());
+        // From zero: full history in insertion (not timestamp) order.
+        let (all, cursor) = store.events_after(0);
+        assert_eq!(all.len(), 4);
+        let times: Vec<_> = all.iter().map(|e| e.timestamp_us).collect();
+        assert_eq!(times, vec![30, 10, 40, 20]);
+        // Nothing new: cursor is stable.
+        let (none, same) = store.events_after(cursor);
+        assert!(none.is_empty());
+        assert_eq!(same, cursor);
+        // New arrivals show up exactly once.
+        store.record_event(Event::request("x", "y", "GET", "/new").with_timestamp(5));
+        let (fresh, next) = store.events_after(cursor);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].src, "x");
+        assert!(next > cursor);
+    }
+
+    #[test]
+    fn tail_cursor_skips_history() {
+        let store = EventStore::new();
+        store.extend(sample_events());
+        let cursor = store.tail_cursor();
+        let (none, _) = store.events_after(cursor);
+        assert!(none.is_empty());
+        store.record_event(Event::request("x", "y", "GET", "/only-this"));
+        let (fresh, _) = store.events_after(cursor);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn request_ids_are_distinct_and_sorted() {
+        let store = EventStore::with_shards(3);
+        store.extend(sample_events()); // test-1 (x3), test-2
+        store.record_event(Event::request("a", "b", "GET", "/anon")); // no id
+        let ids = store.request_ids();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ids[0], "test-1");
+        assert_eq!(ids[1], "test-2");
     }
 
     #[test]

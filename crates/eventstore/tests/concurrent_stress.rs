@@ -10,8 +10,8 @@ use std::time::Duration;
 use gremlin_store::{Event, EventStore, Query};
 
 fn event(writer: usize, index: u64) -> Event {
-    let mut event = Event::request("web", "db", "GET", "/q")
-        .with_request_id(format!("test-{writer}-{index}"));
+    let mut event =
+        Event::request("web", "db", "GET", "/q").with_request_id(format!("test-{writer}-{index}"));
     // Deliberately non-monotonic timestamps so merge order is
     // exercised, with plenty of ties across writers.
     event.timestamp_us = index % 64;
@@ -114,8 +114,7 @@ fn batched_and_single_appends_interleave_without_reordering_ties() {
     let store = EventStore::with_shards(4);
     let mut expected = Vec::new();
     for index in 0..100u64 {
-        let mut e = Event::request("a", "b", "GET", "/x")
-            .with_request_id(format!("test-{index}"));
+        let mut e = Event::request("a", "b", "GET", "/x").with_request_id(format!("test-{index}"));
         e.timestamp_us = 42;
         expected.push(format!("test-{index}"));
         if index % 3 == 0 {

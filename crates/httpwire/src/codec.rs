@@ -123,6 +123,94 @@ pub fn read_response_with_limits<R: BufRead>(reader: &mut R, limits: Limits) -> 
     Ok(response)
 }
 
+/// Reads only the status line and headers of a response, leaving the
+/// body unread on `reader`.
+///
+/// This is the entry point for consuming streamed (chunked) responses
+/// incrementally: read the head, check `headers().is_chunked()`, then
+/// drain the body with a [`ChunkReader`].
+///
+/// # Errors
+///
+/// Returns [`HttpError::ConnectionClosed`] if the stream ends before a
+/// full head, or a protocol-specific variant on malformed input.
+pub fn read_response_head<R: BufRead>(reader: &mut R) -> Result<Response> {
+    let head = read_head(reader, Limits::default().max_head_bytes)?;
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| HttpError::InvalidStatusLine(String::new()))?;
+    let (status, reason) = parse_status_line(status_line)?;
+    let headers = parse_headers(lines)?;
+    let mut builder = Response::builder(status).reason(reason);
+    for (name, value) in headers.iter() {
+        builder = builder.header(name, value);
+    }
+    Ok(builder.build())
+}
+
+/// Incrementally reads the chunks of a `Transfer-Encoding: chunked`
+/// body, one [`next_chunk`](ChunkReader::next_chunk) call per chunk.
+///
+/// Unlike the buffered body readers this never waits for the whole
+/// body — each chunk is returned as soon as the peer flushes it, which
+/// is what a live event tail needs.
+#[derive(Debug)]
+pub struct ChunkReader<R: BufRead> {
+    reader: R,
+    done: bool,
+}
+
+impl<R: BufRead> ChunkReader<R> {
+    /// Wraps `reader`, positioned at the first chunk-size line (i.e.
+    /// immediately after [`read_response_head`]).
+    pub fn new(reader: R) -> ChunkReader<R> {
+        ChunkReader {
+            reader,
+            done: false,
+        }
+    }
+
+    /// Reads one chunk; returns `Ok(None)` once the terminal chunk
+    /// (and any trailers) have been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and malformed chunk framing. A closed
+    /// connection before the terminal chunk surfaces as
+    /// [`HttpError::ConnectionClosed`] — for a live tail that is the
+    /// normal way the stream ends.
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let line = read_line(&mut self.reader)?;
+        let size_text = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| HttpError::InvalidChunkSize(line.clone()))?;
+        if size == 0 {
+            loop {
+                let trailer = read_line(&mut self.reader)?;
+                if trailer.is_empty() {
+                    break;
+                }
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        let mut chunk = vec![0u8; size];
+        self.reader.read_exact(&mut chunk)?;
+        let mut crlf = [0u8; 2];
+        self.reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::InvalidChunkSize(
+                "missing chunk crlf".to_string(),
+            ));
+        }
+        Ok(Some(chunk))
+    }
+}
+
 /// Serializes `request` to `writer` as HTTP/1.1.
 ///
 /// The body is written with an explicit `Content-Length`; any
@@ -389,7 +477,9 @@ fn read_chunked_body<R: BufRead>(reader: &mut R, limit: usize) -> Result<Bytes> 
         let mut crlf = [0u8; 2];
         reader.read_exact(&mut crlf)?;
         if &crlf != b"\r\n" {
-            return Err(HttpError::InvalidChunkSize("missing chunk crlf".to_string()));
+            return Err(HttpError::InvalidChunkSize(
+                "missing chunk crlf".to_string(),
+            ));
         }
     }
 }
@@ -430,8 +520,7 @@ mod tests {
 
     #[test]
     fn parse_post_with_body() {
-        let req =
-            parse_req(b"POST /p HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        let req = parse_req(b"POST /p HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
         assert_eq!(&req.body()[..], b"hello");
     }
 
@@ -514,10 +603,7 @@ mod tests {
 
     #[test]
     fn parse_empty_stream_is_connection_closed() {
-        assert!(matches!(
-            parse_req(b""),
-            Err(HttpError::ConnectionClosed)
-        ));
+        assert!(matches!(parse_req(b""), Err(HttpError::ConnectionClosed)));
     }
 
     #[test]
@@ -660,6 +746,36 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert!(!text.to_lowercase().contains("transfer-encoding"));
         assert!(text.contains("Content-Length: 4\r\n"));
+    }
+
+    #[test]
+    fn read_head_then_chunks_incrementally() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nX-S: 1\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        let head = read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status(), StatusCode::OK);
+        assert!(head.headers().is_chunked());
+        assert_eq!(head.headers().get("x-s"), Some("1"));
+        assert!(head.body().is_empty());
+        let mut chunks = ChunkReader::new(reader);
+        assert_eq!(chunks.next_chunk().unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(
+            chunks.next_chunk().unwrap().as_deref(),
+            Some(&b" world"[..])
+        );
+        assert_eq!(chunks.next_chunk().unwrap(), None);
+        // Idempotent after the terminal chunk.
+        assert_eq!(chunks.next_chunk().unwrap(), None);
+    }
+
+    #[test]
+    fn chunk_reader_surfaces_truncation_as_closed() {
+        let raw = b"5\r\nhel";
+        let mut chunks = ChunkReader::new(BufReader::new(&raw[..]));
+        assert!(matches!(
+            chunks.next_chunk(),
+            Err(HttpError::ConnectionClosed) | Err(HttpError::Io(_))
+        ));
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub mod names {
     /// Added by Gremlin agents to responses they synthesize or touch,
     /// recording the fault action applied (for debugging test runs).
     pub const GREMLIN_ACTION: &str = "X-Gremlin-Action";
+    /// Span ID of the current intercepted call, minted by the agent
+    /// that forwarded the message (Dapper/Zipkin-style causal
+    /// tracing). Services copy this header onto their outbound calls
+    /// so the next agent can record it as the parent.
+    pub const SPAN_ID: &str = "X-Gremlin-Span";
+    /// Span ID of the causally enclosing call, stamped by the agent
+    /// alongside [`SPAN_ID`] when it forwards a message.
+    pub const PARENT_ID: &str = "X-Gremlin-Parent";
 }
 
 /// An ordered multimap of HTTP headers with case-insensitive name

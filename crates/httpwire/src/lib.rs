@@ -54,7 +54,7 @@ pub use headers::{names as header_names, HeaderMap};
 pub use message::{Request, RequestBuilder, Response, ResponseBuilder, HTTP_VERSION};
 pub use method::Method;
 pub use pool::ThreadPool;
-pub use server::{ConnInfo, Handler, HttpServer, ServerConfig};
+pub use server::{ChunkSink, ConnInfo, Handler, HttpServer, Reply, ServerConfig, StreamingBody};
 pub use status::StatusCode;
 pub use track::ConnTracker;
 

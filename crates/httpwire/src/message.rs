@@ -110,6 +110,28 @@ impl Request {
     pub fn set_request_id(&mut self, id: impl Into<String>) {
         self.headers.insert(names::REQUEST_ID, id.into());
     }
+
+    /// The propagated span ID (the
+    /// [`X-Gremlin-Span`](names::SPAN_ID) header), if present.
+    pub fn span_id(&self) -> Option<&str> {
+        self.headers.get(names::SPAN_ID)
+    }
+
+    /// Sets the propagated span ID.
+    pub fn set_span_id(&mut self, span: impl Into<String>) {
+        self.headers.insert(names::SPAN_ID, span.into());
+    }
+
+    /// The parent span ID (the
+    /// [`X-Gremlin-Parent`](names::PARENT_ID) header), if present.
+    pub fn parent_id(&self) -> Option<&str> {
+        self.headers.get(names::PARENT_ID)
+    }
+
+    /// Sets the parent span ID.
+    pub fn set_parent_id(&mut self, parent: impl Into<String>) {
+        self.headers.insert(names::PARENT_ID, parent.into());
+    }
 }
 
 impl fmt::Display for Request {
@@ -247,6 +269,11 @@ impl Response {
     /// The request ID echoed on this response, if any.
     pub fn request_id(&self) -> Option<&str> {
         self.headers.get(names::REQUEST_ID)
+    }
+
+    /// The span ID echoed on this response, if any.
+    pub fn span_id(&self) -> Option<&str> {
+        self.headers.get(names::SPAN_ID)
     }
 }
 

@@ -19,8 +19,7 @@ use crate::error::HttpError;
 /// assert_eq!(m, Method::Get);
 /// assert_eq!(m.as_str(), "GET");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Method {
     /// `GET`
     #[default]
@@ -71,7 +70,6 @@ impl Method {
         self.is_safe() || matches!(self, Method::Put | Method::Delete)
     }
 }
-
 
 impl fmt::Display for Method {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

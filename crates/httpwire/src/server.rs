@@ -24,21 +24,122 @@ pub struct ConnInfo {
     pub local_addr: SocketAddr,
 }
 
-/// A request handler: maps a request (plus connection metadata) to a
-/// response.
-///
-/// Implemented for all matching closures.
-pub trait Handler: Send + Sync + 'static {
-    /// Produces the response for `request`.
-    fn handle(&self, request: Request, conn: &ConnInfo) -> Response;
+/// What a [`Handler`] produces for one request: either a complete,
+/// buffered [`Response`] (the common case) or a [`StreamingBody`]
+/// written incrementally as chunks.
+pub enum Reply {
+    /// A fully-buffered response, framed with `Content-Length`.
+    Full(Response),
+    /// A chunked stream; the connection closes when it ends.
+    Stream(StreamingBody),
 }
 
-impl<F> Handler for F
+impl From<Response> for Reply {
+    fn from(response: Response) -> Reply {
+        Reply::Full(response)
+    }
+}
+
+impl From<StreamingBody> for Reply {
+    fn from(body: StreamingBody) -> Reply {
+        Reply::Stream(body)
+    }
+}
+
+/// A chunked (`Transfer-Encoding: chunked`) response produced
+/// incrementally by a handler — the server writes the head, then runs
+/// the producer, which pushes chunks into a [`ChunkSink`] for as long
+/// as it likes (a live event tail, for example). The connection is
+/// closed when the producer returns; a write error (client went away,
+/// server shutting down via [`ConnTracker`](crate::track::ConnTracker))
+/// surfaces as `Err` from [`ChunkSink::send`], which the producer
+/// should treat as its signal to stop.
+pub struct StreamingBody {
+    status: StatusCode,
+    headers: crate::headers::HeaderMap,
+    producer: Box<dyn FnOnce(&mut ChunkSink<'_>) -> std::io::Result<()> + Send>,
+}
+
+impl StreamingBody {
+    /// Creates a streaming reply with the given status; `producer` is
+    /// invoked on the connection's worker thread once the head has
+    /// been written.
+    pub fn new(
+        status: StatusCode,
+        producer: impl FnOnce(&mut ChunkSink<'_>) -> std::io::Result<()> + Send + 'static,
+    ) -> StreamingBody {
+        StreamingBody {
+            status,
+            headers: crate::headers::HeaderMap::new(),
+            producer: Box::new(producer),
+        }
+    }
+
+    /// Adds a header to the stream head. `Content-Length` and
+    /// `Transfer-Encoding` are managed by the server and ignored here.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> StreamingBody {
+        let name = name.into();
+        if !name.eq_ignore_ascii_case("content-length")
+            && !name.eq_ignore_ascii_case("transfer-encoding")
+        {
+            self.headers.append(name, value);
+        }
+        self
+    }
+}
+
+impl std::fmt::Debug for StreamingBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingBody")
+            .field("status", &self.status)
+            .field("headers", &self.headers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The producer side of a [`StreamingBody`]: each [`send`](ChunkSink::send)
+/// writes one HTTP chunk and flushes it to the client.
+pub struct ChunkSink<'a> {
+    writer: &'a mut dyn std::io::Write,
+}
+
+impl ChunkSink<'_> {
+    /// Writes `data` as one chunk and flushes. Empty data is skipped
+    /// (an empty chunk would terminate the stream).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors — typically the client disconnecting or
+    /// the server shutting the connection down, both of which mean the
+    /// producer should return.
+    pub fn send(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.writer, "{:x}\r\n", data.len())?;
+        self.writer.write_all(data)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()
+    }
+}
+
+/// A request handler: maps a request (plus connection metadata) to a
+/// reply.
+///
+/// Implemented for all closures returning anything convertible into a
+/// [`Reply`] — in particular plain [`Response`]-returning closures.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the reply for `request`.
+    fn handle(&self, request: Request, conn: &ConnInfo) -> Reply;
+}
+
+impl<F, R> Handler for F
 where
-    F: Fn(Request, &ConnInfo) -> Response + Send + Sync + 'static,
+    F: Fn(Request, &ConnInfo) -> R + Send + Sync + 'static,
+    R: Into<Reply>,
 {
-    fn handle(&self, request: Request, conn: &ConnInfo) -> Response {
-        self(request, conn)
+    fn handle(&self, request: Request, conn: &ConnInfo) -> Reply {
+        self(request, conn).into()
     }
 }
 
@@ -150,9 +251,7 @@ impl HttpServer {
                             pool.execute(move || {
                                 let conn = ConnInfo {
                                     peer_addr,
-                                    local_addr: stream
-                                        .local_addr()
-                                        .unwrap_or(peer_addr),
+                                    local_addr: stream.local_addr().unwrap_or(peer_addr),
                                 };
                                 let token = tracker.register(&stream);
                                 let _ = serve_connection(
@@ -251,21 +350,68 @@ fn serve_connection(
         };
         let close = request.headers().connection_close();
         let is_head = *request.method() == crate::Method::Head;
-        let mut response = handler.handle(request, conn);
+        let reply = handler.handle(request, conn);
         requests.fetch_add(1, Ordering::SeqCst);
-        let close = close || response.headers().connection_close();
-        if is_head {
-            // HEAD: status and headers only, no body. Content-Length
-            // is re-framed to 0 so the single codec stays
-            // self-consistent for clients that read the response.
-            response.set_body("");
-        }
-        let mut writer = BufWriter::new(stream.try_clone()?);
-        write_response(&mut writer, &response)?;
-        if close {
-            return Ok(());
+        match reply {
+            Reply::Full(mut response) => {
+                let close = close || response.headers().connection_close();
+                if is_head {
+                    // HEAD: status and headers only, no body.
+                    // Content-Length is re-framed to 0 so the single
+                    // codec stays self-consistent for clients that
+                    // read the response.
+                    response.set_body("");
+                }
+                let mut writer = BufWriter::new(stream.try_clone()?);
+                write_response(&mut writer, &response)?;
+                if close {
+                    return Ok(());
+                }
+            }
+            Reply::Stream(body) => {
+                // A stream owns the connection until it ends; the
+                // producer may block indefinitely (live tails), so
+                // clear the read timeout's influence by never reading
+                // again and close once the producer returns.
+                let mut writer = BufWriter::new(stream.try_clone()?);
+                write_stream_head(&mut writer, &body)?;
+                if !is_head {
+                    let mut sink = ChunkSink {
+                        writer: &mut writer,
+                    };
+                    // Producer errors are expected (client hung up,
+                    // tracker shutdown): the stream just ends.
+                    let _ = (body.producer)(&mut sink);
+                }
+                let _ = std::io::Write::write_all(&mut writer, b"0\r\n\r\n");
+                let _ = std::io::Write::flush(&mut writer);
+                return Ok(());
+            }
         }
     }
+}
+
+/// Writes the head of a chunked streaming response: status line,
+/// caller headers, then `Transfer-Encoding: chunked` and
+/// `Connection: close` framing.
+fn write_stream_head<W: std::io::Write>(writer: &mut W, body: &StreamingBody) -> Result<()> {
+    let mut head = String::with_capacity(128);
+    head.push_str(crate::message::HTTP_VERSION);
+    head.push(' ');
+    head.push_str(&body.status.to_string());
+    head.push(' ');
+    head.push_str(body.status.canonical_reason());
+    head.push_str("\r\n");
+    for (name, value) in body.headers.iter() {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.flush()?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -281,7 +427,9 @@ mod tests {
         })
         .unwrap();
         let client = HttpClient::new();
-        let resp = client.send(server.local_addr(), Request::get("/a")).unwrap();
+        let resp = client
+            .send(server.local_addr(), Request::get("/a"))
+            .unwrap();
         assert_eq!(resp.body_str(), "echo:/a");
         assert_eq!(server.requests_served(), 1);
     }
@@ -310,9 +458,10 @@ mod tests {
 
     #[test]
     fn keep_alive_across_requests() {
-        let server =
-            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok("k"))
-                .unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            Response::ok("k")
+        })
+        .unwrap();
         let client = HttpClient::new();
         for _ in 0..5 {
             client.send(server.local_addr(), Request::get("/")).unwrap();
@@ -325,9 +474,10 @@ mod tests {
     #[test]
     fn malformed_request_gets_400() {
         use std::io::{Read, Write};
-        let server =
-            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok("x"))
-                .unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            Response::ok("x")
+        })
+        .unwrap();
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         stream.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
         let mut buf = Vec::new();
@@ -338,9 +488,10 @@ mod tests {
 
     #[test]
     fn shutdown_joins_cleanly() {
-        let server =
-            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok(""))
-                .unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            Response::ok("")
+        })
+        .unwrap();
         let addr = server.local_addr();
         server.shutdown();
         // After shutdown the port should refuse (or at least not
@@ -378,10 +529,91 @@ mod tests {
     }
 
     #[test]
+    fn streaming_reply_delivers_chunks_incrementally() {
+        use crate::codec::{read_response_head, write_request, ChunkReader};
+        use std::io::BufReader;
+        use std::sync::mpsc;
+
+        // The producer emits one chunk per received token, so the
+        // client observes chunks strictly before the stream ends.
+        let (tx, rx) = mpsc::channel::<String>();
+        let rx = std::sync::Mutex::new(rx);
+        let server = HttpServer::bind("127.0.0.1:0", move |_req: Request, _conn: &ConnInfo| {
+            let rx = rx.lock().unwrap();
+            let mut lines: Vec<String> = Vec::new();
+            while let Ok(line) = rx.recv() {
+                lines.push(line);
+            }
+            crate::server::StreamingBody::new(StatusCode::OK, move |sink| {
+                for line in lines {
+                    sink.send(line.as_bytes())?;
+                }
+                Ok(())
+            })
+            .header("Content-Type", "application/x-ndjson")
+            .header("Content-Length", "ignored")
+        })
+        .unwrap();
+
+        tx.send("one\n".to_string()).unwrap();
+        tx.send("two\n".to_string()).unwrap();
+        drop(tx);
+
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        write_request(&mut write_half, &Request::get("/tail")).unwrap();
+        let mut reader = BufReader::new(stream);
+        let head = read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status(), StatusCode::OK);
+        assert!(head.headers().is_chunked());
+        assert!(head.headers().connection_close());
+        assert_eq!(
+            head.headers().get("content-type"),
+            Some("application/x-ndjson")
+        );
+        // The blocked Content-Length header was dropped.
+        assert!(head.headers().get("content-length").is_none());
+        let mut chunks = ChunkReader::new(reader);
+        assert_eq!(chunks.next_chunk().unwrap().as_deref(), Some(&b"one\n"[..]));
+        assert_eq!(chunks.next_chunk().unwrap().as_deref(), Some(&b"two\n"[..]));
+        assert_eq!(chunks.next_chunk().unwrap(), None);
+    }
+
+    #[test]
+    fn shutdown_unblocks_streaming_producer() {
+        use crate::codec::{read_response_head, write_request};
+        use std::io::BufReader;
+
+        // A producer that streams forever; shutdown_all must break its
+        // write and let the server join.
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            crate::server::StreamingBody::new(StatusCode::OK, |sink| loop {
+                sink.send(b"tick\n")?;
+                thread::sleep(Duration::from_millis(5));
+            })
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut write_half = stream.try_clone().unwrap();
+        write_request(&mut write_half, &Request::get("/tail")).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let head = read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status(), StatusCode::OK);
+        // Close the client side; the producer's next send hits a
+        // broken pipe. Then shutdown must join promptly even though a
+        // stream was in flight.
+        drop(reader);
+        drop(write_half);
+        drop(stream);
+        server.shutdown();
+    }
+
+    #[test]
     fn connection_close_header_closes() {
-        let server =
-            HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| Response::ok("c"))
-                .unwrap();
+        let server = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+            Response::ok("c")
+        })
+        .unwrap();
         let client = HttpClient::new();
         let req = Request::builder(crate::Method::Get, "/")
             .header("Connection", "close")

@@ -278,8 +278,9 @@ impl LoadGenerator {
                     let mut outcomes = Vec::with_capacity(requests_per_worker);
                     for _ in 0..requests_per_worker {
                         let seq = sequence.fetch_add(1, Ordering::Relaxed);
-                        outcomes
-                            .push(generator.issue(&client, &format!("{}-{seq}", generator.id_prefix)));
+                        outcomes.push(
+                            generator.issue(&client, &format!("{}-{seq}", generator.id_prefix)),
+                        );
                         if !generator.think_time.is_zero() {
                             thread::sleep(generator.think_time);
                         }
@@ -376,7 +377,9 @@ mod tests {
             Some(1)
         );
         assert_eq!(
-            snap.histogram("gremlin_loadgen_latency_seconds", &[]).unwrap().count(),
+            snap.histogram("gremlin_loadgen_latency_seconds", &[])
+                .unwrap()
+                .count(),
             5
         );
     }
@@ -396,8 +399,8 @@ mod tests {
     #[test]
     fn open_loop_respects_duration() {
         let server = echo_server();
-        let report = LoadGenerator::new(server.local_addr())
-            .run_open(50.0, Duration::from_millis(300));
+        let report =
+            LoadGenerator::new(server.local_addr()).run_open(50.0, Duration::from_millis(300));
         // ~15 requests expected; allow broad slack for CI noise.
         assert!(report.len() >= 5, "got {}", report.len());
         assert!(report.wall >= Duration::from_millis(300));

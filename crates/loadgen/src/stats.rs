@@ -146,10 +146,7 @@ impl Cdf {
     /// The latency at quantile `q` (the CDF's inverse); `None` when
     /// empty.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        percentile(
-            &self.points.iter().map(|(l, _)| *l).collect::<Vec<_>>(),
-            q,
-        )
+        percentile(&self.points.iter().map(|(l, _)| *l).collect::<Vec<_>>(), q)
     }
 
     /// Renders the CDF as sampled rows (`quantiles` evenly spaced

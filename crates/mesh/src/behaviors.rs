@@ -51,7 +51,9 @@ impl ServiceBehavior for StaticResponder {
         if self.work > Duration::ZERO {
             std::thread::sleep(self.work);
         }
-        Response::builder(self.status).body(self.body.clone()).build()
+        Response::builder(self.status)
+            .body(self.body.clone())
+            .build()
     }
 }
 
@@ -201,11 +203,9 @@ impl ServiceBehavior for PathRouter {
                             .body(format!("{dst} circuit open"))
                             .build()
                     }
-                    Err(err) if err.is_handleable() => {
-                        Response::builder(StatusCode::BAD_GATEWAY)
-                            .body(format!("{dst} unavailable"))
-                            .build()
-                    }
+                    Err(err) if err.is_handleable() => Response::builder(StatusCode::BAD_GATEWAY)
+                        .body(format!("{dst} unavailable"))
+                        .build(),
                     Err(err) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
                         .body(format!("unhandled error: {err}"))
                         .build(),

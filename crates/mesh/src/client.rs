@@ -183,7 +183,9 @@ impl DependencyClient {
             registry,
             http,
             retry: policy.retry.clone(),
-            breaker: policy.circuit_breaker.map(|c| Arc::new(CircuitBreaker::new(c))),
+            breaker: policy
+                .circuit_breaker
+                .map(|c| Arc::new(CircuitBreaker::new(c))),
             bulkhead: policy.bulkhead.map(Bulkhead::new),
             shared_pool,
             unirest_connect_bug: policy.unirest_connect_bug,
@@ -370,8 +372,8 @@ mod tests {
         })
         .unwrap();
         let registry = registry_with("b", server.local_addr());
-        let policy = ResiliencePolicy::new()
-            .retry(RetryPolicy::new(4).with_backoff(Backoff::none()));
+        let policy =
+            ResiliencePolicy::new().retry(RetryPolicy::new(4).with_backoff(Backoff::none()));
         let client = DependencyClient::new("a", "b", &policy, registry);
         let resp = client.call(Request::get("/")).unwrap();
         assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
@@ -391,8 +393,8 @@ mod tests {
         })
         .unwrap();
         let registry = registry_with("b", server.local_addr());
-        let policy = ResiliencePolicy::new()
-            .retry(RetryPolicy::new(5).with_backoff(Backoff::none()));
+        let policy =
+            ResiliencePolicy::new().retry(RetryPolicy::new(5).with_backoff(Backoff::none()));
         let client = DependencyClient::new("a", "b", &policy, registry);
         let resp = client.call(Request::get("/")).unwrap();
         assert_eq!(resp.body_str(), "recovered");
@@ -408,8 +410,8 @@ mod tests {
         })
         .unwrap();
         let registry = registry_with("b", server.local_addr());
-        let policy = ResiliencePolicy::new()
-            .retry(RetryPolicy::new(5).with_backoff(Backoff::none()));
+        let policy =
+            ResiliencePolicy::new().retry(RetryPolicy::new(5).with_backoff(Backoff::none()));
         let client = DependencyClient::new("a", "b", &policy, registry);
         let resp = client.call(Request::get("/")).unwrap();
         assert_eq!(resp.status(), StatusCode::NOT_FOUND);

@@ -260,10 +260,7 @@ impl Deployment {
     /// Every agent instance fronting `service` (one per replica,
     /// paper Figure 3).
     pub fn agents_for(&self, service: &str) -> &[Arc<GremlinAgent>] {
-        self.agents
-            .get(service)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.agents.get(service).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Every agent in the deployment, ordered by service name then
@@ -420,7 +417,7 @@ mod tests {
             .agent("serviceA")
             .unwrap()
             .install_rules(&[
-                Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
+                Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*")
             ])
             .unwrap();
         let resp = deployment.call_with_id("serviceA", "/", "test-2").unwrap();
@@ -497,9 +494,7 @@ mod tests {
     #[test]
     fn replicas_get_proxied_round_robin() {
         let deployment = Deployment::builder()
-            .service(
-                ServiceSpec::new("serviceB", StaticResponder::ok("b")).replicas(2),
-            )
+            .service(ServiceSpec::new("serviceB", StaticResponder::ok("b")).replicas(2))
             .service(
                 ServiceSpec::new("serviceA", Aggregator::new(vec!["serviceB".into()], "/"))
                     .dependency("serviceB", ResiliencePolicy::new()),

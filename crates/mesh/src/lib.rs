@@ -57,9 +57,7 @@ pub use deployment::{Deployment, DeploymentBuilder};
 pub use error::MeshError;
 pub use registry::ServiceRegistry;
 pub use registry_server::RegistryServer;
-pub use service::{
-    DependencySpec, Microservice, RequestContext, ServiceBehavior, ServiceSpec,
-};
+pub use service::{DependencySpec, Microservice, RequestContext, ServiceBehavior, ServiceSpec};
 
 /// Result alias used throughout this crate.
 pub type Result<T> = std::result::Result<T, MeshError>;

@@ -44,7 +44,11 @@ impl ServiceRegistry {
 
     /// Records an instance of `service` listening at `addr`.
     pub fn register_instance(&self, service: impl Into<String>, addr: SocketAddr) {
-        self.instances.write().entry(service.into()).or_default().push(addr);
+        self.instances
+            .write()
+            .entry(service.into())
+            .or_default()
+            .push(addr);
     }
 
     /// All known instances of `service`.
@@ -65,12 +69,7 @@ impl ServiceRegistry {
 
     /// Sets the address `src` must dial to reach `dst` (normally the
     /// local Gremlin agent's route listener).
-    pub fn set_route(
-        &self,
-        src: impl Into<String>,
-        dst: impl Into<String>,
-        addr: SocketAddr,
-    ) {
+    pub fn set_route(&self, src: impl Into<String>, dst: impl Into<String>, addr: SocketAddr) {
         self.routes.write().insert((src.into(), dst.into()), addr);
     }
 
@@ -90,7 +89,10 @@ impl ServiceRegistry {
             }
         }
         drop(routes);
-        self.instances.read().get(dst).and_then(|v| v.first().copied())
+        self.instances
+            .read()
+            .get(dst)
+            .and_then(|v| v.first().copied())
     }
 
     /// Removes all instances of `service` (emulating that every

@@ -58,9 +58,7 @@ impl RegistryServer {
 fn handle(registry: &Arc<ServiceRegistry>, request: Request) -> Response {
     let path = request.path().to_string();
     match (request.method().clone(), path.as_str()) {
-        (Method::Get, "/services") => {
-            json_ok(serde_json_array(registry.services().into_iter()))
-        }
+        (Method::Get, "/services") => json_ok(serde_json_array(registry.services().into_iter())),
         (Method::Get, _) if path.starts_with("/instances/") => {
             let service = &path["/instances/".len()..];
             let instances = registry

@@ -227,20 +227,14 @@ mod tests {
     #[test]
     fn run_recovers_mid_way() {
         let policy = RetryPolicy::new(5).with_backoff(Backoff::none());
-        let result: Result<u32, ()> = policy.run(|attempt| {
-            if attempt < 2 {
-                Err(())
-            } else {
-                Ok(attempt)
-            }
-        });
+        let result: Result<u32, ()> =
+            policy.run(|attempt| if attempt < 2 { Err(()) } else { Ok(attempt) });
         assert_eq!(result.unwrap(), 2);
     }
 
     #[test]
     fn run_sleeps_between_attempts() {
-        let policy =
-            RetryPolicy::new(3).with_backoff(Backoff::constant(Duration::from_millis(20)));
+        let policy = RetryPolicy::new(3).with_backoff(Backoff::constant(Duration::from_millis(20)));
         let started = Instant::now();
         let _: Result<(), ()> = policy.run(|_| Err(()));
         // Two sleeps of 20ms between three attempts.

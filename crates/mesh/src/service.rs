@@ -38,6 +38,7 @@ where
 pub struct RequestContext<'a> {
     service: &'a str,
     request_id: Option<String>,
+    span_id: Option<String>,
     deps: &'a HashMap<String, Arc<DependencyClient>>,
 }
 
@@ -53,8 +54,16 @@ impl<'a> RequestContext<'a> {
         self.request_id.as_deref()
     }
 
+    /// The span ID the upstream agent minted for the call currently
+    /// being handled, if the incoming request carried one.
+    pub fn span_id(&self) -> Option<&str> {
+        self.span_id.as_deref()
+    }
+
     /// Calls dependency `dst` with `request`, stamping the propagated
-    /// request ID and applying the edge's resilience policy.
+    /// request ID and span ID (so the sidecar agent can record this
+    /// service's current span as the outbound call's parent) and
+    /// applying the edge's resilience policy.
     ///
     /// # Errors
     ///
@@ -69,6 +78,11 @@ impl<'a> RequestContext<'a> {
         if let Some(id) = &self.request_id {
             if request.request_id().is_none() {
                 request.set_request_id(id.clone());
+            }
+        }
+        if let Some(span) = &self.span_id {
+            if request.span_id().is_none() {
+                request.set_span_id(span.clone());
             }
         }
         client.call(request)
@@ -224,9 +238,7 @@ impl Microservice {
             // clients, its own shared call pool, and (in proxied
             // deployments) its own sidecar agent resolved through the
             // instance key.
-            let shared_pool = spec
-                .shared_call_pool
-                .map(crate::resilience::CallPool::new);
+            let shared_pool = spec.shared_call_pool.map(crate::resilience::CallPool::new);
             let source_key = crate::registry::instance_key(&spec.name, replica);
             let mut deps: HashMap<String, Arc<DependencyClient>> = HashMap::new();
             for dependency in &spec.dependencies {
@@ -253,6 +265,7 @@ impl Microservice {
                     let ctx = RequestContext {
                         service: &name,
                         request_id: request.request_id().map(str::to_string),
+                        span_id: request.span_id().map(str::to_string),
                         deps: &deps_for_handler,
                     };
                     let outcome =
@@ -316,11 +329,7 @@ impl Microservice {
     }
 
     /// A specific replica's dependency client for `dst`.
-    pub fn replica_dependency(
-        &self,
-        replica: usize,
-        dst: &str,
-    ) -> Option<&Arc<DependencyClient>> {
+    pub fn replica_dependency(&self, replica: usize, dst: &str) -> Option<&Arc<DependencyClient>> {
         self.deps.get(replica).and_then(|map| map.get(dst))
     }
 
@@ -357,7 +366,9 @@ mod tests {
         let resp = client
             .send(
                 service.addr(),
-                Request::builder(Method::Get, "/p").request_id("test-1").build(),
+                Request::builder(Method::Get, "/p")
+                    .request_id("test-1")
+                    .build(),
             )
             .unwrap();
         assert_eq!(resp.body_str(), "svc:/p:test-1");
@@ -390,34 +401,72 @@ mod tests {
     #[test]
     fn context_calls_dependency_and_propagates_id() {
         let registry = ServiceRegistry::shared();
-        let backend_spec = ServiceSpec::new(
-            "backend",
-            |_req: &Request, ctx: &RequestContext<'_>| {
+        let backend_spec =
+            ServiceSpec::new("backend", |_req: &Request, ctx: &RequestContext<'_>| {
                 Response::ok(format!("backend saw {}", ctx.request_id().unwrap_or("-")))
-            },
-        );
+            });
         let _backend = Microservice::start(&backend_spec, Arc::clone(&registry)).unwrap();
 
-        let front_spec = ServiceSpec::new(
-            "front",
-            |_req: &Request, ctx: &RequestContext<'_>| match ctx.get("backend", "/inner") {
-                Ok(resp) => Response::ok(format!("front got: {}", resp.body_str())),
-                Err(err) => Response::builder(StatusCode::BAD_GATEWAY)
-                    .body(err.to_string())
-                    .build(),
-            },
-        )
-        .dependency("backend", ResiliencePolicy::new());
+        let front_spec =
+            ServiceSpec::new(
+                "front",
+                |_req: &Request, ctx: &RequestContext<'_>| match ctx.get("backend", "/inner") {
+                    Ok(resp) => Response::ok(format!("front got: {}", resp.body_str())),
+                    Err(err) => Response::builder(StatusCode::BAD_GATEWAY)
+                        .body(err.to_string())
+                        .build(),
+                },
+            )
+            .dependency("backend", ResiliencePolicy::new());
         let front = Microservice::start(&front_spec, registry).unwrap();
 
         let client = HttpClient::new();
         let resp = client
             .send(
                 front.addr(),
-                Request::builder(Method::Get, "/outer").request_id("test-xyz").build(),
+                Request::builder(Method::Get, "/outer")
+                    .request_id("test-xyz")
+                    .build(),
             )
             .unwrap();
         assert_eq!(resp.body_str(), "front got: backend saw test-xyz");
+    }
+
+    #[test]
+    fn context_forwards_span_header_to_dependency() {
+        let registry = ServiceRegistry::shared();
+        let backend_spec = ServiceSpec::new(
+            "span-backend",
+            |request: &Request, _ctx: &RequestContext<'_>| {
+                Response::ok(format!("span={}", request.span_id().unwrap_or("-")))
+            },
+        );
+        let _backend = Microservice::start(&backend_spec, Arc::clone(&registry)).unwrap();
+
+        let front_spec = ServiceSpec::new(
+            "span-front",
+            |_req: &Request, ctx: &RequestContext<'_>| match ctx.get("span-backend", "/inner") {
+                Ok(resp) => resp,
+                Err(err) => Response::builder(StatusCode::BAD_GATEWAY)
+                    .body(err.to_string())
+                    .build(),
+            },
+        )
+        .dependency("span-backend", ResiliencePolicy::new());
+        let front = Microservice::start(&front_spec, registry).unwrap();
+
+        let client = HttpClient::new();
+        let with_span = Request::builder(Method::Get, "/outer")
+            .header(header_names::SPAN_ID, "deadbeef00000001")
+            .build();
+        let resp = client.send(front.addr(), with_span).unwrap();
+        // Without an agent between the services the header arrives
+        // verbatim; with agents, each hop replaces it with a fresh
+        // span and moves this one into X-Gremlin-Parent.
+        assert_eq!(resp.body_str(), "span=deadbeef00000001");
+
+        let resp = client.send(front.addr(), Request::get("/outer")).unwrap();
+        assert_eq!(resp.body_str(), "span=-");
     }
 
     #[test]
@@ -439,12 +488,9 @@ mod tests {
     #[test]
     fn dependencies_listing() {
         let registry = ServiceRegistry::shared();
-        let spec = ServiceSpec::new(
-            "svc",
-            |_req: &Request, ctx: &RequestContext<'_>| {
-                Response::ok(ctx.dependencies().join(","))
-            },
-        )
+        let spec = ServiceSpec::new("svc", |_req: &Request, ctx: &RequestContext<'_>| {
+            Response::ok(ctx.dependencies().join(","))
+        })
         .dependency("zeta", ResiliencePolicy::new())
         .dependency("alpha", ResiliencePolicy::new());
         let service = Microservice::start(&spec, registry).unwrap();

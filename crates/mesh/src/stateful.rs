@@ -87,12 +87,9 @@ impl ServiceBehavior for Arc<MessageBus> {
             // forwarding is configured.
             let forwarded = match &self.forward_to {
                 Some(dst) => {
-                    let mut forward = Request::builder(
-                        gremlin_http::Method::Post,
-                        "/write",
-                    )
-                    .body(request.body().clone())
-                    .build();
+                    let mut forward = Request::builder(gremlin_http::Method::Post, "/write")
+                        .body(request.body().clone())
+                        .build();
                     if let Some(id) = ctx.request_id() {
                         forward.set_request_id(id.to_string());
                     }
@@ -120,7 +117,9 @@ impl ServiceBehavior for Arc<MessageBus> {
             }
             queue.push(request.body().to_vec());
             self.published.fetch_add(1, Ordering::Relaxed);
-            Response::builder(StatusCode::ACCEPTED).body("queued").build()
+            Response::builder(StatusCode::ACCEPTED)
+                .body("queued")
+                .build()
         } else if let Some(topic) = path.strip_prefix("/consume/") {
             let mut topics = self.topics.lock();
             match topics.get_mut(topic).and_then(|queue| {
@@ -288,7 +287,11 @@ impl ServiceBehavior for BillingService {
         if request.path() != "/bill" {
             return Response::error(StatusCode::NOT_FOUND);
         }
-        let attempts = if self.retry_on_timeout { self.max_tries } else { 1 };
+        let attempts = if self.retry_on_timeout {
+            self.max_tries
+        } else {
+            1
+        };
         let mut last_error = None;
         for _ in 0..attempts {
             let charge = Request::builder(gremlin_http::Method::Post, "/charge").build();
@@ -326,10 +329,7 @@ mod tests {
 
     fn send(addr: std::net::SocketAddr, method: Method, path: &str, id: &str) -> Response {
         HttpClient::new()
-            .send(
-                addr,
-                Request::builder(method, path).request_id(id).build(),
-            )
+            .send(addr, Request::builder(method, path).request_id(id).build())
             .unwrap()
     }
 
@@ -373,14 +373,17 @@ mod tests {
         // No "store" service registered: forwards always fail.
         let bus = MessageBus::forwarding(3, "store");
         let svc = Microservice::start(
-            &ServiceSpec::new("bus", Arc::clone(&bus))
-                .dependency("store", ResiliencePolicy::new()),
+            &ServiceSpec::new("bus", Arc::clone(&bus)).dependency("store", ResiliencePolicy::new()),
             registry,
         )
         .unwrap();
         for i in 0..3 {
             let resp = send(svc.addr(), Method::Post, "/publish/t", &format!("test-{i}"));
-            assert_eq!(resp.status(), StatusCode::ACCEPTED, "queued while store down");
+            assert_eq!(
+                resp.status(),
+                StatusCode::ACCEPTED,
+                "queued while store down"
+            );
         }
         // The queue is now full: the failure has percolated to
         // publishers.
@@ -393,17 +396,13 @@ mod tests {
     fn forwarding_bus_passes_through_when_store_up() {
         let registry = ServiceRegistry::shared();
         let _store = Microservice::start(
-            &ServiceSpec::new(
-                "store",
-                crate::behaviors::StaticResponder::ok("stored"),
-            ),
+            &ServiceSpec::new("store", crate::behaviors::StaticResponder::ok("stored")),
             Arc::clone(&registry),
         )
         .unwrap();
         let bus = MessageBus::forwarding(2, "store");
         let svc = Microservice::start(
-            &ServiceSpec::new("bus", Arc::clone(&bus))
-                .dependency("store", ResiliencePolicy::new()),
+            &ServiceSpec::new("bus", Arc::clone(&bus)).dependency("store", ResiliencePolicy::new()),
             registry,
         )
         .unwrap();
@@ -423,8 +422,10 @@ mod tests {
         .unwrap();
         let cache = CachingAggregator::new("db", "/q");
         let svc = Microservice::start(
-            &ServiceSpec::new("web", Arc::clone(&cache))
-                .dependency("db", ResiliencePolicy::new().timeout(std::time::Duration::from_millis(500))),
+            &ServiceSpec::new("web", Arc::clone(&cache)).dependency(
+                "db",
+                ResiliencePolicy::new().timeout(std::time::Duration::from_millis(500)),
+            ),
             Arc::clone(&registry),
         )
         .unwrap();
@@ -458,11 +459,8 @@ mod tests {
     fn charge_ledger_counts_per_flow() {
         let registry = ServiceRegistry::shared();
         let ledger = ChargeLedger::new();
-        let svc = Microservice::start(
-            &ServiceSpec::new("payments", Arc::clone(&ledger)),
-            registry,
-        )
-        .unwrap();
+        let svc = Microservice::start(&ServiceSpec::new("payments", Arc::clone(&ledger)), registry)
+            .unwrap();
         send(svc.addr(), Method::Post, "/charge", "test-cust-1");
         send(svc.addr(), Method::Post, "/charge", "test-cust-1");
         send(svc.addr(), Method::Post, "/charge", "test-cust-2");
@@ -483,11 +481,14 @@ mod tests {
         )
         .unwrap();
         let billing = Microservice::start(
-            &ServiceSpec::new("billing", BillingService::new("payments").with_naive_retries(3))
-                .dependency(
-                    "payments",
-                    ResiliencePolicy::new().timeout(std::time::Duration::from_secs(1)),
-                ),
+            &ServiceSpec::new(
+                "billing",
+                BillingService::new("payments").with_naive_retries(3),
+            )
+            .dependency(
+                "payments",
+                ResiliencePolicy::new().timeout(std::time::Duration::from_secs(1)),
+            ),
             registry,
         )
         .unwrap();

@@ -69,6 +69,11 @@ pub struct AgentConfig {
     /// Metrics registry to record into; `None` creates a private one
     /// (still reachable via [`GremlinAgent::telemetry`]).
     pub telemetry: Option<Arc<MetricsRegistry>>,
+    /// Whether the agent mints span IDs and propagates the
+    /// `X-Gremlin-Span`/`X-Gremlin-Parent` tracing headers (on by
+    /// default; benchmarks can switch it off to measure the
+    /// propagation overhead).
+    pub tracing: bool,
 }
 
 impl AgentConfig {
@@ -83,6 +88,7 @@ impl AgentConfig {
             client: ClientConfig::default(),
             seed: None,
             telemetry: None,
+            tracing: true,
         }
     }
 
@@ -143,6 +149,12 @@ impl AgentConfig {
     /// a private one.
     pub fn telemetry(mut self, registry: &Arc<MetricsRegistry>) -> AgentConfig {
         self.telemetry = Some(Arc::clone(registry));
+        self
+    }
+
+    /// Enables or disables causal-tracing header propagation.
+    pub fn tracing(mut self, enabled: bool) -> AgentConfig {
+        self.tracing = enabled;
         self
     }
 }
@@ -249,6 +261,7 @@ struct Inner {
     tracker: ConnTracker,
     registry: Arc<MetricsRegistry>,
     metrics: AgentMetrics,
+    tracing: bool,
 }
 
 /// A running Gremlin agent.
@@ -297,7 +310,10 @@ impl GremlinAgent {
     /// # Errors
     ///
     /// Returns an error if any listener fails to bind.
-    pub fn start(config: AgentConfig, sink: Arc<dyn EventSink>) -> Result<GremlinAgent, ProxyError> {
+    pub fn start(
+        config: AgentConfig,
+        sink: Arc<dyn EventSink>,
+    ) -> Result<GremlinAgent, ProxyError> {
         let table = match config.seed {
             Some(seed) => RuleTable::with_seed(seed),
             None => RuleTable::new(),
@@ -318,6 +334,7 @@ impl GremlinAgent {
             tracker: ConnTracker::new(),
             registry,
             metrics,
+            tracing: config.tracing,
         });
 
         let pool = Arc::new(ThreadPool::new(config.workers.max(1), &config.name));
@@ -465,8 +482,7 @@ impl GremlinAgent {
             // a throwaway loopback connection wakes it so it can see
             // the flag and exit.
             for route in &self.routes {
-                let _ =
-                    TcpStream::connect_timeout(&route.local_addr, Duration::from_millis(200));
+                let _ = TcpStream::connect_timeout(&route.local_addr, Duration::from_millis(200));
             }
         }
         self.inner.tracker.shutdown_all();
@@ -529,6 +545,15 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     // Interned once: every later use (three events, two header echoes)
     // is an `Arc` refcount bump instead of a fresh String.
     let request_id = request.request_id().map(Name::from);
+    // Causal tracing: the incoming X-Gremlin-Span (stamped by the
+    // calling service from the span its own agent minted) becomes
+    // this call's parent; a fresh span ID identifies the call itself.
+    let (span_id, parent_id) = if inner.tracing {
+        let parent = request.span_id().map(Name::from);
+        (Some(Name::from(crate::rng::mint_span_id())), parent)
+    } else {
+        (None, None)
+    };
     let src = inner.service.as_str();
     let dst = route.dst.as_str();
 
@@ -548,6 +573,8 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     )
     .with_agent(inner.name.clone());
     request_event.request_id = request_id.clone();
+    request_event.span_id = span_id.clone();
+    request_event.parent_id = parent_id.clone();
     request_event.timestamp_us = now_micros();
     if let Some(rule) = &request_rule {
         request_event.fault = Some(applied_fault(&rule.action));
@@ -560,7 +587,15 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     if let Some(rule) = &request_rule {
         match &rule.action {
             FaultAction::Abort { abort } => {
-                return finish_abort(*abort, started, &request_id, route, inner);
+                return finish_abort(
+                    *abort,
+                    started,
+                    &request_id,
+                    &span_id,
+                    &parent_id,
+                    route,
+                    inner,
+                );
             }
             FaultAction::Delay { interval } => {
                 thread::sleep(*interval);
@@ -584,7 +619,19 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
 
     // --- Forward upstream -------------------------------------------
     let upstream = pick_upstream(route);
-    let forwarded = prepare_forwarded(&request);
+    let mut forwarded = prepare_forwarded(&request);
+    if let Some(span) = &span_id {
+        // The upstream (and any service behind it) sees this call's
+        // span as the current span; the caller's span rides along as
+        // the parent so the next hop's agent can record the edge.
+        forwarded.set_span_id(span.as_str());
+        match &parent_id {
+            Some(parent) => forwarded.set_parent_id(parent.as_str()),
+            None => {
+                forwarded.headers_mut().remove(header_names::PARENT_ID);
+            }
+        }
+    }
     let send_started = Instant::now();
     let result = match upstream {
         Some(addr) => inner.client.send(addr, forwarded),
@@ -615,13 +662,20 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
             )
             .with_agent(inner.name.clone());
             event.request_id = request_id.clone();
+            event.span_id = span_id.clone();
+            event.parent_id = parent_id.clone();
             if let Some(fault) = &request_side_fault {
                 event.fault = Some(fault.clone());
             }
             inner.sink.record(event);
             let mut resp = Response::error(status);
             if let Some(id) = &request_id {
-                resp.headers_mut().insert(header_names::REQUEST_ID, id.clone());
+                resp.headers_mut()
+                    .insert(header_names::REQUEST_ID, id.clone());
+            }
+            if let Some(span) = &span_id {
+                resp.headers_mut()
+                    .insert(header_names::SPAN_ID, span.clone());
             }
             return Some(resp);
         }
@@ -638,7 +692,15 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     if let Some(rule) = &response_rule {
         match &rule.action {
             FaultAction::Abort { abort } => {
-                return finish_abort(*abort, started, &request_id, route, inner);
+                return finish_abort(
+                    *abort,
+                    started,
+                    &request_id,
+                    &span_id,
+                    &parent_id,
+                    route,
+                    inner,
+                );
             }
             FaultAction::Delay { interval } => {
                 thread::sleep(*interval);
@@ -669,11 +731,18 @@ fn process_message(request: Request, route: &RouteState, inner: &Inner) -> Optio
     )
     .with_agent(inner.name.clone());
     event.request_id = request_id.clone();
+    event.span_id = span_id.clone();
+    event.parent_id = parent_id.clone();
     event.fault = response_side_fault.or(request_side_fault);
     if let Some(fault) = &event.fault {
         response
             .headers_mut()
             .insert(header_names::GREMLIN_ACTION, fault.to_string());
+    }
+    if let Some(span) = &span_id {
+        response
+            .headers_mut()
+            .insert(header_names::SPAN_ID, span.clone());
     }
     inner.sink.record(event);
     Some(response)
@@ -685,6 +754,8 @@ fn finish_abort(
     abort: AbortKind,
     started: Instant,
     request_id: &Option<Name>,
+    span_id: &Option<Name>,
+    parent_id: &Option<Name>,
     route: &RouteState,
     inner: &Inner,
 ) -> Option<Response> {
@@ -702,6 +773,8 @@ fn finish_abort(
     .with_agent(inner.name.clone())
     .with_fault(fault.clone());
     event.request_id = request_id.clone();
+    event.span_id = span_id.clone();
+    event.parent_id = parent_id.clone();
     inner.sink.record(event);
 
     match abort {
@@ -715,6 +788,11 @@ fn finish_abort(
                 response
                     .headers_mut()
                     .insert(header_names::REQUEST_ID, id.clone());
+            }
+            if let Some(span) = span_id {
+                response
+                    .headers_mut()
+                    .insert(header_names::SPAN_ID, span.clone());
             }
             Some(response)
         }
@@ -780,7 +858,10 @@ mod tests {
 
     #[test]
     fn replace_bytes_basic() {
-        assert_eq!(replace_bytes_in(b"key=value", "key", "badkey"), b"badkey=value");
+        assert_eq!(
+            replace_bytes_in(b"key=value", "key", "badkey"),
+            b"badkey=value"
+        );
         assert_eq!(replace_bytes_in(b"aaa", "a", "b"), b"bbb");
         assert_eq!(replace_bytes_in(b"none", "x", "y"), b"none");
         assert_eq!(replace_bytes_in(b"", "x", "y"), b"");

@@ -16,7 +16,9 @@ use std::time::Duration;
 
 use std::time::Instant;
 
-use gremlin_http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
+use gremlin_http::{
+    ConnInfo, HttpClient, HttpServer, Method, Reply, Request, Response, StatusCode, StreamingBody,
+};
 use gremlin_store::{Event, EventSink, EventStore};
 use gremlin_telemetry::{Counter, LatencyHistogram, MetricsRegistry};
 
@@ -29,6 +31,7 @@ struct CollectorMetrics {
     batches: Arc<Counter>,
     events: Arc<Counter>,
     parse_errors: Arc<Counter>,
+    dropped_events: Arc<Counter>,
     append_seconds: Arc<LatencyHistogram>,
 }
 
@@ -50,6 +53,11 @@ impl CollectorMetrics {
                 "Batch lines rejected as malformed JSON.",
                 &[],
             ),
+            dropped_events: registry.counter(
+                "gremlin_collector_dropped_events",
+                "Well-formed events rejected at ingest (empty request ID).",
+                &[],
+            ),
             append_seconds: registry.histogram(
                 "gremlin_collector_append_seconds",
                 "Time to parse and append one observation batch.",
@@ -64,22 +72,34 @@ impl CollectorMetrics {
 ///
 /// Routes:
 ///
-/// | Method | Path       | Effect                                        |
-/// |--------|------------|-----------------------------------------------|
-/// | POST   | `/events`  | append newline-delimited JSON events          |
-/// | GET    | `/events`  | dump the store as newline-delimited JSON      |
-/// | GET    | `/stats`   | ingest statistics JSON (see below)            |
-/// | GET    | `/metrics` | Prometheus text exposition                    |
-/// | DELETE | `/events`  | clear the store                               |
+/// | Method | Path           | Effect                                    |
+/// |--------|----------------|-------------------------------------------|
+/// | POST   | `/events`      | append newline-delimited JSON events      |
+/// | GET    | `/events`      | dump the store as newline-delimited JSON  |
+/// | GET    | `/traces/<id>` | flow `<id>` as an OTLP-style JSON trace   |
+/// | GET    | `/tail`        | chunked live stream of new events (NDJSON)|
+/// | GET    | `/stats`       | ingest statistics JSON (see below)        |
+/// | GET    | `/metrics`     | Prometheus text exposition                |
+/// | DELETE | `/events`      | clear the store                           |
 ///
 /// `GET /stats` returns
-/// `{"events":N,"batches":B,"appended":A,"parse_errors":P}`: the
-/// store size plus cumulative ingest counters.
+/// `{"events":N,"batches":B,"appended":A,"parse_errors":P,"dropped":D}`:
+/// the store size plus cumulative ingest counters.
 ///
 /// A batch containing malformed lines is answered with `400`; valid
 /// lines from the same batch are still appended, and the rejected
 /// count is reported in the response body and in
-/// `gremlin_collector_parse_errors_total`.
+/// `gremlin_collector_parse_errors_total`. Well-formed events whose
+/// request ID is the *empty string* can never be matched by flow
+/// queries, so they are rejected at ingest and counted in
+/// `gremlin_collector_dropped_events` (and `/stats` `dropped`)
+/// instead of disappearing silently.
+///
+/// `GET /tail` answers with `Transfer-Encoding: chunked` and streams
+/// every event recorded *after* the request arrived, one JSON object
+/// per line (blank heartbeat lines keep the connection alive); add
+/// `?from=0` to replay the store from the beginning first. The stream
+/// runs until the client disconnects or the collector shuts down.
 #[derive(Debug)]
 pub struct CollectorServer {
     server: HttpServer,
@@ -118,7 +138,15 @@ impl CollectorServer {
         let handler_store = Arc::clone(&store);
         let handler_registry = Arc::clone(&registry);
         let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
-            handle_collect(&handler_store, &handler_registry, &metrics, request)
+            if *request.method() == Method::Get && request.path() == "/tail" {
+                return tail_reply(&handler_store, &request);
+            }
+            Reply::Full(handle_collect(
+                &handler_store,
+                &handler_registry,
+                &metrics,
+                request,
+            ))
         })?;
         Ok(CollectorServer {
             server,
@@ -163,6 +191,13 @@ fn handle_collect(
                     continue;
                 }
                 match serde_json::from_str::<Event>(line) {
+                    // An empty request ID can never match a flow
+                    // query — the event would sit in the store
+                    // invisible to every trace. Reject it loudly
+                    // (counted, surfaced on /stats) instead.
+                    Ok(event) if event.request_id.as_deref() == Some("") => {
+                        metrics.dropped_events.inc();
+                    }
                     Ok(event) => events.push(event),
                     Err(err) => {
                         parse_errors += 1;
@@ -206,20 +241,88 @@ fn handle_collect(
         (Method::Get, "/stats") => Response::builder(StatusCode::OK)
             .header("Content-Type", "application/json")
             .body(format!(
-                "{{\"events\":{},\"batches\":{},\"appended\":{},\"parse_errors\":{}}}",
+                "{{\"events\":{},\"batches\":{},\"appended\":{},\"parse_errors\":{},\"dropped\":{}}}",
                 store.len(),
                 metrics.batches.get(),
                 metrics.events.get(),
-                metrics.parse_errors.get()
+                metrics.parse_errors.get(),
+                metrics.dropped_events.get()
             ))
             .build(),
         (Method::Get, "/metrics") => metrics_response(&registry.render_prometheus()),
+        (Method::Get, path) if path.starts_with("/traces/") => {
+            trace_response(store, &path["/traces/".len()..])
+        }
         (Method::Delete, "/events") => {
             store.clear();
             Response::builder(StatusCode::NO_CONTENT).build()
         }
         _ => Response::error(StatusCode::NOT_FOUND),
     }
+}
+
+/// `GET /traces/<id>`: the flow's span records as an OTLP-style JSON
+/// trace document. Shared by the collector and the per-agent control
+/// server.
+pub(crate) fn trace_response(store: &EventStore, request_id: &str) -> Response {
+    if request_id.is_empty() {
+        return Response::builder(StatusCode::BAD_REQUEST)
+            .body("missing request id")
+            .build();
+    }
+    let spans = gremlin_store::spans_from_store(store, request_id);
+    if spans.is_empty() {
+        return Response::error(StatusCode::NOT_FOUND);
+    }
+    let trace = gremlin_store::export_otlp(&spans);
+    match serde_json::to_string(&trace) {
+        Ok(body) => Response::builder(StatusCode::OK)
+            .header("Content-Type", "application/json")
+            .body(body)
+            .build(),
+        Err(err) => Response::builder(StatusCode::INTERNAL_SERVER_ERROR)
+            .body(err.to_string())
+            .build(),
+    }
+}
+
+/// `GET /tail`: a chunked NDJSON stream of events. The cursor is
+/// pinned while handling the request, so nothing recorded after the
+/// request arrived is missed; `?from=0` replays history first.
+fn tail_reply(store: &Arc<EventStore>, request: &Request) -> Reply {
+    let from_start = request
+        .query()
+        .map(|q| q.split('&').any(|pair| pair == "from=0"))
+        .unwrap_or(false);
+    let mut cursor = if from_start { 0 } else { store.tail_cursor() };
+    let store = Arc::clone(store);
+    let body = StreamingBody::new(StatusCode::OK, move |sink| {
+        let mut idle_polls = 0u32;
+        loop {
+            let (events, next) = store.events_after(cursor);
+            cursor = next;
+            if events.is_empty() {
+                thread::sleep(Duration::from_millis(25));
+                idle_polls += 1;
+                // Periodic blank heartbeat line: readers skip it, and
+                // the write fails fast once the client is gone or the
+                // server shuts down, unblocking this producer.
+                if idle_polls % 40 == 0 {
+                    sink.send(b"\n")?;
+                }
+                continue;
+            }
+            idle_polls = 0;
+            for event in &events {
+                if let Ok(mut line) = serde_json::to_string(event) {
+                    line.push('\n');
+                    sink.send(line.as_bytes())?;
+                }
+            }
+        }
+    })
+    .header("Content-Type", "application/x-ndjson");
+    Reply::Stream(body)
 }
 
 /// An [`EventSink`] forwarding observations to a remote
@@ -408,7 +511,9 @@ mod tests {
         let resp = client
             .send(
                 collector.local_addr(),
-                Request::builder(Method::Post, "/events").body("junk").build(),
+                Request::builder(Method::Post, "/events")
+                    .body("junk")
+                    .build(),
             )
             .unwrap();
         assert_eq!(resp.status(), StatusCode::BAD_REQUEST);
@@ -484,6 +589,132 @@ mod tests {
     }
 
     #[test]
+    fn empty_request_id_events_are_dropped_and_counted() {
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+        let body = format!(
+            "{}\n{}\n",
+            serde_json::to_string(&event(1)).unwrap(),
+            serde_json::to_string(&event(2).with_request_id("")).unwrap(),
+        );
+        let resp = client
+            .send(
+                collector.local_addr(),
+                Request::builder(Method::Post, "/events").body(body).build(),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.body_str(), "{\"imported\":1}");
+        assert_eq!(store.len(), 1, "empty-id event must not be appended");
+
+        let stats = client
+            .send(collector.local_addr(), Request::get("/stats"))
+            .unwrap();
+        assert!(
+            stats.body_str().contains("\"dropped\":1"),
+            "stats: {}",
+            stats.body_str()
+        );
+        let metrics = client
+            .send(collector.local_addr(), Request::get("/metrics"))
+            .unwrap();
+        assert!(metrics
+            .body_str()
+            .contains("gremlin_collector_dropped_events 1"));
+    }
+
+    #[test]
+    fn traces_endpoint_serves_otlp_json() {
+        let store = EventStore::shared();
+        store.record_event(
+            Event::request("a", "b", "GET", "/x")
+                .with_request_id("test-9")
+                .with_timestamp(5)
+                .with_span_id("s1"),
+        );
+        let mut done = Event::response("a", "b", 200, Duration::from_millis(2))
+            .with_request_id("test-9")
+            .with_span_id("s1");
+        done.timestamp_us = 2_005;
+        store.record_event(done);
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+
+        let resp = client
+            .send(collector.local_addr(), Request::get("/traces/test-9"))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.headers().get("content-type"), Some("application/json"));
+        let trace: gremlin_store::OtlpTrace = serde_json::from_str(&resp.body_str()).unwrap();
+        let spans = gremlin_store::import_otlp(&trace);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].span_id.as_deref(), Some("s1"));
+        assert_eq!(spans[0].status, Some(200));
+
+        let resp = client
+            .send(collector.local_addr(), Request::get("/traces/unknown"))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::NOT_FOUND);
+        let resp = client
+            .send(collector.local_addr(), Request::get("/traces/"))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::BAD_REQUEST);
+    }
+
+    #[test]
+    fn tail_streams_only_new_events() {
+        let store = EventStore::shared();
+        store.record_event(event(1)); // history: must be skipped
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+
+        let stream = std::net::TcpStream::connect(collector.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        gremlin_http::codec::write_request(&mut writer, &Request::get("/tail")).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let head = gremlin_http::codec::read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status(), StatusCode::OK);
+        assert!(head.headers().is_chunked());
+
+        store.record_event(event(2));
+        let mut chunks = gremlin_http::codec::ChunkReader::new(reader);
+        let mut seen = String::new();
+        while !seen.contains("test-2") {
+            let chunk = chunks
+                .next_chunk()
+                .unwrap()
+                .expect("stream ended before the event arrived");
+            seen.push_str(&String::from_utf8_lossy(&chunk));
+        }
+        assert!(!seen.contains("test-1"), "tail must skip history: {seen}");
+    }
+
+    #[test]
+    fn tail_from_zero_replays_history() {
+        let store = EventStore::shared();
+        store.record_event(event(1));
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+
+        let stream = std::net::TcpStream::connect(collector.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        gremlin_http::codec::write_request(&mut writer, &Request::get("/tail?from=0")).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let _head = gremlin_http::codec::read_response_head(&mut reader).unwrap();
+        let mut chunks = gremlin_http::codec::ChunkReader::new(reader);
+        let mut seen = String::new();
+        while !seen.contains("test-1") {
+            let chunk = chunks.next_chunk().unwrap().expect("stream ended");
+            seen.push_str(&String::from_utf8_lossy(&chunk));
+        }
+    }
+
+    #[test]
     fn sink_ships_batches_to_collector() {
         let store = EventStore::shared();
         let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
@@ -511,7 +742,11 @@ mod tests {
         );
         sink.record(event(1));
         thread::sleep(Duration::from_millis(150));
-        assert_eq!(store.len(), 1, "linger must flush without reaching batch size");
+        assert_eq!(
+            store.len(),
+            1,
+            "linger must flush without reaching batch size"
+        );
         drop(sink);
     }
 

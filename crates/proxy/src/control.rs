@@ -15,6 +15,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use gremlin_http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
+use gremlin_store::EventStore;
 
 use crate::agent::GremlinAgent;
 use crate::error::ProxyError;
@@ -125,6 +126,11 @@ pub struct AgentStats {
 /// | GET    | `/rules`   | installed rules as a JSON array          |
 /// | POST   | `/rules`   | install rules (JSON array or one object) |
 /// | DELETE | `/rules`   | flush all rules                          |
+///
+/// Servers started with [`ControlServer::start_with_store`] additionally
+/// serve `GET /traces/<request_id>`: the flow's spans assembled from the
+/// agent's event store, rendered as OTLP-style JSON (the same format the
+/// collector serves).
 #[derive(Debug)]
 pub struct ControlServer {
     server: HttpServer,
@@ -141,6 +147,28 @@ impl ControlServer {
         addr: impl ToSocketAddrs,
     ) -> Result<ControlServer, ProxyError> {
         let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
+            handle_control(&agent, request)
+        })?;
+        Ok(ControlServer { server })
+    }
+
+    /// Starts the control endpoint with access to the agent's event
+    /// store, enabling `GET /traces/<request_id>` trace export.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start_with_store(
+        agent: Arc<GremlinAgent>,
+        store: Arc<EventStore>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<ControlServer, ProxyError> {
+        let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
+            if *request.method() == Method::Get {
+                if let Some(request_id) = request.path().strip_prefix("/traces/") {
+                    return crate::collector::trace_response(&store, request_id);
+                }
+            }
             handle_control(&agent, request)
         })?;
         Ok(ControlServer { server })

@@ -22,10 +22,7 @@ use crate::error::ProxyError;
 /// * [`ProxyError::ControlFailed`] on non-success statuses.
 /// * [`ProxyError::BadControlPayload`] when the body is not a JSON
 ///   array of socket addresses.
-pub fn fetch_instances(
-    registry: SocketAddr,
-    service: &str,
-) -> Result<Vec<SocketAddr>, ProxyError> {
+pub fn fetch_instances(registry: SocketAddr, service: &str) -> Result<Vec<SocketAddr>, ProxyError> {
     let client = HttpClient::new();
     let response = client.send(registry, Request::get(format!("/instances/{service}")))?;
     if !response.status().is_success() {
@@ -69,7 +66,9 @@ mod tests {
     #[test]
     fn empty_list_is_ok() {
         let server = registry_stub("[]", StatusCode::OK);
-        assert!(fetch_instances(server.local_addr(), "svc").unwrap().is_empty());
+        assert!(fetch_instances(server.local_addr(), "svc")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!
 //! [`RuleTable::with_seed`]: crate::RuleTable::with_seed
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -28,6 +28,8 @@ thread_local! {
     static THREAD_SALT: u64 = NEXT_THREAD_SALT.fetch_add(1, Ordering::Relaxed);
     /// Per-table SplitMix64 states owned by this thread.
     static STREAMS: RefCell<HashMap<u64, u64>> = RefCell::new(HashMap::new());
+    /// Independent per-thread stream for span-ID minting.
+    static SPAN_STATE: Cell<u64> = Cell::new(entropy_seed());
 }
 
 /// One SplitMix64 step (Steele, Lea & Flood; the `java.util` seeder).
@@ -53,8 +55,24 @@ pub(crate) fn entropy_seed() -> u64 {
         .duration_since(UNIX_EPOCH)
         .unwrap_or_default()
         .as_nanos() as u64;
-    let mut state = nanos ^ SEED_NONCE.fetch_add(1, Ordering::Relaxed).wrapping_mul(GOLDEN);
+    let mut state = nanos
+        ^ SEED_NONCE
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(GOLDEN);
     splitmix64(&mut state)
+}
+
+/// Mints a span identifier: 64 bits from this thread's dedicated
+/// SplitMix64 stream, rendered as 16 lowercase hex digits
+/// (Dapper/Zipkin convention). Lock-free; never blocks.
+pub(crate) fn mint_span_id() -> String {
+    let id = SPAN_STATE.with(|state| {
+        let mut s = state.get();
+        let id = splitmix64(&mut s);
+        state.set(s);
+        id
+    });
+    format!("{id:016x}")
 }
 
 /// Draws one Bernoulli sample with the given probability from this
@@ -120,6 +138,17 @@ mod tests {
             (0..64).map(|_| flip(stream, 8, 0.5)).collect()
         };
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn span_ids_are_hex_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            let id = mint_span_id();
+            assert_eq!(id.len(), 16, "span id {id:?}");
+            assert!(id.bytes().all(|b| b.is_ascii_hexdigit()));
+            assert!(seen.insert(id), "duplicate span id");
+        }
     }
 
     #[test]

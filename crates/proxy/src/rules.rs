@@ -292,7 +292,9 @@ mod tests {
         assert_eq!(r.pattern, Pattern::Any);
 
         let r = Rule::delay("a", "b", Duration::from_millis(100));
-        assert!(matches!(r.action, FaultAction::Delay { interval } if interval == Duration::from_millis(100)));
+        assert!(
+            matches!(r.action, FaultAction::Delay { interval } if interval == Duration::from_millis(100))
+        );
 
         let r = Rule::modify("a", "b", "key", "badkey");
         assert_eq!(r.on, MessageSide::Response);

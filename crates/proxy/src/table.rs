@@ -393,10 +393,7 @@ mod tests {
     #[test]
     fn install_validates_batch_atomically() {
         let table = RuleTable::new();
-        let result = table.install(vec![
-            abort("a", "b"),
-            abort("a", "b").with_probability(2.0),
-        ]);
+        let result = table.install(vec![abort("a", "b"), abort("a", "b").with_probability(2.0)]);
         assert!(result.is_err());
         assert!(table.is_empty());
     }
@@ -445,7 +442,9 @@ mod tests {
         let hit = table
             .match_message("a", "b", MessageSide::Request, Some("zzz-1"))
             .unwrap();
-        assert!(matches!(hit.action, crate::FaultAction::Delay { interval } if interval == Duration::from_millis(1)));
+        assert!(
+            matches!(hit.action, crate::FaultAction::Delay { interval } if interval == Duration::from_millis(1))
+        );
     }
 
     #[test]
@@ -616,7 +615,9 @@ mod tests {
                 abort("*", "b").with_pattern("two-*"),
             ])
             .unwrap();
-        table.install(vec![abort("c", "d").with_pattern("three-*")]).unwrap();
+        table
+            .install(vec![abort("c", "d").with_pattern("three-*")])
+            .unwrap();
         let patterns: Vec<String> = table
             .rules()
             .iter()

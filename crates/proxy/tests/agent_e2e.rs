@@ -56,8 +56,10 @@ impl Harness {
 
     fn call(&self, path: &str, id: &str) -> gremlin_http::Result<Response> {
         let addr = self.agent.route_addr("serviceB").unwrap();
-        self.client
-            .send(addr, Request::builder(Method::Get, path).request_id(id).build())
+        self.client.send(
+            addr,
+            Request::builder(Method::Get, path).request_id(id).build(),
+        )
     }
 }
 
@@ -81,9 +83,12 @@ fn passthrough_forwards_and_logs() {
 fn abort_status_returns_error_without_reaching_backend() {
     let h = Harness::new();
     h.agent
-        .install_rules(vec![
-            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
-        ])
+        .install_rules(vec![Rule::abort(
+            "serviceA",
+            "serviceB",
+            AbortKind::Status(503),
+        )
+        .with_pattern("test-*")])
         .unwrap();
     let resp = h.call("/x", "test-2").unwrap();
     assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);
@@ -104,9 +109,12 @@ fn abort_status_returns_error_without_reaching_backend() {
 fn abort_spares_non_matching_flows() {
     let h = Harness::new();
     h.agent
-        .install_rules(vec![
-            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
-        ])
+        .install_rules(vec![Rule::abort(
+            "serviceA",
+            "serviceB",
+            AbortKind::Status(503),
+        )
+        .with_pattern("test-*")])
         .unwrap();
     let resp = h.call("/x", "prod-1").unwrap();
     assert_eq!(resp.status(), StatusCode::OK);
@@ -143,7 +151,7 @@ fn abort_reset_terminates_connection() {
     let h = Harness::new();
     h.agent
         .install_rules(vec![
-            Rule::abort("serviceA", "serviceB", AbortKind::Reset).with_pattern("test-*"),
+            Rule::abort("serviceA", "serviceB", AbortKind::Reset).with_pattern("test-*")
         ])
         .unwrap();
     let err = h.call("/x", "test-4").unwrap_err();
@@ -179,9 +187,11 @@ fn modify_rewrites_request_body() {
         Response::ok(format!("got:{}", String::from_utf8_lossy(req.body())))
     });
     h.agent
-        .install_rules(vec![Rule::modify("serviceA", "serviceB", "secret", "XXXXX")
-            .with_pattern("test-*")
-            .with_side(MessageSide::Request)])
+        .install_rules(vec![Rule::modify(
+            "serviceA", "serviceB", "secret", "XXXXX",
+        )
+        .with_pattern("test-*")
+        .with_side(MessageSide::Request)])
         .unwrap();
     let addr = h.agent.route_addr("serviceB").unwrap();
     let req = Request::builder(Method::Post, "/submit")
@@ -227,7 +237,9 @@ fn upstream_down_yields_bad_gateway() {
     let resp = client
         .send(
             agent.route_addr("serviceB").unwrap(),
-            Request::builder(Method::Get, "/x").request_id("test-8").build(),
+            Request::builder(Method::Get, "/x")
+                .request_id("test-8")
+                .build(),
         )
         .unwrap();
     assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
@@ -261,7 +273,9 @@ fn upstream_hang_yields_gateway_timeout() {
     let resp = client
         .send(
             agent.route_addr("serviceB").unwrap(),
-            Request::builder(Method::Get, "/x").request_id("test-9").build(),
+            Request::builder(Method::Get, "/x")
+                .request_id("test-9")
+                .build(),
         )
         .unwrap();
     assert_eq!(resp.status(), StatusCode::GATEWAY_TIMEOUT);
@@ -279,8 +293,10 @@ fn round_robin_across_upstream_instances() {
     .unwrap();
     let store = EventStore::shared();
     let agent = GremlinAgent::start(
-        AgentConfig::new("serviceA")
-            .route("serviceB", vec![backend1.local_addr(), backend2.local_addr()]),
+        AgentConfig::new("serviceA").route(
+            "serviceB",
+            vec![backend1.local_addr(), backend2.local_addr()],
+        ),
         store,
     )
     .unwrap();
@@ -306,11 +322,17 @@ fn round_robin_across_upstream_instances() {
 fn rules_can_be_cleared_mid_run() {
     let h = Harness::new();
     h.agent
-        .install_rules(vec![
-            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
-        ])
+        .install_rules(vec![Rule::abort(
+            "serviceA",
+            "serviceB",
+            AbortKind::Status(503),
+        )
+        .with_pattern("test-*")])
         .unwrap();
-    assert_eq!(h.call("/a", "test-1").unwrap().status(), StatusCode::SERVICE_UNAVAILABLE);
+    assert_eq!(
+        h.call("/a", "test-1").unwrap().status(),
+        StatusCode::SERVICE_UNAVAILABLE
+    );
     h.agent.clear_rules();
     assert_eq!(h.call("/a", "test-1").unwrap().status(), StatusCode::OK);
 }
@@ -319,11 +341,13 @@ fn rules_can_be_cleared_mid_run() {
 fn probability_splits_traffic() {
     let h = Harness::new();
     h.agent
-        .install_rules(vec![
-            Rule::abort("serviceA", "serviceB", AbortKind::Status(503))
-                .with_pattern("test-*")
-                .with_probability(0.5),
-        ])
+        .install_rules(vec![Rule::abort(
+            "serviceA",
+            "serviceB",
+            AbortKind::Status(503),
+        )
+        .with_pattern("test-*")
+        .with_probability(0.5)])
         .unwrap();
     let mut aborted = 0;
     for i in 0..60 {
@@ -343,7 +367,9 @@ fn keep_alive_through_proxy_multiple_requests() {
         assert_eq!(resp.status(), StatusCode::OK);
     }
     assert_eq!(
-        h.store.query(&Query::requests("serviceA", "serviceB")).len(),
+        h.store
+            .query(&Query::requests("serviceA", "serviceB"))
+            .len(),
         10
     );
 }

@@ -5,9 +5,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gremlin_http::{
-    ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode,
-};
+use gremlin_http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
 use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, MessageSide, Rule};
 use gremlin_store::{EventStore, Query};
 
@@ -77,7 +75,9 @@ fn rules_can_change_while_traffic_flows() {
             while started.elapsed() < Duration::from_millis(400) {
                 if let Ok(resp) = client.send(
                     addr,
-                    Request::builder(Method::Get, "/t").request_id("test-1").build(),
+                    Request::builder(Method::Get, "/t")
+                        .request_id("test-1")
+                        .build(),
                 ) {
                     statuses.push(resp.status().as_u16());
                 }
@@ -122,7 +122,11 @@ fn wildcard_rule_hits_idless_traffic_but_prefixed_rule_does_not() {
         ])
         .unwrap();
     let resp = client.send(addr, Request::get("/no-id")).unwrap();
-    assert_eq!(resp.status(), StatusCode::OK, "prefixed rule spares ID-less traffic");
+    assert_eq!(
+        resp.status(),
+        StatusCode::OK,
+        "prefixed rule spares ID-less traffic"
+    );
 
     agent.clear_rules();
     agent
@@ -158,7 +162,9 @@ fn modify_on_both_sides_of_the_same_flow() {
     let resp = client
         .send(
             agent.route_addr("b").unwrap(),
-            Request::builder(Method::Post, "/m").body("value in transit").build(),
+            Request::builder(Method::Post, "/m")
+                .body("value in transit")
+                .build(),
         )
         .unwrap();
     // Request body rewritten before the backend, response rewritten
@@ -180,7 +186,9 @@ fn large_bodies_survive_the_proxy() {
     let resp = client
         .send(
             agent.route_addr("b").unwrap(),
-            Request::builder(Method::Post, "/big").body(payload.clone()).build(),
+            Request::builder(Method::Post, "/big")
+                .body(payload.clone())
+                .build(),
         )
         .unwrap();
     assert_eq!(resp.body_str(), format!("echo:/big:{}", payload.len()));
@@ -202,18 +210,18 @@ fn chunked_upstream_response_is_reframed() {
         }
     });
     let store = EventStore::shared();
-    let agent = GremlinAgent::start(
-        AgentConfig::new("a").route("b", vec![backend_addr]),
-        store,
-    )
-    .unwrap();
+    let agent =
+        GremlinAgent::start(AgentConfig::new("a").route("b", vec![backend_addr]), store).unwrap();
     let client = HttpClient::new();
     let resp = client
         .send(agent.route_addr("b").unwrap(), Request::get("/chunked"))
         .unwrap();
     assert_eq!(resp.body_str(), "hello world");
     assert_eq!(resp.headers().get_int("content-length"), Some(11));
-    assert!(!resp.headers().is_chunked(), "re-framed with content-length");
+    assert!(
+        !resp.headers().is_chunked(),
+        "re-framed with content-length"
+    );
 }
 
 #[test]
@@ -260,7 +268,9 @@ fn gremlin_headers_do_not_leak_into_untouched_traffic() {
     let resp = client
         .send(
             agent.route_addr("b").unwrap(),
-            Request::builder(Method::Get, "/clean").request_id("test-1").build(),
+            Request::builder(Method::Get, "/clean")
+                .request_id("test-1")
+                .build(),
         )
         .unwrap();
     assert!(resp

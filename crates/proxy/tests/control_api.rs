@@ -58,7 +58,8 @@ fn install_invalid_rule_is_rejected_with_400() {
     let server = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
     let client = ControlClient::connect(server.local_addr()).unwrap();
 
-    let bad = vec![Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_probability(7.0)];
+    let bad =
+        vec![Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_probability(7.0)];
     let err = client.install_rules(&bad).unwrap_err();
     assert!(err.to_string().contains("400") || err.to_string().contains("probability"));
     assert!(agent.rules().is_empty());
@@ -72,7 +73,9 @@ fn malformed_payload_is_rejected() {
     let resp = http
         .send(
             server.local_addr(),
-            Request::builder(Method::Post, "/rules").body("not json").build(),
+            Request::builder(Method::Post, "/rules")
+                .body("not json")
+                .build(),
         )
         .unwrap();
     assert_eq!(resp.status(), StatusCode::BAD_REQUEST);
@@ -138,13 +141,60 @@ fn connect_to_dead_endpoint_fails() {
 }
 
 #[test]
+fn control_server_with_store_serves_traces() {
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("ok")
+    })
+    .unwrap();
+    let store = EventStore::shared();
+    let agent = Arc::new(
+        GremlinAgent::start(
+            AgentConfig::new("serviceA").route("serviceB", vec![backend.local_addr()]),
+            Arc::clone(&store),
+        )
+        .unwrap(),
+    );
+    let server = ControlServer::start_with_store(Arc::clone(&agent), store, "127.0.0.1:0").unwrap();
+
+    // Drive one call with a request ID so the store has a flow.
+    let data = HttpClient::new();
+    let addr = agent.route_addr("serviceB").unwrap();
+    data.send(
+        addr,
+        Request::builder(Method::Get, "/x")
+            .request_id("trace-1")
+            .build(),
+    )
+    .unwrap();
+
+    let http = HttpClient::new();
+    let resp = http
+        .send(server.local_addr(), Request::get("/traces/trace-1"))
+        .unwrap();
+    assert_eq!(resp.status(), StatusCode::OK);
+    let otlp: serde_json::Value = serde_json::from_slice(resp.body()).unwrap();
+    let spans = &otlp["resourceSpans"][0]["scopeSpans"][0]["spans"];
+    assert!(spans.as_array().map(|s| !s.is_empty()).unwrap_or(false));
+
+    // Unknown flows 404; the base control routes still answer.
+    let missing = http
+        .send(server.local_addr(), Request::get("/traces/nope"))
+        .unwrap();
+    assert_eq!(missing.status(), StatusCode::NOT_FOUND);
+    let health = http
+        .send(server.local_addr(), Request::get("/health"))
+        .unwrap();
+    assert_eq!(health.status(), StatusCode::OK);
+}
+
+#[test]
 fn rules_installed_over_http_take_effect_on_data_path() {
     let (_backend, agent) = start_agent();
     let server = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
     let control = ControlClient::connect(server.local_addr()).unwrap();
     control
         .install_rules(&[
-            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*"),
+            Rule::abort("serviceA", "serviceB", AbortKind::Status(503)).with_pattern("test-*")
         ])
         .unwrap();
 
@@ -153,7 +203,9 @@ fn rules_installed_over_http_take_effect_on_data_path() {
     let resp = data
         .send(
             addr,
-            Request::builder(Method::Get, "/x").request_id("test-1").build(),
+            Request::builder(Method::Get, "/x")
+                .request_id("test-1")
+                .build(),
         )
         .unwrap();
     assert_eq!(resp.status(), StatusCode::SERVICE_UNAVAILABLE);

@@ -375,7 +375,10 @@ mod tests {
         for index in LINEAR_MAX as usize..BUCKETS {
             let (lower, upper) = bucket_bounds(index);
             let width = upper - lower + 1;
-            assert!(width * 32 <= lower, "bucket {index} too wide: [{lower},{upper}]");
+            assert!(
+                width * 32 <= lower,
+                "bucket {index} too wide: [{lower},{upper}]"
+            );
         }
     }
 
@@ -422,7 +425,10 @@ mod tests {
         h.record(Duration::from_secs(1 << 40));
         let snap = h.snapshot();
         assert_eq!(snap.count(), 1);
-        assert_eq!(snap.max(), Some(Duration::from_micros(MAX_TRACKABLE_MICROS)));
+        assert_eq!(
+            snap.max(),
+            Some(Duration::from_micros(MAX_TRACKABLE_MICROS))
+        );
     }
 
     #[test]

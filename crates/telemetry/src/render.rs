@@ -10,24 +10,8 @@ use crate::registry::{Labels, Sample, SampleValue, TelemetrySnapshot};
 /// histogram. The internal 1024-bucket layout is collapsed onto this
 /// ladder via [`HistogramSnapshot::cumulative_le_micros`].
 pub const LE_LADDER_MICROS: [u64; 18] = [
-    100,
-    250,
-    500,
-    1_000,
-    2_500,
-    5_000,
-    10_000,
-    25_000,
-    50_000,
-    100_000,
-    250_000,
-    500_000,
-    1_000_000,
-    2_500_000,
-    5_000_000,
-    10_000_000,
-    30_000_000,
-    60_000_000,
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
 ];
 
 fn escape_label_value(value: &str) -> String {
@@ -241,7 +225,9 @@ mod tests {
         registry
             .counter("req_total", "Requests.", &[("service", "web")])
             .add(3);
-        registry.gauge("open_conns", "Open connections.", &[]).set(2);
+        registry
+            .gauge("open_conns", "Open connections.", &[])
+            .set(2);
         let text = registry.render_prometheus();
         assert!(text.contains("# HELP req_total Requests."));
         assert!(text.contains("# TYPE req_total counter"));
@@ -293,7 +279,10 @@ mod tests {
         let g = samples.iter().find(|s| s.name == "g").unwrap();
         assert_eq!(g.value, -7.0);
 
-        let count = samples.iter().find(|s| s.name == "h_seconds_count").unwrap();
+        let count = samples
+            .iter()
+            .find(|s| s.name == "h_seconds_count")
+            .unwrap();
         assert_eq!(count.value, 1.0);
         assert_eq!(count.label("svc"), Some("web"));
         let buckets: Vec<_> = samples

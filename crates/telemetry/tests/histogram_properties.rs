@@ -51,8 +51,14 @@ fn count_and_sum_are_exact() {
         let (snap, values) = filled(seed, 500);
         assert_eq!(snap.count(), values.len() as u64);
         assert_eq!(snap.sum_micros(), values.iter().sum::<u64>());
-        assert_eq!(snap.min(), Some(Duration::from_micros(*values.iter().min().unwrap())));
-        assert_eq!(snap.max(), Some(Duration::from_micros(*values.iter().max().unwrap())));
+        assert_eq!(
+            snap.min(),
+            Some(Duration::from_micros(*values.iter().min().unwrap()))
+        );
+        assert_eq!(
+            snap.max(),
+            Some(Duration::from_micros(*values.iter().max().unwrap()))
+        );
     }
 }
 
@@ -149,7 +155,10 @@ fn renderer_round_trip_preserves_series() {
     let counter = samples.iter().find(|s| s.name == "rt_total").unwrap();
     assert_eq!(counter.value as u64, expected_count);
 
-    let count = samples.iter().find(|s| s.name == "rt_seconds_count").unwrap();
+    let count = samples
+        .iter()
+        .find(|s| s.name == "rt_seconds_count")
+        .unwrap();
     assert_eq!(count.value as u64, expected_count);
 
     // Bucket ladder is cumulative and monotone, ending at count.

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         AgentConfig::new("web").route_discovered("db", registry_server.local_addr())?,
         Arc::clone(&sink) as Arc<dyn gremlin::store::EventSink>,
     )?);
-    println!("web agent  @ {} (db route)", agent.route_addr("db").unwrap());
+    println!(
+        "web agent  @ {} (db route)",
+        agent.route_addr("db").unwrap()
+    );
 
     // 5. The agent's control endpoint and a remote control client.
     let control_server = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0")?;
@@ -86,7 +89,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     let client = HttpClient::new();
     let failed = client.send(
         agent.route_addr("db").unwrap(),
-        Request::builder(Method::Get, "/q").request_id("test-fail-1").build(),
+        Request::builder(Method::Get, "/q")
+            .request_id("test-fail-1")
+            .build(),
     )?;
     println!(
         "drove 10 healthy flows ({} ok) and one faulted flow ({})",
@@ -100,10 +105,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\ncollector now holds {} observations", central_store.len());
     let ok = checker.get_replies("web", "db", &Pattern::new("test-ok-*"));
     let bad = checker.get_replies("web", "db", &Pattern::new("test-fail-*"));
-    println!("  healthy replies: {} (all 200: {})", ok.len(),
-        ok.iter().all(|e| e.status() == Some(200)));
-    println!("  faulted replies: {} (503, gremlin-injected: {})", bad.len(),
-        bad.iter().all(|e| e.status() == Some(503) && e.is_faulted()));
+    println!(
+        "  healthy replies: {} (all 200: {})",
+        ok.len(),
+        ok.iter().all(|e| e.status() == Some(200))
+    );
+    println!(
+        "  faulted replies: {} (503, gremlin-injected: {})",
+        bad.len(),
+        bad.iter()
+            .all(|e| e.status() == Some(503) && e.is_faulted())
+    );
 
     println!("\nreconstructed faulted flow:");
     print!("{}", FlowTrace::from_store(&central_store, "test-fail-1"));

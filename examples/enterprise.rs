@@ -70,8 +70,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!("\n== slow stackoverflow (2s delay vs 500ms read timeout) — handled ==");
     recipe.inject(
-        &Scenario::delay("webapp", "stackoverflow", Duration::from_secs(2))
-            .with_pattern("test-*"),
+        &Scenario::delay("webapp", "stackoverflow", Duration::from_secs(2)).with_pattern("test-*"),
     )?;
     let resp = deployment.call_with_id("webapp", "/", "test-2")?;
     println!("GET / -> {} {}", resp.status(), resp.body_str());
@@ -101,7 +100,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             user_replies.len()
         ),
     });
-    recipe.check(ctx.checker().has_timeouts("webapp", Duration::from_secs(1), &pattern));
+    recipe.check(
+        ctx.checker()
+            .has_timeouts("webapp", Duration::from_secs(1), &pattern),
+    );
 
     let report = recipe.finish();
     println!("\n{report}");

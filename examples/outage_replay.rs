@@ -55,9 +55,8 @@ fn pipeline(policy: ResiliencePolicy) -> Result<(Deployment, TestContext), Box<d
 fn stackdriver_recipe(policy: ResiliencePolicy, label: &str) -> Result<bool, Box<dyn Error>> {
     let (deployment, ctx) = pipeline(policy)?;
     let mut recipe = RecipeRun::new(format!("stackdriver-cascade-{label}"), &ctx);
-    recipe.inject(
-        &Scenario::hang_for("cassandra", Duration::from_secs(2)).with_pattern("test-*"),
-    )?;
+    recipe
+        .inject(&Scenario::hang_for("cassandra", Duration::from_secs(2)).with_pattern("test-*"))?;
     LoadGenerator::new(deployment.entry_addr("publisher").expect("entry"))
         .id_prefix("test")
         .read_timeout(Some(Duration::from_secs(10)))

@@ -70,12 +70,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         report.wall
     );
 
-    let bounded = recipe.check(ctx.checker().has_bounded_retries(
-        "serviceA",
-        "serviceB",
-        5,
-        &pattern,
-    ));
+    let bounded = recipe.check(
+        ctx.checker()
+            .has_bounded_retries("serviceA", "serviceB", 5, &pattern),
+    );
     println!("{}", recipe.finish());
 
     if !bounded {

@@ -69,7 +69,11 @@ fn deploy() -> Result<(Deployment, TestContext), Box<dyn Error>> {
     for backend in BACKENDS {
         web = web.dependency(
             backend,
-            if backend == BUGGED { bugged() } else { hardened() },
+            if backend == BUGGED {
+                bugged()
+            } else {
+                hardened()
+            },
         );
     }
     let deployment = builder.service(web).ingress("user", "web").build()?;
@@ -107,7 +111,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .exclude("user");
     let (_, probe_ctx) = deploy()?;
     let tests = generator.generate(probe_ctx.graph());
-    println!("generated {} tests from the application graph\n", tests.len());
+    println!(
+        "generated {} tests from the application graph\n",
+        tests.len()
+    );
 
     let pattern = generator.flow_pattern();
     let mut findings = Vec::new();

@@ -96,7 +96,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let injected = Duration::from_millis(300);
     ctx.inject(&Scenario::delay("wordpress", "elasticsearch", injected).with_pattern("test-*"))?;
     let delayed = generator.run_sequential(30);
-    let fast = delayed.latencies().iter().filter(|l| **l < injected).count();
+    let fast = delayed
+        .latencies()
+        .iter()
+        .filter(|l| **l < injected)
+        .count();
     println!(
         "delayed batch : {} requests, {} returned before the {:?} delay",
         delayed.len(),

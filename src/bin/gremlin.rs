@@ -13,7 +13,9 @@
 //! gremlin clear --agents a,b,c            flush rules everywhere
 //! gremlin health <agent-addr>             agent status
 //! gremlin check events.ndjson --assert timeouts --service web --max-latency 1s
-//! gremlin trace events.ndjson test-42     reconstruct one flow
+//! gremlin trace events.ndjson test-42     span tree + waterfall for one flow
+//! gremlin trace events.ndjson test-42 --json   OTLP-style JSON export
+//! gremlin tail <collector-addr>           live event stream from a collector
 //! gremlin metrics <addr,...>              scrape and summarize /metrics
 //! ```
 //!
@@ -57,7 +59,8 @@ fn usage() -> &'static str {
      gremlin clear --agents <addr,...>\n  \
      gremlin health <agent-addr>\n  \
      gremlin check <events.ndjson> --assert <timeouts|bounded-retries|circuit-breaker|request-count> [options]\n  \
-     gremlin trace <events.ndjson> <request-id>\n  \
+     gremlin trace <events.ndjson> <request-id> [--json]\n  \
+     gremlin tail <collector-addr> [--from <cursor>] [--limit <n>]\n  \
      gremlin generate <graph.json> [--exclude svc]... [--pattern test-*]\n  \
      gremlin metrics <addr,...> [--raw]      scrape /metrics from agents or collectors"
 }
@@ -73,6 +76,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "health" => cmd_health(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
+        "tail" => cmd_tail(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "" | "help" | "--help" | "-h" => Ok(usage().to_string()),
@@ -98,10 +102,7 @@ fn has_flag(args: &[String], name: &str) -> bool {
 
 fn positional(args: &[String], index: usize) -> Result<&str, Box<dyn Error>> {
     // Positional = arguments before any --flag.
-    let positionals: Vec<&String> = args
-        .iter()
-        .take_while(|a| !a.starts_with("--"))
-        .collect();
+    let positionals: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
     positionals
         .get(index)
         .map(|s| s.as_str())
@@ -197,9 +198,8 @@ fn cmd_translate(args: &[String]) -> Result<String, Box<dyn Error>> {
 fn cmd_install(args: &[String]) -> Result<String, Box<dyn Error>> {
     let graph = load_graph(positional(args, 0)?)?;
     let scenario = load_scenario(positional(args, 1)?)?;
-    let agents = connect_agents(
-        flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?,
-    )?;
+    let agents =
+        connect_agents(flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?)?;
     let orchestrator = FailureOrchestrator::new(agents);
     let stats = orchestrator.inject(&scenario, &graph)?;
     Ok(format!(
@@ -215,9 +215,16 @@ fn cmd_rules(args: &[String]) -> Result<String, Box<dyn Error>> {
     let client = ControlClient::connect(addr)?;
     let rules = client.list_rules()?;
     if rules.is_empty() {
-        return Ok(format!("agent {addr} ({}): no rules", client.service_name()));
+        return Ok(format!(
+            "agent {addr} ({}): no rules",
+            client.service_name()
+        ));
     }
-    let mut out = format!("agent {addr} ({}): {} rule(s)\n", client.service_name(), rules.len());
+    let mut out = format!(
+        "agent {addr} ({}): {} rule(s)\n",
+        client.service_name(),
+        rules.len()
+    );
     for rule in rules {
         out.push_str(&format!("  {rule}\n"));
     }
@@ -225,9 +232,8 @@ fn cmd_rules(args: &[String]) -> Result<String, Box<dyn Error>> {
 }
 
 fn cmd_clear(args: &[String]) -> Result<String, Box<dyn Error>> {
-    let agents = connect_agents(
-        flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?,
-    )?;
+    let agents =
+        connect_agents(flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?)?;
     let count = agents.len();
     let orchestrator = FailureOrchestrator::new(agents);
     orchestrator.clear()?;
@@ -252,8 +258,7 @@ fn cmd_check(args: &[String]) -> Result<String, Box<dyn Error>> {
     let check = match kind {
         "timeouts" => {
             let service = flag_value(args, "--service").ok_or("missing --service")?;
-            let max_latency =
-                parse_duration(flag_value(args, "--max-latency").unwrap_or("1s"))?;
+            let max_latency = parse_duration(flag_value(args, "--max-latency").unwrap_or("1s"))?;
             checker.has_timeouts(service, max_latency, &pattern)
         }
         "bounded-retries" => {
@@ -488,13 +493,71 @@ fn summarize_exposition(text: &str) -> String {
 }
 
 fn cmd_trace(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::core::SpanTree;
+    use gremlin::store::{export_otlp, spans_from_store};
+
     let store = load_events(positional(args, 0)?)?;
     let request_id = positional(args, 1)?;
+
+    if has_flag(args, "--json") {
+        let spans = spans_from_store(&store, request_id);
+        if spans.is_empty() {
+            return Err(format!("no observations for request id {request_id:?}").into());
+        }
+        return Ok(serde_json::to_string_pretty(&export_otlp(&spans))?);
+    }
+
     let trace = FlowTrace::from_store(&store, request_id);
     if trace.hops.is_empty() {
         return Err(format!("no observations for request id {request_id:?}").into());
     }
-    Ok(trace.to_string().trim_end().to_string())
+    let mut out = trace.to_string().trim_end().to_string();
+    let tree = SpanTree::from_store(&store, request_id);
+    if !tree.is_empty() {
+        out.push_str("\n\n");
+        out.push_str(tree.waterfall().trim_end());
+        out.push_str(&format!("\n{}", tree.summary()));
+    }
+    Ok(out)
+}
+
+fn cmd_tail(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::http::codec::{read_response_head, write_request, ChunkReader};
+    use gremlin::http::{Method, Request};
+    use std::io::BufReader;
+    use std::net::TcpStream;
+
+    let addr: SocketAddr = positional(args, 0)?.parse()?;
+    let limit: Option<usize> = match flag_value(args, "--limit") {
+        Some(value) => Some(value.parse()?),
+        None => None,
+    };
+    let path = match flag_value(args, "--from") {
+        Some(cursor) => format!("/tail?from={cursor}"),
+        None => "/tail".to_string(),
+    };
+
+    let mut stream = TcpStream::connect(addr)?;
+    write_request(&mut stream, &Request::builder(Method::Get, path).build())?;
+    let mut reader = BufReader::new(stream);
+    let head = read_response_head(&mut reader)?;
+    if !head.status().is_success() {
+        return Err(format!("tail of {addr} failed: HTTP {}", head.status().as_u16()).into());
+    }
+    let mut chunks = ChunkReader::new(reader);
+    let mut seen = 0usize;
+    while let Some(chunk) = chunks.next_chunk()? {
+        let text = String::from_utf8_lossy(&chunk);
+        // Blank lines are keep-alive heartbeats, not events.
+        for line in text.lines().filter(|line| !line.trim().is_empty()) {
+            println!("{line}");
+            seen += 1;
+            if limit.is_some_and(|n| seen >= n) {
+                return Ok(format!("tailed {seen} event(s)"));
+            }
+        }
+    }
+    Ok(format!("stream ended after {seen} event(s)"))
 }
 
 #[cfg(test)]
@@ -547,8 +610,7 @@ mod tests {
     fn translate_scenario() {
         let graph_path = write_temp("tg.json", r#"{"edges": [["web", "db"]]}"#);
         let scenario = Scenario::overload("db").with_pattern("test-*");
-        let scenario_path =
-            write_temp("ts.json", &serde_json::to_string(&scenario).unwrap());
+        let scenario_path = write_temp("ts.json", &serde_json::to_string(&scenario).unwrap());
         let out = run(&args(&[
             "translate",
             graph_path.to_str().unwrap(),
@@ -610,6 +672,89 @@ mod tests {
 
         assert!(run(&args(&["trace", path.to_str().unwrap(), "missing"])).is_err());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_renders_waterfall_and_exports_otlp_json() {
+        use gremlin::store::{import_otlp, Event, OtlpTrace};
+        use std::time::Duration;
+        let store = EventStore::new();
+        store.record_event(
+            Event::request("user", "web", "GET", "/x")
+                .with_request_id("test-7")
+                .with_timestamp(0)
+                .with_span_id("aaaaaaaaaaaaaaaa"),
+        );
+        store.record_event(
+            Event::request("web", "db", "GET", "/q")
+                .with_request_id("test-7")
+                .with_timestamp(100)
+                .with_span_id("bbbbbbbbbbbbbbbb")
+                .with_parent_id("aaaaaaaaaaaaaaaa"),
+        );
+        store.record_event(
+            Event::response("web", "db", 200, Duration::from_micros(400))
+                .with_request_id("test-7")
+                .with_timestamp(500)
+                .with_span_id("bbbbbbbbbbbbbbbb")
+                .with_parent_id("aaaaaaaaaaaaaaaa"),
+        );
+        store.record_event(
+            Event::response("user", "web", 200, Duration::from_micros(900))
+                .with_request_id("test-7")
+                .with_timestamp(900)
+                .with_span_id("aaaaaaaaaaaaaaaa"),
+        );
+        let path = write_temp("trace.ndjson", &store.export_json().unwrap());
+
+        let out = run(&args(&["trace", path.to_str().unwrap(), "test-7"])).unwrap();
+        assert!(out.contains("user -> web"), "{out}");
+        assert!(out.contains("trace test-7 (2 span(s), depth 2"), "{out}");
+        assert!(out.contains("  web -> db GET /q"), "indented child: {out}");
+        assert!(out.contains('='), "time bars: {out}");
+
+        // --json emits OTLP that round-trips through the importer.
+        let json = run(&args(&[
+            "trace",
+            path.to_str().unwrap(),
+            "test-7",
+            "--json",
+        ]))
+        .unwrap();
+        let otlp: OtlpTrace = serde_json::from_str(&json).unwrap();
+        let records = import_otlp(&otlp);
+        assert_eq!(records.len(), 2);
+        assert!(records
+            .iter()
+            .any(|r| r.parent_id.as_deref() == Some("aaaaaaaaaaaaaaaa")));
+
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tail_streams_events_from_a_live_collector() {
+        use gremlin::proxy::CollectorServer;
+        use gremlin::store::Event;
+
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        store.record_event(Event::request("user", "web", "GET", "/x").with_request_id("t-1"));
+        store.record_event(Event::request("web", "db", "GET", "/q").with_request_id("t-2"));
+
+        // --from 0 replays history; --limit bounds the otherwise
+        // endless stream so the test terminates.
+        let out = run(&args(&[
+            "tail",
+            &collector.local_addr().to_string(),
+            "--from",
+            "0",
+            "--limit",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("tailed 2 event(s)"), "{out}");
+
+        assert!(run(&args(&["tail", "not-an-addr"])).is_err());
     }
 
     #[test]
@@ -680,14 +825,23 @@ mod tests {
         let addr = control.local_addr().to_string();
 
         let out = run(&args(&["metrics", &addr])).unwrap();
-        assert!(out.contains("gremlin_proxy_requests_total{dst=db,service=web} 0"), "{out}");
+        assert!(
+            out.contains("gremlin_proxy_requests_total{dst=db,service=web} 0"),
+            "{out}"
+        );
         // Histogram families collapse into one summary line.
-        assert!(out.contains("gremlin_proxy_upstream_latency_seconds"), "{out}");
+        assert!(
+            out.contains("gremlin_proxy_upstream_latency_seconds"),
+            "{out}"
+        );
         assert!(out.contains("count=0"), "{out}");
         assert!(!out.contains("_bucket"), "{out}");
 
         let raw = run(&args(&["metrics", &addr, "--raw"])).unwrap();
-        assert!(raw.contains("# TYPE gremlin_proxy_requests_total counter"), "{raw}");
+        assert!(
+            raw.contains("# TYPE gremlin_proxy_requests_total counter"),
+            "{raw}"
+        );
         assert!(raw.contains("_bucket{"), "{raw}");
 
         // --targets spelling and multi-target headers.
@@ -700,10 +854,7 @@ mod tests {
 
     #[test]
     fn generate_emits_the_test_matrix() {
-        let path = write_temp(
-            "gen.json",
-            r#"{"edges": [["user", "web"], ["web", "db"]]}"#,
-        );
+        let path = write_temp("gen.json", r#"{"edges": [["user", "web"], ["web", "db"]]}"#);
         let out = run(&args(&[
             "generate",
             path.to_str().unwrap(),
@@ -713,11 +864,11 @@ mod tests {
             "probe-*",
         ]))
         .unwrap();
-        let tests: Vec<gremlin::core::autogen::GeneratedTest> =
-            serde_json::from_str(&out).unwrap();
+        let tests: Vec<gremlin::core::autogen::GeneratedTest> = serde_json::from_str(&out).unwrap();
         assert_eq!(tests.len(), 3, "one edge, three probes");
-        assert!(tests.iter().all(|t| t.scenario.pattern
-            == gremlin::store::Pattern::new("probe-*")));
+        assert!(tests
+            .iter()
+            .all(|t| t.scenario.pattern == gremlin::store::Pattern::new("probe-*")));
         let _ = std::fs::remove_file(path);
     }
 

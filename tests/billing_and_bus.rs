@@ -13,18 +13,14 @@ use gremlin::mesh::stateful::{BillingService, ChargeLedger, MessageBus};
 use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
 use gremlin::store::{Pattern, Query};
 
-fn billing_deployment(
-    billing: BillingService,
-) -> (Deployment, TestContext, Arc<ChargeLedger>) {
+fn billing_deployment(billing: BillingService) -> (Deployment, TestContext, Arc<ChargeLedger>) {
     let ledger = ChargeLedger::new();
     let deployment = Deployment::builder()
         .service(ServiceSpec::new("payments", Arc::clone(&ledger)))
-        .service(
-            ServiceSpec::new("billing", billing).dependency(
-                "payments",
-                ResiliencePolicy::new().timeout(Duration::from_millis(200)),
-            ),
-        )
+        .service(ServiceSpec::new("billing", billing).dependency(
+            "payments",
+            ResiliencePolicy::new().timeout(Duration::from_millis(200)),
+        ))
         .ingress("user", "billing")
         .build()
         .expect("deployment starts");
@@ -38,7 +34,9 @@ fn bill(deployment: &Deployment, id: &str) -> gremlin::http::Response {
     HttpClient::new()
         .send(
             addr,
-            Request::builder(Method::Post, "/bill").request_id(id).build(),
+            Request::builder(Method::Post, "/bill")
+                .request_id(id)
+                .build(),
         )
         .unwrap()
 }
@@ -100,7 +98,11 @@ fn fixed_billing_service_never_double_bills() {
 
     let resp = bill(&deployment, "test-cust-2");
     assert_eq!(resp.status(), StatusCode::BAD_GATEWAY);
-    assert_eq!(ledger.charges_for("test-cust-2"), 1, "one attempt, one charge");
+    assert_eq!(
+        ledger.charges_for("test-cust-2"),
+        1,
+        "one attempt, one charge"
+    );
     assert!(ledger.double_billed().is_empty());
 }
 
@@ -122,12 +124,10 @@ fn parsely_bus_overload_cascades_to_publishers() {
     let bus = MessageBus::forwarding(5, "cassandra");
     let deployment = Deployment::builder()
         .service(ServiceSpec::new("cassandra", StaticResponder::ok("stored")))
-        .service(
-            ServiceSpec::new("messagebus", Arc::clone(&bus)).dependency(
-                "cassandra",
-                ResiliencePolicy::new().timeout(Duration::from_millis(300)),
-            ),
-        )
+        .service(ServiceSpec::new("messagebus", Arc::clone(&bus)).dependency(
+            "cassandra",
+            ResiliencePolicy::new().timeout(Duration::from_millis(300)),
+        ))
         .ingress("publisher", "messagebus")
         .build()
         .expect("deployment starts");

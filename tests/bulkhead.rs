@@ -37,7 +37,10 @@ fn deploy(slow_policy: ResiliencePolicy) -> (Deployment, TestContext) {
             .workers(32)
             .shared_call_pool(4)
             .dependency("slowsvc", slow_policy)
-            .dependency("fastsvc", ResiliencePolicy::new().timeout(Duration::from_secs(2))),
+            .dependency(
+                "fastsvc",
+                ResiliencePolicy::new().timeout(Duration::from_secs(2)),
+            ),
         )
         .ingress("user", "frontend")
         .seed(41)
@@ -102,9 +105,8 @@ fn without_bulkhead_slow_dependency_exhausts_shared_pool() {
 fn with_bulkhead_fast_traffic_keeps_flowing() {
     // 2-slot bulkhead on the slow edge: the slow dependency can never
     // hold shared capacity; overflow is rejected immediately.
-    let (deployment, ctx) = deploy(
-        ResiliencePolicy::new().bulkhead(BulkheadConfig { max_concurrent: 2 }),
-    );
+    let (deployment, ctx) =
+        deploy(ResiliencePolicy::new().bulkhead(BulkheadConfig { max_concurrent: 2 }));
     let fast = drive(&deployment, &ctx);
     let summary = fast.summary().expect("non-empty");
     assert_eq!(fast.successes(), fast.len(), "every fast request answered");

@@ -7,9 +7,7 @@ use std::sync::Arc;
 
 use gremlin::core::{AssertionChecker, FlowTrace};
 use gremlin::http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response, StatusCode};
-use gremlin::proxy::{
-    AbortKind, AgentConfig, CollectorServer, GremlinAgent, HttpEventSink, Rule,
-};
+use gremlin::proxy::{AbortKind, AgentConfig, CollectorServer, GremlinAgent, HttpEventSink, Rule};
 use gremlin::store::{EventStore, Pattern, Query};
 
 #[test]
@@ -32,7 +30,7 @@ fn agents_ship_observations_to_a_remote_collector() {
     .unwrap();
     agent
         .install_rules(vec![
-            Rule::abort("web", "db", AbortKind::Status(503)).with_pattern("test-fail-*"),
+            Rule::abort("web", "db", AbortKind::Status(503)).with_pattern("test-fail-*")
         ])
         .unwrap();
 
@@ -53,7 +51,9 @@ fn agents_ship_observations_to_a_remote_collector() {
     let failed = client
         .send(
             addr,
-            Request::builder(Method::Get, "/q").request_id("test-fail-1").build(),
+            Request::builder(Method::Get, "/q")
+                .request_id("test-fail-1")
+                .build(),
         )
         .unwrap();
     assert_eq!(failed.status(), StatusCode::SERVICE_UNAVAILABLE);
@@ -138,7 +138,9 @@ fn exported_log_from_collector_feeds_offline_analysis() {
     client
         .send(
             agent.route_addr("db").unwrap(),
-            Request::builder(Method::Get, "/q").request_id("test-1").build(),
+            Request::builder(Method::Get, "/q")
+                .request_id("test-1")
+                .build(),
         )
         .unwrap();
     sink.flush();

@@ -82,7 +82,11 @@ fn degraded_backend_is_tolerated_gracefully() {
         .unwrap();
     let resp = deployment.call_with_id("webapp", "/", "test-2").unwrap();
     assert_eq!(resp.status(), StatusCode::OK);
-    assert!(resp.body_str().contains("github=error(503)"), "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("github=error(503)"),
+        "{}",
+        resp.body_str()
+    );
 }
 
 #[test]
@@ -91,8 +95,7 @@ fn slow_backend_is_tolerated_via_read_timeout() {
     // aggregator reports the backend unavailable.
     let (deployment, ctx) = enterprise(unirest_policy);
     ctx.inject(
-        &Scenario::delay("webapp", "stackoverflow", Duration::from_secs(2))
-            .with_pattern("test-*"),
+        &Scenario::delay("webapp", "stackoverflow", Duration::from_secs(2)).with_pattern("test-*"),
     )
     .unwrap();
     let resp = deployment.call_with_id("webapp", "/", "test-3").unwrap();
@@ -136,7 +139,11 @@ fn fixed_library_handles_connection_failures() {
         .unwrap();
     let resp = deployment.call_with_id("webapp", "/", "test-5").unwrap();
     assert_eq!(resp.status(), StatusCode::OK);
-    assert!(resp.body_str().contains("github=unavailable"), "{}", resp.body_str());
+    assert!(
+        resp.body_str().contains("github=unavailable"),
+        "{}",
+        resp.body_str()
+    );
 }
 
 /// The HasTimeouts pattern check separates the two implementations
@@ -146,10 +153,8 @@ fn has_timeouts_check_under_backend_hang() {
     // With read timeouts the webapp answers quickly even when a
     // backend hangs.
     let (deployment, ctx) = enterprise(fixed_policy);
-    ctx.inject(
-        &Scenario::hang_for("search-api", Duration::from_secs(3)).with_pattern("test-*"),
-    )
-    .unwrap();
+    ctx.inject(&Scenario::hang_for("search-api", Duration::from_secs(3)).with_pattern("test-*"))
+        .unwrap();
     LoadGenerator::new(deployment.entry_addr("webapp").unwrap())
         .id_prefix("test")
         .read_timeout(Some(Duration::from_secs(10)))
@@ -163,10 +168,8 @@ fn has_timeouts_check_under_backend_hang() {
     // the hung backend.
     let no_timeout = || ResiliencePolicy::new();
     let (deployment, ctx) = enterprise(no_timeout);
-    ctx.inject(
-        &Scenario::hang_for("search-api", Duration::from_secs(2)).with_pattern("test-*"),
-    )
-    .unwrap();
+    ctx.inject(&Scenario::hang_for("search-api", Duration::from_secs(2)).with_pattern("test-*"))
+        .unwrap();
     LoadGenerator::new(deployment.entry_addr("webapp").unwrap())
         .id_prefix("test")
         .read_timeout(Some(Duration::from_secs(10)))

@@ -52,9 +52,9 @@ fn example1_bounded_retries_pass_for_resilient_service() {
     LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
         .id_prefix("test")
         .run_sequential(30);
-    let check = ctx
-        .checker()
-        .has_bounded_retries("serviceA", "serviceB", 5, &Pattern::new("test-*"));
+    let check =
+        ctx.checker()
+            .has_bounded_retries("serviceA", "serviceB", 5, &Pattern::new("test-*"));
     assert!(check.passed, "{check}");
 }
 
@@ -73,9 +73,9 @@ fn example1_detects_excessive_retries() {
     LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
         .id_prefix("test")
         .run_sequential(10);
-    let check = ctx
-        .checker()
-        .has_bounded_retries("serviceA", "serviceB", 5, &Pattern::new("test-*"));
+    let check =
+        ctx.checker()
+            .has_bounded_retries("serviceA", "serviceB", 5, &Pattern::new("test-*"));
     assert!(!check.passed, "{check}");
     assert!(check.details.contains("10 request(s)"), "{check}");
 }
@@ -93,8 +93,10 @@ fn chained_failure_overload_then_crash() {
     LoadGenerator::new(deployment.entry_addr("serviceA").unwrap())
         .id_prefix("test")
         .run_sequential(20);
-    let bounded =
-        recipe.check(ctx.checker().has_bounded_retries("serviceA", "serviceB", 5, &pattern));
+    let bounded = recipe.check(
+        ctx.checker()
+            .has_bounded_retries("serviceA", "serviceB", 5, &pattern),
+    );
     assert!(bounded, "retries must be bounded before chaining further");
     let report1 = recipe.finish();
     assert!(report1.passed, "{report1}");

@@ -39,8 +39,12 @@ fn production_traffic_is_untouched_by_test_faults() {
 
     // Interleave production and test traffic.
     let entry = deployment.entry_addr("frontend").unwrap();
-    let prod = LoadGenerator::new(entry).id_prefix("prod").run_sequential(20);
-    let test = LoadGenerator::new(entry).id_prefix("test").run_sequential(20);
+    let prod = LoadGenerator::new(entry)
+        .id_prefix("prod")
+        .run_sequential(20);
+    let test = LoadGenerator::new(entry)
+        .id_prefix("test")
+        .run_sequential(20);
 
     // Production flows all healthy.
     assert_eq!(prod.successes(), 20);
@@ -53,16 +57,14 @@ fn production_traffic_is_untouched_by_test_faults() {
     // On the wire: backend replies for prod flows are genuine 200s;
     // test flows saw TCP-level failures.
     let store = deployment.store();
-    let prod_replies = store.query(
-        &Query::replies("frontend", "backend").with_id_pattern(Pattern::new("prod-*")),
-    );
+    let prod_replies =
+        store.query(&Query::replies("frontend", "backend").with_id_pattern(Pattern::new("prod-*")));
     assert_eq!(prod_replies.len(), 20);
     assert!(prod_replies.iter().all(|e| e.status() == Some(200)));
     assert!(prod_replies.iter().all(|e| !e.is_faulted()));
 
-    let test_replies = store.query(
-        &Query::replies("frontend", "backend").with_id_pattern(Pattern::new("test-*")),
-    );
+    let test_replies =
+        store.query(&Query::replies("frontend", "backend").with_id_pattern(Pattern::new("test-*")));
     assert!(!test_replies.is_empty());
     assert!(test_replies.iter().all(|e| e.status() == Some(0)));
     assert!(test_replies.iter().all(|e| e.is_faulted()));
@@ -99,18 +101,26 @@ fn distinct_test_flows_can_get_distinct_faults() {
     // Flow family A is aborted; flow family B is delayed.
     ctx.orchestrator()
         .apply_rules(&[
-            gremlin::proxy::Rule::abort("frontend", "backend", gremlin::proxy::AbortKind::Status(503))
-                .with_pattern("test-a-*"),
+            gremlin::proxy::Rule::abort(
+                "frontend",
+                "backend",
+                gremlin::proxy::AbortKind::Status(503),
+            )
+            .with_pattern("test-a-*"),
             gremlin::proxy::Rule::delay("frontend", "backend", Duration::from_millis(120))
                 .with_pattern("test-b-*"),
         ])
         .unwrap();
 
-    let a = deployment.call_with_id("frontend", "/", "test-a-1").unwrap();
+    let a = deployment
+        .call_with_id("frontend", "/", "test-a-1")
+        .unwrap();
     assert_eq!(a.body_str(), "backend=error(503)");
 
     let started = std::time::Instant::now();
-    let b = deployment.call_with_id("frontend", "/", "test-b-1").unwrap();
+    let b = deployment
+        .call_with_id("frontend", "/", "test-b-1")
+        .unwrap();
     assert_eq!(b.body_str(), "backend=ok");
     assert!(started.elapsed() >= Duration::from_millis(120));
 }

@@ -16,7 +16,10 @@ use gremlin::store::Pattern;
 /// failure percolated to the bus and blocked the publishers.
 ///
 /// Topology: publisher -> messagebus -> cassandra.
-fn stackdriver(publisher_policy: ResiliencePolicy, bus_policy: ResiliencePolicy) -> (Deployment, TestContext) {
+fn stackdriver(
+    publisher_policy: ResiliencePolicy,
+    bus_policy: ResiliencePolicy,
+) -> (Deployment, TestContext) {
     let deployment = Deployment::builder()
         .service(ServiceSpec::new("cassandra", StaticResponder::ok("stored")))
         .service(
@@ -71,9 +74,9 @@ fn stackdriver_cascading_failure_recipe_flags_naive_publisher() {
 
     let pattern = Pattern::new("test-*");
     for dependent in ctx.graph().dependents("messagebus") {
-        let timeouts =
-            ctx.checker()
-                .has_timeouts(&dependent, Duration::from_secs(1), &pattern);
+        let timeouts = ctx
+            .checker()
+            .has_timeouts(&dependent, Duration::from_secs(1), &pattern);
         let breaker = ctx.checker().has_circuit_breaker(
             &dependent,
             "messagebus",
@@ -104,11 +107,9 @@ fn stackdriver_recipe_passes_with_timeouts() {
         .id_prefix("test")
         .read_timeout(Some(Duration::from_secs(10)))
         .run_sequential(3);
-    let check = ctx.checker().has_timeouts(
-        "publisher",
-        Duration::from_secs(1),
-        &Pattern::new("test-*"),
-    );
+    let check =
+        ctx.checker()
+            .has_timeouts("publisher", Duration::from_secs(1), &Pattern::new("test-*"));
     assert!(check.passed, "{check}");
 }
 
@@ -165,7 +166,10 @@ fn bbc_database_overload_recipe() {
         1,
         &pattern,
     );
-    assert!(!naive.passed, "recipe must raise 'Will overload database': {naive}");
+    assert!(
+        !naive.passed,
+        "recipe must raise 'Will overload database': {naive}"
+    );
 
     // Hardened service: breaker trips and the database is spared.
     let (deployment, ctx) = deploy(
@@ -203,12 +207,16 @@ fn partition_severs_only_cut_edges() {
     let deployment = Deployment::builder()
         .service(ServiceSpec::new("db", StaticResponder::ok("rows")))
         .service(
-            ServiceSpec::new("svc-east", Aggregator::new(vec!["db".into()], "/q"))
-                .dependency("db", ResiliencePolicy::new().timeout(Duration::from_secs(2))),
+            ServiceSpec::new("svc-east", Aggregator::new(vec!["db".into()], "/q")).dependency(
+                "db",
+                ResiliencePolicy::new().timeout(Duration::from_secs(2)),
+            ),
         )
         .service(
-            ServiceSpec::new("svc-west", Aggregator::new(vec!["db".into()], "/q"))
-                .dependency("db", ResiliencePolicy::new().timeout(Duration::from_secs(2))),
+            ServiceSpec::new("svc-west", Aggregator::new(vec!["db".into()], "/q")).dependency(
+                "db",
+                ResiliencePolicy::new().timeout(Duration::from_secs(2)),
+            ),
         )
         .seed(31)
         .build()

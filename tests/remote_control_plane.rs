@@ -6,9 +6,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use gremlin::core::{AppGraph, Scenario, TestContext};
-use gremlin::proxy::{AgentControl, ControlClient, ControlServer};
 use gremlin::mesh::behaviors::{Aggregator, StaticResponder};
 use gremlin::mesh::{Deployment, ResiliencePolicy, ServiceSpec};
+use gremlin::proxy::{AgentControl, ControlClient, ControlServer};
 
 fn deploy() -> Deployment {
     Deployment::builder()

@@ -89,8 +89,10 @@ fn fault_affects_traffic_from_every_instance() {
     );
     assert_eq!(faulted.len(), 20, "all 20 calls aborted");
     // And both agent instances logged observations.
-    let reporting_agents: BTreeSet<String> =
-        faulted.into_iter().map(|event| event.agent.to_string()).collect();
+    let reporting_agents: BTreeSet<String> = faulted
+        .into_iter()
+        .map(|event| event.agent.to_string())
+        .collect();
     assert_eq!(
         reporting_agents.len(),
         2,

@@ -61,16 +61,18 @@ fn soak(duration: Duration) {
     let stop = Arc::new(AtomicBool::new(false));
     let rotator = {
         let stop = Arc::clone(&stop);
-        let scenarios = [Scenario::abort("frontend", "alpha", 503).with_pattern("test-*"),
-            Scenario::delay("frontend", "beta", Duration::from_millis(50))
-                .with_pattern("test-*"),
+        let scenarios = [
+            Scenario::abort("frontend", "alpha", 503).with_pattern("test-*"),
+            Scenario::delay("frontend", "beta", Duration::from_millis(50)).with_pattern("test-*"),
             Scenario::abort_reset("frontend", "beta").with_pattern("test-*"),
-            Scenario::overload("alpha").with_pattern("test-*")];
+            Scenario::overload("alpha").with_pattern("test-*"),
+        ];
         std::thread::spawn(move || {
             let mut index = 0;
             while !stop.load(Ordering::SeqCst) {
                 ctx.clear_faults().expect("clear");
-                ctx.inject(&scenarios[index % scenarios.len()]).expect("inject");
+                ctx.inject(&scenarios[index % scenarios.len()])
+                    .expect("inject");
                 index += 1;
                 std::thread::sleep(Duration::from_millis(100));
             }

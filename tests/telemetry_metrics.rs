@@ -15,7 +15,11 @@ use gremlin::telemetry::{parse_prometheus, MetricsRegistry, PromSample};
 fn scrape(client: &HttpClient, addr: std::net::SocketAddr) -> (String, Vec<PromSample>) {
     let response = client.send(addr, Request::get("/metrics")).unwrap();
     assert_eq!(response.status(), StatusCode::OK);
-    let content_type = response.headers().get("content-type").unwrap_or("").to_string();
+    let content_type = response
+        .headers()
+        .get("content-type")
+        .unwrap_or("")
+        .to_string();
     assert!(content_type.starts_with("text/plain"), "{content_type}");
     let text = response.body_str();
     let samples = parse_prometheus(&text);
@@ -56,7 +60,7 @@ fn agent_and_collector_metrics_match_observed_traffic() {
     let control = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
     agent
         .install_rules(vec![
-            Rule::abort("web", "db", AbortKind::Status(503)).with_pattern("test-fail-*"),
+            Rule::abort("web", "db", AbortKind::Status(503)).with_pattern("test-fail-*")
         ])
         .unwrap();
 
@@ -107,7 +111,11 @@ fn agent_and_collector_metrics_match_observed_traffic() {
     // Aborts short-circuit before the upstream: only the 6 passthrough
     // requests have an upstream latency sample, and none failed.
     assert_eq!(
-        value(&samples, "gremlin_proxy_upstream_latency_seconds_count", &route),
+        value(
+            &samples,
+            "gremlin_proxy_upstream_latency_seconds_count",
+            &route
+        ),
         6.0
     );
     assert_eq!(
@@ -128,7 +136,10 @@ fn agent_and_collector_metrics_match_observed_traffic() {
     let (_, samples) = scrape(&client, collector.local_addr());
     // Every request produces a request + a response observation.
     assert_eq!(value(&samples, "gremlin_collector_events_total", &[]), 16.0);
-    assert_eq!(value(&samples, "gremlin_collector_parse_errors_total", &[]), 0.0);
+    assert_eq!(
+        value(&samples, "gremlin_collector_parse_errors_total", &[]),
+        0.0
+    );
     assert!(value(&samples, "gremlin_collector_batches_total", &[]) >= 1.0);
     // Store-level telemetry rides on the same registry.
     assert_eq!(value(&samples, "gremlin_store_events", &[]), 16.0);
@@ -164,7 +175,10 @@ fn agent_and_collector_metrics_match_observed_traffic() {
     assert!(body.contains("\"parse_errors\":1"), "{body}");
 
     let (_, samples) = scrape(&client, collector.local_addr());
-    assert_eq!(value(&samples, "gremlin_collector_parse_errors_total", &[]), 1.0);
+    assert_eq!(
+        value(&samples, "gremlin_collector_parse_errors_total", &[]),
+        1.0
+    );
     assert_eq!(value(&samples, "gremlin_collector_events_total", &[]), 17.0);
     assert_eq!(value(&samples, "gremlin_store_events", &[]), 17.0);
 }

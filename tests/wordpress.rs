@@ -19,7 +19,10 @@ use gremlin::store::Pattern;
 /// breaker.
 fn wordpress_deployment() -> (Deployment, TestContext) {
     let deployment = Deployment::builder()
-        .service(ServiceSpec::new("elasticsearch", StaticResponder::ok("es-hits")))
+        .service(ServiceSpec::new(
+            "elasticsearch",
+            StaticResponder::ok("es-hits"),
+        ))
         .service(ServiceSpec::new("mysql", StaticResponder::ok("sql-rows")))
         .service(
             ServiceSpec::new(
@@ -46,11 +49,11 @@ fn wordpress_deployment() -> (Deployment, TestContext) {
 #[test]
 fn fallback_to_mysql_works_when_elasticsearch_errors() {
     let (deployment, ctx) = wordpress_deployment();
-    ctx.inject(
-        &Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"),
-    )
-    .unwrap();
-    let resp = deployment.call_with_id("wordpress", "/search", "test-1").unwrap();
+    ctx.inject(&Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"))
+        .unwrap();
+    let resp = deployment
+        .call_with_id("wordpress", "/search", "test-1")
+        .unwrap();
     assert_eq!(resp.body_str(), "source=mysql;sql-rows");
 
     // The HasFallback extension check confirms the pattern from the
@@ -69,7 +72,9 @@ fn fallback_to_mysql_works_when_elasticsearch_unreachable() {
     let (deployment, ctx) = wordpress_deployment();
     ctx.inject(&Scenario::abort_reset("wordpress", "elasticsearch").with_pattern("test-*"))
         .unwrap();
-    let resp = deployment.call_with_id("wordpress", "/search", "test-1").unwrap();
+    let resp = deployment
+        .call_with_id("wordpress", "/search", "test-1")
+        .unwrap();
     assert_eq!(resp.body_str(), "source=mysql;sql-rows");
 }
 
@@ -122,10 +127,8 @@ fn figure6_no_circuit_breaker_in_elasticpress() {
 
     // Phase 1: abort a batch of consecutive requests (scaled down
     // from the paper's 100 to keep the suite fast).
-    ctx.inject(
-        &Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"),
-    )
-    .unwrap();
+    ctx.inject(&Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"))
+        .unwrap();
     let aborted = generator.clone().run_sequential(25);
     // The fallback keeps WordPress answering 200 via MySQL.
     assert_eq!(aborted.successes(), 25);
@@ -133,12 +136,8 @@ fn figure6_no_circuit_breaker_in_elasticpress() {
     // Phase 2: clear, then delay the next batch.
     ctx.clear_faults().unwrap();
     ctx.inject(
-        &Scenario::delay(
-            "wordpress",
-            "elasticsearch",
-            Duration::from_millis(150),
-        )
-        .with_pattern("test-*"),
+        &Scenario::delay("wordpress", "elasticsearch", Duration::from_millis(150))
+            .with_pattern("test-*"),
     )
     .unwrap();
     let delayed = generator.run_sequential(10);
@@ -172,7 +171,10 @@ fn figure6_no_circuit_breaker_in_elasticpress() {
 #[test]
 fn figure6_contrast_with_breaker_requests_return_fast() {
     let deployment = Deployment::builder()
-        .service(ServiceSpec::new("elasticsearch", StaticResponder::ok("es-hits")))
+        .service(ServiceSpec::new(
+            "elasticsearch",
+            StaticResponder::ok("es-hits"),
+        ))
         .service(ServiceSpec::new("mysql", StaticResponder::ok("sql-rows")))
         .service(
             ServiceSpec::new(
@@ -204,20 +206,14 @@ fn figure6_contrast_with_breaker_requests_return_fast() {
         .path("/search")
         .id_prefix("test");
 
-    ctx.inject(
-        &Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"),
-    )
-    .unwrap();
+    ctx.inject(&Scenario::abort("wordpress", "elasticsearch", 503).with_pattern("test-*"))
+        .unwrap();
     generator.clone().run_sequential(10); // trips the breaker after 5
 
     ctx.clear_faults().unwrap();
     ctx.inject(
-        &Scenario::delay(
-            "wordpress",
-            "elasticsearch",
-            Duration::from_millis(150),
-        )
-        .with_pattern("test-*"),
+        &Scenario::delay("wordpress", "elasticsearch", Duration::from_millis(150))
+            .with_pattern("test-*"),
     )
     .unwrap();
     let delayed = generator.run_sequential(10);
