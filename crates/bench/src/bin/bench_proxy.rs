@@ -14,6 +14,10 @@
 //!    propagation disabled (`AgentConfig::tracing(false)`), so the
 //!    report carries the cost of minting span IDs and rewriting the
 //!    `X-Gremlin-Span`/`X-Gremlin-Parent` headers.
+//! 5. **Monitor overhead** — the 0-rule agent run again while a
+//!    `LiveMonitor` polls the same store (streaming assertions over
+//!    `events_after`), reported as the relative p99 added latency so
+//!    CI can gate on the monitor staying out of the hot path.
 //!
 //! Run: `cargo run --release -p gremlin-bench --bin bench_proxy`
 //!
@@ -22,8 +26,11 @@
 //! `GREMLIN_BENCH_REQUESTS` (default 2000).
 
 use std::error::Error;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use gremlin_core::{LiveMonitor, MonitorSpec, StreamingAssertion};
 use gremlin_http::{ConnInfo, HttpServer, Request, Response};
 use gremlin_loadgen::{Cdf, LoadGenerator, LoadReport};
 use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, MessageSide, Rule, RuleTable};
@@ -158,6 +165,58 @@ fn main() -> Result<(), Box<dyn Error>> {
         matching["mean_ns"]
     );
 
+    // (5) Live monitor polling the agent's store while load flows —
+    // the delta against the 0-rule run is the monitor's cost on the
+    // data path (it should be ~zero: the monitor reads incrementally
+    // off the hot path).
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("client").route("server", vec![backend.local_addr()]),
+        Arc::clone(&store),
+    )?;
+    let monitor = Arc::new(LiveMonitor::new(
+        Arc::clone(&store),
+        MonitorSpec::new(Duration::from_millis(100))
+            .assert(StreamingAssertion::LatencySlo {
+                service: "server".into(),
+                quantile: 0.99,
+                bound: Duration::from_secs(1),
+            })
+            .assert(StreamingAssertion::ErrorRateAtMost {
+                src: "client".into(),
+                dst: "server".into(),
+                max_ratio: 0.5,
+            }),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let monitor = Arc::clone(&monitor);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                monitor.poll();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+    let monitored = run_load(agent.route_addr("server").expect("route"), requests);
+    assert_eq!(monitored.successes(), (requests / WORKERS) * WORKERS);
+    stop.store(true, Ordering::Relaxed);
+    let _ = poller.join();
+    agent.shutdown();
+    let monitor_off_p99 = quantile_us(&through[0].1.cdf(), 0.99);
+    let monitor_on_p99 = quantile_us(&monitored.cdf(), 0.99);
+    let monitor_overhead_p99_us = monitor_on_p99 - monitor_off_p99;
+    let monitor_overhead_p99_pct = if monitor_off_p99 > 0.0 {
+        monitor_overhead_p99_us / monitor_off_p99 * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "agent, monitored: {:>9.0} req/s  (monitor adds p99 {monitor_overhead_p99_us:+.1}us, {monitor_overhead_p99_pct:+.2}%)",
+        monitored.throughput(),
+    );
+
     let output = serde_json::json!({
         "benchmark": "proxy_hot_path",
         "requests_per_setting": requests,
@@ -171,10 +230,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         "agent_0_rules": load_stats(&through[0].1, Some(&direct_cdf)),
         "agent_100_rules": load_stats(&through[1].1, Some(&direct_cdf)),
         "agent_tracing_off": load_stats(&tracing_off, Some(&direct_cdf)),
+        "agent_monitored": load_stats(&monitored, Some(&direct_cdf)),
         "tracing_overhead_p50_us": quantile_us(&through[0].1.cdf(), 0.5)
             - quantile_us(&tracing_off.cdf(), 0.5),
         "tracing_overhead_p99_us": quantile_us(&through[0].1.cdf(), 0.99)
             - quantile_us(&tracing_off.cdf(), 0.99),
+        "monitor_overhead_p99_us": monitor_overhead_p99_us,
+        "monitor_overhead_p99_pct": monitor_overhead_p99_pct,
         "rule_match": matching,
     });
 

@@ -147,8 +147,11 @@ pub fn check_status(rlist: &[Event], status: u16, num_match: usize, view: View) 
 }
 
 /// `RequestRate` (Table 3): requests per second across the span of
-/// `rlist`. Returns 0.0 for empty lists and infinity when all events
-/// share one timestamp.
+/// `rlist`. Returns 0.0 for empty lists and for degenerate spans
+/// (a single event, or all events sharing one timestamp) — a rate
+/// needs a measurable interval, and guarding the divide keeps
+/// downstream comparisons (`rate >= min_rate`) conservative instead
+/// of vacuously infinite.
 pub fn request_rate(rlist: &[Event]) -> f64 {
     let requests = rlist.iter().filter(|e| e.kind.is_request()).count();
     if requests == 0 {
@@ -156,9 +159,9 @@ pub fn request_rate(rlist: &[Event]) -> f64 {
     }
     let first = rlist.iter().map(|e| e.timestamp_us).min().unwrap_or(0);
     let last = rlist.iter().map(|e| e.timestamp_us).max().unwrap_or(0);
-    let span_secs = (last - first) as f64 / 1e6;
+    let span_secs = last.saturating_sub(first) as f64 / 1e6;
     if span_secs <= 0.0 {
-        return f64::INFINITY;
+        return 0.0;
     }
     requests as f64 / span_secs
 }
@@ -730,7 +733,35 @@ mod tests {
             "3 requests over 2s = 1.5/s, got {rate}"
         );
         assert_eq!(request_rate(&[]), 0.0);
-        assert!(request_rate(&[request("a", "b", sec(0))]).is_infinite());
+    }
+
+    #[test]
+    fn request_rate_zero_span_is_zero_not_infinite() {
+        // A single event (or several sharing one timestamp) spans no
+        // measurable interval: the rate is 0.0, not a divide-by-zero
+        // infinity that would vacuously satisfy any minimum-rate bound.
+        assert_eq!(request_rate(&[request("a", "b", sec(0))]), 0.0);
+        assert_eq!(
+            request_rate(&[request("a", "b", sec(3)), request("a", "b", sec(3))]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn reply_latency_tolerates_out_of_order_timestamps() {
+        // Latencies come from the events' own latency fields, never
+        // from subtracting adjacent timestamps, so a reply logged
+        // "before" its neighbor (clock skew between agents) must not
+        // panic or skew the result.
+        let events = vec![
+            reply("a", "b", 200, sec(5), 30),
+            reply("a", "b", 200, sec(1), 20), // earlier timestamp, later in list
+        ];
+        let latencies = reply_latency(&events, View::Observed);
+        assert_eq!(
+            latencies,
+            vec![Duration::from_millis(30), Duration::from_millis(20)]
+        );
     }
 
     #[test]

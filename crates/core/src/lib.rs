@@ -58,6 +58,7 @@ pub mod chaos;
 pub mod checker;
 pub mod error;
 pub mod graph;
+pub mod monitor;
 pub mod orchestrator;
 pub mod recipe;
 pub mod scenarios;
@@ -70,6 +71,7 @@ pub use checker::{
 };
 pub use error::CoreError;
 pub use graph::AppGraph;
+pub use monitor::{AlertEvent, LiveCheck, LiveMonitor, MonitorSpec, StreamingAssertion, Verdict};
 pub use orchestrator::{FailureOrchestrator, OrchestrationStats};
 pub use recipe::{RecipeReport, RecipeRun, TestContext};
 pub use scenarios::{Scenario, ScenarioKind};

@@ -1,0 +1,1237 @@
+//! Live assertion monitoring: streaming evaluation of the checker
+//! vocabulary while the experiment is still running.
+//!
+//! The paper's Assertion Checker (§4.2) is post-hoc: a recipe stages
+//! an outage, waits, then queries the full observation store. The
+//! [`LiveMonitor`] here is the streaming counterpart. It consumes
+//! events incrementally (via
+//! [`HealthMonitor`](gremlin_store::HealthMonitor), which itself uses
+//! only [`EventStore::events_after`](gremlin_store::EventStore::events_after)
+//! — never full-store scans), folds them into per-assertion window
+//! accumulators, and closes **event-time windows** as timestamps
+//! advance past the window boundary.
+//!
+//! Each streaming assertion ([`StreamingAssertion`]) carries a
+//! verdict state machine:
+//!
+//! ```text
+//! Pending ──▶ Passing ◀──▶ Failing ──▶ Violated   (final)
+//! ```
+//!
+//! * `Pending` — no window with relevant observations has closed yet.
+//! * `Passing` / `Failing` — the latest closed window's outcome;
+//!   assertions may recover (`Failing → Passing`).
+//! * `Violated` — terminal. Reached after
+//!   [`MonitorSpec::violate_after`] *consecutive* failing windows, or
+//!   immediately for unrecoverable breaches (a request budget or a
+//!   cumulative status count exceeded can never un-exceed).
+//!
+//! Every verdict transition is recorded as an [`AlertEvent`]; recipes
+//! subscribe via [`LiveMonitor::violated`] to abort early, and the
+//! collector streams the same alerts over `GET /alerts`.
+//!
+//! Window semantics: windows are measured in *event time* (agent
+//! timestamps), so replaying a recorded log yields the same verdict
+//! sequence a live run produced. Windows only close when an event
+//! with a timestamp past the boundary arrives — a completely silent
+//! store closes no windows. Late events (clock skew between agents)
+//! fold into the currently open window.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use gremlin_store::{EdgeHealth, Event, EventStore, HealthMonitor, Micros};
+use gremlin_telemetry::{Counter, Gauge, HistogramSnapshot, LatencyHistogram, MetricsRegistry};
+
+use crate::checker::Check;
+
+/// The state of one streaming assertion's verdict machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Verdict {
+    /// No window with relevant observations has closed yet.
+    Pending,
+    /// The latest closed window satisfied the assertion.
+    Passing,
+    /// The latest closed window breached the assertion; recovery is
+    /// still possible.
+    Failing,
+    /// Terminal: the assertion can no longer hold for this run.
+    Violated,
+}
+
+impl Verdict {
+    /// `true` for the terminal state.
+    pub fn is_final(&self) -> bool {
+        matches!(self, Verdict::Violated)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Pending => "pending",
+            Verdict::Passing => "passing",
+            Verdict::Failing => "failing",
+            Verdict::Violated => "violated",
+        })
+    }
+}
+
+/// A streaming variant of the checker vocabulary (Table 3), evaluated
+/// per event-time window instead of post-hoc over the full store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum StreamingAssertion {
+    /// Windowed `HasLatencySlo`: the `quantile` of `service`'s reply
+    /// latencies within each window stays at most `bound`.
+    LatencySlo {
+        /// Service whose replies (to upstream callers) are measured.
+        service: String,
+        /// Quantile in `0..=1`, e.g. `0.99`.
+        quantile: f64,
+        /// Upper bound on the windowed quantile.
+        bound: Duration,
+    },
+    /// Windowed `HasTimeouts`: every reply `service` produced within
+    /// the window arrived within `max_latency`.
+    HasTimeouts {
+        /// Service whose replies are measured.
+        service: String,
+        /// Upper bound on the worst reply in the window.
+        max_latency: Duration,
+    },
+    /// The `src -> dst` request rate within each window stays at
+    /// least `min_rate` requests/second (the live form of the
+    /// bulkhead check's `RequestRate` bound).
+    RequestRateAtLeast {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Minimum requests/second per window.
+        min_rate: f64,
+    },
+    /// The fraction of failed replies (status 0 or 5xx) on
+    /// `src -> dst` within each window stays at most `max_ratio`.
+    ErrorRateAtMost {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Maximum failed fraction in `0..=1`.
+        max_ratio: f64,
+    },
+    /// Streaming `AtMostRequests`: at most `max` requests on
+    /// `src -> dst` per window. A breach is unrecoverable for the
+    /// run — the verdict jumps straight to [`Verdict::Violated`].
+    AtMostRequests {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Maximum requests allowed in any single window.
+        max: usize,
+    },
+    /// Streaming `CheckStatus`, lower bound: the run eventually
+    /// observes at least `count` replies with `status` on
+    /// `src -> dst`. Stays `Pending` until satisfied, then flips to
+    /// `Passing`; it never fails live (only the post-hoc check can).
+    StatusAtLeast {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Status code to match.
+        status: u16,
+        /// Matches required.
+        count: usize,
+    },
+    /// Streaming `CheckStatus`, upper bound: the run observes at most
+    /// `max` replies with `status` on `src -> dst`, cumulatively.
+    /// Exceeding the budget is unrecoverable — straight to
+    /// [`Verdict::Violated`].
+    StatusAtMost {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+        /// Status code to match.
+        status: u16,
+        /// Maximum matches allowed over the whole run.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StreamingAssertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamingAssertion::LatencySlo {
+                service,
+                quantile,
+                bound,
+            } => write!(
+                f,
+                "LiveLatencySlo({service}, p{:.0} <= {bound:?})",
+                quantile * 100.0
+            ),
+            StreamingAssertion::HasTimeouts {
+                service,
+                max_latency,
+            } => write!(f, "LiveHasTimeouts({service}, {max_latency:?})"),
+            StreamingAssertion::RequestRateAtLeast { src, dst, min_rate } => {
+                write!(f, "LiveRequestRate({src}, {dst}, >= {min_rate} req/s)")
+            }
+            StreamingAssertion::ErrorRateAtMost {
+                src,
+                dst,
+                max_ratio,
+            } => write!(f, "LiveErrorRate({src}, {dst}, <= {max_ratio})"),
+            StreamingAssertion::AtMostRequests { src, dst, max } => {
+                write!(f, "LiveAtMostRequests({src}, {dst}, {max})")
+            }
+            StreamingAssertion::StatusAtLeast {
+                src,
+                dst,
+                status,
+                count,
+            } => write!(f, "LiveStatusAtLeast({src}, {dst}, {status} x{count})"),
+            StreamingAssertion::StatusAtMost {
+                src,
+                dst,
+                status,
+                max,
+            } => write!(f, "LiveStatusAtMost({src}, {dst}, {status} <= {max})"),
+        }
+    }
+}
+
+fn default_violate_after() -> u32 {
+    3
+}
+
+/// Configuration of a [`LiveMonitor`]: the evaluation window and the
+/// streaming assertions to track — the recipe's `monitor:` stanza.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSpec {
+    /// Event-time window length assertions evaluate over.
+    pub window: Duration,
+    /// Consecutive failing windows before a recoverable assertion
+    /// escalates to [`Verdict::Violated`]. Defaults to 3.
+    #[serde(default = "default_violate_after")]
+    pub violate_after: u32,
+    /// The assertions to evaluate.
+    pub assertions: Vec<StreamingAssertion>,
+}
+
+impl MonitorSpec {
+    /// Creates a spec with the given window, no assertions, and the
+    /// default escalation threshold.
+    pub fn new(window: Duration) -> MonitorSpec {
+        MonitorSpec {
+            window,
+            violate_after: default_violate_after(),
+            assertions: Vec::new(),
+        }
+    }
+
+    /// Builder-style: adds an assertion.
+    pub fn assert(mut self, assertion: StreamingAssertion) -> MonitorSpec {
+        self.assertions.push(assertion);
+        self
+    }
+
+    /// Builder-style: sets the consecutive-failing-window threshold
+    /// for escalation to `Violated` (minimum 1).
+    pub fn violate_after(mut self, windows: u32) -> MonitorSpec {
+        self.violate_after = windows.max(1);
+        self
+    }
+}
+
+/// The live status of one streaming assertion — the monitor's
+/// counterpart of the checker's [`Check`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LiveCheck {
+    /// Human-readable assertion name, e.g. `LiveLatencySlo(web, p99 <= 100ms)`.
+    pub name: String,
+    /// Current verdict.
+    pub verdict: Verdict,
+    /// Supporting detail from the latest evaluated window.
+    pub detail: String,
+    /// Windows evaluated so far.
+    pub windows: u64,
+    /// Event-time timestamp of the first flip to `Failing` (or
+    /// directly to `Violated`), if any.
+    pub first_failing_at_us: Option<Micros>,
+    /// Event-time timestamp of the flip to `Violated`, if any.
+    pub violated_at_us: Option<Micros>,
+}
+
+impl LiveCheck {
+    /// Collapses the live status into a post-hoc [`Check`] for recipe
+    /// reports: only `Passing` counts as passed — a `Pending`
+    /// assertion never saw relevant traffic, which (like the post-hoc
+    /// checker's no-observation case) is inconclusive and fails.
+    pub fn to_check(&self) -> Check {
+        let mut details = format!("{} after {} window(s)", self.verdict, self.windows);
+        if let Some(at) = self.first_failing_at_us {
+            details.push_str(&format!("; first failing at {at}us"));
+        }
+        if let Some(at) = self.violated_at_us {
+            details.push_str(&format!("; violated at {at}us"));
+        }
+        if !self.detail.is_empty() {
+            details.push_str("; ");
+            details.push_str(&self.detail);
+        }
+        Check {
+            name: self.name.clone(),
+            passed: self.verdict == Verdict::Passing,
+            details,
+        }
+    }
+}
+
+impl fmt::Display for LiveCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} — {}", self.verdict, self.name, self.detail)
+    }
+}
+
+/// One verdict transition, as streamed over `GET /alerts`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlertEvent {
+    /// Position in the monitor's alert log (0-based, monotone).
+    pub seq: u64,
+    /// Event-time timestamp of the window close (or breach) that
+    /// caused the transition.
+    pub at_us: Micros,
+    /// The assertion's name.
+    pub check: String,
+    /// Verdict before the transition.
+    pub from: Verdict,
+    /// Verdict after the transition.
+    pub to: Verdict,
+    /// Supporting detail for the transition.
+    pub detail: String,
+}
+
+impl fmt::Display for AlertEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}us] {} {} -> {} — {}",
+            self.at_us, self.check, self.from, self.to, self.detail
+        )
+    }
+}
+
+/// Per-assertion window accumulator.
+struct Accum {
+    /// Cumulative latency histogram (windowed percentiles come from
+    /// snapshot deltas at window boundaries).
+    latency: LatencyHistogram,
+    /// Snapshot at the previous window close.
+    baseline: HistogramSnapshot,
+    /// Worst reply latency in the open window, microseconds.
+    worst_latency_us: u64,
+    /// Requests in the open window.
+    requests: u64,
+    /// Responses in the open window.
+    responses: u64,
+    /// Failed responses (status 0 or 5xx) in the open window.
+    errors: u64,
+    /// Cumulative status matches (for the `Status*` assertions).
+    matches: u64,
+}
+
+impl Accum {
+    fn new() -> Accum {
+        Accum {
+            latency: LatencyHistogram::new(),
+            baseline: HistogramSnapshot::empty(),
+            worst_latency_us: 0,
+            requests: 0,
+            responses: 0,
+            errors: 0,
+            matches: 0,
+        }
+    }
+
+    /// Resets the per-window fields at a window boundary.
+    fn roll(&mut self) {
+        self.baseline = self.latency.snapshot();
+        self.worst_latency_us = 0;
+        self.requests = 0;
+        self.responses = 0;
+        self.errors = 0;
+    }
+
+    /// The latency distribution of the open window.
+    fn window_latency(&self) -> HistogramSnapshot {
+        self.latency.snapshot().delta(&self.baseline)
+    }
+}
+
+struct CheckState {
+    assertion: StreamingAssertion,
+    name: String,
+    verdict: Verdict,
+    consecutive_failing: u32,
+    first_failing_at_us: Option<Micros>,
+    violated_at_us: Option<Micros>,
+    detail: String,
+    windows: u64,
+    accum: Accum,
+}
+
+impl CheckState {
+    fn new(assertion: StreamingAssertion) -> CheckState {
+        CheckState {
+            name: assertion.to_string(),
+            assertion,
+            verdict: Verdict::Pending,
+            consecutive_failing: 0,
+            first_failing_at_us: None,
+            violated_at_us: None,
+            detail: String::new(),
+            windows: 0,
+            accum: Accum::new(),
+        }
+    }
+
+    /// Folds one event into the accumulator. Returns `Some(detail)`
+    /// when the event itself causes an unrecoverable breach.
+    fn feed(&mut self, event: &Event) -> Option<String> {
+        if self.verdict.is_final() {
+            return None;
+        }
+        match &self.assertion {
+            StreamingAssertion::LatencySlo { service, .. } => {
+                if event.dst.as_str() == service {
+                    if let Some(latency) = event.observed_latency() {
+                        self.accum.latency.record(latency);
+                    }
+                }
+            }
+            StreamingAssertion::HasTimeouts { service, .. } => {
+                if event.dst.as_str() == service {
+                    if let Some(latency) = event.observed_latency() {
+                        self.accum.responses += 1;
+                        self.accum.worst_latency_us = self
+                            .accum
+                            .worst_latency_us
+                            .max(latency.as_micros() as u64);
+                    }
+                }
+            }
+            StreamingAssertion::RequestRateAtLeast { src, dst, .. } => {
+                if event.kind.is_request()
+                    && event.src.as_str() == src
+                    && event.dst.as_str() == dst
+                {
+                    self.accum.requests += 1;
+                }
+            }
+            StreamingAssertion::ErrorRateAtMost { src, dst, .. } => {
+                if event.src.as_str() == src && event.dst.as_str() == dst {
+                    if let Some(status) = event.status() {
+                        self.accum.responses += 1;
+                        if status == 0 || (500..600).contains(&status) {
+                            self.accum.errors += 1;
+                        }
+                    }
+                }
+            }
+            StreamingAssertion::AtMostRequests { src, dst, max } => {
+                if event.kind.is_request()
+                    && event.src.as_str() == src
+                    && event.dst.as_str() == dst
+                {
+                    self.accum.requests += 1;
+                    if self.accum.requests as usize > *max {
+                        return Some(format!(
+                            "{} request(s) in the window exceeds the budget of {max}",
+                            self.accum.requests
+                        ));
+                    }
+                }
+            }
+            StreamingAssertion::StatusAtLeast {
+                src, dst, status, ..
+            }
+            | StreamingAssertion::StatusAtMost {
+                src, dst, status, ..
+            } => {
+                if event.src.as_str() == src
+                    && event.dst.as_str() == dst
+                    && event.status() == Some(*status)
+                {
+                    self.accum.matches += 1;
+                    if let StreamingAssertion::StatusAtMost { max, .. } = &self.assertion {
+                        if self.accum.matches as usize > *max {
+                            return Some(format!(
+                                "{} replies with the status exceeds the budget of {max}",
+                                self.accum.matches
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Evaluates the closing window, returning the window's verdict
+    /// (`None` when the window held no relevant observations and the
+    /// current verdict should persist).
+    fn evaluate(&mut self, window: Duration) -> Option<(bool, String)> {
+        let window_secs = window.as_secs_f64().max(1e-9);
+        match &self.assertion {
+            StreamingAssertion::LatencySlo {
+                quantile, bound, ..
+            } => {
+                let windowed = self.accum.window_latency();
+                if windowed.is_empty() {
+                    return None;
+                }
+                let measured = windowed.percentile(*quantile).unwrap_or(Duration::ZERO);
+                Some((
+                    measured <= *bound,
+                    format!(
+                        "window p{:.0} = {measured:?} over {} replies (bound {bound:?})",
+                        quantile * 100.0,
+                        windowed.count()
+                    ),
+                ))
+            }
+            StreamingAssertion::HasTimeouts { max_latency, .. } => {
+                if self.accum.responses == 0 {
+                    return None;
+                }
+                let worst = Duration::from_micros(self.accum.worst_latency_us);
+                Some((
+                    worst <= *max_latency,
+                    format!(
+                        "window max latency {worst:?} over {} replies (limit {max_latency:?})",
+                        self.accum.responses
+                    ),
+                ))
+            }
+            StreamingAssertion::RequestRateAtLeast { min_rate, .. } => {
+                let rate = self.accum.requests as f64 / window_secs;
+                Some((
+                    rate >= *min_rate,
+                    format!("window rate {rate:.1} req/s (min {min_rate})"),
+                ))
+            }
+            StreamingAssertion::ErrorRateAtMost { max_ratio, .. } => {
+                if self.accum.responses == 0 {
+                    return None;
+                }
+                let ratio = self.accum.errors as f64 / self.accum.responses as f64;
+                Some((
+                    ratio <= *max_ratio,
+                    format!(
+                        "window error rate {ratio:.3} over {} replies (max {max_ratio})",
+                        self.accum.responses
+                    ),
+                ))
+            }
+            StreamingAssertion::AtMostRequests { max, .. } => Some((
+                true,
+                format!(
+                    "{} request(s) in the window (budget {max})",
+                    self.accum.requests
+                ),
+            )),
+            StreamingAssertion::StatusAtLeast { count, .. } => {
+                if (self.accum.matches as usize) < *count {
+                    // Not yet satisfied — stay Pending rather than
+                    // alerting on an assertion only the end of the
+                    // run can settle.
+                    self.detail = format!(
+                        "{} of {count} required status matches observed",
+                        self.accum.matches
+                    );
+                    return None;
+                }
+                Some((
+                    true,
+                    format!("{} status matches (required {count})", self.accum.matches),
+                ))
+            }
+            StreamingAssertion::StatusAtMost { max, .. } => Some((
+                true,
+                format!("{} status matches (budget {max})", self.accum.matches),
+            )),
+        }
+    }
+
+    fn status(&self) -> LiveCheck {
+        LiveCheck {
+            name: self.name.clone(),
+            verdict: self.verdict,
+            detail: self.detail.clone(),
+            windows: self.windows,
+            first_failing_at_us: self.first_failing_at_us,
+            violated_at_us: self.violated_at_us,
+        }
+    }
+}
+
+struct MonitorInner {
+    violate_after: u32,
+    states: Vec<CheckState>,
+    window_start_us: Option<Micros>,
+    clock_us: Micros,
+    windows_closed: u64,
+    alerts: Vec<AlertEvent>,
+}
+
+impl MonitorInner {
+    fn transition(
+        &mut self,
+        index: usize,
+        to: Verdict,
+        at_us: Micros,
+        detail: String,
+        emitted: &mut Vec<AlertEvent>,
+    ) {
+        let state = &mut self.states[index];
+        let from = state.verdict;
+        state.detail.clone_from(&detail);
+        if from == to {
+            return;
+        }
+        state.verdict = to;
+        if to == Verdict::Failing && state.first_failing_at_us.is_none() {
+            state.first_failing_at_us = Some(at_us);
+        }
+        if to == Verdict::Violated {
+            state.violated_at_us = Some(at_us);
+            if state.first_failing_at_us.is_none() {
+                state.first_failing_at_us = Some(at_us);
+            }
+        }
+        let alert = AlertEvent {
+            seq: self.alerts.len() as u64,
+            at_us,
+            check: self.states[index].name.clone(),
+            from,
+            to,
+            detail,
+        };
+        self.alerts.push(alert.clone());
+        emitted.push(alert);
+    }
+
+    /// Closes the window ending at `end_us`: evaluates every
+    /// assertion, applies verdict transitions and the
+    /// consecutive-failing escalation, and rolls the accumulators.
+    fn close_window(&mut self, end_us: Micros, window: Duration, emitted: &mut Vec<AlertEvent>) {
+        self.windows_closed += 1;
+        for index in 0..self.states.len() {
+            let state = &mut self.states[index];
+            if state.verdict.is_final() {
+                continue;
+            }
+            let outcome = state.evaluate(window);
+            state.windows += 1;
+            state.accum.roll();
+            let Some((passed, detail)) = outcome else {
+                continue;
+            };
+            if passed {
+                let state = &mut self.states[index];
+                state.consecutive_failing = 0;
+                self.transition(index, Verdict::Passing, end_us, detail, emitted);
+            } else {
+                let state = &mut self.states[index];
+                state.consecutive_failing += 1;
+                let escalate = state.consecutive_failing >= self.violate_after;
+                // A failing window flips Pending/Passing to Failing;
+                // the Failing transition is recorded even when the
+                // same window close escalates to Violated, so
+                // subscribers see both steps of the machine.
+                self.transition(index, Verdict::Failing, end_us, detail.clone(), emitted);
+                if escalate {
+                    let detail = format!(
+                        "{detail}; {} consecutive failing window(s)",
+                        self.states[index].consecutive_failing
+                    );
+                    self.transition(index, Verdict::Violated, end_us, detail, emitted);
+                }
+            }
+        }
+    }
+}
+
+/// Streaming assertion engine over an [`EventStore`].
+///
+/// Wraps a [`HealthMonitor`] (the per-edge health matrix) and
+/// evaluates a [`MonitorSpec`]'s assertions per event-time window.
+/// Drive it with [`LiveMonitor::poll`] — typically from the load loop
+/// of a recipe or a background thread — and subscribe to verdicts via
+/// [`LiveMonitor::verdicts`], [`LiveMonitor::violated`] and
+/// [`LiveMonitor::alerts_after`].
+pub struct LiveMonitor {
+    health: HealthMonitor,
+    inner: Mutex<MonitorInner>,
+    alerts_total: Option<Arc<Counter>>,
+    failing_gauge: Option<Arc<Gauge>>,
+}
+
+impl fmt::Debug for LiveMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("LiveMonitor")
+            .field("window", &self.health.window())
+            .field("checks", &inner.states.len())
+            .field("windows_closed", &inner.windows_closed)
+            .field("alerts", &inner.alerts.len())
+            .finish()
+    }
+}
+
+impl LiveMonitor {
+    /// Creates a monitor over `store` evaluating `spec`, observing
+    /// the stream from its beginning.
+    pub fn new(store: Arc<EventStore>, spec: MonitorSpec) -> LiveMonitor {
+        LiveMonitor::build(HealthMonitor::new(store, spec.window), spec)
+    }
+
+    /// Creates a monitor that only observes events recorded after
+    /// this call — the recipe `monitor:` stanza uses this so earlier
+    /// steps of a chained test don't leak in.
+    pub fn tailing(store: Arc<EventStore>, spec: MonitorSpec) -> LiveMonitor {
+        LiveMonitor::build(HealthMonitor::tailing(store, spec.window), spec)
+    }
+
+    fn build(health: HealthMonitor, spec: MonitorSpec) -> LiveMonitor {
+        LiveMonitor {
+            health,
+            inner: Mutex::new(MonitorInner {
+                violate_after: spec.violate_after.max(1),
+                states: spec.assertions.into_iter().map(CheckState::new).collect(),
+                window_start_us: None,
+                clock_us: 0,
+                windows_closed: 0,
+                alerts: Vec::new(),
+            }),
+            alerts_total: None,
+            failing_gauge: None,
+        }
+    }
+
+    /// Builder-style: records alert counts and the failing-assertion
+    /// gauge into `registry` (`gremlin_monitor_alerts_total`,
+    /// `gremlin_monitor_checks_failing`).
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> LiveMonitor {
+        self.alerts_total = Some(registry.counter(
+            "gremlin_monitor_alerts_total",
+            "Verdict transitions emitted by the live monitor.",
+            &[],
+        ));
+        self.failing_gauge = Some(registry.gauge(
+            "gremlin_monitor_checks_failing",
+            "Streaming assertions currently failing or violated.",
+            &[],
+        ));
+        self
+    }
+
+    /// The evaluation window length.
+    pub fn window(&self) -> Duration {
+        self.health.window()
+    }
+
+    /// The underlying per-edge health matrix.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Consumes newly recorded events, folds them into the edge
+    /// matrix and the assertion windows, closes any completed
+    /// windows, and returns the verdict transitions this poll
+    /// produced.
+    pub fn poll(&self) -> Vec<AlertEvent> {
+        let fresh = self.health.poll();
+        let mut inner = self.inner.lock();
+        let mut emitted = Vec::new();
+        let window = self.health.window();
+        let window_us = (window.as_micros() as Micros).max(1);
+        for event in &fresh {
+            let ts = event.timestamp_us;
+            inner.clock_us = inner.clock_us.max(ts);
+            let start = *inner.window_start_us.get_or_insert(ts);
+            if ts >= start {
+                let mut start = start;
+                while ts >= start + window_us {
+                    start += window_us;
+                    inner.close_window(start, window, &mut emitted);
+                }
+                inner.window_start_us = Some(start);
+            }
+            for index in 0..inner.states.len() {
+                if let Some(detail) = inner.states[index].feed(event) {
+                    inner.transition(index, Verdict::Violated, ts, detail, &mut emitted);
+                }
+            }
+        }
+        self.publish(&inner, &emitted);
+        emitted
+    }
+
+    /// Closes the currently open (partial) window so end-of-run
+    /// verdicts reflect the final stretch of traffic. Call after the
+    /// last [`LiveMonitor::poll`]; recipes do this in
+    /// [`RecipeRun::finish`](crate::RecipeRun::finish).
+    pub fn finalize(&self) -> Vec<AlertEvent> {
+        let mut inner = self.inner.lock();
+        let mut emitted = Vec::new();
+        if inner.window_start_us.is_some() {
+            let end = inner.clock_us;
+            inner.close_window(end, self.health.window(), &mut emitted);
+            inner.window_start_us = Some(end);
+        }
+        self.publish(&inner, &emitted);
+        emitted
+    }
+
+    fn publish(&self, inner: &MonitorInner, emitted: &[AlertEvent]) {
+        if let Some(counter) = &self.alerts_total {
+            counter.add(emitted.len() as u64);
+        }
+        if let Some(gauge) = &self.failing_gauge {
+            let failing = inner
+                .states
+                .iter()
+                .filter(|s| matches!(s.verdict, Verdict::Failing | Verdict::Violated))
+                .count();
+            gauge.set(failing as i64);
+        }
+    }
+
+    /// The live status of every assertion.
+    pub fn verdicts(&self) -> Vec<LiveCheck> {
+        self.inner.lock().states.iter().map(CheckState::status).collect()
+    }
+
+    /// `true` once any assertion reached the terminal
+    /// [`Verdict::Violated`] state — the recipe abort-early signal.
+    pub fn violated(&self) -> bool {
+        self.inner
+            .lock()
+            .states
+            .iter()
+            .any(|s| s.verdict.is_final())
+    }
+
+    /// Alerts recorded at or after `cursor` (an index into the alert
+    /// log), plus the next cursor — the same contract as
+    /// [`EventStore::events_after`].
+    pub fn alerts_after(&self, cursor: u64) -> (Vec<AlertEvent>, u64) {
+        let inner = self.inner.lock();
+        let next = inner.alerts.len() as u64;
+        let from = (cursor as usize).min(inner.alerts.len());
+        (inner.alerts[from..].to_vec(), next)
+    }
+
+    /// Windows closed so far.
+    pub fn windows_closed(&self) -> u64 {
+        self.inner.lock().windows_closed
+    }
+
+    /// The current per-edge health matrix.
+    pub fn edge_health(&self) -> Vec<EdgeHealth> {
+        self.health.snapshot()
+    }
+}
+
+impl gremlin_proxy::MonitorSource for LiveMonitor {
+    fn refresh(&self) {
+        self.poll();
+    }
+
+    fn health_json(&self) -> String {
+        let edges = self.edge_health();
+        let checks = self.verdicts();
+        format!(
+            "{{\"window_us\":{},\"clock_us\":{},\"edges\":{},\"checks\":{}}}",
+            self.window().as_micros(),
+            self.health.clock_us(),
+            serde_json::to_string(&edges).unwrap_or_else(|_| "[]".into()),
+            serde_json::to_string(&checks).unwrap_or_else(|_| "[]".into()),
+        )
+    }
+
+    fn alert_lines_after(&self, cursor: u64) -> (Vec<String>, u64) {
+        let (alerts, next) = self.alerts_after(cursor);
+        let lines = alerts
+            .iter()
+            .filter_map(|alert| serde_json::to_string(alert).ok())
+            .collect();
+        (lines, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_store::AppliedFault;
+
+    fn sec(s: u64) -> Micros {
+        s * 1_000_000
+    }
+
+    fn request(ts: Micros) -> Event {
+        Event::request("a", "b", "GET", "/x")
+            .with_request_id("test-1")
+            .with_timestamp(ts)
+    }
+
+    fn reply_to(dst: &str, ts: Micros, status: u16, latency_ms: u64) -> Event {
+        Event::response("a", dst, status, Duration::from_millis(latency_ms))
+            .with_request_id("test-1")
+            .with_timestamp(ts)
+    }
+
+    fn monitor_with(spec: MonitorSpec) -> (Arc<EventStore>, LiveMonitor) {
+        let store = EventStore::shared();
+        let monitor = LiveMonitor::new(Arc::clone(&store), spec);
+        (store, monitor)
+    }
+
+    #[test]
+    fn latency_slo_fails_then_recovers() {
+        let spec = MonitorSpec::new(Duration::from_secs(2)).assert(
+            StreamingAssertion::LatencySlo {
+                service: "b".into(),
+                quantile: 0.99,
+                bound: Duration::from_millis(50),
+            },
+        );
+        let (store, monitor) = monitor_with(spec);
+
+        // Window 1 ([0, 2s)): slow replies -> Failing.
+        store.record_event(reply_to("b", sec(0), 200, 200));
+        store.record_event(reply_to("b", sec(1), 200, 300));
+        // Window 2 ([2s, 4s)): fast replies -> Passing.
+        store.record_event(reply_to("b", sec(2), 200, 5));
+        store.record_event(reply_to("b", sec(3), 200, 5));
+        // An event past window 2 closes it.
+        store.record_event(reply_to("b", sec(4), 200, 5));
+
+        let alerts = monitor.poll();
+        assert_eq!(alerts.len(), 2, "{alerts:?}");
+        assert_eq!(alerts[0].to, Verdict::Failing);
+        assert_eq!(alerts[1].to, Verdict::Passing);
+        let checks = monitor.verdicts();
+        assert_eq!(checks[0].verdict, Verdict::Passing);
+        assert_eq!(checks[0].first_failing_at_us, Some(sec(2)));
+        assert!(!monitor.violated());
+    }
+
+    #[test]
+    fn consecutive_failing_windows_escalate_to_violated() {
+        let spec = MonitorSpec::new(Duration::from_secs(1))
+            .violate_after(2)
+            .assert(StreamingAssertion::LatencySlo {
+                service: "b".into(),
+                quantile: 0.5,
+                bound: Duration::from_millis(10),
+            });
+        let (store, monitor) = monitor_with(spec);
+        for s in 0..4 {
+            store.record_event(reply_to("b", sec(s), 200, 100));
+        }
+        let alerts = monitor.poll();
+        // Window 1: Failing. Window 2: still failing -> Failing
+        // persists, escalation to Violated.
+        assert!(monitor.violated());
+        let kinds: Vec<Verdict> = alerts.iter().map(|a| a.to).collect();
+        assert_eq!(kinds, vec![Verdict::Failing, Verdict::Violated], "{alerts:?}");
+        let checks = monitor.verdicts();
+        assert_eq!(checks[0].verdict, Verdict::Violated);
+        assert!(checks[0].violated_at_us.is_some());
+        // Terminal: further windows change nothing.
+        store.record_event(reply_to("b", sec(10), 200, 1));
+        assert!(monitor.poll().is_empty());
+    }
+
+    #[test]
+    fn at_most_requests_violates_immediately_mid_window() {
+        let spec = MonitorSpec::new(Duration::from_secs(60)).assert(
+            StreamingAssertion::AtMostRequests {
+                src: "a".into(),
+                dst: "b".into(),
+                max: 2,
+            },
+        );
+        let (store, monitor) = monitor_with(spec);
+        store.record_event(request(sec(0)));
+        store.record_event(request(sec(1)));
+        assert!(monitor.poll().is_empty());
+        assert!(!monitor.violated());
+        // The third request breaches the budget inside the window: no
+        // window close needed.
+        store.record_event(request(sec(2)));
+        let alerts = monitor.poll();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].to, Verdict::Violated);
+        assert!(monitor.violated());
+        assert_eq!(monitor.verdicts()[0].violated_at_us, Some(sec(2)));
+    }
+
+    #[test]
+    fn request_rate_fails_on_starved_window() {
+        let spec = MonitorSpec::new(Duration::from_secs(1)).assert(
+            StreamingAssertion::RequestRateAtLeast {
+                src: "a".into(),
+                dst: "b".into(),
+                min_rate: 2.0,
+            },
+        );
+        let (store, monitor) = monitor_with(spec);
+        // Window 1: 3 requests -> 3 req/s, passing.
+        for i in 0..3 {
+            store.record_event(request(i * 300_000));
+        }
+        // Window 2: only unrelated traffic -> rate 0, failing.
+        store.record_event(
+            Event::request("a", "c", "GET", "/x").with_timestamp(sec(1) + 100_000),
+        );
+        store.record_event(
+            Event::request("a", "c", "GET", "/x").with_timestamp(sec(2) + 100_000),
+        );
+        let alerts = monitor.poll();
+        let kinds: Vec<Verdict> = alerts.iter().map(|a| a.to).collect();
+        assert_eq!(kinds, vec![Verdict::Passing, Verdict::Failing], "{alerts:?}");
+    }
+
+    #[test]
+    fn error_rate_counts_faulted_replies() {
+        let spec = MonitorSpec::new(Duration::from_secs(2)).assert(
+            StreamingAssertion::ErrorRateAtMost {
+                src: "a".into(),
+                dst: "b".into(),
+                max_ratio: 0.2,
+            },
+        );
+        let (store, monitor) = monitor_with(spec);
+        store.record_event(reply_to("b", sec(0), 200, 1));
+        store.record_event(
+            reply_to("b", sec(1), 503, 1).with_fault(AppliedFault::Abort { status: 503 }),
+        );
+        store.record_event(reply_to("b", sec(3), 200, 1)); // closes window 1
+        let alerts = monitor.poll();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].to, Verdict::Failing);
+        assert!(alerts[0].detail.contains("0.5"), "{}", alerts[0].detail);
+    }
+
+    #[test]
+    fn status_bounds_track_cumulative_matches() {
+        let spec = MonitorSpec::new(Duration::from_secs(1))
+            .assert(StreamingAssertion::StatusAtLeast {
+                src: "a".into(),
+                dst: "b".into(),
+                status: 503,
+                count: 2,
+            })
+            .assert(StreamingAssertion::StatusAtMost {
+                src: "a".into(),
+                dst: "b".into(),
+                status: 503,
+                max: 3,
+            });
+        let (store, monitor) = monitor_with(spec);
+        store.record_event(reply_to("b", sec(0), 503, 1));
+        store.record_event(reply_to("b", sec(2), 503, 1)); // closes window 1
+        monitor.poll();
+        let checks = monitor.verdicts();
+        // One match at window close: at-least still pending.
+        assert_eq!(checks[0].verdict, Verdict::Pending);
+        assert_eq!(checks[1].verdict, Verdict::Passing);
+        store.record_event(reply_to("b", sec(4), 503, 1)); // closes window 2 (2 matches)
+        monitor.poll();
+        assert_eq!(monitor.verdicts()[0].verdict, Verdict::Passing);
+        // One more match blows the at-most budget of 3 immediately.
+        store.record_event(reply_to("b", sec(5), 503, 1));
+        monitor.poll();
+        let checks = monitor.verdicts();
+        assert_eq!(checks[1].verdict, Verdict::Violated, "{checks:?}");
+        assert!(monitor.violated());
+    }
+
+    #[test]
+    fn finalize_closes_the_partial_window() {
+        let spec = MonitorSpec::new(Duration::from_secs(60)).assert(
+            StreamingAssertion::LatencySlo {
+                service: "b".into(),
+                quantile: 0.5,
+                bound: Duration::from_millis(10),
+            },
+        );
+        let (store, monitor) = monitor_with(spec);
+        store.record_event(reply_to("b", sec(0), 200, 100));
+        monitor.poll();
+        // The 60s window never closes on its own.
+        assert_eq!(monitor.verdicts()[0].verdict, Verdict::Pending);
+        let alerts = monitor.finalize();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(monitor.verdicts()[0].verdict, Verdict::Failing);
+    }
+
+    #[test]
+    fn alerts_after_pages_the_log() {
+        let spec = MonitorSpec::new(Duration::from_secs(1)).assert(
+            StreamingAssertion::RequestRateAtLeast {
+                src: "a".into(),
+                dst: "b".into(),
+                min_rate: 0.5,
+            },
+        );
+        let (store, monitor) = monitor_with(spec);
+        store.record_event(request(sec(0)));
+        store.record_event(request(sec(2)));
+        monitor.poll();
+        let (alerts, next) = monitor.alerts_after(0);
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].seq, 0);
+        let (rest, next_2) = monitor.alerts_after(next);
+        assert!(rest.is_empty());
+        assert_eq!(next, next_2);
+    }
+
+    #[test]
+    fn telemetry_records_alerts_and_failing_gauge() {
+        let registry = MetricsRegistry::new();
+        let store = EventStore::shared();
+        let monitor = LiveMonitor::new(
+            Arc::clone(&store),
+            MonitorSpec::new(Duration::from_secs(1)).assert(StreamingAssertion::LatencySlo {
+                service: "b".into(),
+                quantile: 0.5,
+                bound: Duration::from_millis(10),
+            }),
+        )
+        .with_telemetry(&registry);
+        store.record_event(reply_to("b", sec(0), 200, 100));
+        store.record_event(reply_to("b", sec(2), 200, 100));
+        monitor.poll();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter_value("gremlin_monitor_alerts_total", &[]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.gauge_value("gremlin_monitor_checks_failing", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn live_check_collapses_to_post_hoc_check() {
+        let check = LiveCheck {
+            name: "LiveLatencySlo(b, p99 <= 10ms)".into(),
+            verdict: Verdict::Failing,
+            detail: "window p99 = 100ms".into(),
+            windows: 3,
+            first_failing_at_us: Some(123),
+            violated_at_us: None,
+        };
+        let collapsed = check.to_check();
+        assert!(!collapsed.passed);
+        assert!(collapsed.details.contains("first failing at 123us"));
+        let pending = LiveCheck {
+            name: "x".into(),
+            verdict: Verdict::Pending,
+            detail: String::new(),
+            windows: 0,
+            first_failing_at_us: None,
+            violated_at_us: None,
+        };
+        assert!(!pending.to_check().passed, "pending is inconclusive");
+        let passing = LiveCheck {
+            verdict: Verdict::Passing,
+            ..pending
+        };
+        assert!(passing.to_check().passed);
+    }
+
+    #[test]
+    fn tailing_monitor_ignores_history() {
+        let store = EventStore::shared();
+        store.record_event(reply_to("b", sec(0), 200, 500));
+        let monitor = LiveMonitor::tailing(
+            Arc::clone(&store),
+            MonitorSpec::new(Duration::from_secs(1)).assert(StreamingAssertion::LatencySlo {
+                service: "b".into(),
+                quantile: 0.5,
+                bound: Duration::from_millis(10),
+            }),
+        );
+        store.record_event(reply_to("b", sec(10), 200, 1));
+        store.record_event(reply_to("b", sec(12), 200, 1));
+        monitor.poll();
+        // Only the fast post-attach replies were seen: passing.
+        assert_eq!(monitor.verdicts()[0].verdict, Verdict::Passing);
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        let spec = MonitorSpec::new(Duration::from_secs(5))
+            .violate_after(2)
+            .assert(StreamingAssertion::LatencySlo {
+                service: "web".into(),
+                quantile: 0.99,
+                bound: Duration::from_millis(250),
+            })
+            .assert(StreamingAssertion::AtMostRequests {
+                src: "a".into(),
+                dst: "b".into(),
+                max: 5,
+            });
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: MonitorSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // violate_after defaults when absent.
+        let minimal: MonitorSpec =
+            serde_json::from_str(r#"{"window":{"secs":1,"nanos":0},"assertions":[]}"#).unwrap();
+        assert_eq!(minimal.violate_after, 3);
+    }
+
+    #[test]
+    fn monitor_source_json_shapes() {
+        use gremlin_proxy::MonitorSource;
+        let spec = MonitorSpec::new(Duration::from_secs(1)).assert(
+            StreamingAssertion::RequestRateAtLeast {
+                src: "a".into(),
+                dst: "b".into(),
+                min_rate: 0.5,
+            },
+        );
+        let (store, monitor) = monitor_with(spec);
+        store.record_event(request(sec(0)));
+        store.record_event(request(sec(2)));
+        monitor.refresh();
+        let health = monitor.health_json();
+        assert!(health.starts_with("{\"window_us\":1000000"), "{health}");
+        assert!(health.contains("\"edges\":["), "{health}");
+        assert!(health.contains("\"checks\":["), "{health}");
+        let parsed: serde_json::Value = serde_json::from_str(&health).unwrap();
+        assert!(parsed["edges"][0]["requests"].as_u64().unwrap() >= 1);
+        let (lines, next) = monitor.alert_lines_after(0);
+        assert!(!lines.is_empty());
+        assert!(next >= 1);
+        let alert: serde_json::Value = serde_json::from_str(&lines[0]).unwrap();
+        assert_eq!(alert["seq"], 0);
+    }
+}

@@ -19,6 +19,7 @@ use gremlin_telemetry::{MetricsRegistry, SampleValue, TelemetrySnapshot};
 use crate::checker::{AssertionChecker, Check};
 use crate::error::CoreError;
 use crate::graph::AppGraph;
+use crate::monitor::{AlertEvent, LiveCheck, LiveMonitor, MonitorSpec, Verdict};
 use crate::orchestrator::{FailureOrchestrator, OrchestrationStats};
 use crate::scenarios::Scenario;
 use crate::trace::TraceDigest;
@@ -131,6 +132,7 @@ pub struct RecipeRun<'a> {
     checks: Vec<Check>,
     injected: Vec<String>,
     baseline: TelemetrySnapshot,
+    monitor: Option<LiveMonitor>,
 }
 
 impl<'a> RecipeRun<'a> {
@@ -143,7 +145,56 @@ impl<'a> RecipeRun<'a> {
             checks: Vec::new(),
             injected: Vec::new(),
             baseline: ctx.telemetry.snapshot(),
+            monitor: None,
         }
+    }
+
+    /// Attaches the recipe's `monitor:` stanza: a [`LiveMonitor`]
+    /// tailing the context's store (history recorded before this call
+    /// is ignored) and publishing alert telemetry into the context's
+    /// registry. The final [`RecipeReport`] records each assertion's
+    /// last verdict and when it first flipped to failing.
+    pub fn start_monitor(&mut self, spec: MonitorSpec) -> &LiveMonitor {
+        self.monitor.insert(
+            LiveMonitor::tailing(Arc::clone(&self.ctx.store), spec)
+                .with_telemetry(&self.ctx.telemetry),
+        )
+    }
+
+    /// The attached live monitor, if [`RecipeRun::start_monitor`] ran.
+    pub fn monitor(&self) -> Option<&LiveMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Polls the attached monitor, returning any fresh verdict
+    /// transitions (empty without a monitor).
+    pub fn poll_monitor(&self) -> Vec<AlertEvent> {
+        self.monitor
+            .as_ref()
+            .map(|monitor| monitor.poll())
+            .unwrap_or_default()
+    }
+
+    /// Polls the monitor and, when any streaming assertion has
+    /// reached the terminal [`Verdict::Violated`], tears the staged
+    /// faults down so the experiment stops early. Returns whether the
+    /// run aborted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent failures from clearing the rules.
+    pub fn abort_if_violated(&mut self) -> Result<bool, CoreError> {
+        let violated = match &self.monitor {
+            Some(monitor) => {
+                monitor.poll();
+                monitor.violated()
+            }
+            None => false,
+        };
+        if violated {
+            self.ctx.clear_faults()?;
+        }
+        Ok(violated)
     }
 
     /// The context this run executes against.
@@ -177,14 +228,25 @@ impl<'a> RecipeRun<'a> {
 
     /// Finishes the run, producing the report. The report carries the
     /// delta between the context's telemetry now and the baseline
-    /// captured when the run started.
+    /// captured when the run started. An attached monitor is
+    /// finalized (its partial window closed) and its verdicts
+    /// embedded; a `Violated` assertion fails the run even when every
+    /// recorded post-hoc check passed.
     pub fn finish(self) -> RecipeReport {
-        let passed = self.passing();
+        let monitor = match &self.monitor {
+            Some(monitor) => {
+                monitor.finalize();
+                monitor.verdicts()
+            }
+            None => Vec::new(),
+        };
+        let passed = self.passing() && monitor.iter().all(|c| c.verdict != Verdict::Violated);
         let metrics_delta = self.ctx.telemetry.snapshot().delta(&self.baseline);
         RecipeReport {
             name: self.name,
             injected: self.injected,
             checks: self.checks,
+            monitor,
             passed,
             metrics_delta,
             traces: TraceDigest::from_store(&self.ctx.store),
@@ -201,7 +263,12 @@ pub struct RecipeReport {
     pub injected: Vec<String>,
     /// Check results, in order.
     pub checks: Vec<Check>,
-    /// `true` when every check passed.
+    /// Final status of each streaming assertion from the run's
+    /// `monitor:` stanza (empty when none was attached), including
+    /// when each first flipped to failing.
+    pub monitor: Vec<LiveCheck>,
+    /// `true` when every check passed and no monitored assertion was
+    /// violated.
     pub passed: bool,
     /// What the run changed in the context's metrics registry
     /// (counters and histograms as before/after deltas, gauges at
@@ -268,6 +335,21 @@ impl RecipeReport {
                 ));
             }
         }
+        if !self.monitor.is_empty() {
+            out.push_str("\n**Live monitor**\n\n");
+            out.push_str("| Assertion | Verdict | First failing | Detail |\n|---|---|---|---|\n");
+            for live in &self.monitor {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    live.name.replace('|', "\\|"),
+                    live.verdict,
+                    live.first_failing_at_us
+                        .map(|at| format!("{at}us"))
+                        .unwrap_or_else(|| "-".to_string()),
+                    live.detail.replace('|', "\\|")
+                ));
+            }
+        }
         let counters = self.counter_changes();
         if !counters.is_empty() {
             out.push_str("\n**Metrics delta**\n\n");
@@ -295,6 +377,13 @@ impl fmt::Display for RecipeReport {
         }
         for check in &self.checks {
             writeln!(f, "  {check}")?;
+        }
+        for live in &self.monitor {
+            write!(f, "  monitor: {live}")?;
+            if let Some(at) = live.first_failing_at_us {
+                write!(f, " (first failing at {at}us)")?;
+            }
+            writeln!(f)?;
         }
         for (series, value) in self.counter_changes() {
             writeln!(f, "  metric: {series} +{value}")?;
@@ -435,6 +524,63 @@ mod tests {
         assert_eq!(report.traces.slowest.as_ref().unwrap().request_id, "flow-9");
         assert!(report.to_string().contains("traces: 1 flow(s)"));
         assert!(report.to_markdown().contains("**Traces**"));
+    }
+
+    #[test]
+    fn monitor_stanza_records_flips_and_aborts_early() {
+        use crate::monitor::{MonitorSpec, StreamingAssertion};
+        use std::time::Duration;
+
+        let (ctx, agent) = context();
+        ctx.inject(&Scenario::abort("a", "b", 503)).unwrap();
+        assert_eq!(agent.rules.lock().len(), 1);
+
+        let mut run = RecipeRun::new("monitored", &ctx);
+        run.start_monitor(
+            MonitorSpec::new(Duration::from_millis(10))
+                .violate_after(1)
+                .assert(StreamingAssertion::ErrorRateAtMost {
+                    src: "a".into(),
+                    dst: "b".into(),
+                    max_ratio: 0.1,
+                }),
+        );
+
+        // All-503 traffic; event timestamps drive the 10ms windows,
+        // so the reply at 15ms closes the first (all-error) window.
+        for i in 0..4u64 {
+            let ts = i * 7_000;
+            ctx.store()
+                .record_event(gremlin_store::Event::request("a", "b", "GET", "/x").with_timestamp(ts));
+            let mut reply =
+                gremlin_store::Event::response("a", "b", 503, Duration::from_millis(1));
+            reply.timestamp_us = ts + 1_000;
+            ctx.store().record_event(reply);
+        }
+
+        assert!(run.abort_if_violated().unwrap(), "must abort on Violated");
+        assert!(agent.rules.lock().is_empty(), "early abort clears rules");
+
+        let report = run.finish();
+        assert!(!report.passed, "a violated assertion fails the run");
+        assert_eq!(report.monitor.len(), 1);
+        assert_eq!(report.monitor[0].verdict, Verdict::Violated);
+        assert!(report.monitor[0].first_failing_at_us.is_some());
+        let text = report.to_string();
+        assert!(text.contains("monitor: [violated]"), "{text}");
+        assert!(text.contains("first failing at"), "{text}");
+        assert!(report.to_markdown().contains("**Live monitor**"));
+    }
+
+    #[test]
+    fn runs_without_monitor_report_no_live_checks() {
+        let (ctx, _agent) = context();
+        let run = RecipeRun::new("plain", &ctx);
+        assert!(run.monitor().is_none());
+        assert!(run.poll_monitor().is_empty());
+        let report = run.finish();
+        assert!(report.monitor.is_empty());
+        assert!(report.passed);
     }
 
     #[test]

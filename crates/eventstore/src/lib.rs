@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod health;
 pub mod name;
 pub mod pattern;
 pub mod query;
@@ -48,6 +49,7 @@ pub mod spans;
 pub mod store;
 
 pub use event::{now_micros, AppliedFault, Event, EventKind, Micros};
+pub use health::{EdgeHealth, HealthMonitor, DEFAULT_HEALTH_WINDOW};
 pub use name::Name;
 pub use pattern::Pattern;
 pub use query::{KindFilter, Query};

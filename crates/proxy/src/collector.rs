@@ -19,11 +19,55 @@ use std::time::Instant;
 use gremlin_http::{
     ConnInfo, HttpClient, HttpServer, Method, Reply, Request, Response, StatusCode, StreamingBody,
 };
-use gremlin_store::{Event, EventSink, EventStore};
-use gremlin_telemetry::{Counter, LatencyHistogram, MetricsRegistry};
+use gremlin_store::{Event, EventSink, EventStore, HealthMonitor, DEFAULT_HEALTH_WINDOW};
+use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 
 use crate::control::metrics_response;
 use crate::error::ProxyError;
+
+/// A live experiment monitor the collector can serve: the per-edge
+/// health matrix on `GET /health` and the verdict-transition stream
+/// on `GET /alerts`.
+///
+/// The plain [`HealthMonitor`] implements this with an empty check
+/// list and no alerts; `gremlin-core`'s `LiveMonitor` (which layers
+/// streaming assertions on top and sits *above* this crate in the
+/// dependency order) implements it with both populated. The trait is
+/// what lets the collector host either without the data plane
+/// depending on the analysis layer.
+pub trait MonitorSource: Send + Sync + std::fmt::Debug {
+    /// Consumes newly recorded events (incremental — implementations
+    /// use `EventStore::events_after`, never full-store scans).
+    fn refresh(&self);
+
+    /// The current monitor state as a JSON object:
+    /// `{"window_us":..,"clock_us":..,"edges":[..],"checks":[..]}`.
+    fn health_json(&self) -> String;
+
+    /// Serialized alert events (one JSON object per line entry)
+    /// recorded at or after `cursor`, plus the next cursor.
+    fn alert_lines_after(&self, cursor: u64) -> (Vec<String>, u64);
+}
+
+impl MonitorSource for HealthMonitor {
+    fn refresh(&self) {
+        self.poll();
+    }
+
+    fn health_json(&self) -> String {
+        let edges = self.snapshot();
+        format!(
+            "{{\"window_us\":{},\"clock_us\":{},\"edges\":{},\"checks\":[]}}",
+            self.window().as_micros(),
+            self.clock_us(),
+            serde_json::to_string(&edges).unwrap_or_else(|_| "[]".into()),
+        )
+    }
+
+    fn alert_lines_after(&self, cursor: u64) -> (Vec<String>, u64) {
+        (Vec::new(), cursor)
+    }
+}
 
 /// Telemetry handles for the collector's ingest path.
 #[derive(Debug)]
@@ -33,6 +77,9 @@ struct CollectorMetrics {
     parse_errors: Arc<Counter>,
     dropped_events: Arc<Counter>,
     append_seconds: Arc<LatencyHistogram>,
+    tail_subscribers: Arc<Gauge>,
+    alert_subscribers: Arc<Gauge>,
+    alerts_streamed: Arc<Counter>,
 }
 
 impl CollectorMetrics {
@@ -63,7 +110,31 @@ impl CollectorMetrics {
                 "Time to parse and append one observation batch.",
                 &[],
             ),
+            tail_subscribers: registry.gauge(
+                "gremlin_collector_tail_subscribers",
+                "Clients currently connected to GET /tail.",
+                &[],
+            ),
+            alert_subscribers: registry.gauge(
+                "gremlin_collector_alert_subscribers",
+                "Clients currently connected to GET /alerts.",
+                &[],
+            ),
+            alerts_streamed: registry.counter(
+                "gremlin_collector_alerts_streamed_total",
+                "Alert lines written to GET /alerts subscribers.",
+                &[],
+            ),
         }
+    }
+}
+
+/// Decrements a subscriber gauge when a streaming connection ends.
+struct SubscriberGuard(Arc<Gauge>);
+
+impl Drop for SubscriberGuard {
+    fn drop(&mut self) {
+        self.0.dec();
     }
 }
 
@@ -78,13 +149,25 @@ impl CollectorMetrics {
 /// | GET    | `/events`      | dump the store as newline-delimited JSON  |
 /// | GET    | `/traces/<id>` | flow `<id>` as an OTLP-style JSON trace   |
 /// | GET    | `/tail`        | chunked live stream of new events (NDJSON)|
+/// | GET    | `/health`      | live edge health matrix + check verdicts  |
+/// | GET    | `/alerts`      | chunked NDJSON stream of verdict alerts   |
 /// | GET    | `/stats`       | ingest statistics JSON (see below)        |
 /// | GET    | `/metrics`     | Prometheus text exposition                |
 /// | DELETE | `/events`      | clear the store                           |
 ///
 /// `GET /stats` returns
-/// `{"events":N,"batches":B,"appended":A,"parse_errors":P,"dropped":D}`:
-/// the store size plus cumulative ingest counters.
+/// `{"events":N,"batches":B,"appended":A,"parse_errors":P,"dropped":D,
+/// "tail_cursor":C,"tail_subscribers":S,"alert_subscribers":S}`: the
+/// store size, cumulative ingest counters, the store's tail-cursor
+/// position (so `gremlin watch` can show consumer lag), and the
+/// number of currently connected streaming clients.
+///
+/// `GET /health` refreshes the in-process [`MonitorSource`] and
+/// returns `{"window_us":..,"clock_us":..,"edges":[..],"checks":[..]}`
+/// — the per-(src,dst) edge health matrix plus (when the monitor
+/// carries streaming assertions) live check verdicts. `GET /alerts`
+/// streams verdict transitions as NDJSON with the same chunked
+/// machinery as `/tail`, replaying the full alert log first.
 ///
 /// A batch containing malformed lines is answered with `400`; valid
 /// lines from the same batch are still appended, and the rejected
@@ -105,6 +188,7 @@ pub struct CollectorServer {
     server: HttpServer,
     store: Arc<EventStore>,
     registry: Arc<MetricsRegistry>,
+    monitor: Arc<dyn MonitorSource>,
 }
 
 impl CollectorServer {
@@ -123,7 +207,8 @@ impl CollectorServer {
 
     /// Starts a collector recording into a shared registry. The
     /// store's own telemetry (`gremlin_store_*`) is enabled on the
-    /// same registry.
+    /// same registry, and `/health` serves a plain edge health
+    /// matrix (a [`HealthMonitor`] with no streaming assertions).
     ///
     /// # Errors
     ///
@@ -133,18 +218,43 @@ impl CollectorServer {
         addr: impl ToSocketAddrs,
         registry: Arc<MetricsRegistry>,
     ) -> Result<CollectorServer, ProxyError> {
+        let monitor: Arc<dyn MonitorSource> = Arc::new(HealthMonitor::new(
+            Arc::clone(&store),
+            DEFAULT_HEALTH_WINDOW,
+        ));
+        CollectorServer::start_with_monitor(store, addr, registry, monitor)
+    }
+
+    /// Starts a collector serving `monitor` on `/health` and
+    /// `/alerts` — pass `gremlin-core`'s `LiveMonitor` to run a full
+    /// streaming assertion engine in-process with the collector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start_with_monitor(
+        store: Arc<EventStore>,
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        monitor: Arc<dyn MonitorSource>,
+    ) -> Result<CollectorServer, ProxyError> {
         store.enable_telemetry(&registry);
         let metrics = Arc::new(CollectorMetrics::new(&registry));
         let handler_store = Arc::clone(&store);
         let handler_registry = Arc::clone(&registry);
+        let handler_monitor = Arc::clone(&monitor);
         let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
             if *request.method() == Method::Get && request.path() == "/tail" {
-                return tail_reply(&handler_store, &request);
+                return tail_reply(&handler_store, &request, &metrics);
+            }
+            if *request.method() == Method::Get && request.path() == "/alerts" {
+                return alerts_reply(&handler_monitor, &metrics);
             }
             Reply::Full(handle_collect(
                 &handler_store,
                 &handler_registry,
                 &metrics,
+                &handler_monitor,
                 request,
             ))
         })?;
@@ -152,6 +262,7 @@ impl CollectorServer {
             server,
             store,
             registry,
+            monitor,
         })
     }
 
@@ -169,12 +280,18 @@ impl CollectorServer {
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
     }
+
+    /// The monitor served on `/health` and `/alerts`.
+    pub fn monitor(&self) -> &Arc<dyn MonitorSource> {
+        &self.monitor
+    }
 }
 
 fn handle_collect(
     store: &Arc<EventStore>,
     registry: &Arc<MetricsRegistry>,
     metrics: &CollectorMetrics,
+    monitor: &Arc<dyn MonitorSource>,
     request: Request,
 ) -> Response {
     match (request.method().clone(), request.path()) {
@@ -241,14 +358,24 @@ fn handle_collect(
         (Method::Get, "/stats") => Response::builder(StatusCode::OK)
             .header("Content-Type", "application/json")
             .body(format!(
-                "{{\"events\":{},\"batches\":{},\"appended\":{},\"parse_errors\":{},\"dropped\":{}}}",
+                "{{\"events\":{},\"batches\":{},\"appended\":{},\"parse_errors\":{},\"dropped\":{},\"tail_cursor\":{},\"tail_subscribers\":{},\"alert_subscribers\":{}}}",
                 store.len(),
                 metrics.batches.get(),
                 metrics.events.get(),
                 metrics.parse_errors.get(),
-                metrics.dropped_events.get()
+                metrics.dropped_events.get(),
+                store.tail_cursor(),
+                metrics.tail_subscribers.get(),
+                metrics.alert_subscribers.get()
             ))
             .build(),
+        (Method::Get, "/health") => {
+            monitor.refresh();
+            Response::builder(StatusCode::OK)
+                .header("Content-Type", "application/json")
+                .body(monitor.health_json())
+                .build()
+        }
         (Method::Get, "/metrics") => metrics_response(&registry.render_prometheus()),
         (Method::Get, path) if path.starts_with("/traces/") => {
             trace_response(store, &path["/traces/".len()..])
@@ -289,14 +416,17 @@ pub(crate) fn trace_response(store: &EventStore, request_id: &str) -> Response {
 /// `GET /tail`: a chunked NDJSON stream of events. The cursor is
 /// pinned while handling the request, so nothing recorded after the
 /// request arrived is missed; `?from=0` replays history first.
-fn tail_reply(store: &Arc<EventStore>, request: &Request) -> Reply {
+fn tail_reply(store: &Arc<EventStore>, request: &Request, metrics: &Arc<CollectorMetrics>) -> Reply {
     let from_start = request
         .query()
         .map(|q| q.split('&').any(|pair| pair == "from=0"))
         .unwrap_or(false);
     let mut cursor = if from_start { 0 } else { store.tail_cursor() };
     let store = Arc::clone(store);
+    metrics.tail_subscribers.inc();
+    let guard = SubscriberGuard(Arc::clone(&metrics.tail_subscribers));
     let body = StreamingBody::new(StatusCode::OK, move |sink| {
+        let _guard = guard;
         let mut idle_polls = 0u32;
         loop {
             let (events, next) = store.events_after(cursor);
@@ -318,6 +448,44 @@ fn tail_reply(store: &Arc<EventStore>, request: &Request) -> Reply {
                     line.push('\n');
                     sink.send(line.as_bytes())?;
                 }
+            }
+        }
+    })
+    .header("Content-Type", "application/x-ndjson");
+    Reply::Stream(body)
+}
+
+/// `GET /alerts`: a chunked NDJSON stream of monitor verdict
+/// transitions. Unlike `/tail`, the stream starts at cursor 0 —
+/// the alert log is small and the history (which checks already
+/// flipped, and when) is exactly what a late subscriber needs.
+fn alerts_reply(monitor: &Arc<dyn MonitorSource>, metrics: &Arc<CollectorMetrics>) -> Reply {
+    let monitor = Arc::clone(monitor);
+    metrics.alert_subscribers.inc();
+    let guard = SubscriberGuard(Arc::clone(&metrics.alert_subscribers));
+    let streamed = Arc::clone(&metrics.alerts_streamed);
+    let body = StreamingBody::new(StatusCode::OK, move |sink| {
+        let _guard = guard;
+        let mut cursor = 0u64;
+        let mut idle_polls = 0u32;
+        loop {
+            monitor.refresh();
+            let (lines, next) = monitor.alert_lines_after(cursor);
+            cursor = next;
+            if lines.is_empty() {
+                thread::sleep(Duration::from_millis(25));
+                idle_polls += 1;
+                if idle_polls % 40 == 0 {
+                    sink.send(b"\n")?;
+                }
+                continue;
+            }
+            idle_polls = 0;
+            for line in &lines {
+                let mut line = line.clone();
+                line.push('\n');
+                sink.send(line.as_bytes())?;
+                streamed.inc();
             }
         }
     })
@@ -778,5 +946,147 @@ mod tests {
             sink.record(event(2));
         } // drop flushes
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn health_endpoint_serves_edge_matrix() {
+        let store = EventStore::shared();
+        store.record_event(
+            Event::request("web", "db", "GET", "/q")
+                .with_request_id("test-1")
+                .with_timestamp(1_000),
+        );
+        let mut reply = Event::response("web", "db", 200, Duration::from_millis(3))
+            .with_request_id("test-1");
+        reply.timestamp_us = 4_000;
+        store.record_event(reply);
+
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+        let resp = client
+            .send(collector.local_addr(), Request::get("/health"))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        assert_eq!(resp.headers().get("content-type"), Some("application/json"));
+        let body: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let edges = body["edges"].as_array().expect("edges array");
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0]["src"], "web");
+        assert_eq!(edges[0]["dst"], "db");
+        assert_eq!(edges[0]["requests"], 1);
+        assert_eq!(edges[0]["responses"], 1);
+        // The default monitor carries no assertion engine.
+        assert_eq!(body["checks"].as_array().map(Vec::len), Some(0));
+    }
+
+    /// A canned [`MonitorSource`] for exercising `/alerts` without
+    /// pulling the full streaming engine into this crate's tests.
+    #[derive(Debug, Default)]
+    struct FakeMonitor {
+        lines: std::sync::Mutex<Vec<String>>,
+        refreshes: AtomicU64,
+    }
+
+    impl MonitorSource for FakeMonitor {
+        fn refresh(&self) {
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn health_json(&self) -> String {
+            "{\"window_us\":0,\"clock_us\":0,\"edges\":[],\"checks\":[]}".to_string()
+        }
+
+        fn alert_lines_after(&self, cursor: u64) -> (Vec<String>, u64) {
+            let lines = self.lines.lock().unwrap();
+            let start = cursor as usize;
+            if start >= lines.len() {
+                return (Vec::new(), cursor);
+            }
+            (lines[start..].to_vec(), lines.len() as u64)
+        }
+    }
+
+    #[test]
+    fn alerts_stream_replays_history_then_follows() {
+        let store = EventStore::shared();
+        let monitor = Arc::new(FakeMonitor::default());
+        monitor
+            .lines
+            .lock()
+            .unwrap()
+            .push("{\"seq\":0,\"to\":\"failing\"}".to_string());
+        let collector = CollectorServer::start_with_monitor(
+            Arc::clone(&store),
+            "127.0.0.1:0",
+            MetricsRegistry::shared(),
+            Arc::clone(&monitor) as Arc<dyn MonitorSource>,
+        )
+        .unwrap();
+
+        let stream = std::net::TcpStream::connect(collector.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        gremlin_http::codec::write_request(&mut writer, &Request::get("/alerts")).unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let head = gremlin_http::codec::read_response_head(&mut reader).unwrap();
+        assert_eq!(head.status(), StatusCode::OK);
+        assert!(head.headers().is_chunked());
+
+        let mut chunks = gremlin_http::codec::ChunkReader::new(reader);
+        let mut seen = String::new();
+        // History (recorded before the subscriber connected) replays.
+        while !seen.contains("\"seq\":0") {
+            let chunk = chunks.next_chunk().unwrap().expect("stream ended");
+            seen.push_str(&String::from_utf8_lossy(&chunk));
+        }
+        // While connected, the subscriber gauge is visible on /stats
+        // and the stream keeps refreshing the monitor.
+        let client = HttpClient::new();
+        let stats = client
+            .send(collector.local_addr(), Request::get("/stats"))
+            .unwrap();
+        assert!(
+            stats.body_str().contains("\"alert_subscribers\":1"),
+            "stats: {}",
+            stats.body_str()
+        );
+        assert!(monitor.refreshes.load(Ordering::Relaxed) > 0);
+
+        // New alerts arrive live.
+        monitor
+            .lines
+            .lock()
+            .unwrap()
+            .push("{\"seq\":1,\"to\":\"violated\"}".to_string());
+        while !seen.contains("\"seq\":1") {
+            let chunk = chunks.next_chunk().unwrap().expect("stream ended");
+            seen.push_str(&String::from_utf8_lossy(&chunk));
+        }
+        let metrics = collector
+            .registry()
+            .snapshot()
+            .counter_value("gremlin_collector_alerts_streamed_total", &[]);
+        assert_eq!(metrics, Some(2));
+    }
+
+    #[test]
+    fn stats_reports_tail_cursor_and_subscriber_counts() {
+        let store = EventStore::shared();
+        store.record_event(event(1));
+        store.record_event(event(2));
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let client = HttpClient::new();
+        let stats = client
+            .send(collector.local_addr(), Request::get("/stats"))
+            .unwrap();
+        let body = stats.body_str();
+        assert!(
+            body.contains(&format!("\"tail_cursor\":{}", store.tail_cursor())),
+            "stats: {body}"
+        );
+        assert!(body.contains("\"tail_subscribers\":0"), "stats: {body}");
+        assert!(body.contains("\"alert_subscribers\":0"), "stats: {body}");
     }
 }

@@ -58,7 +58,7 @@ pub mod rules;
 pub mod table;
 
 pub use agent::{AgentConfig, GremlinAgent, Route};
-pub use collector::{CollectorServer, HttpEventSink, SinkConfig};
+pub use collector::{CollectorServer, HttpEventSink, MonitorSource, SinkConfig};
 pub use control::{AgentControl, AgentHealth, AgentStats, ControlClient, ControlServer};
 pub use error::ProxyError;
 pub use rules::{AbortKind, FaultAction, MessageSide, Rule};

@@ -16,6 +16,7 @@
 //! gremlin trace events.ndjson test-42     span tree + waterfall for one flow
 //! gremlin trace events.ndjson test-42 --json   OTLP-style JSON export
 //! gremlin tail <collector-addr>           live event stream from a collector
+//! gremlin watch <collector-addr>          live per-edge health + check dashboard
 //! gremlin metrics <addr,...>              scrape and summarize /metrics
 //! ```
 //!
@@ -61,6 +62,7 @@ fn usage() -> &'static str {
      gremlin check <events.ndjson> --assert <timeouts|bounded-retries|circuit-breaker|request-count> [options]\n  \
      gremlin trace <events.ndjson> <request-id> [--json]\n  \
      gremlin tail <collector-addr> [--from <cursor>] [--limit <n>]\n  \
+     gremlin watch <collector-addr> [--json] [--interval <dur>] [--count <n>]\n  \
      gremlin generate <graph.json> [--exclude svc]... [--pattern test-*]\n  \
      gremlin metrics <addr,...> [--raw]      scrape /metrics from agents or collectors"
 }
@@ -77,6 +79,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "check" => cmd_check(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "tail" => cmd_tail(&args[1..]),
+        "watch" => cmd_watch(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "" | "help" | "--help" | "-h" => Ok(usage().to_string()),
@@ -560,6 +563,130 @@ fn cmd_tail(args: &[String]) -> Result<String, Box<dyn Error>> {
     Ok(format!("stream ended after {seen} event(s)"))
 }
 
+fn cmd_watch(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::http::{HttpClient, Request};
+    use std::io::Write;
+
+    let addr: SocketAddr = positional(args, 0)?.parse()?;
+    let client = HttpClient::new();
+    let fetch = |path: &str| -> Result<String, Box<dyn Error>> {
+        let response = client
+            .send(addr, Request::get(path))
+            .map_err(|e| format!("cannot reach collector {addr}: {e}"))?;
+        if !response.status().is_success() {
+            return Err(format!(
+                "GET {path} on {addr} failed: HTTP {}",
+                response.status().as_u16()
+            )
+            .into());
+        }
+        Ok(response.body_str().to_string())
+    };
+
+    if has_flag(args, "--json") {
+        let value: serde_json::Value = serde_json::from_str(&fetch("/health")?)?;
+        return Ok(serde_json::to_string_pretty(&value)?);
+    }
+
+    let interval = parse_duration(flag_value(args, "--interval").unwrap_or("1s"))?;
+    let count: Option<u64> = match flag_value(args, "--count") {
+        Some(value) => Some(value.parse()?),
+        None => None,
+    };
+    let mut frames = 0u64;
+    loop {
+        let health = fetch("/health")?;
+        let stats = fetch("/stats").ok();
+        let frame = render_watch_frame(&addr.to_string(), &health, stats.as_deref())?;
+        // Clear screen + cursor home, then redraw in place.
+        print!("\x1b[2J\x1b[H{frame}");
+        std::io::stdout().flush()?;
+        frames += 1;
+        if count.is_some_and(|n| frames >= n) {
+            return Ok(format!("watched {frames} frame(s)"));
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Renders one `gremlin watch` dashboard frame from the collector's
+/// `/health` body (and, when available, `/stats`).
+fn render_watch_frame(
+    addr: &str,
+    health: &str,
+    stats: Option<&str>,
+) -> Result<String, Box<dyn Error>> {
+    use gremlin::core::format_duration;
+    use std::time::Duration;
+
+    let health: serde_json::Value =
+        serde_json::from_str(health).map_err(|e| format!("bad /health body: {e}"))?;
+    let window_us = health["window_us"].as_u64().unwrap_or(0);
+    let clock_us = health["clock_us"].as_u64().unwrap_or(0);
+    let mut out = format!(
+        "gremlin watch — collector {addr} (window {}, clock {})\n\n",
+        format_duration(Duration::from_micros(window_us)),
+        format_duration(Duration::from_micros(clock_us)),
+    );
+
+    out.push_str(&format!(
+        "{:<24} {:>9} {:>7} {:>10} {:>10} {:>8} {:>7}\n",
+        "EDGE", "RATE", "ERR%", "P50", "P99", "REQS", "FAULTS"
+    ));
+    let edges = health["edges"].as_array().cloned().unwrap_or_default();
+    if edges.is_empty() {
+        out.push_str("  (no traffic observed yet)\n");
+    }
+    for edge in &edges {
+        let src = edge["src"].as_str().unwrap_or("?");
+        let dst = edge["dst"].as_str().unwrap_or("?");
+        let rate = edge["rate_rps"].as_f64().unwrap_or(0.0);
+        let err = edge["error_rate"].as_f64().unwrap_or(0.0) * 100.0;
+        let p50 = Duration::from_micros(edge["p50_us"].as_u64().unwrap_or(0));
+        let p99 = Duration::from_micros(edge["p99_us"].as_u64().unwrap_or(0));
+        let requests = edge["requests"].as_u64().unwrap_or(0);
+        let faults = edge["fault_hits"].as_u64().unwrap_or(0);
+        out.push_str(&format!(
+            "{:<24} {:>8.1}/s {:>6.1}% {:>10} {:>10} {:>8} {:>7}\n",
+            format!("{src} -> {dst}"),
+            rate,
+            err,
+            format_duration(p50),
+            format_duration(p99),
+            requests,
+            faults,
+        ));
+    }
+
+    let checks = health["checks"].as_array().cloned().unwrap_or_default();
+    if !checks.is_empty() {
+        out.push_str("\nCHECKS\n");
+        for check in &checks {
+            let verdict = check["verdict"].as_str().unwrap_or("?").to_uppercase();
+            let name = check["name"].as_str().unwrap_or("?");
+            let detail = check["detail"].as_str().unwrap_or("");
+            if detail.is_empty() {
+                out.push_str(&format!("  [{verdict}] {name}\n"));
+            } else {
+                out.push_str(&format!("  [{verdict}] {name} — {detail}\n"));
+            }
+        }
+    }
+
+    if let Some(stats) = stats {
+        if let Ok(stats) = serde_json::from_str::<serde_json::Value>(stats) {
+            out.push_str(&format!(
+                "\nevents={} tail_cursor={} tail_subscribers={} alert_subscribers={}\n",
+                stats["events"].as_u64().unwrap_or(0),
+                stats["tail_cursor"].as_u64().unwrap_or(0),
+                stats["tail_subscribers"].as_u64().unwrap_or(0),
+                stats["alert_subscribers"].as_u64().unwrap_or(0),
+            ));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -755,6 +882,77 @@ mod tests {
         assert!(out.contains("tailed 2 event(s)"), "{out}");
 
         assert!(run(&args(&["tail", "not-an-addr"])).is_err());
+    }
+
+    #[test]
+    fn watch_json_and_dashboard_against_live_collector() {
+        use gremlin::proxy::CollectorServer;
+        use gremlin::store::Event;
+        use std::time::Duration;
+
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        store.record_event(
+            Event::request("web", "db", "GET", "/q")
+                .with_request_id("t-1")
+                .with_timestamp(1_000),
+        );
+        let mut reply =
+            Event::response("web", "db", 200, Duration::from_millis(2)).with_request_id("t-1");
+        reply.timestamp_us = 3_000;
+        store.record_event(reply);
+        let addr = collector.local_addr().to_string();
+
+        let json = run(&args(&["watch", &addr, "--json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["edges"][0]["src"], "web");
+        assert_eq!(value["edges"][0]["requests"], 1);
+
+        // One dashboard frame, then exit.
+        let out = run(&args(&["watch", &addr, "--count", "1", "--interval", "1ms"])).unwrap();
+        assert!(out.contains("watched 1 frame(s)"), "{out}");
+
+        assert!(run(&args(&["watch", "not-an-addr"])).is_err());
+    }
+
+    #[test]
+    fn watch_frame_renders_edges_checks_and_stats() {
+        let health = r#"{
+            "window_us": 10000000,
+            "clock_us": 12000000,
+            "edges": [{
+                "src": "web", "dst": "db",
+                "requests": 124, "responses": 120, "errors": 6, "fault_hits": 3,
+                "rate_rps": 12.4, "error_rate": 0.05,
+                "p50_us": 3100, "p99_us": 9800, "last_seen_us": 12000000
+            }],
+            "checks": [{
+                "name": "LiveLatencySlo(web, p99 <= 100ms)",
+                "verdict": "failing",
+                "detail": "p99 180ms over bound",
+                "windows": 2,
+                "first_failing_at_us": 10000000,
+                "violated_at_us": null
+            }]
+        }"#;
+        let stats = r#"{"events":124,"tail_cursor":248,"tail_subscribers":1,"alert_subscribers":0}"#;
+        let frame = render_watch_frame("127.0.0.1:9000", health, Some(stats)).unwrap();
+        assert!(frame.contains("web -> db"), "{frame}");
+        assert!(frame.contains("12.4/s"), "{frame}");
+        assert!(frame.contains("5.0%"), "{frame}");
+        assert!(frame.contains("[FAILING] LiveLatencySlo"), "{frame}");
+        assert!(frame.contains("tail_subscribers=1"), "{frame}");
+
+        // No traffic renders a placeholder instead of an empty table.
+        let empty = render_watch_frame(
+            "127.0.0.1:9000",
+            r#"{"window_us":0,"clock_us":0,"edges":[],"checks":[]}"#,
+            None,
+        )
+        .unwrap();
+        assert!(empty.contains("no traffic observed yet"), "{empty}");
+
+        assert!(render_watch_frame("a", "not json", None).is_err());
     }
 
     #[test]
