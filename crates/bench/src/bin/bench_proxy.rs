@@ -18,6 +18,10 @@
 //!    `LiveMonitor` polls the same store (streaming assertions over
 //!    `events_after`), reported as the relative p99 added latency so
 //!    CI can gate on the monitor staying out of the hot path.
+//! 6. **Anomaly-scorer overhead** — the monitored run repeated with
+//!    per-edge baselining and anomaly scoring enabled
+//!    (`MonitorSpec::anomaly`), reported as the p99 delta against the
+//!    scorer-off monitored run so CI can gate on the scorer too.
 //!
 //! Run: `cargo run --release -p gremlin-bench --bin bench_proxy`
 //!
@@ -30,7 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gremlin_core::{LiveMonitor, MonitorSpec, StreamingAssertion};
+use gremlin_core::{AnomalyConfig, LiveMonitor, MonitorSpec, StreamingAssertion};
 use gremlin_http::{ConnInfo, HttpServer, Request, Response};
 use gremlin_loadgen::{Cdf, LoadGenerator, LoadReport};
 use gremlin_proxy::{AbortKind, AgentConfig, GremlinAgent, MessageSide, Rule, RuleTable};
@@ -104,6 +108,40 @@ fn rule_match_stats(rules: usize, lookups: usize) -> serde_json::Value {
     })
 }
 
+/// Drives the closed-loop load through a fresh 0-rule agent while a
+/// background thread polls a [`LiveMonitor`] with the given spec over
+/// the agent's store — the shape shared by the monitor-overhead and
+/// anomaly-overhead measurements.
+fn run_monitored(
+    backend: std::net::SocketAddr,
+    requests: usize,
+    spec: MonitorSpec,
+) -> Result<LoadReport, Box<dyn Error>> {
+    let store = EventStore::shared();
+    let agent = GremlinAgent::start(
+        AgentConfig::new("client").route("server", vec![backend]),
+        Arc::clone(&store),
+    )?;
+    let monitor = Arc::new(LiveMonitor::new(Arc::clone(&store), spec));
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let monitor = Arc::clone(&monitor);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                monitor.poll();
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+    let report = run_load(agent.route_addr("server").expect("route"), requests);
+    assert_eq!(report.successes(), (requests / WORKERS) * WORKERS);
+    stop.store(true, Ordering::Relaxed);
+    let _ = poller.join();
+    agent.shutdown();
+    Ok(report)
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let requests: usize = std::env::var("GREMLIN_BENCH_REQUESTS")
         .ok()
@@ -169,41 +207,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     // the delta against the 0-rule run is the monitor's cost on the
     // data path (it should be ~zero: the monitor reads incrementally
     // off the hot path).
-    let store = EventStore::shared();
-    let agent = GremlinAgent::start(
-        AgentConfig::new("client").route("server", vec![backend.local_addr()]),
-        Arc::clone(&store),
-    )?;
-    let monitor = Arc::new(LiveMonitor::new(
-        Arc::clone(&store),
-        MonitorSpec::new(Duration::from_millis(100))
-            .assert(StreamingAssertion::LatencySlo {
-                service: "server".into(),
-                quantile: 0.99,
-                bound: Duration::from_secs(1),
-            })
-            .assert(StreamingAssertion::ErrorRateAtMost {
-                src: "client".into(),
-                dst: "server".into(),
-                max_ratio: 0.5,
-            }),
-    ));
-    let stop = Arc::new(AtomicBool::new(false));
-    let poller = {
-        let monitor = Arc::clone(&monitor);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                monitor.poll();
-                std::thread::sleep(Duration::from_millis(10));
-            }
+    let monitor_spec = MonitorSpec::new(Duration::from_millis(100))
+        .assert(StreamingAssertion::LatencySlo {
+            service: "server".into(),
+            quantile: 0.99,
+            bound: Duration::from_secs(1),
         })
-    };
-    let monitored = run_load(agent.route_addr("server").expect("route"), requests);
-    assert_eq!(monitored.successes(), (requests / WORKERS) * WORKERS);
-    stop.store(true, Ordering::Relaxed);
-    let _ = poller.join();
-    agent.shutdown();
+        .assert(StreamingAssertion::ErrorRateAtMost {
+            src: "client".into(),
+            dst: "server".into(),
+            max_ratio: 0.5,
+        });
+    let monitored = run_monitored(backend.local_addr(), requests, monitor_spec.clone())?;
     let monitor_off_p99 = quantile_us(&through[0].1.cdf(), 0.99);
     let monitor_on_p99 = quantile_us(&monitored.cdf(), 0.99);
     let monitor_overhead_p99_us = monitor_on_p99 - monitor_off_p99;
@@ -215,6 +230,32 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!(
         "agent, monitored: {:>9.0} req/s  (monitor adds p99 {monitor_overhead_p99_us:+.1}us, {monitor_overhead_p99_pct:+.2}%)",
         monitored.throughput(),
+    );
+
+    // (6) The same monitored run with per-edge baselining and anomaly
+    // scoring turned on: the delta against (5) is the scorer's cost.
+    // It also runs off the hot path, so CI gates it like the monitor.
+    let scored = run_monitored(
+        backend.local_addr(),
+        requests,
+        monitor_spec
+            .anomaly(AnomalyConfig::default().warmup_windows(2))
+            .assert(StreamingAssertion::AnomalousEdge {
+                src: "client".into(),
+                dst: "server".into(),
+            }),
+    )?;
+    let anomaly_off_p99 = quantile_us(&monitored.cdf(), 0.99);
+    let anomaly_on_p99 = quantile_us(&scored.cdf(), 0.99);
+    let anomaly_overhead_p99_us = anomaly_on_p99 - anomaly_off_p99;
+    let anomaly_overhead_pct = if anomaly_off_p99 > 0.0 {
+        anomaly_overhead_p99_us / anomaly_off_p99 * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "agent, scored:    {:>9.0} req/s  (scorer adds p99 {anomaly_overhead_p99_us:+.1}us, {anomaly_overhead_pct:+.2}%)",
+        scored.throughput(),
     );
 
     let output = serde_json::json!({
@@ -231,12 +272,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         "agent_100_rules": load_stats(&through[1].1, Some(&direct_cdf)),
         "agent_tracing_off": load_stats(&tracing_off, Some(&direct_cdf)),
         "agent_monitored": load_stats(&monitored, Some(&direct_cdf)),
+        "agent_anomaly_scored": load_stats(&scored, Some(&direct_cdf)),
         "tracing_overhead_p50_us": quantile_us(&through[0].1.cdf(), 0.5)
             - quantile_us(&tracing_off.cdf(), 0.5),
         "tracing_overhead_p99_us": quantile_us(&through[0].1.cdf(), 0.99)
             - quantile_us(&tracing_off.cdf(), 0.99),
         "monitor_overhead_p99_us": monitor_overhead_p99_us,
         "monitor_overhead_p99_pct": monitor_overhead_p99_pct,
+        "anomaly_overhead_p99_us": anomaly_overhead_p99_us,
+        "anomaly_overhead_pct": anomaly_overhead_pct,
         "rule_match": matching,
     });
 

@@ -1,0 +1,738 @@
+//! Adaptive anomaly scoring over the live edge health stream.
+//!
+//! The checker and the [`LiveMonitor`](crate::LiveMonitor) both take
+//! operator-supplied thresholds; this module replaces them with
+//! *learned* expectations. During a recipe's fault-free warmup the
+//! [`AnomalyScorer`] feeds per-`(src, dst)`
+//! [`EdgeBaseline`](gremlin_store::EdgeBaseline) profiles (rate EWMA,
+//! error-rate Wilson bound, latency percentiles with MAD dispersion);
+//! once a baseline is learned, every subsequent event-time window is
+//! scored as robust z-scores per dimension and the edge walks a
+//! hysteresis state machine:
+//!
+//! ```text
+//! Warming ──▶ Nominal ◀──▶ Suspect ──▶ Anomalous
+//!                              ◀──────────┘
+//! ```
+//!
+//! * `Warming` — still learning the baseline
+//!   ([`AnomalyConfig::warmup_windows`] windows with traffic).
+//! * `Nominal` — the latest window scored below
+//!   [`AnomalyConfig::suspect_z`].
+//! * `Suspect` — at least one window scored at or above `suspect_z`.
+//! * `Anomalous` — [`AnomalyConfig::anomalous_after`] *consecutive*
+//!   windows at suspect level.
+//!
+//! Recovery is hysteretic: an edge steps *down* one state only after
+//! [`AnomalyConfig::recover_after`] consecutive windows below
+//! [`AnomalyConfig::clear_z`]; scores between the two thresholds hold
+//! the current state.
+//!
+//! Every state transition is an [`AnomalyAlert`]; the
+//! [`LiveMonitor`](crate::LiveMonitor) interleaves them with verdict
+//! alerts on `GET /alerts` and exposes the scores on `GET /health`
+//! and through the streaming
+//! [`StreamingAssertion::AnomalousEdge`](crate::StreamingAssertion)
+//! assertion — a recipe `monitor:` stanza with zero fixed thresholds.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use gremlin_store::{BaselineBuilder, EdgeBaseline, Event, Micros, Name};
+use gremlin_telemetry::{HistogramSnapshot, LatencyHistogram};
+
+fn default_warmup_windows() -> u32 {
+    5
+}
+fn default_suspect_z() -> f64 {
+    3.0
+}
+fn default_clear_z() -> f64 {
+    1.5
+}
+fn default_anomalous_after() -> u32 {
+    2
+}
+fn default_recover_after() -> u32 {
+    2
+}
+
+/// Tuning for the [`AnomalyScorer`]'s warmup and hysteresis. All
+/// fields have serde defaults, so a recipe's `anomaly: {}` stanza is
+/// valid and threshold-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyConfig {
+    /// Windows with traffic to learn each edge's baseline over.
+    #[serde(default = "default_warmup_windows")]
+    pub warmup_windows: u32,
+    /// Combined score at which a window counts as suspect.
+    #[serde(default = "default_suspect_z")]
+    pub suspect_z: f64,
+    /// Combined score below which a window counts toward recovery.
+    #[serde(default = "default_clear_z")]
+    pub clear_z: f64,
+    /// Consecutive suspect-level windows (counted from the first)
+    /// before a `Suspect` edge escalates to `Anomalous`.
+    #[serde(default = "default_anomalous_after")]
+    pub anomalous_after: u32,
+    /// Consecutive clear windows before an edge steps down one state.
+    #[serde(default = "default_recover_after")]
+    pub recover_after: u32,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> AnomalyConfig {
+        AnomalyConfig {
+            warmup_windows: default_warmup_windows(),
+            suspect_z: default_suspect_z(),
+            clear_z: default_clear_z(),
+            anomalous_after: default_anomalous_after(),
+            recover_after: default_recover_after(),
+        }
+    }
+}
+
+impl AnomalyConfig {
+    /// Builder-style: sets the warmup window count (minimum 1).
+    pub fn warmup_windows(mut self, windows: u32) -> AnomalyConfig {
+        self.warmup_windows = windows.max(1);
+        self
+    }
+
+    /// Builder-style: sets the suspect threshold.
+    pub fn suspect_z(mut self, z: f64) -> AnomalyConfig {
+        self.suspect_z = z;
+        self
+    }
+
+    /// Builder-style: sets the recovery threshold.
+    pub fn clear_z(mut self, z: f64) -> AnomalyConfig {
+        self.clear_z = z;
+        self
+    }
+
+    /// Builder-style: sets the suspect-to-anomalous escalation count
+    /// (minimum 1).
+    pub fn anomalous_after(mut self, windows: u32) -> AnomalyConfig {
+        self.anomalous_after = windows.max(1);
+        self
+    }
+
+    /// Builder-style: sets the recovery window count (minimum 1).
+    pub fn recover_after(mut self, windows: u32) -> AnomalyConfig {
+        self.recover_after = windows.max(1);
+        self
+    }
+}
+
+/// Where an edge stands in the anomaly state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EdgeState {
+    /// Still learning the baseline.
+    Warming,
+    /// Behaving like the baseline.
+    Nominal,
+    /// At least one window scored at suspect level.
+    Suspect,
+    /// Consecutive suspect-level windows confirmed the deviation.
+    Anomalous,
+}
+
+impl fmt::Display for EdgeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EdgeState::Warming => "warming",
+            EdgeState::Nominal => "nominal",
+            EdgeState::Suspect => "suspect",
+            EdgeState::Anomalous => "anomalous",
+        })
+    }
+}
+
+/// One edge's live anomaly status: the latest window's z-scores, the
+/// state machine position, and the learned baseline (for delta
+/// rendering in `gremlin watch` and reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyScore {
+    /// Calling service.
+    pub src: String,
+    /// Called service.
+    pub dst: String,
+    /// State machine position.
+    pub state: EdgeState,
+    /// Combined score of the latest scored window (max of the
+    /// per-dimension z-scores).
+    pub score: f64,
+    /// Request-rate robust z-score of the latest window.
+    pub rate_z: f64,
+    /// Error-rate robust z-score of the latest window.
+    pub error_z: f64,
+    /// Latency robust z-score of the latest window.
+    pub latency_z: f64,
+    /// Highest combined score any window reached.
+    pub peak_score: f64,
+    /// Windows scored against the baseline so far.
+    pub windows: u64,
+    /// Event time when the edge first left `Nominal`, if ever.
+    pub first_suspect_at_us: Option<Micros>,
+    /// Event time when the edge first reached `Anomalous`, if ever.
+    pub anomalous_at_us: Option<Micros>,
+    /// The learned baseline (`None` while warming).
+    pub baseline: Option<EdgeBaseline>,
+}
+
+/// One anomaly state transition, interleaved with verdict alerts on
+/// the monitor's record log and `GET /alerts`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnomalyAlert {
+    /// Position in the monitor's record log (assigned on append).
+    pub seq: u64,
+    /// Event-time timestamp of the window close causing the
+    /// transition.
+    pub at_us: Micros,
+    /// Calling service.
+    pub src: String,
+    /// Called service.
+    pub dst: String,
+    /// State before the transition.
+    pub from: EdgeState,
+    /// State after the transition.
+    pub to: EdgeState,
+    /// Combined score of the window causing the transition.
+    pub score: f64,
+    /// Supporting detail (per-dimension z-scores or baseline summary).
+    pub detail: String,
+}
+
+impl fmt::Display for AnomalyAlert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}us] edge {} -> {} {} -> {} (score {:.1}) — {}",
+            self.at_us, self.src, self.dst, self.from, self.to, self.score, self.detail
+        )
+    }
+}
+
+/// Per-edge scorer state: the warmup accumulator, the learned
+/// baseline, the open window's counters, and the hysteresis streaks.
+struct EdgeTrack {
+    builder: BaselineBuilder,
+    baseline: Option<EdgeBaseline>,
+    state: EdgeState,
+    /// Cumulative latency histogram; windowed distributions come from
+    /// snapshot deltas at window closes.
+    latency: LatencyHistogram,
+    mark: HistogramSnapshot,
+    requests: u64,
+    responses: u64,
+    errors: u64,
+    high_streak: u32,
+    low_streak: u32,
+    score: f64,
+    rate_z: f64,
+    error_z: f64,
+    latency_z: f64,
+    peak_score: f64,
+    windows: u64,
+    first_suspect_at_us: Option<Micros>,
+    anomalous_at_us: Option<Micros>,
+}
+
+impl EdgeTrack {
+    fn new(src: &Name, dst: &Name) -> EdgeTrack {
+        EdgeTrack {
+            builder: BaselineBuilder::new(src.as_str(), dst.as_str()),
+            baseline: None,
+            state: EdgeState::Warming,
+            latency: LatencyHistogram::new(),
+            mark: HistogramSnapshot::empty(),
+            requests: 0,
+            responses: 0,
+            errors: 0,
+            high_streak: 0,
+            low_streak: 0,
+            score: 0.0,
+            rate_z: 0.0,
+            error_z: 0.0,
+            latency_z: 0.0,
+            peak_score: 0.0,
+            windows: 0,
+            first_suspect_at_us: None,
+            anomalous_at_us: None,
+        }
+    }
+
+    fn status(&self, src: &Name, dst: &Name) -> AnomalyScore {
+        AnomalyScore {
+            src: src.to_string(),
+            dst: dst.to_string(),
+            state: self.state,
+            score: self.score,
+            rate_z: self.rate_z,
+            error_z: self.error_z,
+            latency_z: self.latency_z,
+            peak_score: self.peak_score,
+            windows: self.windows,
+            first_suspect_at_us: self.first_suspect_at_us,
+            anomalous_at_us: self.anomalous_at_us,
+            baseline: self.baseline.clone(),
+        }
+    }
+}
+
+/// Scores per-edge event-time windows against learned baselines.
+///
+/// Drive it like the window machinery it mirrors: [`AnomalyScorer::observe`]
+/// per event, [`AnomalyScorer::close_window`] at every window
+/// boundary. The [`LiveMonitor`](crate::LiveMonitor) does both
+/// automatically when its [`MonitorSpec`](crate::MonitorSpec) carries
+/// an [`AnomalyConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use gremlin_core::{AnomalyConfig, AnomalyScorer, EdgeState};
+/// use gremlin_store::Event;
+/// use std::time::Duration;
+///
+/// let mut scorer = AnomalyScorer::new(AnomalyConfig::default().warmup_windows(2));
+/// for w in 0..2u64 {
+///     for i in 0..10u64 {
+///         let ts = w * 1_000_000 + i * 100_000;
+///         scorer.observe(&Event::request("a", "b", "GET", "/x").with_timestamp(ts));
+///         scorer.observe(
+///             &Event::response("a", "b", 200, Duration::from_millis(5)).with_timestamp(ts),
+///         );
+///     }
+///     scorer.close_window((w + 1) * 1_000_000, Duration::from_secs(1));
+/// }
+/// assert_eq!(scorer.scores()[0].state, EdgeState::Nominal);
+/// ```
+pub struct AnomalyScorer {
+    config: AnomalyConfig,
+    edges: BTreeMap<(Name, Name), EdgeTrack>,
+}
+
+impl fmt::Debug for AnomalyScorer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnomalyScorer")
+            .field("config", &self.config)
+            .field("edges", &self.edges.len())
+            .finish()
+    }
+}
+
+impl AnomalyScorer {
+    /// Creates a scorer; every edge starts in
+    /// [`EdgeState::Warming`] when its first event arrives.
+    pub fn new(config: AnomalyConfig) -> AnomalyScorer {
+        AnomalyScorer {
+            config,
+            edges: BTreeMap::new(),
+        }
+    }
+
+    /// The scorer's configuration.
+    pub fn config(&self) -> &AnomalyConfig {
+        &self.config
+    }
+
+    /// Folds one event into its edge's open window.
+    pub fn observe(&mut self, event: &Event) {
+        let track = self
+            .edges
+            .entry((event.src.clone(), event.dst.clone()))
+            .or_insert_with(|| EdgeTrack::new(&event.src, &event.dst));
+        if event.kind.is_request() {
+            track.requests += 1;
+        } else if let Some(status) = event.status() {
+            track.responses += 1;
+            if status == 0 || (500..600).contains(&status) {
+                track.errors += 1;
+            }
+            if let Some(latency) = event.observed_latency() {
+                track.latency.record(latency);
+            }
+        }
+    }
+
+    /// Closes the window ending at `end_us` on every edge: feeds the
+    /// warmup accumulator or scores the window against the baseline,
+    /// advances the state machine, and returns the transitions
+    /// (with `seq` left 0 — the monitor's record log assigns it).
+    pub fn close_window(&mut self, end_us: Micros, window: Duration) -> Vec<AnomalyAlert> {
+        let window_secs = window.as_secs_f64().max(1e-6);
+        let window_us = (window.as_micros() as u64).max(1);
+        let config = self.config.clone();
+        let mut alerts = Vec::new();
+        for ((src, dst), track) in self.edges.iter_mut() {
+            let windowed = track.latency.snapshot().delta(&track.mark);
+            let rate = if track.requests == 0 {
+                0.0
+            } else {
+                track.requests as f64 / window_secs
+            };
+            match track.state {
+                EdgeState::Warming => {
+                    if track.requests > 0 || track.responses > 0 {
+                        track
+                            .builder
+                            .add_window(rate, track.responses, track.errors, &windowed);
+                    }
+                    if track.builder.windows() >= config.warmup_windows {
+                        let baseline = track.builder.build();
+                        let detail = format!(
+                            "baseline learned over {} window(s): {:.1} req/s, p50 {}us, error rate {:.3}",
+                            baseline.windows,
+                            baseline.rate_ewma,
+                            baseline.p50_us,
+                            baseline.error_rate,
+                        );
+                        track.baseline = Some(baseline);
+                        track.state = EdgeState::Nominal;
+                        alerts.push(AnomalyAlert {
+                            seq: 0,
+                            at_us: end_us,
+                            src: src.to_string(),
+                            dst: dst.to_string(),
+                            from: EdgeState::Warming,
+                            to: EdgeState::Nominal,
+                            score: 0.0,
+                            detail,
+                        });
+                    }
+                }
+                _ => {
+                    let baseline = track
+                        .baseline
+                        .as_ref()
+                        .expect("scored edges always carry a baseline");
+                    track.rate_z = baseline.rate_z(rate);
+                    track.error_z = baseline.error_z(track.errors, track.responses);
+                    track.latency_z = if windowed.is_empty() {
+                        if track.requests > 0 && track.responses == 0 && baseline.responses > 0 {
+                            // Requests flowing, zero replies, on an
+                            // edge that used to reply: the responses
+                            // are at least a full window late.
+                            baseline.latency_z(window_us, window_us)
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        let p50 = windowed
+                            .percentile(0.50)
+                            .map(|d| d.as_micros() as u64)
+                            .unwrap_or(0);
+                        let p99 = windowed
+                            .percentile(0.99)
+                            .map(|d| d.as_micros() as u64)
+                            .unwrap_or(0);
+                        baseline.latency_z(p50, p99)
+                    };
+                    track.score = track.rate_z.max(track.error_z).max(track.latency_z);
+                    track.peak_score = track.peak_score.max(track.score);
+                    track.windows += 1;
+                    let detail = format!(
+                        "score {:.1} (rate z {:.1}, error z {:.1}, latency z {:.1})",
+                        track.score, track.rate_z, track.error_z, track.latency_z
+                    );
+                    let from = track.state;
+                    let mut to = None;
+                    if track.score >= config.suspect_z {
+                        track.high_streak += 1;
+                        track.low_streak = 0;
+                        match track.state {
+                            EdgeState::Nominal => {
+                                to = Some(EdgeState::Suspect);
+                                track.first_suspect_at_us.get_or_insert(end_us);
+                            }
+                            EdgeState::Suspect if track.high_streak >= config.anomalous_after => {
+                                to = Some(EdgeState::Anomalous);
+                                track.anomalous_at_us.get_or_insert(end_us);
+                            }
+                            _ => {}
+                        }
+                    } else if track.score < config.clear_z {
+                        track.low_streak += 1;
+                        track.high_streak = 0;
+                        if track.low_streak >= config.recover_after {
+                            track.low_streak = 0;
+                            match track.state {
+                                EdgeState::Anomalous => to = Some(EdgeState::Suspect),
+                                EdgeState::Suspect => to = Some(EdgeState::Nominal),
+                                _ => {}
+                            }
+                        }
+                    } else {
+                        // Between the thresholds: hysteresis band,
+                        // hold the state and reset both streaks.
+                        track.high_streak = 0;
+                        track.low_streak = 0;
+                    }
+                    if let Some(to) = to {
+                        track.state = to;
+                        alerts.push(AnomalyAlert {
+                            seq: 0,
+                            at_us: end_us,
+                            src: src.to_string(),
+                            dst: dst.to_string(),
+                            from,
+                            to,
+                            score: track.score,
+                            detail,
+                        });
+                    }
+                }
+            }
+            track.mark = track.latency.snapshot();
+            track.requests = 0;
+            track.responses = 0;
+            track.errors = 0;
+        }
+        alerts
+    }
+
+    /// Every edge's current score, sorted by `(src, dst)`.
+    pub fn scores(&self) -> Vec<AnomalyScore> {
+        self.edges
+            .iter()
+            .map(|((src, dst), track)| track.status(src, dst))
+            .collect()
+    }
+
+    /// One edge's current score, if it has seen traffic.
+    pub fn score(&self, src: &str, dst: &str) -> Option<AnomalyScore> {
+        let key = (Name::from(src), Name::from(dst));
+        self.edges
+            .get(&key)
+            .map(|track| track.status(&key.0, &key.1))
+    }
+
+    /// `true` once any edge is currently [`EdgeState::Anomalous`].
+    pub fn any_anomalous(&self) -> bool {
+        self.edges
+            .values()
+            .any(|track| track.state == EdgeState::Anomalous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WINDOW: Duration = Duration::from_secs(1);
+
+    fn sec(s: u64) -> Micros {
+        s * 1_000_000
+    }
+
+    /// Drives one synthetic window of traffic on `a -> b` and closes
+    /// it: `count` request/response pairs at `latency_ms`, of which
+    /// `errors` reply 503.
+    fn drive_window(
+        scorer: &mut AnomalyScorer,
+        window_index: u64,
+        count: u64,
+        latency_ms: u64,
+        errors: u64,
+    ) -> Vec<AnomalyAlert> {
+        let base = sec(window_index);
+        for i in 0..count {
+            let ts = base + i * 50_000;
+            scorer.observe(&Event::request("a", "b", "GET", "/x").with_timestamp(ts));
+            let status = if i < errors { 503 } else { 200 };
+            scorer.observe(
+                &Event::response("a", "b", status, Duration::from_millis(latency_ms))
+                    .with_timestamp(ts + 1_000),
+            );
+        }
+        scorer.close_window(sec(window_index + 1), WINDOW)
+    }
+
+    fn warmed(config: AnomalyConfig) -> AnomalyScorer {
+        let warmup = config.warmup_windows;
+        let mut scorer = AnomalyScorer::new(config);
+        for w in 0..warmup as u64 {
+            drive_window(&mut scorer, w, 10, 5, 0);
+        }
+        scorer
+    }
+
+    #[test]
+    fn warmup_learns_baseline_and_goes_nominal() {
+        let mut scorer = AnomalyScorer::new(AnomalyConfig::default().warmup_windows(3));
+        assert_eq!(drive_window(&mut scorer, 0, 10, 5, 0).len(), 0);
+        assert_eq!(scorer.score("a", "b").unwrap().state, EdgeState::Warming);
+        drive_window(&mut scorer, 1, 10, 5, 0);
+        let alerts = drive_window(&mut scorer, 2, 10, 5, 0);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].from, EdgeState::Warming);
+        assert_eq!(alerts[0].to, EdgeState::Nominal);
+        assert!(alerts[0].detail.contains("baseline learned"));
+        let score = scorer.score("a", "b").unwrap();
+        assert_eq!(score.state, EdgeState::Nominal);
+        let baseline = score.baseline.expect("baseline present after warmup");
+        assert!((baseline.rate_ewma - 10.0).abs() < 1e-6);
+        assert!(baseline.p50_us >= 4_000 && baseline.p50_us <= 6_000);
+    }
+
+    #[test]
+    fn latency_spike_escalates_with_hysteresis_and_recovers() {
+        let mut scorer = warmed(AnomalyConfig::default().warmup_windows(3));
+        // Steady windows stay nominal.
+        assert!(drive_window(&mut scorer, 3, 10, 5, 0).is_empty());
+        assert_eq!(scorer.score("a", "b").unwrap().state, EdgeState::Nominal);
+        // First slow window: Suspect, not yet Anomalous.
+        let alerts = drive_window(&mut scorer, 4, 10, 80, 0);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].to, EdgeState::Suspect);
+        let score = scorer.score("a", "b").unwrap();
+        assert_eq!(score.first_suspect_at_us, Some(sec(5)));
+        assert!(score.latency_z >= 3.0, "{score:?}");
+        assert!(!scorer.any_anomalous());
+        // Second consecutive slow window confirms.
+        let alerts = drive_window(&mut scorer, 5, 10, 80, 0);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].to, EdgeState::Anomalous);
+        assert!(scorer.any_anomalous());
+        assert_eq!(
+            scorer.score("a", "b").unwrap().anomalous_at_us,
+            Some(sec(6))
+        );
+        // Recovery needs `recover_after` consecutive clear windows,
+        // and steps down one state at a time.
+        drive_window(&mut scorer, 6, 10, 5, 0);
+        assert_eq!(scorer.score("a", "b").unwrap().state, EdgeState::Anomalous);
+        let alerts = drive_window(&mut scorer, 7, 10, 5, 0);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].to, EdgeState::Suspect);
+        drive_window(&mut scorer, 8, 10, 5, 0);
+        let alerts = drive_window(&mut scorer, 9, 10, 5, 0);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].to, EdgeState::Nominal);
+        // The peak survives recovery for postmortems.
+        assert!(scorer.score("a", "b").unwrap().peak_score >= 3.0);
+    }
+
+    #[test]
+    fn error_burst_and_rate_collapse_are_anomalies() {
+        let mut scorer = warmed(AnomalyConfig::default().warmup_windows(3));
+        // An all-error window scores on the error dimension.
+        drive_window(&mut scorer, 3, 10, 5, 10);
+        let score = scorer.score("a", "b").unwrap();
+        assert_eq!(score.state, EdgeState::Suspect);
+        assert!(score.error_z >= 3.0, "{score:?}");
+
+        // A separate scorer: total silence after warmup (crashed
+        // dependency) trips the rate dimension.
+        let mut scorer = warmed(AnomalyConfig::default().warmup_windows(3));
+        let alerts = scorer.close_window(sec(4), WINDOW);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].to, EdgeState::Suspect);
+        let score = scorer.score("a", "b").unwrap();
+        assert!(score.rate_z >= 3.0, "{score:?}");
+        assert_eq!(score.error_z, 0.0);
+        assert_eq!(score.latency_z, 0.0);
+    }
+
+    #[test]
+    fn stalled_edge_scores_on_latency() {
+        let mut scorer = warmed(AnomalyConfig::default().warmup_windows(3));
+        // Requests keep flowing but no replies arrive: the window has
+        // no latency samples, yet the edge used to reply — score as
+        // if the replies are a full window late.
+        for i in 0..10u64 {
+            scorer.observe(
+                &Event::request("a", "b", "GET", "/x").with_timestamp(sec(3) + i * 50_000),
+            );
+        }
+        scorer.close_window(sec(4), WINDOW);
+        let score = scorer.score("a", "b").unwrap();
+        assert_eq!(score.state, EdgeState::Suspect, "{score:?}");
+        assert!(score.latency_z >= 3.0, "{score:?}");
+    }
+
+    #[test]
+    fn scores_stay_finite_on_degenerate_windows() {
+        let mut scorer = AnomalyScorer::new(AnomalyConfig::default().warmup_windows(1));
+        // Warmup from a single request-only window (no responses).
+        for i in 0..5u64 {
+            scorer.observe(&Event::request("a", "b", "GET", "/x").with_timestamp(i * 1_000));
+        }
+        scorer.close_window(sec(1), WINDOW);
+        assert_eq!(scorer.score("a", "b").unwrap().state, EdgeState::Nominal);
+        // A zero-duration window and an empty window both score
+        // finite.
+        scorer.close_window(sec(1), Duration::ZERO);
+        for i in 0..50u64 {
+            scorer.observe(&Event::request("a", "b", "GET", "/x").with_timestamp(sec(2) + i));
+        }
+        scorer.close_window(sec(3), WINDOW);
+        let score = scorer.score("a", "b").unwrap();
+        for z in [score.score, score.rate_z, score.error_z, score.latency_z] {
+            assert!(z.is_finite(), "{score:?}");
+        }
+    }
+
+    #[test]
+    fn hysteresis_band_holds_state() {
+        let config = AnomalyConfig::default()
+            .warmup_windows(3)
+            .suspect_z(3.0)
+            .clear_z(1.5);
+        let mut scorer = warmed(config);
+        // Enter Suspect.
+        drive_window(&mut scorer, 3, 10, 80, 0);
+        assert_eq!(scorer.score("a", "b").unwrap().state, EdgeState::Suspect);
+        // A mid-band window (mildly elevated latency) neither
+        // escalates nor recovers — and resets the escalation streak.
+        drive_window(&mut scorer, 4, 10, 8, 0);
+        let score = scorer.score("a", "b").unwrap();
+        assert_eq!(score.state, EdgeState::Suspect, "{score:?}");
+        assert!(score.score < 3.0 && score.score >= 1.5, "{score:?}");
+        // The next suspect window starts the count over: still
+        // Suspect, not Anomalous.
+        drive_window(&mut scorer, 5, 10, 80, 0);
+        assert_eq!(scorer.score("a", "b").unwrap().state, EdgeState::Suspect);
+    }
+
+    #[test]
+    fn config_and_score_serde_round_trip() {
+        let config: AnomalyConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(config, AnomalyConfig::default());
+        let custom: AnomalyConfig =
+            serde_json::from_str(r#"{"warmup_windows":7,"suspect_z":4.5}"#).unwrap();
+        assert_eq!(custom.warmup_windows, 7);
+        assert_eq!(custom.suspect_z, 4.5);
+        assert_eq!(custom.recover_after, 2);
+
+        let mut scorer = warmed(AnomalyConfig::default().warmup_windows(2));
+        drive_window(&mut scorer, 2, 10, 80, 0);
+        let scores = scorer.scores();
+        let json = serde_json::to_string(&scores).unwrap();
+        let back: Vec<AnomalyScore> = serde_json::from_str(&json).unwrap();
+        assert_eq!(scores, back);
+        assert!(json.contains("\"state\":\"suspect\""), "{json}");
+
+        let alert = AnomalyAlert {
+            seq: 3,
+            at_us: 42,
+            src: "a".into(),
+            dst: "b".into(),
+            from: EdgeState::Nominal,
+            to: EdgeState::Suspect,
+            score: 5.5,
+            detail: "score 5.5".into(),
+        };
+        let json = serde_json::to_string(&alert).unwrap();
+        assert!(json.contains("\"to\":\"suspect\""), "{json}");
+        let back: AnomalyAlert = serde_json::from_str(&json).unwrap();
+        assert_eq!(alert, back);
+        assert!(alert.to_string().contains("edge a -> b nominal -> suspect"));
+    }
+}

@@ -60,7 +60,7 @@ impl View {
 }
 
 /// The result of one assertion or pattern check, for recipe reports.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Check {
     /// Human-readable name, e.g. `HasBoundedRetries(web, db, 5)`.
     pub name: String,

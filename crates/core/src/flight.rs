@@ -1,0 +1,488 @@
+//! The flight recorder: persisted postmortem timelines for recipe
+//! runs.
+//!
+//! A live run's monitor state is ephemeral — once the recipe process
+//! exits, the verdict timeline, anomaly transitions and edge health
+//! matrix are gone. The [`FlightRecorder`] persists them as they
+//! happen into a per-run artifact directory:
+//!
+//! ```text
+//! <root>/<recipe-slug>-<started_at_us>/
+//!   meta.json        run identity: schema version, recipe, window
+//!   alerts.jsonl     every MonitorRecord (verdicts + anomalies)
+//!   snapshots.jsonl  periodic edge-health + anomaly-score matrices
+//!   report.json      final summary, written by RecipeRun::finish
+//! ```
+//!
+//! Because the monitor evaluates **event-time** windows, the recorded
+//! log is sufficient to re-derive the run: `gremlin replay <dir>`
+//! loads the directory with [`FlightLog::load`] and re-renders the
+//! same verdict/anomaly timeline the live run produced, offline.
+//!
+//! All files are JSON or newline-delimited JSON so shell tooling
+//! (`jq`, `grep`) works on them directly.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use gremlin_store::{EdgeHealth, Micros};
+
+use crate::anomaly::AnomalyScore;
+use crate::checker::Check;
+use crate::monitor::{LiveCheck, LiveMonitor, MonitorRecord};
+
+/// Schema version stamped into `meta.json` (bump on breaking changes
+/// to any artifact file).
+pub const FLIGHT_SCHEMA_VERSION: u32 = 1;
+
+/// Run identity, written once as `meta.json` when the recorder is
+/// created.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightMeta {
+    /// Artifact layout version ([`FLIGHT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Recipe name as passed to `RecipeRun::new`.
+    pub recipe: String,
+    /// Wall-clock micros when recording started (also the directory
+    /// suffix, making per-run directories unique).
+    pub started_at_us: Micros,
+    /// The monitor's event-time window length in micros.
+    pub window_us: Micros,
+}
+
+/// One periodic dump of the monitor's matrices, a line in
+/// `snapshots.jsonl`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixSnapshot {
+    /// Event-time clock when the snapshot was taken.
+    pub at_us: Micros,
+    /// Per-edge health (requests, errors, latency percentiles).
+    pub edges: Vec<EdgeHealth>,
+    /// Per-edge anomaly scores (empty without an anomaly config).
+    pub scores: Vec<AnomalyScore>,
+}
+
+/// The final run summary, written as `report.json` by
+/// `RecipeRun::finish`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightSummary {
+    /// Recipe name.
+    pub name: String,
+    /// Overall outcome.
+    pub passed: bool,
+    /// Scenarios staged, in order.
+    pub injected: Vec<String>,
+    /// Post-hoc check results.
+    pub checks: Vec<Check>,
+    /// Final streaming-assertion verdicts.
+    pub monitor: Vec<LiveCheck>,
+    /// Edges that left `Nominal` during the run, worst first.
+    pub anomalies: Vec<AnomalyScore>,
+}
+
+fn slug(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    let trimmed = out.trim_matches('-');
+    if trimmed.is_empty() {
+        "recipe".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+/// Streams a run's monitor records and periodic matrix snapshots into
+/// a per-run artifact directory (see the module docs for the layout).
+///
+/// Attached to a run via `RecipeRun::start_flight_recorder`; drained
+/// opportunistically on every monitor poll. Snapshots are throttled
+/// to at most one per monitor window so a tight poll loop doesn't
+/// bloat `snapshots.jsonl`.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    dir: PathBuf,
+    alerts: fs::File,
+    snapshots: fs::File,
+    window_us: Micros,
+    last_snapshot_us: Option<Micros>,
+}
+
+impl FlightRecorder {
+    /// Creates `<root>/<slug(recipe)>-<started_at_us>/`, writes
+    /// `meta.json`, and opens the append-only log files.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or file I/O failures.
+    pub fn create(
+        root: impl AsRef<Path>,
+        recipe: &str,
+        started_at_us: Micros,
+        window_us: Micros,
+    ) -> io::Result<FlightRecorder> {
+        let dir = root
+            .as_ref()
+            .join(format!("{}-{started_at_us}", slug(recipe)));
+        fs::create_dir_all(&dir)?;
+        let meta = FlightMeta {
+            schema_version: FLIGHT_SCHEMA_VERSION,
+            recipe: recipe.to_string(),
+            started_at_us,
+            window_us,
+        };
+        fs::write(dir.join("meta.json"), serde_json::to_string_pretty(&meta)?)?;
+        let alerts = fs::File::create(dir.join("alerts.jsonl"))?;
+        let snapshots = fs::File::create(dir.join("snapshots.jsonl"))?;
+        Ok(FlightRecorder {
+            dir,
+            alerts,
+            snapshots,
+            window_us: window_us.max(1),
+            last_snapshot_us: None,
+        })
+    }
+
+    /// The artifact directory this recorder writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends monitor records (verdict and anomaly transitions) to
+    /// `alerts.jsonl`, one JSON object per line.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failures.
+    pub fn append_records(&mut self, records: &[MonitorRecord]) -> io::Result<()> {
+        for record in records {
+            let line = serde_json::to_string(record)?;
+            writeln!(self.alerts, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Dumps the monitor's edge-health matrix and anomaly scores to
+    /// `snapshots.jsonl`, throttled to one snapshot per event-time
+    /// window (extra calls within the same window are no-ops).
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failures.
+    pub fn record_snapshot(&mut self, monitor: &LiveMonitor) -> io::Result<()> {
+        let at_us = monitor.health().clock_us();
+        if let Some(last) = self.last_snapshot_us {
+            if at_us < last.saturating_add(self.window_us) {
+                return Ok(());
+            }
+        }
+        self.record_snapshot_now(monitor)
+    }
+
+    /// Like [`FlightRecorder::record_snapshot`] but bypasses the
+    /// per-window throttle — used for the final matrix dump when a
+    /// run finishes, so the replay's closing state is never stale.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failures.
+    pub fn record_snapshot_now(&mut self, monitor: &LiveMonitor) -> io::Result<()> {
+        let at_us = monitor.health().clock_us();
+        self.last_snapshot_us = Some(at_us);
+        let snapshot = MatrixSnapshot {
+            at_us,
+            edges: monitor.edge_health(),
+            scores: monitor.anomaly_scores(),
+        };
+        let line = serde_json::to_string(&snapshot)?;
+        writeln!(self.snapshots, "{line}")?;
+        Ok(())
+    }
+
+    /// Writes the final `report.json` and flushes the log files.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failures.
+    pub fn finish(mut self, summary: &FlightSummary) -> io::Result<PathBuf> {
+        fs::write(
+            self.dir.join("report.json"),
+            serde_json::to_string_pretty(summary)?,
+        )?;
+        self.alerts.flush()?;
+        self.snapshots.flush()?;
+        Ok(self.dir)
+    }
+}
+
+/// A flight-recorder directory loaded back into memory — the input to
+/// `gremlin replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightLog {
+    /// Run identity from `meta.json`.
+    pub meta: FlightMeta,
+    /// Every recorded monitor record, in log order.
+    pub records: Vec<MonitorRecord>,
+    /// Periodic matrix snapshots, in time order.
+    pub snapshots: Vec<MatrixSnapshot>,
+    /// The final summary, when the run completed (`None` for a run
+    /// that crashed before `finish`).
+    pub report: Option<FlightSummary>,
+}
+
+impl FlightLog {
+    /// Loads a flight-recorder directory.
+    ///
+    /// Requires `meta.json`; tolerates a missing `report.json` (a run
+    /// that never finished) and skips malformed `.jsonl` lines (a run
+    /// killed mid-write) rather than failing the whole load.
+    ///
+    /// # Errors
+    ///
+    /// Missing/unreadable `meta.json` or log files.
+    pub fn load(dir: impl AsRef<Path>) -> io::Result<FlightLog> {
+        let dir = dir.as_ref();
+        let meta: FlightMeta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)?;
+        let records = read_jsonl(&dir.join("alerts.jsonl"))?;
+        let snapshots = read_jsonl(&dir.join("snapshots.jsonl"))?;
+        let report = match fs::read_to_string(dir.join("report.json")) {
+            Ok(text) => Some(serde_json::from_str(&text)?),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => None,
+            Err(err) => return Err(err),
+        };
+        Ok(FlightLog {
+            meta,
+            records,
+            snapshots,
+            report,
+        })
+    }
+
+    /// Renders the run's timeline as human-readable text: the header,
+    /// every record in log order, per-edge anomaly peaks, and the
+    /// final outcome. `gremlin replay <dir>` prints exactly this.
+    pub fn render_timeline(&self) -> String {
+        let mut out = format!(
+            "flight recording of recipe {:?} (window {}us, {} record(s), {} snapshot(s))\n",
+            self.meta.recipe,
+            self.meta.window_us,
+            self.records.len(),
+            self.snapshots.len(),
+        );
+        for record in &self.records {
+            let tag = match record {
+                MonitorRecord::Verdict(_) => "verdict",
+                MonitorRecord::Anomaly(_) => "anomaly",
+            };
+            out.push_str(&format!("  {tag:>7}  {record}\n"));
+        }
+        if let Some(last) = self.snapshots.last() {
+            let flagged: Vec<&AnomalyScore> = last
+                .scores
+                .iter()
+                .filter(|s| s.first_suspect_at_us.is_some())
+                .collect();
+            if !flagged.is_empty() {
+                out.push_str("anomalous edges:\n");
+                for score in flagged {
+                    out.push_str(&format!(
+                        "  {} -> {}: {} (peak score {:.1}, first suspect at {}us)\n",
+                        score.src,
+                        score.dst,
+                        score.state,
+                        score.peak_score,
+                        score.first_suspect_at_us.unwrap_or(0),
+                    ));
+                }
+            }
+        }
+        match &self.report {
+            Some(report) => {
+                out.push_str(&format!(
+                    "outcome: {}\n",
+                    if report.passed { "PASSED" } else { "FAILED" }
+                ));
+            }
+            None => out.push_str("outcome: (run never finished — no report.json)\n"),
+        }
+        out
+    }
+}
+
+fn read_jsonl<T: serde::de::DeserializeOwned>(path: &Path) -> io::Result<Vec<T>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(err),
+    };
+    Ok(text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| serde_json::from_str(line).ok())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::EdgeState;
+    use crate::monitor::{AlertEvent, Verdict};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gremlin-flight-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn verdict_record(seq: u64, at_us: Micros, to: Verdict) -> MonitorRecord {
+        MonitorRecord::Verdict(AlertEvent {
+            seq,
+            at_us,
+            check: "LiveLatencySlo(b, p99 <= 10ms)".to_string(),
+            from: Verdict::Pending,
+            to,
+            detail: "window p99 = 90ms".to_string(),
+        })
+    }
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        assert_eq!(slug("Checkout Flow (v2)"), "checkout-flow-v2");
+        assert_eq!(slug("___"), "recipe");
+        assert_eq!(slug("simple"), "simple");
+    }
+
+    #[test]
+    fn record_load_and_render_round_trip() {
+        let root = tmp_root("roundtrip");
+        let mut recorder = FlightRecorder::create(&root, "My Recipe", 42, 1_000_000).unwrap();
+        assert!(recorder.dir().starts_with(&root));
+        assert!(recorder.dir().ends_with("my-recipe-42"));
+
+        recorder
+            .append_records(&[verdict_record(0, 2_000_000, Verdict::Failing)])
+            .unwrap();
+        let summary = FlightSummary {
+            name: "My Recipe".to_string(),
+            passed: false,
+            injected: vec!["Delay(user -> web, 60ms)".to_string()],
+            checks: Vec::new(),
+            monitor: Vec::new(),
+            anomalies: Vec::new(),
+        };
+        let dir = recorder.finish(&summary).unwrap();
+
+        let log = FlightLog::load(&dir).unwrap();
+        assert_eq!(log.meta.schema_version, FLIGHT_SCHEMA_VERSION);
+        assert_eq!(log.meta.recipe, "My Recipe");
+        assert_eq!(log.meta.window_us, 1_000_000);
+        assert_eq!(log.records.len(), 1);
+        assert_eq!(log.report.as_ref().map(|r| r.passed), Some(false));
+
+        let timeline = log.render_timeline();
+        assert!(timeline.contains("recipe \"My Recipe\""), "{timeline}");
+        assert!(timeline.contains("verdict"), "{timeline}");
+        assert!(timeline.contains("outcome: FAILED"), "{timeline}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn snapshots_are_throttled_to_one_per_window() {
+        use crate::monitor::MonitorSpec;
+        use gremlin_store::EventStore;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let root = tmp_root("throttle");
+        let mut recorder = FlightRecorder::create(&root, "throttle", 7, 1_000_000).unwrap();
+        let store = EventStore::shared();
+        let monitor =
+            LiveMonitor::new(Arc::clone(&store), MonitorSpec::new(Duration::from_secs(1)));
+
+        store
+            .record_event(gremlin_store::Event::request("a", "b", "GET", "/x").with_timestamp(100));
+        monitor.poll();
+        recorder.record_snapshot(&monitor).unwrap();
+        // Same window: a no-op.
+        recorder.record_snapshot(&monitor).unwrap();
+        // A full window later: recorded.
+        store.record_event(
+            gremlin_store::Event::request("a", "b", "GET", "/x").with_timestamp(1_500_000),
+        );
+        monitor.poll();
+        recorder.record_snapshot(&monitor).unwrap();
+
+        let summary = FlightSummary {
+            name: "throttle".to_string(),
+            passed: true,
+            injected: Vec::new(),
+            checks: Vec::new(),
+            monitor: Vec::new(),
+            anomalies: Vec::new(),
+        };
+        let dir = recorder.finish(&summary).unwrap();
+        let log = FlightLog::load(&dir).unwrap();
+        assert_eq!(log.snapshots.len(), 2, "{:?}", log.snapshots);
+        assert_eq!(log.snapshots[0].edges.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unfinished_runs_load_without_a_report() {
+        let root = tmp_root("unfinished");
+        let recorder = FlightRecorder::create(&root, "crashy", 1, 500_000).unwrap();
+        let dir = recorder.dir().to_path_buf();
+        drop(recorder); // no finish(): no report.json
+        let log = FlightLog::load(&dir).unwrap();
+        assert!(log.report.is_none());
+        assert!(log.render_timeline().contains("run never finished"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn timeline_lists_anomalous_edges_from_the_last_snapshot() {
+        let log = FlightLog {
+            meta: FlightMeta {
+                schema_version: FLIGHT_SCHEMA_VERSION,
+                recipe: "r".to_string(),
+                started_at_us: 0,
+                window_us: 1_000_000,
+            },
+            records: Vec::new(),
+            snapshots: vec![MatrixSnapshot {
+                at_us: 5_000_000,
+                edges: Vec::new(),
+                scores: vec![AnomalyScore {
+                    src: "user".to_string(),
+                    dst: "web".to_string(),
+                    state: EdgeState::Anomalous,
+                    score: 12.0,
+                    rate_z: 0.1,
+                    error_z: 0.0,
+                    latency_z: 12.0,
+                    peak_score: 14.5,
+                    windows: 6,
+                    first_suspect_at_us: Some(3_000_000),
+                    anomalous_at_us: Some(4_000_000),
+                    baseline: None,
+                }],
+            }],
+            report: None,
+        };
+        let timeline = log.render_timeline();
+        assert!(timeline.contains("anomalous edges:"), "{timeline}");
+        assert!(
+            timeline
+                .contains("user -> web: anomalous (peak score 14.5, first suspect at 3000000us)"),
+            "{timeline}"
+        );
+    }
+}

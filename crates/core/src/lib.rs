@@ -53,10 +53,12 @@
 
 #![warn(missing_docs)]
 
+pub mod anomaly;
 pub mod autogen;
 pub mod chaos;
 pub mod checker;
 pub mod error;
+pub mod flight;
 pub mod graph;
 pub mod monitor;
 pub mod orchestrator;
@@ -65,13 +67,19 @@ pub mod scenarios;
 pub mod timeutil;
 pub mod trace;
 
+pub use anomaly::{AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
 pub use checker::{
     at_most_requests, check_status, combine, num_requests, reply_latency, request_rate,
     AssertionChecker, Check, CombineStep, View,
 };
 pub use error::CoreError;
+pub use flight::{
+    FlightLog, FlightMeta, FlightRecorder, FlightSummary, MatrixSnapshot, FLIGHT_SCHEMA_VERSION,
+};
 pub use graph::AppGraph;
-pub use monitor::{AlertEvent, LiveCheck, LiveMonitor, MonitorSpec, StreamingAssertion, Verdict};
+pub use monitor::{
+    AlertEvent, LiveCheck, LiveMonitor, MonitorRecord, MonitorSpec, StreamingAssertion, Verdict,
+};
 pub use orchestrator::{FailureOrchestrator, OrchestrationStats};
 pub use recipe::{RecipeReport, RecipeRun, TestContext};
 pub use scenarios::{Scenario, ScenarioKind};

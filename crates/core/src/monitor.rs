@@ -47,6 +47,7 @@ use serde::{Deserialize, Serialize};
 use gremlin_store::{EdgeHealth, Event, EventStore, HealthMonitor, Micros};
 use gremlin_telemetry::{Counter, Gauge, HistogramSnapshot, LatencyHistogram, MetricsRegistry};
 
+use crate::anomaly::{AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
 use crate::checker::Check;
 
 /// The state of one streaming assertion's verdict machine.
@@ -165,6 +166,18 @@ pub enum StreamingAssertion {
         /// Maximum matches allowed over the whole run.
         max: usize,
     },
+    /// Threshold-free: the `src -> dst` edge must stay
+    /// [`EdgeState::Nominal`] against its learned baseline. Requires
+    /// [`MonitorSpec::anomaly`]; `Suspect` windows are `Failing`,
+    /// and an edge confirmed `Anomalous` is unrecoverable — straight
+    /// to [`Verdict::Violated`]. Stays `Pending` while the baseline
+    /// is warming up.
+    AnomalousEdge {
+        /// Calling service.
+        src: String,
+        /// Called service.
+        dst: String,
+    },
 }
 
 impl fmt::Display for StreamingAssertion {
@@ -206,6 +219,9 @@ impl fmt::Display for StreamingAssertion {
                 status,
                 max,
             } => write!(f, "LiveStatusAtMost({src}, {dst}, {status} <= {max})"),
+            StreamingAssertion::AnomalousEdge { src, dst } => {
+                write!(f, "LiveAnomalousEdge({src} -> {dst})")
+            }
         }
     }
 }
@@ -224,6 +240,11 @@ pub struct MonitorSpec {
     /// escalates to [`Verdict::Violated`]. Defaults to 3.
     #[serde(default = "default_violate_after")]
     pub violate_after: u32,
+    /// When set, the monitor learns per-edge baselines during warmup
+    /// and scores every window ([`AnomalyScorer`]); required by
+    /// [`StreamingAssertion::AnomalousEdge`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub anomaly: Option<AnomalyConfig>,
     /// The assertions to evaluate.
     pub assertions: Vec<StreamingAssertion>,
 }
@@ -235,6 +256,7 @@ impl MonitorSpec {
         MonitorSpec {
             window,
             violate_after: default_violate_after(),
+            anomaly: None,
             assertions: Vec::new(),
         }
     }
@@ -242,6 +264,13 @@ impl MonitorSpec {
     /// Builder-style: adds an assertion.
     pub fn assert(mut self, assertion: StreamingAssertion) -> MonitorSpec {
         self.assertions.push(assertion);
+        self
+    }
+
+    /// Builder-style: enables adaptive anomaly scoring with the given
+    /// configuration.
+    pub fn anomaly(mut self, config: AnomalyConfig) -> MonitorSpec {
+        self.anomaly = Some(config);
         self
     }
 
@@ -328,6 +357,46 @@ impl fmt::Display for AlertEvent {
             "[{}us] {} {} -> {} — {}",
             self.at_us, self.check, self.from, self.to, self.detail
         )
+    }
+}
+
+/// One entry of the monitor's record log: either a verdict transition
+/// or an anomaly state transition. Serialized internally tagged, so
+/// every `GET /alerts` NDJSON line carries a `"kind"` discriminator
+/// (`"verdict"` or `"anomaly"`) alongside the entry's own fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum MonitorRecord {
+    /// A streaming assertion changed verdict.
+    Verdict(AlertEvent),
+    /// An edge changed anomaly state.
+    Anomaly(AnomalyAlert),
+}
+
+impl MonitorRecord {
+    /// Position in the record log.
+    pub fn seq(&self) -> u64 {
+        match self {
+            MonitorRecord::Verdict(alert) => alert.seq,
+            MonitorRecord::Anomaly(alert) => alert.seq,
+        }
+    }
+
+    /// Event-time timestamp of the transition.
+    pub fn at_us(&self) -> Micros {
+        match self {
+            MonitorRecord::Verdict(alert) => alert.at_us,
+            MonitorRecord::Anomaly(alert) => alert.at_us,
+        }
+    }
+}
+
+impl fmt::Display for MonitorRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorRecord::Verdict(alert) => write!(f, "{alert}"),
+            MonitorRecord::Anomaly(alert) => write!(f, "{alert}"),
+        }
     }
 }
 
@@ -423,17 +492,13 @@ impl CheckState {
                 if event.dst.as_str() == service {
                     if let Some(latency) = event.observed_latency() {
                         self.accum.responses += 1;
-                        self.accum.worst_latency_us = self
-                            .accum
-                            .worst_latency_us
-                            .max(latency.as_micros() as u64);
+                        self.accum.worst_latency_us =
+                            self.accum.worst_latency_us.max(latency.as_micros() as u64);
                     }
                 }
             }
             StreamingAssertion::RequestRateAtLeast { src, dst, .. } => {
-                if event.kind.is_request()
-                    && event.src.as_str() == src
-                    && event.dst.as_str() == dst
+                if event.kind.is_request() && event.src.as_str() == src && event.dst.as_str() == dst
                 {
                     self.accum.requests += 1;
                 }
@@ -449,9 +514,7 @@ impl CheckState {
                 }
             }
             StreamingAssertion::AtMostRequests { src, dst, max } => {
-                if event.kind.is_request()
-                    && event.src.as_str() == src
-                    && event.dst.as_str() == dst
+                if event.kind.is_request() && event.src.as_str() == src && event.dst.as_str() == dst
                 {
                     self.accum.requests += 1;
                     if self.accum.requests as usize > *max {
@@ -462,6 +525,9 @@ impl CheckState {
                     }
                 }
             }
+            // The anomaly scorer observes the event stream itself;
+            // the check state accumulates nothing.
+            StreamingAssertion::AnomalousEdge { .. } => {}
             StreamingAssertion::StatusAtLeast {
                 src, dst, status, ..
             }
@@ -570,6 +636,9 @@ impl CheckState {
                 true,
                 format!("{} status matches (budget {max})", self.accum.matches),
             )),
+            // Scored by `MonitorInner::apply_anomaly_verdict` at each
+            // window close, never through the generic evaluation.
+            StreamingAssertion::AnomalousEdge { .. } => None,
         }
     }
 
@@ -591,7 +660,8 @@ struct MonitorInner {
     window_start_us: Option<Micros>,
     clock_us: Micros,
     windows_closed: u64,
-    alerts: Vec<AlertEvent>,
+    records: Vec<MonitorRecord>,
+    scorer: Option<AnomalyScorer>,
 }
 
 impl MonitorInner {
@@ -620,25 +690,101 @@ impl MonitorInner {
             }
         }
         let alert = AlertEvent {
-            seq: self.alerts.len() as u64,
+            seq: self.records.len() as u64,
             at_us,
             check: self.states[index].name.clone(),
             from,
             to,
             detail,
         };
-        self.alerts.push(alert.clone());
+        self.records.push(MonitorRecord::Verdict(alert.clone()));
         emitted.push(alert);
     }
 
-    /// Closes the window ending at `end_us`: evaluates every
-    /// assertion, applies verdict transitions and the
-    /// consecutive-failing escalation, and rolls the accumulators.
+    /// Applies a scored window to an `AnomalousEdge` assertion: the
+    /// edge state maps onto the verdict machine (`Nominal` passing,
+    /// `Suspect` failing, `Anomalous` straight to `Violated`;
+    /// `Warming` or an unseen edge stays pending).
+    fn apply_anomaly_verdict(
+        &mut self,
+        index: usize,
+        end_us: Micros,
+        emitted: &mut Vec<AlertEvent>,
+    ) {
+        let StreamingAssertion::AnomalousEdge { src, dst } = &self.states[index].assertion else {
+            return;
+        };
+        let score = self
+            .scorer
+            .as_ref()
+            .and_then(|scorer| scorer.score(src, dst));
+        self.states[index].windows += 1;
+        let Some(score) = score else {
+            self.states[index].detail = "no traffic observed on the edge yet".to_string();
+            return;
+        };
+        if score.state == EdgeState::Warming {
+            self.states[index].detail = format!(
+                "warming up: learning the edge baseline ({} window(s) so far)",
+                score.windows
+            );
+            return;
+        }
+        let detail = format!(
+            "edge {} -> {} {}: score {:.1} (rate z {:.1}, error z {:.1}, latency z {:.1})",
+            score.src,
+            score.dst,
+            score.state,
+            score.score,
+            score.rate_z,
+            score.error_z,
+            score.latency_z
+        );
+        match score.state {
+            EdgeState::Warming => unreachable!("handled above"),
+            EdgeState::Nominal => {
+                self.states[index].consecutive_failing = 0;
+                self.transition(index, Verdict::Passing, end_us, detail, emitted);
+            }
+            EdgeState::Suspect => {
+                self.states[index].consecutive_failing += 1;
+                let escalate = self.states[index].consecutive_failing >= self.violate_after;
+                self.transition(index, Verdict::Failing, end_us, detail.clone(), emitted);
+                if escalate {
+                    let detail = format!(
+                        "{detail}; {} consecutive suspect window(s)",
+                        self.states[index].consecutive_failing
+                    );
+                    self.transition(index, Verdict::Violated, end_us, detail, emitted);
+                }
+            }
+            EdgeState::Anomalous => {
+                // A confirmed anomaly is unrecoverable for the run.
+                self.transition(index, Verdict::Failing, end_us, detail.clone(), emitted);
+                self.transition(index, Verdict::Violated, end_us, detail, emitted);
+            }
+        }
+    }
+
+    /// Closes the window ending at `end_us`: scores the anomaly
+    /// window, evaluates every assertion, applies verdict transitions
+    /// and the consecutive-failing escalation, and rolls the
+    /// accumulators.
     fn close_window(&mut self, end_us: Micros, window: Duration, emitted: &mut Vec<AlertEvent>) {
         self.windows_closed += 1;
+        if let Some(scorer) = self.scorer.as_mut() {
+            for mut alert in scorer.close_window(end_us, window) {
+                alert.seq = self.records.len() as u64;
+                self.records.push(MonitorRecord::Anomaly(alert));
+            }
+        }
         for index in 0..self.states.len() {
             let state = &mut self.states[index];
             if state.verdict.is_final() {
+                continue;
+            }
+            if matches!(state.assertion, StreamingAssertion::AnomalousEdge { .. }) {
+                self.apply_anomaly_verdict(index, end_us, emitted);
                 continue;
             }
             let outcome = state.evaluate(window);
@@ -694,7 +840,7 @@ impl fmt::Debug for LiveMonitor {
             .field("window", &self.health.window())
             .field("checks", &inner.states.len())
             .field("windows_closed", &inner.windows_closed)
-            .field("alerts", &inner.alerts.len())
+            .field("records", &inner.records.len())
             .finish()
     }
 }
@@ -722,7 +868,8 @@ impl LiveMonitor {
                 window_start_us: None,
                 clock_us: 0,
                 windows_closed: 0,
-                alerts: Vec::new(),
+                records: Vec::new(),
+                scorer: spec.anomaly.map(AnomalyScorer::new),
             }),
             alerts_total: None,
             failing_gauge: None,
@@ -763,6 +910,7 @@ impl LiveMonitor {
     pub fn poll(&self) -> Vec<AlertEvent> {
         let fresh = self.health.poll();
         let mut inner = self.inner.lock();
+        let records_before = inner.records.len();
         let mut emitted = Vec::new();
         let window = self.health.window();
         let window_us = (window.as_micros() as Micros).max(1);
@@ -778,13 +926,16 @@ impl LiveMonitor {
                 }
                 inner.window_start_us = Some(start);
             }
+            if let Some(scorer) = inner.scorer.as_mut() {
+                scorer.observe(event);
+            }
             for index in 0..inner.states.len() {
                 if let Some(detail) = inner.states[index].feed(event) {
                     inner.transition(index, Verdict::Violated, ts, detail, &mut emitted);
                 }
             }
         }
-        self.publish(&inner, &emitted);
+        self.publish(&inner, inner.records.len() - records_before);
         emitted
     }
 
@@ -794,19 +945,20 @@ impl LiveMonitor {
     /// [`RecipeRun::finish`](crate::RecipeRun::finish).
     pub fn finalize(&self) -> Vec<AlertEvent> {
         let mut inner = self.inner.lock();
+        let records_before = inner.records.len();
         let mut emitted = Vec::new();
         if inner.window_start_us.is_some() {
             let end = inner.clock_us;
             inner.close_window(end, self.health.window(), &mut emitted);
             inner.window_start_us = Some(end);
         }
-        self.publish(&inner, &emitted);
+        self.publish(&inner, inner.records.len() - records_before);
         emitted
     }
 
-    fn publish(&self, inner: &MonitorInner, emitted: &[AlertEvent]) {
+    fn publish(&self, inner: &MonitorInner, new_records: usize) {
         if let Some(counter) = &self.alerts_total {
-            counter.add(emitted.len() as u64);
+            counter.add(new_records as u64);
         }
         if let Some(gauge) = &self.failing_gauge {
             let failing = inner
@@ -820,7 +972,12 @@ impl LiveMonitor {
 
     /// The live status of every assertion.
     pub fn verdicts(&self) -> Vec<LiveCheck> {
-        self.inner.lock().states.iter().map(CheckState::status).collect()
+        self.inner
+            .lock()
+            .states
+            .iter()
+            .map(CheckState::status)
+            .collect()
     }
 
     /// `true` once any assertion reached the terminal
@@ -833,14 +990,43 @@ impl LiveMonitor {
             .any(|s| s.verdict.is_final())
     }
 
-    /// Alerts recorded at or after `cursor` (an index into the alert
-    /// log), plus the next cursor — the same contract as
-    /// [`EventStore::events_after`].
+    /// Verdict alerts recorded at or after `cursor` (an index into
+    /// the record log), plus the next cursor — the same contract as
+    /// [`EventStore::events_after`]. Anomaly records are skipped; use
+    /// [`LiveMonitor::records_after`] for the interleaved log.
     pub fn alerts_after(&self, cursor: u64) -> (Vec<AlertEvent>, u64) {
         let inner = self.inner.lock();
-        let next = inner.alerts.len() as u64;
-        let from = (cursor as usize).min(inner.alerts.len());
-        (inner.alerts[from..].to_vec(), next)
+        let next = inner.records.len() as u64;
+        let from = (cursor as usize).min(inner.records.len());
+        let alerts = inner.records[from..]
+            .iter()
+            .filter_map(|record| match record {
+                MonitorRecord::Verdict(alert) => Some(alert.clone()),
+                MonitorRecord::Anomaly(_) => None,
+            })
+            .collect();
+        (alerts, next)
+    }
+
+    /// The full record log (verdict and anomaly transitions,
+    /// interleaved in the order they happened) at or after `cursor`,
+    /// plus the next cursor.
+    pub fn records_after(&self, cursor: u64) -> (Vec<MonitorRecord>, u64) {
+        let inner = self.inner.lock();
+        let next = inner.records.len() as u64;
+        let from = (cursor as usize).min(inner.records.len());
+        (inner.records[from..].to_vec(), next)
+    }
+
+    /// Every edge's current anomaly score (empty without
+    /// [`MonitorSpec::anomaly`]).
+    pub fn anomaly_scores(&self) -> Vec<AnomalyScore> {
+        self.inner
+            .lock()
+            .scorer
+            .as_ref()
+            .map(|scorer| scorer.scores())
+            .unwrap_or_default()
     }
 
     /// Windows closed so far.
@@ -862,20 +1048,23 @@ impl gremlin_proxy::MonitorSource for LiveMonitor {
     fn health_json(&self) -> String {
         let edges = self.edge_health();
         let checks = self.verdicts();
+        let scores = self.anomaly_scores();
         format!(
-            "{{\"window_us\":{},\"clock_us\":{},\"edges\":{},\"checks\":{}}}",
+            "{{\"schema_version\":{},\"window_us\":{},\"clock_us\":{},\"edges\":{},\"checks\":{},\"scores\":{}}}",
+            gremlin_proxy::HEALTH_SCHEMA_VERSION,
             self.window().as_micros(),
             self.health.clock_us(),
             serde_json::to_string(&edges).unwrap_or_else(|_| "[]".into()),
             serde_json::to_string(&checks).unwrap_or_else(|_| "[]".into()),
+            serde_json::to_string(&scores).unwrap_or_else(|_| "[]".into()),
         )
     }
 
     fn alert_lines_after(&self, cursor: u64) -> (Vec<String>, u64) {
-        let (alerts, next) = self.alerts_after(cursor);
-        let lines = alerts
+        let (records, next) = self.records_after(cursor);
+        let lines = records
             .iter()
-            .filter_map(|alert| serde_json::to_string(alert).ok())
+            .filter_map(|record| serde_json::to_string(record).ok())
             .collect();
         (lines, next)
     }
@@ -910,13 +1099,12 @@ mod tests {
 
     #[test]
     fn latency_slo_fails_then_recovers() {
-        let spec = MonitorSpec::new(Duration::from_secs(2)).assert(
-            StreamingAssertion::LatencySlo {
+        let spec =
+            MonitorSpec::new(Duration::from_secs(2)).assert(StreamingAssertion::LatencySlo {
                 service: "b".into(),
                 quantile: 0.99,
                 bound: Duration::from_millis(50),
-            },
-        );
+            });
         let (store, monitor) = monitor_with(spec);
 
         // Window 1 ([0, 2s)): slow replies -> Failing.
@@ -956,7 +1144,11 @@ mod tests {
         // persists, escalation to Violated.
         assert!(monitor.violated());
         let kinds: Vec<Verdict> = alerts.iter().map(|a| a.to).collect();
-        assert_eq!(kinds, vec![Verdict::Failing, Verdict::Violated], "{alerts:?}");
+        assert_eq!(
+            kinds,
+            vec![Verdict::Failing, Verdict::Violated],
+            "{alerts:?}"
+        );
         let checks = monitor.verdicts();
         assert_eq!(checks[0].verdict, Verdict::Violated);
         assert!(checks[0].violated_at_us.is_some());
@@ -967,13 +1159,12 @@ mod tests {
 
     #[test]
     fn at_most_requests_violates_immediately_mid_window() {
-        let spec = MonitorSpec::new(Duration::from_secs(60)).assert(
-            StreamingAssertion::AtMostRequests {
+        let spec =
+            MonitorSpec::new(Duration::from_secs(60)).assert(StreamingAssertion::AtMostRequests {
                 src: "a".into(),
                 dst: "b".into(),
                 max: 2,
-            },
-        );
+            });
         let (store, monitor) = monitor_with(spec);
         store.record_event(request(sec(0)));
         store.record_event(request(sec(1)));
@@ -1004,26 +1195,25 @@ mod tests {
             store.record_event(request(i * 300_000));
         }
         // Window 2: only unrelated traffic -> rate 0, failing.
-        store.record_event(
-            Event::request("a", "c", "GET", "/x").with_timestamp(sec(1) + 100_000),
-        );
-        store.record_event(
-            Event::request("a", "c", "GET", "/x").with_timestamp(sec(2) + 100_000),
-        );
+        store.record_event(Event::request("a", "c", "GET", "/x").with_timestamp(sec(1) + 100_000));
+        store.record_event(Event::request("a", "c", "GET", "/x").with_timestamp(sec(2) + 100_000));
         let alerts = monitor.poll();
         let kinds: Vec<Verdict> = alerts.iter().map(|a| a.to).collect();
-        assert_eq!(kinds, vec![Verdict::Passing, Verdict::Failing], "{alerts:?}");
+        assert_eq!(
+            kinds,
+            vec![Verdict::Passing, Verdict::Failing],
+            "{alerts:?}"
+        );
     }
 
     #[test]
     fn error_rate_counts_faulted_replies() {
-        let spec = MonitorSpec::new(Duration::from_secs(2)).assert(
-            StreamingAssertion::ErrorRateAtMost {
+        let spec =
+            MonitorSpec::new(Duration::from_secs(2)).assert(StreamingAssertion::ErrorRateAtMost {
                 src: "a".into(),
                 dst: "b".into(),
                 max_ratio: 0.2,
-            },
-        );
+            });
         let (store, monitor) = monitor_with(spec);
         store.record_event(reply_to("b", sec(0), 200, 1));
         store.record_event(
@@ -1072,13 +1262,12 @@ mod tests {
 
     #[test]
     fn finalize_closes_the_partial_window() {
-        let spec = MonitorSpec::new(Duration::from_secs(60)).assert(
-            StreamingAssertion::LatencySlo {
+        let spec =
+            MonitorSpec::new(Duration::from_secs(60)).assert(StreamingAssertion::LatencySlo {
                 service: "b".into(),
                 quantile: 0.5,
                 bound: Duration::from_millis(10),
-            },
-        );
+            });
         let (store, monitor) = monitor_with(spec);
         store.record_event(reply_to("b", sec(0), 200, 100));
         monitor.poll();
@@ -1223,15 +1412,140 @@ mod tests {
         store.record_event(request(sec(2)));
         monitor.refresh();
         let health = monitor.health_json();
-        assert!(health.starts_with("{\"window_us\":1000000"), "{health}");
+        assert!(
+            health.starts_with("{\"schema_version\":2,\"window_us\":1000000"),
+            "{health}"
+        );
         assert!(health.contains("\"edges\":["), "{health}");
         assert!(health.contains("\"checks\":["), "{health}");
+        assert!(health.contains("\"scores\":["), "{health}");
         let parsed: serde_json::Value = serde_json::from_str(&health).unwrap();
         assert!(parsed["edges"][0]["requests"].as_u64().unwrap() >= 1);
+        assert_eq!(parsed["schema_version"], 2);
         let (lines, next) = monitor.alert_lines_after(0);
         assert!(!lines.is_empty());
         assert!(next >= 1);
         let alert: serde_json::Value = serde_json::from_str(&lines[0]).unwrap();
         assert_eq!(alert["seq"], 0);
+        assert_eq!(alert["kind"], "verdict");
+    }
+
+    #[test]
+    fn anomalous_edge_assertion_tracks_the_scorer() {
+        use crate::anomaly::AnomalyConfig;
+
+        let spec = MonitorSpec::new(Duration::from_secs(1))
+            .anomaly(AnomalyConfig::default().warmup_windows(2))
+            .assert(StreamingAssertion::AnomalousEdge {
+                src: "a".into(),
+                dst: "b".into(),
+            });
+        let (store, monitor) = monitor_with(spec);
+        // Two fault-free warmup windows at 10 req/s, 5ms.
+        for w in 0..2u64 {
+            for i in 0..10u64 {
+                let ts = sec(w) + i * 100_000;
+                store.record_event(request(ts));
+                store.record_event(reply_to("b", ts + 1_000, 200, 5));
+            }
+        }
+        store.record_event(reply_to("b", sec(2), 200, 5)); // closes warmup
+        monitor.poll();
+        // Baseline learned; the assertion is no longer pending.
+        let scores = monitor.anomaly_scores();
+        assert_eq!(scores.len(), 1, "{scores:?}");
+        assert!(scores[0].baseline.is_some());
+
+        // Two consecutive slow windows: Suspect (Failing) then
+        // Anomalous (straight to Violated).
+        for w in 2..4u64 {
+            for i in 0..10u64 {
+                let ts = sec(w) + i * 100_000;
+                store.record_event(request(ts));
+                store.record_event(reply_to("b", ts + 1_000, 200, 90));
+            }
+        }
+        store.record_event(reply_to("b", sec(4) + 100_000, 200, 90));
+        monitor.poll();
+        assert!(monitor.violated(), "{:?}", monitor.verdicts());
+        let check = &monitor.verdicts()[0];
+        assert_eq!(check.verdict, Verdict::Violated);
+        assert!(check.detail.contains("anomalous"), "{}", check.detail);
+        let score = &monitor.anomaly_scores()[0];
+        assert_eq!(score.state, crate::anomaly::EdgeState::Anomalous);
+        assert!(score.first_suspect_at_us.is_some());
+
+        // The record log interleaves verdicts and anomalies with
+        // contiguous sequence numbers and tagged JSON.
+        let (records, next) = monitor.records_after(0);
+        assert_eq!(records.len() as u64, next);
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.seq(), i as u64, "{records:?}");
+        }
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, MonitorRecord::Anomaly(a) if a.to == crate::anomaly::EdgeState::Anomalous)));
+        let (lines, _) = {
+            use gremlin_proxy::MonitorSource;
+            monitor.alert_lines_after(0)
+        };
+        assert!(
+            lines.iter().any(|l| l.contains("\"kind\":\"anomaly\"")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("\"kind\":\"verdict\"")),
+            "{lines:?}"
+        );
+        // The verdict-only view still pages cleanly past the mixed log.
+        let (alerts, after) = monitor.alerts_after(0);
+        assert_eq!(after, next);
+        assert!(alerts.iter().all(|a| (a.seq as usize) < records.len()));
+    }
+
+    #[test]
+    fn degenerate_windows_keep_streaming_checks_finite() {
+        // Zero-duration window spec: rates divide by the floored
+        // window, never by zero.
+        let spec =
+            MonitorSpec::new(Duration::ZERO).assert(StreamingAssertion::RequestRateAtLeast {
+                src: "a".into(),
+                dst: "b".into(),
+                min_rate: 1.0,
+            });
+        let (store, monitor) = monitor_with(spec);
+        // Tight timestamps: the zero window is floored to 1us, and the
+        // close walk advances one floored window per step.
+        store.record_event(request(0));
+        store.record_event(request(10));
+        monitor.poll();
+        monitor.finalize();
+        for check in monitor.verdicts() {
+            assert!(!check.detail.contains("NaN"), "{}", check.detail);
+            assert!(!check.detail.contains("inf"), "{}", check.detail);
+        }
+
+        // Windows with no relevant observations leave error-rate and
+        // latency verdicts untouched (no divide-by-zero evaluation).
+        let spec = MonitorSpec::new(Duration::from_secs(1))
+            .assert(StreamingAssertion::ErrorRateAtMost {
+                src: "a".into(),
+                dst: "b".into(),
+                max_ratio: 0.5,
+            })
+            .assert(StreamingAssertion::LatencySlo {
+                service: "b".into(),
+                quantile: 0.99,
+                bound: Duration::from_millis(10),
+            });
+        let (store, monitor) = monitor_with(spec);
+        // Only requests (no replies): both assertions stay Pending
+        // across closed windows.
+        store.record_event(request(sec(0)));
+        store.record_event(request(sec(5)));
+        monitor.poll();
+        for check in monitor.verdicts() {
+            assert_eq!(check.verdict, Verdict::Pending, "{check:?}");
+        }
     }
 }

@@ -10,19 +10,26 @@
 //! next outage conditionally.
 
 use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use gremlin_proxy::AgentControl;
-use gremlin_store::EventStore;
+use gremlin_store::{now_micros, EventStore, Micros};
 use gremlin_telemetry::{MetricsRegistry, SampleValue, TelemetrySnapshot};
 
+use crate::anomaly::AnomalyScore;
 use crate::checker::{AssertionChecker, Check};
 use crate::error::CoreError;
+use crate::flight::{FlightRecorder, FlightSummary};
 use crate::graph::AppGraph;
 use crate::monitor::{AlertEvent, LiveCheck, LiveMonitor, MonitorSpec, Verdict};
 use crate::orchestrator::{FailureOrchestrator, OrchestrationStats};
 use crate::scenarios::Scenario;
 use crate::trace::TraceDigest;
+
+/// How many anomalous edges a [`RecipeReport`] lists, worst first.
+const REPORT_ANOMALY_LIMIT: usize = 8;
 
 /// Everything a recipe needs: the application graph, the agent
 /// fleet, and the observation store.
@@ -133,6 +140,8 @@ pub struct RecipeRun<'a> {
     injected: Vec<String>,
     baseline: TelemetrySnapshot,
     monitor: Option<LiveMonitor>,
+    flight: Option<FlightRecorder>,
+    flight_cursor: u64,
 }
 
 impl<'a> RecipeRun<'a> {
@@ -146,6 +155,8 @@ impl<'a> RecipeRun<'a> {
             injected: Vec::new(),
             baseline: ctx.telemetry.snapshot(),
             monitor: None,
+            flight: None,
+            flight_cursor: 0,
         }
     }
 
@@ -166,13 +177,60 @@ impl<'a> RecipeRun<'a> {
         self.monitor.as_ref()
     }
 
+    /// Attaches a [`FlightRecorder`]: monitor records (verdict and
+    /// anomaly transitions) and periodic edge matrices are persisted
+    /// under a fresh per-run directory inside `root` as the run
+    /// progresses, and `report.json` is written by
+    /// [`RecipeRun::finish`]. Replay the directory offline with
+    /// `gremlin replay <dir>`. Returns the created directory.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidInput`] when no monitor is attached
+    /// ([`RecipeRun::start_monitor`] must run first — the recorder
+    /// persists the monitor's state); otherwise directory/file
+    /// creation failures.
+    pub fn start_flight_recorder(&mut self, root: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let Some(monitor) = self.monitor.as_ref() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "attach a monitor (start_monitor) before the flight recorder",
+            ));
+        };
+        let window_us = (monitor.window().as_micros() as Micros).max(1);
+        let recorder = FlightRecorder::create(root, &self.name, now_micros(), window_us)?;
+        let dir = recorder.dir().to_path_buf();
+        self.flight = Some(recorder);
+        self.flight_cursor = 0;
+        Ok(dir)
+    }
+
+    /// Drains fresh monitor records into the flight recorder and logs
+    /// a (throttled) matrix snapshot. Best-effort: on disk trouble
+    /// the recorder is detached — a full disk should degrade the
+    /// postmortem artifact, not fail the experiment.
+    fn record_flight(&mut self) {
+        let (Some(monitor), Some(flight)) = (self.monitor.as_ref(), self.flight.as_mut()) else {
+            return;
+        };
+        let (records, next) = monitor.records_after(self.flight_cursor);
+        let ok = flight.append_records(&records).is_ok() && flight.record_snapshot(monitor).is_ok();
+        self.flight_cursor = next;
+        if !ok {
+            self.flight = None;
+        }
+    }
+
     /// Polls the attached monitor, returning any fresh verdict
     /// transitions (empty without a monitor).
-    pub fn poll_monitor(&self) -> Vec<AlertEvent> {
-        self.monitor
+    pub fn poll_monitor(&mut self) -> Vec<AlertEvent> {
+        let alerts = self
+            .monitor
             .as_ref()
             .map(|monitor| monitor.poll())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        self.record_flight();
+        alerts
     }
 
     /// Polls the monitor and, when any streaming assertion has
@@ -191,6 +249,7 @@ impl<'a> RecipeRun<'a> {
             }
             None => false,
         };
+        self.record_flight();
         if violated {
             self.ctx.clear_faults()?;
         }
@@ -229,10 +288,12 @@ impl<'a> RecipeRun<'a> {
     /// Finishes the run, producing the report. The report carries the
     /// delta between the context's telemetry now and the baseline
     /// captured when the run started. An attached monitor is
-    /// finalized (its partial window closed) and its verdicts
-    /// embedded; a `Violated` assertion fails the run even when every
-    /// recorded post-hoc check passed.
-    pub fn finish(self) -> RecipeReport {
+    /// finalized (its partial window closed) and its verdicts and
+    /// anomalous edges embedded; a `Violated` assertion fails the run
+    /// even when every recorded post-hoc check passed. An attached
+    /// flight recorder is drained one last time and its `report.json`
+    /// written.
+    pub fn finish(mut self) -> RecipeReport {
         let monitor = match &self.monitor {
             Some(monitor) => {
                 monitor.finalize();
@@ -240,22 +301,60 @@ impl<'a> RecipeRun<'a> {
             }
             None => Vec::new(),
         };
+        let anomalies = self
+            .monitor
+            .as_ref()
+            .map(|monitor| {
+                let mut scores: Vec<AnomalyScore> = monitor
+                    .anomaly_scores()
+                    .into_iter()
+                    .filter(|score| score.first_suspect_at_us.is_some())
+                    .collect();
+                scores.sort_by(|a, b| {
+                    b.peak_score
+                        .partial_cmp(&a.peak_score)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                scores.truncate(REPORT_ANOMALY_LIMIT);
+                scores
+            })
+            .unwrap_or_default();
+        self.record_flight(); // finalize() may have closed a partial window
         let passed = self.passing() && monitor.iter().all(|c| c.verdict != Verdict::Violated);
         let metrics_delta = self.ctx.telemetry.snapshot().delta(&self.baseline);
+        let flight_dir = match (self.flight.take(), self.monitor.as_ref()) {
+            (Some(mut flight), live) => {
+                if let Some(live) = live {
+                    let _ = flight.record_snapshot_now(live);
+                }
+                let summary = FlightSummary {
+                    name: self.name.clone(),
+                    passed,
+                    injected: self.injected.clone(),
+                    checks: self.checks.clone(),
+                    monitor: monitor.clone(),
+                    anomalies: anomalies.clone(),
+                };
+                flight.finish(&summary).ok()
+            }
+            (None, _) => None,
+        };
         RecipeReport {
             name: self.name,
             injected: self.injected,
             checks: self.checks,
             monitor,
+            anomalies,
             passed,
             metrics_delta,
             traces: TraceDigest::from_store(&self.ctx.store),
+            flight_dir,
         }
     }
 }
 
 /// The outcome of a recipe execution.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecipeReport {
     /// Recipe name.
     pub name: String,
@@ -267,6 +366,10 @@ pub struct RecipeReport {
     /// `monitor:` stanza (empty when none was attached), including
     /// when each first flipped to failing.
     pub monitor: Vec<LiveCheck>,
+    /// Edges whose anomaly score ever left `Nominal`, worst peak
+    /// score first (at most 8 listed; empty without an
+    /// anomaly-configured monitor).
+    pub anomalies: Vec<AnomalyScore>,
     /// `true` when every check passed and no monitored assertion was
     /// violated.
     pub passed: bool,
@@ -277,6 +380,10 @@ pub struct RecipeReport {
     /// Trace statistics over every flow the store observed: slowest
     /// flow, deepest causal tree, faulted-span count.
     pub traces: TraceDigest,
+    /// The flight-recorder artifact directory, when one was attached
+    /// and its final report was written (`gremlin replay` re-renders
+    /// it).
+    pub flight_dir: Option<PathBuf>,
 }
 
 fn format_sample_labels(labels: &[(String, String)]) -> String {
@@ -350,6 +457,23 @@ impl RecipeReport {
                 ));
             }
         }
+        if !self.anomalies.is_empty() {
+            out.push_str("\n**Anomalous edges**\n\n");
+            out.push_str("| Edge | State | Peak score | First suspect |\n|---|---|---|---|\n");
+            for score in &self.anomalies {
+                out.push_str(&format!(
+                    "| {} -> {} | {} | {:.1} | {} |\n",
+                    score.src,
+                    score.dst,
+                    score.state,
+                    score.peak_score,
+                    score
+                        .first_suspect_at_us
+                        .map(|at| format!("{at}us"))
+                        .unwrap_or_else(|| "-".to_string()),
+                ));
+            }
+        }
         let counters = self.counter_changes();
         if !counters.is_empty() {
             out.push_str("\n**Metrics delta**\n\n");
@@ -384,6 +508,20 @@ impl fmt::Display for RecipeReport {
                 write!(f, " (first failing at {at}us)")?;
             }
             writeln!(f)?;
+        }
+        for score in &self.anomalies {
+            write!(
+                f,
+                "  anomaly: {} -> {} {} (peak score {:.1}",
+                score.src, score.dst, score.state, score.peak_score
+            )?;
+            if let Some(at) = score.first_suspect_at_us {
+                write!(f, ", first suspect at {at}us")?;
+            }
+            writeln!(f, ")")?;
+        }
+        if let Some(dir) = &self.flight_dir {
+            writeln!(f, "  flight recording: {}", dir.display())?;
         }
         for (series, value) in self.counter_changes() {
             writeln!(f, "  metric: {series} +{value}")?;
@@ -550,10 +688,10 @@ mod tests {
         // so the reply at 15ms closes the first (all-error) window.
         for i in 0..4u64 {
             let ts = i * 7_000;
-            ctx.store()
-                .record_event(gremlin_store::Event::request("a", "b", "GET", "/x").with_timestamp(ts));
-            let mut reply =
-                gremlin_store::Event::response("a", "b", 503, Duration::from_millis(1));
+            ctx.store().record_event(
+                gremlin_store::Event::request("a", "b", "GET", "/x").with_timestamp(ts),
+            );
+            let mut reply = gremlin_store::Event::response("a", "b", 503, Duration::from_millis(1));
             reply.timestamp_us = ts + 1_000;
             ctx.store().record_event(reply);
         }
@@ -575,12 +713,77 @@ mod tests {
     #[test]
     fn runs_without_monitor_report_no_live_checks() {
         let (ctx, _agent) = context();
-        let run = RecipeRun::new("plain", &ctx);
+        let mut run = RecipeRun::new("plain", &ctx);
         assert!(run.monitor().is_none());
         assert!(run.poll_monitor().is_empty());
         let report = run.finish();
         assert!(report.monitor.is_empty());
+        assert!(report.anomalies.is_empty());
+        assert!(report.flight_dir.is_none());
         assert!(report.passed);
+    }
+
+    #[test]
+    fn flight_recorder_requires_a_monitor() {
+        let (ctx, _agent) = context();
+        let mut run = RecipeRun::new("no-monitor", &ctx);
+        let err = run.start_flight_recorder(std::env::temp_dir()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn flight_recorder_persists_the_run_timeline() {
+        use crate::flight::FlightLog;
+        use crate::monitor::{MonitorSpec, StreamingAssertion};
+        use std::time::Duration;
+
+        let root =
+            std::env::temp_dir().join(format!("gremlin-recipe-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+
+        let (ctx, _agent) = context();
+        let mut run = RecipeRun::new("flight-test", &ctx);
+        run.start_monitor(
+            MonitorSpec::new(Duration::from_millis(10))
+                .violate_after(1)
+                .assert(StreamingAssertion::ErrorRateAtMost {
+                    src: "a".into(),
+                    dst: "b".into(),
+                    max_ratio: 0.1,
+                }),
+        );
+        let dir = run.start_flight_recorder(&root).unwrap();
+        assert!(dir.starts_with(&root));
+
+        for i in 0..4u64 {
+            let ts = i * 7_000;
+            ctx.store().record_event(
+                gremlin_store::Event::request("a", "b", "GET", "/x").with_timestamp(ts),
+            );
+            let mut reply = gremlin_store::Event::response("a", "b", 503, Duration::from_millis(1));
+            reply.timestamp_us = ts + 1_000;
+            ctx.store().record_event(reply);
+        }
+        assert!(run.abort_if_violated().unwrap());
+
+        let report = run.finish();
+        assert_eq!(report.flight_dir.as_deref(), Some(dir.as_path()));
+
+        let log = FlightLog::load(&dir).unwrap();
+        assert_eq!(log.meta.recipe, "flight-test");
+        assert_eq!(log.meta.window_us, 10_000);
+        assert!(!log.records.is_empty(), "verdict flips must be persisted");
+        assert!(
+            !log.snapshots.is_empty(),
+            "matrix snapshots must be persisted"
+        );
+        let summary = log.report.as_ref().expect("report.json written by finish");
+        assert!(!summary.passed);
+        assert_eq!(summary.monitor.len(), 1);
+        let timeline = log.render_timeline();
+        assert!(timeline.contains("violated"), "{timeline}");
+        assert!(timeline.contains("outcome: FAILED"), "{timeline}");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -100,7 +100,8 @@ impl EdgeStats {
             if failed {
                 self.errors += 1;
             }
-            self.window_responses.push_back((event.timestamp_us, failed));
+            self.window_responses
+                .push_back((event.timestamp_us, failed));
             if let Some(latency) = event.observed_latency() {
                 self.latency.record(latency);
             }
@@ -109,11 +110,7 @@ impl EdgeStats {
 
     /// Drops window entries older than `horizon`.
     fn prune(&mut self, horizon: Micros) {
-        while self
-            .window_requests
-            .front()
-            .is_some_and(|ts| *ts < horizon)
-        {
+        while self.window_requests.front().is_some_and(|ts| *ts < horizon) {
             self.window_requests.pop_front();
         }
         while self
@@ -126,7 +123,10 @@ impl EdgeStats {
     }
 
     fn snapshot(&self, src: &Name, dst: &Name, window: Duration) -> EdgeHealth {
-        let window_secs = window.as_secs_f64().max(1e-9);
+        // Degenerate windows must degrade to 0.0, never NaN/inf: the
+        // divisor is floored (a zero-length window still divides by
+        // 1µs) and an empty window is explicitly rate 0.
+        let window_secs = window.as_secs_f64().max(1e-6);
         let snap = self.latency.snapshot();
         let window_errors = self
             .window_responses
@@ -141,7 +141,11 @@ impl EdgeStats {
             responses: self.responses,
             errors: self.errors,
             fault_hits: self.fault_hits,
-            rate_rps: self.window_requests.len() as f64 / window_secs,
+            rate_rps: if self.window_requests.is_empty() {
+                0.0
+            } else {
+                self.window_requests.len() as f64 / window_secs
+            },
             error_rate: if window_responses == 0 {
                 0.0
             } else {
@@ -328,7 +332,11 @@ mod tests {
         let monitor = HealthMonitor::new(Arc::clone(&store), Duration::from_secs(10));
         for i in 0..10 {
             store.record_event(request(sec(i)));
-            store.record_event(reply(sec(i) + 500_000, if i % 2 == 0 { 200 } else { 503 }, 5));
+            store.record_event(reply(
+                sec(i) + 500_000,
+                if i % 2 == 0 { 200 } else { 503 },
+                5,
+            ));
         }
         monitor.poll();
         let matrix = monitor.snapshot();
@@ -341,7 +349,11 @@ mod tests {
         assert_eq!(edge.errors, 5);
         assert!(edge.rate_rps > 0.0, "window rate must be non-zero");
         assert!((edge.error_rate - 0.5).abs() < 1e-9, "{}", edge.error_rate);
-        assert!(edge.p50_us >= 4_000 && edge.p50_us <= 6_000, "{}", edge.p50_us);
+        assert!(
+            edge.p50_us >= 4_000 && edge.p50_us <= 6_000,
+            "{}",
+            edge.p50_us
+        );
     }
 
     #[test]
@@ -365,9 +377,7 @@ mod tests {
     fn fault_hits_are_counted() {
         let store = EventStore::shared();
         let monitor = HealthMonitor::new(Arc::clone(&store), DEFAULT_HEALTH_WINDOW);
-        store.record_event(
-            reply(sec(0), 503, 1).with_fault(AppliedFault::Abort { status: 503 }),
-        );
+        store.record_event(reply(sec(0), 503, 1).with_fault(AppliedFault::Abort { status: 503 }));
         monitor.poll();
         let edge = monitor.edge("a", "b").unwrap();
         assert_eq!(edge.fault_hits, 1);
@@ -409,6 +419,39 @@ mod tests {
         let json = serde_json::to_string(&matrix).unwrap();
         let back: Vec<EdgeHealth> = serde_json::from_str(&json).unwrap();
         assert_eq!(matrix, back);
+    }
+
+    #[test]
+    fn degenerate_windows_yield_zero_not_nan() {
+        // Requests with no responses: error rate and percentiles are
+        // 0.0/0, not NaN.
+        let store = EventStore::shared();
+        let monitor = HealthMonitor::new(Arc::clone(&store), Duration::from_secs(5));
+        store.record_event(request(sec(0)));
+        monitor.poll();
+        let edge = monitor.edge("a", "b").unwrap();
+        assert_eq!(edge.error_rate, 0.0);
+        assert_eq!(edge.p50_us, 0);
+        assert_eq!(edge.p99_us, 0);
+        assert!(edge.rate_rps.is_finite());
+
+        // Everything pruned out of the window: rates drop to exactly
+        // 0.0 while totals persist.
+        store.record_event(reply(sec(100), 503, 1));
+        monitor.poll();
+        let edge = monitor.edge("a", "b").unwrap();
+        assert_eq!(edge.requests, 1);
+        assert_eq!(edge.rate_rps, 0.0, "zero-request window must be rate 0");
+
+        // A zero-length window never divides by zero.
+        let store = EventStore::shared();
+        let zero = HealthMonitor::new(Arc::clone(&store), Duration::ZERO);
+        store.record_event(request(sec(1)));
+        store.record_event(reply(sec(1), 200, 1));
+        zero.poll();
+        let edge = zero.edge("a", "b").unwrap();
+        assert!(edge.rate_rps.is_finite(), "{}", edge.rate_rps);
+        assert!(edge.error_rate.is_finite());
     }
 
     #[test]

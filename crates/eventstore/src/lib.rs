@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod event;
 pub mod health;
 pub mod name;
@@ -48,6 +49,7 @@ pub mod query;
 pub mod spans;
 pub mod store;
 
+pub use baseline::{mad, median, wilson_upper, BaselineBuilder, EdgeBaseline, MAD_SIGMA};
 pub use event::{now_micros, AppliedFault, Event, EventKind, Micros};
 pub use health::{EdgeHealth, HealthMonitor, DEFAULT_HEALTH_WINDOW};
 pub use name::Name;

@@ -25,6 +25,18 @@ use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
 use crate::control::metrics_response;
 use crate::error::ProxyError;
 
+/// Schema version of the `GET /health` JSON document (and of
+/// `gremlin watch --json` frames, which embed it).
+///
+/// * **1** — `window_us`, `clock_us`, `edges`, `checks`.
+/// * **2** — adds `schema_version` itself and `scores` (per-edge
+///   anomaly scores; empty when the monitor carries no
+///   [`AnomalyScorer`](https://docs.rs/gremlin-core) baseline config).
+///
+/// Consumers should ignore unknown fields; a missing `schema_version`
+/// means version 1.
+pub const HEALTH_SCHEMA_VERSION: u32 = 2;
+
 /// A live experiment monitor the collector can serve: the per-edge
 /// health matrix on `GET /health` and the verdict-transition stream
 /// on `GET /alerts`.
@@ -41,11 +53,13 @@ pub trait MonitorSource: Send + Sync + std::fmt::Debug {
     fn refresh(&self);
 
     /// The current monitor state as a JSON object:
-    /// `{"window_us":..,"clock_us":..,"edges":[..],"checks":[..]}`.
+    /// `{"schema_version":2,"window_us":..,"clock_us":..,"edges":[..],
+    /// "checks":[..],"scores":[..]}` (see [`HEALTH_SCHEMA_VERSION`]).
     fn health_json(&self) -> String;
 
-    /// Serialized alert events (one JSON object per line entry)
-    /// recorded at or after `cursor`, plus the next cursor.
+    /// Serialized monitor records (one JSON object per line entry,
+    /// tagged with a `kind` field — `verdict` or `anomaly`) recorded
+    /// at or after `cursor`, plus the next cursor.
     fn alert_lines_after(&self, cursor: u64) -> (Vec<String>, u64);
 }
 
@@ -57,7 +71,7 @@ impl MonitorSource for HealthMonitor {
     fn health_json(&self) -> String {
         let edges = self.snapshot();
         format!(
-            "{{\"window_us\":{},\"clock_us\":{},\"edges\":{},\"checks\":[]}}",
+            "{{\"schema_version\":{HEALTH_SCHEMA_VERSION},\"window_us\":{},\"clock_us\":{},\"edges\":{},\"checks\":[],\"scores\":[]}}",
             self.window().as_micros(),
             self.clock_us(),
             serde_json::to_string(&edges).unwrap_or_else(|_| "[]".into()),
@@ -163,11 +177,15 @@ impl Drop for SubscriberGuard {
 /// number of currently connected streaming clients.
 ///
 /// `GET /health` refreshes the in-process [`MonitorSource`] and
-/// returns `{"window_us":..,"clock_us":..,"edges":[..],"checks":[..]}`
-/// — the per-(src,dst) edge health matrix plus (when the monitor
-/// carries streaming assertions) live check verdicts. `GET /alerts`
-/// streams verdict transitions as NDJSON with the same chunked
-/// machinery as `/tail`, replaying the full alert log first.
+/// returns `{"schema_version":2,"window_us":..,"clock_us":..,
+/// "edges":[..],"checks":[..],"scores":[..]}` — the per-(src,dst)
+/// edge health matrix plus (when the monitor carries streaming
+/// assertions) live check verdicts and (when it carries an anomaly
+/// baseline) per-edge anomaly scores; see [`HEALTH_SCHEMA_VERSION`].
+/// `GET /alerts` streams monitor records — verdict transitions
+/// (`"kind":"verdict"`) and anomaly state changes (`"kind":"anomaly"`)
+/// — as NDJSON with the same chunked machinery as `/tail`, replaying
+/// the full record log first.
 ///
 /// A batch containing malformed lines is answered with `400`; valid
 /// lines from the same batch are still appended, and the rejected
@@ -416,7 +434,11 @@ pub(crate) fn trace_response(store: &EventStore, request_id: &str) -> Response {
 /// `GET /tail`: a chunked NDJSON stream of events. The cursor is
 /// pinned while handling the request, so nothing recorded after the
 /// request arrived is missed; `?from=0` replays history first.
-fn tail_reply(store: &Arc<EventStore>, request: &Request, metrics: &Arc<CollectorMetrics>) -> Reply {
+fn tail_reply(
+    store: &Arc<EventStore>,
+    request: &Request,
+    metrics: &Arc<CollectorMetrics>,
+) -> Reply {
     let from_start = request
         .query()
         .map(|q| q.split('&').any(|pair| pair == "from=0"))
@@ -956,8 +978,8 @@ mod tests {
                 .with_request_id("test-1")
                 .with_timestamp(1_000),
         );
-        let mut reply = Event::response("web", "db", 200, Duration::from_millis(3))
-            .with_request_id("test-1");
+        let mut reply =
+            Event::response("web", "db", 200, Duration::from_millis(3)).with_request_id("test-1");
         reply.timestamp_us = 4_000;
         store.record_event(reply);
 
@@ -975,8 +997,11 @@ mod tests {
         assert_eq!(edges[0]["dst"], "db");
         assert_eq!(edges[0]["requests"], 1);
         assert_eq!(edges[0]["responses"], 1);
-        // The default monitor carries no assertion engine.
+        // The default monitor carries no assertion engine and no
+        // anomaly baseline.
         assert_eq!(body["checks"].as_array().map(Vec::len), Some(0));
+        assert_eq!(body["scores"].as_array().map(Vec::len), Some(0));
+        assert_eq!(body["schema_version"], u64::from(HEALTH_SCHEMA_VERSION));
     }
 
     /// A canned [`MonitorSource`] for exercising `/alerts` without

@@ -58,7 +58,9 @@ pub mod rules;
 pub mod table;
 
 pub use agent::{AgentConfig, GremlinAgent, Route};
-pub use collector::{CollectorServer, HttpEventSink, MonitorSource, SinkConfig};
+pub use collector::{
+    CollectorServer, HttpEventSink, MonitorSource, SinkConfig, HEALTH_SCHEMA_VERSION,
+};
 pub use control::{AgentControl, AgentHealth, AgentStats, ControlClient, ControlServer};
 pub use error::ProxyError;
 pub use rules::{AbortKind, FaultAction, MessageSide, Rule};

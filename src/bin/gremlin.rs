@@ -17,6 +17,7 @@
 //! gremlin trace events.ndjson test-42 --json   OTLP-style JSON export
 //! gremlin tail <collector-addr>           live event stream from a collector
 //! gremlin watch <collector-addr>          live per-edge health + check dashboard
+//! gremlin replay <run-dir>                re-render a recorded run's timeline
 //! gremlin metrics <addr,...>              scrape and summarize /metrics
 //! ```
 //!
@@ -63,6 +64,7 @@ fn usage() -> &'static str {
      gremlin trace <events.ndjson> <request-id> [--json]\n  \
      gremlin tail <collector-addr> [--from <cursor>] [--limit <n>]\n  \
      gremlin watch <collector-addr> [--json] [--interval <dur>] [--count <n>]\n  \
+     gremlin replay <run-dir> [--json]       re-render a flight-recorder directory\n  \
      gremlin generate <graph.json> [--exclude svc]... [--pattern test-*]\n  \
      gremlin metrics <addr,...> [--raw]      scrape /metrics from agents or collectors"
 }
@@ -80,6 +82,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "trace" => cmd_trace(&args[1..]),
         "tail" => cmd_tail(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "" | "help" | "--help" | "-h" => Ok(usage().to_string()),
@@ -609,6 +612,42 @@ fn cmd_watch(args: &[String]) -> Result<String, Box<dyn Error>> {
     }
 }
 
+/// `gremlin replay <run-dir>` — re-renders the verdict/anomaly
+/// timeline a flight-recorded recipe run persisted (see
+/// `RecipeRun::start_flight_recorder`). `--json` emits a
+/// machine-readable summary instead.
+fn cmd_replay(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::core::FlightLog;
+
+    let dir = positional(args, 0)?;
+    let log =
+        FlightLog::load(dir).map_err(|e| format!("cannot load flight recording {dir:?}: {e}"))?;
+    if has_flag(args, "--json") {
+        return Ok(serde_json::to_string_pretty(&serde_json::json!({
+            "schema_version": log.meta.schema_version,
+            "recipe": log.meta.recipe,
+            "started_at_us": log.meta.started_at_us,
+            "window_us": log.meta.window_us,
+            "records": log.records.len(),
+            "snapshots": log.snapshots.len(),
+            "report": log.report,
+        }))?);
+    }
+    Ok(log.render_timeline().trim_end().to_string())
+}
+
+/// Colors an anomaly state for terminal output (green nominal,
+/// yellow suspect, red anomalous, dim warming).
+fn paint_state(state: &str) -> String {
+    let color = match state {
+        "nominal" => "\x1b[32m",
+        "suspect" => "\x1b[33m",
+        "anomalous" => "\x1b[31m",
+        _ => "\x1b[2m",
+    };
+    format!("{color}{state}\x1b[0m")
+}
+
 /// Renders one `gremlin watch` dashboard frame from the collector's
 /// `/health` body (and, when available, `/stats`).
 fn render_watch_frame(
@@ -630,10 +669,11 @@ fn render_watch_frame(
     );
 
     out.push_str(&format!(
-        "{:<24} {:>9} {:>7} {:>10} {:>10} {:>8} {:>7}\n",
-        "EDGE", "RATE", "ERR%", "P50", "P99", "REQS", "FAULTS"
+        "{:<24} {:>9} {:>7} {:>10} {:>10} {:>8} {:>7} {:>7}  {}\n",
+        "EDGE", "RATE", "ERR%", "P50", "P99", "REQS", "FAULTS", "SCORE", "STATE"
     ));
     let edges = health["edges"].as_array().cloned().unwrap_or_default();
+    let scores = health["scores"].as_array().cloned().unwrap_or_default();
     if edges.is_empty() {
         out.push_str("  (no traffic observed yet)\n");
     }
@@ -646,8 +686,20 @@ fn render_watch_frame(
         let p99 = Duration::from_micros(edge["p99_us"].as_u64().unwrap_or(0));
         let requests = edge["requests"].as_u64().unwrap_or(0);
         let faults = edge["fault_hits"].as_u64().unwrap_or(0);
+        // The anomaly score/state trail the numeric columns so the
+        // ANSI color codes never skew the table alignment.
+        let (score_txt, state_txt) = match scores
+            .iter()
+            .find(|score| score["src"] == src && score["dst"] == dst)
+        {
+            Some(score) => (
+                format!("{:.1}", score["score"].as_f64().unwrap_or(0.0)),
+                paint_state(score["state"].as_str().unwrap_or("?")),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
         out.push_str(&format!(
-            "{:<24} {:>8.1}/s {:>6.1}% {:>10} {:>10} {:>8} {:>7}\n",
+            "{:<24} {:>8.1}/s {:>6.1}% {:>10} {:>10} {:>8} {:>7} {:>7}  {}\n",
             format!("{src} -> {dst}"),
             rate,
             err,
@@ -655,6 +707,8 @@ fn render_watch_frame(
             format_duration(p99),
             requests,
             faults,
+            score_txt,
+            state_txt,
         ));
     }
 
@@ -905,11 +959,21 @@ mod tests {
 
         let json = run(&args(&["watch", &addr, "--json"])).unwrap();
         let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["schema_version"], 2);
         assert_eq!(value["edges"][0]["src"], "web");
         assert_eq!(value["edges"][0]["requests"], 1);
+        assert_eq!(value["scores"].as_array().map(Vec::len), Some(0));
 
         // One dashboard frame, then exit.
-        let out = run(&args(&["watch", &addr, "--count", "1", "--interval", "1ms"])).unwrap();
+        let out = run(&args(&[
+            "watch",
+            &addr,
+            "--count",
+            "1",
+            "--interval",
+            "1ms",
+        ]))
+        .unwrap();
         assert!(out.contains("watched 1 frame(s)"), "{out}");
 
         assert!(run(&args(&["watch", "not-an-addr"])).is_err());
@@ -918,6 +982,7 @@ mod tests {
     #[test]
     fn watch_frame_renders_edges_checks_and_stats() {
         let health = r#"{
+            "schema_version": 2,
             "window_us": 10000000,
             "clock_us": 12000000,
             "edges": [{
@@ -933,17 +998,30 @@ mod tests {
                 "windows": 2,
                 "first_failing_at_us": 10000000,
                 "violated_at_us": null
+            }],
+            "scores": [{
+                "src": "web", "dst": "db", "state": "suspect",
+                "score": 6.2, "rate_z": 0.3, "error_z": 0.0, "latency_z": 6.2,
+                "peak_score": 6.2, "windows": 4,
+                "first_suspect_at_us": 11000000, "anomalous_at_us": null,
+                "baseline": null
             }]
         }"#;
-        let stats = r#"{"events":124,"tail_cursor":248,"tail_subscribers":1,"alert_subscribers":0}"#;
+        let stats =
+            r#"{"events":124,"tail_cursor":248,"tail_subscribers":1,"alert_subscribers":0}"#;
         let frame = render_watch_frame("127.0.0.1:9000", health, Some(stats)).unwrap();
         assert!(frame.contains("web -> db"), "{frame}");
         assert!(frame.contains("12.4/s"), "{frame}");
         assert!(frame.contains("5.0%"), "{frame}");
+        assert!(frame.contains("SCORE"), "{frame}");
+        assert!(frame.contains("6.2"), "{frame}");
+        assert!(frame.contains("suspect"), "{frame}");
         assert!(frame.contains("[FAILING] LiveLatencySlo"), "{frame}");
         assert!(frame.contains("tail_subscribers=1"), "{frame}");
 
         // No traffic renders a placeholder instead of an empty table.
+        // A version-1 body (no schema_version/scores) still renders:
+        // edges without a score show placeholder columns.
         let empty = render_watch_frame(
             "127.0.0.1:9000",
             r#"{"window_us":0,"clock_us":0,"edges":[],"checks":[]}"#,
@@ -953,6 +1031,88 @@ mod tests {
         assert!(empty.contains("no traffic observed yet"), "{empty}");
 
         assert!(render_watch_frame("a", "not json", None).is_err());
+    }
+
+    #[test]
+    fn watch_frame_scoreless_edges_render_placeholders() {
+        let health = r#"{
+            "schema_version": 2,
+            "window_us": 1000000,
+            "clock_us": 2000000,
+            "edges": [{
+                "src": "web", "dst": "cache",
+                "requests": 10, "responses": 10, "errors": 0, "fault_hits": 0,
+                "rate_rps": 10.0, "error_rate": 0.0,
+                "p50_us": 900, "p99_us": 1600, "last_seen_us": 2000000
+            }],
+            "checks": [],
+            "scores": []
+        }"#;
+        let frame = render_watch_frame("127.0.0.1:9000", health, None).unwrap();
+        let edge_line = frame
+            .lines()
+            .find(|line| line.contains("web -> cache"))
+            .unwrap();
+        assert!(edge_line.trim_end().ends_with('-'), "{edge_line}");
+    }
+
+    #[test]
+    fn replay_renders_a_recorded_timeline() {
+        use gremlin::core::anomaly::{AnomalyAlert, EdgeState};
+        use gremlin::core::{AlertEvent, FlightRecorder, FlightSummary, MonitorRecord, Verdict};
+
+        let root = std::env::temp_dir().join(format!("gremlin-cli-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut recorder = FlightRecorder::create(&root, "cli replay", 5, 1_000_000).unwrap();
+        recorder
+            .append_records(&[
+                MonitorRecord::Verdict(AlertEvent {
+                    seq: 0,
+                    at_us: 1_000_000,
+                    check: "LiveAnomalousEdge(user -> web)".to_string(),
+                    from: Verdict::Pending,
+                    to: Verdict::Passing,
+                    detail: "edge user -> web nominal".to_string(),
+                }),
+                MonitorRecord::Anomaly(AnomalyAlert {
+                    seq: 1,
+                    at_us: 2_000_000,
+                    src: "user".to_string(),
+                    dst: "web".to_string(),
+                    from: EdgeState::Nominal,
+                    to: EdgeState::Suspect,
+                    score: 6.2,
+                    detail: "latency z 6.2".to_string(),
+                }),
+            ])
+            .unwrap();
+        let dir = recorder
+            .finish(&FlightSummary {
+                name: "cli replay".to_string(),
+                passed: true,
+                injected: Vec::new(),
+                checks: Vec::new(),
+                monitor: Vec::new(),
+                anomalies: Vec::new(),
+            })
+            .unwrap();
+
+        let out = run(&args(&["replay", dir.to_str().unwrap()])).unwrap();
+        assert!(
+            out.contains("flight recording of recipe \"cli replay\""),
+            "{out}"
+        );
+        assert!(out.contains("user -> web nominal -> suspect"), "{out}");
+        assert!(out.contains("outcome: PASSED"), "{out}");
+
+        let json = run(&args(&["replay", dir.to_str().unwrap(), "--json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["recipe"], "cli replay");
+        assert_eq!(value["records"], 2);
+        assert_eq!(value["report"]["passed"], true);
+
+        assert!(run(&args(&["replay", "/nonexistent-flight-dir"])).is_err());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -116,7 +116,10 @@ fn latency_slo_alerts_stream_and_recipe_aborts_early() {
             break;
         }
     }
-    assert!(aborted, "monitor never reached Violated after {sent} requests");
+    assert!(
+        aborted,
+        "monitor never reached Violated after {sent} requests"
+    );
     assert!(sent < 50, "early abort must cut the traffic plan short");
 
     // Tear-down: every agent's rule table is empty again.
