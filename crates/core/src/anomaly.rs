@@ -316,6 +316,7 @@ impl EdgeTrack {
 pub struct AnomalyScorer {
     config: AnomalyConfig,
     edges: BTreeMap<(Name, Name), EdgeTrack>,
+    seeded: usize,
 }
 
 impl fmt::Debug for AnomalyScorer {
@@ -323,6 +324,7 @@ impl fmt::Debug for AnomalyScorer {
         f.debug_struct("AnomalyScorer")
             .field("config", &self.config)
             .field("edges", &self.edges.len())
+            .field("seeded", &self.seeded)
             .finish()
     }
 }
@@ -334,7 +336,56 @@ impl AnomalyScorer {
         AnomalyScorer {
             config,
             edges: BTreeMap::new(),
+            seeded: 0,
         }
+    }
+
+    /// Creates a scorer pre-seeded with baselines from a prior run
+    /// (see [`AnomalyScorer::seed`]). Seeded edges start in
+    /// [`EdgeState::Nominal`] and skip the warmup entirely.
+    pub fn with_baselines(config: AnomalyConfig, baselines: Vec<EdgeBaseline>) -> AnomalyScorer {
+        let mut scorer = AnomalyScorer::new(config);
+        scorer.seed(baselines);
+        scorer
+    }
+
+    /// Seeds edges with baselines learned by a prior run (typically
+    /// loaded from a flight recording's `baselines.json`). A seeded
+    /// edge starts in [`EdgeState::Nominal`] with its baseline already
+    /// in place, so it is scored from its very first window — no
+    /// warmup, and no "baseline learned" alert. Edges that already
+    /// have a baseline, or that have left [`EdgeState::Warming`], are
+    /// left untouched: live learning always wins over a stale seed.
+    pub fn seed(&mut self, baselines: Vec<EdgeBaseline>) {
+        for baseline in baselines {
+            let key = (
+                Name::from(baseline.src.as_str()),
+                Name::from(baseline.dst.as_str()),
+            );
+            let track = self
+                .edges
+                .entry(key)
+                .or_insert_with_key(|(src, dst)| EdgeTrack::new(src, dst));
+            if track.state == EdgeState::Warming && track.baseline.is_none() {
+                track.baseline = Some(baseline);
+                track.state = EdgeState::Nominal;
+                self.seeded += 1;
+            }
+        }
+    }
+
+    /// How many edges were seeded from prior baselines.
+    pub fn seeded_edges(&self) -> usize {
+        self.seeded
+    }
+
+    /// Every learned (or seeded) baseline, sorted by `(src, dst)` —
+    /// the snapshot persisted as `baselines.json` for the next run.
+    pub fn baselines(&self) -> Vec<EdgeBaseline> {
+        self.edges
+            .values()
+            .filter_map(|track| track.baseline.clone())
+            .collect()
     }
 
     /// The scorer's configuration.
@@ -734,5 +785,71 @@ mod tests {
         let back: AnomalyAlert = serde_json::from_str(&json).unwrap();
         assert_eq!(alert, back);
         assert!(alert.to_string().contains("edge a -> b nominal -> suspect"));
+    }
+
+    #[test]
+    fn seeded_scorer_skips_warmup() {
+        // Learn a baseline the slow way, then hand it to a fresh
+        // scorer through the JSON round trip `baselines.json` uses.
+        let warm = warmed(AnomalyConfig::default().warmup_windows(3));
+        let json = serde_json::to_string(&warm.baselines()).unwrap();
+        let baselines: Vec<EdgeBaseline> = serde_json::from_str(&json).unwrap();
+        assert_eq!(baselines.len(), 1);
+
+        let mut seeded =
+            AnomalyScorer::with_baselines(AnomalyConfig::default().warmup_windows(3), baselines);
+        assert_eq!(seeded.seeded_edges(), 1);
+        assert_eq!(seeded.score("a", "b").unwrap().state, EdgeState::Nominal);
+        // The very first window is scored — no warmup, no "baseline
+        // learned" alert.
+        let alerts = drive_window(&mut seeded, 0, 10, 5, 0);
+        assert!(alerts.is_empty(), "{alerts:?}");
+        let score = seeded.score("a", "b").unwrap();
+        assert_eq!(score.state, EdgeState::Nominal);
+        assert_eq!(score.windows, 1);
+        // And a deviant first window trips immediately, where a fresh
+        // scorer would still be warming.
+        let mut seeded = AnomalyScorer::with_baselines(
+            AnomalyConfig::default().warmup_windows(3),
+            warm.baselines(),
+        );
+        let alerts = drive_window(&mut seeded, 0, 10, 80, 0);
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].to, EdgeState::Suspect);
+    }
+
+    #[test]
+    fn seeded_verdicts_match_fresh_warmup() {
+        // The same post-warmup stream scored by a freshly-warmed
+        // scorer and by a seeded scorer ends in the same states.
+        let script: [(u64, u64, u64); 6] = [
+            (10, 5, 0),
+            (10, 80, 0),
+            (10, 80, 0),
+            (10, 5, 0),
+            (10, 5, 0),
+            (10, 5, 0),
+        ];
+        let mut fresh = warmed(AnomalyConfig::default().warmup_windows(3));
+        let mut seeded = AnomalyScorer::with_baselines(AnomalyConfig::default(), fresh.baselines());
+        for (i, (count, latency_ms, errors)) in script.iter().enumerate() {
+            drive_window(&mut fresh, 3 + i as u64, *count, *latency_ms, *errors);
+            drive_window(&mut seeded, i as u64, *count, *latency_ms, *errors);
+            let f = fresh.score("a", "b").unwrap();
+            let s = seeded.score("a", "b").unwrap();
+            assert_eq!(f.state, s.state, "window {i}: {f:?} vs {s:?}");
+        }
+        assert_eq!(seeded.score("a", "b").unwrap().windows, script.len() as u64);
+    }
+
+    #[test]
+    fn seed_never_clobbers_live_learning() {
+        let mut scorer = warmed(AnomalyConfig::default().warmup_windows(3));
+        let learned = scorer.baselines()[0].clone();
+        let mut stale = learned.clone();
+        stale.rate_ewma = 999.0;
+        scorer.seed(vec![stale]);
+        assert_eq!(scorer.seeded_edges(), 0, "learned edges are not reseeded");
+        assert_eq!(scorer.baselines()[0], learned);
     }
 }

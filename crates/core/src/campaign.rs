@@ -1,0 +1,853 @@
+//! Campaign executor: many recipes, one mesh, concurrent waves.
+//!
+//! Gremlin's value is *systematic* testing — sweeping a whole set of
+//! failure scenarios over the dependency graph — but running each
+//! recipe back-to-back pays the full wall-clock sum even when the
+//! recipes touch disjoint parts of the mesh. The [`CampaignRunner`]
+//! exploits the observation (FastFI-style) that fault injections on
+//! non-interfering fault sites can run concurrently:
+//!
+//! 1. Each [`CampaignRecipe`]'s **fault-edge footprint** is computed
+//!    up front: the `(src, dst)` edges its scenarios translate to
+//!    over the [`AppGraph`], unioned with the edges its monitor
+//!    assertions observe (service-scoped assertions claim every graph
+//!    edge touching the service).
+//! 2. Recipes are packed into **waves** by [`plan_waves`]: a greedy
+//!    first-fit pass in input order, where a recipe joins the first
+//!    wave whose members' footprints are all disjoint from its own
+//!    (bounded by `max_in_flight`). Recipes with colliding footprints
+//!    always land in different waves — the deterministic serial
+//!    fallback.
+//! 3. Waves execute in order; recipes inside a wave run on scoped
+//!    threads against the same mesh, each with its own monitor and
+//!    flight recording. Staged faults are cleared at every wave
+//!    boundary.
+//!
+//! The emitted [`CampaignReport`] aggregates the per-recipe
+//! [`RecipeReport`]s with the campaign's wall clock vs. the
+//! sum-of-serial estimate — the realized speedup.
+//!
+//! # Baseline reuse
+//!
+//! A campaign with a [`CampaignRunner::seed`] snapshot hands prior
+//! [`EdgeBaseline`]s to every monitored recipe, so anomaly scorers
+//! skip their warmup windows entirely (see
+//! [`AnomalyScorer::seed`](crate::AnomalyScorer::seed)); freshly
+//! learned baselines are merged and persisted as `baselines.json`
+//! under the campaign's flight root for the *next* campaign. Warmup
+//! cost becomes per-campaign instead of per-run.
+//!
+//! # Sharing caveats
+//!
+//! Concurrent recipes share the fleet, the store and the telemetry
+//! registry. Footprint disjointness keeps their *verdicts* and fault
+//! rules independent, but informational output (a report's
+//! `metrics_delta`, the ambient anomaly list) can include a sibling's
+//! traffic. And because the control channel has no per-rule removal,
+//! a recipe that aborts early clears **every** staged fault — its
+//! wave siblings finish against a fault-free mesh, visible in their
+//! reports.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use gremlin_store::EdgeBaseline;
+
+use crate::error::CoreError;
+use crate::graph::AppGraph;
+use crate::monitor::{MonitorSpec, StreamingAssertion};
+use crate::recipe::{RecipeReport, RecipeRun, TestContext};
+use crate::scenarios::Scenario;
+
+fn default_hold() -> Duration {
+    Duration::from_secs(2)
+}
+
+/// One schedulable unit of a campaign: the scenarios to stage, an
+/// optional monitor stanza, and how long to hold the faults while the
+/// monitor watches. Serializable, so campaign files are plain JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRecipe {
+    /// Recipe name, used in reports and flight-recording directories.
+    pub name: String,
+    /// Failure scenarios staged together when the recipe starts.
+    pub scenarios: Vec<Scenario>,
+    /// The recipe's `monitor:` stanza, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub monitor: Option<MonitorSpec>,
+    /// How long the faults stay staged (the monitor polls throughout;
+    /// a `Violated` assertion aborts earlier). Defaults to 2s.
+    #[serde(default = "default_hold")]
+    pub hold: Duration,
+}
+
+impl CampaignRecipe {
+    /// Creates a recipe with no scenarios, no monitor, and the
+    /// default hold.
+    pub fn new(name: impl Into<String>) -> CampaignRecipe {
+        CampaignRecipe {
+            name: name.into(),
+            scenarios: Vec::new(),
+            monitor: None,
+            hold: default_hold(),
+        }
+    }
+
+    /// Builder-style: adds a scenario.
+    pub fn scenario(mut self, scenario: Scenario) -> CampaignRecipe {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Builder-style: attaches the monitor stanza.
+    pub fn monitor(mut self, spec: MonitorSpec) -> CampaignRecipe {
+        self.monitor = Some(spec);
+        self
+    }
+
+    /// Builder-style: sets the fault hold duration.
+    pub fn hold(mut self, hold: Duration) -> CampaignRecipe {
+        self.hold = hold;
+        self
+    }
+
+    /// The recipe's fault-edge footprint over `graph`: every `(src,
+    /// dst)` edge its scenarios inject faults on, unioned with the
+    /// edges its monitor assertions observe. Two recipes with
+    /// disjoint footprints neither fault nor judge each other's
+    /// edges, so they can run concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Scenario translation failures ([`Scenario::to_rules`]).
+    pub fn footprint(&self, graph: &AppGraph) -> Result<BTreeSet<(String, String)>, CoreError> {
+        let mut edges = BTreeSet::new();
+        for scenario in &self.scenarios {
+            for rule in scenario.to_rules(graph)? {
+                edges.insert((rule.src, rule.dst));
+            }
+        }
+        if let Some(spec) = &self.monitor {
+            for assertion in &spec.assertions {
+                match assertion {
+                    StreamingAssertion::RequestRateAtLeast { src, dst, .. }
+                    | StreamingAssertion::ErrorRateAtMost { src, dst, .. }
+                    | StreamingAssertion::AtMostRequests { src, dst, .. }
+                    | StreamingAssertion::StatusAtLeast { src, dst, .. }
+                    | StreamingAssertion::StatusAtMost { src, dst, .. }
+                    | StreamingAssertion::AnomalousEdge { src, dst } => {
+                        edges.insert((src.clone(), dst.clone()));
+                    }
+                    StreamingAssertion::LatencySlo { service, .. }
+                    | StreamingAssertion::HasTimeouts { service, .. } => {
+                        // Service-scoped: claim every graph edge
+                        // touching the service, in either direction.
+                        for (src, dst) in graph.edges() {
+                            if src == *service || dst == *service {
+                                edges.insert((src, dst));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(edges)
+    }
+}
+
+/// A campaign file: the recipes plus scheduling knobs. The JSON input
+/// of `gremlin campaign`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Maximum recipes in flight per wave (default
+    /// [`DEFAULT_MAX_IN_FLIGHT`]; 1 forces serial execution).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_in_flight: Option<usize>,
+    /// The recipes, in scheduling order.
+    pub recipes: Vec<CampaignRecipe>,
+}
+
+/// Default cap on concurrently running recipes per wave.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 4;
+
+/// Packs recipe indices into execution waves: greedy first-fit in
+/// input order, where index `i` joins the first wave that has fewer
+/// than `max_in_flight` members and whose members' footprints are all
+/// disjoint from `footprints[i]`. Every index appears in exactly one
+/// wave; intersecting footprints never share a wave, so two recipes
+/// that fault or observe the same edge serialize deterministically.
+pub fn plan_waves(
+    footprints: &[BTreeSet<(String, String)>],
+    max_in_flight: usize,
+) -> Vec<Vec<usize>> {
+    let max_in_flight = max_in_flight.max(1);
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    for (index, footprint) in footprints.iter().enumerate() {
+        let slot = waves.iter_mut().find(|wave| {
+            wave.len() < max_in_flight
+                && wave
+                    .iter()
+                    .all(|&other| footprints[other].is_disjoint(footprint))
+        });
+        match slot {
+            Some(wave) => wave.push(index),
+            None => waves.push(vec![index]),
+        }
+    }
+    waves
+}
+
+/// What one recipe execution yielded, beyond its report.
+#[derive(Debug)]
+struct RecipeOutcome {
+    report: RecipeReport,
+    duration: Duration,
+    seeded_edges: usize,
+    baselines: Vec<EdgeBaseline>,
+}
+
+/// Runs a set of recipes as a campaign: footprint-disjoint recipes
+/// concurrently (waves), colliding ones serially, with optional
+/// flight recording and cross-run baseline reuse.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gremlin_core::campaign::{CampaignRecipe, CampaignRunner};
+/// use gremlin_core::{AppGraph, Scenario, TestContext};
+/// use gremlin_store::EventStore;
+/// use std::time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let agents = Vec::new();
+/// let graph = AppGraph::from_edges(vec![("web", "db"), ("web", "cache")]);
+/// let ctx = TestContext::new(graph, agents, EventStore::shared());
+/// let report = CampaignRunner::new(&ctx)
+///     .max_in_flight(2)
+///     .run(vec![
+///         CampaignRecipe::new("db-crash")
+///             .scenario(Scenario::crash("db"))
+///             .hold(Duration::from_secs(1)),
+///         CampaignRecipe::new("cache-slow")
+///             .scenario(Scenario::delay("web", "cache", Duration::from_millis(80)))
+///             .hold(Duration::from_secs(1)),
+///     ])?;
+/// println!("{report}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CampaignRunner<'a> {
+    ctx: &'a TestContext,
+    max_in_flight: usize,
+    flight_root: Option<PathBuf>,
+    seed_baselines: Vec<EdgeBaseline>,
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// Creates a runner over `ctx` with the default wave width and no
+    /// flight recording.
+    pub fn new(ctx: &'a TestContext) -> CampaignRunner<'a> {
+        CampaignRunner {
+            ctx,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+            flight_root: None,
+            seed_baselines: Vec::new(),
+        }
+    }
+
+    /// Builder-style: caps concurrently running recipes per wave
+    /// (minimum 1; 1 reproduces strict serial execution).
+    pub fn max_in_flight(mut self, max_in_flight: usize) -> CampaignRunner<'a> {
+        self.max_in_flight = max_in_flight.max(1);
+        self
+    }
+
+    /// Builder-style: monitored recipes record flight artifacts under
+    /// `root`, and the campaign writes its merged `baselines.json`
+    /// there for the next run to [`CampaignRunner::seed`] from.
+    pub fn flight_root(mut self, root: impl Into<PathBuf>) -> CampaignRunner<'a> {
+        self.flight_root = Some(root.into());
+        self
+    }
+
+    /// Builder-style: seeds every monitored recipe's anomaly scorer
+    /// with baselines from a prior run (typically
+    /// [`load_baselines`](crate::flight::load_baselines) of the last
+    /// campaign's flight root) — seeded edges skip their warmup
+    /// windows. A recipe whose spec carries its own
+    /// `seed_baselines` keeps them.
+    pub fn seed(mut self, baselines: Vec<EdgeBaseline>) -> CampaignRunner<'a> {
+        self.seed_baselines = baselines;
+        self
+    }
+
+    /// Executes the recipes: plans waves from their footprints, runs
+    /// each wave's recipes on scoped threads, clears staged faults at
+    /// every wave boundary, and aggregates the reports.
+    ///
+    /// # Errors
+    ///
+    /// Footprint computation failures (scenario translation) before
+    /// anything runs; agent failures from the wave-boundary clear.
+    /// Failures *inside* a recipe (inject errors, violated
+    /// assertions) fail that recipe's report, not the campaign.
+    pub fn run(&self, recipes: Vec<CampaignRecipe>) -> Result<CampaignReport, CoreError> {
+        let graph = self.ctx.graph();
+        let footprints = recipes
+            .iter()
+            .map(|recipe| recipe.footprint(graph))
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        let waves = plan_waves(&footprints, self.max_in_flight);
+        let wave_names: Vec<Vec<String>> = waves
+            .iter()
+            .map(|wave| wave.iter().map(|&i| recipes[i].name.clone()).collect())
+            .collect();
+
+        let started = Instant::now();
+        let mut recipes: Vec<Option<CampaignRecipe>> = recipes.into_iter().map(Some).collect();
+        let mut outcomes: Vec<Option<RecipeOutcome>> = Vec::new();
+        outcomes.resize_with(recipes.len(), || None);
+        for wave in &waves {
+            if let [index] = wave.as_slice() {
+                let recipe = recipes[*index].take().expect("each index runs once");
+                outcomes[*index] = Some(self.run_recipe(recipe));
+            } else {
+                let batch: Vec<(usize, CampaignRecipe)> = wave
+                    .iter()
+                    .map(|&index| (index, recipes[index].take().expect("each index runs once")))
+                    .collect();
+                let slots: Vec<Mutex<Option<RecipeOutcome>>> =
+                    batch.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..batch.len() {
+                        scope.spawn(|| {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            let (_, recipe) = &batch[slot];
+                            *slots[slot].lock() = Some(self.run_recipe(recipe.clone()));
+                        });
+                    }
+                });
+                for ((index, _), slot) in batch.iter().zip(slots) {
+                    outcomes[*index] = slot.into_inner();
+                }
+            }
+            // Wave boundary: the control channel has no per-rule
+            // removal, so the whole fleet is flushed between waves.
+            self.ctx.clear_faults()?;
+        }
+        let wall_clock = started.elapsed();
+
+        let mut reports = Vec::with_capacity(outcomes.len());
+        let mut durations = Vec::with_capacity(outcomes.len());
+        let mut warmup_skipped = 0;
+        let mut merged: BTreeMap<(String, String), EdgeBaseline> = BTreeMap::new();
+        for baseline in self.seed_baselines.iter().cloned() {
+            merged.insert((baseline.src.clone(), baseline.dst.clone()), baseline);
+        }
+        for outcome in outcomes.into_iter().map(|o| o.expect("every recipe ran")) {
+            if outcome.seeded_edges > 0 {
+                warmup_skipped += 1;
+            }
+            for baseline in outcome.baselines {
+                merged.insert((baseline.src.clone(), baseline.dst.clone()), baseline);
+            }
+            durations.push(outcome.duration);
+            reports.push(outcome.report);
+        }
+        let baselines: Vec<EdgeBaseline> = merged.into_values().collect();
+        if let (Some(root), false) = (&self.flight_root, baselines.is_empty()) {
+            // Best-effort: the merged snapshot is a convenience copy;
+            // per-run dirs already carry their own baselines.json.
+            let _ = fs::create_dir_all(root);
+            let _ = serde_json::to_string_pretty(&baselines)
+                .map_err(std::io::Error::from)
+                .and_then(|json| fs::write(root.join("baselines.json"), json));
+        }
+        let serial_estimate = durations.iter().sum();
+
+        Ok(CampaignReport {
+            recipes: reports,
+            durations,
+            waves: wave_names,
+            wall_clock,
+            serial_estimate,
+            warmup_skipped,
+            baselines,
+        })
+    }
+
+    /// Runs one recipe: attach (and seed) the monitor, stage the
+    /// scenarios, hold the faults while polling for violations, and
+    /// finish. Inject and driver failures become failed checks in the
+    /// recipe's report.
+    fn run_recipe(&self, recipe: CampaignRecipe) -> RecipeOutcome {
+        let started = Instant::now();
+        let mut run = RecipeRun::new(recipe.name.clone(), self.ctx);
+        let mut seeded_edges = 0;
+        if let Some(spec) = &recipe.monitor {
+            let mut spec = spec.clone();
+            if spec.anomaly.is_some() && spec.seed_baselines.is_empty() {
+                spec.seed_baselines = self.seed_baselines.clone();
+            }
+            run.start_monitor(spec);
+            seeded_edges = run.monitor().map_or(0, |m| m.seeded_edges());
+            if let Some(root) = &self.flight_root {
+                // Best-effort, like RecipeRun's own detach-on-error
+                // policy: a full disk degrades the artifact, not the
+                // experiment.
+                let _ = run.start_flight_recorder(root);
+            }
+        }
+        let mut staged = true;
+        for scenario in &recipe.scenarios {
+            if let Err(err) = run.inject(scenario) {
+                run.check(crate::checker::Check {
+                    name: format!("inject {scenario}"),
+                    passed: false,
+                    details: err.to_string(),
+                });
+                staged = false;
+                break;
+            }
+        }
+        if staged {
+            let deadline = started + recipe.hold;
+            loop {
+                match run.abort_if_violated() {
+                    Ok(true) => break,
+                    Ok(false) => {}
+                    Err(err) => {
+                        run.check(crate::checker::Check {
+                            name: "abort staged faults".to_string(),
+                            passed: false,
+                            details: err.to_string(),
+                        });
+                        break;
+                    }
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+            }
+        }
+        let baselines = run
+            .monitor()
+            .map_or_else(Vec::new, |m| m.learned_baselines());
+        let report = run.finish();
+        RecipeOutcome {
+            report,
+            duration: started.elapsed(),
+            seeded_edges,
+            baselines,
+        }
+    }
+}
+
+/// The aggregate outcome of a campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-recipe reports, in the campaign's input order.
+    pub recipes: Vec<RecipeReport>,
+    /// Per-recipe wall-clock durations, aligned with `recipes`.
+    pub durations: Vec<Duration>,
+    /// The executed schedule: recipe names per wave.
+    pub waves: Vec<Vec<String>>,
+    /// Campaign wall clock, wave starts to last wave end.
+    pub wall_clock: Duration,
+    /// Sum of the per-recipe durations — what strict serial execution
+    /// would have cost.
+    pub serial_estimate: Duration,
+    /// Recipes whose anomaly scorer was seeded from prior baselines
+    /// (and therefore skipped its warmup windows).
+    pub warmup_skipped: usize,
+    /// The merged per-edge baselines after this campaign: seeds
+    /// overlaid with everything freshly learned. Persisted as
+    /// `baselines.json` under the flight root, when one is set.
+    pub baselines: Vec<EdgeBaseline>,
+}
+
+impl CampaignReport {
+    /// `true` when every recipe passed.
+    pub fn passed(&self) -> bool {
+        self.recipes.iter().all(|report| report.passed)
+    }
+
+    /// Realized speedup: the serial estimate over the wall clock
+    /// (1.0 for a degenerate, instant campaign).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall_clock.as_secs_f64();
+        let serial = self.serial_estimate.as_secs_f64();
+        if wall <= 0.0 || serial <= 0.0 {
+            1.0
+        } else {
+            serial / wall
+        }
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} recipe(s) in {} wave(s) — wall clock {:?} vs {:?} serial ({:.1}x), {} warmup(s) skipped",
+            self.recipes.len(),
+            self.waves.len(),
+            self.wall_clock,
+            self.serial_estimate,
+            self.speedup(),
+            self.warmup_skipped,
+        )?;
+        for (wave_index, wave) in self.waves.iter().enumerate() {
+            writeln!(f, "  wave {}: {}", wave_index + 1, wave.join(", "))?;
+        }
+        for (report, duration) in self.recipes.iter().zip(&self.durations) {
+            writeln!(
+                f,
+                "  [{}] {} ({:?})",
+                if report.passed { "PASS" } else { "FAIL" },
+                report.name,
+                duration,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::AnomalyConfig;
+    use crate::monitor::MonitorSpec;
+    use gremlin_proxy::{AgentControl, ProxyError, Rule};
+    use gremlin_store::EventStore;
+    use std::sync::Arc;
+
+    /// In-memory agent recording installed rules.
+    struct FakeAgent {
+        service: String,
+        rules: Mutex<Vec<Rule>>,
+    }
+
+    impl FakeAgent {
+        fn new(service: &str) -> Arc<FakeAgent> {
+            Arc::new(FakeAgent {
+                service: service.to_string(),
+                rules: Mutex::new(Vec::new()),
+            })
+        }
+    }
+
+    impl AgentControl for FakeAgent {
+        fn service_name(&self) -> String {
+            self.service.clone()
+        }
+
+        fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+            self.rules.lock().extend(rules.iter().cloned());
+            Ok(())
+        }
+
+        fn clear_rules(&self) -> Result<(), ProxyError> {
+            self.rules.lock().clear();
+            Ok(())
+        }
+
+        fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+            Ok(self.rules.lock().clone())
+        }
+    }
+
+    fn edge_set(edges: &[(&str, &str)]) -> BTreeSet<(String, String)> {
+        edges
+            .iter()
+            .map(|(s, d)| (s.to_string(), d.to_string()))
+            .collect()
+    }
+
+    fn fan_ctx(pairs: &[(&str, &str)]) -> (TestContext, Vec<Arc<FakeAgent>>) {
+        let graph = AppGraph::from_edges(pairs.to_vec());
+        let agents: Vec<Arc<FakeAgent>> =
+            pairs.iter().map(|(src, _)| FakeAgent::new(src)).collect();
+        let ctx = TestContext::new(
+            graph,
+            agents
+                .iter()
+                .map(|a| Arc::clone(a) as Arc<dyn AgentControl>)
+                .collect(),
+            EventStore::shared(),
+        );
+        (ctx, agents)
+    }
+
+    #[test]
+    fn footprint_unions_scenario_rules_and_assertion_scopes() {
+        let graph = AppGraph::from_edges(vec![("a", "b"), ("a", "c"), ("c", "d")]);
+        let recipe = CampaignRecipe::new("r")
+            .scenario(Scenario::abort("a", "b", 503))
+            .monitor(
+                MonitorSpec::new(Duration::from_secs(1))
+                    .assert(StreamingAssertion::ErrorRateAtMost {
+                        src: "a".into(),
+                        dst: "c".into(),
+                        max_ratio: 0.1,
+                    })
+                    .assert(StreamingAssertion::LatencySlo {
+                        service: "c".into(),
+                        quantile: 0.99,
+                        bound: Duration::from_millis(100),
+                    }),
+            );
+        let footprint = recipe.footprint(&graph).unwrap();
+        // abort edge + assertion edge + every edge touching service c.
+        assert_eq!(footprint, edge_set(&[("a", "b"), ("a", "c"), ("c", "d")]));
+    }
+
+    #[test]
+    fn plan_waves_packs_disjoint_and_serializes_collisions() {
+        let footprints = vec![
+            edge_set(&[("a", "b")]),
+            edge_set(&[("c", "d")]), // disjoint from 0 -> same wave
+            edge_set(&[("a", "b")]), // collides with 0 -> new wave
+            edge_set(&[("e", "f")]), // disjoint from all -> first wave
+        ];
+        let waves = plan_waves(&footprints, 4);
+        assert_eq!(waves, vec![vec![0, 1, 3], vec![2]]);
+        // max_in_flight bounds wave width.
+        let waves = plan_waves(&footprints, 2);
+        assert_eq!(waves, vec![vec![0, 1], vec![2, 3]]);
+        // max_in_flight 1 is strict serial in input order.
+        let waves = plan_waves(&footprints, 1);
+        assert_eq!(waves, vec![vec![0], vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn campaign_runs_disjoint_recipes_concurrently() {
+        let pairs = [("c1", "s1"), ("c2", "s2"), ("c3", "s3"), ("c4", "s4")];
+        let (ctx, agents) = fan_ctx(&pairs);
+        let hold = Duration::from_millis(150);
+        let recipes: Vec<CampaignRecipe> = pairs
+            .iter()
+            .map(|(src, dst)| {
+                CampaignRecipe::new(format!("{src}-{dst}"))
+                    .scenario(Scenario::abort(*src, *dst, 503))
+                    .hold(hold)
+            })
+            .collect();
+        let report = CampaignRunner::new(&ctx)
+            .max_in_flight(4)
+            .run(recipes)
+            .unwrap();
+        assert_eq!(report.waves.len(), 1, "{:?}", report.waves);
+        assert_eq!(report.recipes.len(), 4);
+        assert!(report.passed(), "{report}");
+        // Concurrency: four 150ms holds in one wave finish well under
+        // the 600ms serial estimate.
+        assert!(
+            report.wall_clock < hold * 3,
+            "wall {:?} vs serial {:?}",
+            report.wall_clock,
+            report.serial_estimate,
+        );
+        assert!(report.serial_estimate >= hold * 4);
+        assert!(report.speedup() > 1.5, "{}", report.speedup());
+        // Wave boundary cleared the fleet.
+        for agent in &agents {
+            assert!(agent.rules.lock().is_empty());
+        }
+        let text = report.to_string();
+        assert!(text.contains("wave 1:"), "{text}");
+        assert!(text.contains("[PASS]"), "{text}");
+    }
+
+    #[test]
+    fn colliding_recipes_serialize_into_waves() {
+        let (ctx, _) = fan_ctx(&[("a", "b")]);
+        let hold = Duration::from_millis(40);
+        let recipes = vec![
+            CampaignRecipe::new("first")
+                .scenario(Scenario::abort("a", "b", 503))
+                .hold(hold),
+            CampaignRecipe::new("second")
+                .scenario(Scenario::delay("a", "b", Duration::from_millis(10)))
+                .hold(hold),
+        ];
+        let report = CampaignRunner::new(&ctx).run(recipes).unwrap();
+        assert_eq!(
+            report.waves,
+            vec![vec!["first".to_string()], vec!["second".to_string()]]
+        );
+        assert!(report.wall_clock >= hold * 2);
+    }
+
+    #[test]
+    fn inject_failure_fails_the_recipe_not_the_campaign() {
+        // The scenario translates (the edge exists) but cannot
+        // install: no agent fronts "a" in this context.
+        let lonely = TestContext::new(
+            AppGraph::from_edges(vec![("a", "b")]),
+            Vec::new(),
+            EventStore::shared(),
+        );
+        let report = CampaignRunner::new(&lonely)
+            .run(vec![CampaignRecipe::new("no-agent")
+                .scenario(Scenario::abort("a", "b", 503))
+                .hold(Duration::from_millis(10))])
+            .unwrap();
+        assert_eq!(report.recipes.len(), 1);
+        assert!(!report.passed());
+        assert!(!report.recipes[0].checks[0].passed);
+        assert!(
+            report.recipes[0].checks[0].name.starts_with("inject"),
+            "{:?}",
+            report.recipes[0].checks
+        );
+    }
+
+    #[test]
+    fn campaign_translation_error_fails_fast() {
+        let (ctx, agents) = fan_ctx(&[("a", "b")]);
+        let err = CampaignRunner::new(&ctx)
+            .run(vec![
+                CampaignRecipe::new("ghost").scenario(Scenario::abort("nope", "b", 503))
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownService(_)), "{err}");
+        assert!(agents[0].rules.lock().is_empty(), "nothing was staged");
+    }
+
+    #[test]
+    fn seeded_campaign_skips_warmup_and_persists_baselines() {
+        let pairs = [("c1", "s1"), ("c2", "s2")];
+        let hold = Duration::from_millis(60);
+        let window = Duration::from_millis(10);
+        let recipes = |seedless: bool| -> Vec<CampaignRecipe> {
+            pairs
+                .iter()
+                .map(|(src, dst)| {
+                    CampaignRecipe::new(format!("{src}-{dst}{}", if seedless { "" } else { "-2" }))
+                        .scenario(Scenario::delay(*src, *dst, Duration::from_millis(1)))
+                        .monitor(
+                            MonitorSpec::new(window)
+                                .anomaly(AnomalyConfig::default().warmup_windows(2)),
+                        )
+                        .hold(hold)
+                })
+                .collect()
+        };
+        let root =
+            std::env::temp_dir().join(format!("gremlin-campaign-seed-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+
+        // First campaign: drive traffic so baselines are learned.
+        let (ctx, _) = fan_ctx(&pairs);
+        let store = Arc::clone(ctx.store());
+        let feeder = std::thread::spawn(move || {
+            for w in 0..8u64 {
+                for (src, dst) in pairs {
+                    for i in 0..5u64 {
+                        let ts = w * 10_000 + i * 2_000;
+                        store.record_event(
+                            gremlin_store::Event::request(src, dst, "GET", "/x").with_timestamp(ts),
+                        );
+                        store.record_event(
+                            gremlin_store::Event::response(src, dst, 200, Duration::from_millis(2))
+                                .with_timestamp(ts + 500),
+                        );
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        let first = CampaignRunner::new(&ctx)
+            .flight_root(&root)
+            .run(recipes(true))
+            .unwrap();
+        feeder.join().unwrap();
+        assert_eq!(first.warmup_skipped, 0);
+        assert!(!first.baselines.is_empty(), "baselines learned");
+        let persisted = crate::flight::load_baselines(&root).unwrap();
+        assert_eq!(persisted, first.baselines);
+
+        // Second campaign: seeded from the persisted snapshot, every
+        // monitored recipe skips its warmup.
+        let (ctx2, _) = fan_ctx(&pairs);
+        let second = CampaignRunner::new(&ctx2)
+            .seed(persisted)
+            .run(recipes(false))
+            .unwrap();
+        assert_eq!(second.warmup_skipped, 2, "{second}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn spec_serde_round_trips() {
+        let spec = CampaignSpec {
+            max_in_flight: Some(2),
+            recipes: vec![CampaignRecipe::new("r")
+                .scenario(Scenario::crash("b"))
+                .hold(Duration::from_secs(1))],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        // hold, monitor and max_in_flight all default when absent.
+        let mut value = serde_json::to_value(&spec).unwrap();
+        value.as_object_mut().unwrap().remove("max_in_flight");
+        value["recipes"][0].as_object_mut().unwrap().remove("hold");
+        let minimal: CampaignSpec = serde_json::from_value(value).unwrap();
+        assert!(minimal.max_in_flight.is_none());
+        assert_eq!(minimal.recipes[0].hold, default_hold());
+        assert!(minimal.recipes[0].monitor.is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn footprint_strategy() -> impl Strategy<Value = BTreeSet<(String, String)>> {
+            // Edges drawn from a tiny universe so collisions are
+            // common.
+            proptest::collection::btree_set(
+                (0..4u8, 0..4u8).prop_map(|(s, d)| (format!("s{s}"), format!("d{d}"))),
+                1..4,
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn waves_never_coschedule_intersecting_footprints(
+                footprints in proptest::collection::vec(footprint_strategy(), 1..12),
+                max_in_flight in 1usize..5,
+            ) {
+                let waves = plan_waves(&footprints, max_in_flight);
+                // Every index exactly once.
+                let mut seen: Vec<usize> = waves.iter().flatten().copied().collect();
+                seen.sort_unstable();
+                prop_assert_eq!(seen, (0..footprints.len()).collect::<Vec<_>>());
+                for wave in &waves {
+                    prop_assert!(wave.len() <= max_in_flight.max(1));
+                    for (i, &a) in wave.iter().enumerate() {
+                        for &b in &wave[i + 1..] {
+                            prop_assert!(
+                                footprints[a].is_disjoint(&footprints[b]),
+                                "wave {:?} co-schedules intersecting footprints {} and {}",
+                                wave, a, b,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //!   meta.json        run identity: schema version, recipe, window
 //!   alerts.jsonl     every MonitorRecord (verdicts + anomalies)
 //!   snapshots.jsonl  periodic edge-health + anomaly-score matrices
+//!   baselines.json   learned per-edge baselines, for seeding reruns
 //!   report.json      final summary, written by RecipeRun::finish
 //! ```
 //!
@@ -28,7 +29,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
-use gremlin_store::{EdgeHealth, Micros};
+use gremlin_store::{EdgeBaseline, EdgeHealth, Micros};
 
 use crate::anomaly::AnomalyScore;
 use crate::checker::Check;
@@ -207,6 +208,25 @@ impl FlightRecorder {
         Ok(())
     }
 
+    /// Writes the run's learned per-edge baselines as
+    /// `baselines.json` — the snapshot a later run seeds its anomaly
+    /// scorer from to skip the warmup (see
+    /// [`load_baselines`]). Writing an empty slice is a no-op so a
+    /// run that learned nothing never clobbers an earlier snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failures.
+    pub fn record_baselines(&mut self, baselines: &[EdgeBaseline]) -> io::Result<()> {
+        if baselines.is_empty() {
+            return Ok(());
+        }
+        fs::write(
+            self.dir.join("baselines.json"),
+            serde_json::to_string_pretty(baselines)?,
+        )
+    }
+
     /// Writes the final `report.json` and flushes the log files.
     ///
     /// # Errors
@@ -233,6 +253,10 @@ pub struct FlightLog {
     pub records: Vec<MonitorRecord>,
     /// Periodic matrix snapshots, in time order.
     pub snapshots: Vec<MatrixSnapshot>,
+    /// Learned per-edge baselines from `baselines.json` (empty for
+    /// runs without anomaly scoring, or recorded before the file
+    /// existed).
+    pub baselines: Vec<EdgeBaseline>,
     /// The final summary, when the run completed (`None` for a run
     /// that crashed before `finish`).
     pub report: Option<FlightSummary>,
@@ -253,6 +277,7 @@ impl FlightLog {
         let meta: FlightMeta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)?;
         let records = read_jsonl(&dir.join("alerts.jsonl"))?;
         let snapshots = read_jsonl(&dir.join("snapshots.jsonl"))?;
+        let baselines = load_baselines(dir)?;
         let report = match fs::read_to_string(dir.join("report.json")) {
             Ok(text) => Some(serde_json::from_str(&text)?),
             Err(err) if err.kind() == io::ErrorKind::NotFound => None,
@@ -262,6 +287,7 @@ impl FlightLog {
             meta,
             records,
             snapshots,
+            baselines,
             report,
         })
     }
@@ -314,6 +340,23 @@ impl FlightLog {
             None => out.push_str("outcome: (run never finished — no report.json)\n"),
         }
         out
+    }
+}
+
+/// Loads `baselines.json` from a flight-recorder directory — the
+/// input to `MonitorSpec::seed` / `AnomalyScorer::seed` for
+/// warmup-free reruns. A directory without the file (a run that
+/// never learned baselines, or a pre-baseline recording) yields an
+/// empty vector, not an error.
+///
+/// # Errors
+///
+/// An unreadable or malformed `baselines.json`.
+pub fn load_baselines(dir: impl AsRef<Path>) -> io::Result<Vec<EdgeBaseline>> {
+    match fs::read_to_string(dir.as_ref().join("baselines.json")) {
+        Ok(text) => Ok(serde_json::from_str(&text)?),
+        Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(err) => Err(err),
     }
 }
 
@@ -436,6 +479,36 @@ mod tests {
     }
 
     #[test]
+    fn baselines_round_trip_through_the_artifact_dir() {
+        let baseline = EdgeBaseline {
+            src: "a".to_string(),
+            dst: "b".to_string(),
+            windows: 5,
+            rate_ewma: 10.0,
+            rate_mad: 0.5,
+            error_rate: 0.01,
+            error_upper: 0.05,
+            responses: 50,
+            p50_us: 5_000,
+            p99_us: 9_000,
+            latency_mad_us: 300.0,
+        };
+        let root = tmp_root("baselines");
+        let mut recorder = FlightRecorder::create(&root, "seedable", 9, 1_000_000).unwrap();
+        let dir = recorder.dir().to_path_buf();
+        // An empty write is a no-op: no file, load yields empty.
+        recorder.record_baselines(&[]).unwrap();
+        assert!(load_baselines(&dir).unwrap().is_empty());
+        recorder.record_baselines(&[baseline.clone()]).unwrap();
+        assert_eq!(load_baselines(&dir).unwrap(), vec![baseline.clone()]);
+        // FlightLog::load picks them up too.
+        drop(recorder);
+        let log = FlightLog::load(&dir).unwrap();
+        assert_eq!(log.baselines, vec![baseline]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn unfinished_runs_load_without_a_report() {
         let root = tmp_root("unfinished");
         let recorder = FlightRecorder::create(&root, "crashy", 1, 500_000).unwrap();
@@ -457,6 +530,7 @@ mod tests {
                 window_us: 1_000_000,
             },
             records: Vec::new(),
+            baselines: Vec::new(),
             snapshots: vec![MatrixSnapshot {
                 at_us: 5_000_000,
                 edges: Vec::new(),

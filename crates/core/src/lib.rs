@@ -55,6 +55,7 @@
 
 pub mod anomaly;
 pub mod autogen;
+pub mod campaign;
 pub mod chaos;
 pub mod checker;
 pub mod error;
@@ -68,13 +69,17 @@ pub mod timeutil;
 pub mod trace;
 
 pub use anomaly::{AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
+pub use campaign::{
+    plan_waves, CampaignRecipe, CampaignReport, CampaignRunner, CampaignSpec, DEFAULT_MAX_IN_FLIGHT,
+};
 pub use checker::{
     at_most_requests, check_status, combine, num_requests, reply_latency, request_rate,
     AssertionChecker, Check, CombineStep, View,
 };
 pub use error::CoreError;
 pub use flight::{
-    FlightLog, FlightMeta, FlightRecorder, FlightSummary, MatrixSnapshot, FLIGHT_SCHEMA_VERSION,
+    load_baselines, FlightLog, FlightMeta, FlightRecorder, FlightSummary, MatrixSnapshot,
+    FLIGHT_SCHEMA_VERSION,
 };
 pub use graph::AppGraph;
 pub use monitor::{

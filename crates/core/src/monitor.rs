@@ -44,7 +44,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use gremlin_store::{EdgeHealth, Event, EventStore, HealthMonitor, Micros};
+use gremlin_store::{EdgeBaseline, EdgeHealth, Event, EventStore, HealthMonitor, Micros};
 use gremlin_telemetry::{Counter, Gauge, HistogramSnapshot, LatencyHistogram, MetricsRegistry};
 
 use crate::anomaly::{AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
@@ -245,6 +245,11 @@ pub struct MonitorSpec {
     /// [`StreamingAssertion::AnomalousEdge`].
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub anomaly: Option<AnomalyConfig>,
+    /// Baselines from a prior run's `baselines.json` to seed the
+    /// anomaly scorer with; seeded edges skip the warmup entirely
+    /// (see [`AnomalyScorer::seed`]). Ignored without `anomaly`.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub seed_baselines: Vec<EdgeBaseline>,
     /// The assertions to evaluate.
     pub assertions: Vec<StreamingAssertion>,
 }
@@ -257,6 +262,7 @@ impl MonitorSpec {
             window,
             violate_after: default_violate_after(),
             anomaly: None,
+            seed_baselines: Vec::new(),
             assertions: Vec::new(),
         }
     }
@@ -271,6 +277,13 @@ impl MonitorSpec {
     /// configuration.
     pub fn anomaly(mut self, config: AnomalyConfig) -> MonitorSpec {
         self.anomaly = Some(config);
+        self
+    }
+
+    /// Builder-style: seeds the anomaly scorer with baselines from a
+    /// prior run, skipping the warmup on those edges.
+    pub fn seed(mut self, baselines: Vec<EdgeBaseline>) -> MonitorSpec {
+        self.seed_baselines = baselines;
         self
     }
 
@@ -860,16 +873,23 @@ impl LiveMonitor {
     }
 
     fn build(health: HealthMonitor, spec: MonitorSpec) -> LiveMonitor {
+        let MonitorSpec {
+            violate_after,
+            anomaly,
+            seed_baselines,
+            assertions,
+            ..
+        } = spec;
         LiveMonitor {
             health,
             inner: Mutex::new(MonitorInner {
-                violate_after: spec.violate_after.max(1),
-                states: spec.assertions.into_iter().map(CheckState::new).collect(),
+                violate_after: violate_after.max(1),
+                states: assertions.into_iter().map(CheckState::new).collect(),
                 window_start_us: None,
                 clock_us: 0,
                 windows_closed: 0,
                 records: Vec::new(),
-                scorer: spec.anomaly.map(AnomalyScorer::new),
+                scorer: anomaly.map(|config| AnomalyScorer::with_baselines(config, seed_baselines)),
             }),
             alerts_total: None,
             failing_gauge: None,
@@ -1027,6 +1047,30 @@ impl LiveMonitor {
             .as_ref()
             .map(|scorer| scorer.scores())
             .unwrap_or_default()
+    }
+
+    /// Every baseline the anomaly scorer currently holds — learned
+    /// during this run's warmup or seeded from a prior run. The
+    /// recipe machinery persists these as `baselines.json` in the
+    /// flight-recorder artifact dir.
+    pub fn learned_baselines(&self) -> Vec<EdgeBaseline> {
+        self.inner
+            .lock()
+            .scorer
+            .as_ref()
+            .map(|scorer| scorer.baselines())
+            .unwrap_or_default()
+    }
+
+    /// How many edges were seeded from prior baselines (zero without
+    /// [`MonitorSpec::seed`]).
+    pub fn seeded_edges(&self) -> usize {
+        self.inner
+            .lock()
+            .scorer
+            .as_ref()
+            .map(|scorer| scorer.seeded_edges())
+            .unwrap_or(0)
     }
 
     /// Windows closed so far.
@@ -1501,6 +1545,89 @@ mod tests {
         let (alerts, after) = monitor.alerts_after(0);
         assert_eq!(after, next);
         assert!(alerts.iter().all(|a| (a.seq as usize) < records.len()));
+    }
+
+    #[test]
+    fn seeded_monitor_skips_warmup_and_matches_fresh_verdicts() {
+        use crate::anomaly::AnomalyConfig;
+
+        let spec = |seed: Vec<EdgeBaseline>| {
+            MonitorSpec::new(Duration::from_secs(1))
+                .anomaly(AnomalyConfig::default().warmup_windows(2))
+                .seed(seed)
+                .assert(StreamingAssertion::AnomalousEdge {
+                    src: "a".into(),
+                    dst: "b".into(),
+                })
+        };
+
+        // Fresh run: two warmup windows, then the measured stream.
+        let (fresh_store, fresh) = monitor_with(spec(Vec::new()));
+        for w in 0..2u64 {
+            for i in 0..10u64 {
+                let ts = sec(w) + i * 100_000;
+                fresh_store.record_event(request(ts));
+                fresh_store.record_event(reply_to("b", ts + 1_000, 200, 5));
+            }
+        }
+        fresh_store.record_event(reply_to("b", sec(2), 200, 5));
+        fresh.poll();
+        let baselines = fresh.learned_baselines();
+        assert_eq!(baselines.len(), 1);
+        assert_eq!(fresh.seeded_edges(), 0);
+
+        // Seeded run: the same measured stream, no warmup traffic at
+        // all. Both streams are two slow windows from here.
+        let (seeded_store, seeded) = monitor_with(spec(baselines));
+        assert_eq!(seeded.seeded_edges(), 1);
+        let measured = |store: &EventStore| {
+            for w in 2..4u64 {
+                for i in 0..10u64 {
+                    let ts = sec(w) + i * 100_000;
+                    store.record_event(request(ts));
+                    store.record_event(reply_to("b", ts + 1_000, 200, 90));
+                }
+            }
+            store.record_event(reply_to("b", sec(4) + 100_000, 200, 90));
+        };
+        measured(&fresh_store);
+        measured(&seeded_store);
+        fresh.poll();
+        seeded.poll();
+
+        // Identical verdicts and identical edge states, and the
+        // seeded run never warmed: no Warming state, no "baseline
+        // learned" record.
+        assert_eq!(
+            fresh.verdicts()[0].verdict,
+            seeded.verdicts()[0].verdict,
+            "fresh {:?} vs seeded {:?}",
+            fresh.verdicts(),
+            seeded.verdicts()
+        );
+        assert!(seeded.violated());
+        let fresh_score = &fresh.anomaly_scores()[0];
+        let seeded_score = &seeded.anomaly_scores()[0];
+        assert_eq!(fresh_score.state, seeded_score.state);
+        assert_eq!(seeded_score.state, crate::anomaly::EdgeState::Anomalous);
+        let (records, _) = seeded.records_after(0);
+        assert!(
+            !records.iter().any(|r| matches!(
+                r,
+                MonitorRecord::Anomaly(a)
+                    if a.from == crate::anomaly::EdgeState::Warming
+            )),
+            "seeded run must not emit warmup transitions: {records:?}"
+        );
+
+        // The seed survives the spec's JSON round trip (recipe files).
+        let spec_json = serde_json::to_string(&spec(fresh.learned_baselines())).unwrap();
+        let back: MonitorSpec = serde_json::from_str(&spec_json).unwrap();
+        assert_eq!(back.seed_baselines.len(), 1);
+        // And specs without the field still parse (schema compat).
+        let legacy: MonitorSpec =
+            serde_json::from_str(r#"{"window":{"secs":1,"nanos":0},"assertions":[]}"#).unwrap();
+        assert!(legacy.seed_baselines.is_empty());
     }
 
     #[test]

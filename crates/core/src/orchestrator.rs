@@ -1,10 +1,22 @@
 //! The Failure Orchestrator (paper §4.2): pushes translated
 //! fault-injection rules to every physical Gremlin agent instance
 //! through the out-of-band control channel.
+//!
+//! Control calls fan out **concurrently**: installs, flushes and
+//! listings go to all agents at once over a bounded worker pool of
+//! scoped threads (at most [`FailureOrchestrator::with_max_fanout`]
+//! in flight), so a fleet-wide push costs roughly one slow agent's
+//! round-trip instead of the sum of all of them. Every agent is
+//! always attempted — a failing agent never shields the rest of the
+//! fleet from the push or the flush — and the first error in agent
+//! order is reported after the whole fan-out completes.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 
 use gremlin_proxy::{AgentControl, Rule};
 use gremlin_store::now_micros;
@@ -36,14 +48,19 @@ pub struct OrchestrationStats {
 pub struct FailureOrchestrator {
     agents: Vec<Arc<dyn AgentControl>>,
     telemetry: Option<ControlTelemetry>,
+    max_fanout: usize,
 }
 
-/// Control-plane telemetry: per-agent push counters and last-seen
-/// timestamps (vectors parallel to `agents`), plus one push-latency
-/// histogram for the whole fleet.
+/// Default bound on concurrent control calls during a fan-out.
+pub const DEFAULT_MAX_FANOUT: usize = 8;
+
+/// Control-plane telemetry: per-agent push counters, last-seen
+/// timestamps and push-latency histograms (vectors parallel to
+/// `agents`), plus one push-latency histogram for the whole fleet.
 struct ControlTelemetry {
     pushes: Vec<Arc<Counter>>,
     last_seen: Vec<Arc<Gauge>>,
+    agent_push_seconds: Vec<Arc<LatencyHistogram>>,
     push_seconds: Arc<LatencyHistogram>,
 }
 
@@ -51,6 +68,7 @@ impl ControlTelemetry {
     fn new(agents: &[Arc<dyn AgentControl>], registry: &MetricsRegistry) -> ControlTelemetry {
         let mut pushes = Vec::with_capacity(agents.len());
         let mut last_seen = Vec::with_capacity(agents.len());
+        let mut agent_push_seconds = Vec::with_capacity(agents.len());
         for agent in agents {
             let service = agent.service_name();
             let labels = &[("service", service.as_str())];
@@ -64,10 +82,16 @@ impl ControlTelemetry {
                 "Unix microseconds of the agent's last successful control call.",
                 labels,
             ));
+            agent_push_seconds.push(registry.histogram(
+                "gremlin_control_agent_push_seconds",
+                "Wall-clock time of one rule push to this agent.",
+                labels,
+            ));
         }
         ControlTelemetry {
             pushes,
             last_seen,
+            agent_push_seconds,
             push_seconds: registry.histogram(
                 "gremlin_control_push_seconds",
                 "Wall-clock time of one fleet-wide rule push.",
@@ -98,12 +122,13 @@ impl FailureOrchestrator {
         FailureOrchestrator {
             agents,
             telemetry: None,
+            max_fanout: DEFAULT_MAX_FANOUT,
         }
     }
 
     /// Creates an orchestrator that records control-plane telemetry
-    /// (rule pushes, push latency, per-agent last-seen timestamps)
-    /// into `registry`.
+    /// (rule pushes, per-agent and fleet push latency, per-agent
+    /// last-seen timestamps) into `registry`.
     pub fn with_telemetry(
         agents: Vec<Arc<dyn AgentControl>>,
         registry: &MetricsRegistry,
@@ -112,7 +137,15 @@ impl FailureOrchestrator {
         FailureOrchestrator {
             agents,
             telemetry: Some(telemetry),
+            max_fanout: DEFAULT_MAX_FANOUT,
         }
+    }
+
+    /// Builder-style: bounds the worker pool used for concurrent
+    /// control fan-out (minimum 1; 1 degenerates to serial pushes).
+    pub fn with_max_fanout(mut self, max_fanout: usize) -> FailureOrchestrator {
+        self.max_fanout = max_fanout.max(1);
+        self
     }
 
     /// Number of agent instances under control.
@@ -120,14 +153,56 @@ impl FailureOrchestrator {
         self.agents.len()
     }
 
+    /// Runs `task` once per agent on a bounded pool of scoped worker
+    /// threads, returning the results in agent order. The pool is
+    /// work-stealing over the agent index, so a slow agent delays
+    /// only its own slot, never the whole fleet.
+    fn fan_out<T: Send>(&self, task: impl Fn(usize, &dyn AgentControl) -> T + Sync) -> Vec<T> {
+        let n = self.agents.len();
+        let workers = self.max_fanout.min(n);
+        if workers <= 1 {
+            return self
+                .agents
+                .iter()
+                .enumerate()
+                .map(|(index, agent)| task(index, agent.as_ref()))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let result = task(index, self.agents[index].as_ref());
+                    *slots[index].lock() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every agent slot is filled"))
+            .collect()
+    }
+
     /// Installs `rules`, grouping them by source service and fanning
-    /// each group out to every matching agent instance.
+    /// each group out to every matching agent instance — all matching
+    /// agents concurrently, bounded by the fan-out pool.
+    ///
+    /// Every agent is attempted even when another install fails; the
+    /// first failure in agent order is returned once the fan-out
+    /// completes, so one broken agent never leaves the rest of the
+    /// fleet unprogrammed.
     ///
     /// # Errors
     ///
     /// * [`CoreError::NoAgentForService`] — a rule's source service
     ///   has no agent; nothing is installed in that case.
-    /// * [`CoreError::AgentFailed`] — an agent rejected the batch.
+    /// * [`CoreError::AgentFailed`] — an agent rejected the batch
+    ///   (the first such failure, after all agents were attempted).
     pub fn apply_rules(&self, rules: &[Rule]) -> Result<OrchestrationStats, CoreError> {
         let started = Instant::now();
         let mut by_src: HashMap<&str, Vec<Rule>> = HashMap::new();
@@ -145,25 +220,45 @@ impl FailureOrchestrator {
                 return Err(CoreError::NoAgentForService(src.to_string()));
             }
         }
+        let outcomes = self.fan_out(|index, agent| {
+            let service = &services[index];
+            let Some(group) = by_src.get(service.as_str()) else {
+                return Ok(0);
+            };
+            let push_started = Instant::now();
+            let pushed = agent.install_rules(group);
+            let push_duration = push_started.elapsed();
+            match pushed {
+                Ok(()) => {
+                    if let Some(telemetry) = &self.telemetry {
+                        telemetry.pushes[index].add(group.len() as u64);
+                        telemetry.agent_push_seconds[index].record(push_duration);
+                        telemetry.saw_agent(index);
+                    }
+                    Ok(group.len())
+                }
+                Err(source) => Err(CoreError::AgentFailed {
+                    service: service.clone(),
+                    source,
+                }),
+            }
+        });
         let mut installations = 0;
-        for (index, (agent, service)) in self.agents.iter().zip(&services).enumerate() {
-            if let Some(group) = by_src.get(service.as_str()) {
-                agent
-                    .install_rules(group)
-                    .map_err(|source| CoreError::AgentFailed {
-                        service: service.clone(),
-                        source,
-                    })?;
-                installations += group.len();
-                if let Some(telemetry) = &self.telemetry {
-                    telemetry.pushes[index].add(group.len() as u64);
-                    telemetry.saw_agent(index);
+        let mut first_error = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(count) => installations += count,
+                Err(err) => {
+                    first_error.get_or_insert(err);
                 }
             }
         }
         let duration = started.elapsed();
         if let Some(telemetry) = &self.telemetry {
             telemetry.push_seconds.record(duration);
+        }
+        if let Some(err) = first_error {
+            return Err(err);
         }
         Ok(OrchestrationStats {
             rules: rules.len(),
@@ -191,33 +286,51 @@ impl FailureOrchestrator {
         Ok(stats)
     }
 
-    /// Flushes the rules of every agent.
+    /// Flushes the rules of every agent, concurrently.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::AgentFailed`] on the first agent whose
-    /// flush fails (remaining agents are still attempted).
+    /// Returns [`CoreError::AgentFailed`] for the first agent (in
+    /// agent order) whose flush failed — every agent is always
+    /// attempted, so no agent is left with stale rules because an
+    /// earlier one was unreachable.
     pub fn clear(&self) -> Result<(), CoreError> {
-        let mut first_error = None;
-        for (index, agent) in self.agents.iter().enumerate() {
-            match agent.clear_rules() {
-                Ok(()) => {
+        let outcomes = self.fan_out(|index, agent| match agent.clear_rules() {
+            Ok(()) => {
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry.saw_agent(index);
+                }
+                Ok(())
+            }
+            Err(source) => Err(CoreError::AgentFailed {
+                service: agent.service_name(),
+                source,
+            }),
+        });
+        outcomes.into_iter().find(|o| o.is_err()).unwrap_or(Ok(()))
+    }
+
+    /// Lists every agent's installed rules, concurrently, as
+    /// `(service, rules)` pairs in agent order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AgentFailed`] for the first agent whose
+    /// listing failed, after every agent was attempted.
+    pub fn list_rules(&self) -> Result<Vec<(String, Vec<Rule>)>, CoreError> {
+        let outcomes = self.fan_out(|index, agent| {
+            let service = agent.service_name();
+            match agent.list_rules() {
+                Ok(rules) => {
                     if let Some(telemetry) = &self.telemetry {
                         telemetry.saw_agent(index);
                     }
+                    Ok((service, rules))
                 }
-                Err(source) => {
-                    first_error.get_or_insert(CoreError::AgentFailed {
-                        service: agent.service_name(),
-                        source,
-                    });
-                }
+                Err(source) => Err(CoreError::AgentFailed { service, source }),
             }
-        }
-        match first_error {
-            Some(err) => Err(err),
-            None => Ok(()),
-        }
+        });
+        outcomes.into_iter().collect()
     }
 }
 
@@ -232,6 +345,8 @@ mod tests {
         service: String,
         rules: Mutex<Vec<Rule>>,
         fail_installs: bool,
+        fail_clears: bool,
+        latency: Duration,
     }
 
     impl FakeAgent {
@@ -240,6 +355,8 @@ mod tests {
                 service: service.to_string(),
                 rules: Mutex::new(Vec::new()),
                 fail_installs: false,
+                fail_clears: false,
+                latency: Duration::ZERO,
             })
         }
 
@@ -248,6 +365,18 @@ mod tests {
                 service: service.to_string(),
                 rules: Mutex::new(Vec::new()),
                 fail_installs: true,
+                fail_clears: true,
+                latency: Duration::ZERO,
+            })
+        }
+
+        fn slow(service: &str, latency: Duration) -> Arc<FakeAgent> {
+            Arc::new(FakeAgent {
+                service: service.to_string(),
+                rules: Mutex::new(Vec::new()),
+                fail_installs: false,
+                fail_clears: false,
+                latency,
             })
         }
     }
@@ -258,6 +387,9 @@ mod tests {
         }
 
         fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+            if !self.latency.is_zero() {
+                std::thread::sleep(self.latency);
+            }
             if self.fail_installs {
                 return Err(ProxyError::InvalidRule("scripted failure".into()));
             }
@@ -266,6 +398,9 @@ mod tests {
         }
 
         fn clear_rules(&self) -> Result<(), ProxyError> {
+            if self.fail_clears {
+                return Err(ProxyError::InvalidRule("scripted clear failure".into()));
+            }
             self.rules.lock().clear();
             Ok(())
         }
@@ -404,5 +539,154 @@ mod tests {
             .unwrap();
         assert!(stats.duration < Duration::from_secs(1));
         assert_eq!(orchestrator.agent_count(), 1);
+    }
+
+    #[test]
+    fn fan_out_pushes_concurrently() {
+        // Eight slow agents, 60ms install latency each. Serial execution
+        // would take ~480ms; concurrent fan-out should finish in roughly
+        // one agent's latency. The 240ms bound (half of serial) keeps the
+        // test robust on loaded CI machines while still proving overlap.
+        let latency = Duration::from_millis(60);
+        let agents: Vec<Arc<FakeAgent>> = (0..8)
+            .map(|i| FakeAgent::slow(&format!("s{i}"), latency))
+            .collect();
+        let orchestrator = FailureOrchestrator::new(
+            agents
+                .iter()
+                .map(|a| Arc::clone(a) as Arc<dyn AgentControl>)
+                .collect(),
+        );
+        let rules: Vec<Rule> = (0..8)
+            .map(|i| Rule::abort(&format!("s{i}"), "c", AbortKind::Status(503)))
+            .collect();
+        let stats = orchestrator.apply_rules(&rules).unwrap();
+        assert_eq!(stats.installations, 8);
+        assert!(
+            stats.duration < Duration::from_millis(240),
+            "fan-out took {:?}, expected well under the ~480ms serial time",
+            stats.duration
+        );
+        for agent in &agents {
+            assert_eq!(agent.rules.lock().len(), 1);
+        }
+    }
+
+    #[test]
+    fn fan_out_respects_max_fanout_of_one() {
+        let latency = Duration::from_millis(20);
+        let agents: Vec<Arc<FakeAgent>> = (0..4)
+            .map(|i| FakeAgent::slow(&format!("s{i}"), latency))
+            .collect();
+        let orchestrator = FailureOrchestrator::new(
+            agents
+                .iter()
+                .map(|a| Arc::clone(a) as Arc<dyn AgentControl>)
+                .collect(),
+        )
+        .with_max_fanout(1);
+        let rules: Vec<Rule> = (0..4)
+            .map(|i| Rule::abort(&format!("s{i}"), "c", AbortKind::Status(503)))
+            .collect();
+        let stats = orchestrator.apply_rules(&rules).unwrap();
+        assert_eq!(stats.installations, 4);
+        assert!(
+            stats.duration >= Duration::from_millis(80),
+            "serial fallback should pay every agent's latency, got {:?}",
+            stats.duration
+        );
+    }
+
+    #[test]
+    fn failing_agent_does_not_block_the_rest() {
+        // Agent order: good, bad, good. The push must still reach every
+        // healthy agent, and the bad agent's error is reported afterwards.
+        let agent_a = FakeAgent::new("a");
+        let bad = FakeAgent::failing("b");
+        let agent_c = FakeAgent::new("c");
+        let orchestrator = FailureOrchestrator::new(vec![
+            Arc::clone(&agent_a) as Arc<dyn AgentControl>,
+            Arc::clone(&bad) as Arc<dyn AgentControl>,
+            Arc::clone(&agent_c) as Arc<dyn AgentControl>,
+        ]);
+        let rules = vec![
+            Rule::abort("a", "x", AbortKind::Status(503)),
+            Rule::abort("b", "x", AbortKind::Status(503)),
+            Rule::abort("c", "x", AbortKind::Status(503)),
+        ];
+        let err = orchestrator.apply_rules(&rules).unwrap_err();
+        assert!(matches!(err, CoreError::AgentFailed { ref service, .. } if service == "b"));
+        assert_eq!(agent_a.rules.lock().len(), 1, "healthy agent still pushed");
+        assert_eq!(agent_c.rules.lock().len(), 1, "healthy agent still pushed");
+    }
+
+    #[test]
+    fn clear_attempts_every_agent_despite_failures() {
+        let agent_a = FakeAgent::new("a");
+        let bad = FakeAgent::failing("b");
+        let agent_c = FakeAgent::new("c");
+        let orchestrator = FailureOrchestrator::new(vec![
+            Arc::clone(&agent_a) as Arc<dyn AgentControl>,
+            Arc::clone(&bad) as Arc<dyn AgentControl>,
+            Arc::clone(&agent_c) as Arc<dyn AgentControl>,
+        ]);
+        agent_a
+            .rules
+            .lock()
+            .push(Rule::abort("a", "x", AbortKind::Status(503)));
+        agent_c
+            .rules
+            .lock()
+            .push(Rule::abort("c", "x", AbortKind::Status(503)));
+        let err = orchestrator.clear().unwrap_err();
+        assert!(matches!(err, CoreError::AgentFailed { ref service, .. } if service == "b"));
+        assert!(agent_a.rules.lock().is_empty(), "cleared despite b failing");
+        assert!(agent_c.rules.lock().is_empty(), "cleared despite b failing");
+    }
+
+    #[test]
+    fn list_rules_aggregates_across_agents() {
+        let agent_a = FakeAgent::new("a");
+        let agent_b = FakeAgent::new("b");
+        let orchestrator = FailureOrchestrator::new(vec![
+            Arc::clone(&agent_a) as Arc<dyn AgentControl>,
+            Arc::clone(&agent_b) as Arc<dyn AgentControl>,
+        ]);
+        orchestrator
+            .inject(&Scenario::crash("c"), &graph())
+            .unwrap();
+        let listing = orchestrator.list_rules().unwrap();
+        assert_eq!(listing.len(), 2);
+        assert_eq!(listing[0].0, "a");
+        assert_eq!(listing[0].1.len(), 1);
+        assert_eq!(listing[1].0, "b");
+        assert_eq!(listing[1].1.len(), 1);
+    }
+
+    #[test]
+    fn per_agent_push_latency_is_recorded() {
+        let registry = MetricsRegistry::new();
+        let agent_a = FakeAgent::new("a");
+        let agent_b = FakeAgent::new("b");
+        let orchestrator = FailureOrchestrator::with_telemetry(
+            vec![
+                Arc::clone(&agent_a) as Arc<dyn AgentControl>,
+                Arc::clone(&agent_b) as Arc<dyn AgentControl>,
+            ],
+            &registry,
+        );
+        orchestrator
+            .inject(&Scenario::crash("c"), &graph())
+            .unwrap();
+        let snap = registry.snapshot();
+        for service in ["a", "b"] {
+            let hist = snap
+                .histogram(
+                    "gremlin_control_agent_push_seconds",
+                    &[("service", service)],
+                )
+                .unwrap_or_else(|| panic!("missing per-agent histogram for {service}"));
+            assert_eq!(hist.count(), 1);
+        }
     }
 }

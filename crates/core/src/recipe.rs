@@ -326,6 +326,9 @@ impl<'a> RecipeRun<'a> {
             (Some(mut flight), live) => {
                 if let Some(live) = live {
                     let _ = flight.record_snapshot_now(live);
+                    // Persist the learned baselines so the next run
+                    // can seed its scorer and skip the warmup.
+                    let _ = flight.record_baselines(&live.learned_baselines());
                 }
                 let summary = FlightSummary {
                     name: self.name.clone(),

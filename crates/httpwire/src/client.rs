@@ -35,6 +35,15 @@ pub struct ClientConfig {
     /// evicted to make room — it is the most likely to have been
     /// closed by the peer's idle timeout. `0` disables pooling
     /// entirely (every connection closes after its response).
+    ///
+    /// Size this to the caller's peak concurrency *per host*: a
+    /// client shared by N threads hitting the same address wants at
+    /// least N pooled slots or the excess connections are torn down
+    /// after every response. The default of 8 matches the control
+    /// plane's default fan-out width
+    /// (`FailureOrchestrator::DEFAULT_MAX_FANOUT`), so concurrent
+    /// rule pushes through one client reuse warm connections instead
+    /// of reconnecting per push.
     pub max_idle_per_host: usize,
     /// Message size limits while parsing responses.
     pub limits: Limits,

@@ -254,6 +254,12 @@ fn json_response<T: Serialize>(status: StatusCode, value: &T) -> Response {
 }
 
 /// Client for a remote agent's control endpoint.
+///
+/// Each client owns an [`HttpClient`] with its per-host keep-alive
+/// pool, so repeated rule pushes to the same agent (including the
+/// orchestrator's concurrent fan-out, which drives one `ControlClient`
+/// per agent) reuse a warm connection instead of reconnecting per
+/// push.
 #[derive(Debug)]
 pub struct ControlClient {
     addr: SocketAddr,

@@ -9,6 +9,7 @@
 //! gremlin graph app.json [--dot]          inspect an application graph
 //! gremlin translate app.json outage.json  scenario -> fault-injection rules
 //! gremlin install app.json outage.json --agents 10.0.0.1:7070,10.0.0.2:7070
+//! gremlin campaign app.json campaign.json --agents ...   run recipes in parallel waves
 //! gremlin rules <agent-addr>              list an agent's installed rules
 //! gremlin clear --agents a,b,c            flush rules everywhere
 //! gremlin health <agent-addr>             agent status
@@ -30,7 +31,8 @@ use std::net::SocketAddr;
 use std::sync::Arc;
 
 use gremlin::core::{
-    parse_duration, AppGraph, AssertionChecker, FailureOrchestrator, FlowTrace, Scenario,
+    parse_duration, AppGraph, AssertionChecker, CampaignRunner, CampaignSpec, FailureOrchestrator,
+    FlowTrace, Scenario, TestContext,
 };
 use gremlin::proxy::{AgentControl, ControlClient};
 use gremlin::store::{EventStore, Pattern};
@@ -57,6 +59,7 @@ fn usage() -> &'static str {
      gremlin graph <graph.json> [--dot]\n  \
      gremlin translate <graph.json> <scenario.json>\n  \
      gremlin install <graph.json> <scenario.json> --agents <addr,...>\n  \
+     gremlin campaign <graph.json> <campaign.json> --agents <addr,...> [--max-in-flight <n>] [--serial] [--flight-root <dir>] [--seed <dir>]\n  \
      gremlin rules <agent-addr>\n  \
      gremlin clear --agents <addr,...>\n  \
      gremlin health <agent-addr>\n  \
@@ -75,6 +78,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "graph" => cmd_graph(&args[1..]),
         "translate" => cmd_translate(&args[1..]),
         "install" => cmd_install(&args[1..]),
+        "campaign" => cmd_campaign(&args[1..]),
         "rules" => cmd_rules(&args[1..]),
         "clear" => cmd_clear(&args[1..]),
         "health" => cmd_health(&args[1..]),
@@ -214,6 +218,60 @@ fn cmd_install(args: &[String]) -> Result<String, Box<dyn Error>> {
         orchestrator.agent_count(),
         stats.duration
     ))
+}
+
+/// `gremlin campaign` — run a whole set of recipes against the fleet,
+/// scheduling footprint-disjoint recipes concurrently (see
+/// `gremlin_core::campaign`). `--serial` forces one recipe at a time;
+/// `--seed <dir>` loads a prior run's `baselines.json` so anomaly
+/// monitors skip their warmup; `--flight-root <dir>` records per-run
+/// artifacts and the merged baselines for the next campaign.
+fn cmd_campaign(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let graph = load_graph(positional(args, 0)?)?;
+    let spec_path = positional(args, 1)?;
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read campaign file {spec_path:?}: {e}"))?;
+    let spec: CampaignSpec = serde_json::from_str(&text)
+        .map_err(|e| format!("cannot parse campaign file {spec_path:?}: {e}"))?;
+    if spec.recipes.is_empty() {
+        return Err(format!("campaign file {spec_path:?} has no recipes").into());
+    }
+    let agents =
+        connect_agents(flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?)?;
+    let ctx = TestContext::new(graph, agents, EventStore::shared());
+
+    let mut runner = CampaignRunner::new(&ctx);
+    let max_in_flight = if has_flag(args, "--serial") {
+        Some(1)
+    } else if let Some(value) = flag_value(args, "--max-in-flight") {
+        Some(value.parse::<usize>()?)
+    } else {
+        spec.max_in_flight
+    };
+    if let Some(max_in_flight) = max_in_flight {
+        runner = runner.max_in_flight(max_in_flight);
+    }
+    if let Some(root) = flag_value(args, "--flight-root") {
+        runner = runner.flight_root(root);
+    }
+    if let Some(dir) = flag_value(args, "--seed") {
+        let baselines = gremlin::core::load_baselines(dir)
+            .map_err(|e| format!("cannot load baselines from {dir:?}: {e}"))?;
+        if baselines.is_empty() {
+            return Err(format!("no baselines.json under {dir:?} to seed from").into());
+        }
+        runner = runner.seed(baselines);
+    }
+
+    let report = runner.run(spec.recipes)?;
+    let output = report.to_string().trim_end().to_string();
+    if report.passed() {
+        Ok(output)
+    } else {
+        // Visible in scripts: failing campaigns exit non-zero.
+        eprintln!("{output}");
+        std::process::exit(2);
+    }
 }
 
 fn cmd_rules(args: &[String]) -> Result<String, Box<dyn Error>> {
@@ -1163,6 +1221,77 @@ mod tests {
 
         let _ = std::fs::remove_file(graph_path);
         let _ = std::fs::remove_file(scenario_path);
+    }
+
+    #[test]
+    fn campaign_runs_recipes_against_a_live_agent() {
+        use gremlin::core::CampaignRecipe;
+        use gremlin::proxy::{AgentConfig, ControlServer, GremlinAgent};
+        use std::time::Duration;
+
+        let backend_addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let agent = Arc::new(
+            GremlinAgent::start(
+                AgentConfig::new("web").route("db", vec![backend_addr]),
+                EventStore::shared(),
+            )
+            .unwrap(),
+        );
+        let control = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
+
+        let graph_path = write_temp("cg.json", r#"{"edges": [["web", "db"]]}"#);
+        // Both recipes fault the same edge, so they serialize into
+        // two waves.
+        let spec = CampaignSpec {
+            max_in_flight: None,
+            recipes: vec![
+                CampaignRecipe::new("abort-db")
+                    .scenario(Scenario::abort("web", "db", 503))
+                    .hold(Duration::from_millis(20)),
+                CampaignRecipe::new("slow-db")
+                    .scenario(Scenario::delay("web", "db", Duration::from_millis(5)))
+                    .hold(Duration::from_millis(20)),
+            ],
+        };
+        let spec_path = write_temp("cc.json", &serde_json::to_string(&spec).unwrap());
+
+        let out = run(&args(&[
+            "campaign",
+            graph_path.to_str().unwrap(),
+            spec_path.to_str().unwrap(),
+            "--agents",
+            &control.local_addr().to_string(),
+        ]))
+        .unwrap();
+        assert!(out.contains("campaign: 2 recipe(s) in 2 wave(s)"), "{out}");
+        assert!(out.contains("[PASS] abort-db"), "{out}");
+        assert!(out.contains("[PASS] slow-db"), "{out}");
+        // The final wave boundary flushed the fleet.
+        assert!(agent.rules().is_empty());
+
+        // Missing --agents and empty campaigns error cleanly.
+        assert!(run(&args(&[
+            "campaign",
+            graph_path.to_str().unwrap(),
+            spec_path.to_str().unwrap(),
+        ]))
+        .is_err());
+        let empty_path = write_temp("ce.json", r#"{"recipes":[]}"#);
+        assert!(run(&args(&[
+            "campaign",
+            graph_path.to_str().unwrap(),
+            empty_path.to_str().unwrap(),
+            "--agents",
+            &control.local_addr().to_string(),
+        ]))
+        .is_err());
+
+        let _ = std::fs::remove_file(graph_path);
+        let _ = std::fs::remove_file(spec_path);
+        let _ = std::fs::remove_file(empty_path);
     }
 
     #[test]
