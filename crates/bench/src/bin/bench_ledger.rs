@@ -1,0 +1,169 @@
+//! Coverage-ledger benchmark: how fast the cross-run scorecard
+//! indexes a realistic flight-artifact history.
+//!
+//! The ledger is scanned at the start of every campaign (for the
+//! coverage delta) and by `gremlin coverage` in CI, so its cost over
+//! hundreds of recorded runs matters. This harness synthesizes a
+//! flight root of `GREMLIN_BENCH_RUNS` recordings (default 250) over
+//! a 24-edge mesh — passes, violations, anomalies, drifting
+//! baselines and a few crashed partials — then times:
+//!
+//! 1. **Scan** — `CoverageLedger::scan`: directory walk, lenient
+//!    flight-log loads, cube fold, regression detection.
+//! 2. **Steer** — `steering_plan()` plus a steered
+//!    `RecipeGenerator::generate` over the mesh graph.
+//! 3. **Render** — the ANSI scorecard and the Markdown export.
+//!
+//! Run: `cargo run --release -p gremlin-bench --bin bench_ledger`
+//!
+//! Output: `BENCH_ledger.json` in the working directory (override
+//! with `GREMLIN_BENCH_OUT`).
+
+use std::error::Error;
+use std::time::{Duration, Instant};
+
+use gremlin_core::autogen::RecipeGenerator;
+use gremlin_core::{
+    AppGraph, CoverageLedger, FlightRecorder, FlightSummary, LiveCheck, Scenario, Verdict,
+};
+use gremlin_store::EdgeBaseline;
+
+const SERVICES: usize = 8;
+
+fn mesh_edges() -> Vec<(String, String)> {
+    // Each service calls the next three (mod ring): 8 * 3 = 24 edges.
+    let mut edges = Vec::new();
+    for i in 0..SERVICES {
+        for hop in 1..=3 {
+            edges.push((format!("svc{i}"), format!("svc{}", (i + hop) % SERVICES)));
+        }
+    }
+    edges
+}
+
+fn baseline(src: &str, dst: &str, p50_us: u64) -> EdgeBaseline {
+    EdgeBaseline {
+        src: src.to_string(),
+        dst: dst.to_string(),
+        windows: 10,
+        rate_ewma: 10.0,
+        rate_mad: 0.5,
+        error_rate: 0.0,
+        error_upper: 0.02,
+        responses: 100,
+        p50_us,
+        p99_us: p50_us * 2,
+        latency_mad_us: 400.0,
+    }
+}
+
+/// Writes `runs` flight recordings under `root`: a deterministic mix
+/// of passes, violations and crashed partials, with slowly drifting
+/// per-edge baselines so the regression detector has real work.
+fn synthesize(root: &std::path::Path, runs: usize) -> Result<(), Box<dyn Error>> {
+    let edges = mesh_edges();
+    for index in 0..runs {
+        let at = (index as u64 + 1) * 1_000_000;
+        let (src, dst) = &edges[index % edges.len()];
+        let recipe = format!("delay-{src}-{dst}-{index}");
+        if index % 25 == 24 {
+            // A crashed partial: meta.json only.
+            let dir = root.join(format!("{recipe}-{at}"));
+            std::fs::create_dir_all(&dir)?;
+            std::fs::write(
+                dir.join("meta.json"),
+                format!(
+                    "{{\"schema_version\":1,\"recipe\":\"{recipe}\",\"started_at_us\":{at},\"window_us\":1000000}}"
+                ),
+            )?;
+            continue;
+        }
+        let violated = index % 10 == 9;
+        let scenario = Scenario::delay(src.clone(), dst.clone(), Duration::from_secs(2));
+        let mut summary = FlightSummary {
+            name: recipe.clone(),
+            passed: !violated,
+            injected: vec![scenario.to_string()],
+            checks: Vec::new(),
+            monitor: Vec::new(),
+            anomalies: Vec::new(),
+            scenarios: vec![scenario],
+        };
+        if violated {
+            summary.monitor.push(LiveCheck {
+                name: format!("LiveErrorRate({src}, <= 1%)"),
+                verdict: Verdict::Violated,
+                detail: "error rate 40%".to_string(),
+                windows: 4,
+                first_failing_at_us: Some(at),
+                violated_at_us: Some(at + 500_000),
+            });
+        }
+        // The edge's p50 creeps upward across the history, so the
+        // latest baselines drift past the earliest ones.
+        let p50_us = 5_000 + (index as u64 / edges.len() as u64) * 2_000;
+        let mut recorder = FlightRecorder::create(root, &recipe, at, 1_000_000)?;
+        recorder.record_baselines(&[baseline(src, dst, p50_us)])?;
+        recorder.finish(&summary)?;
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let runs: usize = std::env::var("GREMLIN_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250);
+    let root = std::env::temp_dir().join(format!("gremlin-bench-ledger-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let built = Instant::now();
+    synthesize(&root, runs)?;
+    let build_ms = built.elapsed().as_secs_f64() * 1e3;
+
+    let scanned = Instant::now();
+    let ledger = CoverageLedger::scan(&root)?;
+    let scan_ms = scanned.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(ledger.runs_scanned(), runs, "every synthesized run indexed");
+
+    let graph = AppGraph::from_edges(mesh_edges());
+    let steered = Instant::now();
+    let tests = RecipeGenerator::new().steer(&ledger).generate(&graph);
+    let steer_ms = steered.elapsed().as_secs_f64() * 1e3;
+    let unsteered = RecipeGenerator::new().generate(&graph).len();
+
+    let rendered = Instant::now();
+    let ansi = ledger.render(Some(&graph), true);
+    let markdown = ledger.to_markdown(Some(&graph));
+    let render_ms = rendered.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "ledger ({runs} runs, {} cells): scan {scan_ms:.1}ms, steer {steer_ms:.1}ms \
+         ({unsteered} -> {} tests), render {render_ms:.1}ms",
+        ledger.covered_cells(),
+        tests.len(),
+    );
+
+    let output = serde_json::json!({
+        "benchmark": "coverage_ledger",
+        "runs": runs,
+        "covered_cells": ledger.covered_cells(),
+        "incomplete_runs": ledger.incomplete_runs().len(),
+        "regressions": ledger.regressions().len(),
+        "build_ms": build_ms,
+        "scan_ms": scan_ms,
+        "scan_ms_per_run": scan_ms / runs as f64,
+        "steer_ms": steer_ms,
+        "tests_unsteered": unsteered,
+        "tests_steered": tests.len(),
+        "render_ms": render_ms,
+        "ansi_bytes": ansi.len(),
+        "markdown_bytes": markdown.len(),
+    });
+    let path =
+        std::env::var("GREMLIN_BENCH_OUT").unwrap_or_else(|_| "BENCH_ledger.json".to_string());
+    std::fs::write(&path, serde_json::to_string_pretty(&output)?)?;
+    println!("wrote {path}");
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(())
+}

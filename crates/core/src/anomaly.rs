@@ -572,6 +572,23 @@ impl AnomalyScorer {
     }
 }
 
+/// Robust drift score between two learned baselines of the same edge:
+/// how many (MAD-derived) standard deviations the `current` run's
+/// rate, error rate and latency profile sit from the `reference`
+/// run's. The coverage ledger uses this across historical
+/// `baselines.json` snapshots to flag runs that still pass their
+/// assertions but have silently degraded (a *resilience regression*).
+///
+/// Returns the worst of the three per-signal z-scores; always finite
+/// and `>= 0`.
+pub fn drift_z(reference: &EdgeBaseline, current: &EdgeBaseline) -> f64 {
+    let errors = (current.error_rate * current.responses as f64).round() as u64;
+    reference
+        .rate_z(current.rate_ewma)
+        .max(reference.error_z(errors, current.responses))
+        .max(reference.latency_z(current.p50_us, current.p99_us))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -851,5 +868,34 @@ mod tests {
         scorer.seed(vec![stale]);
         assert_eq!(scorer.seeded_edges(), 0, "learned edges are not reseeded");
         assert_eq!(scorer.baselines()[0], learned);
+    }
+
+    #[test]
+    fn drift_z_flags_degraded_reruns() {
+        let reference = warmed(AnomalyConfig::default().warmup_windows(3)).baselines()[0].clone();
+        // An identical later run barely drifts.
+        assert!(
+            drift_z(&reference, &reference) < 1.0,
+            "self-drift = {}",
+            drift_z(&reference, &reference)
+        );
+        // A run whose latency profile blew up drifts hard, even
+        // though its own assertions may still pass.
+        let mut slow = reference.clone();
+        slow.p50_us *= 20;
+        slow.p99_us *= 20;
+        assert!(
+            drift_z(&reference, &slow) >= 3.0,
+            "latency drift = {}",
+            drift_z(&reference, &slow)
+        );
+        // So does an error-rate regression.
+        let mut flaky = reference.clone();
+        flaky.error_rate = 0.5;
+        assert!(
+            drift_z(&reference, &flaky) >= 3.0,
+            "error drift = {}",
+            drift_z(&reference, &flaky)
+        );
     }
 }

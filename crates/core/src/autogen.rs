@@ -13,6 +13,14 @@
 //! * a **hang** probing the caller's timeout;
 //! * for services with several dependencies, a **hang of one
 //!   dependency** probing the bulkhead.
+//!
+//! With [`RecipeGenerator::steer`] the matrix is additionally
+//! feedback-steered by a [`CoverageLedger`](crate::ledger::CoverageLedger)
+//! built from prior runs: tests whose coverage cell already
+//! **Violated** are dropped (re-running them re-confirms a known
+//! defect), and tests whose cell keeps passing get their intensity
+//! escalated, with the [`GeneratedTest::steering_reason`] explaining
+//! each decision.
 
 use std::collections::BTreeSet;
 use std::time::Duration;
@@ -41,7 +49,13 @@ mod duration_micros {
 
 use crate::checker::{AssertionChecker, Check};
 use crate::graph::AppGraph;
-use crate::scenarios::Scenario;
+use crate::ledger::{CoverageLedger, Steering, SteeringPlan};
+use crate::scenarios::{Scenario, ScenarioKind};
+use crate::timeutil::format_duration;
+
+/// Default trailing pass streak after which a steered generator
+/// escalates a cell's intensity.
+pub const DEFAULT_ESCALATE_STREAK: usize = 3;
 
 /// The resiliency expectations used when generating assertions.
 #[derive(Debug, Clone)]
@@ -175,6 +189,11 @@ pub struct GeneratedTest {
     pub scenario: Scenario,
     /// The assertion to evaluate after driving load.
     pub probe: ProbedPattern,
+    /// Why a steered generator altered this test (`None` for an
+    /// unsteered or unchanged test), e.g. `escalate: 3 consecutive
+    /// pass(es) — delay 2s -> 4s`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub steering_reason: Option<String>,
 }
 
 /// Generates the systematic per-edge test matrix for an application
@@ -196,6 +215,8 @@ pub struct RecipeGenerator {
     expectations: Expectations,
     pattern: Option<Pattern>,
     exclude: BTreeSet<String>,
+    steering: Option<SteeringPlan>,
+    escalate_after: Option<usize>,
 }
 
 impl RecipeGenerator {
@@ -224,6 +245,23 @@ impl RecipeGenerator {
         self
     }
 
+    /// Steers generation from a coverage ledger's history (see the
+    /// module docs): cells that already Violated are skipped, cells
+    /// with at least [`DEFAULT_ESCALATE_STREAK`] trailing passes are
+    /// escalated. Tune the streak threshold with
+    /// [`RecipeGenerator::escalate_after`].
+    pub fn steer(mut self, ledger: &CoverageLedger) -> RecipeGenerator {
+        self.steering = Some(ledger.steering_plan());
+        self
+    }
+
+    /// Overrides the trailing pass streak after which a steered
+    /// generator escalates (default [`DEFAULT_ESCALATE_STREAK`]).
+    pub fn escalate_after(mut self, streak: usize) -> RecipeGenerator {
+        self.escalate_after = Some(streak);
+        self
+    }
+
     /// The flow pattern generated scenarios are confined to.
     pub fn flow_pattern(&self) -> Pattern {
         self.pattern
@@ -231,7 +269,9 @@ impl RecipeGenerator {
             .unwrap_or_else(|| Pattern::new("test-*"))
     }
 
-    /// Walks `graph` and emits the test matrix.
+    /// Walks `graph` and emits the test matrix. A steered generator
+    /// (see [`RecipeGenerator::steer`]) then filters and escalates
+    /// the matrix against the ledger history.
     pub fn generate(&self, graph: &AppGraph) -> Vec<GeneratedTest> {
         let pattern = self.flow_pattern();
         let expect = &self.expectations;
@@ -249,6 +289,7 @@ impl RecipeGenerator {
                     dst: dst.clone(),
                     max_tries: expect.max_tries,
                 },
+                steering_reason: None,
             });
             tests.push(GeneratedTest {
                 name: format!("crash:{src}->{dst}/circuit-breaker"),
@@ -261,6 +302,7 @@ impl RecipeGenerator {
                     window: expect.breaker_window,
                     success_threshold: expect.breaker_success_threshold,
                 },
+                steering_reason: None,
             });
             tests.push(GeneratedTest {
                 name: format!("hang:{src}->{dst}/timeouts"),
@@ -270,6 +312,7 @@ impl RecipeGenerator {
                     service: src.clone(),
                     max_latency: expect.max_latency,
                 },
+                steering_reason: None,
             });
         }
         // Bulkhead probes: one per (service, slow dependency) where
@@ -292,11 +335,82 @@ impl RecipeGenerator {
                         slow_dst: slow.clone(),
                         min_rate: expect.min_rate,
                     },
+                    steering_reason: None,
                 });
             }
         }
-        tests
+        match &self.steering {
+            Some(plan) => {
+                let streak_floor = self.escalate_after.unwrap_or(DEFAULT_ESCALATE_STREAK);
+                tests
+                    .into_iter()
+                    .filter_map(|test| apply_steering(test, plan, streak_floor))
+                    .collect()
+            }
+            None => tests,
+        }
     }
+}
+
+/// Applies one steering verdict: `None` drops the test (cell already
+/// Violated), otherwise the test is returned — escalated with a
+/// recorded [`GeneratedTest::steering_reason`] when its cell has a
+/// long enough pass streak and an intensity knob to turn.
+fn apply_steering(
+    mut test: GeneratedTest,
+    plan: &SteeringPlan,
+    escalate_after: usize,
+) -> Option<GeneratedTest> {
+    match plan.verdict_for(&test.scenario, escalate_after) {
+        Steering::Fresh => Some(test),
+        Steering::Skip { .. } => None,
+        Steering::Escalate { streak } => {
+            if let Some((scenario, change)) = escalate(&test.scenario) {
+                test.steering_reason = Some(format!(
+                    "escalate: {streak} consecutive pass(es) — {change}"
+                ));
+                test.scenario = scenario;
+            }
+            Some(test)
+        }
+    }
+}
+
+/// Doubles a scenario's intensity knob, returning the harder scenario
+/// plus a human-readable description of the change. Scenarios without
+/// a knob left to turn (shape-only faults, probabilities already at
+/// 1.0) return `None` and run unchanged.
+fn escalate(scenario: &Scenario) -> Option<(Scenario, String)> {
+    let mut out = scenario.clone();
+    let change = match &mut out.kind {
+        ScenarioKind::Delay { interval, .. } | ScenarioKind::Hang { interval, .. } => {
+            let was = *interval;
+            *interval = was.saturating_mul(2);
+            format!(
+                "delay {} -> {}",
+                format_duration(was),
+                format_duration(*interval)
+            )
+        }
+        ScenarioKind::Overload { delay, .. } => {
+            let was = *delay;
+            *delay = was.saturating_mul(2);
+            format!(
+                "overload delay {} -> {}",
+                format_duration(was),
+                format_duration(*delay)
+            )
+        }
+        ScenarioKind::Abort { probability, .. } | ScenarioKind::Crash { probability, .. }
+            if *probability < 1.0 =>
+        {
+            let was = *probability;
+            *probability = (was * 2.0).min(1.0);
+            format!("probability {was} -> {}", *probability)
+        }
+        _ => return None,
+    };
+    Some((out, change))
 }
 
 #[cfg(test)]
@@ -384,5 +498,142 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), tests.len());
+    }
+
+    #[test]
+    fn escalate_doubles_intensity_knobs() {
+        let (harder, change) =
+            escalate(&Scenario::delay("a", "b", Duration::from_secs(2))).unwrap();
+        assert!(matches!(
+            harder.kind,
+            ScenarioKind::Delay { interval, .. } if interval == Duration::from_secs(4)
+        ));
+        assert_eq!(change, "delay 2s -> 4s");
+
+        let (harder, change) = escalate(&Scenario::transient_crash("db", 0.3)).unwrap();
+        assert!(matches!(
+            harder.kind,
+            ScenarioKind::Crash { probability, .. } if (probability - 0.6).abs() < 1e-9
+        ));
+        assert!(change.contains("probability 0.3"), "{change}");
+
+        // No knob left to turn: shape-only faults and hard crashes.
+        assert!(escalate(&Scenario::disconnect("a", "b")).is_none());
+        assert!(escalate(&Scenario::crash("db")).is_none());
+    }
+
+    #[test]
+    fn steered_generator_skips_violated_and_escalates_streaks() {
+        use crate::flight::{FlightRecorder, FlightSummary};
+        use crate::ledger::CoverageLedger;
+        use crate::monitor::{LiveCheck, Verdict};
+
+        let root =
+            std::env::temp_dir().join(format!("gremlin-autogen-steer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let record = |recipe: &str, at: u64, passed: bool, violated: bool, scenario: Scenario| {
+            let mut recorder = FlightRecorder::create(&root, recipe, at, 1_000_000).unwrap();
+            let monitor = if violated {
+                vec![LiveCheck {
+                    name: "LiveErrorRate(web, <= 1%)".to_string(),
+                    verdict: Verdict::Violated,
+                    detail: "error rate 30%".to_string(),
+                    windows: 3,
+                    first_failing_at_us: Some(1),
+                    violated_at_us: Some(2),
+                }]
+            } else {
+                Vec::new()
+            };
+            recorder
+                .finish(&FlightSummary {
+                    name: recipe.to_string(),
+                    passed,
+                    injected: vec![scenario.to_string()],
+                    checks: Vec::new(),
+                    monitor,
+                    anomalies: Vec::new(),
+                    scenarios: vec![scenario],
+                })
+                .unwrap();
+        };
+        let hang = Duration::from_secs(2);
+        record(
+            "hang db",
+            100,
+            false,
+            true,
+            Scenario::delay("web", "db", hang),
+        );
+        for at in [200, 300, 400] {
+            record(
+                "hang cache",
+                at,
+                true,
+                false,
+                Scenario::delay("web", "cache", hang),
+            );
+        }
+        let ledger = CoverageLedger::scan(&root).unwrap();
+
+        let unsteered = RecipeGenerator::new().exclude("user").generate(&graph());
+        let steered = RecipeGenerator::new()
+            .exclude("user")
+            .steer(&ledger)
+            .generate(&graph());
+
+        // The Violated cell (web -> db under delay) drops both its
+        // timeout probe and its bulkhead probe.
+        assert!(unsteered.iter().any(|t| t.name == "hang:web->db/timeouts"));
+        assert!(!steered.iter().any(|t| t.name == "hang:web->db/timeouts"));
+        assert!(!steered.iter().any(|t| t.name == "hang:web->db/bulkhead"));
+        assert_eq!(steered.len(), unsteered.len() - 2);
+
+        // The 3-pass-streak cell (web -> cache under delay) comes
+        // back harder, with the reason recorded.
+        let escalated = steered
+            .iter()
+            .find(|t| t.name == "hang:web->cache/timeouts")
+            .unwrap();
+        assert!(matches!(
+            escalated.scenario.kind,
+            ScenarioKind::Delay { interval, .. } if interval == Duration::from_secs(4)
+        ));
+        let reason = escalated.steering_reason.as_deref().unwrap();
+        assert!(
+            reason.contains("3 consecutive pass(es)") && reason.contains("2s -> 4s"),
+            "{reason}"
+        );
+
+        // Untouched cells pass through unchanged.
+        let fresh = steered
+            .iter()
+            .find(|t| t.name == "disconnect:web->cache/bounded-retries")
+            .unwrap();
+        assert!(fresh.steering_reason.is_none());
+
+        // A higher streak floor leaves the streak cell unescalated.
+        let strict = RecipeGenerator::new()
+            .exclude("user")
+            .steer(&ledger)
+            .escalate_after(5)
+            .generate(&graph());
+        let unescalated = strict
+            .iter()
+            .find(|t| t.name == "hang:web->cache/timeouts")
+            .unwrap();
+        assert!(unescalated.steering_reason.is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn steering_reason_is_backwards_compatible_json() {
+        // Pre-steering JSON (no steering_reason field) still
+        // deserializes, and None is omitted on the way out.
+        let tests = RecipeGenerator::new().exclude("user").generate(&graph());
+        let json = serde_json::to_string(&tests).unwrap();
+        assert!(!json.contains("steering_reason"), "{json}");
+        let back: Vec<GeneratedTest> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), tests.len());
     }
 }

@@ -58,10 +58,13 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use gremlin_store::EdgeBaseline;
+use gremlin_store::{now_micros, EdgeBaseline, Micros};
 
 use crate::error::CoreError;
 use crate::graph::AppGraph;
+use crate::ledger::{
+    append_campaign_entries, cells_for_scenario, CellKey, CoverageLedger, LedgerEntry, RunOutcome,
+};
 use crate::monitor::{MonitorSpec, StreamingAssertion};
 use crate::recipe::{RecipeReport, RecipeRun, TestContext};
 use crate::scenarios::Scenario;
@@ -209,6 +212,8 @@ pub fn plan_waves(
 struct RecipeOutcome {
     report: RecipeReport,
     duration: Duration,
+    started_at_us: Micros,
+    scenarios: Vec<Scenario>,
     seeded_edges: usize,
     baselines: Vec<EdgeBaseline>,
 }
@@ -311,6 +316,17 @@ impl<'a> CampaignRunner<'a> {
             .map(|wave| wave.iter().map(|&i| recipes[i].name.clone()).collect())
             .collect();
 
+        // Coverage delta: what the ledger under the flight root had
+        // already covered before this campaign ran. Best-effort — an
+        // unreadable root just means every cell this campaign touches
+        // counts as newly covered.
+        let prior_covered: BTreeSet<CellKey> = match &self.flight_root {
+            Some(root) => CoverageLedger::scan_with_telemetry(root, self.ctx.telemetry())
+                .map(|ledger| ledger.covered_keys())
+                .unwrap_or_default(),
+            None => BTreeSet::new(),
+        };
+
         let started = Instant::now();
         let mut recipes: Vec<Option<CampaignRecipe>> = recipes.into_iter().map(Some).collect();
         let mut outcomes: Vec<Option<RecipeOutcome>> = Vec::new();
@@ -348,6 +364,9 @@ impl<'a> CampaignRunner<'a> {
 
         let mut reports = Vec::with_capacity(outcomes.len());
         let mut durations = Vec::with_capacity(outcomes.len());
+        let mut flight_dirs = Vec::with_capacity(outcomes.len());
+        let mut entries: Vec<LedgerEntry> = Vec::with_capacity(outcomes.len());
+        let mut newly_covered: BTreeSet<CellKey> = BTreeSet::new();
         let mut warmup_skipped = 0;
         let mut merged: BTreeMap<(String, String), EdgeBaseline> = BTreeMap::new();
         for baseline in self.seed_baselines.iter().cloned() {
@@ -360,6 +379,21 @@ impl<'a> CampaignRunner<'a> {
             for baseline in outcome.baselines {
                 merged.insert((baseline.src.clone(), baseline.dst.clone()), baseline);
             }
+            for scenario in &outcome.scenarios {
+                for cell in cells_for_scenario(scenario) {
+                    if !prior_covered.contains(&cell) {
+                        newly_covered.insert(cell);
+                    }
+                }
+            }
+            entries.push(LedgerEntry {
+                recipe: outcome.report.name.clone(),
+                started_at_us: outcome.started_at_us,
+                outcome: RunOutcome::of_report(&outcome.report),
+                scenarios: outcome.scenarios,
+                flight_dir: outcome.report.flight_dir.clone(),
+            });
+            flight_dirs.push(outcome.report.flight_dir.clone());
             durations.push(outcome.duration);
             reports.push(outcome.report);
         }
@@ -372,6 +406,13 @@ impl<'a> CampaignRunner<'a> {
                 .map_err(std::io::Error::from)
                 .and_then(|json| fs::write(root.join("baselines.json"), json));
         }
+        if let Some(root) = &self.flight_root {
+            // Best-effort, like the merged baselines snapshot. Entries
+            // whose flight dir was scanned directly are deduplicated at
+            // read time, so unmonitored (dirless) recipes still land in
+            // the ledger without double-counting recorded ones.
+            let _ = append_campaign_entries(root, &entries);
+        }
         let serial_estimate = durations.iter().sum();
 
         Ok(CampaignReport {
@@ -382,6 +423,8 @@ impl<'a> CampaignRunner<'a> {
             serial_estimate,
             warmup_skipped,
             baselines,
+            flight_dirs,
+            newly_covered: newly_covered.into_iter().collect(),
         })
     }
 
@@ -391,6 +434,7 @@ impl<'a> CampaignRunner<'a> {
     /// recipe's report.
     fn run_recipe(&self, recipe: CampaignRecipe) -> RecipeOutcome {
         let started = Instant::now();
+        let started_at_us = now_micros();
         let mut run = RecipeRun::new(recipe.name.clone(), self.ctx);
         let mut seeded_edges = 0;
         if let Some(spec) = &recipe.monitor {
@@ -448,6 +492,8 @@ impl<'a> CampaignRunner<'a> {
         RecipeOutcome {
             report,
             duration: started.elapsed(),
+            started_at_us,
+            scenarios: recipe.scenarios,
             seeded_edges,
             baselines,
         }
@@ -475,6 +521,13 @@ pub struct CampaignReport {
     /// overlaid with everything freshly learned. Persisted as
     /// `baselines.json` under the flight root, when one is set.
     pub baselines: Vec<EdgeBaseline>,
+    /// Each recipe's flight-recorder artifact directory, aligned with
+    /// `recipes` (`None` for unmonitored or unrecorded recipes).
+    pub flight_dirs: Vec<Option<PathBuf>>,
+    /// Coverage-cube cells this campaign exercised that no prior run
+    /// under the flight root had covered (everything it touched, when
+    /// no flight root was set).
+    pub newly_covered: Vec<CellKey>,
 }
 
 impl CampaignReport {
@@ -511,13 +564,24 @@ impl fmt::Display for CampaignReport {
         for (wave_index, wave) in self.waves.iter().enumerate() {
             writeln!(f, "  wave {}: {}", wave_index + 1, wave.join(", "))?;
         }
-        for (report, duration) in self.recipes.iter().zip(&self.durations) {
-            writeln!(
+        for (index, (report, duration)) in self.recipes.iter().zip(&self.durations).enumerate() {
+            write!(
                 f,
                 "  [{}] {} ({:?})",
                 if report.passed { "PASS" } else { "FAIL" },
                 report.name,
                 duration,
+            )?;
+            if let Some(Some(dir)) = self.flight_dirs.get(index) {
+                write!(f, " -> {}", dir.display())?;
+            }
+            writeln!(f)?;
+        }
+        if !self.newly_covered.is_empty() {
+            writeln!(
+                f,
+                "  coverage: {} cell(s) newly covered",
+                self.newly_covered.len(),
             )?;
         }
         Ok(())
@@ -787,6 +851,48 @@ mod tests {
             .run(recipes(false))
             .unwrap();
         assert_eq!(second.warmup_skipped, 2, "{second}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn campaign_appends_ledger_entries_and_reports_coverage_delta() {
+        let pairs = [("w1", "d1")];
+        let (ctx, _) = fan_ctx(&pairs);
+        let root =
+            std::env::temp_dir().join(format!("gremlin-campaign-ledger-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let recipe = |name: &str| {
+            CampaignRecipe::new(name)
+                .scenario(Scenario::abort("w1", "d1", 503))
+                .hold(Duration::from_millis(10))
+        };
+
+        let first = CampaignRunner::new(&ctx)
+            .flight_root(&root)
+            .run(vec![recipe("first")])
+            .unwrap();
+        assert_eq!(first.flight_dirs, vec![None], "unmonitored: no flight dir");
+        assert_eq!(first.newly_covered.len(), 1, "{:?}", first.newly_covered);
+        let text = first.to_string();
+        assert!(text.contains("coverage: 1 cell(s) newly covered"), "{text}");
+        let ledger = CoverageLedger::scan(&root).unwrap();
+        assert_eq!(ledger.runs_scanned(), 1);
+        assert_eq!(ledger.covered_cells(), 1);
+
+        // Same cell again: the appended entry made it "covered", so
+        // the second campaign reports no delta.
+        let second = CampaignRunner::new(&ctx)
+            .flight_root(&root)
+            .run(vec![recipe("second")])
+            .unwrap();
+        assert!(
+            second.newly_covered.is_empty(),
+            "{:?}",
+            second.newly_covered
+        );
+        assert!(!second.to_string().contains("coverage:"), "{second}");
+        let ledger = CoverageLedger::scan(&root).unwrap();
+        assert_eq!(ledger.runs_scanned(), 2);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -34,6 +34,7 @@ use gremlin_store::{EdgeBaseline, EdgeHealth, Micros};
 use crate::anomaly::AnomalyScore;
 use crate::checker::Check;
 use crate::monitor::{LiveCheck, LiveMonitor, MonitorRecord};
+use crate::scenarios::Scenario;
 
 /// Schema version stamped into `meta.json` (bump on breaking changes
 /// to any artifact file).
@@ -82,6 +83,11 @@ pub struct FlightSummary {
     pub monitor: Vec<LiveCheck>,
     /// Edges that left `Nominal` during the run, worst first.
     pub anomalies: Vec<AnomalyScore>,
+    /// Structured scenarios staged during the run, in injection
+    /// order. Older recordings (pre coverage-ledger) lack the field
+    /// and deserialize to an empty vector.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub scenarios: Vec<Scenario>,
 }
 
 fn slug(name: &str) -> String {
@@ -265,21 +271,23 @@ pub struct FlightLog {
 impl FlightLog {
     /// Loads a flight-recorder directory.
     ///
-    /// Requires `meta.json`; tolerates a missing `report.json` (a run
-    /// that never finished) and skips malformed `.jsonl` lines (a run
-    /// killed mid-write) rather than failing the whole load.
+    /// Requires `meta.json`; everything else is loaded leniently so a
+    /// run that crashed mid-write still replays: a missing or
+    /// truncated `report.json` yields `report: None`, malformed
+    /// `.jsonl` lines are skipped, and an unparseable `baselines.json`
+    /// yields an empty baseline set.
     ///
     /// # Errors
     ///
-    /// Missing/unreadable `meta.json` or log files.
+    /// Missing/unreadable `meta.json` or unreadable log files.
     pub fn load(dir: impl AsRef<Path>) -> io::Result<FlightLog> {
         let dir = dir.as_ref();
         let meta: FlightMeta = serde_json::from_str(&fs::read_to_string(dir.join("meta.json"))?)?;
         let records = read_jsonl(&dir.join("alerts.jsonl"))?;
         let snapshots = read_jsonl(&dir.join("snapshots.jsonl"))?;
-        let baselines = load_baselines(dir)?;
+        let baselines = load_baselines(dir).unwrap_or_default();
         let report = match fs::read_to_string(dir.join("report.json")) {
-            Ok(text) => Some(serde_json::from_str(&text)?),
+            Ok(text) => serde_json::from_str(&text).ok(),
             Err(err) if err.kind() == io::ErrorKind::NotFound => None,
             Err(err) => return Err(err),
         };
@@ -420,6 +428,11 @@ mod tests {
             checks: Vec::new(),
             monitor: Vec::new(),
             anomalies: Vec::new(),
+            scenarios: vec![Scenario::delay(
+                "user",
+                "web",
+                std::time::Duration::from_millis(60),
+            )],
         };
         let dir = recorder.finish(&summary).unwrap();
 
@@ -470,6 +483,7 @@ mod tests {
             checks: Vec::new(),
             monitor: Vec::new(),
             anomalies: Vec::new(),
+            scenarios: Vec::new(),
         };
         let dir = recorder.finish(&summary).unwrap();
         let log = FlightLog::load(&dir).unwrap();
@@ -505,6 +519,42 @@ mod tests {
         drop(recorder);
         let log = FlightLog::load(&dir).unwrap();
         assert_eq!(log.baselines, vec![baseline]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn partial_run_dirs_load_leniently() {
+        // A hand-built crashed run: meta.json only, a truncated
+        // alerts.jsonl (killed mid-write) and a garbage report.json.
+        let root = tmp_root("partial");
+        let dir = root.join("partial-77");
+        fs::create_dir_all(&dir).unwrap();
+        let meta = FlightMeta {
+            schema_version: FLIGHT_SCHEMA_VERSION,
+            recipe: "partial".to_string(),
+            started_at_us: 77,
+            window_us: 1_000_000,
+        };
+        fs::write(
+            dir.join("meta.json"),
+            serde_json::to_string_pretty(&meta).unwrap(),
+        )
+        .unwrap();
+        let good = serde_json::to_string(&verdict_record(0, 1_000_000, Verdict::Failing)).unwrap();
+        fs::write(
+            dir.join("alerts.jsonl"),
+            format!("{good}\n{{\"kind\":\"ver"),
+        )
+        .unwrap();
+        fs::write(dir.join("report.json"), "{\"name\": \"partial\", \"pas").unwrap();
+        fs::write(dir.join("baselines.json"), "[{\"src\":").unwrap();
+
+        let log = FlightLog::load(&dir).unwrap();
+        assert_eq!(log.meta.recipe, "partial");
+        assert_eq!(log.records.len(), 1, "truncated tail line is skipped");
+        assert!(log.report.is_none(), "garbage report.json loads as None");
+        assert!(log.baselines.is_empty(), "garbage baselines load as empty");
+        assert!(log.render_timeline().contains("run never finished"));
         let _ = fs::remove_dir_all(&root);
     }
 

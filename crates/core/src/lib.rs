@@ -61,6 +61,7 @@ pub mod checker;
 pub mod error;
 pub mod flight;
 pub mod graph;
+pub mod ledger;
 pub mod monitor;
 pub mod orchestrator;
 pub mod recipe;
@@ -68,7 +69,7 @@ pub mod scenarios;
 pub mod timeutil;
 pub mod trace;
 
-pub use anomaly::{AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
+pub use anomaly::{drift_z, AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
 pub use campaign::{
     plan_waves, CampaignRecipe, CampaignReport, CampaignRunner, CampaignSpec, DEFAULT_MAX_IN_FLIGHT,
 };
@@ -82,6 +83,11 @@ pub use flight::{
     FLIGHT_SCHEMA_VERSION,
 };
 pub use graph::AppGraph;
+pub use ledger::{
+    append_campaign_entries, cells_for_scenario, intensity_bucket, CellKey, CellObservation,
+    CellStats, CoverageLedger, FaultKind, LedgerEntry, LedgerSummary, Regression, RegressionKind,
+    RunOutcome, RunSummary, Steering, SteeringPlan, DEFAULT_DRIFT_Z, SERVICE_WILDCARD,
+};
 pub use monitor::{
     AlertEvent, LiveCheck, LiveMonitor, MonitorRecord, MonitorSpec, StreamingAssertion, Verdict,
 };

@@ -138,6 +138,7 @@ pub struct RecipeRun<'a> {
     ctx: &'a TestContext,
     checks: Vec<Check>,
     injected: Vec<String>,
+    staged: Vec<Scenario>,
     baseline: TelemetrySnapshot,
     monitor: Option<LiveMonitor>,
     flight: Option<FlightRecorder>,
@@ -153,6 +154,7 @@ impl<'a> RecipeRun<'a> {
             ctx,
             checks: Vec::new(),
             injected: Vec::new(),
+            staged: Vec::new(),
             baseline: ctx.telemetry.snapshot(),
             monitor: None,
             flight: None,
@@ -269,6 +271,7 @@ impl<'a> RecipeRun<'a> {
     pub fn inject(&mut self, scenario: &Scenario) -> Result<OrchestrationStats, CoreError> {
         let stats = self.ctx.inject(scenario)?;
         self.injected.push(scenario.to_string());
+        self.staged.push(scenario.clone());
         Ok(stats)
     }
 
@@ -337,6 +340,7 @@ impl<'a> RecipeRun<'a> {
                     checks: self.checks.clone(),
                     monitor: monitor.clone(),
                     anomalies: anomalies.clone(),
+                    scenarios: self.staged.clone(),
                 };
                 flight.finish(&summary).ok()
             }

@@ -19,6 +19,8 @@
 //! gremlin tail <collector-addr>           live event stream from a collector
 //! gremlin watch <collector-addr>          live per-edge health + check dashboard
 //! gremlin replay <run-dir>                re-render a recorded run's timeline
+//! gremlin replay --root <flight-root>     list every recorded run, one line each
+//! gremlin coverage <flight-root>          cross-run coverage scorecard + regressions
 //! gremlin metrics <addr,...>              scrape and summarize /metrics
 //! ```
 //!
@@ -68,6 +70,8 @@ fn usage() -> &'static str {
      gremlin tail <collector-addr> [--from <cursor>] [--limit <n>]\n  \
      gremlin watch <collector-addr> [--json] [--interval <dur>] [--count <n>]\n  \
      gremlin replay <run-dir> [--json]       re-render a flight-recorder directory\n  \
+     gremlin replay --root <flight-root>     one line per recorded run: recipe, verdict, anomalies\n  \
+     gremlin coverage <flight-root> [--graph <graph.json>] [--markdown] [--json] [--drift-z <z>]\n  \
      gremlin generate <graph.json> [--exclude svc]... [--pattern test-*]\n  \
      gremlin metrics <addr,...> [--raw]      scrape /metrics from agents or collectors"
 }
@@ -87,6 +91,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "tail" => cmd_tail(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
+        "coverage" => cmd_coverage(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
         "" | "help" | "--help" | "-h" => Ok(usage().to_string()),
@@ -677,6 +682,9 @@ fn cmd_watch(args: &[String]) -> Result<String, Box<dyn Error>> {
 fn cmd_replay(args: &[String]) -> Result<String, Box<dyn Error>> {
     use gremlin::core::FlightLog;
 
+    if let Some(root) = flag_value(args, "--root") {
+        return replay_root(root);
+    }
     let dir = positional(args, 0)?;
     let log =
         FlightLog::load(dir).map_err(|e| format!("cannot load flight recording {dir:?}: {e}"))?;
@@ -692,6 +700,62 @@ fn cmd_replay(args: &[String]) -> Result<String, Box<dyn Error>> {
         }))?);
     }
     Ok(log.render_timeline().trim_end().to_string())
+}
+
+/// `gremlin replay --root <flight-root>` — one line per recorded run,
+/// newest last: outcome, recipe, scenario count, anomalous edges.
+fn replay_root(root: &str) -> Result<String, Box<dyn Error>> {
+    use gremlin::core::CoverageLedger;
+
+    let ledger =
+        CoverageLedger::scan(root).map_err(|e| format!("cannot scan flight root {root:?}: {e}"))?;
+    if ledger.runs().is_empty() {
+        return Ok(format!("no recorded runs under {root}"));
+    }
+    let mut out = format!("{} run(s) under {root}\n", ledger.runs_scanned());
+    for run in ledger.runs() {
+        // Manual Display impls ignore format widths, so pad the
+        // rendered string instead.
+        let outcome = run.outcome.to_string();
+        out.push_str(&format!(
+            "  [{outcome:>10}] {} — {} scenario(s)",
+            run.recipe,
+            run.scenarios.len(),
+        ));
+        if !run.anomalous_edges.is_empty() {
+            out.push_str(&format!("; anomalous: {}", run.anomalous_edges.join(", ")));
+        }
+        if let Some(dir) = &run.flight_dir {
+            out.push_str(&format!(" ({})", dir.display()));
+        }
+        out.push('\n');
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_coverage(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::core::{CoverageLedger, DEFAULT_DRIFT_Z};
+
+    let root = positional(args, 0)?;
+    let drift_z = match flag_value(args, "--drift-z") {
+        Some(raw) => raw
+            .parse::<f64>()
+            .map_err(|e| format!("bad --drift-z {raw:?}: {e}"))?,
+        None => DEFAULT_DRIFT_Z,
+    };
+    let graph = match flag_value(args, "--graph") {
+        Some(path) => Some(load_graph(path)?),
+        None => None,
+    };
+    let ledger = CoverageLedger::scan_with(root, drift_z)
+        .map_err(|e| format!("cannot scan flight root {root:?}: {e}"))?;
+    if has_flag(args, "--json") {
+        return Ok(serde_json::to_string_pretty(&ledger.summary())?);
+    }
+    if has_flag(args, "--markdown") {
+        return Ok(ledger.to_markdown(graph.as_ref()).trim_end().to_string());
+    }
+    Ok(ledger.render(graph.as_ref(), true).trim_end().to_string())
 }
 
 /// Colors an anomaly state for terminal output (green nominal,
@@ -1152,6 +1216,7 @@ mod tests {
                 checks: Vec::new(),
                 monitor: Vec::new(),
                 anomalies: Vec::new(),
+                scenarios: vec![gremlin::core::Scenario::crash("web")],
             })
             .unwrap();
 
@@ -1170,6 +1235,37 @@ mod tests {
         assert_eq!(value["report"]["passed"], true);
 
         assert!(run(&args(&["replay", "/nonexistent-flight-dir"])).is_err());
+
+        // --root mode: one line per recorded run under the root.
+        let listing = run(&args(&["replay", "--root", root.to_str().unwrap()])).unwrap();
+        assert!(listing.contains("1 run(s) under"), "{listing}");
+        assert!(listing.contains("cli replay — 1 scenario(s)"), "{listing}");
+        assert!(listing.contains("pass"), "{listing}");
+
+        // coverage over the same root: the crash scenario covers one
+        // service-scoped cell.
+        let scorecard = run(&args(&["coverage", root.to_str().unwrap()])).unwrap();
+        assert!(scorecard.contains("1 run(s) scanned"), "{scorecard}");
+        assert!(scorecard.contains("1 cell(s) covered"), "{scorecard}");
+        let markdown = run(&args(&["coverage", root.to_str().unwrap(), "--markdown"])).unwrap();
+        assert!(
+            markdown.contains("# Resilience coverage scorecard"),
+            "{markdown}"
+        );
+        let json = run(&args(&["coverage", root.to_str().unwrap(), "--json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["runs_scanned"], 1);
+        assert!(run(&args(&[
+            "coverage",
+            root.to_str().unwrap(),
+            "--drift-z",
+            "nope"
+        ]))
+        .is_err());
+
+        // An empty or missing root renders, it does not error.
+        let empty = run(&args(&["replay", "--root", "/nonexistent-flight-root"])).unwrap();
+        assert!(empty.contains("no recorded runs"), "{empty}");
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -112,9 +112,19 @@ fn delay_flags_only_the_faulted_edge_and_replays_from_disk() {
         });
     }
 
-    let flight_root =
-        std::env::temp_dir().join(format!("gremlin-anomaly-e2e-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&flight_root);
+    // CI points GREMLIN_FLIGHT_ROOT at a workspace path so the
+    // artifacts survive the test for `gremlin coverage` to scan;
+    // unset, the recording lands in (and is cleaned from) the temp
+    // dir as before.
+    let (flight_root, ephemeral) = match std::env::var_os("GREMLIN_FLIGHT_ROOT") {
+        Some(root) => (std::path::PathBuf::from(root), false),
+        None => {
+            let root =
+                std::env::temp_dir().join(format!("gremlin-anomaly-e2e-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            (root, true)
+        }
+    };
 
     let mut run = RecipeRun::new("anomaly-delay", &ctx);
     run.start_monitor(spec);
@@ -297,5 +307,7 @@ fn delay_flags_only_the_faulted_edge_and_replays_from_disk() {
     assert!(!summary.passed);
     assert_eq!(summary.anomalies.len(), 1);
 
-    let _ = std::fs::remove_dir_all(&flight_root);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&flight_root);
+    }
 }

@@ -1,0 +1,212 @@
+//! End-to-end coverage ledger: a hand-built flight root holding a
+//! violated run, a three-run pass streak, a still-passing-but-drifted
+//! edge, and a crashed partial recording — scanned into one
+//! [`CoverageLedger`], rendered deterministically as a scorecard, and
+//! fed back into the recipe generator, which must provably skip the
+//! violated cell and escalate the streaking one.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use gremlin::core::autogen::RecipeGenerator;
+use gremlin::core::{AppGraph, DEFAULT_DRIFT_Z};
+use gremlin::core::{
+    CoverageLedger, FaultKind, FlightMeta, FlightRecorder, FlightSummary, LiveCheck, RunOutcome,
+    Scenario, ScenarioKind, Verdict, FLIGHT_SCHEMA_VERSION,
+};
+use gremlin::store::{EdgeBaseline, Micros};
+
+fn summary(name: &str, passed: bool, scenarios: Vec<Scenario>) -> FlightSummary {
+    FlightSummary {
+        name: name.to_string(),
+        passed,
+        injected: scenarios.iter().map(|s| s.to_string()).collect(),
+        checks: Vec::new(),
+        monitor: Vec::new(),
+        anomalies: Vec::new(),
+        scenarios,
+    }
+}
+
+fn baseline(src: &str, dst: &str, p50_ms: u64) -> EdgeBaseline {
+    EdgeBaseline {
+        src: src.to_string(),
+        dst: dst.to_string(),
+        windows: 10,
+        rate_ewma: 10.0,
+        rate_mad: 0.5,
+        error_rate: 0.0,
+        error_upper: 0.02,
+        responses: 100,
+        p50_us: p50_ms * 1_000,
+        p99_us: p50_ms * 2_000,
+        latency_mad_us: 400.0,
+    }
+}
+
+fn record_run(
+    root: &Path,
+    recipe: &str,
+    at: Micros,
+    summary: &FlightSummary,
+    baselines: &[EdgeBaseline],
+) -> PathBuf {
+    let mut recorder = FlightRecorder::create(root, recipe, at, 1_000_000).unwrap();
+    recorder.record_baselines(baselines).unwrap();
+    recorder.finish(summary).unwrap()
+}
+
+#[test]
+fn scorecard_regressions_and_steering_from_a_recorded_history() {
+    let root = std::env::temp_dir().join(format!("gremlin-coverage-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let hang = Duration::from_secs(2);
+
+    // Run 1: delay web -> db, monitor Violated.
+    let mut violated = summary("db-slow", false, vec![Scenario::delay("web", "db", hang)]);
+    violated.monitor.push(LiveCheck {
+        name: "LiveErrorRate(web, <= 1%)".to_string(),
+        verdict: Verdict::Violated,
+        detail: "error rate 40%".to_string(),
+        windows: 4,
+        first_failing_at_us: Some(1_000_000),
+        violated_at_us: Some(3_000_000),
+    });
+    record_run(
+        &root,
+        "db-slow",
+        1_000_000,
+        &violated,
+        &[baseline("web", "db", 5)],
+    );
+
+    // Runs 2-4: delay web -> cache, passing, but the recorded
+    // baseline's p50 drifts 5ms -> 120ms across the streak.
+    for (index, p50_ms) in [(2u64, 5u64), (3, 5), (4, 120)] {
+        record_run(
+            &root,
+            &format!("cache-slow-{index}"),
+            index * 1_000_000,
+            &summary(
+                &format!("cache-slow-{index}"),
+                true,
+                vec![Scenario::delay("web", "cache", hang)],
+            ),
+            &[baseline("web", "cache", p50_ms)],
+        );
+    }
+
+    // A crashed recording: meta.json only, nothing else survived.
+    let crashed = root.join("crashed-5000000");
+    std::fs::create_dir_all(&crashed).unwrap();
+    let meta = FlightMeta {
+        schema_version: FLIGHT_SCHEMA_VERSION,
+        recipe: "crashed".to_string(),
+        started_at_us: 5_000_000,
+        window_us: 1_000_000,
+    };
+    std::fs::write(
+        crashed.join("meta.json"),
+        serde_json::to_string_pretty(&meta).unwrap(),
+    )
+    .unwrap();
+
+    let ledger = CoverageLedger::scan(&root).unwrap();
+    assert_eq!(ledger.runs_scanned(), 5);
+    assert_eq!(ledger.incomplete_runs(), &["crashed-5000000".to_string()]);
+    assert_eq!(ledger.covered_cells(), 2, "{:?}", ledger.covered_keys());
+
+    // The violated cell and the streak cell carry their histories.
+    let keys: Vec<_> = ledger.covered_keys().into_iter().collect();
+    let db_cell = keys.iter().find(|k| k.dst == "db").unwrap();
+    assert_eq!(db_cell.fault, FaultKind::Delay);
+    assert_eq!(
+        ledger.cell(db_cell).unwrap().worst_outcome,
+        RunOutcome::Violated
+    );
+    let cache_cell = keys.iter().find(|k| k.dst == "cache").unwrap();
+    let cache_stats = ledger.cell(cache_cell).unwrap();
+    assert_eq!(cache_stats.attempts, 3);
+    assert_eq!(cache_stats.pass_streak, 3);
+
+    // Deterministic scorecard: fixed fixture, fixed rendering.
+    let graph = AppGraph::from_edges(vec![("web", "db"), ("web", "cache")]);
+    let rendered = ledger.render(Some(&graph), false);
+    assert!(
+        rendered.contains("5 run(s) scanned, 1 incomplete"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("2 cell(s) covered"), "{rendered}");
+    assert!(rendered.contains("V1"), "violated cell missing: {rendered}");
+    assert!(
+        rendered.contains("✓3"),
+        "pass streak cell missing: {rendered}"
+    );
+    assert!(rendered.contains("untested cells:"), "{rendered}");
+    assert!(rendered.contains("incomplete runs:"), "{rendered}");
+    assert_eq!(
+        rendered,
+        ledger.render(Some(&graph), false),
+        "rendering is deterministic"
+    );
+
+    // The drifted-but-passing edge is flagged as a regression even
+    // though every run on it passed.
+    let drifts: Vec<_> = ledger
+        .regressions()
+        .iter()
+        .filter(|r| r.src == "web" && r.dst == "cache")
+        .collect();
+    assert_eq!(drifts.len(), 1, "{:?}", ledger.regressions());
+    assert!(
+        drifts[0].z.unwrap_or(0.0) >= DEFAULT_DRIFT_Z,
+        "{:?}",
+        drifts[0]
+    );
+    let markdown = ledger.to_markdown(Some(&graph));
+    assert!(
+        markdown.contains("# Resilience coverage scorecard"),
+        "{markdown}"
+    );
+    assert!(markdown.contains("**violated ×1**"), "{markdown}");
+    assert!(markdown.contains("## Regressions"), "{markdown}");
+    assert!(markdown.contains("## Incomplete runs"), "{markdown}");
+
+    // Steering: the generator drops every test landing on the
+    // violated (web, db, delay) cell and escalates the streaking
+    // (web, cache, delay) cell.
+    let unsteered = RecipeGenerator::new().generate(&graph);
+    let steered = RecipeGenerator::new().steer(&ledger).generate(&graph);
+    assert!(unsteered.iter().any(|t| t.name == "hang:web->db/timeouts"));
+    assert!(
+        !steered.iter().any(|t| t.name.starts_with("hang:web->db")),
+        "violated cell must be skipped: {:?}",
+        steered.iter().map(|t| &t.name).collect::<Vec<_>>()
+    );
+    assert_eq!(steered.len(), unsteered.len() - 2);
+    let escalated = steered
+        .iter()
+        .find(|t| t.name == "hang:web->cache/timeouts")
+        .unwrap();
+    match &escalated.scenario.kind {
+        ScenarioKind::Delay { interval, .. } => {
+            assert_eq!(*interval, hang * 2, "escalation doubles the delay")
+        }
+        other => panic!("unexpected scenario {other:?}"),
+    }
+    let reason = escalated.steering_reason.as_deref().unwrap();
+    assert!(reason.contains("3 consecutive pass(es)"), "{reason}");
+    assert!(reason.contains("2s -> 4s"), "{reason}");
+    // A higher streak floor leaves the streak alone.
+    let patient = RecipeGenerator::new()
+        .steer(&ledger)
+        .escalate_after(5)
+        .generate(&graph);
+    let untouched = patient
+        .iter()
+        .find(|t| t.name == "hang:web->cache/timeouts")
+        .unwrap();
+    assert!(untouched.steering_reason.is_none(), "{untouched:?}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
