@@ -1,0 +1,144 @@
+//! Fleet time-series benchmark: the three costs the observability
+//! layer pays continuously during a monitored campaign.
+//!
+//! 1. **Ring append** — `TimeSeriesStore::append` under one `RwLock`
+//!    write: the per-point cost of every scrape and local sample.
+//! 2. **Range query** — `query_rate` + `histogram_quantile` over a
+//!    populated store: what `GET /series` and `gremlin top` pay per
+//!    frame.
+//! 3. **Scrape cycle** — one synchronous [`Scraper`] pass over
+//!    `GREMLIN_BENCH_TARGETS` live `/metrics` endpoints (default 32),
+//!    each serving a realistic agent exposition: 4 routes of
+//!    counters plus latency histograms. This is the fleet-wide
+//!    collection heartbeat, so CI gates it under 50ms.
+//!
+//! Run: `cargo run --release -p gremlin-bench --bin bench_timeseries`
+//!
+//! Output: `BENCH_timeseries.json` in the working directory
+//! (override with `GREMLIN_BENCH_OUT`).
+
+use std::error::Error;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gremlin_http::{ConnInfo, HttpServer, Request, Response};
+use gremlin_proxy::Scraper;
+use gremlin_telemetry::{MetricsRegistry, TimeSeriesStore};
+
+const S: u64 = 1_000_000;
+
+/// A registry shaped like a real agent's: 4 downstream routes, each
+/// with request/error counters and a populated latency histogram.
+fn agent_registry(index: usize) -> Arc<MetricsRegistry> {
+    let registry = MetricsRegistry::shared();
+    let service = format!("svc{index}");
+    for route in 0..4 {
+        let dst = format!("dst{route}");
+        let labels = [("service", service.as_str()), ("dst", dst.as_str())];
+        registry
+            .counter("gremlin_proxy_requests_total", "requests", &labels)
+            .add(1_000 + index as u64);
+        registry
+            .counter("gremlin_proxy_upstream_errors_total", "errors", &labels)
+            .add(index as u64 % 7);
+        let histogram =
+            registry.histogram("gremlin_proxy_upstream_latency_seconds", "latency", &labels);
+        for sample in 0..64u64 {
+            histogram.record_micros(500 + (sample * 137) % 20_000);
+        }
+    }
+    registry
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let targets: usize = std::env::var("GREMLIN_BENCH_TARGETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let points: usize = std::env::var("GREMLIN_BENCH_POINTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+
+    // --- 1. ring append ------------------------------------------------
+    let store = TimeSeriesStore::new();
+    let labels = vec![("service".to_string(), "web".to_string())];
+    let series = 64.max(points / 4096);
+    let appended = Instant::now();
+    for point in 0..points {
+        store.append(
+            &format!("t{}", point % series),
+            "bench_requests_total",
+            &labels,
+            (point / series) as u64 * 250_000 + S,
+            point as f64,
+        );
+    }
+    let append_ns = appended.elapsed().as_nanos() as f64 / points as f64;
+
+    // --- 2. range queries over the populated store ---------------------
+    let horizon = (points / series) as u64 * 250_000 + S;
+    let queried = Instant::now();
+    let query_rounds = 100;
+    let mut rate_points = 0usize;
+    for round in 0..query_rounds {
+        let target = format!("t{}", round % series);
+        for (_, window) in store.query_rate(
+            "bench_requests_total",
+            Some(&target),
+            horizon.saturating_sub(60 * S),
+            horizon,
+        ) {
+            rate_points += window.len();
+        }
+    }
+    let query_us = queried.elapsed().as_micros() as f64 / query_rounds as f64;
+
+    // --- 3. fleet scrape cycle -----------------------------------------
+    let mut servers = Vec::with_capacity(targets);
+    let scraper = Scraper::new(TimeSeriesStore::shared());
+    for index in 0..targets {
+        let registry = agent_registry(index);
+        let server = HttpServer::bind("127.0.0.1:0", move |_req: Request, _conn: &ConnInfo| {
+            Response::ok(registry.render_prometheus())
+        })?;
+        scraper.add_target(&format!("svc{index}"), server.local_addr().to_string());
+        servers.push(server);
+    }
+    // One warmup pass (connection + allocator noise), then timed cycles.
+    assert_eq!(scraper.scrape_at(S), targets, "warmup scrape failed");
+    let cycles = 5u64;
+    let scraped = Instant::now();
+    for cycle in 0..cycles {
+        let up = scraper.scrape_at((cycle + 2) * S);
+        assert_eq!(up, targets, "scrape cycle lost targets");
+    }
+    let scrape_cycle_ms = scraped.elapsed().as_secs_f64() * 1e3 / cycles as f64;
+    let fleet_points = scraper.store().point_count();
+
+    println!(
+        "timeseries: append {append_ns:.0}ns/point ({points} points, {series} series), \
+         range query {query_us:.0}us ({rate_points} rate points), \
+         {targets}-target scrape cycle {scrape_cycle_ms:.2}ms ({fleet_points} points)"
+    );
+
+    let output = serde_json::json!({
+        "benchmark": "fleet_timeseries",
+        "points": points,
+        "series": series,
+        "append_ns_per_point": append_ns,
+        "query_rounds": query_rounds,
+        "query_us_per_round": query_us,
+        "rate_points": rate_points,
+        "targets": targets,
+        "scrape_cycles": cycles,
+        "scrape_cycle_ms": scrape_cycle_ms,
+        "fleet_points": fleet_points,
+        "fleet_series": scraper.store().series_count(),
+    });
+    let path =
+        std::env::var("GREMLIN_BENCH_OUT").unwrap_or_else(|_| "BENCH_timeseries.json".to_string());
+    std::fs::write(&path, serde_json::to_string_pretty(&output)?)?;
+    println!("wrote {path}");
+    Ok(())
+}

@@ -180,6 +180,10 @@ pub struct CampaignSpec {
 /// Default cap on concurrently running recipes per wave.
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 4;
 
+/// Ledger flakiness at or above which a cell counts as flaky for
+/// steered wave ordering (see [`CampaignRunner::steer_order`]).
+pub const STEER_FLAKY_THRESHOLD: f64 = 0.25;
+
 /// Packs recipe indices into execution waves: greedy first-fit in
 /// input order, where index `i` joins the first wave that has fewer
 /// than `max_in_flight` members and whose members' footprints are all
@@ -205,6 +209,32 @@ pub fn plan_waves(
         }
     }
     waves
+}
+
+/// Steered scheduling priority for one recipe, lower first: `0` when
+/// any of its coverage cells is untested (not in `covered`), `1` when
+/// any is flaky per the ledger, `2` when everything it touches is
+/// stable.
+fn steer_priority(
+    recipe: &CampaignRecipe,
+    ledger: Option<&CoverageLedger>,
+    covered: &BTreeSet<CellKey>,
+) -> u8 {
+    let mut priority = 2u8;
+    for scenario in &recipe.scenarios {
+        for cell in cells_for_scenario(scenario) {
+            if !covered.contains(&cell) {
+                return 0;
+            }
+            let flaky = ledger
+                .and_then(|ledger| ledger.cell(&cell))
+                .is_some_and(|stats| stats.flakiness >= STEER_FLAKY_THRESHOLD);
+            if flaky {
+                priority = 1;
+            }
+        }
+    }
+    priority
 }
 
 /// What one recipe execution yielded, beyond its report.
@@ -254,6 +284,7 @@ pub struct CampaignRunner<'a> {
     max_in_flight: usize,
     flight_root: Option<PathBuf>,
     seed_baselines: Vec<EdgeBaseline>,
+    steer_order: bool,
 }
 
 impl<'a> CampaignRunner<'a> {
@@ -265,7 +296,22 @@ impl<'a> CampaignRunner<'a> {
             max_in_flight: DEFAULT_MAX_IN_FLIGHT,
             flight_root: None,
             seed_baselines: Vec::new(),
+            steer_order: false,
         }
+    }
+
+    /// Builder-style: reorders the planned waves by coverage-ledger
+    /// priority before executing. Waves containing a recipe that
+    /// touches an **untested** cell run first, waves touching a
+    /// **flaky** cell (ledger flakiness ≥ [`STEER_FLAKY_THRESHOLD`])
+    /// next, all-stable waves last; ties keep the planner's order.
+    /// Wave *membership* is untouched — only execution order moves —
+    /// so footprint disjointness still holds. Without a readable
+    /// ledger under the flight root every cell counts as untested and
+    /// the order is unchanged.
+    pub fn steer_order(mut self, steer: bool) -> CampaignRunner<'a> {
+        self.steer_order = steer;
+        self
     }
 
     /// Builder-style: caps concurrently running recipes per wave
@@ -310,28 +356,51 @@ impl<'a> CampaignRunner<'a> {
             .iter()
             .map(|recipe| recipe.footprint(graph))
             .collect::<Result<Vec<_>, CoreError>>()?;
-        let waves = plan_waves(&footprints, self.max_in_flight);
-        let wave_names: Vec<Vec<String>> = waves
-            .iter()
-            .map(|wave| wave.iter().map(|&i| recipes[i].name.clone()).collect())
-            .collect();
+        let mut waves = plan_waves(&footprints, self.max_in_flight);
 
         // Coverage delta: what the ledger under the flight root had
         // already covered before this campaign ran. Best-effort — an
         // unreadable root just means every cell this campaign touches
         // counts as newly covered.
-        let prior_covered: BTreeSet<CellKey> = match &self.flight_root {
-            Some(root) => CoverageLedger::scan_with_telemetry(root, self.ctx.telemetry())
-                .map(|ledger| ledger.covered_keys())
-                .unwrap_or_default(),
-            None => BTreeSet::new(),
-        };
+        let ledger: Option<CoverageLedger> = self
+            .flight_root
+            .as_ref()
+            .and_then(|root| CoverageLedger::scan_with_telemetry(root, self.ctx.telemetry()).ok());
+        let prior_covered: BTreeSet<CellKey> = ledger
+            .as_ref()
+            .map(CoverageLedger::covered_keys)
+            .unwrap_or_default();
+
+        if self.steer_order {
+            let priorities: Vec<u8> = recipes
+                .iter()
+                .map(|recipe| steer_priority(recipe, ledger.as_ref(), &prior_covered))
+                .collect();
+            waves.sort_by_key(|wave| {
+                wave.iter()
+                    .map(|&index| priorities[index])
+                    .min()
+                    .unwrap_or(u8::MAX)
+            });
+        }
+        let wave_names: Vec<Vec<String>> = waves
+            .iter()
+            .map(|wave| wave.iter().map(|&i| recipes[i].name.clone()).collect())
+            .collect();
 
         let started = Instant::now();
         let mut recipes: Vec<Option<CampaignRecipe>> = recipes.into_iter().map(Some).collect();
         let mut outcomes: Vec<Option<RecipeOutcome>> = Vec::new();
         outcomes.resize_with(recipes.len(), || None);
-        for wave in &waves {
+        for (wave_index, wave) in waves.iter().enumerate() {
+            self.ctx.annotate(
+                "wave-begin",
+                &format!(
+                    "wave {}: {}",
+                    wave_index + 1,
+                    wave_names[wave_index].join(", ")
+                ),
+            );
             if let [index] = wave.as_slice() {
                 let recipe = recipes[*index].take().expect("each index runs once");
                 outcomes[*index] = Some(self.run_recipe(recipe));
@@ -359,6 +428,8 @@ impl<'a> CampaignRunner<'a> {
             // Wave boundary: the control channel has no per-rule
             // removal, so the whole fleet is flushed between waves.
             self.ctx.clear_faults()?;
+            self.ctx
+                .annotate("wave-end", &format!("wave {}", wave_index + 1));
         }
         let wall_clock = started.elapsed();
 
@@ -419,6 +490,7 @@ impl<'a> CampaignRunner<'a> {
             recipes: reports,
             durations,
             waves: wave_names,
+            steered: self.steer_order,
             wall_clock,
             serial_estimate,
             warmup_skipped,
@@ -507,8 +579,12 @@ pub struct CampaignReport {
     pub recipes: Vec<RecipeReport>,
     /// Per-recipe wall-clock durations, aligned with `recipes`.
     pub durations: Vec<Duration>,
-    /// The executed schedule: recipe names per wave.
+    /// The executed schedule: recipe names per wave, in execution
+    /// order (ledger-steered when `steered` is set).
     pub waves: Vec<Vec<String>>,
+    /// Whether the wave order was steered by coverage-ledger priority
+    /// ([`CampaignRunner::steer_order`]).
+    pub steered: bool,
     /// Campaign wall clock, wave starts to last wave end.
     pub wall_clock: Duration,
     /// Sum of the per-recipe durations — what strict serial execution
@@ -553,9 +629,10 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "campaign: {} recipe(s) in {} wave(s) — wall clock {:?} vs {:?} serial ({:.1}x), {} warmup(s) skipped",
+            "campaign: {} recipe(s) in {} wave(s){} — wall clock {:?} vs {:?} serial ({:.1}x), {} warmup(s) skipped",
             self.recipes.len(),
             self.waves.len(),
+            if self.steered { " (steered order)" } else { "" },
             self.wall_clock,
             self.serial_estimate,
             self.speedup(),
@@ -894,6 +971,143 @@ mod tests {
         let ledger = CoverageLedger::scan(&root).unwrap();
         assert_eq!(ledger.runs_scanned(), 2);
         let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn steered_order_runs_untested_then_flaky_then_stable() {
+        let pairs = [("a", "b"), ("c", "d"), ("e", "f")];
+        let (ctx, _) = fan_ctx(&pairs);
+        let root =
+            std::env::temp_dir().join(format!("gremlin-campaign-steer-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+
+        // Prior history: a->b stable (two passes), c->d flaky
+        // (pass then assertion failure), e->f never tested.
+        let entry = |name: &str, at: Micros, outcome: RunOutcome, scenario: Scenario| LedgerEntry {
+            recipe: name.to_string(),
+            started_at_us: at,
+            outcome,
+            scenarios: vec![scenario],
+            flight_dir: None,
+        };
+        append_campaign_entries(
+            &root,
+            &[
+                entry("h1", 1, RunOutcome::Pass, Scenario::abort("a", "b", 503)),
+                entry("h2", 2, RunOutcome::Pass, Scenario::abort("a", "b", 503)),
+                entry("h3", 3, RunOutcome::Pass, Scenario::abort("c", "d", 503)),
+                entry(
+                    "h4",
+                    4,
+                    RunOutcome::AssertionFailed,
+                    Scenario::abort("c", "d", 503),
+                ),
+            ],
+        )
+        .unwrap();
+
+        let recipes = || {
+            vec![
+                CampaignRecipe::new("stable")
+                    .scenario(Scenario::abort("a", "b", 503))
+                    .hold(Duration::from_millis(5)),
+                CampaignRecipe::new("flaky")
+                    .scenario(Scenario::abort("c", "d", 503))
+                    .hold(Duration::from_millis(5)),
+                CampaignRecipe::new("untested")
+                    .scenario(Scenario::abort("e", "f", 503))
+                    .hold(Duration::from_millis(5)),
+            ]
+        };
+
+        // Unsteered: planner input order, even with the same ledger.
+        let plain = CampaignRunner::new(&ctx)
+            .max_in_flight(1)
+            .flight_root(&root)
+            .run(recipes())
+            .unwrap();
+        assert!(!plain.steered);
+        assert_eq!(
+            plain.waves,
+            vec![
+                vec!["stable".to_string()],
+                vec!["flaky".to_string()],
+                vec!["untested".to_string()],
+            ]
+        );
+        assert!(!plain.to_string().contains("steered"), "{plain}");
+
+        // Steered against the *original* history (rebuild it under a
+        // fresh root so the first campaign's appended entries don't
+        // shift priorities).
+        let root2 =
+            std::env::temp_dir().join(format!("gremlin-campaign-steer2-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root2);
+        fs::create_dir_all(&root2).unwrap();
+        append_campaign_entries(
+            &root2,
+            &[
+                entry("h1", 1, RunOutcome::Pass, Scenario::abort("a", "b", 503)),
+                entry("h2", 2, RunOutcome::Pass, Scenario::abort("a", "b", 503)),
+                entry("h3", 3, RunOutcome::Pass, Scenario::abort("c", "d", 503)),
+                entry(
+                    "h4",
+                    4,
+                    RunOutcome::AssertionFailed,
+                    Scenario::abort("c", "d", 503),
+                ),
+            ],
+        )
+        .unwrap();
+        let steered = CampaignRunner::new(&ctx)
+            .max_in_flight(1)
+            .flight_root(&root2)
+            .steer_order(true)
+            .run(recipes())
+            .unwrap();
+        assert!(steered.steered);
+        assert_eq!(
+            steered.waves,
+            vec![
+                vec!["untested".to_string()],
+                vec!["flaky".to_string()],
+                vec!["stable".to_string()],
+            ],
+            "{steered}"
+        );
+        assert!(steered.to_string().contains("(steered order)"), "{steered}");
+        // Reports and durations stay aligned with the input order.
+        assert_eq!(steered.recipes[0].name, "stable");
+        assert_eq!(steered.recipes.len(), 3);
+        let _ = fs::remove_dir_all(&root);
+        let _ = fs::remove_dir_all(&root2);
+    }
+
+    #[test]
+    fn campaign_waves_annotate_an_attached_timeline() {
+        use gremlin_telemetry::TimeSeriesStore;
+
+        let (ctx, _) = fan_ctx(&[("a", "b")]);
+        let ctx = ctx.with_timeline(TimeSeriesStore::shared());
+        let timeline = std::sync::Arc::clone(ctx.timeline().unwrap());
+        CampaignRunner::new(&ctx)
+            .run(vec![CampaignRecipe::new("annotated")
+                .scenario(Scenario::abort("a", "b", 503))
+                .hold(Duration::from_millis(5))])
+            .unwrap();
+        let phases: Vec<String> = timeline
+            .annotations(0, u64::MAX)
+            .into_iter()
+            .map(|a| a.phase)
+            .collect();
+        assert_eq!(
+            phases,
+            vec!["wave-begin", "install", "clear", "wave-end"],
+            "{phases:?}"
+        );
+        let begin = &timeline.annotations(0, u64::MAX)[0];
+        assert!(begin.detail.contains("annotated"), "{}", begin.detail);
     }
 
     #[test]

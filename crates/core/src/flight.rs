@@ -12,6 +12,7 @@
 //!   alerts.jsonl     every MonitorRecord (verdicts + anomalies)
 //!   snapshots.jsonl  periodic edge-health + anomaly-score matrices
 //!   baselines.json   learned per-edge baselines, for seeding reruns
+//!   timeseries.jsonl metric history + phase annotations (timeline runs)
 //!   report.json      final summary, written by RecipeRun::finish
 //! ```
 //!
@@ -30,6 +31,7 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use gremlin_store::{EdgeBaseline, EdgeHealth, Micros};
+use gremlin_telemetry::{SeriesKind, TimeSeriesStore};
 
 use crate::anomaly::AnomalyScore;
 use crate::checker::Check;
@@ -88,6 +90,35 @@ pub struct FlightSummary {
     /// and deserialize to an empty vector.
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     pub scenarios: Vec<Scenario>,
+}
+
+/// One line of `timeseries.jsonl`: either a sampled metric point or a
+/// control-plane phase annotation, tagged by `kind`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TimeSeriesLine {
+    /// One sampled metric point.
+    Point {
+        /// Source target (`local`, or a scrape-target name).
+        target: String,
+        /// Metric name as exposed.
+        name: String,
+        /// Sorted label pairs.
+        labels: Vec<(String, String)>,
+        /// Sample timestamp in microseconds.
+        at_us: u64,
+        /// Sampled value.
+        value: f64,
+    },
+    /// One phase annotation (warmup, install, wave, abort, clear).
+    Annotation {
+        /// When the phase event happened.
+        at_us: u64,
+        /// Short phase keyword.
+        phase: String,
+        /// Free-form detail.
+        detail: String,
+    },
 }
 
 fn slug(name: &str) -> String {
@@ -233,6 +264,42 @@ impl FlightRecorder {
         )
     }
 
+    /// Dumps a timeline's full retained history — every series plus
+    /// every annotation, in time order per series — as
+    /// `timeseries.jsonl`, replacing any previous dump. Called once
+    /// when a run finishes so `gremlin replay` can re-render the
+    /// metric history offline.
+    ///
+    /// # Errors
+    ///
+    /// Serialization or file I/O failures.
+    pub fn record_timeseries(&mut self, timeline: &TimeSeriesStore) -> io::Result<()> {
+        let mut out = String::new();
+        for annotation in timeline.annotations(0, u64::MAX) {
+            let line = TimeSeriesLine::Annotation {
+                at_us: annotation.at_us,
+                phase: annotation.phase,
+                detail: annotation.detail,
+            };
+            out.push_str(&serde_json::to_string(&line)?);
+            out.push('\n');
+        }
+        for (id, points) in timeline.dump() {
+            for point in points {
+                let line = TimeSeriesLine::Point {
+                    target: id.target.clone(),
+                    name: id.name.clone(),
+                    labels: id.labels.clone(),
+                    at_us: point.at_us,
+                    value: point.value,
+                };
+                out.push_str(&serde_json::to_string(&line)?);
+                out.push('\n');
+            }
+        }
+        fs::write(self.dir.join("timeseries.jsonl"), out)
+    }
+
     /// Writes the final `report.json` and flushes the log files.
     ///
     /// # Errors
@@ -263,6 +330,10 @@ pub struct FlightLog {
     /// runs without anomaly scoring, or recorded before the file
     /// existed).
     pub baselines: Vec<EdgeBaseline>,
+    /// Metric history and phase annotations from `timeseries.jsonl`
+    /// (empty for runs without an attached timeline, or recorded
+    /// before the file existed).
+    pub timeseries: Vec<TimeSeriesLine>,
     /// The final summary, when the run completed (`None` for a run
     /// that crashed before `finish`).
     pub report: Option<FlightSummary>,
@@ -286,6 +357,7 @@ impl FlightLog {
         let records = read_jsonl(&dir.join("alerts.jsonl"))?;
         let snapshots = read_jsonl(&dir.join("snapshots.jsonl"))?;
         let baselines = load_baselines(dir).unwrap_or_default();
+        let timeseries = read_jsonl(&dir.join("timeseries.jsonl"))?;
         let report = match fs::read_to_string(dir.join("report.json")) {
             Ok(text) => serde_json::from_str(&text).ok(),
             Err(err) if err.kind() == io::ErrorKind::NotFound => None,
@@ -296,8 +368,92 @@ impl FlightLog {
             records,
             snapshots,
             baselines,
+            timeseries,
             report,
         })
+    }
+
+    /// Rebuilds an in-memory [`TimeSeriesStore`] from the recorded
+    /// `timeseries.jsonl`, so replay can run the same range and rate
+    /// queries the live collector served. Empty when the run had no
+    /// timeline.
+    pub fn timeseries_store(&self) -> TimeSeriesStore {
+        let store = TimeSeriesStore::new();
+        for line in &self.timeseries {
+            match line {
+                TimeSeriesLine::Point {
+                    target,
+                    name,
+                    labels,
+                    at_us,
+                    value,
+                } => {
+                    store.append(target, name, labels, *at_us, *value);
+                }
+                TimeSeriesLine::Annotation {
+                    at_us,
+                    phase,
+                    detail,
+                } => store.annotate(*at_us, phase, detail),
+            }
+        }
+        store
+    }
+
+    /// Renders the recorded metric history as human-readable text:
+    /// phase annotations in time order, then one line per series with
+    /// its point count and value range (counters shown as their total
+    /// increase). Empty string when the run recorded no timeline —
+    /// callers can append it to [`FlightLog::render_timeline`]
+    /// unconditionally.
+    pub fn render_metrics(&self) -> String {
+        let store = self.timeseries_store();
+        let series = store.dump();
+        let annotations = store.annotations(0, u64::MAX);
+        if series.is_empty() && annotations.is_empty() {
+            return String::new();
+        }
+        let mut out = format!(
+            "metric history: {} series, {} annotation(s)\n",
+            series.len(),
+            annotations.len(),
+        );
+        for annotation in &annotations {
+            out.push_str(&format!(
+                "  @{}us {}: {}\n",
+                annotation.at_us, annotation.phase, annotation.detail
+            ));
+        }
+        for (id, points) in &series {
+            // Bucket series are an internal decomposition; the
+            // summary stays readable without them.
+            if id.name.ends_with("_bucket") {
+                continue;
+            }
+            let labels = if id.labels.is_empty() {
+                String::new()
+            } else {
+                let pairs: Vec<String> =
+                    id.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                format!("{{{}}}", pairs.join(","))
+            };
+            let detail = match (SeriesKind::infer(&id.name), points.first(), points.last()) {
+                (SeriesKind::Counter, Some(first), Some(last)) => {
+                    format!("+{:.0} over the run", last.value - first.value)
+                }
+                (SeriesKind::Gauge, _, Some(last)) => format!("last {:.3}", last.value),
+                _ => "no points".to_string(),
+            };
+            out.push_str(&format!(
+                "  {} {}{}: {} point(s), {}\n",
+                id.target,
+                id.name,
+                labels,
+                points.len(),
+                detail,
+            ));
+        }
+        out
     }
 
     /// Renders the run's timeline as human-readable text: the header,
@@ -493,6 +649,73 @@ mod tests {
     }
 
     #[test]
+    fn timeseries_round_trip_and_offline_rendering() {
+        let timeline = TimeSeriesStore::new();
+        for (at, v) in [(1_000_000u64, 0.0), (2_000_000, 40.0), (3_000_000, 45.0)] {
+            timeline.append("local", "demo_requests_total", &[], at, v);
+        }
+        timeline.append(
+            "web",
+            "gremlin_proxy_open_connections",
+            &[("service".to_string(), "web".to_string())],
+            2_500_000,
+            3.0,
+        );
+        timeline.annotate(1_500_000, "install", "Abort(a -> b, 503)");
+        timeline.annotate(2_800_000, "clear", "all faults removed");
+
+        let root = tmp_root("timeseries");
+        let mut recorder = FlightRecorder::create(&root, "ts", 5, 1_000_000).unwrap();
+        recorder.record_timeseries(&timeline).unwrap();
+        let summary = FlightSummary {
+            name: "ts".to_string(),
+            passed: true,
+            injected: Vec::new(),
+            checks: Vec::new(),
+            monitor: Vec::new(),
+            anomalies: Vec::new(),
+            scenarios: Vec::new(),
+        };
+        let dir = recorder.finish(&summary).unwrap();
+
+        let log = FlightLog::load(&dir).unwrap();
+        assert_eq!(log.timeseries.len(), 6, "{:?}", log.timeseries);
+
+        // The rebuilt store answers the same queries the live one did.
+        let store = log.timeseries_store();
+        assert_eq!(store.series_count(), 2);
+        let rates = store.query_rate("demo_requests_total", Some("local"), 0, u64::MAX);
+        assert_eq!(rates[0].1.len(), 2);
+        assert_eq!(rates[0].1[0].value, 40.0);
+        assert_eq!(store.annotations(0, u64::MAX).len(), 2);
+
+        let rendered = log.render_metrics();
+        assert!(rendered.contains("metric history: 2 series"), "{rendered}");
+        assert!(rendered.contains("@1500000us install"), "{rendered}");
+        assert!(
+            rendered.contains("local demo_requests_total: 3 point(s), +45 over the run"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("web gremlin_proxy_open_connections{service=web}"),
+            "{rendered}"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn logs_without_timeseries_render_no_metric_history() {
+        let root = tmp_root("no-ts");
+        let recorder = FlightRecorder::create(&root, "plain", 3, 1_000_000).unwrap();
+        let dir = recorder.dir().to_path_buf();
+        drop(recorder);
+        let log = FlightLog::load(&dir).unwrap();
+        assert!(log.timeseries.is_empty());
+        assert_eq!(log.render_metrics(), "");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn baselines_round_trip_through_the_artifact_dir() {
         let baseline = EdgeBaseline {
             src: "a".to_string(),
@@ -581,6 +804,7 @@ mod tests {
             },
             records: Vec::new(),
             baselines: Vec::new(),
+            timeseries: Vec::new(),
             snapshots: vec![MatrixSnapshot {
                 at_us: 5_000_000,
                 edges: Vec::new(),

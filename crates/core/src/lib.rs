@@ -71,7 +71,8 @@ pub mod trace;
 
 pub use anomaly::{drift_z, AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
 pub use campaign::{
-    plan_waves, CampaignRecipe, CampaignReport, CampaignRunner, CampaignSpec, DEFAULT_MAX_IN_FLIGHT,
+    plan_waves, CampaignRecipe, CampaignReport, CampaignRunner, CampaignSpec,
+    DEFAULT_MAX_IN_FLIGHT, STEER_FLAKY_THRESHOLD,
 };
 pub use checker::{
     at_most_requests, check_status, combine, num_requests, reply_latency, request_rate,
@@ -80,7 +81,7 @@ pub use checker::{
 pub use error::CoreError;
 pub use flight::{
     load_baselines, FlightLog, FlightMeta, FlightRecorder, FlightSummary, MatrixSnapshot,
-    FLIGHT_SCHEMA_VERSION,
+    TimeSeriesLine, FLIGHT_SCHEMA_VERSION,
 };
 pub use graph::AppGraph;
 pub use ledger::{

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use gremlin_proxy::AgentControl;
 use gremlin_store::{now_micros, EventStore, Micros};
-use gremlin_telemetry::{MetricsRegistry, SampleValue, TelemetrySnapshot};
+use gremlin_telemetry::{MetricsRegistry, SampleValue, TelemetrySnapshot, TimeSeriesStore};
 
 use crate::anomaly::AnomalyScore;
 use crate::checker::{AssertionChecker, Check};
@@ -31,6 +31,10 @@ use crate::trace::TraceDigest;
 /// How many anomalous edges a [`RecipeReport`] lists, worst first.
 const REPORT_ANOMALY_LIMIT: usize = 8;
 
+/// Minimum wall-clock gap between two local telemetry samples pushed
+/// onto an attached timeline (a tight poll loop must not flood it).
+const TIMELINE_SAMPLE_GAP_US: u64 = 250_000;
+
 /// Everything a recipe needs: the application graph, the agent
 /// fleet, and the observation store.
 #[derive(Debug)]
@@ -40,6 +44,7 @@ pub struct TestContext {
     checker: AssertionChecker,
     store: Arc<EventStore>,
     telemetry: Arc<MetricsRegistry>,
+    timeline: Option<Arc<TimeSeriesStore>>,
 }
 
 impl TestContext {
@@ -70,6 +75,33 @@ impl TestContext {
             checker: AssertionChecker::new(Arc::clone(&store)),
             store,
             telemetry,
+            timeline: None,
+        }
+    }
+
+    /// Builder-style: attaches a shared [`TimeSeriesStore`] timeline.
+    /// Control-plane phase transitions (rule install, clear, warmup,
+    /// abort, campaign waves) are annotated onto it, and recipe runs
+    /// periodically sample the context's registry into it under the
+    /// `local` target — share the store with a
+    /// [`Scraper`](gremlin_proxy::Scraper) and the collector to line
+    /// the phases up with the fleet's scraped series.
+    pub fn with_timeline(mut self, timeline: Arc<TimeSeriesStore>) -> TestContext {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// The attached timeline, if any.
+    pub fn timeline(&self) -> Option<&Arc<TimeSeriesStore>> {
+        self.timeline.as_ref()
+    }
+
+    /// Marks a control-plane phase transition on the attached
+    /// timeline at the current wall clock. A no-op without a
+    /// timeline, so callers annotate unconditionally.
+    pub fn annotate(&self, phase: &str, detail: &str) {
+        if let Some(timeline) = &self.timeline {
+            timeline.annotate(now_micros(), phase, detail);
         }
     }
 
@@ -106,7 +138,9 @@ impl TestContext {
     /// Translation and installation errors; see
     /// [`FailureOrchestrator::inject`].
     pub fn inject(&self, scenario: &Scenario) -> Result<OrchestrationStats, CoreError> {
-        self.orchestrator.inject(scenario, &self.graph)
+        let stats = self.orchestrator.inject(scenario, &self.graph)?;
+        self.annotate("install", &scenario.to_string());
+        Ok(stats)
     }
 
     /// Removes every installed fault.
@@ -115,7 +149,9 @@ impl TestContext {
     ///
     /// Returns the first agent failure, if any.
     pub fn clear_faults(&self) -> Result<(), CoreError> {
-        self.orchestrator.clear()
+        self.orchestrator.clear()?;
+        self.annotate("clear", "all faults removed");
+        Ok(())
     }
 
     /// Clears faults *and* drops all recorded observations — a fresh
@@ -143,6 +179,7 @@ pub struct RecipeRun<'a> {
     monitor: Option<LiveMonitor>,
     flight: Option<FlightRecorder>,
     flight_cursor: u64,
+    last_timeline_us: u64,
 }
 
 impl<'a> RecipeRun<'a> {
@@ -159,6 +196,7 @@ impl<'a> RecipeRun<'a> {
             monitor: None,
             flight: None,
             flight_cursor: 0,
+            last_timeline_us: 0,
         }
     }
 
@@ -168,6 +206,7 @@ impl<'a> RecipeRun<'a> {
     /// registry. The final [`RecipeReport`] records each assertion's
     /// last verdict and when it first flipped to failing.
     pub fn start_monitor(&mut self, spec: MonitorSpec) -> &LiveMonitor {
+        self.ctx.annotate("warmup", &self.name);
         self.monitor.insert(
             LiveMonitor::tailing(Arc::clone(&self.ctx.store), spec)
                 .with_telemetry(&self.ctx.telemetry),
@@ -207,11 +246,27 @@ impl<'a> RecipeRun<'a> {
         Ok(dir)
     }
 
+    /// Samples the context's registry onto the attached timeline
+    /// under the `local` target, throttled to one snapshot per
+    /// [`TIMELINE_SAMPLE_GAP_US`]. A no-op without a timeline.
+    fn sample_timeline(&mut self) {
+        let Some(timeline) = self.ctx.timeline() else {
+            return;
+        };
+        let now_us = now_micros();
+        if now_us < self.last_timeline_us.saturating_add(TIMELINE_SAMPLE_GAP_US) {
+            return;
+        }
+        self.last_timeline_us = now_us;
+        timeline.ingest_snapshot("local", now_us, &self.ctx.telemetry.snapshot());
+    }
+
     /// Drains fresh monitor records into the flight recorder and logs
     /// a (throttled) matrix snapshot. Best-effort: on disk trouble
     /// the recorder is detached — a full disk should degrade the
     /// postmortem artifact, not fail the experiment.
     fn record_flight(&mut self) {
+        self.sample_timeline();
         let (Some(monitor), Some(flight)) = (self.monitor.as_ref(), self.flight.as_mut()) else {
             return;
         };
@@ -253,6 +308,7 @@ impl<'a> RecipeRun<'a> {
         };
         self.record_flight();
         if violated {
+            self.ctx.annotate("abort", &self.name);
             self.ctx.clear_faults()?;
         }
         Ok(violated)
@@ -325,6 +381,11 @@ impl<'a> RecipeRun<'a> {
         self.record_flight(); // finalize() may have closed a partial window
         let passed = self.passing() && monitor.iter().all(|c| c.verdict != Verdict::Violated);
         let metrics_delta = self.ctx.telemetry.snapshot().delta(&self.baseline);
+        if let Some(timeline) = self.ctx.timeline() {
+            // Closing sample, bypassing the throttle: the dumped
+            // history must include the run's final state.
+            timeline.ingest_snapshot("local", now_micros(), &self.ctx.telemetry.snapshot());
+        }
         let flight_dir = match (self.flight.take(), self.monitor.as_ref()) {
             (Some(mut flight), live) => {
                 if let Some(live) = live {
@@ -332,6 +393,11 @@ impl<'a> RecipeRun<'a> {
                     // Persist the learned baselines so the next run
                     // can seed its scorer and skip the warmup.
                     let _ = flight.record_baselines(&live.learned_baselines());
+                }
+                if let Some(timeline) = self.ctx.timeline() {
+                    // Metric history + phase annotations, for
+                    // offline re-rendering by `gremlin replay`.
+                    let _ = flight.record_timeseries(timeline);
                 }
                 let summary = FlightSummary {
                     name: self.name.clone(),
@@ -791,6 +857,53 @@ mod tests {
         assert!(timeline.contains("violated"), "{timeline}");
         assert!(timeline.contains("outcome: FAILED"), "{timeline}");
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn timeline_captures_phases_and_local_samples() {
+        use crate::monitor::{MonitorSpec, StreamingAssertion};
+        use std::time::Duration;
+
+        let agent = Arc::new(FakeAgent {
+            service: "a".to_string(),
+            rules: Mutex::new(Vec::new()),
+        });
+        let ctx = TestContext::new(
+            AppGraph::from_edges(vec![("a", "b")]),
+            vec![Arc::clone(&agent) as Arc<dyn AgentControl>],
+            EventStore::shared(),
+        )
+        .with_timeline(TimeSeriesStore::shared());
+        let timeline = Arc::clone(ctx.timeline().expect("timeline attached"));
+
+        let mut run = RecipeRun::new("timed", &ctx);
+        run.start_monitor(MonitorSpec::new(Duration::from_millis(10)).assert(
+            StreamingAssertion::ErrorRateAtMost {
+                src: "a".into(),
+                dst: "b".into(),
+                max_ratio: 0.5,
+            },
+        ));
+        run.inject(&Scenario::abort("a", "b", 503)).unwrap();
+        run.poll_monitor();
+        ctx.clear_faults().unwrap();
+        let _ = run.finish();
+
+        let phases: Vec<String> = timeline
+            .annotations(0, u64::MAX)
+            .into_iter()
+            .map(|a| a.phase)
+            .collect();
+        assert_eq!(phases, vec!["warmup", "install", "clear"], "{phases:?}");
+        let install = &timeline.annotations(0, u64::MAX)[1];
+        assert!(install.detail.contains("a -> b"), "{}", install.detail);
+
+        // The poll loop sampled the context's registry under `local`:
+        // the staged rule shows up as a control-plane counter series.
+        let point = timeline
+            .latest("gremlin_control_rule_pushes_total", "local")
+            .expect("local telemetry sampled onto the timeline");
+        assert!(point.value >= 1.0, "{point:?}");
     }
 
     #[test]

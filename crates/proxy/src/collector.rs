@@ -19,11 +19,16 @@ use std::time::Instant;
 use gremlin_http::{
     ConnInfo, HttpClient, HttpServer, Method, Reply, Request, Response, StatusCode, StreamingBody,
 };
-use gremlin_store::{Event, EventSink, EventStore, HealthMonitor, DEFAULT_HEALTH_WINDOW};
-use gremlin_telemetry::{Counter, Gauge, LatencyHistogram, MetricsRegistry};
+use gremlin_store::{
+    now_micros, Event, EventSink, EventStore, HealthMonitor, DEFAULT_HEALTH_WINDOW,
+};
+use gremlin_telemetry::{
+    escape_label_value, Counter, Gauge, LatencyHistogram, MetricsRegistry, SeriesKind,
+};
 
 use crate::control::metrics_response;
 use crate::error::ProxyError;
+use crate::scraper::Scraper;
 
 /// Schema version of the `GET /health` JSON document (and of
 /// `gremlin watch --json` frames, which embed it).
@@ -207,6 +212,7 @@ pub struct CollectorServer {
     store: Arc<EventStore>,
     registry: Arc<MetricsRegistry>,
     monitor: Arc<dyn MonitorSource>,
+    fleet: Option<Arc<Scraper>>,
 }
 
 impl CollectorServer {
@@ -256,11 +262,32 @@ impl CollectorServer {
         registry: Arc<MetricsRegistry>,
         monitor: Arc<dyn MonitorSource>,
     ) -> Result<CollectorServer, ProxyError> {
+        CollectorServer::start_with_fleet(store, addr, registry, monitor, None)
+    }
+
+    /// Starts a collector that additionally serves the fleet
+    /// time-series endpoints from `fleet`'s store: `GET /federate`
+    /// (merged latest-point snapshot with per-target `up` and
+    /// staleness) and `GET /series` (JSON range queries with phase
+    /// annotations). Without a fleet scraper those endpoints answer
+    /// `404`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address cannot be bound.
+    pub fn start_with_fleet(
+        store: Arc<EventStore>,
+        addr: impl ToSocketAddrs,
+        registry: Arc<MetricsRegistry>,
+        monitor: Arc<dyn MonitorSource>,
+        fleet: Option<Arc<Scraper>>,
+    ) -> Result<CollectorServer, ProxyError> {
         store.enable_telemetry(&registry);
         let metrics = Arc::new(CollectorMetrics::new(&registry));
         let handler_store = Arc::clone(&store);
         let handler_registry = Arc::clone(&registry);
         let handler_monitor = Arc::clone(&monitor);
+        let handler_fleet = fleet.clone();
         let server = HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
             if *request.method() == Method::Get && request.path() == "/tail" {
                 return tail_reply(&handler_store, &request, &metrics);
@@ -273,6 +300,7 @@ impl CollectorServer {
                 &handler_registry,
                 &metrics,
                 &handler_monitor,
+                &handler_fleet,
                 request,
             ))
         })?;
@@ -281,6 +309,7 @@ impl CollectorServer {
             store,
             registry,
             monitor,
+            fleet,
         })
     }
 
@@ -303,6 +332,19 @@ impl CollectorServer {
     pub fn monitor(&self) -> &Arc<dyn MonitorSource> {
         &self.monitor
     }
+
+    /// The fleet scraper behind `/federate` and `/series`, when one
+    /// was configured.
+    pub fn fleet(&self) -> Option<&Arc<Scraper>> {
+        self.fleet.as_ref()
+    }
+
+    /// Stops accepting connections and joins the accept thread. The
+    /// port is released, so tests can rebind the same address to
+    /// simulate a collector restart.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
 }
 
 fn handle_collect(
@@ -310,6 +352,7 @@ fn handle_collect(
     registry: &Arc<MetricsRegistry>,
     metrics: &CollectorMetrics,
     monitor: &Arc<dyn MonitorSource>,
+    fleet: &Option<Arc<Scraper>>,
     request: Request,
 ) -> Response {
     match (request.method().clone(), request.path()) {
@@ -395,6 +438,18 @@ fn handle_collect(
                 .build()
         }
         (Method::Get, "/metrics") => metrics_response(&registry.render_prometheus()),
+        (Method::Get, "/federate") => match fleet {
+            Some(scraper) => federate_response(scraper),
+            None => Response::builder(StatusCode::NOT_FOUND)
+                .body("no fleet scraper configured")
+                .build(),
+        },
+        (Method::Get, "/series") => match fleet {
+            Some(scraper) => series_response(scraper, request.query().unwrap_or("")),
+            None => Response::builder(StatusCode::NOT_FOUND)
+                .body("no fleet scraper configured")
+                .build(),
+        },
         (Method::Get, path) if path.starts_with("/traces/") => {
             trace_response(store, &path["/traces/".len()..])
         }
@@ -429,6 +484,175 @@ pub(crate) fn trace_response(store: &EventStore, request_id: &str) -> Response {
             .body(err.to_string())
             .build(),
     }
+}
+
+/// `GET /federate`: the merged fleet snapshot in Prometheus text —
+/// the latest stored point of every scraped series, each tagged with
+/// an `instance` label naming its source target, plus synthetic
+/// `up{instance=...}`, `gremlin_scrape_age_seconds{instance=...}` and
+/// `gremlin_scrape_stale{instance=...}` series describing scrape
+/// health. No `# HELP`/`# TYPE` headers are emitted; parsers
+/// (including this workspace's) skip comments anyway.
+fn federate_response(scraper: &Arc<Scraper>) -> Response {
+    use std::fmt::Write as _;
+    let now = now_micros();
+    let mut out = String::new();
+    for status in scraper.statuses() {
+        let instance = escape_label_value(&status.target);
+        let _ = writeln!(out, "up{{instance=\"{instance}\"}} {}", u8::from(status.up));
+        if let Some(ok) = status.last_ok_us {
+            let _ = writeln!(
+                out,
+                "gremlin_scrape_age_seconds{{instance=\"{instance}\"}} {}",
+                now.saturating_sub(ok) as f64 / 1_000_000.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "gremlin_scrape_stale{{instance=\"{instance}\"}} {}",
+            u8::from(scraper.is_stale(&status, now))
+        );
+    }
+    for (id, point) in scraper.store().latest_points() {
+        let mut labels: Vec<String> = id
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect();
+        labels.push(format!("instance=\"{}\"", escape_label_value(&id.target)));
+        let _ = writeln!(out, "{}{{{}}} {}", id.name, labels.join(","), point.value);
+    }
+    metrics_response(&out)
+}
+
+/// Splits a raw query string into `(key, value)` pairs. Values are
+/// taken verbatim (metric and target names in this workspace never
+/// need percent-encoding).
+fn query_params(query: &str) -> Vec<(&str, &str)> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| pair.split_once('=').unwrap_or((pair, "")))
+        .collect()
+}
+
+/// `GET /series?name=&target=&from=&to=&rate=`: a JSON range query
+/// over the fleet time-series store.
+///
+/// With `name`, answers the matching series — raw points, or
+/// per-second rates when `rate=true` (counters only; gauges pass
+/// through) — plus every phase annotation inside the window. Without
+/// `name`, answers an index document: stored series names, per-target
+/// scrape health, and the windowed annotations.
+fn series_response(scraper: &Arc<Scraper>, query: &str) -> Response {
+    let params = query_params(query);
+    let get = |key: &str| {
+        params
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .filter(|v| !v.is_empty())
+    };
+    let from: u64 = match get("from").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(0),
+        Err(_) => {
+            return Response::builder(StatusCode::BAD_REQUEST)
+                .body("from must be an integer microsecond timestamp")
+                .build()
+        }
+    };
+    let to: u64 = match get("to").map(str::parse).transpose() {
+        Ok(v) => v.unwrap_or(u64::MAX),
+        Err(_) => {
+            return Response::builder(StatusCode::BAD_REQUEST)
+                .body("to must be an integer microsecond timestamp")
+                .build()
+        }
+    };
+    let rate = matches!(get("rate"), Some("true") | Some("1"));
+    let target = get("target");
+    let store = scraper.store();
+
+    let annotations: Vec<serde_json::Value> = store
+        .annotations(from, to)
+        .into_iter()
+        .map(|a| {
+            serde_json::json!({
+                "at_us": a.at_us,
+                "phase": a.phase,
+                "detail": a.detail,
+            })
+        })
+        .collect();
+
+    let body = match get("name") {
+        Some(name) => {
+            let windows = if rate {
+                store.query_rate(name, target, from, to)
+            } else {
+                store.query(name, target, from, to)
+            };
+            let series: Vec<serde_json::Value> = windows
+                .into_iter()
+                .map(|(id, points)| {
+                    let labels: serde_json::Map<String, serde_json::Value> = id
+                        .labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), serde_json::Value::from(v.as_str())))
+                        .collect();
+                    let points: Vec<serde_json::Value> = points
+                        .iter()
+                        .map(|p| serde_json::json!([p.at_us, p.value]))
+                        .collect();
+                    serde_json::json!({
+                        "target": id.target,
+                        "labels": labels,
+                        "points": points,
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "name": name,
+                "kind": match SeriesKind::infer(name) {
+                    SeriesKind::Counter => "counter",
+                    SeriesKind::Gauge => "gauge",
+                },
+                "from": from,
+                "to": to,
+                "rate": rate,
+                "series": series,
+                "annotations": annotations,
+            })
+        }
+        None => {
+            let now = now_micros();
+            let targets: Vec<serde_json::Value> = scraper
+                .statuses()
+                .iter()
+                .map(|status| {
+                    serde_json::json!({
+                        "target": status.target,
+                        "addr": status.addr,
+                        "up": status.up,
+                        "stale": scraper.is_stale(status, now),
+                        "scrapes": status.scrapes,
+                        "failures": status.failures,
+                        "last_ok_us": status.last_ok_us,
+                        "last_ingest_us": store.last_ingest_us(&status.target),
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "names": store.series_names(),
+                "targets": targets,
+                "annotations": annotations,
+            })
+        }
+    };
+    Response::builder(StatusCode::OK)
+        .header("Content-Type", "application/json")
+        .body(body.to_string())
+        .build()
 }
 
 /// `GET /tail`: a chunked NDJSON stream of events. The cursor is

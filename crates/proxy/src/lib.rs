@@ -55,6 +55,7 @@ pub mod discovery;
 pub mod error;
 pub(crate) mod rng;
 pub mod rules;
+pub mod scraper;
 pub mod table;
 
 pub use agent::{AgentConfig, GremlinAgent, Route};
@@ -64,6 +65,7 @@ pub use collector::{
 pub use control::{AgentControl, AgentHealth, AgentStats, ControlClient, ControlServer};
 pub use error::ProxyError;
 pub use rules::{AbortKind, FaultAction, MessageSide, Rule};
+pub use scraper::{ScrapeTarget, Scraper, ScraperConfig, ScraperHandle, TargetStatus};
 pub use table::RuleTable;
 
 /// Result alias used throughout this crate.

@@ -1,0 +1,611 @@
+//! The fleet metrics scraper: periodic `/metrics` collection into a
+//! shared [`TimeSeriesStore`].
+//!
+//! Every Gremlin agent (via its control server) and the collector
+//! itself expose Prometheus text on `GET /metrics`. The [`Scraper`]
+//! polls each registered target on a configurable interval, parses
+//! the exposition and appends the samples to a [`TimeSeriesStore`]
+//! under the target's name — turning the fleet's point-in-time
+//! snapshots into correlated history the collector can federate and
+//! the control plane can annotate.
+//!
+//! Partial fleet failure is the normal case during a resilience
+//! campaign: a target that stops answering is marked down after
+//! consecutive failures, its series simply stop advancing (staleness
+//! is visible through [`TargetStatus::last_ok_us`]), and the
+//! remaining targets keep being scraped. A target that comes back is
+//! picked up on the next cycle with no special handling.
+//!
+//! Scrape cycles can be driven two ways:
+//!
+//! * [`Scraper::scrape_once`] — one synchronous pass over every
+//!   target, used by tests, the bench harness and anything that wants
+//!   deterministic timing.
+//! * [`Scraper::spawn`] — a background thread running a pass every
+//!   [`ScraperConfig::interval`] until the returned handle is stopped
+//!   or dropped.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gremlin_http::{ClientConfig, HttpClient, Request};
+use gremlin_store::now_micros;
+use gremlin_telemetry::{parse_prometheus, TimeSeriesStore};
+
+/// How a [`Scraper`] paces itself and judges target health.
+#[derive(Debug, Clone)]
+pub struct ScraperConfig {
+    /// Delay between background scrape cycles.
+    pub interval: Duration,
+    /// Per-target HTTP deadline (connect + read); a slow target
+    /// cannot stall the rest of the cycle longer than this.
+    pub timeout: Duration,
+    /// A target whose last successful scrape is older than this is
+    /// reported stale by [`Scraper::is_stale`] (and as
+    /// `gremlin_scrape_age_seconds` on `/federate`).
+    pub stale_after: Duration,
+}
+
+impl Default for ScraperConfig {
+    fn default() -> Self {
+        ScraperConfig {
+            interval: Duration::from_secs(1),
+            timeout: Duration::from_secs(2),
+            stale_after: Duration::from_secs(3),
+        }
+    }
+}
+
+/// One scrape target: a name (becomes the series' `target` /
+/// `instance` identity) and the address + path serving the
+/// exposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrapeTarget {
+    /// Logical name, e.g. the agent's service.
+    pub name: String,
+    /// `host:port` of the `/metrics` endpoint.
+    pub addr: String,
+    /// Path of the exposition endpoint (normally `/metrics`).
+    pub path: String,
+}
+
+/// Health of one target as seen by the scraper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetStatus {
+    /// Target name.
+    pub target: String,
+    /// Target address.
+    pub addr: String,
+    /// Did the most recent scrape succeed?
+    pub up: bool,
+    /// Successful scrapes so far.
+    pub scrapes: u64,
+    /// Failed scrapes so far.
+    pub failures: u64,
+    /// Failures since the last success.
+    pub consecutive_failures: u64,
+    /// Wall-clock microseconds of the last successful scrape.
+    pub last_ok_us: Option<u64>,
+    /// The most recent scrape error, if the target is down.
+    pub last_error: Option<String>,
+}
+
+impl TargetStatus {
+    fn new(target: &ScrapeTarget) -> TargetStatus {
+        TargetStatus {
+            target: target.name.clone(),
+            addr: target.addr.clone(),
+            up: false,
+            scrapes: 0,
+            failures: 0,
+            consecutive_failures: 0,
+            last_ok_us: None,
+            last_error: None,
+        }
+    }
+}
+
+/// Polls a fleet of `/metrics` endpoints into a shared
+/// [`TimeSeriesStore`], tolerating partial failure.
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use gremlin_proxy::Scraper;
+/// use gremlin_telemetry::TimeSeriesStore;
+///
+/// let scraper = Arc::new(Scraper::new(TimeSeriesStore::shared()));
+/// scraper.add_target("web", "127.0.0.1:9001");
+/// scraper.add_target("db", "127.0.0.1:9002");
+/// let up = scraper.scrape_once();
+/// println!("{up}/2 targets up");
+/// ```
+#[derive(Debug)]
+pub struct Scraper {
+    config: ScraperConfig,
+    store: Arc<TimeSeriesStore>,
+    client: HttpClient,
+    targets: Mutex<Vec<ScrapeTarget>>,
+    status: Mutex<BTreeMap<String, TargetStatus>>,
+}
+
+impl Scraper {
+    /// Creates a scraper with the default [`ScraperConfig`] writing
+    /// into `store`.
+    pub fn new(store: Arc<TimeSeriesStore>) -> Scraper {
+        Scraper::with_config(store, ScraperConfig::default())
+    }
+
+    /// Creates a scraper with an explicit configuration.
+    pub fn with_config(store: Arc<TimeSeriesStore>, config: ScraperConfig) -> Scraper {
+        let client = HttpClient::with_config(ClientConfig {
+            connect_timeout: Some(config.timeout),
+            read_timeout: Some(config.timeout),
+            write_timeout: Some(config.timeout),
+            ..ClientConfig::default()
+        });
+        Scraper {
+            config,
+            store,
+            client,
+            targets: Mutex::new(Vec::new()),
+            status: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The store scrapes are appended to.
+    pub fn store(&self) -> &Arc<TimeSeriesStore> {
+        &self.store
+    }
+
+    /// The scraper's configuration.
+    pub fn config(&self) -> &ScraperConfig {
+        &self.config
+    }
+
+    /// Registers a target serving Prometheus text on
+    /// `GET /metrics`. Re-registering a name replaces its address.
+    pub fn add_target(&self, name: &str, addr: impl Into<String>) {
+        self.add_target_at(name, addr, "/metrics");
+    }
+
+    /// Registers a target with an explicit exposition path.
+    pub fn add_target_at(&self, name: &str, addr: impl Into<String>, path: &str) {
+        let target = ScrapeTarget {
+            name: name.to_string(),
+            addr: addr.into(),
+            path: path.to_string(),
+        };
+        let mut targets = self.targets.lock().expect("scraper targets poisoned");
+        let mut status = self.status.lock().expect("scraper status poisoned");
+        status
+            .entry(target.name.clone())
+            .or_insert_with(|| TargetStatus::new(&target))
+            .addr = target.addr.clone();
+        match targets.iter_mut().find(|t| t.name == target.name) {
+            Some(existing) => *existing = target,
+            None => targets.push(target),
+        }
+    }
+
+    /// Removes a target (its recorded series stay in the store).
+    pub fn remove_target(&self, name: &str) {
+        self.targets
+            .lock()
+            .expect("scraper targets poisoned")
+            .retain(|t| t.name != name);
+        self.status
+            .lock()
+            .expect("scraper status poisoned")
+            .remove(name);
+    }
+
+    /// Registered targets, in registration order.
+    pub fn targets(&self) -> Vec<ScrapeTarget> {
+        self.targets
+            .lock()
+            .expect("scraper targets poisoned")
+            .clone()
+    }
+
+    /// One synchronous pass over every target at the current wall
+    /// clock. Returns the number of targets that answered.
+    pub fn scrape_once(&self) -> usize {
+        self.scrape_at(now_micros())
+    }
+
+    /// One synchronous pass stamping appended points (and staleness
+    /// bookkeeping) with `at_us` instead of the wall clock — the
+    /// deterministic entry point for tests and benchmarks.
+    pub fn scrape_at(&self, at_us: u64) -> usize {
+        let targets = self.targets();
+        let mut up = 0;
+        for target in &targets {
+            if self.scrape_target(target, at_us).is_ok() {
+                up += 1;
+            }
+        }
+        up
+    }
+
+    fn scrape_target(&self, target: &ScrapeTarget, at_us: u64) -> Result<(), String> {
+        let outcome = self
+            .client
+            .send(target.addr.as_str(), Request::get(target.path.clone()))
+            .map_err(|err| err.to_string())
+            .and_then(|response| {
+                if response.status().is_success() {
+                    Ok(response.body_str())
+                } else {
+                    Err(format!("scrape answered {}", response.status()))
+                }
+            });
+        let mut status = self.status.lock().expect("scraper status poisoned");
+        let entry = status
+            .entry(target.name.clone())
+            .or_insert_with(|| TargetStatus::new(target));
+        match outcome {
+            Ok(text) => {
+                let samples = parse_prometheus(&text);
+                self.store.ingest_prom(&target.name, at_us, &samples);
+                entry.up = true;
+                entry.scrapes += 1;
+                entry.consecutive_failures = 0;
+                entry.last_ok_us = Some(at_us);
+                entry.last_error = None;
+                Ok(())
+            }
+            Err(err) => {
+                entry.up = false;
+                entry.failures += 1;
+                entry.consecutive_failures += 1;
+                entry.last_error = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+
+    /// Per-target health, sorted by target name.
+    pub fn statuses(&self) -> Vec<TargetStatus> {
+        self.status
+            .lock()
+            .expect("scraper status poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Health of one target, if registered.
+    pub fn status(&self, name: &str) -> Option<TargetStatus> {
+        self.status
+            .lock()
+            .expect("scraper status poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Is `status` stale at `now_us` — i.e. has it been longer than
+    /// [`ScraperConfig::stale_after`] since the target last answered?
+    /// A target that has never answered is always stale.
+    pub fn is_stale(&self, status: &TargetStatus, now_us: u64) -> bool {
+        match status.last_ok_us {
+            Some(ok) => now_us.saturating_sub(ok) > self.config.stale_after.as_micros() as u64,
+            None => true,
+        }
+    }
+
+    /// Starts a background thread scraping every
+    /// [`ScraperConfig::interval`]. The loop stops when the handle is
+    /// stopped or dropped.
+    pub fn spawn(self: &Arc<Self>) -> ScraperHandle {
+        let scraper = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let interval = self.config.interval;
+        let thread = std::thread::Builder::new()
+            .name("gremlin-scraper".to_string())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    scraper.scrape_once();
+                    // Sleep in short slices so stop() takes effect
+                    // promptly even with long intervals.
+                    let mut remaining = interval;
+                    while !remaining.is_zero() && !stop_flag.load(Ordering::Relaxed) {
+                        let nap = remaining.min(Duration::from_millis(25));
+                        std::thread::sleep(nap);
+                        remaining = remaining.saturating_sub(nap);
+                    }
+                }
+            })
+            .expect("spawn scraper thread");
+        ScraperHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Stops the background scrape loop when dropped (or explicitly via
+/// [`ScraperHandle::stop`]).
+#[derive(Debug)]
+pub struct ScraperHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ScraperHandle {
+    /// Signals the loop to stop and waits for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ScraperHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gremlin_http::{ConnInfo, HttpServer, Response, StatusCode};
+    use gremlin_store::{EventStore, HealthMonitor};
+    use gremlin_telemetry::MetricsRegistry;
+
+    use crate::collector::CollectorServer;
+
+    const S: u64 = 1_000_000;
+
+    /// A minimal exposition endpoint: serves `registry` on
+    /// `GET /metrics` at `addr`.
+    fn metrics_server(addr: &str, registry: Arc<MetricsRegistry>) -> HttpServer {
+        HttpServer::bind(addr, move |request: Request, _conn: &ConnInfo| {
+            assert_eq!(request.path(), "/metrics");
+            Response::builder(StatusCode::OK)
+                .header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+                .body(registry.render_prometheus())
+                .build()
+        })
+        .expect("bind metrics server")
+    }
+
+    /// Rebinds `addr` after a shutdown, retrying while the OS
+    /// releases the port.
+    fn rebind(addr: &str, registry: Arc<MetricsRegistry>) -> HttpServer {
+        for _ in 0..40 {
+            match HttpServer::bind(addr, {
+                let registry = Arc::clone(&registry);
+                move |request: Request, _conn: &ConnInfo| {
+                    assert_eq!(request.path(), "/metrics");
+                    Response::builder(StatusCode::OK)
+                        .body(registry.render_prometheus())
+                        .build()
+                }
+            }) {
+                Ok(server) => return server,
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        panic!("could not rebind {addr}");
+    }
+
+    #[test]
+    fn scrapes_a_fleet_into_shared_series() {
+        let reg_a = MetricsRegistry::shared();
+        let reg_b = MetricsRegistry::shared();
+        reg_a.counter("demo_requests_total", "h", &[]).add(10);
+        reg_b.counter("demo_requests_total", "h", &[]).add(3);
+        let a = metrics_server("127.0.0.1:0", Arc::clone(&reg_a));
+        let b = metrics_server("127.0.0.1:0", Arc::clone(&reg_b));
+
+        let scraper = Scraper::new(TimeSeriesStore::shared());
+        scraper.add_target("a", a.local_addr().to_string());
+        scraper.add_target("b", b.local_addr().to_string());
+        assert_eq!(scraper.scrape_at(S), 2);
+        reg_a.counter("demo_requests_total", "h", &[]).add(20);
+        assert_eq!(scraper.scrape_at(2 * S), 2);
+
+        let store = scraper.store();
+        assert_eq!(
+            store.latest("demo_requests_total", "a").unwrap().value,
+            30.0
+        );
+        assert_eq!(store.latest("demo_requests_total", "b").unwrap().value, 3.0);
+        // Rate over a's two points: 20 more requests in one second.
+        let rates = store.query_rate("demo_requests_total", Some("a"), 0, u64::MAX);
+        assert_eq!(
+            rates[0].1,
+            vec![gremlin_telemetry::TsPoint {
+                at_us: 2 * S,
+                value: 20.0
+            }]
+        );
+        let status = scraper.status("a").unwrap();
+        assert!(status.up);
+        assert_eq!(status.scrapes, 2);
+        assert_eq!(status.failures, 0);
+    }
+
+    #[test]
+    fn dead_target_goes_stale_and_rejoins_without_panic() {
+        let reg_a = MetricsRegistry::shared();
+        let reg_b = MetricsRegistry::shared();
+        reg_a.counter("demo_requests_total", "h", &[]).add(1);
+        reg_b.counter("demo_requests_total", "h", &[]).add(1);
+        let a = metrics_server("127.0.0.1:0", Arc::clone(&reg_a));
+        let b = metrics_server("127.0.0.1:0", Arc::clone(&reg_b));
+        let addr_b = b.local_addr().to_string();
+
+        let scraper = Arc::new(Scraper::with_config(
+            TimeSeriesStore::shared(),
+            ScraperConfig {
+                interval: Duration::from_millis(10),
+                timeout: Duration::from_millis(500),
+                stale_after: Duration::from_secs(2),
+            },
+        ));
+        scraper.add_target("a", a.local_addr().to_string());
+        scraper.add_target("b", addr_b.clone());
+        assert_eq!(scraper.scrape_at(S), 2);
+
+        // b dies mid-campaign: the next cycles keep serving a.
+        b.shutdown();
+        assert_eq!(scraper.scrape_at(2 * S), 1);
+        assert_eq!(scraper.scrape_at(3 * S), 1);
+        let down = scraper.status("b").unwrap();
+        assert!(!down.up);
+        assert_eq!(down.consecutive_failures, 2);
+        assert!(down.last_error.is_some());
+        assert_eq!(down.last_ok_us, Some(S));
+        // Stale once the last success ages past stale_after ...
+        assert!(scraper.is_stale(&down, 4 * S));
+        // ... while the live target is not.
+        assert!(!scraper.is_stale(&scraper.status("a").unwrap(), 4 * S));
+        // b's series froze at the first scrape; a's kept moving.
+        let store = scraper.store();
+        assert_eq!(store.last_ingest_us("b"), Some(S));
+        assert_eq!(store.last_ingest_us("a"), Some(3 * S));
+
+        // b rejoins on the same address: picked up next cycle.
+        reg_b.counter("demo_requests_total", "h", &[]).add(5);
+        let b = rebind(&addr_b, Arc::clone(&reg_b));
+        assert_eq!(scraper.scrape_at(5 * S), 2);
+        let back = scraper.status("b").unwrap();
+        assert!(back.up);
+        assert_eq!(back.consecutive_failures, 0);
+        assert_eq!(store.latest("demo_requests_total", "b").unwrap().value, 6.0);
+        drop(b);
+    }
+
+    #[test]
+    fn federation_survives_a_dead_target() {
+        let reg_a = MetricsRegistry::shared();
+        let reg_b = MetricsRegistry::shared();
+        reg_a
+            .counter("demo_requests_total", "h", &[("svc", "a")])
+            .add(4);
+        reg_b
+            .counter("demo_requests_total", "h", &[("svc", "b")])
+            .add(9);
+        let a = metrics_server("127.0.0.1:0", Arc::clone(&reg_a));
+        let b = metrics_server("127.0.0.1:0", Arc::clone(&reg_b));
+
+        let scraper = Arc::new(Scraper::new(TimeSeriesStore::shared()));
+        scraper.add_target("a", a.local_addr().to_string());
+        scraper.add_target("b", b.local_addr().to_string());
+        scraper.store().annotate(S, "install", "abort a->b");
+        scraper.scrape_once();
+
+        let collector = CollectorServer::start_with_fleet(
+            EventStore::shared(),
+            "127.0.0.1:0",
+            MetricsRegistry::shared(),
+            Arc::new(HealthMonitor::new(
+                EventStore::shared(),
+                Duration::from_secs(1),
+            )),
+            Some(Arc::clone(&scraper)),
+        )
+        .unwrap();
+        let client = HttpClient::new();
+
+        // Kill b; federation still serves a's series plus b's last
+        // point, with b marked down.
+        b.shutdown();
+        scraper.scrape_once();
+        let resp = client
+            .send(collector.local_addr(), Request::get("/federate"))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        let text = resp.body_str();
+        let samples = gremlin_telemetry::parse_prometheus(&text);
+        let up = |instance: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "up" && s.label("instance") == Some(instance))
+                .map(|s| s.value)
+        };
+        assert_eq!(up("a"), Some(1.0));
+        assert_eq!(up("b"), Some(0.0));
+        let demo: Vec<_> = samples
+            .iter()
+            .filter(|s| s.name == "demo_requests_total")
+            .collect();
+        assert_eq!(demo.len(), 2, "both targets federated: {text}");
+        assert!(demo
+            .iter()
+            .any(|s| s.label("instance") == Some("b") && s.value == 9.0));
+
+        // /series answers the range query and the annotation; the
+        // index document lists b as down.
+        let resp = client
+            .send(
+                collector.local_addr(),
+                Request::get("/series?name=demo_requests_total&target=a"),
+            )
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::OK);
+        let doc: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(doc["kind"], "counter");
+        assert_eq!(doc["series"][0]["target"], "a");
+        assert_eq!(doc["series"][0]["labels"]["svc"], "a");
+        assert_eq!(doc["annotations"][0]["phase"], "install");
+        let resp = client
+            .send(collector.local_addr(), Request::get("/series"))
+            .unwrap();
+        let index: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let targets = index["targets"].as_array().unwrap();
+        let b_entry = targets.iter().find(|t| t["target"] == "b").unwrap();
+        assert_eq!(b_entry["up"], false);
+        assert!(index["names"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|n| n == "demo_requests_total"));
+
+        // A collector without a fleet scraper 404s both endpoints.
+        let bare = CollectorServer::start(EventStore::shared(), "127.0.0.1:0").unwrap();
+        let resp = client
+            .send(bare.local_addr(), Request::get("/federate"))
+            .unwrap();
+        assert_eq!(resp.status(), StatusCode::NOT_FOUND);
+        collector.shutdown();
+    }
+
+    #[test]
+    fn background_loop_scrapes_until_stopped() {
+        let registry = MetricsRegistry::shared();
+        registry.counter("demo_requests_total", "h", &[]).add(1);
+        let server = metrics_server("127.0.0.1:0", Arc::clone(&registry));
+        let scraper = Arc::new(Scraper::with_config(
+            TimeSeriesStore::shared(),
+            ScraperConfig {
+                interval: Duration::from_millis(5),
+                ..ScraperConfig::default()
+            },
+        ));
+        scraper.add_target("svc", server.local_addr().to_string());
+        let handle = scraper.spawn();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while scraper.status("svc").map_or(true, |s| s.scrapes < 2) {
+            assert!(std::time::Instant::now() < deadline, "scrape loop stalled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        let after = scraper.status("svc").unwrap().scrapes;
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(scraper.status("svc").unwrap().scrapes, after);
+    }
+}

@@ -62,9 +62,14 @@ pub mod metric;
 pub mod registry;
 pub mod render;
 pub mod stats;
+pub mod timeseries;
 
 pub use histogram::{HistogramSnapshot, LatencyHistogram, BUCKETS, MAX_TRACKABLE_MICROS};
 pub use metric::{Counter, Gauge};
 pub use registry::{Labels, MetricKind, MetricsRegistry, Sample, SampleValue, TelemetrySnapshot};
-pub use render::{parse_prometheus, PromSample};
+pub use render::{escape_label_value, parse_prometheus, PromSample, LE_LADDER_MICROS};
 pub use stats::percentile;
+pub use timeseries::{
+    rate_points, Annotation, SeriesId, SeriesKind, TimeSeriesStore, TsPoint,
+    DEFAULT_POINTS_PER_SERIES,
+};

@@ -28,6 +28,39 @@ fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
     }
 }
 
+/// Is `name` a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Is `name` a legal Prometheus label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`)? Colons are reserved for metric names.
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Rejects series that would render as malformed exposition lines.
+/// Label *values* are free-form (the renderer escapes them); names
+/// cannot be escaped, so a bad one is a programming error caught at
+/// registration instead of corrupting every later scrape.
+fn validate_series(name: &str, labels: &[(&str, &str)]) {
+    assert!(
+        valid_metric_name(name),
+        "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+    );
+    for (key, _) in labels {
+        assert!(
+            valid_label_name(key),
+            "invalid label name {key:?} on metric {name:?}: must match [a-zA-Z_][a-zA-Z0-9_]*"
+        );
+    }
+}
+
 /// The kind of a metric series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
@@ -97,7 +130,13 @@ impl MetricsRegistry {
     }
 
     /// Registers (or retrieves) a counter series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric name or a label name is not legal
+    /// Prometheus exposition syntax.
     pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        validate_series(name, labels);
         let key = series_key(name, labels);
         let mut inner = self.inner.write().expect("telemetry registry poisoned");
         inner
@@ -108,7 +147,13 @@ impl MetricsRegistry {
     }
 
     /// Registers (or retrieves) a gauge series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric name or a label name is not legal
+    /// Prometheus exposition syntax.
     pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        validate_series(name, labels);
         let key = series_key(name, labels);
         let mut inner = self.inner.write().expect("telemetry registry poisoned");
         inner
@@ -119,12 +164,18 @@ impl MetricsRegistry {
     }
 
     /// Registers (or retrieves) a latency-histogram series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric name or a label name is not legal
+    /// Prometheus exposition syntax.
     pub fn histogram(
         &self,
         name: &str,
         help: &str,
         labels: &[(&str, &str)],
     ) -> Arc<LatencyHistogram> {
+        validate_series(name, labels);
         let key = series_key(name, labels);
         let mut inner = self.inner.write().expect("telemetry registry poisoned");
         inner
@@ -405,6 +456,32 @@ mod tests {
         registry.gauge("g", "h", &[]).set(9);
         let delta = registry.snapshot().delta(&before);
         assert_eq!(delta.gauge_value("g", &[]), Some(9));
+    }
+
+    #[test]
+    fn names_with_full_prometheus_charset_register() {
+        let registry = MetricsRegistry::new();
+        registry.counter("ns:sub_total", "h", &[("_private", "x"), ("a1", "y")]);
+        registry.gauge("_leading_underscore", "h", &[]);
+        assert_eq!(registry.snapshot().samples.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn metric_names_with_dashes_are_rejected() {
+        MetricsRegistry::new().counter("bad-name", "h", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn metric_names_starting_with_a_digit_are_rejected() {
+        MetricsRegistry::new().gauge("9lives", "h", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid label name")]
+    fn label_names_with_colons_are_rejected() {
+        MetricsRegistry::new().histogram("h_seconds", "h", &[("bad:label", "v")]);
     }
 
     #[test]

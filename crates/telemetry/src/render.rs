@@ -14,7 +14,12 @@ pub const LE_LADDER_MICROS: [u64; 18] = [
     1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
 ];
 
-fn escape_label_value(value: &str) -> String {
+/// Escapes a label value for the text exposition format: backslash,
+/// double quote and newline become `\\`, `\"` and `\n`, keeping every
+/// rendered sample on one physical line. Public so downstream
+/// renderers (e.g. the collector's federation endpoint) escape
+/// exactly the way this crate does.
+pub fn escape_label_value(value: &str) -> String {
     value
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
@@ -36,7 +41,7 @@ fn format_labels(labels: &Labels, extra: Option<(&str, String)>) -> String {
     }
 }
 
-fn micros_to_seconds(micros: u64) -> f64 {
+pub(crate) fn micros_to_seconds(micros: u64) -> f64 {
     micros as f64 / 1_000_000.0
 }
 
@@ -292,6 +297,33 @@ mod tests {
         assert_eq!(buckets.len(), LE_LADDER_MICROS.len() + 1);
         assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
         assert_eq!(buckets.last().unwrap().value, 1.0);
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_rendered_output() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter(
+                "c_total",
+                "h",
+                &[("path", "C:\\tmp"), ("msg", "say \"hi\"\nbye")],
+            )
+            .add(1);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains(r#"path="C:\\tmp""#),
+            "backslash not escaped: {text}"
+        );
+        assert!(
+            text.contains(r#"msg="say \"hi\"\nbye""#),
+            "quote/newline not escaped: {text}"
+        );
+        // Every exposition line must stay a single physical line.
+        assert!(text.lines().all(|l| !l.is_empty()));
+        // And the escaped output round-trips through the parser.
+        let samples = parse_prometheus(&text);
+        assert_eq!(samples[0].label("path"), Some("C:\\tmp"));
+        assert_eq!(samples[0].label("msg"), Some("say \"hi\"\nbye"));
     }
 
     #[test]

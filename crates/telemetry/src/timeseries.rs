@@ -1,0 +1,788 @@
+//! Fixed-capacity metric time series: the fleet's short-term memory.
+//!
+//! A [`TelemetrySnapshot`] is a point in time; resilience verdicts
+//! need the shape of a metric *over* an injected outage. This module
+//! keeps a bounded ring of recent points per series — keyed by metric
+//! name, label set and source target — so the control plane can ask
+//! "what did the request rate on `web → db` do between rule install
+//! and clear?" without any external storage.
+//!
+//! Like the rest of the crate it is std-only: plain structs behind an
+//! `RwLock`, no background threads, no allocation on the query path
+//! beyond the returned vectors. Ingest accepts either a local
+//! [`TelemetrySnapshot`] (histograms are decomposed onto the same
+//! `le` ladder the Prometheus renderer uses, so local and scraped
+//! series line up) or parsed scrape output ([`PromSample`]s).
+//!
+//! Timestamps are caller-supplied microseconds, so tests and replay
+//! can feed synthetic clocks. Within one series, appends must be
+//! strictly increasing in time; stale appends are dropped.
+//!
+//! # Examples
+//!
+//! ```
+//! use gremlin_telemetry::TimeSeriesStore;
+//!
+//! let store = TimeSeriesStore::new();
+//! for (at, v) in [(1_000_000, 0.0), (2_000_000, 50.0), (3_000_000, 55.0)] {
+//!     store.append("web-1", "req_total", &[], at, v);
+//! }
+//! store.annotate(2_500_000, "install", "abort web->db");
+//! let rates = store.query_rate("req_total", None, 0, u64::MAX);
+//! // 50 requests in the first second, 5 in the next.
+//! assert_eq!(rates[0].1[0].value, 50.0);
+//! assert_eq!(rates[0].1[1].value, 5.0);
+//! assert_eq!(store.annotations(0, u64::MAX).len(), 1);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, RwLock};
+
+use crate::registry::{Labels, SampleValue, TelemetrySnapshot};
+use crate::render::{micros_to_seconds, PromSample, LE_LADDER_MICROS};
+
+/// Default ring capacity: points kept per series before the oldest
+/// are evicted. At a 1s scrape interval this is ~8.5 minutes of
+/// history per series.
+pub const DEFAULT_POINTS_PER_SERIES: usize = 512;
+
+/// Identifies one stored series: which target it came from, the
+/// metric name, and the (sorted) label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesId {
+    /// Source target (scrape target name, or `local` for in-process
+    /// snapshots).
+    pub target: String,
+    /// Metric name as exposed (`foo_total`, `foo_bucket`, ...).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Labels,
+}
+
+/// One observation: a caller-supplied microsecond timestamp and the
+/// sampled value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TsPoint {
+    /// Timestamp in microseconds (epoch chosen by the caller, as
+    /// long as it is consistent within the store).
+    pub at_us: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// How a stored series should be interpreted when queried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonically increasing; rate conversion applies.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+}
+
+impl SeriesKind {
+    /// Infers the kind from the exposed metric name, following the
+    /// Prometheus naming conventions this workspace uses: `_total`,
+    /// `_count`, `_sum` and `_bucket` suffixes are cumulative
+    /// counters, everything else is treated as a gauge.
+    pub fn infer(name: &str) -> SeriesKind {
+        if name.ends_with("_total")
+            || name.ends_with("_count")
+            || name.ends_with("_sum")
+            || name.ends_with("_bucket")
+        {
+            SeriesKind::Counter
+        } else {
+            SeriesKind::Gauge
+        }
+    }
+}
+
+/// A control-plane phase marker on the shared timeline: warmup start,
+/// rule install, wave boundaries, abort, clear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    /// When the phase event happened (same clock as the points).
+    pub at_us: u64,
+    /// Short phase keyword (`warmup`, `install`, `clear`, ...).
+    pub phase: String,
+    /// Free-form detail (scenario, wave members, ...).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct Ring {
+    points: VecDeque<TsPoint>,
+}
+
+impl Ring {
+    fn push(&mut self, capacity: usize, point: TsPoint) -> bool {
+        if let Some(last) = self.points.back() {
+            if point.at_us <= last.at_us {
+                return false;
+            }
+        }
+        if self.points.len() == capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back(point);
+        true
+    }
+
+    fn range(&self, from: u64, to: u64) -> Vec<TsPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.at_us >= from && p.at_us <= to)
+            .copied()
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    series: BTreeMap<SeriesId, Ring>,
+    annotations: Vec<Annotation>,
+    targets: BTreeMap<String, u64>,
+}
+
+/// A bounded, thread-safe store of recent metric history for a whole
+/// fleet, plus the control-plane phase annotations that explain it.
+///
+/// Cloneable via [`TimeSeriesStore::shared`]; the scraper, the
+/// collector's `/series` endpoint and a running recipe all write to
+/// and read from the same handle.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    capacity: usize,
+    inner: RwLock<Inner>,
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> Self {
+        TimeSeriesStore::new()
+    }
+}
+
+impl TimeSeriesStore {
+    /// Creates a store with the default per-series capacity
+    /// ([`DEFAULT_POINTS_PER_SERIES`]).
+    pub fn new() -> TimeSeriesStore {
+        TimeSeriesStore::with_capacity(DEFAULT_POINTS_PER_SERIES)
+    }
+
+    /// Creates a store keeping at most `capacity` points per series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> TimeSeriesStore {
+        assert!(capacity > 0, "time-series capacity must be positive");
+        TimeSeriesStore {
+            capacity,
+            inner: RwLock::default(),
+        }
+    }
+
+    /// Creates a default store behind an [`Arc`], ready to share
+    /// between a scraper, a collector and a recipe run.
+    pub fn shared() -> Arc<TimeSeriesStore> {
+        Arc::new(TimeSeriesStore::new())
+    }
+
+    /// Maximum points kept per series.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().expect("time-series store poisoned")
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().expect("time-series store poisoned")
+    }
+
+    /// Appends one point to the series `(target, name, labels)`,
+    /// creating the series on first use. Returns `false` (and drops
+    /// the point) when `at_us` is not strictly after the series'
+    /// latest point.
+    pub fn append(
+        &self,
+        target: &str,
+        name: &str,
+        labels: &[(String, String)],
+        at_us: u64,
+        value: f64,
+    ) -> bool {
+        let mut labels: Labels = labels.to_vec();
+        labels.sort();
+        let id = SeriesId {
+            target: target.to_string(),
+            name: name.to_string(),
+            labels,
+        };
+        let mut inner = self.write();
+        let entry = inner.targets.entry(target.to_string()).or_insert(0);
+        *entry = (*entry).max(at_us);
+        inner
+            .series
+            .entry(id)
+            .or_insert_with(|| Ring {
+                points: VecDeque::new(),
+            })
+            .push(self.capacity, TsPoint { at_us, value })
+    }
+
+    /// Ingests a whole local [`TelemetrySnapshot`] under `target` at
+    /// time `at_us`. Histograms are decomposed into the same
+    /// cumulative `_bucket{le=seconds}` / `_sum` / `_count` series
+    /// the Prometheus renderer emits, so locally ingested history is
+    /// indistinguishable from a scraped one. Returns the number of
+    /// points appended.
+    pub fn ingest_snapshot(&self, target: &str, at_us: u64, snapshot: &TelemetrySnapshot) -> usize {
+        let mut appended = 0;
+        for sample in &snapshot.samples {
+            match &sample.value {
+                SampleValue::Counter(v) => {
+                    appended += usize::from(self.append(
+                        target,
+                        &sample.name,
+                        &sample.labels,
+                        at_us,
+                        *v as f64,
+                    ));
+                }
+                SampleValue::Gauge(v) => {
+                    appended += usize::from(self.append(
+                        target,
+                        &sample.name,
+                        &sample.labels,
+                        at_us,
+                        *v as f64,
+                    ));
+                }
+                SampleValue::Histogram(hist) => {
+                    let bucket_name = format!("{}_bucket", sample.name);
+                    for le in LE_LADDER_MICROS {
+                        let mut labels = sample.labels.clone();
+                        labels.push(("le".to_string(), format!("{}", micros_to_seconds(le))));
+                        appended += usize::from(self.append(
+                            target,
+                            &bucket_name,
+                            &labels,
+                            at_us,
+                            hist.cumulative_le_micros(le) as f64,
+                        ));
+                    }
+                    let mut labels = sample.labels.clone();
+                    labels.push(("le".to_string(), "+Inf".to_string()));
+                    appended += usize::from(self.append(
+                        target,
+                        &bucket_name,
+                        &labels,
+                        at_us,
+                        hist.count() as f64,
+                    ));
+                    appended += usize::from(self.append(
+                        target,
+                        &format!("{}_sum", sample.name),
+                        &sample.labels,
+                        at_us,
+                        micros_to_seconds(hist.sum_micros()),
+                    ));
+                    appended += usize::from(self.append(
+                        target,
+                        &format!("{}_count", sample.name),
+                        &sample.labels,
+                        at_us,
+                        hist.count() as f64,
+                    ));
+                }
+            }
+        }
+        appended
+    }
+
+    /// Ingests parsed scrape output (what [`crate::parse_prometheus`]
+    /// returns) under `target` at time `at_us`. Returns the number of
+    /// points appended.
+    pub fn ingest_prom(&self, target: &str, at_us: u64, samples: &[PromSample]) -> usize {
+        let mut appended = 0;
+        for sample in samples {
+            appended +=
+                usize::from(self.append(target, &sample.name, &sample.labels, at_us, sample.value));
+        }
+        appended
+    }
+
+    /// Records a phase annotation on the shared timeline.
+    pub fn annotate(&self, at_us: u64, phase: &str, detail: &str) {
+        self.write().annotations.push(Annotation {
+            at_us,
+            phase: phase.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Annotations with `from <= at_us <= to`, in insertion order.
+    pub fn annotations(&self, from: u64, to: u64) -> Vec<Annotation> {
+        self.read()
+            .annotations
+            .iter()
+            .filter(|a| a.at_us >= from && a.at_us <= to)
+            .cloned()
+            .collect()
+    }
+
+    /// Every stored series id, sorted.
+    pub fn series_ids(&self) -> Vec<SeriesId> {
+        self.read().series.keys().cloned().collect()
+    }
+
+    /// Distinct stored metric names, sorted.
+    pub fn series_names(&self) -> Vec<String> {
+        let inner = self.read();
+        let mut names: Vec<String> = inner.series.keys().map(|id| id.name.clone()).collect();
+        names.dedup();
+        names
+    }
+
+    /// Known targets with the timestamp of their latest ingested
+    /// point — the raw material for staleness reporting.
+    pub fn targets(&self) -> Vec<(String, u64)> {
+        self.read()
+            .targets
+            .iter()
+            .map(|(t, at)| (t.clone(), *at))
+            .collect()
+    }
+
+    /// The latest ingest timestamp for `target`, if any point has
+    /// ever been stored for it.
+    pub fn last_ingest_us(&self, target: &str) -> Option<u64> {
+        self.read().targets.get(target).copied()
+    }
+
+    /// Number of stored series.
+    pub fn series_count(&self) -> usize {
+        self.read().series.len()
+    }
+
+    /// Total stored points across all series.
+    pub fn point_count(&self) -> usize {
+        self.read().series.values().map(|r| r.points.len()).sum()
+    }
+
+    /// Raw points of every series named `name` (optionally restricted
+    /// to one target) within `[from, to]`, sorted by series id.
+    /// Series with no point in range are omitted.
+    pub fn query(
+        &self,
+        name: &str,
+        target: Option<&str>,
+        from: u64,
+        to: u64,
+    ) -> Vec<(SeriesId, Vec<TsPoint>)> {
+        let inner = self.read();
+        inner
+            .series
+            .iter()
+            .filter(|(id, _)| id.name == name && target.is_none_or(|t| id.target == t))
+            .filter_map(|(id, ring)| {
+                let points = ring.range(from, to);
+                if points.is_empty() {
+                    None
+                } else {
+                    Some((id.clone(), points))
+                }
+            })
+            .collect()
+    }
+
+    /// The latest point of every stored series, sorted by series id —
+    /// what a federation endpoint renders as the merged fleet
+    /// snapshot.
+    pub fn latest_points(&self) -> Vec<(SeriesId, TsPoint)> {
+        let inner = self.read();
+        inner
+            .series
+            .iter()
+            .filter_map(|(id, ring)| ring.points.back().map(|p| (id.clone(), *p)))
+            .collect()
+    }
+
+    /// Every stored series with its full retained history, sorted by
+    /// series id — the input to persistence (a flight recorder's
+    /// `timeseries.jsonl` dump).
+    pub fn dump(&self) -> Vec<(SeriesId, Vec<TsPoint>)> {
+        let inner = self.read();
+        inner
+            .series
+            .iter()
+            .map(|(id, ring)| (id.clone(), ring.points.iter().copied().collect()))
+            .collect()
+    }
+
+    /// The latest point of series `name` on `target` (any label set),
+    /// if one exists.
+    pub fn latest(&self, name: &str, target: &str) -> Option<TsPoint> {
+        let inner = self.read();
+        inner
+            .series
+            .iter()
+            .filter(|(id, _)| id.name == name && id.target == target)
+            .filter_map(|(_, ring)| ring.points.back().copied())
+            .max_by_key(|p| p.at_us)
+    }
+
+    /// Like [`TimeSeriesStore::query`], but counter series are
+    /// converted to per-second rates ([`rate_points`]); gauge series
+    /// (by [`SeriesKind::infer`]) pass through unchanged.
+    pub fn query_rate(
+        &self,
+        name: &str,
+        target: Option<&str>,
+        from: u64,
+        to: u64,
+    ) -> Vec<(SeriesId, Vec<TsPoint>)> {
+        let kind = SeriesKind::infer(name);
+        let inner = self.read();
+        inner
+            .series
+            .iter()
+            .filter(|(id, _)| id.name == name && target.is_none_or(|t| id.target == t))
+            .filter_map(|(id, ring)| {
+                let raw: Vec<TsPoint> = ring.points.iter().copied().collect();
+                let points: Vec<TsPoint> = match kind {
+                    SeriesKind::Counter => rate_points(&raw)
+                        .into_iter()
+                        .filter(|p| p.at_us >= from && p.at_us <= to)
+                        .collect(),
+                    SeriesKind::Gauge => ring.range(from, to),
+                };
+                if points.is_empty() {
+                    None
+                } else {
+                    Some((id.clone(), points))
+                }
+            })
+            .collect()
+    }
+
+    /// The increase of counter `name` (summed across matching series)
+    /// over `[from, to]`, reset-safe. Returns `None` when no matching
+    /// series has at least one point in range.
+    pub fn counter_delta(
+        &self,
+        name: &str,
+        target: Option<&str>,
+        from: u64,
+        to: u64,
+    ) -> Option<f64> {
+        let windows = self.query(name, target, from, to);
+        if windows.is_empty() {
+            return None;
+        }
+        Some(windows.iter().map(|(_, pts)| window_increase(pts)).sum())
+    }
+
+    /// The `q`-th quantile (0.0..=1.0), in seconds, of histogram
+    /// `base` over the window `[from, to]`: bucket-ladder deltas are
+    /// summed across every matching `{base}_bucket` series, then the
+    /// quantile is read off the cumulative ladder by nearest rank —
+    /// the same estimate `histogram_quantile` gives in PromQL.
+    ///
+    /// Returns `None` when no observations landed in the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn histogram_quantile(
+        &self,
+        base: &str,
+        target: Option<&str>,
+        from: u64,
+        to: u64,
+        q: f64,
+    ) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let bucket_name = format!("{base}_bucket");
+        let inner = self.read();
+        // Cumulative increase per `le` bound, summed across targets
+        // and label sets. +Inf maps to f64::INFINITY.
+        let mut ladder: BTreeMap<u64, f64> = BTreeMap::new();
+        let mut inf = 0.0f64;
+        for (id, ring) in inner
+            .series
+            .iter()
+            .filter(|(id, _)| id.name == bucket_name && target.is_none_or(|t| id.target == t))
+        {
+            let le = match id.labels.iter().find(|(k, _)| k == "le") {
+                Some((_, v)) => v,
+                None => continue,
+            };
+            let points = ring.range(from, to);
+            if points.is_empty() {
+                continue;
+            }
+            let increase = window_increase(&points);
+            if le == "+Inf" {
+                inf += increase;
+            } else if let Ok(seconds) = le.parse::<f64>() {
+                *ladder
+                    .entry((seconds * 1_000_000.0).round() as u64)
+                    .or_insert(0.0) += increase;
+            }
+        }
+        let total = if inf > 0.0 {
+            inf
+        } else {
+            ladder.values().copied().fold(0.0, f64::max)
+        };
+        if total <= 0.0 {
+            return None;
+        }
+        let rank = (q * total).max(1.0).min(total);
+        let mut bounds: Vec<(u64, f64)> = ladder.into_iter().collect();
+        bounds.sort_by_key(|(le, _)| *le);
+        for (le_micros, cumulative) in &bounds {
+            if *cumulative >= rank {
+                return Some(micros_to_seconds(*le_micros));
+            }
+        }
+        // Landed above the highest finite bound.
+        bounds.last().map(|(le, _)| micros_to_seconds(*le))
+    }
+}
+
+/// Converts a cumulative counter series to per-second rates: one
+/// output point per consecutive input pair, stamped at the later
+/// point. A decrease is treated as a counter reset (the process
+/// restarted), so the later value alone counts as the increase.
+pub fn rate_points(points: &[TsPoint]) -> Vec<TsPoint> {
+    points
+        .windows(2)
+        .filter_map(|pair| {
+            let (a, b) = (pair[0], pair[1]);
+            let dt = (b.at_us.saturating_sub(a.at_us)) as f64 / 1_000_000.0;
+            if dt <= 0.0 {
+                return None;
+            }
+            let increase = if b.value >= a.value {
+                b.value - a.value
+            } else {
+                b.value
+            };
+            Some(TsPoint {
+                at_us: b.at_us,
+                value: increase / dt,
+            })
+        })
+        .collect()
+}
+
+/// The reset-safe increase of a cumulative counter across an ordered
+/// point window: segment-wise, so a mid-window restart only forfeits
+/// the pre-reset increase instead of going negative.
+fn window_increase(points: &[TsPoint]) -> f64 {
+    let mut increase = 0.0;
+    for pair in points.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        increase += if b.value >= a.value {
+            b.value - a.value
+        } else {
+            b.value
+        };
+    }
+    increase
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use crate::render::parse_prometheus;
+    use std::time::Duration;
+
+    const S: u64 = 1_000_000;
+
+    #[test]
+    fn ring_evicts_oldest_and_enforces_monotonic_time() {
+        let store = TimeSeriesStore::with_capacity(3);
+        for i in 1..=5u64 {
+            assert!(store.append("t", "g", &[], i * S, i as f64));
+        }
+        // Stale and duplicate timestamps are dropped.
+        assert!(!store.append("t", "g", &[], 5 * S, 99.0));
+        assert!(!store.append("t", "g", &[], 3 * S, 99.0));
+        let out = store.query("g", None, 0, u64::MAX);
+        assert_eq!(out.len(), 1);
+        let points: Vec<u64> = out[0].1.iter().map(|p| p.at_us / S).collect();
+        assert_eq!(points, vec![3, 4, 5]);
+        assert_eq!(store.point_count(), 3);
+        assert_eq!(store.last_ingest_us("t"), Some(5 * S));
+    }
+
+    #[test]
+    fn kind_inference_follows_suffixes() {
+        assert_eq!(SeriesKind::infer("req_total"), SeriesKind::Counter);
+        assert_eq!(SeriesKind::infer("lat_seconds_bucket"), SeriesKind::Counter);
+        assert_eq!(SeriesKind::infer("lat_seconds_sum"), SeriesKind::Counter);
+        assert_eq!(SeriesKind::infer("lat_seconds_count"), SeriesKind::Counter);
+        assert_eq!(SeriesKind::infer("open_connections"), SeriesKind::Gauge);
+    }
+
+    #[test]
+    fn rate_handles_counter_resets() {
+        let points = [
+            TsPoint {
+                at_us: S,
+                value: 10.0,
+            },
+            TsPoint {
+                at_us: 2 * S,
+                value: 30.0,
+            },
+            TsPoint {
+                at_us: 3 * S,
+                value: 4.0,
+            }, // restart
+            TsPoint {
+                at_us: 4 * S,
+                value: 9.0,
+            },
+        ];
+        let rates = rate_points(&points);
+        let values: Vec<f64> = rates.iter().map(|p| p.value).collect();
+        assert_eq!(values, vec![20.0, 4.0, 5.0]);
+        assert_eq!(window_increase(&points), 29.0);
+    }
+
+    #[test]
+    fn query_rate_scopes_by_target_and_window() {
+        let store = TimeSeriesStore::new();
+        for i in 1..=4u64 {
+            store.append("a", "req_total", &[], i * S, (i * 10) as f64);
+            store.append("b", "req_total", &[], i * S, (i * 2) as f64);
+        }
+        let only_a = store.query_rate("req_total", Some("a"), 0, u64::MAX);
+        assert_eq!(only_a.len(), 1);
+        assert!(only_a[0].1.iter().all(|p| (p.value - 10.0).abs() < 1e-9));
+        // A window clipped to [3s, 4s] keeps only the later rates.
+        let both = store.query_rate("req_total", None, 3 * S, 4 * S);
+        assert_eq!(both.len(), 2);
+        assert!(both.iter().all(|(_, pts)| pts.len() == 2));
+        // Gauges pass through unchanged.
+        store.append("a", "open_connections", &[], S, 7.0);
+        let gauges = store.query_rate("open_connections", None, 0, u64::MAX);
+        assert_eq!(gauges[0].1[0].value, 7.0);
+    }
+
+    #[test]
+    fn snapshot_ingest_decomposes_histograms_like_the_renderer() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("lat_seconds", "h", &[("svc", "web")]);
+        hist.record(Duration::from_millis(3));
+        hist.record(Duration::from_millis(40));
+
+        let store = TimeSeriesStore::new();
+        store.ingest_snapshot("local", S, &registry.snapshot());
+
+        // Scraping the rendered exposition into a second store yields
+        // the same bucket series values.
+        let scraped = TimeSeriesStore::new();
+        let samples = parse_prometheus(&registry.snapshot().render_prometheus());
+        scraped.ingest_prom("local", S, &samples);
+
+        for want in ["lat_seconds_bucket", "lat_seconds_sum", "lat_seconds_count"] {
+            let a = store.query(want, None, 0, u64::MAX);
+            let b = scraped.query(want, None, 0, u64::MAX);
+            assert_eq!(a.len(), b.len(), "{want}");
+            for ((ida, pa), (idb, pb)) in a.iter().zip(&b) {
+                assert_eq!(ida.labels, idb.labels, "{want}");
+                assert_eq!(pa, pb, "{want}");
+            }
+        }
+        assert_eq!(
+            store.latest("lat_seconds_count", "local").unwrap().value,
+            2.0
+        );
+    }
+
+    #[test]
+    fn histogram_quantile_over_a_window() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("lat_seconds", "h", &[]);
+        let store = TimeSeriesStore::new();
+        store.ingest_snapshot("local", S, &registry.snapshot());
+        // 90 fast observations and 10 slow ones land inside the window.
+        for _ in 0..90 {
+            hist.record(Duration::from_millis(2));
+        }
+        for _ in 0..10 {
+            hist.record(Duration::from_millis(400));
+        }
+        store.ingest_snapshot("local", 2 * S, &registry.snapshot());
+
+        let p50 = store
+            .histogram_quantile("lat_seconds", None, 0, u64::MAX, 0.50)
+            .unwrap();
+        assert!((p50 - 0.0025).abs() < 1e-9, "p50={p50}");
+        let p99 = store
+            .histogram_quantile("lat_seconds", None, 0, u64::MAX, 0.99)
+            .unwrap();
+        assert!((p99 - 0.5).abs() < 1e-9, "p99={p99}");
+        // A window before any observation has no quantile.
+        assert!(store
+            .histogram_quantile("lat_seconds", None, 0, S, 0.5)
+            .is_none());
+    }
+
+    #[test]
+    fn counter_delta_sums_across_series() {
+        let store = TimeSeriesStore::new();
+        store.append("a", "req_total", &[], S, 0.0);
+        store.append("a", "req_total", &[], 2 * S, 40.0);
+        store.append("b", "req_total", &[], S, 100.0);
+        store.append("b", "req_total", &[], 2 * S, 102.0);
+        assert_eq!(
+            store.counter_delta("req_total", None, 0, u64::MAX),
+            Some(42.0)
+        );
+        assert_eq!(
+            store.counter_delta("req_total", Some("b"), 0, u64::MAX),
+            Some(2.0)
+        );
+        assert_eq!(store.counter_delta("missing", None, 0, u64::MAX), None);
+    }
+
+    #[test]
+    fn annotations_are_windowed() {
+        let store = TimeSeriesStore::new();
+        store.annotate(S, "warmup", "");
+        store.annotate(2 * S, "install", "abort web->db");
+        store.annotate(3 * S, "clear", "");
+        let mid = store.annotations(2 * S, 2 * S);
+        assert_eq!(mid.len(), 1);
+        assert_eq!(mid[0].phase, "install");
+        assert_eq!(store.annotations(0, u64::MAX).len(), 3);
+    }
+
+    #[test]
+    fn targets_and_names_enumerate() {
+        let store = TimeSeriesStore::new();
+        store.append("a", "x_total", &[], S, 1.0);
+        store.append("b", "y", &[], 2 * S, 1.0);
+        assert_eq!(
+            store.targets(),
+            vec![("a".to_string(), S), ("b".to_string(), 2 * S)]
+        );
+        assert_eq!(store.series_names(), vec!["x_total", "y"]);
+        assert_eq!(store.series_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TimeSeriesStore::with_capacity(0);
+    }
+}

@@ -61,14 +61,15 @@ fn usage() -> &'static str {
      gremlin graph <graph.json> [--dot]\n  \
      gremlin translate <graph.json> <scenario.json>\n  \
      gremlin install <graph.json> <scenario.json> --agents <addr,...>\n  \
-     gremlin campaign <graph.json> <campaign.json> --agents <addr,...> [--max-in-flight <n>] [--serial] [--flight-root <dir>] [--seed <dir>]\n  \
+     gremlin campaign <graph.json> <campaign.json> --agents <addr,...> [--max-in-flight <n>] [--serial] [--flight-root <dir>] [--seed <dir>] [--steer-order]\n  \
      gremlin rules <agent-addr>\n  \
      gremlin clear --agents <addr,...>\n  \
      gremlin health <agent-addr>\n  \
      gremlin check <events.ndjson> --assert <timeouts|bounded-retries|circuit-breaker|request-count> [options]\n  \
      gremlin trace <events.ndjson> <request-id> [--json]\n  \
      gremlin tail <collector-addr> [--from <cursor>] [--limit <n>]\n  \
-     gremlin watch <collector-addr> [--json] [--interval <dur>] [--count <n>]\n  \
+     gremlin watch <collector-addr> [--json] [--interval <dur>] [--count <n>] [--retries <n>]\n  \
+     gremlin top <collector-addr> [--interval <dur>] [--count <n>] [--retries <n>]\n  \
      gremlin replay <run-dir> [--json]       re-render a flight-recorder directory\n  \
      gremlin replay --root <flight-root>     one line per recorded run: recipe, verdict, anomalies\n  \
      gremlin coverage <flight-root> [--graph <graph.json>] [--markdown] [--json] [--drift-z <z>]\n  \
@@ -90,6 +91,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "trace" => cmd_trace(&args[1..]),
         "tail" => cmd_tail(&args[1..]),
         "watch" => cmd_watch(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         "replay" => cmd_replay(&args[1..]),
         "coverage" => cmd_coverage(&args[1..]),
         "generate" => cmd_generate(&args[1..]),
@@ -266,6 +268,9 @@ fn cmd_campaign(args: &[String]) -> Result<String, Box<dyn Error>> {
             return Err(format!("no baselines.json under {dir:?} to seed from").into());
         }
         runner = runner.seed(baselines);
+    }
+    if has_flag(args, "--steer-order") {
+        runner = runner.steer_order(true);
     }
 
     let report = runner.run(spec.recipes)?;
@@ -629,28 +634,74 @@ fn cmd_tail(args: &[String]) -> Result<String, Box<dyn Error>> {
     Ok(format!("stream ended after {seen} event(s)"))
 }
 
+/// How often a live dashboard retries an unreachable collector before
+/// giving up (bounded exponential backoff, 250ms doubling to 4s).
+const DASHBOARD_RETRIES: u32 = 6;
+
+/// One `GET path` against `addr`, no retries.
+fn fetch_body(
+    client: &gremlin::http::HttpClient,
+    addr: SocketAddr,
+    path: &str,
+) -> Result<String, Box<dyn Error>> {
+    use gremlin::http::Request;
+    let response = client
+        .send(addr, Request::get(path))
+        .map_err(|e| format!("cannot reach collector {addr}: {e}"))?;
+    if !response.status().is_success() {
+        return Err(format!(
+            "GET {path} on {addr} failed: HTTP {}",
+            response.status().as_u16()
+        )
+        .into());
+    }
+    Ok(response.body_str().to_string())
+}
+
+/// `fetch_body` with reconnect semantics for live dashboards: on
+/// failure, retries with bounded exponential backoff (250ms doubling
+/// up to 4s) instead of tearing the dashboard down. A collector
+/// restart mid-campaign costs a few blank frames, not the session.
+/// Gives up (with the last error) after `retries` failed attempts.
+fn fetch_reconnecting(
+    client: &gremlin::http::HttpClient,
+    addr: SocketAddr,
+    path: &str,
+    retries: u32,
+) -> Result<String, Box<dyn Error>> {
+    use std::time::Duration;
+    let mut delay = Duration::from_millis(250);
+    let mut attempt = 0u32;
+    loop {
+        match fetch_body(client, addr, path) {
+            Ok(body) => return Ok(body),
+            Err(err) => {
+                attempt += 1;
+                if attempt > retries {
+                    return Err(err);
+                }
+                eprintln!("collector {addr} unreachable ({err}); retrying in {delay:?}");
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_secs(4));
+            }
+        }
+    }
+}
+
 fn cmd_watch(args: &[String]) -> Result<String, Box<dyn Error>> {
-    use gremlin::http::{HttpClient, Request};
+    use gremlin::http::HttpClient;
     use std::io::Write;
 
     let addr: SocketAddr = positional(args, 0)?.parse()?;
     let client = HttpClient::new();
-    let fetch = |path: &str| -> Result<String, Box<dyn Error>> {
-        let response = client
-            .send(addr, Request::get(path))
-            .map_err(|e| format!("cannot reach collector {addr}: {e}"))?;
-        if !response.status().is_success() {
-            return Err(format!(
-                "GET {path} on {addr} failed: HTTP {}",
-                response.status().as_u16()
-            )
-            .into());
-        }
-        Ok(response.body_str().to_string())
+    let retries: u32 = match flag_value(args, "--retries") {
+        Some(value) => value.parse()?,
+        None => DASHBOARD_RETRIES,
     };
 
     if has_flag(args, "--json") {
-        let value: serde_json::Value = serde_json::from_str(&fetch("/health")?)?;
+        let value: serde_json::Value =
+            serde_json::from_str(&fetch_body(&client, addr, "/health")?)?;
         return Ok(serde_json::to_string_pretty(&value)?);
     }
 
@@ -661,8 +712,8 @@ fn cmd_watch(args: &[String]) -> Result<String, Box<dyn Error>> {
     };
     let mut frames = 0u64;
     loop {
-        let health = fetch("/health")?;
-        let stats = fetch("/stats").ok();
+        let health = fetch_reconnecting(&client, addr, "/health", retries)?;
+        let stats = fetch_body(&client, addr, "/stats").ok();
         let frame = render_watch_frame(&addr.to_string(), &health, stats.as_deref())?;
         // Clear screen + cursor home, then redraw in place.
         print!("\x1b[2J\x1b[H{frame}");
@@ -679,6 +730,187 @@ fn cmd_watch(args: &[String]) -> Result<String, Box<dyn Error>> {
 /// timeline a flight-recorded recipe run persisted (see
 /// `RecipeRun::start_flight_recorder`). `--json` emits a
 /// machine-readable summary instead.
+/// `gremlin top <collector>` — a live fleet view built from the
+/// collector's `/federate` endpoint: one row per scraped target with
+/// up/stale state, request and error rates, p99 upstream latency and
+/// a request-rate sparkline, plus the current campaign phase from the
+/// `/series` annotation index. Uses the same reconnect/backoff
+/// behaviour as `gremlin watch`.
+fn cmd_top(args: &[String]) -> Result<String, Box<dyn Error>> {
+    use gremlin::http::HttpClient;
+    use gremlin::store::now_micros;
+    use gremlin::telemetry::TimeSeriesStore;
+    use std::io::Write;
+
+    let addr: SocketAddr = positional(args, 0)?.parse()?;
+    let interval = parse_duration(flag_value(args, "--interval").unwrap_or("1s"))?;
+    let count: Option<u64> = match flag_value(args, "--count") {
+        Some(value) => Some(value.parse()?),
+        None => None,
+    };
+    let retries: u32 = match flag_value(args, "--retries") {
+        Some(value) => value.parse()?,
+        None => DASHBOARD_RETRIES,
+    };
+    let client = HttpClient::new();
+    let store = TimeSeriesStore::new();
+    let mut frames = 0u64;
+    loop {
+        let body = fetch_reconnecting(&client, addr, "/federate", retries)?;
+        let at_us = now_micros();
+        ingest_federated(&store, at_us, &body);
+        // Phase annotations live in the range-query index; a collector
+        // without one (or mid-restart) just leaves the phase line out.
+        let index: Option<serde_json::Value> = fetch_body(&client, addr, "/series")
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+        let frame = render_top_frame(&addr.to_string(), &store, index.as_ref(), at_us);
+        print!("\x1b[2J\x1b[H{frame}");
+        std::io::stdout().flush()?;
+        frames += 1;
+        if count.is_some_and(|n| frames >= n) {
+            return Ok(format!("monitored {frames} frame(s)"));
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Feeds one `/federate` exposition into a client-side store, using
+/// each sample's `instance` label as the series target (and dropping
+/// it, so per-target series match what the agents themselves export).
+/// Returns the number of points appended.
+fn ingest_federated(store: &gremlin::telemetry::TimeSeriesStore, at_us: u64, text: &str) -> usize {
+    use std::collections::BTreeMap;
+
+    let mut groups: BTreeMap<String, Vec<gremlin::telemetry::PromSample>> = BTreeMap::new();
+    for mut sample in gremlin::telemetry::parse_prometheus(text) {
+        let target = match sample.labels.iter().position(|(k, _)| k == "instance") {
+            Some(i) => sample.labels.remove(i).1,
+            None => "fleet".to_string(),
+        };
+        groups.entry(target).or_default().push(sample);
+    }
+    groups
+        .iter()
+        .map(|(target, samples)| store.ingest_prom(target, at_us, samples))
+        .sum()
+}
+
+/// Per-second rate of counter `name` on `target`, summed across label
+/// sets and aligned by timestamp, ascending.
+fn summed_rate(
+    store: &gremlin::telemetry::TimeSeriesStore,
+    name: &str,
+    target: &str,
+    from: u64,
+    to: u64,
+) -> Vec<(u64, f64)> {
+    use std::collections::BTreeMap;
+
+    let mut by_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    for (_, points) in store.query_rate(name, Some(target), from, to) {
+        for point in points {
+            *by_ts.entry(point.at_us).or_insert(0.0) += point.value;
+        }
+    }
+    by_ts.into_iter().collect()
+}
+
+/// Renders values as a unicode sparkline of the last `width` points,
+/// scaled to the window maximum.
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let skip = values.len().saturating_sub(width);
+    let tail = &values[skip..];
+    let max = tail.iter().copied().fold(0.0f64, f64::max);
+    tail.iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders one `gremlin top` frame from the locally accumulated
+/// series, with the current phase pulled from the `/series` index.
+fn render_top_frame(
+    addr: &str,
+    store: &gremlin::telemetry::TimeSeriesStore,
+    index: Option<&serde_json::Value>,
+    now_us: u64,
+) -> String {
+    let targets = store.targets();
+    let mut out = format!(
+        "gremlin top — collector {addr}: {} target(s), {} series\n",
+        targets.len(),
+        store.series_count()
+    );
+    if let Some(annotation) = index
+        .and_then(|v| v.get("annotations"))
+        .and_then(|a| a.as_array())
+        .and_then(|a| a.last())
+    {
+        let phase = annotation
+            .get("phase")
+            .and_then(|p| p.as_str())
+            .unwrap_or("?");
+        let detail = annotation
+            .get("detail")
+            .and_then(|d| d.as_str())
+            .unwrap_or("");
+        out.push_str(&format!("phase: {phase} ({detail})\n"));
+    }
+    out.push_str(&format!(
+        "{:<16} {:<6} {:>8} {:>8} {:>9}  trend\n",
+        "TARGET", "UP", "REQ/S", "ERR/S", "P99"
+    ));
+    let from = now_us.saturating_sub(60_000_000);
+    let fmt_rate = |rate: Option<f64>| match rate {
+        Some(v) => format!("{v:.1}"),
+        None => "-".to_string(),
+    };
+    for (target, _) in &targets {
+        let stale = store
+            .latest("gremlin_scrape_stale", target)
+            .is_some_and(|p| p.value >= 1.0);
+        // Color codes wrap the already-padded cell so the escape
+        // bytes don't throw the column widths off.
+        let up_cell = match store.latest("up", target) {
+            _ if stale => format!("\x1b[33m{:<6}\x1b[0m", "stale"),
+            Some(p) if p.value >= 1.0 => format!("\x1b[32m{:<6}\x1b[0m", "up"),
+            Some(_) => format!("\x1b[31m{:<6}\x1b[0m", "DOWN"),
+            None => format!("{:<6}", "-"),
+        };
+        let req = summed_rate(store, "gremlin_proxy_requests_total", target, from, now_us);
+        let err = summed_rate(
+            store,
+            "gremlin_proxy_upstream_errors_total",
+            target,
+            from,
+            now_us,
+        );
+        let p99 = store.histogram_quantile(
+            "gremlin_proxy_upstream_latency_seconds",
+            Some(target),
+            from,
+            now_us,
+            0.99,
+        );
+        let trend: Vec<f64> = req.iter().map(|(_, v)| *v).collect();
+        out.push_str(&format!(
+            "{target:<16} {up_cell} {:>8} {:>8} {:>9}  {}\n",
+            fmt_rate(req.last().map(|(_, v)| *v)),
+            fmt_rate(err.last().map(|(_, v)| *v)),
+            p99.map(format_seconds).unwrap_or_else(|| "-".to_string()),
+            sparkline(&trend, 12),
+        ));
+    }
+    out
+}
+
 fn cmd_replay(args: &[String]) -> Result<String, Box<dyn Error>> {
     use gremlin::core::FlightLog;
 
@@ -696,10 +928,17 @@ fn cmd_replay(args: &[String]) -> Result<String, Box<dyn Error>> {
             "window_us": log.meta.window_us,
             "records": log.records.len(),
             "snapshots": log.snapshots.len(),
+            "timeseries": log.timeseries.len(),
             "report": log.report,
         }))?);
     }
-    Ok(log.render_timeline().trim_end().to_string())
+    let mut out = log.render_timeline().trim_end().to_string();
+    let metrics = log.render_metrics();
+    if !metrics.is_empty() {
+        out.push('\n');
+        out.push_str(metrics.trim_end());
+    }
+    Ok(out)
 }
 
 /// `gremlin replay --root <flight-root>` — one line per recorded run,
@@ -1453,6 +1692,183 @@ mod tests {
             .iter()
             .all(|t| t.scenario.pattern == gremlin::store::Pattern::new("probe-*")));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn watch_reconnects_after_a_collector_restart() {
+        use gremlin::proxy::CollectorServer;
+        use std::time::Duration;
+
+        let store = EventStore::shared();
+        let collector = CollectorServer::start(Arc::clone(&store), "127.0.0.1:0").unwrap();
+        let addr = collector.local_addr();
+        collector.shutdown();
+
+        // Bring a collector back on the same port while watch is in
+        // its backoff loop: the dashboard must ride out the gap
+        // instead of exiting on the first refused connection.
+        let restart_store = Arc::clone(&store);
+        let restarter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            for _ in 0..40 {
+                match CollectorServer::start(Arc::clone(&restart_store), addr) {
+                    Ok(server) => return server,
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            }
+            panic!("could not rebind collector on {addr}");
+        });
+        let out = run(&args(&[
+            "watch",
+            &addr.to_string(),
+            "--count",
+            "1",
+            "--interval",
+            "1ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("watched 1 frame(s)"), "{out}");
+        restarter.join().unwrap().shutdown();
+
+        // With the collector gone for good and zero retries, watch
+        // fails fast instead of hanging.
+        assert!(run(&args(&[
+            "watch",
+            &addr.to_string(),
+            "--count",
+            "1",
+            "--retries",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn top_renders_a_live_fleet_dashboard() {
+        use gremlin::http::{ConnInfo, HttpServer, Request, Response, StatusCode};
+        use gremlin::proxy::{CollectorServer, Scraper};
+        use gremlin::store::{HealthMonitor, DEFAULT_HEALTH_WINDOW};
+        use gremlin::telemetry::{MetricsRegistry, TimeSeriesStore};
+
+        // One fake agent serving real proxy-style metrics.
+        let agent_registry = MetricsRegistry::shared();
+        agent_registry
+            .counter(
+                "gremlin_proxy_requests_total",
+                "requests",
+                &[("service", "web"), ("dst", "db")],
+            )
+            .add(10);
+        let registry = Arc::clone(&agent_registry);
+        let agent = HttpServer::bind("127.0.0.1:0", move |_req: Request, _conn: &ConnInfo| {
+            Response::builder(StatusCode::OK)
+                .body(registry.render_prometheus())
+                .build()
+        })
+        .unwrap();
+
+        let scraper = Arc::new(Scraper::new(TimeSeriesStore::shared()));
+        scraper.add_target("web", agent.local_addr().to_string());
+        scraper.scrape_at(1_000_000);
+        agent_registry
+            .counter(
+                "gremlin_proxy_requests_total",
+                "requests",
+                &[("service", "web"), ("dst", "db")],
+            )
+            .add(20);
+        scraper.scrape_at(2_000_000);
+        scraper.store().annotate(1_500_000, "install", "crash db");
+
+        let store = EventStore::shared();
+        let monitor = Arc::new(HealthMonitor::new(
+            Arc::clone(&store),
+            DEFAULT_HEALTH_WINDOW,
+        ));
+        let collector = CollectorServer::start_with_fleet(
+            store,
+            "127.0.0.1:0",
+            MetricsRegistry::shared(),
+            monitor,
+            Some(Arc::clone(&scraper)),
+        )
+        .unwrap();
+
+        let out = run(&args(&[
+            "top",
+            &collector.local_addr().to_string(),
+            "--count",
+            "1",
+            "--interval",
+            "1ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("monitored 1 frame(s)"), "{out}");
+
+        // The renderer itself, against a hand-built store: rates,
+        // up/stale columns and the phase line all show up.
+        let local = TimeSeriesStore::new();
+        let body = "up{instance=\"web\"} 1\n\
+             gremlin_proxy_requests_total{instance=\"web\",service=\"web\"} 10\n\
+             up{instance=\"db\"} 0\n\
+             gremlin_scrape_stale{instance=\"db\"} 1\n";
+        ingest_federated(&local, 1_000_000, body);
+        let body2 = body.replace(
+            "gremlin_proxy_requests_total{instance=\"web\",service=\"web\"} 10",
+            "gremlin_proxy_requests_total{instance=\"web\",service=\"web\"} 40",
+        );
+        ingest_federated(&local, 2_000_000, &body2);
+        let index = serde_json::json!({
+            "annotations": [{"at_us": 1_500_000, "phase": "install", "detail": "crash db"}],
+        });
+        let frame = render_top_frame("collector:0", &local, Some(&index), 2_000_000);
+        assert!(frame.contains("2 target(s)"), "{frame}");
+        assert!(frame.contains("phase: install (crash db)"), "{frame}");
+        assert!(frame.contains("up"), "{frame}");
+        assert!(frame.contains("stale"), "{frame}");
+        // 30 requests over 1s -> 30.0 req/s, and a sparkline cell.
+        assert!(frame.contains("30.0"), "{frame}");
+        assert!(frame.contains('█'), "{frame}");
+
+        assert!(run(&args(&["top", "not-an-addr"])).is_err());
+    }
+
+    #[test]
+    fn replay_renders_recorded_metric_history() {
+        use gremlin::core::{FlightRecorder, FlightSummary};
+        use gremlin::telemetry::TimeSeriesStore;
+
+        let root = std::env::temp_dir().join(format!("gremlin-cli-tsrp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let timeline = TimeSeriesStore::new();
+        timeline.append("local", "demo_requests_total", &[], 1_000_000, 5.0);
+        timeline.append("local", "demo_requests_total", &[], 2_000_000, 45.0);
+        timeline.annotate(1_500_000, "install", "overload db");
+
+        let mut recorder = FlightRecorder::create(&root, "ts replay", 5, 1_000_000).unwrap();
+        recorder.record_timeseries(&timeline).unwrap();
+        let dir = recorder
+            .finish(&FlightSummary {
+                name: "ts replay".to_string(),
+                passed: true,
+                injected: Vec::new(),
+                checks: Vec::new(),
+                monitor: Vec::new(),
+                anomalies: Vec::new(),
+                scenarios: Vec::new(),
+            })
+            .unwrap();
+
+        let out = run(&args(&["replay", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("metric history: 1 series"), "{out}");
+        assert!(out.contains("install: overload db"), "{out}");
+        assert!(out.contains("+40 over the run"), "{out}");
+
+        let json = run(&args(&["replay", dir.to_str().unwrap(), "--json"])).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["timeseries"], 3, "2 points + 1 annotation");
+
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

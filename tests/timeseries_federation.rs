@@ -1,0 +1,206 @@
+//! End-to-end fleet time-series: an instrumented agent is scraped
+//! into a shared [`TimeSeriesStore`] while a recipe injects a crash.
+//! The upstream success rate served by the collector's `/series`
+//! endpoint must visibly dip to zero during the fault and recover
+//! after the clear, with the control plane's `install` / `clear`
+//! annotations bracketing the dip. The same history must then replay
+//! offline from the flight recorder's `timeseries.jsonl`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gremlin::core::{AppGraph, FlightLog, RecipeRun, Scenario, TestContext};
+use gremlin::http::{ConnInfo, HttpClient, HttpServer, Method, Request, Response};
+use gremlin::proxy::{
+    AgentConfig, AgentControl, CollectorServer, ControlServer, GremlinAgent, Scraper,
+};
+use gremlin::store::{EventSink, EventStore, HealthMonitor, DEFAULT_HEALTH_WINDOW};
+use gremlin::telemetry::{MetricsRegistry, TimeSeriesStore};
+
+/// The counter whose per-second rate tracks *successful* upstream
+/// calls: aborted requests short-circuit at the proxy, so only
+/// passthrough traffic increments it.
+const UPSTREAM_COUNT: &str = "gremlin_proxy_upstream_latency_seconds_count";
+
+/// Sends `n` pattern-matched requests through the agent and returns
+/// how many got a 2xx back (transport errors count as failures).
+fn drive(client: &HttpClient, addr: std::net::SocketAddr, n: usize, prefix: &str) -> usize {
+    (0..n)
+        .filter(|i| {
+            client
+                .send(
+                    addr,
+                    Request::builder(Method::Get, "/q")
+                        .request_id(format!("{prefix}-{i}"))
+                        .build(),
+                )
+                .map(|response| response.status().is_success())
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Asserts the rate points show healthy -> zero -> healthy, with the
+/// zero-rate sample inside `[install, clear]`. Returns the dip
+/// timestamp.
+fn assert_dip(points: &[(u64, f64)], install_us: u64, clear_us: u64) -> u64 {
+    assert!(points.len() >= 3, "need 3+ rate points, got {points:?}");
+    let dip = points
+        .iter()
+        .find(|(at_us, value)| *value == 0.0 && (install_us..=clear_us).contains(at_us))
+        .unwrap_or_else(|| {
+            panic!("no zero-rate sample between install ({install_us}) and clear ({clear_us}): {points:?}")
+        });
+    let before = points.iter().filter(|(at, _)| *at < install_us).last();
+    let after = points.iter().filter(|(at, _)| *at > clear_us).last();
+    assert!(
+        before.is_some_and(|(_, v)| *v > 0.0),
+        "no healthy rate before the fault: {points:?}"
+    );
+    assert!(
+        after.is_some_and(|(_, v)| *v > 0.0),
+        "rate did not recover after clear: {points:?}"
+    );
+    dip.0
+}
+
+#[test]
+fn series_rate_dips_during_fault_and_replays_offline() {
+    // Backend + instrumented agent for the web -> db route, with the
+    // control server exposing /metrics for the fleet scraper.
+    let backend = HttpServer::bind("127.0.0.1:0", |_req: Request, _conn: &ConnInfo| {
+        Response::ok("rows")
+    })
+    .unwrap();
+    let registry = MetricsRegistry::shared();
+    let store = EventStore::shared();
+    let agent = Arc::new(
+        GremlinAgent::start(
+            AgentConfig::new("web")
+                .route("db", vec![backend.local_addr()])
+                .telemetry(&registry),
+            Arc::clone(&store) as Arc<dyn EventSink>,
+        )
+        .unwrap(),
+    );
+    let control = ControlServer::start(Arc::clone(&agent), "127.0.0.1:0").unwrap();
+
+    // Fleet scraper + collector: /federate and /series serve the
+    // same store the recipe annotates.
+    let timeline = TimeSeriesStore::shared();
+    let scraper = Arc::new(Scraper::new(Arc::clone(&timeline)));
+    scraper.add_target("web", control.local_addr().to_string());
+    let monitor = Arc::new(HealthMonitor::new(
+        Arc::clone(&store),
+        DEFAULT_HEALTH_WINDOW,
+    ));
+    let collector = CollectorServer::start_with_fleet(
+        Arc::clone(&store),
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        monitor,
+        Some(Arc::clone(&scraper)),
+    )
+    .unwrap();
+
+    let graph = AppGraph::from_edges(vec![("web", "db")]);
+    let ctx = TestContext::with_telemetry(
+        graph,
+        vec![Arc::clone(&agent) as Arc<dyn AgentControl>],
+        Arc::clone(&store),
+        Arc::clone(&registry),
+    )
+    .with_timeline(Arc::clone(&timeline));
+
+    let flight_root = std::env::temp_dir().join(format!("gremlin-ts-fed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&flight_root);
+    let mut run = RecipeRun::new("federated crash db", &ctx);
+    let flight_dir = run.start_flight_recorder(&flight_root).unwrap();
+
+    let client = HttpClient::new();
+    let addr = agent.route_addr("db").unwrap();
+
+    // Two healthy scrapes: the upstream success rate is positive.
+    assert_eq!(drive(&client, addr, 10, "test-a"), 10);
+    scraper.scrape_once();
+    std::thread::sleep(Duration::from_millis(10));
+    assert_eq!(drive(&client, addr, 10, "test-b"), 10);
+    scraper.scrape_once();
+    std::thread::sleep(Duration::from_millis(10));
+
+    // Crash db: every pattern-matched request aborts at the proxy,
+    // so the upstream success counter freezes.
+    run.inject(&Scenario::crash("db").with_pattern("test-*"))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    assert_eq!(drive(&client, addr, 10, "test-c"), 0, "crash not engaged");
+    scraper.scrape_once();
+    std::thread::sleep(Duration::from_millis(10));
+
+    // Clear and recover.
+    ctx.clear_faults().unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    assert_eq!(drive(&client, addr, 10, "test-d"), 10);
+    scraper.scrape_once();
+
+    // --- Online: the collector's range query shows the dip ------------
+    let response = client
+        .send(
+            collector.local_addr(),
+            Request::get(format!(
+                "/series?name={UPSTREAM_COUNT}&target=web&rate=true"
+            )),
+        )
+        .unwrap();
+    assert!(response.status().is_success(), "{:?}", response.status());
+    let doc: serde_json::Value = serde_json::from_str(&response.body_str()).unwrap();
+    assert_eq!(doc["kind"], "counter");
+    let annotations = doc["annotations"].as_array().unwrap();
+    let at_of = |phase: &str| {
+        annotations
+            .iter()
+            .find(|a| a["phase"] == phase)
+            .unwrap_or_else(|| panic!("no {phase} annotation in {annotations:?}"))["at_us"]
+            .as_u64()
+            .unwrap()
+    };
+    let (install_us, clear_us) = (at_of("install"), at_of("clear"));
+    assert!(install_us < clear_us);
+    let series = doc["series"].as_array().unwrap();
+    assert_eq!(series.len(), 1, "{series:?}");
+    let points: Vec<(u64, f64)> = series[0]["points"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| (p[0].as_u64().unwrap(), p[1].as_f64().unwrap()))
+        .collect();
+    let dip_us = assert_dip(&points, install_us, clear_us);
+
+    // /federate carries the merged snapshot with the target marked up.
+    let federated = client
+        .send(collector.local_addr(), Request::get("/federate"))
+        .unwrap();
+    let text = federated.body_str();
+    assert!(text.contains("up{instance=\"web\"} 1"), "{text}");
+    assert!(
+        text.contains(&format!("{UPSTREAM_COUNT}{{")),
+        "no scraped series federated: {text}"
+    );
+
+    // --- Offline: the flight recording replays the same history -------
+    let report = run.finish();
+    assert!(report.passed, "{report:?}");
+    let log = FlightLog::load(&flight_dir).unwrap();
+    assert!(!log.timeseries.is_empty(), "timeseries.jsonl not recorded");
+    let rebuilt = log.timeseries_store();
+    let offline = rebuilt.query_rate(UPSTREAM_COUNT, Some("web"), 0, u64::MAX);
+    assert_eq!(offline.len(), 1, "{offline:?}");
+    let offline_points: Vec<(u64, f64)> = offline[0].1.iter().map(|p| (p.at_us, p.value)).collect();
+    let offline_dip = assert_dip(&offline_points, install_us, clear_us);
+    assert_eq!(offline_dip, dip_us, "replay disagrees with live query");
+    let rendered = log.render_metrics();
+    assert!(rendered.contains("metric history:"), "{rendered}");
+    assert!(rendered.contains("install"), "{rendered}");
+
+    let _ = std::fs::remove_dir_all(&flight_root);
+}
