@@ -51,7 +51,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -215,7 +215,7 @@ pub fn plan_waves(
 /// any of its coverage cells is untested (not in `covered`), `1` when
 /// any is flaky per the ledger, `2` when everything it touches is
 /// stable.
-fn steer_priority(
+pub(crate) fn steer_priority(
     recipe: &CampaignRecipe,
     ledger: Option<&CoverageLedger>,
     covered: &BTreeSet<CellKey>,
@@ -238,14 +238,226 @@ fn steer_priority(
 }
 
 /// What one recipe execution yielded, beyond its report.
-#[derive(Debug)]
-struct RecipeOutcome {
-    report: RecipeReport,
-    duration: Duration,
-    started_at_us: Micros,
-    scenarios: Vec<Scenario>,
-    seeded_edges: usize,
-    baselines: Vec<EdgeBaseline>,
+///
+/// This is the unit of work a distributed-campaign operator streams
+/// back to the coordinating host (see [`crate::dispatch`]), so it is
+/// fully serializable: the coordinator merges remote outcomes through
+/// the same aggregation path the single-host runner uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecipeOutcome {
+    /// The recipe's complete report (checks, live verdicts, anomaly
+    /// scores, metrics delta, trace digest).
+    pub report: RecipeReport,
+    /// Wall-clock cost of the run, summed into the campaign's serial
+    /// estimate.
+    pub duration: Duration,
+    /// Wall-clock micros when the run started.
+    pub started_at_us: Micros,
+    /// Structured scenarios staged during the run, in injection order
+    /// (the source of the outcome's coverage cells).
+    pub scenarios: Vec<Scenario>,
+    /// Edges whose anomaly scorer was seeded from prior baselines
+    /// (non-zero means the run skipped its warmup windows).
+    pub seeded_edges: usize,
+    /// Per-edge baselines learned during the run.
+    pub baselines: Vec<EdgeBaseline>,
+}
+
+impl RecipeOutcome {
+    /// The coverage-ledger entry this outcome contributes. Built only
+    /// from a finished run (`RecipeRun::finish` has resolved the final
+    /// monitor verdict), so a ledger never records a provisional
+    /// outcome.
+    pub fn ledger_entry(&self) -> LedgerEntry {
+        LedgerEntry {
+            recipe: self.report.name.clone(),
+            started_at_us: self.started_at_us,
+            outcome: RunOutcome::of_report(&self.report),
+            scenarios: self.scenarios.clone(),
+            flight_dir: self.report.flight_dir.clone(),
+        }
+    }
+}
+
+/// Runs one recipe over `ctx`: attach (and seed) the monitor, stage
+/// the scenarios, hold the faults while polling for violations, and
+/// finish. Inject and driver failures become failed checks in the
+/// recipe's report, not panics — a broken recipe fails itself, never
+/// its campaign. Shared by [`CampaignRunner`] and distributed operator
+/// workers ([`crate::dispatch::OperatorServer`]).
+pub fn execute_recipe(
+    ctx: &TestContext,
+    recipe: &CampaignRecipe,
+    seed_baselines: &[EdgeBaseline],
+    flight_root: Option<&Path>,
+) -> RecipeOutcome {
+    let started = Instant::now();
+    let started_at_us = now_micros();
+    let mut run = RecipeRun::new(recipe.name.clone(), ctx);
+    let mut seeded_edges = 0;
+    if let Some(spec) = &recipe.monitor {
+        let mut spec = spec.clone();
+        if spec.anomaly.is_some() && spec.seed_baselines.is_empty() {
+            spec.seed_baselines = seed_baselines.to_vec();
+        }
+        run.start_monitor(spec);
+        seeded_edges = run.monitor().map_or(0, |m| m.seeded_edges());
+        if let Some(root) = flight_root {
+            // Best-effort, like RecipeRun's own detach-on-error
+            // policy: a full disk degrades the artifact, not the
+            // experiment.
+            let _ = run.start_flight_recorder(root);
+        }
+    }
+    let mut staged = true;
+    for scenario in &recipe.scenarios {
+        if let Err(err) = run.inject(scenario) {
+            run.check(crate::checker::Check {
+                name: format!("inject {scenario}"),
+                passed: false,
+                details: err.to_string(),
+            });
+            staged = false;
+            break;
+        }
+    }
+    if staged {
+        let deadline = started + recipe.hold;
+        loop {
+            match run.abort_if_violated() {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(err) => {
+                    run.check(crate::checker::Check {
+                        name: "abort staged faults".to_string(),
+                        passed: false,
+                        details: err.to_string(),
+                    });
+                    break;
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
+        }
+    }
+    let baselines = run
+        .monitor()
+        .map_or_else(Vec::new, |m| m.learned_baselines());
+    let report = run.finish();
+    RecipeOutcome {
+        report,
+        duration: started.elapsed(),
+        started_at_us,
+        scenarios: recipe.scenarios.clone(),
+        seeded_edges,
+        baselines,
+    }
+}
+
+/// Runs a footprint-disjoint batch of recipes concurrently on scoped
+/// threads (a single-recipe batch runs inline), returning outcomes
+/// aligned with `recipes`. The caller owns the wave-boundary fault
+/// clear.
+pub(crate) fn execute_wave(
+    ctx: &TestContext,
+    recipes: &[CampaignRecipe],
+    seed_baselines: &[EdgeBaseline],
+    flight_root: Option<&Path>,
+) -> Vec<RecipeOutcome> {
+    if let [recipe] = recipes {
+        return vec![execute_recipe(ctx, recipe, seed_baselines, flight_root)];
+    }
+    let slots: Vec<Mutex<Option<RecipeOutcome>>> =
+        recipes.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..recipes.len() {
+            scope.spawn(|| {
+                let slot = next.fetch_add(1, Ordering::Relaxed);
+                *slots[slot].lock() = Some(execute_recipe(
+                    ctx,
+                    &recipes[slot],
+                    seed_baselines,
+                    flight_root,
+                ));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every recipe ran"))
+        .collect()
+}
+
+/// Merges per-recipe outcomes into the final [`CampaignReport`] — the
+/// single aggregation path shared by the single-host runner and the
+/// distributed coordinator, so a merged multi-operator report is
+/// identical in shape and content to a single-host one.
+pub(crate) fn assemble_report(
+    outcomes: Vec<RecipeOutcome>,
+    waves: Vec<Vec<String>>,
+    steered: bool,
+    wall_clock: Duration,
+    seed_baselines: &[EdgeBaseline],
+    prior_covered: &BTreeSet<CellKey>,
+) -> CampaignReport {
+    let mut reports = Vec::with_capacity(outcomes.len());
+    let mut durations = Vec::with_capacity(outcomes.len());
+    let mut flight_dirs = Vec::with_capacity(outcomes.len());
+    let mut newly_covered: BTreeSet<CellKey> = BTreeSet::new();
+    let mut warmup_skipped = 0;
+    let mut merged: BTreeMap<(String, String), EdgeBaseline> = BTreeMap::new();
+    for baseline in seed_baselines.iter().cloned() {
+        merged.insert((baseline.src.clone(), baseline.dst.clone()), baseline);
+    }
+    for outcome in outcomes {
+        if outcome.seeded_edges > 0 {
+            warmup_skipped += 1;
+        }
+        for baseline in outcome.baselines {
+            merged.insert((baseline.src.clone(), baseline.dst.clone()), baseline);
+        }
+        for scenario in &outcome.scenarios {
+            for cell in cells_for_scenario(scenario) {
+                if !prior_covered.contains(&cell) {
+                    newly_covered.insert(cell);
+                }
+            }
+        }
+        flight_dirs.push(outcome.report.flight_dir.clone());
+        durations.push(outcome.duration);
+        reports.push(outcome.report);
+    }
+    let serial_estimate = durations.iter().sum();
+    CampaignReport {
+        recipes: reports,
+        durations,
+        waves,
+        steered,
+        wall_clock,
+        serial_estimate,
+        warmup_skipped,
+        baselines: merged.into_values().collect(),
+        flight_dirs,
+        newly_covered: newly_covered.into_iter().collect(),
+    }
+}
+
+/// Best-effort persistence of a campaign's merged baselines as
+/// `baselines.json` under the flight root — the snapshot the next
+/// campaign seeds from. Per-run dirs already carry their own copies,
+/// so failures degrade a convenience, not the experiment.
+pub(crate) fn persist_merged_baselines(root: &Path, baselines: &[EdgeBaseline]) {
+    if baselines.is_empty() {
+        return;
+    }
+    let _ = fs::create_dir_all(root);
+    let _ = serde_json::to_string_pretty(baselines)
+        .map_err(std::io::Error::from)
+        .and_then(|json| fs::write(root.join("baselines.json"), json));
 }
 
 /// Runs a set of recipes as a campaign: footprint-disjoint recipes
@@ -401,29 +613,35 @@ impl<'a> CampaignRunner<'a> {
                     wave_names[wave_index].join(", ")
                 ),
             );
-            if let [index] = wave.as_slice() {
-                let recipe = recipes[*index].take().expect("each index runs once");
-                outcomes[*index] = Some(self.run_recipe(recipe));
-            } else {
-                let batch: Vec<(usize, CampaignRecipe)> = wave
+            let batch: Vec<CampaignRecipe> = wave
+                .iter()
+                .map(|&index| recipes[index].take().expect("each index runs once"))
+                .collect();
+            let wave_outcomes = execute_wave(
+                self.ctx,
+                &batch,
+                &self.seed_baselines,
+                self.flight_root.as_deref(),
+            );
+            // The wave's verdicts are final (every run has finished and
+            // resolved its monitor), so its ledger entries are appended
+            // *now* — after verdict resolution, before the fallible
+            // wave-boundary clear below. A campaign that dies at a wave
+            // boundary keeps every completed wave in `campaigns.jsonl`,
+            // and the ledger never sees a provisional outcome.
+            // Best-effort, like the merged baselines snapshot. Entries
+            // whose flight dir is scanned directly are deduplicated at
+            // read time, so unmonitored (dirless) recipes still land in
+            // the ledger without double-counting recorded ones.
+            if let Some(root) = &self.flight_root {
+                let entries: Vec<LedgerEntry> = wave_outcomes
                     .iter()
-                    .map(|&index| (index, recipes[index].take().expect("each index runs once")))
+                    .map(RecipeOutcome::ledger_entry)
                     .collect();
-                let slots: Vec<Mutex<Option<RecipeOutcome>>> =
-                    batch.iter().map(|_| Mutex::new(None)).collect();
-                let next = AtomicUsize::new(0);
-                std::thread::scope(|scope| {
-                    for _ in 0..batch.len() {
-                        scope.spawn(|| {
-                            let slot = next.fetch_add(1, Ordering::Relaxed);
-                            let (_, recipe) = &batch[slot];
-                            *slots[slot].lock() = Some(self.run_recipe(recipe.clone()));
-                        });
-                    }
-                });
-                for ((index, _), slot) in batch.iter().zip(slots) {
-                    outcomes[*index] = slot.into_inner();
-                }
+                let _ = append_campaign_entries(root, &entries);
+            }
+            for (&index, outcome) in wave.iter().zip(wave_outcomes) {
+                outcomes[index] = Some(outcome);
             }
             // Wave boundary: the control channel has no per-rule
             // removal, so the whole fleet is flushed between waves.
@@ -433,142 +651,22 @@ impl<'a> CampaignRunner<'a> {
         }
         let wall_clock = started.elapsed();
 
-        let mut reports = Vec::with_capacity(outcomes.len());
-        let mut durations = Vec::with_capacity(outcomes.len());
-        let mut flight_dirs = Vec::with_capacity(outcomes.len());
-        let mut entries: Vec<LedgerEntry> = Vec::with_capacity(outcomes.len());
-        let mut newly_covered: BTreeSet<CellKey> = BTreeSet::new();
-        let mut warmup_skipped = 0;
-        let mut merged: BTreeMap<(String, String), EdgeBaseline> = BTreeMap::new();
-        for baseline in self.seed_baselines.iter().cloned() {
-            merged.insert((baseline.src.clone(), baseline.dst.clone()), baseline);
-        }
-        for outcome in outcomes.into_iter().map(|o| o.expect("every recipe ran")) {
-            if outcome.seeded_edges > 0 {
-                warmup_skipped += 1;
-            }
-            for baseline in outcome.baselines {
-                merged.insert((baseline.src.clone(), baseline.dst.clone()), baseline);
-            }
-            for scenario in &outcome.scenarios {
-                for cell in cells_for_scenario(scenario) {
-                    if !prior_covered.contains(&cell) {
-                        newly_covered.insert(cell);
-                    }
-                }
-            }
-            entries.push(LedgerEntry {
-                recipe: outcome.report.name.clone(),
-                started_at_us: outcome.started_at_us,
-                outcome: RunOutcome::of_report(&outcome.report),
-                scenarios: outcome.scenarios,
-                flight_dir: outcome.report.flight_dir.clone(),
-            });
-            flight_dirs.push(outcome.report.flight_dir.clone());
-            durations.push(outcome.duration);
-            reports.push(outcome.report);
-        }
-        let baselines: Vec<EdgeBaseline> = merged.into_values().collect();
-        if let (Some(root), false) = (&self.flight_root, baselines.is_empty()) {
-            // Best-effort: the merged snapshot is a convenience copy;
-            // per-run dirs already carry their own baselines.json.
-            let _ = fs::create_dir_all(root);
-            let _ = serde_json::to_string_pretty(&baselines)
-                .map_err(std::io::Error::from)
-                .and_then(|json| fs::write(root.join("baselines.json"), json));
-        }
-        if let Some(root) = &self.flight_root {
-            // Best-effort, like the merged baselines snapshot. Entries
-            // whose flight dir was scanned directly are deduplicated at
-            // read time, so unmonitored (dirless) recipes still land in
-            // the ledger without double-counting recorded ones.
-            let _ = append_campaign_entries(root, &entries);
-        }
-        let serial_estimate = durations.iter().sum();
-
-        Ok(CampaignReport {
-            recipes: reports,
-            durations,
-            waves: wave_names,
-            steered: self.steer_order,
+        let outcomes: Vec<RecipeOutcome> = outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every recipe ran"))
+            .collect();
+        let report = assemble_report(
+            outcomes,
+            wave_names,
+            self.steer_order,
             wall_clock,
-            serial_estimate,
-            warmup_skipped,
-            baselines,
-            flight_dirs,
-            newly_covered: newly_covered.into_iter().collect(),
-        })
-    }
-
-    /// Runs one recipe: attach (and seed) the monitor, stage the
-    /// scenarios, hold the faults while polling for violations, and
-    /// finish. Inject and driver failures become failed checks in the
-    /// recipe's report.
-    fn run_recipe(&self, recipe: CampaignRecipe) -> RecipeOutcome {
-        let started = Instant::now();
-        let started_at_us = now_micros();
-        let mut run = RecipeRun::new(recipe.name.clone(), self.ctx);
-        let mut seeded_edges = 0;
-        if let Some(spec) = &recipe.monitor {
-            let mut spec = spec.clone();
-            if spec.anomaly.is_some() && spec.seed_baselines.is_empty() {
-                spec.seed_baselines = self.seed_baselines.clone();
-            }
-            run.start_monitor(spec);
-            seeded_edges = run.monitor().map_or(0, |m| m.seeded_edges());
-            if let Some(root) = &self.flight_root {
-                // Best-effort, like RecipeRun's own detach-on-error
-                // policy: a full disk degrades the artifact, not the
-                // experiment.
-                let _ = run.start_flight_recorder(root);
-            }
+            &self.seed_baselines,
+            &prior_covered,
+        );
+        if let Some(root) = &self.flight_root {
+            persist_merged_baselines(root, &report.baselines);
         }
-        let mut staged = true;
-        for scenario in &recipe.scenarios {
-            if let Err(err) = run.inject(scenario) {
-                run.check(crate::checker::Check {
-                    name: format!("inject {scenario}"),
-                    passed: false,
-                    details: err.to_string(),
-                });
-                staged = false;
-                break;
-            }
-        }
-        if staged {
-            let deadline = started + recipe.hold;
-            loop {
-                match run.abort_if_violated() {
-                    Ok(true) => break,
-                    Ok(false) => {}
-                    Err(err) => {
-                        run.check(crate::checker::Check {
-                            name: "abort staged faults".to_string(),
-                            passed: false,
-                            details: err.to_string(),
-                        });
-                        break;
-                    }
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                std::thread::sleep((deadline - now).min(Duration::from_millis(20)));
-            }
-        }
-        let baselines = run
-            .monitor()
-            .map_or_else(Vec::new, |m| m.learned_baselines());
-        let report = run.finish();
-        RecipeOutcome {
-            report,
-            duration: started.elapsed(),
-            started_at_us,
-            scenarios: recipe.scenarios,
-            seeded_edges,
-            baselines,
-        }
+        Ok(report)
     }
 }
 
@@ -970,6 +1068,88 @@ mod tests {
         assert!(!second.to_string().contains("coverage:"), "{second}");
         let ledger = CoverageLedger::scan(&root).unwrap();
         assert_eq!(ledger.runs_scanned(), 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn aborted_campaign_keeps_completed_wave_entries_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Agent whose fault-clear starts failing after a budget of
+        /// successful clears — models an operator host dying at a wave
+        /// boundary.
+        struct FlakyClearAgent {
+            service: String,
+            rules: Mutex<Vec<Rule>>,
+            clears_left: AtomicUsize,
+        }
+
+        impl AgentControl for FlakyClearAgent {
+            fn service_name(&self) -> String {
+                self.service.clone()
+            }
+
+            fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+                self.rules.lock().extend(rules.iter().cloned());
+                Ok(())
+            }
+
+            fn clear_rules(&self) -> Result<(), ProxyError> {
+                let left = self.clears_left.load(Ordering::SeqCst);
+                if left == 0 {
+                    return Err(ProxyError::InvalidRule("control channel down".into()));
+                }
+                self.clears_left.store(left - 1, Ordering::SeqCst);
+                self.rules.lock().clear();
+                Ok(())
+            }
+
+            fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+                Ok(self.rules.lock().clone())
+            }
+        }
+
+        let graph = AppGraph::from_edges(vec![("a", "b")]);
+        let agent = Arc::new(FlakyClearAgent {
+            service: "a".to_string(),
+            rules: Mutex::new(Vec::new()),
+            clears_left: AtomicUsize::new(0),
+        });
+        let ctx = TestContext::new(
+            graph,
+            vec![Arc::clone(&agent) as Arc<dyn AgentControl>],
+            EventStore::shared(),
+        );
+        let root =
+            std::env::temp_dir().join(format!("gremlin-campaign-abort-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+
+        // Two colliding recipes -> two waves. The very first
+        // wave-boundary clear fails, so wave 2 never runs and the
+        // campaign errors out — but wave 1's verdict was already
+        // final, so its ledger entry must survive, exactly once.
+        let hold = Duration::from_millis(10);
+        let err = CampaignRunner::new(&ctx)
+            .flight_root(&root)
+            .run(vec![
+                CampaignRecipe::new("first")
+                    .scenario(Scenario::abort("a", "b", 503))
+                    .hold(hold),
+                CampaignRecipe::new("second")
+                    .scenario(Scenario::delay("a", "b", Duration::from_millis(1)))
+                    .hold(hold),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::AgentFailed { .. }), "{err}");
+
+        let raw = fs::read_to_string(root.join(crate::ledger::CAMPAIGN_LEDGER_FILE)).unwrap();
+        let recorded: Vec<LedgerEntry> = raw
+            .lines()
+            .map(|line| serde_json::from_str(line).unwrap())
+            .collect();
+        assert_eq!(recorded.len(), 1, "{raw}");
+        assert_eq!(recorded[0].recipe, "first");
+        assert_eq!(recorded[0].outcome, RunOutcome::Pass);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -28,6 +28,11 @@ pub enum CoreError {
     BadDuration(String),
     /// No agent matches the rule's source service.
     NoAgentForService(String),
+    /// Distributed campaign dispatch failed: an operator became
+    /// unreachable (and no survivor could absorb its waves), returned
+    /// a malformed response, or spoke an incompatible protocol
+    /// version.
+    DispatchFailed(String),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +50,9 @@ impl fmt::Display for CoreError {
             CoreError::BadDuration(text) => write!(f, "cannot parse duration {text:?}"),
             CoreError::NoAgentForService(name) => {
                 write!(f, "no gremlin agent fronts service {name:?}")
+            }
+            CoreError::DispatchFailed(msg) => {
+                write!(f, "distributed dispatch failed: {msg}")
             }
         }
     }
@@ -74,6 +82,7 @@ mod tests {
             },
             CoreError::BadDuration("1parsec".into()),
             CoreError::NoAgentForService("s".into()),
+            CoreError::DispatchFailed("operator op-1 unreachable".into()),
         ];
         for err in errors {
             assert!(!err.to_string().is_empty());

@@ -58,6 +58,7 @@ pub mod autogen;
 pub mod campaign;
 pub mod chaos;
 pub mod checker;
+pub mod dispatch;
 pub mod error;
 pub mod flight;
 pub mod graph;
@@ -71,12 +72,16 @@ pub mod trace;
 
 pub use anomaly::{drift_z, AnomalyAlert, AnomalyConfig, AnomalyScore, AnomalyScorer, EdgeState};
 pub use campaign::{
-    plan_waves, CampaignRecipe, CampaignReport, CampaignRunner, CampaignSpec,
-    DEFAULT_MAX_IN_FLIGHT, STEER_FLAKY_THRESHOLD,
+    execute_recipe, plan_waves, CampaignRecipe, CampaignReport, CampaignRunner, CampaignSpec,
+    RecipeOutcome, DEFAULT_MAX_IN_FLIGHT, STEER_FLAKY_THRESHOLD,
 };
 pub use checker::{
     at_most_requests, check_status, combine, num_requests, reply_latency, request_rate,
     AssertionChecker, Check, CombineStep, View,
+};
+pub use dispatch::{
+    plan_shards, CampaignDispatcher, HttpOperator, OperatorServer, OperatorStatus,
+    OperatorTransport, WaveRequest, WaveResponse, DISPATCH_SCHEMA_VERSION,
 };
 pub use error::CoreError;
 pub use flight::{

@@ -427,7 +427,11 @@ impl<'a> RecipeRun<'a> {
 }
 
 /// The outcome of a recipe execution.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable end to end (checks, live verdicts, anomaly scores,
+/// metrics delta, trace digest), so distributed campaign operators can
+/// stream complete reports back to the coordinating host unchanged.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RecipeReport {
     /// Recipe name.
     pub name: String,

@@ -11,6 +11,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::Duration;
 
+use serde::{Deserialize, Serialize};
+
 use gremlin_store::{
     spans_from_store, AppliedFault, Event, EventStore, Micros, Name, Pattern, Query, SpanRecord,
 };
@@ -273,7 +275,7 @@ impl SpanNode {
 }
 
 /// Compact per-flow statistics, suitable for recipe reports.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceSummary {
     /// The flow's request ID.
     pub request_id: String,
@@ -626,7 +628,7 @@ impl fmt::Display for SpanTree {
 
 /// Per-experiment trace statistics, aggregated over every flow in an
 /// event store. Attached to recipe reports.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceDigest {
     /// Number of distinct request flows observed.
     pub flows: usize,

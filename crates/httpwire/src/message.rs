@@ -53,6 +53,12 @@ impl Request {
         Request::builder(Method::Get, target).build()
     }
 
+    /// Convenience constructor for a `POST` request carrying `body`
+    /// (`Content-Length` is set from it).
+    pub fn post(target: impl Into<String>, body: impl Into<Bytes>) -> Request {
+        Request::builder(Method::Post, target).body(body).build()
+    }
+
     /// The request method.
     pub fn method(&self) -> &Method {
         &self.method
@@ -347,6 +353,15 @@ mod tests {
         assert_eq!(req.headers().get_int("content-length"), Some(5));
         assert_eq!(req.request_id(), Some("test-7"));
         assert_eq!(&req.body()[..], b"hello");
+    }
+
+    #[test]
+    fn post_convenience_sets_body_and_length() {
+        let req = Request::post("/operator/wave", "{\"a\":1}");
+        assert_eq!(*req.method(), Method::Post);
+        assert_eq!(req.path(), "/operator/wave");
+        assert_eq!(&req.body()[..], b"{\"a\":1}");
+        assert_eq!(req.headers().get_int("content-length"), Some(7));
     }
 
     #[test]

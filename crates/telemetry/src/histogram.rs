@@ -151,6 +151,7 @@ impl LatencyHistogram {
 /// An immutable copy of a [`LatencyHistogram`], supporting
 /// percentiles, merging and deltas.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HistogramSnapshot {
     counts: Vec<u64>,
     count: u64,

@@ -226,6 +226,7 @@ impl MetricsRegistry {
 
 /// The value of one sampled series.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SampleValue {
     /// Counter value.
     Counter(u64),
@@ -237,6 +238,7 @@ pub enum SampleValue {
 
 /// One sampled series: name, labels and value.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sample {
     /// Metric name (e.g. `gremlin_proxy_requests_total`).
     pub name: String,
@@ -261,6 +263,7 @@ impl Sample {
 /// `GET /metrics` renders, and what recipe reports carry as
 /// before/after deltas.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TelemetrySnapshot {
     /// Sampled series, sorted by `(name, labels)`.
     pub samples: Vec<Sample>,

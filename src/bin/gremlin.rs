@@ -10,6 +10,8 @@
 //! gremlin translate app.json outage.json  scenario -> fault-injection rules
 //! gremlin install app.json outage.json --agents 10.0.0.1:7070,10.0.0.2:7070
 //! gremlin campaign app.json campaign.json --agents ...   run recipes in parallel waves
+//! gremlin campaign app.json campaign.json --operators h1:7080,h2:7080   shard waves across operator hosts
+//! gremlin operator serve app.json --agents ...   serve this host's fleet slice to a coordinator
 //! gremlin rules <agent-addr>              list an agent's installed rules
 //! gremlin clear --agents a,b,c            flush rules everywhere
 //! gremlin health <agent-addr>             agent status
@@ -30,11 +32,13 @@
 
 use std::error::Error;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use gremlin::core::{
-    parse_duration, AppGraph, AssertionChecker, CampaignRunner, CampaignSpec, FailureOrchestrator,
-    FlowTrace, Scenario, TestContext,
+    parse_duration, AppGraph, AssertionChecker, CampaignDispatcher, CampaignReport, CampaignRunner,
+    CampaignSpec, FailureOrchestrator, FlowTrace, HttpOperator, OperatorServer, OperatorTransport,
+    Scenario, TestContext,
 };
 use gremlin::proxy::{AgentControl, ControlClient};
 use gremlin::store::{EventStore, Pattern};
@@ -62,6 +66,8 @@ fn usage() -> &'static str {
      gremlin translate <graph.json> <scenario.json>\n  \
      gremlin install <graph.json> <scenario.json> --agents <addr,...>\n  \
      gremlin campaign <graph.json> <campaign.json> --agents <addr,...> [--max-in-flight <n>] [--serial] [--flight-root <dir>] [--seed <dir>] [--steer-order]\n  \
+     gremlin campaign <graph.json> <campaign.json> --operators <addr,...> [--retries <n>] [--backoff <dur>] [campaign options]\n  \
+     gremlin operator serve <graph.json> --agents <addr,...> [--listen <addr>] [--name <name>] [--flight-root <dir>]\n  \
      gremlin rules <agent-addr>\n  \
      gremlin clear --agents <addr,...>\n  \
      gremlin health <agent-addr>\n  \
@@ -84,6 +90,7 @@ fn run(args: &[String]) -> Result<String, Box<dyn Error>> {
         "translate" => cmd_translate(&args[1..]),
         "install" => cmd_install(&args[1..]),
         "campaign" => cmd_campaign(&args[1..]),
+        "operator" => cmd_operator(&args[1..]),
         "rules" => cmd_rules(&args[1..]),
         "clear" => cmd_clear(&args[1..]),
         "health" => cmd_health(&args[1..]),
@@ -233,6 +240,12 @@ fn cmd_install(args: &[String]) -> Result<String, Box<dyn Error>> {
 /// `--seed <dir>` loads a prior run's `baselines.json` so anomaly
 /// monitors skip their warmup; `--flight-root <dir>` records per-run
 /// artifacts and the merged baselines for the next campaign.
+///
+/// With `--operators <addr,...>` the campaign is instead sharded
+/// across `gremlin operator serve` hosts (see
+/// `gremlin_core::dispatch`): each wave splits into per-operator
+/// slices, a dead operator's recipes re-shard to the survivors, and
+/// the merged report is identical in shape to a single-host run.
 fn cmd_campaign(args: &[String]) -> Result<String, Box<dyn Error>> {
     let graph = load_graph(positional(args, 0)?)?;
     let spec_path = positional(args, 1)?;
@@ -243,11 +256,6 @@ fn cmd_campaign(args: &[String]) -> Result<String, Box<dyn Error>> {
     if spec.recipes.is_empty() {
         return Err(format!("campaign file {spec_path:?} has no recipes").into());
     }
-    let agents =
-        connect_agents(flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?)?;
-    let ctx = TestContext::new(graph, agents, EventStore::shared());
-
-    let mut runner = CampaignRunner::new(&ctx);
     let max_in_flight = if has_flag(args, "--serial") {
         Some(1)
     } else if let Some(value) = flag_value(args, "--max-in-flight") {
@@ -255,25 +263,68 @@ fn cmd_campaign(args: &[String]) -> Result<String, Box<dyn Error>> {
     } else {
         spec.max_in_flight
     };
-    if let Some(max_in_flight) = max_in_flight {
-        runner = runner.max_in_flight(max_in_flight);
-    }
-    if let Some(root) = flag_value(args, "--flight-root") {
-        runner = runner.flight_root(root);
-    }
-    if let Some(dir) = flag_value(args, "--seed") {
-        let baselines = gremlin::core::load_baselines(dir)
-            .map_err(|e| format!("cannot load baselines from {dir:?}: {e}"))?;
-        if baselines.is_empty() {
-            return Err(format!("no baselines.json under {dir:?} to seed from").into());
+    let seed_baselines = match flag_value(args, "--seed") {
+        Some(dir) => {
+            let baselines = gremlin::core::load_baselines(dir)
+                .map_err(|e| format!("cannot load baselines from {dir:?}: {e}"))?;
+            if baselines.is_empty() {
+                return Err(format!("no baselines.json under {dir:?} to seed from").into());
+            }
+            Some(baselines)
         }
-        runner = runner.seed(baselines);
-    }
-    if has_flag(args, "--steer-order") {
-        runner = runner.steer_order(true);
-    }
+        None => None,
+    };
 
-    let report = runner.run(spec.recipes)?;
+    let report: CampaignReport = if let Some(operator_spec) = flag_value(args, "--operators") {
+        let mut operators: Vec<Arc<dyn OperatorTransport>> = Vec::new();
+        for part in operator_spec.split(',').filter(|s| !s.is_empty()) {
+            let addr: SocketAddr = part
+                .parse()
+                .map_err(|e| format!("bad operator address {part:?}: {e}"))?;
+            operators.push(Arc::new(HttpOperator::connect(addr)?));
+        }
+        if operators.is_empty() {
+            return Err("no operator addresses given".into());
+        }
+        let mut dispatcher = CampaignDispatcher::new(graph, operators);
+        if let Some(max_in_flight) = max_in_flight {
+            dispatcher = dispatcher.max_in_flight(max_in_flight);
+        }
+        if let Some(root) = flag_value(args, "--flight-root") {
+            dispatcher = dispatcher.flight_root(root);
+        }
+        if let Some(baselines) = seed_baselines {
+            dispatcher = dispatcher.seed(baselines);
+        }
+        if has_flag(args, "--steer-order") {
+            dispatcher = dispatcher.steer_order(true);
+        }
+        if let Some(retries) = flag_value(args, "--retries") {
+            dispatcher = dispatcher.retries(retries.parse::<usize>()?);
+        }
+        if let Some(backoff) = flag_value(args, "--backoff") {
+            dispatcher = dispatcher.backoff(parse_duration(backoff)?);
+        }
+        dispatcher.run(spec.recipes)?
+    } else {
+        let agents =
+            connect_agents(flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?)?;
+        let ctx = TestContext::new(graph, agents, EventStore::shared());
+        let mut runner = CampaignRunner::new(&ctx);
+        if let Some(max_in_flight) = max_in_flight {
+            runner = runner.max_in_flight(max_in_flight);
+        }
+        if let Some(root) = flag_value(args, "--flight-root") {
+            runner = runner.flight_root(root);
+        }
+        if let Some(baselines) = seed_baselines {
+            runner = runner.seed(baselines);
+        }
+        if has_flag(args, "--steer-order") {
+            runner = runner.steer_order(true);
+        }
+        runner.run(spec.recipes)?
+    };
     let output = report.to_string().trim_end().to_string();
     if report.passed() {
         Ok(output)
@@ -281,6 +332,50 @@ fn cmd_campaign(args: &[String]) -> Result<String, Box<dyn Error>> {
         // Visible in scripts: failing campaigns exit non-zero.
         eprintln!("{output}");
         std::process::exit(2);
+    }
+}
+
+/// `gremlin operator` — distributed-campaign worker commands.
+fn cmd_operator(args: &[String]) -> Result<String, Box<dyn Error>> {
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_operator_serve(&args[1..]),
+        _ => Err(
+            "usage: gremlin operator serve <graph.json> --agents <addr,...> \
+                  [--listen <addr>] [--name <name>] [--flight-root <dir>]"
+                .into(),
+        ),
+    }
+}
+
+/// `gremlin operator serve` — turn this host into a wave worker: front
+/// its slice of the agent fleet behind an operator control endpoint
+/// and execute waves POSTed by a `gremlin campaign --operators`
+/// coordinator, until killed.
+fn cmd_operator_serve(args: &[String]) -> Result<String, Box<dyn Error>> {
+    let graph = load_graph(positional(args, 0)?)?;
+    let agents =
+        connect_agents(flag_value(args, "--agents").ok_or("missing --agents <addr,...>")?)?;
+    let ctx = TestContext::new(graph, agents, EventStore::shared());
+    let listen = flag_value(args, "--listen").unwrap_or("0.0.0.0:7080");
+    let name = match flag_value(args, "--name") {
+        Some(name) => name.to_string(),
+        None => {
+            std::env::var("HOSTNAME").unwrap_or_else(|_| format!("operator-{}", std::process::id()))
+        }
+    };
+    let flight_root = flag_value(args, "--flight-root").map(PathBuf::from);
+    let server = OperatorServer::start(name, ctx, listen, flight_root)?;
+    let status = server.status();
+    println!(
+        "operator {} serving on {} ({} agent(s)); ctrl-c to stop",
+        status.name,
+        server.local_addr(),
+        status.agents
+    );
+    loop {
+        // Waves are served by the endpoint's own threads; the main
+        // thread just keeps the process alive.
+        std::thread::park();
     }
 }
 

@@ -1,0 +1,148 @@
+//! Dogfooding the dispatch layer: a Gremlin agent sits on the
+//! coordinator→operator control channel itself and injects Delay and
+//! Abort faults into the wave POSTs. The coordinator's bounded-backoff
+//! retry machinery must ride out both and still deliver a
+//! verdict-complete campaign report.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gremlin::core::{
+    AppGraph, CampaignDispatcher, CampaignRecipe, HttpOperator, OperatorServer, OperatorTransport,
+    Scenario, TestContext,
+};
+use gremlin::proxy::{AbortKind, AgentConfig, AgentControl, GremlinAgent, ProxyError, Rule};
+use gremlin::store::EventStore;
+
+/// In-memory agent for the operator's own fleet slice.
+struct SinkAgent {
+    service: String,
+    rules: Mutex<Vec<Rule>>,
+}
+
+impl AgentControl for SinkAgent {
+    fn service_name(&self) -> String {
+        self.service.clone()
+    }
+
+    fn install_rules(&self, rules: &[Rule]) -> Result<(), ProxyError> {
+        self.rules.lock().unwrap().extend(rules.iter().cloned());
+        Ok(())
+    }
+
+    fn clear_rules(&self) -> Result<(), ProxyError> {
+        self.rules.lock().unwrap().clear();
+        Ok(())
+    }
+
+    fn list_rules(&self) -> Result<Vec<Rule>, ProxyError> {
+        Ok(self.rules.lock().unwrap().clone())
+    }
+}
+
+const PAIRS: [(&str, &str); 2] = [("c1", "s1"), ("c2", "s2")];
+
+fn fleet_ctx() -> TestContext {
+    let agents: Vec<Arc<dyn AgentControl>> = PAIRS
+        .iter()
+        .map(|(src, _)| {
+            Arc::new(SinkAgent {
+                service: src.to_string(),
+                rules: Mutex::new(Vec::new()),
+            }) as Arc<dyn AgentControl>
+        })
+        .collect();
+    TestContext::new(
+        AppGraph::from_edges(PAIRS.to_vec()),
+        agents,
+        EventStore::shared(),
+    )
+}
+
+fn recipes() -> Vec<CampaignRecipe> {
+    PAIRS
+        .iter()
+        .map(|(src, dst)| {
+            CampaignRecipe::new(format!("{src}-{dst}"))
+                .scenario(Scenario::abort(*src, *dst, 503))
+                .hold(Duration::from_millis(15))
+        })
+        .collect()
+}
+
+#[test]
+fn coordinator_retries_ride_out_faults_on_the_control_channel() {
+    // Real operator host behind a real control endpoint...
+    let operator =
+        OperatorServer::start("op-under-fault", fleet_ctx(), "127.0.0.1:0", None).unwrap();
+
+    // ...fronted by a Gremlin agent proxying the coordinator's wave
+    // POSTs, exactly like any other service edge under test.
+    let agent = GremlinAgent::start(
+        AgentConfig::new("coordinator").route("operator", vec![operator.local_addr()]),
+        EventStore::shared(),
+    )
+    .unwrap();
+    let proxied = agent.route_addr("operator").unwrap();
+
+    // Phase 1 — Delay on the control channel: every wave POST crawls,
+    // but nothing fails, so the campaign completes without retries.
+    agent
+        .install_rules(vec![Rule::delay(
+            "coordinator",
+            "operator",
+            Duration::from_millis(40),
+        )])
+        .unwrap();
+    let operators: Vec<Arc<dyn OperatorTransport>> =
+        vec![Arc::new(HttpOperator::connect(proxied).unwrap())];
+    let report = CampaignDispatcher::new(AppGraph::from_edges(PAIRS.to_vec()), operators)
+        .max_in_flight(2)
+        .retries(3)
+        .backoff(Duration::from_millis(20))
+        .run(recipes())
+        .unwrap();
+    assert!(report.passed(), "delayed control channel: {report}");
+    assert_eq!(report.recipes.len(), 2);
+    agent.clear_rules();
+
+    // Phase 2 — Abort on the control channel: wave POSTs bounce with
+    // 503 until a background repair clears the rule. The dispatcher's
+    // bounded backoff must bridge the outage and still produce a
+    // verdict for every recipe. (Connect while the channel is still
+    // clean — the fault lands after the handshake, mid-campaign.)
+    let faulted: Vec<Arc<dyn OperatorTransport>> =
+        vec![Arc::new(HttpOperator::connect(proxied).unwrap())];
+    agent
+        .install_rules(vec![Rule::abort(
+            "coordinator",
+            "operator",
+            AbortKind::Status(503),
+        )])
+        .unwrap();
+    let repair = {
+        let agent = &agent;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(120));
+                agent.clear_rules();
+            });
+            let report = CampaignDispatcher::new(AppGraph::from_edges(PAIRS.to_vec()), faulted)
+                .max_in_flight(2)
+                .retries(8)
+                .backoff(Duration::from_millis(30))
+                .run(recipes())
+                .unwrap();
+            handle.join().unwrap();
+            report
+        })
+    };
+    assert!(repair.passed(), "aborted control channel: {repair}");
+    assert_eq!(repair.recipes.len(), 2, "verdict-complete despite aborts");
+    for recipe in &repair.recipes {
+        assert!(recipe.passed, "recipe {} lost its verdict", recipe.name);
+    }
+
+    agent.shutdown();
+    operator.shutdown();
+}
